@@ -1,0 +1,82 @@
+// Ablation: where does the Fig. 6 speedup come from?
+//
+// Decomposes the UNR gain over the MPI baseline into its two ingredients:
+//   * transport  — notified PUTs instead of two-sided messages (no
+//     rendezvous handshakes, no matching, aggregated signals), with the
+//     halo exchange still blocking;
+//   * + overlap  — additionally hiding the halo latency under the interior
+//     stencils (the synchronization-free structure of Fig. 3d).
+#include <cmath>
+#include <iostream>
+#include <optional>
+
+#include "bench_util.hpp"
+#include "powerllel/solver.hpp"
+#include "runtime/world.hpp"
+#include "unr/unr.hpp"
+
+using namespace unr;
+using namespace unr::powerllel;
+using namespace unr::runtime;
+using namespace unr::unrlib;
+
+namespace {
+
+double run_ms(const SystemProfile& prof, bool use_unr, bool overlap) {
+  World::Config wc;
+  wc.nodes = 8;
+  wc.ranks_per_node = 2;
+  wc.profile = prof;
+  wc.deterministic_routing = true;
+  World w(wc);
+  std::optional<Unr> unr;
+  if (use_unr) unr.emplace(w);
+
+  StepTimings t;
+  w.run([&](Rank& r) {
+    SolverConfig sc;
+    sc.decomp.nx = 64;
+    sc.decomp.ny = 64;
+    sc.decomp.nz = 32;
+    sc.decomp.pr = 4;
+    sc.decomp.pc = 4;
+    sc.lz = 2.0;
+    sc.bc = ZBc::kNoSlip;
+    sc.backend = use_unr ? CommBackend::kUnr : CommBackend::kMpi;
+    sc.unr = use_unr ? &*unr : nullptr;
+    sc.threads = std::max(1, (prof.cores_per_node - 2) / 2);
+    sc.overlap_halo = overlap;
+    Solver s(r, sc);
+    s.init_velocity(
+        [](double x, double y, double z) { return std::sin(x) * z * (2 - z) * std::cos(y); },
+        [](double x, double y, double) { return 0.1 * std::cos(x + y); },
+        [](double, double, double) { return 0.0; });
+    s.run(1);
+    s.reset_timings();
+    s.run(3);
+    t = s.reduce_timings();
+  });
+  return static_cast<double>(t.total) / 1e6;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opt = unr::bench::Options::parse(argc, argv);
+  unr::bench::banner(
+      "Ablation: decomposing the Fig. 6 speedup (transport vs overlap)",
+      "UNR transport alone vs transport + halo/compute overlap (Fig. 3d)");
+  TextTable t;
+  t.header({"system", "MPI baseline (ms)", "UNR no overlap (ms)", "speedup",
+            "UNR + overlap (ms)", "speedup"});
+  for (const auto& prof : opt.systems()) {
+    const double base = run_ms(prof, false, false);
+    const double transport = run_ms(prof, true, false);
+    const double full = run_ms(prof, true, true);
+    t.row({prof.name, TextTable::num(base, 2), TextTable::num(transport, 2),
+           TextTable::pct(base / transport - 1.0), TextTable::num(full, 2),
+           TextTable::pct(base / full - 1.0)});
+  }
+  std::cout << t;
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Ablation: polling-interval and core-reservation trade-off (Section VI-C).
+//
+// A small interval reacts quickly (low notification latency) but a polling
+// thread without a reserved core steals compute capacity; level-4 hardware
+// offload removes the trade-off entirely. This regenerates the paper's
+// discussion quantitatively:
+//   * notified-put latency vs poll interval,
+//   * compute-kernel slowdown with an unreserved polling thread,
+//   * the same two numbers under the level-4 channel.
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "runtime/world.hpp"
+#include "unr/unr.hpp"
+
+using namespace unr;
+using namespace unr::runtime;
+using namespace unr::unrlib;
+
+namespace {
+
+struct Result {
+  double latency_ns = 0;
+  double compute_ms = 0;
+};
+
+Result run_case(ChannelKind kind, Time poll_interval, bool reserved) {
+  World::Config wc;
+  wc.nodes = 2;
+  wc.ranks_per_node = 1;
+  wc.profile = make_th_xy();
+  wc.deterministic_routing = true;
+  World w(wc);
+  Unr::Config uc;
+  uc.channel = kind;
+  uc.engine.poll_interval = poll_interval;
+  uc.engine.reserved_core = reserved;
+  Unr unr(w, uc);
+
+  const int iters = 40;
+  Result res;
+  w.run([&](Rank& r) {
+    std::vector<std::byte> buf(256);
+    const MemHandle mh = unr.mem_reg(r.id(), buf.data(), buf.size());
+    const SigId rsig = unr.sig_init(r.id(), 1);
+    const Blk my_blk = unr.blk_init(r.id(), mh, 0, 256, rsig);
+    const int peer = 1 - r.id();
+    Blk peer_blk;
+    r.sendrecv(peer, 1, &my_blk, sizeof my_blk, peer, 1, &peer_blk, sizeof peer_blk);
+    const Blk send_blk = unr.blk_init(r.id(), mh, 0, 256);
+
+    const Time t0 = r.now();
+    for (int i = 0; i < iters; ++i) {
+      if (r.id() == 0) {
+        unr.put(0, send_blk, peer_blk);
+        unr.sig_wait(0, rsig);
+        unr.sig_reset(0, rsig);
+      } else {
+        unr.sig_wait(1, rsig);
+        unr.sig_reset(1, rsig);
+        unr.put(1, send_blk, peer_blk);
+      }
+    }
+    if (r.id() == 0) res.latency_ns = static_cast<double>(r.now() - t0) / (2.0 * iters);
+
+    // A compute kernel using every core of the node: how much does the
+    // polling thread cost it?
+    const Time c0 = r.now();
+    r.compute(32 * kMs, wc.profile.cores_per_node);
+    if (r.id() == 0) res.compute_ms = static_cast<double>(r.now() - c0) / 1e6;
+  });
+  return res;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  (void)unr::bench::Options::parse(argc, argv);
+  unr::bench::banner(
+      "Ablation: polling interval vs notification latency vs compute cost",
+      "Section VI-C: small intervals cut latency but an unreserved polling "
+      "thread slows compute; level-4 hardware removes the trade-off");
+
+  TextTable t;
+  t.header({"channel", "poll interval", "reserved core", "put latency (us)",
+            "full-node compute (ms)"});
+  for (Time interval : std::vector<Time>{200, 1 * kUs, 5 * kUs, 20 * kUs}) {
+    for (bool reserved : {true, false}) {
+      const Result r = run_case(ChannelKind::kNative, interval, reserved);
+      t.row({"native (level-3)", format_time(interval), reserved ? "yes" : "no",
+             unr::bench::us(r.latency_ns), TextTable::num(r.compute_ms, 3)});
+    }
+  }
+  const Result hw = run_case(ChannelKind::kLevel4, 1 * kUs, false);
+  t.row({"level-4 hw offload", "-", "n/a", unr::bench::us(hw.latency_ns),
+         TextTable::num(hw.compute_ms, 3)});
+  std::cout << t;
+  return 0;
+}

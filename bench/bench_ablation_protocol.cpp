@@ -1,0 +1,70 @@
+// Ablation: two-sided protocol crossover (eager vs rendezvous, Fig. 1a/1b).
+//
+// Sweep the eager threshold around a fixed message size to expose the
+// protocol costs: eager pays two copies, rendezvous pays the RTS/CTS
+// handshake but streams zero-copy. The crossover point depends on the
+// platform's memcpy bandwidth vs wire latency — visible across profiles.
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "runtime/world.hpp"
+
+using namespace unr;
+using namespace unr::runtime;
+
+namespace {
+
+double pingpong(const SystemProfile& base, std::size_t size, bool force_eager) {
+  SystemProfile prof = base;
+  prof.eager_threshold = force_eager ? size + 1 : 0;
+  World::Config wc;
+  wc.nodes = 2;
+  wc.ranks_per_node = 1;
+  wc.profile = prof;
+  wc.deterministic_routing = true;
+  World w(wc);
+  const int iters = 20;
+  Time window = 0;
+  w.run([&](Rank& r) {
+    std::vector<std::byte> buf(size);
+    const int peer = 1 - r.id();
+    auto round = [&] {
+      if (r.id() == 0) {
+        r.send(peer, 1, buf.data(), size);
+        r.recv(peer, 1, buf.data(), size);
+      } else {
+        r.recv(peer, 1, buf.data(), size);
+        r.send(peer, 1, buf.data(), size);
+      }
+    };
+    for (int i = 0; i < 3; ++i) round();
+    r.barrier();
+    const Time t0 = r.now();
+    for (int i = 0; i < iters; ++i) round();
+    if (r.id() == 0) window = r.now() - t0;
+  });
+  return static_cast<double>(window) / (2.0 * iters);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opt = unr::bench::Options::parse(argc, argv);
+  unr::bench::banner("Ablation: eager vs rendezvous crossover",
+                     "Fig. 1a/1b protocol costs: copies vs handshake");
+  for (const auto& prof : opt.systems()) {
+    std::cout << "--- " << prof.name << " ---\n";
+    TextTable t;
+    t.header({"size", "eager (us)", "rendezvous (us)", "winner"});
+    for (std::size_t s :
+         std::vector<std::size_t>{512, 4 * KiB, 16 * KiB, 64 * KiB, 512 * KiB}) {
+      const double e = pingpong(prof, s, true);
+      const double v = pingpong(prof, s, false);
+      t.row({format_bytes(s), unr::bench::us(e), unr::bench::us(v),
+             e < v ? "eager" : "rendezvous"});
+    }
+    std::cout << t << "\n";
+  }
+  return 0;
+}

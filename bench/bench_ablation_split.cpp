@@ -1,0 +1,74 @@
+// Ablation: multi-channel message splitting (MMAS sub-messages).
+//
+// Sweep the fragment count K for a single large notified PUT over the two
+// TH-XY NICs: K=1 uses one NIC; K=2 saturates both; larger K adds per-
+// fragment posting overhead without more bandwidth (and exercises the
+// addend encoding a = -1 + ((K-1) << (N+1))).
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "runtime/world.hpp"
+#include "unr/unr.hpp"
+
+using namespace unr;
+using namespace unr::runtime;
+using namespace unr::unrlib;
+
+namespace {
+
+double one_put_time(std::size_t bytes, int force_split) {
+  World::Config wc;
+  wc.nodes = 2;
+  wc.ranks_per_node = 1;
+  wc.profile = make_th_xy();
+  wc.deterministic_routing = true;
+  World w(wc);
+  Unr::Config uc;
+  uc.split_threshold = 1;
+  Unr unr(w, uc);
+  Time done = 0;
+  w.run([&](Rank& r) {
+    std::vector<std::byte> buf(bytes);
+    const MemHandle mh = unr.mem_reg(r.id(), buf.data(), bytes);
+    if (r.id() == 1) {
+      const SigId rsig = unr.sig_init(1, 1);
+      const Blk rblk = unr.blk_init(1, mh, 0, bytes, rsig);
+      r.send(0, 1, &rblk, sizeof rblk);
+      unr.sig_wait(1, rsig);
+      done = r.now();
+    } else {
+      Blk rblk;
+      r.recv(1, 1, &rblk, sizeof rblk);
+      PutOptions opts;
+      opts.force_split = force_split;
+      const Time t0 = r.now();
+      unr.put(0, unr.blk_init(0, mh, 0, bytes), rblk, opts);
+      (void)t0;
+    }
+  });
+  return static_cast<double>(done);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opt = unr::bench::Options::parse(argc, argv);
+  unr::bench::banner("Ablation: fragment count K for one large PUT over 2 NICs",
+                     "K=2 halves the serialization; beyond that only posting "
+                     "overhead grows");
+  std::vector<std::size_t> sizes{256 * KiB, 1 * MiB, 4 * MiB};
+  if (opt.full) sizes.push_back(16 * MiB);
+  TextTable t;
+  std::vector<std::string> hdr{"size"};
+  const std::vector<int> ks{1, 2, 4, 8, 16};
+  for (int k : ks) hdr.push_back("K=" + std::to_string(k) + " (us)");
+  t.header(hdr);
+  for (std::size_t s : sizes) {
+    std::vector<std::string> row{format_bytes(s)};
+    for (int k : ks) row.push_back(unr::bench::us(one_put_time(s, k)));
+    t.row(row);
+  }
+  std::cout << t;
+  return 0;
+}

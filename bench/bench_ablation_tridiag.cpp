@@ -1,0 +1,111 @@
+// Ablation: distributed tridiagonal solver variants (PPE wall direction).
+//
+// The classic PDD (one down + one up message, decoupled 2x2 interface
+// systems) versus the exact reduced sweep (serialized forward + backward
+// elimination). PDD is faster — its messages are concurrent across blocks —
+// but it is APPROXIMATE: the dropped couplings decay with the system's
+// diagonal dominance to the power of the block size. The table shows both
+// the virtual time and the max error against a sequential Thomas solve, for
+// weakly and strongly dominant systems.
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "powerllel/tridiag.hpp"
+#include "powerllel/tridiag_port.hpp"
+#include "runtime/world.hpp"
+
+using namespace unr;
+using namespace unr::powerllel;
+using namespace unr::runtime;
+
+namespace {
+
+struct Result {
+  Time elapsed = 0;
+  double max_err = 0;
+};
+
+Result run_case(int nprocs, std::size_t m, std::size_t nlines, double dominance,
+                TridiagMethod method) {
+  const std::size_t n = m * static_cast<std::size_t>(nprocs);
+  Rng rng(99);
+  std::vector<TridiagLine> lines(nlines, TridiagLine{1.0, 1.0});
+  std::vector<double> gdiag(nlines * n);
+  std::vector<Complex> grhs(nlines * n);
+  for (auto& x : gdiag) x = -(dominance + 0.2 * rng.uniform());
+  for (auto& x : grhs) x = Complex(rng.uniform(-1, 1), rng.uniform(-1, 1));
+  std::vector<Complex> expect = grhs;
+  reference_solve(lines, gdiag, expect.data(), nlines, n);
+
+  World::Config wc;
+  wc.nodes = nprocs;
+  wc.profile = make_th_xy();
+  wc.deterministic_routing = true;
+  World w(wc);
+  Result res;
+  std::vector<double> errs(static_cast<std::size_t>(nprocs), 0.0);
+  w.run([&](Rank& r) {
+    std::vector<int> group(static_cast<std::size_t>(nprocs));
+    for (int i = 0; i < nprocs; ++i) group[static_cast<std::size_t>(i)] = i;
+    auto port = make_mpi_tridiag_port(r, group, r.id(), 100);
+    const std::size_t s = static_cast<std::size_t>(r.id()) * m;
+    std::vector<double> diag(nlines * m);
+    std::vector<Complex> rhs(nlines * m);
+    for (std::size_t l = 0; l < nlines; ++l)
+      for (std::size_t i = 0; i < m; ++i) {
+        diag[l * m + i] = gdiag[l * n + s + i];
+        rhs[l * m + i] = grhs[l * n + s + i];
+      }
+    DistTridiag solver(r.id(), nprocs, m);
+    r.barrier();
+    const Time t0 = r.now();
+    solver.solve(lines, diag, rhs.data(), nlines, port->port(), method);
+    r.barrier();
+    if (r.id() == 0) res.elapsed = r.now() - t0;
+    double err = 0;
+    for (std::size_t l = 0; l < nlines; ++l)
+      for (std::size_t i = 0; i < m; ++i)
+        err = std::max(err, std::abs(rhs[l * m + i] - expect[l * n + s + i]));
+    errs[static_cast<std::size_t>(r.id())] = err;
+  });
+  for (double e : errs) res.max_err = std::max(res.max_err, e);
+  return res;
+}
+
+std::string sci(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.1e", v);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opt = unr::bench::Options::parse(argc, argv);
+  unr::bench::banner(
+      "Ablation: distributed tridiagonal — exact reduced sweep vs PDD",
+      "PDD trades a serialized two-sweep for decoupled neighbor exchanges; "
+      "its error decays with dominance^block-size");
+
+  const std::size_t nlines = 256;
+  const std::size_t m = opt.full ? 64 : 32;
+  TextTable t;
+  t.header({"blocks", "dominance", "exact time (us)", "exact err", "PDD time (us)",
+            "PDD err"});
+  for (int p : {2, 4, 8}) {
+    for (double dom : {2.05, 2.5, 4.0}) {
+      const Result ex = run_case(p, m, nlines, dom, TridiagMethod::kReducedExact);
+      const Result pdd = run_case(p, m, nlines, dom, TridiagMethod::kPddApprox);
+      t.row({std::to_string(p), TextTable::num(dom, 2),
+             unr::bench::us(static_cast<double>(ex.elapsed)), sci(ex.max_err),
+             unr::bench::us(static_cast<double>(pdd.elapsed)), sci(pdd.max_err)});
+    }
+  }
+  std::cout << t;
+  std::cout << "\n(The PPE solver uses the exact sweep by default; PDD is safe\n"
+               " once kx^2+ky^2 lifts the dominance — every mode but (0,0).)\n";
+  return 0;
+}

@@ -1,0 +1,196 @@
+// Figure 5: UNR ping-pong tests with calculation (multi-NIC aggregation).
+//
+// Two process pairs across two TH-XY nodes (2 NICs per node).
+//
+// (a) Synchronous ping-pong with a fixed calculation equal to the one-NIC
+//     transfer time after every reception. Sharing both NICs halves the
+//     transfer, so messages are "received and calculated in advance":
+//     round trip 4T -> 3T, i.e. up to +33% throughput at large sizes.
+// (b) Pipelined stream (credit window of 2) where the receiver computes per
+//     message. With a FIXED calculation equal to the transfer time, CPUs
+//     and NICs are already saturated — sharing cannot help. With
+//     calc ~ N(T, 0.3T), sharing absorbs the imbalance (~+10% at large
+//     sizes): a pair that stalls on a long computation catches up at 2x
+//     bandwidth afterwards.
+#include <array>
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "runtime/world.hpp"
+#include "unr/unr.hpp"
+
+using namespace unr;
+using namespace unr::runtime;
+using namespace unr::unrlib;
+
+namespace {
+
+enum class Mode { kSync, kStream };
+
+/// Aggregate throughput (bytes per virtual us) of the two pairs.
+/// Pair layout: rank 0 (node0) <-> rank 2 (node1), rank 1 <-> rank 3.
+double run_pairs(std::size_t size, int iters, bool shared_nics, Mode mode,
+                 double calc_stddev_factor, std::uint64_t seed) {
+  World::Config wc;
+  wc.nodes = 2;
+  wc.ranks_per_node = 2;
+  wc.profile = make_th_xy();
+  wc.deterministic_routing = true;
+  wc.seed = seed;
+  World w(wc);
+
+  Unr::Config uc;
+  uc.multi_channel = shared_nics;
+  uc.split_threshold = 1 * KiB;
+  Unr unr(w, uc);
+
+  // One-NIC transfer time: the calculation baseline T.
+  const Time t_single = serialize_ns(size, wc.profile.nic_gbps) +
+                        wc.profile.wire_latency + wc.profile.nic_overhead;
+
+  Time elapsed = 0;
+  w.run([&](Rank& r) {
+    Rng rng(seed * 977 + static_cast<std::uint64_t>(r.id()));
+    const int peer = (r.id() + 2) % 4;
+    PutOptions opts;
+    if (!shared_nics) opts.nic = r.id() % 2;  // pin: one NIC per process
+
+    auto calc = [&] {
+      double t = static_cast<double>(t_single);
+      if (calc_stddev_factor > 0) t = rng.normal(t, calc_stddev_factor * t);
+      if (t < 0) t = 0;
+      r.compute(static_cast<Time>(t), 1);
+    };
+
+    if (mode == Mode::kSync) {
+      std::vector<std::byte> buf(size);
+      const MemHandle mh = unr.mem_reg(r.id(), buf.data(), size);
+      const SigId rsig = unr.sig_init(r.id(), 1);
+      const Blk my_blk = unr.blk_init(r.id(), mh, 0, size, rsig);
+      Blk peer_blk;
+      r.sendrecv(peer, 1, &my_blk, sizeof my_blk, peer, 1, &peer_blk, sizeof peer_blk);
+      const Blk send_blk = unr.blk_init(r.id(), mh, 0, size);
+      auto rounds = [&](int n) {
+        for (int i = 0; i < n; ++i) {
+          if (r.id() < 2) {
+            unr.put(r.id(), send_blk, peer_blk, opts);
+            unr.sig_wait(r.id(), rsig);
+            unr.sig_reset(r.id(), rsig);
+            calc();
+          } else {
+            unr.sig_wait(r.id(), rsig);
+            unr.sig_reset(r.id(), rsig);
+            calc();
+            unr.put(r.id(), send_blk, peer_blk, opts);
+          }
+        }
+      };
+      rounds(2);
+      r.barrier();
+      const Time t0 = r.now();
+      rounds(iters);
+      r.barrier();
+      if (r.id() == 0) elapsed = r.now() - t0;
+      return;
+    }
+
+    // kStream: rank<2 produce, rank>=2 consume; credit window of 2 slots.
+    constexpr int kSlots = 2;
+    std::vector<std::byte> data(kSlots * size);
+    std::vector<std::byte> credits(kSlots);
+    const MemHandle dmh = unr.mem_reg(r.id(), data.data(), data.size());
+    const MemHandle cmh = unr.mem_reg(r.id(), credits.data(), credits.size());
+    std::array<SigId, kSlots> dsig{}, csig{};
+    std::array<Blk, kSlots> my_data{}, my_credit{}, peer_data{}, peer_credit{};
+    for (int s = 0; s < kSlots; ++s) {
+      dsig[s] = unr.sig_init(r.id(), 1);
+      csig[s] = unr.sig_init(r.id(), 1);
+      my_data[s] = unr.blk_init(r.id(), dmh, static_cast<std::size_t>(s) * size, size,
+                                dsig[s]);
+      my_credit[s] = unr.blk_init(r.id(), cmh, static_cast<std::size_t>(s), 1, csig[s]);
+    }
+    // Exchange handles (data blks to the producer, credit blks to the consumer).
+    std::vector<RequestPtr> reqs;
+    reqs.push_back(r.irecv(peer, 2, peer_data.data(), sizeof peer_data));
+    reqs.push_back(r.irecv(peer, 3, peer_credit.data(), sizeof peer_credit));
+    reqs.push_back(r.isend(peer, 2, my_data.data(), sizeof my_data));
+    reqs.push_back(r.isend(peer, 3, my_credit.data(), sizeof my_credit));
+    r.wait_all(reqs);
+
+    r.barrier();
+    const Time t0 = r.now();
+    if (r.id() < 2) {  // producer
+      for (int i = 0; i < iters; ++i) {
+        const int s = i % kSlots;
+        if (i >= kSlots) {
+          unr.sig_wait(r.id(), csig[s]);
+          unr.sig_reset(r.id(), csig[s]);
+        }
+        unr.put(r.id(), unr.blk_init(r.id(), dmh, static_cast<std::size_t>(s) * size,
+                                     size),
+                peer_data[static_cast<std::size_t>(s)], opts);
+      }
+    } else {  // consumer
+      for (int i = 0; i < iters; ++i) {
+        const int s = i % kSlots;
+        unr.sig_wait(r.id(), dsig[s]);
+        unr.sig_reset(r.id(), dsig[s]);
+        calc();
+        unr.put(r.id(), unr.blk_init(r.id(), cmh, static_cast<std::size_t>(s), 1),
+                peer_credit[static_cast<std::size_t>(s)], PutOptions{});
+      }
+    }
+    r.barrier();
+    if (r.id() == 0) elapsed = r.now() - t0;
+  });
+
+  const std::uint64_t moved = mode == Mode::kSync
+                                  ? static_cast<std::uint64_t>(iters) * 2 * 2 * size
+                                  : static_cast<std::uint64_t>(iters) * 2 * size;
+  return static_cast<double>(moved) / (static_cast<double>(elapsed) / 1000.0);
+}
+
+std::string mib_s(double bytes_per_us) {
+  return TextTable::num(bytes_per_us * 1e6 / (1024.0 * 1024.0), 1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opt = unr::bench::Options::parse(argc, argv);
+  const int iters = opt.full ? 80 : 30;
+  std::vector<std::size_t> sizes{16 * KiB, 64 * KiB, 256 * KiB, 1 * MiB, 4 * MiB};
+  if (opt.full) sizes.push_back(16 * MiB);
+
+  unr::bench::banner(
+      "Figure 5: UNR ping-pong with calculation on TH-XY (2 nodes x 2 NICs)",
+      "(a) sync ping-pong, calc = T: sharing -> up to +33%; (b) pipelined "
+      "stream: fixed calc ~ 0%, calc ~ N(T,0.3T) -> ~+10% at large sizes");
+
+  std::cout << "--- (a) synchronous ping-pong, fixed calc = one-NIC transfer time ---\n";
+  TextTable ta;
+  ta.header({"size", "exclusive (MiB/s)", "shared (MiB/s)", "improvement"});
+  for (std::size_t s : sizes) {
+    const double e = run_pairs(s, iters, false, Mode::kSync, 0.0, 1);
+    const double h = run_pairs(s, iters, true, Mode::kSync, 0.0, 1);
+    ta.row({format_bytes(s), mib_s(e), mib_s(h), TextTable::pct(h / e - 1.0)});
+  }
+  std::cout << ta << "\n";
+
+  std::cout << "--- (b) pipelined stream, window 2 ---\n";
+  TextTable tb;
+  tb.header({"size", "fixed calc: excl", "fixed: shared", "fixed improv.",
+             "noisy calc: excl", "noisy: shared", "noisy improv."});
+  for (std::size_t s : sizes) {
+    const double fe = run_pairs(s, iters, false, Mode::kStream, 0.0, 3);
+    const double fh = run_pairs(s, iters, true, Mode::kStream, 0.0, 3);
+    const double ne = run_pairs(s, iters, false, Mode::kStream, 0.3, 3);
+    const double nh = run_pairs(s, iters, true, Mode::kStream, 0.3, 3);
+    tb.row({format_bytes(s), mib_s(fe), mib_s(fh), TextTable::pct(fh / fe - 1.0),
+            mib_s(ne), mib_s(nh), TextTable::pct(nh / ne - 1.0)});
+  }
+  std::cout << tb << "\n";
+  return 0;
+}

@@ -1,0 +1,109 @@
+// google-benchmark micro suite: real wall-time costs of UNR's hot data
+// structures and numeric kernels (these run on the host CPU, independent of
+// the virtual clock).
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "fabric/completion.hpp"
+#include "fabric/custom_bits.hpp"
+#include "powerllel/fft.hpp"
+#include "powerllel/tridiag.hpp"
+#include "unr/channel.hpp"
+#include "unr/signal.hpp"
+
+namespace {
+
+using unr::unrlib::Signal;
+
+void BM_SignalApplySingle(benchmark::State& state) {
+  Signal s(1u << 20, 32);
+  std::int64_t n = 0;
+  for (auto _ : state) {
+    s.apply(-1);
+    benchmark::DoNotOptimize(n += s.counter());
+    if (s.triggered()) s.reset();
+  }
+}
+BENCHMARK(BM_SignalApplySingle);
+
+void BM_SignalApplyFragmented(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  Signal s(1u << 20, 32);
+  const std::int64_t lead = Signal::lead_addend(k, 32);
+  const std::int64_t follow = Signal::follow_addend(32);
+  for (auto _ : state) {
+    s.apply(lead);
+    for (int i = 1; i < k; ++i) s.apply(follow);
+    if (s.triggered()) s.reset();
+  }
+}
+BENCHMARK(BM_SignalApplyFragmented)->Arg(2)->Arg(4)->Arg(16);
+
+void BM_AddendEncodeDecode(benchmark::State& state) {
+  std::int64_t acc = 0;
+  for (auto _ : state) {
+    for (int k = 2; k <= 16; ++k) {
+      const std::int64_t a = Signal::lead_addend(k, 32);
+      acc += Signal::decode_addend(Signal::encode_addend(a, 32), 32);
+    }
+  }
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_AddendEncodeDecode);
+
+void BM_NotificationWireEncode(benchmark::State& state) {
+  const int width = static_cast<int>(state.range(0));
+  unr::fabric::CustomBits bits;
+  std::uint64_t idx = 0;
+  std::int64_t code = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        unr::unrlib::encode_notification(width, 20, 123, 3, bits));
+    unr::unrlib::decode_notification(width, 20, bits, idx, code);
+    benchmark::DoNotOptimize(idx + static_cast<std::uint64_t>(code));
+  }
+}
+BENCHMARK(BM_NotificationWireEncode)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_CompletionQueue(benchmark::State& state) {
+  unr::fabric::CompletionQueue q(4096);
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) (void)q.push({});
+    while (!q.empty()) benchmark::DoNotOptimize(q.pop());
+  }
+}
+BENCHMARK(BM_CompletionQueue);
+
+void BM_Fft(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  unr::Rng rng(1);
+  std::vector<unr::powerllel::Complex> x(n);
+  for (auto& v : x) v = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  for (auto _ : state) {
+    unr::powerllel::fft_inplace(x.data(), n, false);
+    benchmark::DoNotOptimize(x[0]);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_Fft)->Arg(64)->Arg(512)->Arg(4096);
+
+void BM_Thomas(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> b(n, -3.0);
+  unr::Rng rng(2);
+  std::vector<unr::powerllel::Complex> d0(n);
+  for (auto& v : d0) v = {rng.uniform(-1, 1), 0.0};
+  for (auto _ : state) {
+    auto d = d0;
+    unr::powerllel::thomas_inplace(1.0, b, 1.0, d);
+    benchmark::DoNotOptimize(d[0]);
+  }
+}
+BENCHMARK(BM_Thomas)->Arg(64)->Arg(1024);
+
+}  // namespace
+
+BENCHMARK_MAIN();

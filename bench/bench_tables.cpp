@@ -1,0 +1,73 @@
+// Tables I and II of the paper, regenerated from the implementation:
+//   Table I  — UNR support levels and their implementation specifications
+//   Table II — the custom-bit survey of six interface families, with the
+//              support level DERIVED by unrlib::classify (not hard-coded)
+// plus Table III, the platform cost models used by every other benchmark.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "fabric/personality.hpp"
+#include "unr/support_level.hpp"
+
+using namespace unr;
+using namespace unr::unrlib;
+
+namespace {
+
+std::string bits_str(int b) { return b < 0 ? "Hash" : std::to_string(b); }
+
+void print_table1() {
+  bench::banner("Table I: UNR Support Levels", "levels 0-4 by remote-PUT custom bits");
+  TextTable t;
+  t.header({"Level", "PUT bits at remote", "Implementation specification",
+            "Suggestion for users"});
+  const char* widths[] = {"0", "8, 16", "32", "64, 128", "128 + hw add"};
+  for (int l = 0; l <= 4; ++l) {
+    const auto lvl = static_cast<SupportLevel>(l);
+    t.row({support_level_name(lvl), widths[l], support_level_spec(lvl),
+           support_level_suggestion(lvl)});
+  }
+  std::cout << t;
+}
+
+void print_table2() {
+  bench::banner("Table II: UNR Support Level of High-Performance NICs",
+                "support level derived from the custom-bit widths");
+  TextTable t;
+  t.header({"Interface", "HPC Interconnect", "PUT local", "PUT remote", "GET local",
+            "GET remote", "UNR Support Level"});
+  for (const auto& p : fabric::all_personalities()) {
+    std::string put_local = bits_str(p.put_local_bits);
+    std::string put_remote = bits_str(p.put_remote_bits);
+    if (p.shared_put_bits) put_local = put_remote = std::to_string(p.put_local_bits) + " (shared)";
+    t.row({interface_name(p.iface), p.hpc_interconnect, put_local, put_remote,
+           bits_str(p.get_local_bits), bits_str(p.get_remote_bits),
+           support_level_name(classify(p))});
+  }
+  std::cout << t;
+}
+
+void print_table3() {
+  bench::banner("Table III: Experiment platform cost models",
+                "simulator stand-ins for the four evaluation systems");
+  TextTable t;
+  t.header({"System", "NICs/node", "Gbps/NIC", "wire lat", "sw overhead",
+            "memcpy Gbps", "cores", "Interface"});
+  for (const auto& p : all_system_profiles()) {
+    t.row({p.name, std::to_string(p.nics_per_node), TextTable::num(p.nic_gbps, 0),
+           format_time(p.wire_latency), format_time(p.sw_overhead),
+           TextTable::num(p.memcpy_gbps, 0), std::to_string(p.cores_per_node),
+           interface_name(p.iface)});
+  }
+  std::cout << t;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  (void)bench::Options::parse(argc, argv);
+  print_table1();
+  print_table2();
+  print_table3();
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Shared helpers for the benchmark harnesses.
+#pragma once
+
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/profile.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+
+namespace unr::bench {
+
+/// Tiny flag parser: --quick (default scale), --full (paper-scale where
+/// feasible), --system=NAME (restrict to one platform).
+struct Options {
+  bool full = false;
+  std::string system;
+
+  static Options parse(int argc, char** argv) {
+    Options o;
+    for (int i = 1; i < argc; ++i) {
+      const std::string a = argv[i];
+      if (a == "--full") o.full = true;
+      else if (a == "--quick") o.full = false;
+      else if (a.rfind("--system=", 0) == 0) o.system = a.substr(9);
+      else if (a == "--help" || a == "-h") {
+        std::cout << "flags: --quick (default) | --full | --system=NAME\n";
+        std::exit(0);
+      }
+    }
+    return o;
+  }
+
+  std::vector<unr::SystemProfile> systems() const {
+    if (system.empty()) return unr::all_system_profiles();
+    return {unr::system_profile(system)};
+  }
+};
+
+inline void banner(const std::string& title, const std::string& paper_note) {
+  std::cout << "\n==== " << title << " ====\n";
+  if (!paper_note.empty()) std::cout << "paper: " << paper_note << "\n";
+  std::cout << "\n";
+}
+
+inline std::string us(double ns) { return TextTable::num(ns / 1000.0, 2); }
+
+}  // namespace unr::bench

@@ -1,0 +1,87 @@
+// Example: pipelined all-to-all with the MPI conversion interfaces
+// (paper Fig. 3e / Code 3).
+//
+// A group of ranks repeatedly transposes a distributed matrix (the
+// communication core of an FFT pencil transpose). The setup phase calls
+// alltoallv_convert once — it exchanges all BLK handles and records the
+// PUTs into a Plan. The main loop is then just Plan::start() + two signal
+// waits; no address arithmetic, no synchronization calls.
+//
+// Build & run:  ./examples/pipeline_transpose
+#include <cstdio>
+#include <vector>
+
+#include "runtime/world.hpp"
+#include "unr/convert.hpp"
+#include "unr/unr.hpp"
+
+using namespace unr;
+using namespace unr::runtime;
+using namespace unr::unrlib;
+
+namespace {
+constexpr int kRanks = 4;
+constexpr std::size_t kBlockInts = 256;  // ints per (src, dst) block
+constexpr int kIters = 6;
+}  // namespace
+
+int main() {
+  World::Config wc;
+  wc.nodes = kRanks;
+  wc.profile = make_th_xy();
+  World w(wc);
+  Unr unr(w);
+
+  int all_good = 0;
+  w.run([&](Rank& r) {
+    const auto p = static_cast<std::size_t>(kRanks);
+    std::vector<int> send(p * kBlockInts), recv(p * kBlockInts);
+    std::vector<std::size_t> counts(p, kBlockInts * sizeof(int)), displs(p);
+    for (std::size_t d = 0; d < p; ++d) displs[d] = d * kBlockInts * sizeof(int);
+
+    const MemHandle smh = unr.mem_reg(r.id(), send.data(), send.size() * sizeof(int));
+    const MemHandle rmh = unr.mem_reg(r.id(), recv.data(), recv.size() * sizeof(int));
+    // One aggregated signal each: "all my sends are out" / "all blocks are in".
+    const SigId send_sig = unr.sig_init(r.id(), kRanks);
+    const SigId recv_sig = unr.sig_init(r.id(), kRanks);
+
+    // Setup once: exchange all BLK handles, record the transmissions.
+    auto plan = unr.make_plan(r.id());
+    alltoallv_convert(unr, r, smh, counts, displs, rmh, counts, displs, send_sig,
+                      recv_sig, *plan);
+
+    int good_iters = 0;
+    for (int it = 0; it < kIters; ++it) {
+      for (std::size_t d = 0; d < p; ++d)
+        for (std::size_t i = 0; i < kBlockInts; ++i)
+          send[d * kBlockInts + i] = it * 1000 + r.id() * 10 + static_cast<int>(d);
+
+      plan->start();                 // replay every recorded PUT
+      unr.sig_wait(r.id(), send_sig);
+      unr.sig_wait(r.id(), recv_sig);
+
+      bool good = true;
+      for (std::size_t s = 0; s < p; ++s)
+        for (std::size_t i = 0; i < kBlockInts; ++i)
+          if (recv[s * kBlockInts + i] !=
+              it * 1000 + static_cast<int>(s) * 10 + r.id())
+            good = false;
+      if (good) ++good_iters;
+
+      unr.sig_reset(r.id(), send_sig);
+      unr.sig_reset(r.id(), recv_sig);
+      // The collective structure itself pre-synchronizes the next iteration:
+      // everyone participated in this one (Section V-A).
+      r.barrier();
+    }
+    if (r.id() == 0) all_good = good_iters;
+  });
+
+  std::printf("pipeline_transpose: %d ranks, %d iterations, %zu-int blocks\n", kRanks,
+              kIters, kBlockInts);
+  std::printf("  plan size per rank: %d puts + 1 local copy\n", kRanks - 1);
+  std::printf("  verified iterations: %d/%d  -> %s\n", all_good, kIters,
+              all_good == kIters ? "OK" : "MISMATCH");
+  std::printf("  virtual time: %s\n", format_time(w.elapsed()).c_str());
+  return all_good == kIters ? 0 : 1;
+}

@@ -1,0 +1,114 @@
+// Quickstart: the paper's Code 1 -> Code 2 migration, runnable.
+//
+// A producer repeatedly sends a buffer to a consumer. First the classical
+// two-sided version (Code 1), then the UNR version (Code 2): registered
+// memory, transportable BLK handles instead of remote-offset arithmetic,
+// notified PUT, and the bug-avoiding signal discipline
+// (wait -> use -> reset after the buffer is ready again).
+//
+// Build & run:  ./examples/quickstart
+#include <cstdio>
+#include <numeric>
+#include <vector>
+
+#include "runtime/world.hpp"
+#include "unr/unr.hpp"
+
+using namespace unr;
+using namespace unr::runtime;
+using namespace unr::unrlib;
+
+namespace {
+
+constexpr int kIters = 10;
+constexpr std::size_t kCount = 1024;  // doubles per message
+
+/// Code 1: plain MPI-style two-sided communication.
+Time run_two_sided(const SystemProfile& prof) {
+  World::Config wc;
+  wc.profile = prof;
+  World w(wc);
+  w.run([&](Rank& r) {
+    std::vector<double> buf(kCount);
+    for (int it = 0; it < kIters; ++it) {
+      if (r.id() == 0) {
+        std::iota(buf.begin(), buf.end(), static_cast<double>(it));
+        r.send(1, 0, buf.data(), buf.size() * sizeof(double));
+        char ack;  // consumer paces the producer in both versions
+        r.recv(1, 1, &ack, 1);
+      } else {
+        r.recv(0, 0, buf.data(), buf.size() * sizeof(double));
+        char ack = 1;
+        r.send(0, 1, &ack, 1);
+      }
+    }
+  });
+  return w.elapsed();
+}
+
+/// Code 2: the same exchange through UNR notified PUT.
+Time run_unr(const SystemProfile& prof) {
+  World::Config wc;
+  wc.profile = prof;
+  World w(wc);
+  Unr unr(w);
+  bool ok = true;
+  w.run([&](Rank& r) {
+    std::vector<double> buf(kCount);
+
+    if (r.id() == 0) {  // sender
+      const MemHandle mr = unr.mem_reg(0, buf.data(), kCount * sizeof(double));
+      const SigId send_sig = unr.sig_init(0, 1);  // trigger after 1 event
+      const Blk send_blk = unr.blk_init(0, mr, 0, kCount * sizeof(double), send_sig);
+      Blk rmt_blk;  // the receiver ships its receive address once, up front
+      r.recv(1, 0, &rmt_blk, sizeof rmt_blk);
+
+      for (int it = 0; it < kIters; ++it) {
+        std::iota(buf.begin(), buf.end(), static_cast<double>(it));
+        unr.put(0, send_blk, rmt_blk);
+        unr.sig_wait(0, send_sig);   // local completion: buffer reusable
+        unr.sig_reset(0, send_sig);
+        // Pre-synchronization for the next overwrite of the remote buffer
+        // hides in the consumer's ack (Section V-A).
+        char ack;
+        r.recv(1, 1, &ack, 1);
+      }
+    } else {  // receiver
+      const MemHandle mr = unr.mem_reg(1, buf.data(), kCount * sizeof(double));
+      const SigId recv_sig = unr.sig_init(1, 1);
+      const Blk recv_blk = unr.blk_init(1, mr, 0, kCount * sizeof(double), recv_sig);
+      r.send(0, 0, &recv_blk, sizeof recv_blk);
+
+      for (int it = 0; it < kIters; ++it) {
+        unr.sig_wait(1, recv_sig);          // data is here, consume it
+        if (buf[0] != it || buf[kCount - 1] != it + kCount - 1.0) ok = false;
+        unr.sig_reset(1, recv_sig);         // AFTER the buffer is ready again
+        char ack = 1;
+        r.send(0, 1, &ack, 1);
+      }
+    }
+  });
+  std::printf("  data verified on every iteration: %s\n", ok ? "yes" : "NO");
+  return w.elapsed();
+}
+
+}  // namespace
+
+int main() {
+  const SystemProfile prof = make_th_xy();
+  std::printf("UNR quickstart on the %s profile (%d iterations, %zu KiB messages)\n\n",
+              prof.name.c_str(), kIters, kCount * sizeof(double) / 1024);
+
+  std::printf("Code 1 — two-sided MPI send/recv:\n");
+  const Time t1 = run_two_sided(prof);
+  std::printf("  virtual time: %s\n\n", format_time(t1).c_str());
+
+  std::printf("Code 2 — UNR notified PUT with BLK handles and signals:\n");
+  const Time t2 = run_unr(prof);
+  std::printf("  virtual time: %s\n\n", format_time(t2).c_str());
+
+  std::printf("(The UNR loop performs zero remote-offset arithmetic and no\n"
+              " explicit post-synchronization; sig_reset doubles as the\n"
+              " synchronization-error detector.)\n");
+  return 0;
+}

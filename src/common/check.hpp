@@ -1,0 +1,38 @@
+// Assertion helpers used across the library.
+//
+// UNR_CHECK is always on (release included): the simulator's invariants are
+// cheap relative to event dispatch, and silent corruption of virtual time or
+// counters would invalidate every measurement downstream.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace unr {
+
+[[noreturn]] inline void check_fail(const char* expr, const char* file, int line,
+                                    const std::string& msg) {
+  std::ostringstream os;
+  os << "UNR_CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace unr
+
+#define UNR_CHECK(expr)                                              \
+  do {                                                               \
+    if (!(expr)) ::unr::check_fail(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define UNR_CHECK_MSG(expr, msg)                                  \
+  do {                                                            \
+    if (!(expr)) {                                                \
+      std::ostringstream os_;                                     \
+      os_ << msg;                                                 \
+      ::unr::check_fail(#expr, __FILE__, __LINE__, os_.str());    \
+    }                                                             \
+  } while (0)

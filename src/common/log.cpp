@@ -1,0 +1,39 @@
+#include "common/log.hpp"
+
+#include <cstdio>
+
+namespace unr {
+namespace {
+
+LogLevel g_level = LogLevel::kWarn;
+WarnHandler g_warn_handler;
+
+const char* level_tag(LogLevel l) {
+  switch (l) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() { return g_level; }
+
+void log_message(LogLevel level, const std::string& msg) {
+  if (level < g_level) return;
+  std::fprintf(stderr, "[unr %s] %s\n", level_tag(level), msg.c_str());
+}
+
+void set_warn_handler(WarnHandler handler) { g_warn_handler = std::move(handler); }
+
+void log_warn(const std::string& msg) {
+  if (g_warn_handler) g_warn_handler(msg);
+  log_message(LogLevel::kWarn, msg);
+}
+
+}  // namespace unr

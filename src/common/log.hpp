@@ -1,0 +1,31 @@
+// Minimal leveled logging plus an interceptable warning channel.
+//
+// UNR's bug-avoiding interfaces (Section IV-D of the paper) report suspected
+// synchronization errors as warnings; tests install a handler to assert that
+// the detector fires (or stays silent).
+#pragma once
+
+#include <functional>
+#include <string>
+
+namespace unr {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+void log_message(LogLevel level, const std::string& msg);
+
+inline void log_debug(const std::string& m) { log_message(LogLevel::kDebug, m); }
+inline void log_info(const std::string& m) { log_message(LogLevel::kInfo, m); }
+inline void log_error(const std::string& m) { log_message(LogLevel::kError, m); }
+
+/// Warnings additionally go through a replaceable handler (used by tests to
+/// capture UNR's synchronization-error diagnostics). The handler runs before
+/// the normal log output; returning is always safe.
+using WarnHandler = std::function<void(const std::string&)>;
+void set_warn_handler(WarnHandler handler);  ///< pass nullptr to reset
+void log_warn(const std::string& msg);
+
+}  // namespace unr

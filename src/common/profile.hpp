@@ -1,0 +1,78 @@
+// System profiles: the four evaluation platforms of the paper (Table III)
+// expressed as simulator cost models, plus the low-level interface family
+// each one exposes (Table II).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace unr {
+
+/// Low-level network programming interface families surveyed in Table II.
+enum class Interface {
+  kGlex,     ///< TH Express (Tianhe): 128-bit custom bits everywhere -> level 3
+  kVerbs,    ///< InfiniBand / RoCE / Slingshot: 32-bit remote immediate -> level 2
+  kUtofu,    ///< Fugaku Tofu: 8-bit remote -> level 1
+  kUgni,     ///< Cray Aries: 32-bit -> level 2
+  kPami,     ///< Blue Gene/Q: 64-bit shared -> level 2
+  kPortals,  ///< SeaStar: 64-bit remote, hash at local -> level 3
+};
+
+const char* interface_name(Interface i);
+
+/// Cost model for one evaluation platform. Every quantity that the paper's
+/// results depend on (NIC count, bandwidth, latency, software overheads,
+/// core counts) is explicit here; DESIGN.md documents how each knob maps to
+/// the real system it stands in for.
+struct SystemProfile {
+  std::string name;
+  std::string description;
+
+  // --- Topology / hardware ---
+  int nics_per_node = 1;
+  double nic_gbps = 100.0;      ///< per-NIC link bandwidth
+  Time wire_latency = 1100;     ///< one-way wire+switch latency (ns)
+  Time nic_overhead = 250;      ///< per-message NIC processing before the wire (ns)
+  Time jitter = 0;              ///< adaptive-routing jitter amplitude (ns, uniform)
+  int cores_per_node = 18;
+  Interface iface = Interface::kVerbs;
+
+  // --- Software cost model ---
+  double memcpy_gbps = 96.0;    ///< host memory copy bandwidth (eager/fallback copies)
+  Time sw_overhead = 400;       ///< per-message software stack cost, two-sided path (ns)
+  Time rma_post_overhead = 120; ///< per-operation cost to post an RMA descriptor (ns)
+  /// Extra per-operation software cost of UNR's MPI-fallback channel on this
+  /// platform (emulating notified RMA over the vendor MPI: progress-thread
+  /// wakeups, request bookkeeping). Calibrated against Fig. 6 — see
+  /// EXPERIMENTS.md; 0 on platforms with a lean MPI emulation path.
+  Time fallback_extra_sw = 0;
+  std::size_t eager_threshold = 8 * KiB;
+  std::size_t max_frag = 1 * MiB;  ///< NIC fragments larger transfers internally
+
+  // --- Completion-queue behaviour ---
+  std::size_t cq_depth = 4096;  ///< remote completion queue entries per NIC
+  Time cq_retry_delay = 2000;   ///< NACK/retry delay when a remote CQ is full (ns)
+
+  // --- Application compute cost (mini-PowerLLEL) ---
+  double compute_ns_per_cell = 2.0;  ///< per grid cell per kernel at one core
+
+  /// Time to copy `bytes` through host memory.
+  Time memcpy_time(std::size_t bytes) const { return serialize_ns(bytes, memcpy_gbps); }
+};
+
+/// The four platforms of Table III.
+SystemProfile make_th_xy();
+SystemProfile make_th_2a();
+SystemProfile make_hpc_ib();
+SystemProfile make_hpc_roce();
+
+/// All four, in the paper's order.
+std::vector<SystemProfile> all_system_profiles();
+
+/// Look up by name ("TH-XY", "TH-2A", "HPC-IB", "HPC-RoCE"); throws if unknown.
+SystemProfile system_profile(const std::string& name);
+
+}  // namespace unr

@@ -1,0 +1,47 @@
+// Deterministic random number generation for the simulator.
+//
+// xoshiro256** — fast, high-quality, and (unlike std::mt19937 +
+// std::*_distribution) produces identical streams on every platform and
+// standard library, which keeps simulation runs bit-reproducible.
+#pragma once
+
+#include <cstdint>
+
+namespace unr {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) { reseed(seed); }
+
+  void reseed(std::uint64_t seed);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next();
+
+  /// Uniform in [0, 1).
+  double uniform();
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  std::uint64_t below(std::uint64_t n) { return next() % n; }
+
+  /// Standard normal via Box-Muller (deterministic, no cached spare so the
+  /// stream position is a pure function of call count).
+  double normal();
+
+  /// Normal with given mean and standard deviation.
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+  /// Exponential with given mean.
+  double exponential(double mean);
+
+  /// Fork a statistically independent stream (e.g. one per NIC).
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace unr

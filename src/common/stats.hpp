@@ -1,0 +1,64 @@
+// Small statistics helpers for benchmarks and internal accounting.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace unr {
+
+/// Streaming mean/variance/min/max (Welford).
+class OnlineStats {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  void reset() { *this = OnlineStats{}; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Stores all samples; supports exact percentiles. Intended for benchmark
+/// sample counts (thousands), not production telemetry.
+class Samples {
+ public:
+  void add(double x) { xs_.push_back(x); }
+  std::size_t count() const { return xs_.size(); }
+  double mean() const;
+  double percentile(double p) const;  ///< p in [0, 100]
+  double median() const { return percentile(50.0); }
+  double min() const { return percentile(0.0); }
+  double max() const { return percentile(100.0); }
+  void clear() { xs_.clear(); }
+
+ private:
+  mutable std::vector<double> xs_;
+  mutable bool sorted_ = false;
+  void ensure_sorted() const;
+};
+
+/// Fixed-boundary histogram (log2 buckets) for event-size/latency summaries.
+class Log2Histogram {
+ public:
+  void add(std::uint64_t v);
+  std::size_t bucket_count() const { return buckets_.size(); }
+  std::uint64_t bucket(std::size_t i) const { return buckets_[i]; }
+  std::uint64_t total() const { return total_; }
+  /// Lower bound of bucket i (1 << i, bucket 0 holds values 0 and 1).
+  static std::uint64_t bucket_floor(std::size_t i) { return i == 0 ? 0 : (1ull << i); }
+
+ private:
+  std::vector<std::uint64_t> buckets_ = std::vector<std::uint64_t>(64, 0);
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace unr

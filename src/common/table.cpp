@@ -1,0 +1,72 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+namespace unr {
+
+namespace {
+const std::string kSepMagic = "\x01sep";
+}
+
+void TextTable::header(std::vector<std::string> cells) { header_ = std::move(cells); }
+
+void TextTable::row(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::separator() { rows_.push_back({kSepMagic}); }
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> w(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c) w[c] = header_[c].size();
+  for (const auto& r : rows_) {
+    if (!r.empty() && r[0] == kSepMagic) continue;
+    for (std::size_t c = 0; c < r.size() && c < w.size(); ++c)
+      w[c] = std::max(w[c], r[c].size());
+  }
+  auto print_sep = [&] {
+    for (std::size_t c = 0; c < w.size(); ++c) {
+      os << '+' << std::string(w[c] + 2, '-');
+    }
+    os << "+\n";
+  };
+  auto print_row = [&](const std::vector<std::string>& r) {
+    for (std::size_t c = 0; c < w.size(); ++c) {
+      const std::string& cell = c < r.size() ? r[c] : std::string{};
+      os << "| " << cell << std::string(w[c] - cell.size() + 1, ' ');
+    }
+    os << "|\n";
+  };
+  print_sep();
+  print_row(header_);
+  print_sep();
+  for (const auto& r : rows_) {
+    if (!r.empty() && r[0] == kSepMagic)
+      print_sep();
+    else
+      print_row(r);
+  }
+  print_sep();
+}
+
+std::string TextTable::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string TextTable::pct(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%+.*f%%", precision, fraction * 100.0);
+  return buf;
+}
+
+std::ostream& operator<<(std::ostream& os, const TextTable& t) {
+  t.print(os);
+  return os;
+}
+
+}  // namespace unr

@@ -1,0 +1,32 @@
+// Column-aligned text tables for benchmark output.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace unr {
+
+class TextTable {
+ public:
+  /// Set the header row; column count is fixed by it.
+  void header(std::vector<std::string> cells);
+  /// Append a data row (padded/truncated to the header width).
+  void row(std::vector<std::string> cells);
+  /// Insert a horizontal separator at the current position.
+  void separator();
+  void print(std::ostream& os) const;
+
+  /// Formatting helpers.
+  static std::string num(double v, int precision = 2);
+  static std::string pct(double fraction, int precision = 1);  ///< 0.36 -> "36.0%"
+
+ private:
+  std::vector<std::string> header_;
+  // A row with the single magic cell "\x01sep" renders as a separator.
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::ostream& operator<<(std::ostream& os, const TextTable& t);
+
+}  // namespace unr

@@ -1,0 +1,56 @@
+// Time and size units. Virtual time is integer nanoseconds throughout.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace unr {
+
+/// Virtual time in nanoseconds. The simulation clock is integral so that
+/// event ordering is exact and runs are bit-reproducible.
+using Time = std::uint64_t;
+
+inline constexpr Time kNs = 1;
+inline constexpr Time kUs = 1000;
+inline constexpr Time kMs = 1000 * kUs;
+inline constexpr Time kSec = 1000 * kMs;
+
+inline constexpr std::size_t KiB = 1024;
+inline constexpr std::size_t MiB = 1024 * KiB;
+inline constexpr std::size_t GiB = 1024 * MiB;
+
+/// Bytes per nanosecond for a link of `gbps` gigabits per second.
+/// (1 Gbps = 0.125 bytes/ns.)
+inline constexpr double gbps_to_bytes_per_ns(double gbps) { return gbps * 0.125; }
+
+/// Time to serialize `bytes` onto a link of `gbps`.
+inline Time serialize_ns(std::size_t bytes, double gbps) {
+  return static_cast<Time>(static_cast<double>(bytes) / gbps_to_bytes_per_ns(gbps));
+}
+
+inline std::string format_bytes(std::size_t n) {
+  char buf[64];
+  if (n >= MiB && n % MiB == 0)
+    std::snprintf(buf, sizeof buf, "%zuMiB", n / MiB);
+  else if (n >= KiB && n % KiB == 0)
+    std::snprintf(buf, sizeof buf, "%zuKiB", n / KiB);
+  else
+    std::snprintf(buf, sizeof buf, "%zuB", n);
+  return buf;
+}
+
+inline std::string format_time(Time ns) {
+  char buf[64];
+  if (ns >= kSec)
+    std::snprintf(buf, sizeof buf, "%.3fs", static_cast<double>(ns) / kSec);
+  else if (ns >= kMs)
+    std::snprintf(buf, sizeof buf, "%.3fms", static_cast<double>(ns) / kMs);
+  else if (ns >= kUs)
+    std::snprintf(buf, sizeof buf, "%.2fus", static_cast<double>(ns) / kUs);
+  else
+    std::snprintf(buf, sizeof buf, "%luns", static_cast<unsigned long>(ns));
+  return buf;
+}
+
+}  // namespace unr

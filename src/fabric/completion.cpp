@@ -1,0 +1,3 @@
+// CompletionQueue is header-only; this TU anchors the library and keeps a
+// single definition point for future out-of-line growth.
+#include "fabric/completion.hpp"

@@ -1,0 +1,70 @@
+// Completion events and completion queues.
+//
+// A simulated NIC reports finished operations by pushing completion queue
+// entries (CQEs). The remote CQ is bounded: if nobody drains it (the job of
+// UNR's polling engine at support levels 0-3), deliveries are NACKed and
+// retried, which is the performance cliff the paper's level-4 hardware
+// proposal removes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+
+#include "common/units.hpp"
+#include "fabric/custom_bits.hpp"
+
+namespace unr::fabric {
+
+enum class CqeKind : std::uint8_t {
+  kPutDelivered,   ///< remote side of a PUT
+  kPutComplete,    ///< local (sender) side of a PUT
+  kGetDelivered,   ///< remote (data owner) side of a GET
+  kGetComplete,    ///< local (reader) side of a GET
+};
+
+struct Cqe {
+  CqeKind kind;
+  int peer_rank = -1;       ///< the other side of the operation
+  std::size_t bytes = 0;
+  CustomBits imm;           ///< already truncated to the interface width
+  Time timestamp = 0;       ///< virtual time the event was generated
+};
+
+class CompletionQueue {
+ public:
+  explicit CompletionQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  bool full() const { return q_.size() >= capacity_; }
+  bool empty() const { return q_.empty(); }
+  std::size_t size() const { return q_.size(); }
+  std::size_t capacity() const { return capacity_; }
+
+  /// Returns false (and counts an overflow) when the queue is full.
+  bool push(const Cqe& e) {
+    if (full()) {
+      ++overflows_;
+      return false;
+    }
+    q_.push_back(e);
+    ++pushed_;
+    return true;
+  }
+
+  Cqe pop() {
+    Cqe e = q_.front();
+    q_.pop_front();
+    return e;
+  }
+
+  std::uint64_t pushed() const { return pushed_; }
+  std::uint64_t overflows() const { return overflows_; }
+
+ private:
+  std::size_t capacity_;
+  std::deque<Cqe> q_;
+  std::uint64_t pushed_ = 0;
+  std::uint64_t overflows_ = 0;
+};
+
+}  // namespace unr::fabric

@@ -1,0 +1,31 @@
+#include "fabric/custom_bits.hpp"
+
+#include <cstdio>
+
+#include "common/check.hpp"
+
+namespace unr::fabric {
+
+CustomBits CustomBits::truncated(int width) const {
+  UNR_CHECK(width >= 0 && width <= 128);
+  CustomBits r = *this;
+  if (width == 0) return {0, 0};
+  if (width < 64) {
+    r.lo &= (1ull << width) - 1;
+    r.hi = 0;
+  } else if (width < 128) {
+    r.hi &= (width == 64) ? 0ull : ((1ull << (width - 64)) - 1);
+  }
+  return r;
+}
+
+bool CustomBits::fits(int width) const { return truncated(width) == *this; }
+
+std::string CustomBits::to_string() const {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "0x%016llx%016llx",
+                static_cast<unsigned long long>(hi), static_cast<unsigned long long>(lo));
+  return buf;
+}
+
+}  // namespace unr::fabric

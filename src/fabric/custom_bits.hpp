@@ -1,0 +1,33 @@
+// Custom bits: the per-operation immediate data that Notifiable RMA
+// Primitives deliver with a completion event (Section II / Table II of the
+// paper). Different interfaces expose different widths (0..128 bits); UNR's
+// whole portability story is about what fits into them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace unr::fabric {
+
+/// Up to 128 bits of immediate data. Stored as two 64-bit words
+/// (lo = bits 0..63, hi = bits 64..127).
+struct CustomBits {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+
+  static CustomBits from_u64(std::uint64_t v) { return {v, 0}; }
+  static CustomBits from_pair(std::uint64_t lo, std::uint64_t hi) { return {lo, hi}; }
+
+  bool operator==(const CustomBits&) const = default;
+
+  /// Truncate to the low `width` bits (what a narrower interface would
+  /// actually deliver). width in [0, 128].
+  CustomBits truncated(int width) const;
+
+  /// True if the value fits in `width` bits without loss.
+  bool fits(int width) const;
+
+  std::string to_string() const;
+};
+
+}  // namespace unr::fabric

@@ -1,0 +1,258 @@
+#include "fabric/fabric.hpp"
+
+#include <cstring>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace unr::fabric {
+
+namespace {
+/// Hard cap on delivery retries after remote-CQ overflow: if nothing drains
+/// the CQ for this long, the configuration is broken and we fail loudly
+/// instead of spinning the event loop forever.
+constexpr int kMaxDeliveryAttempts = 100000;
+/// Intra-node traffic does not cross the switch fabric.
+constexpr double kIntraLatencyFactor = 0.25;
+}  // namespace
+
+Fabric::Fabric(sim::Kernel& kernel, Config cfg)
+    : kernel_(kernel),
+      cfg_(std::move(cfg)),
+      iface_(personality(cfg_.profile.iface)),
+      machine_(cfg_.nodes, cfg_.profile.cores_per_node),
+      memory_(cfg_.max_regions_per_rank),
+      rng_(cfg_.seed) {
+  UNR_CHECK(cfg_.nodes >= 1 && cfg_.ranks_per_node >= 1);
+  UNR_CHECK(cfg_.profile.nics_per_node >= 1);
+  nics_.resize(static_cast<std::size_t>(cfg_.nodes));
+  for (int n = 0; n < cfg_.nodes; ++n) {
+    for (int i = 0; i < cfg_.profile.nics_per_node; ++i) {
+      nics_[static_cast<std::size_t>(n)].push_back(std::make_unique<Nic>(
+          n, i, cfg_.profile.nic_gbps, cfg_.profile.nic_overhead, cfg_.profile.cq_depth));
+    }
+  }
+}
+
+Nic& Fabric::nic(int node, int index) {
+  UNR_CHECK(node >= 0 && node < cfg_.nodes);
+  UNR_CHECK(index >= 0 && index < nics_per_node());
+  return *nics_[static_cast<std::size_t>(node)][static_cast<std::size_t>(index)];
+}
+
+Time Fabric::wire_arrival(int src_node, int dst_node, Time tx_done, bool ordered,
+                          int src_rank, int dst_rank) {
+  Time lat = cfg_.profile.wire_latency;
+  if (src_node == dst_node)
+    lat = static_cast<Time>(static_cast<double>(lat) * kIntraLatencyFactor);
+  Time arrival = tx_done + lat;
+  if (!ordered && !cfg_.deterministic_routing && cfg_.profile.jitter > 0)
+    arrival += static_cast<Time>(rng_.below(cfg_.profile.jitter + 1));
+  if (ordered) {
+    Time& tail = fifo_tail_[{src_rank, dst_rank}];
+    if (arrival <= tail) arrival = tail + 1;
+    tail = arrival;
+  }
+  return arrival;
+}
+
+void Fabric::put(PutArgs args) {
+  UNR_CHECK(args.src_rank >= 0 && args.src_rank < nranks());
+  UNR_CHECK(args.dst.valid() && args.dst.rank < nranks());
+  UNR_CHECK(args.src != nullptr || args.size == 0);
+  // Resolve the destination now so that addressing errors surface at the
+  // call site, not inside an event handler later.
+  (void)memory_.resolve(args.dst, args.size);
+
+  const int src_node = node_of(args.src_rank);
+  const int dst_node = node_of(args.dst.rank);
+  int nic_idx = args.nic_index < 0 ? default_nic(args.src_rank) : args.nic_index;
+  UNR_CHECK(nic_idx < nics_per_node());
+  args.nic_index = nic_idx;
+
+  args.remote_imm = args.remote_imm.truncated(iface_.effective_put_remote());
+  args.local_imm = args.local_imm.truncated(iface_.effective_put_local());
+
+  // Snapshot the payload at post time: RMA semantics require the source
+  // buffer to stay unchanged until local completion, and the snapshot makes
+  // the simulator robust even if callers violate that.
+  std::vector<std::byte> data(args.size);
+  if (args.size > 0) std::memcpy(data.data(), args.src, args.size);
+
+  Nic& snic = nic(src_node, nic_idx);
+  const Time tx_done = snic.reserve_tx(kernel_.now(), args.size);
+  const Time arrival =
+      wire_arrival(src_node, dst_node, tx_done, args.ordered, args.src_rank, args.dst.rank);
+
+  stats_.puts++;
+  stats_.put_bytes += args.size;
+
+  auto shared = std::make_shared<PutArgs>(std::move(args));
+  kernel_.post_at(arrival, [this, shared, d = std::move(data), arrival]() mutable {
+    deliver_put(shared, std::move(d), arrival, 1);
+  });
+}
+
+void Fabric::deliver_put(std::shared_ptr<PutArgs> a, std::vector<std::byte> data,
+                         Time arrival, int attempts) {
+  const int dst_node = node_of(a->dst.rank);
+  Nic& dnic = nic(dst_node, a->nic_index);
+
+  if (a->want_remote_cqe && dnic.remote_cq().full()) {
+    UNR_CHECK_MSG(attempts < kMaxDeliveryAttempts,
+                  "remote CQ on node " << dst_node << " never drained");
+    (void)dnic.remote_cq().push({});  // records the overflow in CQ stats
+    stats_.cq_retries++;
+    const Time retry = kernel_.now() + cfg_.profile.cq_retry_delay;
+    kernel_.post_at(retry, [this, a, d = std::move(data), retry, attempts]() mutable {
+      deliver_put(a, std::move(d), retry, attempts + 1);
+    });
+    return;
+  }
+
+  if (a->size > 0) {
+    std::byte* dst = memory_.resolve(a->dst, a->size);
+    std::memcpy(dst, data.data(), a->size);
+  }
+
+  // Level-4 hardware offload: atomic add applied by the NIC itself.
+  if (a->hw_add_target != nullptr) {
+    *a->hw_add_target += a->hw_addend;
+    if (a->hw_notify) a->hw_notify();
+  }
+
+  if (a->want_remote_cqe) {
+    const bool ok = dnic.remote_cq().push(
+        {CqeKind::kPutDelivered, a->src_rank, a->size, a->remote_imm, kernel_.now()});
+    UNR_CHECK(ok);
+    dnic.fire_remote_cqe_hook();
+  }
+  if (a->on_delivered) a->on_delivered();
+
+  // Local completion: the sender learns of completion one ACK later.
+  const int src_node = node_of(a->src_rank);
+  Time ack_lat = cfg_.profile.wire_latency;
+  if (src_node == dst_node)
+    ack_lat = static_cast<Time>(static_cast<double>(ack_lat) * kIntraLatencyFactor);
+  kernel_.post_at(arrival + ack_lat, [this, a, src_node] {
+    Nic& snic = nic(src_node, a->nic_index);
+    if (a->want_local_cqe) {
+      // The local CQ is drained by the owner's progress engine; treat
+      // overflow as fatal (real stacks size the send CQ to the SQ depth).
+      const bool ok = snic.local_cq().push(
+          {CqeKind::kPutComplete, a->dst.rank, a->size, a->local_imm, kernel_.now()});
+      UNR_CHECK_MSG(ok, "local CQ overflow on node " << src_node);
+      snic.fire_local_cqe_hook();
+    }
+    if (a->on_local_complete) a->on_local_complete();
+  });
+}
+
+void Fabric::get(GetArgs args) {
+  UNR_CHECK(args.src_rank >= 0 && args.src_rank < nranks());
+  UNR_CHECK(args.src.valid() && args.src.rank < nranks());
+  UNR_CHECK(args.dst != nullptr || args.size == 0);
+  (void)memory_.resolve(args.src, args.size);
+
+  const int reader_node = node_of(args.src_rank);
+  const int owner_node = node_of(args.src.rank);
+  int nic_idx = args.nic_index < 0 ? default_nic(args.src_rank) : args.nic_index;
+  UNR_CHECK(nic_idx < nics_per_node());
+  args.nic_index = nic_idx;
+
+  args.remote_imm = args.remote_imm.truncated(iface_.effective_get_remote());
+  args.local_imm = args.local_imm.truncated(iface_.effective_get_local());
+
+  stats_.gets++;
+  stats_.get_bytes += args.size;
+
+  // Request: a small descriptor travels to the data owner.
+  Nic& rnic = nic(reader_node, nic_idx);
+  const Time req_tx = rnic.reserve_tx(kernel_.now(), 64);
+  const Time req_arrival = wire_arrival(reader_node, owner_node, req_tx, false,
+                                        args.src_rank, args.src.rank);
+
+  auto a = std::make_shared<GetArgs>(std::move(args));
+  kernel_.post_at(req_arrival, [this, a, reader_node, owner_node] {
+    // The owner's NIC serializes the response.
+    Nic& onic = nic(owner_node, a->nic_index);
+    const Time resp_tx = onic.reserve_tx(kernel_.now(), a->size);
+
+    // Snapshot the data at response time (this is when the NIC reads memory).
+    auto data = std::make_shared<std::vector<std::byte>>(a->size);
+    kernel_.post_at(resp_tx, [this, a, data, owner_node, reader_node, resp_tx] {
+      if (a->size > 0) {
+        const std::byte* src = memory_.resolve(a->src, a->size);
+        std::memcpy(data->data(), src, a->size);
+      }
+      // Remote (owner-side) completion, if the interface can express it:
+      // Verbs offers 0 GET custom bits at remote — the CQE is silently
+      // unavailable and upper layers must compensate (Table II).
+      if (a->want_remote_cqe && iface_.get_remote_bits != 0) {
+        Nic& onic2 = nic(owner_node, a->nic_index);
+        (void)onic2.remote_cq().push(
+            {CqeKind::kGetDelivered, a->src_rank, a->size, a->remote_imm, kernel_.now()});
+        onic2.fire_remote_cqe_hook();
+      }
+      if (a->owner_hw_add_target != nullptr) {
+        *a->owner_hw_add_target += a->owner_hw_addend;
+        if (a->owner_hw_notify) a->owner_hw_notify();
+      }
+      const Time arrival = wire_arrival(owner_node, reader_node, resp_tx, false,
+                                        a->src.rank, a->src_rank);
+      kernel_.post_at(arrival, [this, a, data, reader_node] {
+        if (a->size > 0) std::memcpy(a->dst, data->data(), a->size);
+        if (a->hw_add_target != nullptr) {
+          *a->hw_add_target += a->hw_addend;
+          if (a->hw_notify) a->hw_notify();
+        }
+        if (a->want_local_cqe) {
+          Nic& rnic2 = nic(reader_node, a->nic_index);
+          const bool ok = rnic2.local_cq().push(
+              {CqeKind::kGetComplete, a->src.rank, a->size, a->local_imm, kernel_.now()});
+          UNR_CHECK_MSG(ok, "local CQ overflow on node " << reader_node);
+          rnic2.fire_local_cqe_hook();
+        }
+        if (a->on_complete) a->on_complete();
+      });
+    });
+  });
+}
+
+void Fabric::set_am_handler(int rank, int channel, AmHandler h) {
+  UNR_CHECK(rank >= 0 && rank < nranks());
+  am_handlers_[{rank, channel}] = std::move(h);
+}
+
+void Fabric::send_am(int src_rank, int dst_rank, int channel,
+                     std::vector<std::byte> payload, int nic_index, bool ordered) {
+  UNR_CHECK(src_rank >= 0 && src_rank < nranks());
+  UNR_CHECK(dst_rank >= 0 && dst_rank < nranks());
+  const int src_node = node_of(src_rank);
+  const int dst_node = node_of(dst_rank);
+  const int nic_idx = nic_index < 0 ? default_nic(src_rank) : nic_index;
+
+  stats_.ams++;
+
+  Nic& snic = nic(src_node, nic_idx);
+  const Time tx_done =
+      snic.reserve_tx(kernel_.now(), payload.size() + static_cast<std::size_t>(am_header_bytes()));
+  const Time arrival = wire_arrival(src_node, dst_node, tx_done, ordered, src_rank, dst_rank);
+
+  kernel_.post_at(arrival, [this, src_rank, dst_rank, channel, p = std::move(payload)] {
+    auto it = am_handlers_.find({dst_rank, channel});
+    UNR_CHECK_MSG(it != am_handlers_.end(), "no AM handler for rank "
+                                                << dst_rank << " channel " << channel);
+    it->second(src_rank, p);
+  });
+}
+
+std::uint64_t Fabric::total_cq_overflows() const {
+  std::uint64_t n = 0;
+  for (const auto& node_nics : nics_)
+    for (const auto& nic : node_nics)
+      n += nic->remote_cq().overflows() + nic->local_cq().overflows();
+  return n;
+}
+
+}  // namespace unr::fabric

@@ -1,0 +1,156 @@
+// The simulated interconnect: topology, RMA verbs (PUT/GET with immediate
+// data), and small active messages for control traffic.
+//
+// This is the stand-in for GLEX / ibverbs / uTofu / uGNI / PAMI / Portals in
+// the paper's UNR Transport Layer. It reproduces the properties UNR's design
+// is built around:
+//   * per-NIC serialization (multi-NIC aggregation pays off),
+//   * per-message custom bits truncated to the interface's width (Table II),
+//   * bounded remote completion queues that someone must drain,
+//   * adaptive-routing jitter (fragments may arrive out of order),
+//   * an optional hardware addend offload (the paper's proposed level 4).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/profile.hpp"
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "fabric/custom_bits.hpp"
+#include "fabric/memory.hpp"
+#include "fabric/nic.hpp"
+#include "sim/kernel.hpp"
+#include "sim/node.hpp"
+
+namespace unr::fabric {
+
+class Fabric {
+ public:
+  struct Config {
+    int nodes = 2;
+    int ranks_per_node = 1;
+    unr::SystemProfile profile;
+    std::size_t max_regions_per_rank = 0;  ///< 0 = unlimited
+    std::uint64_t seed = 1;
+    bool deterministic_routing = false;    ///< disable jitter entirely
+  };
+
+  Fabric(sim::Kernel& kernel, Config cfg);
+
+  // --- Topology ---
+  int nranks() const { return cfg_.nodes * cfg_.ranks_per_node; }
+  int node_count() const { return cfg_.nodes; }
+  int ranks_per_node() const { return cfg_.ranks_per_node; }
+  int node_of(int rank) const { return rank / cfg_.ranks_per_node; }
+  int nics_per_node() const { return cfg_.profile.nics_per_node; }
+  /// The NIC a rank uses by default (ranks round-robin over the node's NICs).
+  int default_nic(int rank) const { return rank % nics_per_node(); }
+
+  Nic& nic(int node, int index);
+  sim::Machine& machine() { return machine_; }
+  sim::Node& node_of_rank(int rank) { return machine_.node(node_of(rank)); }
+  MemRegistry& memory() { return memory_; }
+  const unr::SystemProfile& profile() const { return cfg_.profile; }
+  const Personality& iface() const { return iface_; }
+  sim::Kernel& kernel() { return kernel_; }
+
+  // --- RMA verbs (non-blocking; they only schedule events) ---
+  struct PutArgs {
+    int src_rank = -1;
+    const void* src = nullptr;  ///< local source buffer
+    MemRef dst;                 ///< remote destination
+    std::size_t size = 0;
+    int nic_index = -1;         ///< -1: the source rank's default NIC
+
+    CustomBits remote_imm;      ///< delivered with the remote CQE
+    bool want_remote_cqe = false;
+    CustomBits local_imm;       ///< delivered with the local CQE
+    bool want_local_cqe = false;
+
+    bool ordered = false;  ///< FIFO w.r.t. other ordered traffic on (src,dst)
+
+    /// Level-4 hardware offload: the NIC applies *hw_add_target += hw_addend
+    /// at delivery time (no software on the critical path) and then invokes
+    /// hw_notify. This is the paper's proposed RMA+atomic combination.
+    std::int64_t* hw_add_target = nullptr;
+    std::int64_t hw_addend = 0;
+    std::function<void()> hw_notify;
+
+    /// Zero-cost hooks for the runtime layer (window counters, rendezvous).
+    std::function<void()> on_delivered;
+    std::function<void()> on_local_complete;
+  };
+  void put(PutArgs a);
+
+  struct GetArgs {
+    int src_rank = -1;          ///< the rank issuing the GET
+    void* dst = nullptr;        ///< local destination buffer
+    MemRef src;                 ///< remote source
+    std::size_t size = 0;
+    int nic_index = -1;
+
+    CustomBits remote_imm;      ///< CQE at the data owner (if iface supports it)
+    bool want_remote_cqe = false;
+    CustomBits local_imm;       ///< CQE at the reader when data lands
+    bool want_local_cqe = false;
+
+    std::int64_t* hw_add_target = nullptr;  ///< applied at the READER on landing
+    std::int64_t hw_addend = 0;
+    std::function<void()> hw_notify;
+
+    /// Owner-side hardware offload, applied when the response leaves the
+    /// data owner's NIC (level-4 GET notification at the remote).
+    std::int64_t* owner_hw_add_target = nullptr;
+    std::int64_t owner_hw_addend = 0;
+    std::function<void()> owner_hw_notify;
+
+    std::function<void()> on_complete;  ///< runtime hook at the reader
+  };
+  void get(GetArgs a);
+
+  // --- Active messages (small control traffic for the runtime layer) ---
+  using AmHandler =
+      std::function<void(int src_rank, const std::vector<std::byte>& payload)>;
+  /// One handler per (rank, channel); channel is a small caller-chosen id.
+  void set_am_handler(int rank, int channel, AmHandler h);
+  void send_am(int src_rank, int dst_rank, int channel, std::vector<std::byte> payload,
+               int nic_index = -1, bool ordered = false);
+
+  struct Stats {
+    std::uint64_t puts = 0;
+    std::uint64_t gets = 0;
+    std::uint64_t ams = 0;
+    std::uint64_t put_bytes = 0;
+    std::uint64_t get_bytes = 0;
+    std::uint64_t cq_retries = 0;  ///< deliveries NACKed on a full remote CQ
+  };
+  const Stats& stats() const { return stats_; }
+
+  /// Total remote-CQ overflow events across all NICs.
+  std::uint64_t total_cq_overflows() const;
+
+ private:
+  Time wire_arrival(int src_node, int dst_node, Time tx_done, bool ordered, int src_rank,
+                    int dst_rank);
+  void deliver_put(std::shared_ptr<PutArgs> a, std::vector<std::byte> data, Time arrival,
+                   int attempts);
+  Time am_header_bytes() const { return 64; }
+
+  sim::Kernel& kernel_;
+  Config cfg_;
+  Personality iface_;
+  sim::Machine machine_;
+  MemRegistry memory_;
+  std::vector<std::vector<std::unique_ptr<Nic>>> nics_;  // [node][index]
+  Rng rng_;
+  Stats stats_;
+  std::map<std::pair<int, int>, Time> fifo_tail_;  // ordered-traffic FIFO per (src,dst)
+  std::map<std::pair<int, int>, AmHandler> am_handlers_;  // (rank, channel)
+};
+
+}  // namespace unr::fabric

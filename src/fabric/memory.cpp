@@ -1,0 +1,51 @@
+#include "fabric/memory.hpp"
+
+#include "common/check.hpp"
+
+namespace unr::fabric {
+
+MrId MemRegistry::register_region(int rank, void* base, std::size_t size) {
+  UNR_CHECK(rank >= 0 && base != nullptr && size > 0);
+  if (max_per_rank_ != 0) {
+    UNR_CHECK_MSG(live_count_[rank] < max_per_rank_,
+                  "rank " << rank << " exceeded the registered-region limit ("
+                          << max_per_rank_ << ")");
+  }
+  regions_.push_back(Region{rank, static_cast<std::byte*>(base), size, true});
+  live_count_[rank]++;
+  return static_cast<MrId>(regions_.size());  // ids are 1-based; 0 = invalid
+}
+
+const MemRegistry::Region& MemRegistry::lookup(int rank, MrId id) const {
+  UNR_CHECK_MSG(id != kInvalidMr && id <= regions_.size(), "bad memory region id " << id);
+  const Region& r = regions_[id - 1];
+  UNR_CHECK_MSG(r.live, "access to deregistered region " << id);
+  UNR_CHECK_MSG(r.rank == rank, "region " << id << " belongs to rank " << r.rank
+                                          << ", not rank " << rank);
+  return r;
+}
+
+void MemRegistry::deregister_region(int rank, MrId id) {
+  const Region& r = lookup(rank, id);
+  const_cast<Region&>(r).live = false;
+  live_count_[rank]--;
+}
+
+std::byte* MemRegistry::resolve(const MemRef& ref, std::size_t len) const {
+  const Region& r = lookup(ref.rank, ref.mr);
+  UNR_CHECK_MSG(ref.offset + len <= r.size,
+                "RMA access out of bounds: offset " << ref.offset << " + len " << len
+                                                    << " > region size " << r.size);
+  return r.base + ref.offset;
+}
+
+std::size_t MemRegistry::region_size(int rank, MrId id) const {
+  return lookup(rank, id).size;
+}
+
+std::size_t MemRegistry::count(int rank) const {
+  auto it = live_count_.find(rank);
+  return it == live_count_.end() ? 0 : it->second;
+}
+
+}  // namespace unr::fabric

@@ -1,0 +1,67 @@
+// Memory registration, as required before any RMA operation.
+//
+// Real NICs translate and pin registered regions; the simulator's registry
+// provides the same contract: remote peers can only address (rank, mr_id,
+// offset) triples inside a registered region, every access is bounds-checked,
+// and the number of regions per rank can be capped (some systems limit it —
+// the reason UNR's BLK design sub-divides few large regions rather than
+// registering many small ones).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace unr::fabric {
+
+using MrId = std::uint32_t;
+inline constexpr MrId kInvalidMr = 0;
+
+/// A remote-addressable location: (rank, registered region, byte offset).
+struct MemRef {
+  int rank = -1;
+  MrId mr = kInvalidMr;
+  std::size_t offset = 0;
+
+  MemRef plus(std::size_t delta) const { return {rank, mr, offset + delta}; }
+  bool valid() const { return rank >= 0 && mr != kInvalidMr; }
+};
+
+class MemRegistry {
+ public:
+  /// `max_regions_per_rank` == 0 means unlimited.
+  explicit MemRegistry(std::size_t max_regions_per_rank = 0)
+      : max_per_rank_(max_regions_per_rank) {}
+
+  /// Register [base, base+size) for `rank`. Throws if the per-rank region
+  /// limit is exceeded.
+  MrId register_region(int rank, void* base, std::size_t size);
+
+  /// Deregister. Outstanding operations against the region become invalid.
+  void deregister_region(int rank, MrId id);
+
+  /// Resolve a reference to a host pointer; bounds-checks [offset, offset+len).
+  std::byte* resolve(const MemRef& ref, std::size_t len) const;
+
+  /// Size of a registered region.
+  std::size_t region_size(int rank, MrId id) const;
+
+  std::size_t count(int rank) const;
+
+ private:
+  struct Region {
+    int rank;
+    std::byte* base;
+    std::size_t size;
+    bool live;
+  };
+
+  const Region& lookup(int rank, MrId id) const;
+
+  std::size_t max_per_rank_;
+  std::vector<Region> regions_;               // index = MrId - 1
+  std::unordered_map<int, std::size_t> live_count_;
+};
+
+}  // namespace unr::fabric

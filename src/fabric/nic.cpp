@@ -1,0 +1,2 @@
+// Nic is header-only; this TU anchors the library.
+#include "fabric/nic.hpp"

@@ -1,0 +1,71 @@
+// A simulated RMA-capable NIC.
+//
+// The NIC owns a send-engine timeline (messages serialize at link bandwidth,
+// one after another — this is what makes two NICs genuinely twice as fast as
+// one) and two completion queues. Delivery logic lives in Fabric; the NIC is
+// the resource.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/units.hpp"
+#include "fabric/completion.hpp"
+#include "fabric/personality.hpp"
+
+namespace unr::fabric {
+
+class Nic {
+ public:
+  Nic(int node, int index, double gbps, Time overhead, std::size_t cq_depth)
+      : node_(node),
+        index_(index),
+        gbps_(gbps),
+        overhead_(overhead),
+        local_cq_(cq_depth),
+        remote_cq_(cq_depth) {}
+
+  int node() const { return node_; }
+  int index() const { return index_; }
+  double gbps() const { return gbps_; }
+
+  /// Reserve the send engine for `bytes` starting no earlier than `earliest`;
+  /// returns the time serialization finishes (wire-injection complete).
+  Time reserve_tx(Time earliest, std::size_t bytes) {
+    const Time start = std::max(earliest + overhead_, busy_until_);
+    busy_until_ = start + serialize_ns(bytes, gbps_);
+    tx_messages_++;
+    tx_bytes_ += bytes;
+    return busy_until_;
+  }
+
+  Time busy_until() const { return busy_until_; }
+
+  CompletionQueue& local_cq() { return local_cq_; }
+  CompletionQueue& remote_cq() { return remote_cq_; }
+
+  /// Invoked whenever a CQE lands in the remote CQ (lets a progress engine
+  /// wake waiters without busy-polling the virtual clock).
+  void set_remote_cqe_hook(std::function<void()> hook) { remote_hook_ = std::move(hook); }
+  void set_local_cqe_hook(std::function<void()> hook) { local_hook_ = std::move(hook); }
+  void fire_remote_cqe_hook() const { if (remote_hook_) remote_hook_(); }
+  void fire_local_cqe_hook() const { if (local_hook_) local_hook_(); }
+
+  std::uint64_t tx_messages() const { return tx_messages_; }
+  std::uint64_t tx_bytes() const { return tx_bytes_; }
+
+ private:
+  int node_;
+  int index_;
+  double gbps_;
+  Time overhead_;
+  Time busy_until_ = 0;
+  std::uint64_t tx_messages_ = 0;
+  std::uint64_t tx_bytes_ = 0;
+  CompletionQueue local_cq_;
+  CompletionQueue remote_cq_;
+  std::function<void()> remote_hook_;
+  std::function<void()> local_hook_;
+};
+
+}  // namespace unr::fabric

@@ -1,0 +1,34 @@
+#include "fabric/personality.hpp"
+
+#include "common/check.hpp"
+
+namespace unr::fabric {
+
+const std::vector<Personality>& all_personalities() {
+  // Table II of the paper, row by row.
+  static const std::vector<Personality> table = {
+      {unr::Interface::kGlex, "TH Express network", "Tianhe-2A(1), Tianhe-Xingyi",
+       /*put_local*/ 128, /*put_remote*/ 128, /*get_local*/ 128, /*get_remote*/ 128,
+       /*shared*/ false},
+      {unr::Interface::kVerbs, "Slingshot, Infiniband, RoCE", "Frontier(1), Summit(1)",
+       64, 32, 64, 0, false},
+      {unr::Interface::kUtofu, "Tofu Interconnect", "Fugaku(1), K(1)",
+       64, 8, 64, 8, false},
+      {unr::Interface::kUgni, "Aries Interconnect", "Piz Daint(3), Trinity(6)",
+       32, 32, 32, 32, false},
+      {unr::Interface::kPami, "Blue Gene/Q Interconnection", "Sequoia(1), Mira(3)",
+       64, 64, 64, 0, true},
+      {unr::Interface::kPortals, "SeaStar Interconnect", "Kraken(3), Jaguar(6)",
+       /*put_local: Hash*/ -1, 64, /*get_local: Hash*/ -1, 0, false},
+  };
+  return table;
+}
+
+const Personality& personality(unr::Interface iface) {
+  for (const auto& p : all_personalities())
+    if (p.iface == iface) return p;
+  UNR_CHECK_MSG(false, "no personality for interface");
+  __builtin_unreachable();
+}
+
+}  // namespace unr::fabric

@@ -1,0 +1,42 @@
+// Interface personalities: the custom-bit capabilities of each low-level
+// network programming interface surveyed in Table II of the paper.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/profile.hpp"
+
+namespace unr::fabric {
+
+/// Capability sheet of one Notifiable-RMA interface family.
+struct Personality {
+  unr::Interface iface;
+  std::string hpc_interconnect;       ///< e.g. "TH Express network"
+  std::string representative_systems; ///< e.g. "Tianhe-2A(1), Tianhe-Xingyi"
+
+  // Custom-bit widths, in bits, as in Table II. -1 encodes the Portals
+  // "Hash" entry: no direct local bits, but the (memory region, offset) pair
+  // can be hashed to recover (p, a) — usable as if 64 bits were available.
+  int put_local_bits = 0;
+  int put_remote_bits = 0;
+  int get_local_bits = 0;
+  int get_remote_bits = 0;
+
+  bool shared_put_bits = false;  ///< PAMI: one 64-bit pool shared local/remote
+
+  /// Effective width usable for UNR bookkeeping at each completion point
+  /// (resolves the Portals hash case to 64).
+  int effective_put_local() const { return put_local_bits < 0 ? 64 : put_local_bits; }
+  int effective_put_remote() const { return put_remote_bits < 0 ? 64 : put_remote_bits; }
+  int effective_get_local() const { return get_local_bits < 0 ? 64 : get_local_bits; }
+  int effective_get_remote() const { return get_remote_bits < 0 ? 64 : get_remote_bits; }
+};
+
+/// The personality of one interface family (Table II row).
+const Personality& personality(unr::Interface iface);
+
+/// All of Table II, in the paper's row order.
+const std::vector<Personality>& all_personalities();
+
+}  // namespace unr::fabric

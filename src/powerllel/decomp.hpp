@@ -1,0 +1,77 @@
+// 2-D pencil decomposition (PowerLLEL's layout).
+//
+// The global (nx, ny, nz) grid is split over a pr x pc process grid:
+//   x-pencil: (nx,      ny/pr,  nz/pc)   — velocity update, FFT in x
+//   y-pencil: (nx/pr,   ny,     nz/pc)   — FFT in y
+// z is always split over pc: the tridiagonal solver runs along z across the
+// "column group". Transposes x<->y happen within a "row group" (the pr ranks
+// sharing a z slab).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace unr::powerllel {
+
+struct Decomp {
+  std::size_t nx = 0, ny = 0, nz = 0;
+  int pr = 1, pc = 1;
+  int self = 0;
+
+  void validate() const {
+    UNR_CHECK_MSG(nx % static_cast<std::size_t>(pr) == 0 &&
+                      ny % static_cast<std::size_t>(pr) == 0,
+                  "nx and ny must divide by pr");
+    UNR_CHECK_MSG(nz % static_cast<std::size_t>(pc) == 0, "nz must divide by pc");
+    UNR_CHECK(self >= 0 && self < pr * pc);
+    UNR_CHECK(nyl() >= 1 && nzl() >= 2 && nxl() >= 1);
+  }
+
+  int row() const { return self / pc; }  ///< index along pr (y split in x-pencil)
+  int col() const { return self % pc; }  ///< index along pc (z split)
+  int rank_of(int r, int c) const { return r * pc + c; }
+
+  // Local extents.
+  std::size_t nyl() const { return ny / static_cast<std::size_t>(pr); }
+  std::size_t nzl() const { return nz / static_cast<std::size_t>(pc); }
+  std::size_t nxl() const { return nx / static_cast<std::size_t>(pr); }
+  // Global offsets of the local block.
+  std::size_t y0() const { return static_cast<std::size_t>(row()) * nyl(); }
+  std::size_t z0() const { return static_cast<std::size_t>(col()) * nzl(); }
+  std::size_t x0() const { return static_cast<std::size_t>(row()) * nxl(); }
+
+  /// Neighbor in +y/-y (periodic ring over pr). May be self when pr == 1.
+  int y_neighbor(int dir) const {
+    const int r = (row() + (dir > 0 ? 1 : pr - 1)) % pr;
+    return rank_of(r, col());
+  }
+  /// Neighbor in +z/-z; -1 at the walls (z is never periodic here).
+  int z_neighbor(int dir) const {
+    const int c = col() + (dir > 0 ? 1 : -1);
+    if (c < 0 || c >= pc) return -1;
+    return rank_of(row(), c);
+  }
+
+  /// Transpose partners: ranks sharing my z slab, ordered by row.
+  std::vector<int> row_group() const {
+    std::vector<int> g;
+    g.reserve(static_cast<std::size_t>(pr));
+    for (int r = 0; r < pr; ++r) g.push_back(rank_of(r, col()));
+    return g;
+  }
+  /// Tridiagonal partners: ranks sharing my (x-pencil) y slab, ordered by
+  /// col — i.e. bottom (z=0) to top.
+  std::vector<int> col_group() const {
+    std::vector<int> g;
+    g.reserve(static_cast<std::size_t>(pc));
+    for (int c = 0; c < pc; ++c) g.push_back(rank_of(row(), c));
+    return g;
+  }
+
+  bool at_bottom_wall() const { return col() == 0; }
+  bool at_top_wall() const { return col() == pc - 1; }
+};
+
+}  // namespace unr::powerllel

@@ -1,0 +1,79 @@
+#include "powerllel/fft.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/check.hpp"
+
+namespace unr::powerllel {
+
+bool is_power_of_two(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+void fft_inplace(Complex* data, std::size_t n, bool inverse) {
+  UNR_CHECK_MSG(is_power_of_two(n), "FFT size must be a power of two, got " << n);
+  if (n <= 1) return;
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+
+  const double sign = inverse ? 1.0 : -1.0;
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang = sign * 2.0 * std::numbers::pi / static_cast<double>(len);
+    const Complex wlen(std::cos(ang), std::sin(ang));
+    for (std::size_t i = 0; i < n; i += len) {
+      Complex w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const Complex a = data[i + k];
+        const Complex b = data[i + k + len / 2] * w;
+        data[i + k] = a + b;
+        data[i + k + len / 2] = a - b;
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse) {
+    const double inv_n = 1.0 / static_cast<double>(n);
+    for (std::size_t i = 0; i < n; ++i) data[i] *= inv_n;
+  }
+}
+
+void fft_batch(Complex* data, std::size_t n, std::size_t batch, bool inverse) {
+  for (std::size_t b = 0; b < batch; ++b) fft_inplace(data + b * n, n, inverse);
+}
+
+void fft_strided(Complex* data, std::size_t n, std::size_t elem_stride,
+                 std::size_t batch, std::size_t line_stride, bool inverse) {
+  std::vector<Complex> line(n);
+  for (std::size_t b = 0; b < batch; ++b) {
+    Complex* base = data + b * line_stride;
+    for (std::size_t i = 0; i < n; ++i) line[i] = base[i * elem_stride];
+    fft_inplace(line.data(), n, inverse);
+    for (std::size_t i = 0; i < n; ++i) base[i * elem_stride] = line[i];
+  }
+}
+
+double laplacian_eigenvalue(std::size_t k, std::size_t n, double h) {
+  const double theta = 2.0 * std::numbers::pi * static_cast<double>(k) /
+                       static_cast<double>(n);
+  return (2.0 - 2.0 * std::cos(theta)) / (h * h);
+}
+
+void dft_reference(const Complex* in, Complex* out, std::size_t n, bool inverse) {
+  const double sign = inverse ? 1.0 : -1.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    Complex acc(0.0, 0.0);
+    for (std::size_t j = 0; j < n; ++j) {
+      const double ang = sign * 2.0 * std::numbers::pi * static_cast<double>(k * j) /
+                         static_cast<double>(n);
+      acc += in[j] * Complex(std::cos(ang), std::sin(ang));
+    }
+    out[k] = inverse ? acc / static_cast<double>(n) : acc;
+  }
+}
+
+}  // namespace unr::powerllel

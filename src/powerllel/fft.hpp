@@ -1,0 +1,40 @@
+// Radix-2 complex FFT used by the Pressure Poisson solver.
+//
+// PowerLLEL solves the PPE with an FFT-based direct method: forward FFT
+// along the two periodic directions, a tridiagonal solve along the wall
+// direction, inverse FFTs back. The solver only needs power-of-two sizes,
+// batched 1-D transforms, and the modified wavenumbers of the second-order
+// finite-difference Laplacian.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace unr::powerllel {
+
+using Complex = std::complex<double>;
+
+/// In-place iterative radix-2 FFT. n must be a power of two.
+/// `inverse` applies the conjugate transform and scales by 1/n.
+void fft_inplace(Complex* data, std::size_t n, bool inverse);
+
+/// Batched transform: `batch` contiguous lines of length n each.
+void fft_batch(Complex* data, std::size_t n, std::size_t batch, bool inverse);
+
+/// Strided batched transform: line i starts at data + i*line_stride and its
+/// elements are `elem_stride` apart (for transforming the y direction of an
+/// (x, y) plane stored x-fastest).
+void fft_strided(Complex* data, std::size_t n, std::size_t elem_stride,
+                 std::size_t batch, std::size_t line_stride, bool inverse);
+
+/// Modified squared wavenumber of mode k for the 2nd-order central Laplacian
+/// on n points with spacing h: (2 - 2cos(2*pi*k/n)) / h^2.
+double laplacian_eigenvalue(std::size_t k, std::size_t n, double h);
+
+bool is_power_of_two(std::size_t n);
+
+/// Naive O(n^2) DFT for validation.
+void dft_reference(const Complex* in, Complex* out, std::size_t n, bool inverse);
+
+}  // namespace unr::powerllel

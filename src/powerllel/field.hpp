@@ -1,0 +1,64 @@
+// A real-valued x-pencil field with one halo layer in y and z.
+//
+// x is fully local (and periodic: stencils wrap the index); y and z halos
+// are filled by HaloExchange or by the wall boundary conditions.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace unr::powerllel {
+
+class Field {
+ public:
+  Field(std::size_t nx, std::size_t nyl, std::size_t nzl)
+      : nx_(nx), nyl_(nyl), nzl_(nzl),
+        data_((nyl + 2) * (nzl + 2) * nx, 0.0) {}
+
+  std::size_t nx() const { return nx_; }
+  std::size_t nyl() const { return nyl_; }
+  std::size_t nzl() const { return nzl_; }
+
+  /// j in [-1, nyl], k in [-1, nzl]; i in [0, nx).
+  double& at(std::size_t i, std::ptrdiff_t j, std::ptrdiff_t k) {
+    return data_[index(i, j, k)];
+  }
+  double at(std::size_t i, std::ptrdiff_t j, std::ptrdiff_t k) const {
+    return data_[index(i, j, k)];
+  }
+
+  /// x-periodic accessor: i may be -1 or nx.
+  double& atp(std::ptrdiff_t i, std::ptrdiff_t j, std::ptrdiff_t k) {
+    return data_[index(wrap_x(i), j, k)];
+  }
+  double atp(std::ptrdiff_t i, std::ptrdiff_t j, std::ptrdiff_t k) const {
+    return data_[index(wrap_x(i), j, k)];
+  }
+
+  double* raw() { return data_.data(); }
+  const double* raw() const { return data_.data(); }
+  std::size_t raw_size() const { return data_.size(); }
+
+  void fill(double v) { std::fill(data_.begin(), data_.end(), v); }
+
+ private:
+  std::size_t wrap_x(std::ptrdiff_t i) const {
+    const auto n = static_cast<std::ptrdiff_t>(nx_);
+    return static_cast<std::size_t>(((i % n) + n) % n);
+  }
+  std::size_t index(std::size_t i, std::ptrdiff_t j, std::ptrdiff_t k) const {
+    UNR_CHECK(i < nx_);
+    UNR_CHECK(j >= -1 && j <= static_cast<std::ptrdiff_t>(nyl_));
+    UNR_CHECK(k >= -1 && k <= static_cast<std::ptrdiff_t>(nzl_));
+    const auto ju = static_cast<std::size_t>(j + 1);
+    const auto ku = static_cast<std::size_t>(k + 1);
+    return i + nx_ * (ju + (nyl_ + 2) * ku);
+  }
+
+  std::size_t nx_, nyl_, nzl_;
+  std::vector<double> data_;
+};
+
+}  // namespace unr::powerllel

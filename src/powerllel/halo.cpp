@@ -1,0 +1,326 @@
+#include "powerllel/halo.hpp"
+
+#include <array>
+#include <cstring>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace unr::powerllel {
+
+namespace {
+
+constexpr int kHaloTagBase = 1000;
+
+// Direction indices: 0 = y-, 1 = y+, 2 = z-, 3 = z+.
+struct Dir {
+  bool is_y;
+  int sign;  // -1 or +1
+};
+constexpr std::array<Dir, 4> kDirs{{{true, -1}, {true, 1}, {false, -1}, {false, 1}}};
+
+std::size_t plane_doubles(const Decomp& d, bool is_y) {
+  return is_y ? d.nx * d.nzl() : d.nx * d.nyl();
+}
+
+/// Pack the interior plane that travels in direction `dir` for one field.
+void pack_plane(const Field& f, const Dir& dir, double* out) {
+  const auto nyl = static_cast<std::ptrdiff_t>(f.nyl());
+  const auto nzl = static_cast<std::ptrdiff_t>(f.nzl());
+  std::size_t o = 0;
+  if (dir.is_y) {
+    const std::ptrdiff_t j = dir.sign < 0 ? 0 : nyl - 1;
+    for (std::ptrdiff_t k = 0; k < nzl; ++k)
+      for (std::size_t i = 0; i < f.nx(); ++i) out[o++] = f.at(i, j, k);
+  } else {
+    const std::ptrdiff_t k = dir.sign < 0 ? 0 : nzl - 1;
+    for (std::ptrdiff_t j = 0; j < nyl; ++j)
+      for (std::size_t i = 0; i < f.nx(); ++i) out[o++] = f.at(i, j, k);
+  }
+}
+
+/// Unpack a received plane into the halo on the `dir` side.
+void unpack_plane(Field& f, const Dir& dir, const double* in) {
+  const auto nyl = static_cast<std::ptrdiff_t>(f.nyl());
+  const auto nzl = static_cast<std::ptrdiff_t>(f.nzl());
+  std::size_t o = 0;
+  if (dir.is_y) {
+    const std::ptrdiff_t j = dir.sign < 0 ? -1 : nyl;
+    for (std::ptrdiff_t k = 0; k < nzl; ++k)
+      for (std::size_t i = 0; i < f.nx(); ++i) f.at(i, j, k) = in[o++];
+  } else {
+    const std::ptrdiff_t k = dir.sign < 0 ? -1 : nzl;
+    for (std::ptrdiff_t j = 0; j < nyl; ++j)
+      for (std::size_t i = 0; i < f.nx(); ++i) f.at(i, j, k) = in[o++];
+  }
+}
+
+int neighbor_of(const Decomp& d, int dir_index) {
+  const Dir& dir = kDirs[static_cast<std::size_t>(dir_index)];
+  return dir.is_y ? d.y_neighbor(dir.sign) : d.z_neighbor(dir.sign);
+}
+
+/// The opposite direction (data sent in dir `i` lands in the peer's halo on
+/// the opposite side).
+int opposite(int dir_index) { return dir_index ^ 1; }
+
+class MpiHalo final : public HaloExchange {
+ public:
+  MpiHalo(runtime::Rank& rank, const Decomp& d, int n_fields, int threads)
+      : rank_(rank), d_(d), n_fields_(n_fields), threads_(threads) {
+    for (int dir = 0; dir < 4; ++dir) {
+      const std::size_t n =
+          plane_doubles(d_, kDirs[static_cast<std::size_t>(dir)].is_y) *
+          static_cast<std::size_t>(n_fields);
+      send_[static_cast<std::size_t>(dir)].resize(n);
+      recv_[static_cast<std::size_t>(dir)].resize(n);
+    }
+  }
+
+  void start(std::span<Field* const> fields) override {
+    UNR_CHECK(static_cast<int>(fields.size()) == n_fields_);
+    UNR_CHECK_MSG(reqs_.empty(), "halo start() while an exchange is in flight");
+    const auto& prof = rank_.fabric().profile();
+
+    // Post all receives first.
+    for (int dir = 0; dir < 4; ++dir) {
+      const int nb = neighbor_of(d_, dir);
+      if (nb < 0 || nb == rank_.id()) continue;
+      auto& buf = recv_[static_cast<std::size_t>(dir)];
+      reqs_.push_back(rank_.irecv(nb, kHaloTagBase + opposite(dir), buf.data(),
+                                  buf.size() * sizeof(double)));
+    }
+    // Pack and send.
+    std::size_t packed_bytes = 0;
+    for (int dir = 0; dir < 4; ++dir) {
+      const int nb = neighbor_of(d_, dir);
+      if (nb < 0) continue;
+      auto& buf = send_[static_cast<std::size_t>(dir)];
+      const std::size_t per_field =
+          plane_doubles(d_, kDirs[static_cast<std::size_t>(dir)].is_y);
+      for (int f = 0; f < n_fields_; ++f)
+        pack_plane(*fields[static_cast<std::size_t>(f)],
+                   kDirs[static_cast<std::size_t>(dir)],
+                   buf.data() + static_cast<std::size_t>(f) * per_field);
+      packed_bytes += buf.size() * sizeof(double);
+      if (nb == rank_.id()) {
+        // pr == 1: periodic y wraps onto this rank.
+        recv_[static_cast<std::size_t>(opposite(dir))] = buf;
+        continue;
+      }
+      reqs_.push_back(
+          rank_.isend(nb, kHaloTagBase + dir, buf.data(), buf.size() * sizeof(double)));
+    }
+    rank_.kernel().sleep_for(prof.memcpy_time(packed_bytes) /
+                             static_cast<Time>(threads_));
+  }
+
+  void finish(std::span<Field* const> fields) override {
+    const auto& prof = rank_.fabric().profile();
+    rank_.wait_all(reqs_);
+    reqs_.clear();
+
+    // Unpack everything that has a source.
+    std::size_t unpacked_bytes = 0;
+    for (int dir = 0; dir < 4; ++dir) {
+      const int nb = neighbor_of(d_, dir);
+      if (nb < 0) continue;
+      auto& buf = recv_[static_cast<std::size_t>(dir)];
+      const std::size_t per_field =
+          plane_doubles(d_, kDirs[static_cast<std::size_t>(dir)].is_y);
+      for (int f = 0; f < n_fields_; ++f)
+        unpack_plane(*fields[static_cast<std::size_t>(f)],
+                     kDirs[static_cast<std::size_t>(dir)],
+                     buf.data() + static_cast<std::size_t>(f) * per_field);
+      unpacked_bytes += buf.size() * sizeof(double);
+    }
+    rank_.kernel().sleep_for(prof.memcpy_time(unpacked_bytes) /
+                             static_cast<Time>(threads_));
+  }
+
+  void exchange(std::span<Field* const> fields) override {
+    start(fields);
+    finish(fields);
+  }
+
+ private:
+  runtime::Rank& rank_;
+  Decomp d_;
+  int n_fields_;
+  int threads_;
+  std::array<std::vector<double>, 4> send_, recv_;
+  std::vector<runtime::RequestPtr> reqs_;
+};
+
+class UnrHalo final : public HaloExchange {
+ public:
+  static constexpr int kSets = 2;  // RK1 / RK2 double buffering (Fig. 3d)
+
+  UnrHalo(runtime::Rank& rank, unrlib::Unr& unr, const Decomp& d, int n_fields,
+          int threads)
+      : rank_(rank), unr_(unr), d_(d), n_fields_(n_fields), threads_(threads) {
+    // Per-direction staging layout inside one contiguous registered store
+    // (the paper: register few large regions, subdivide into BLKs).
+    std::size_t total = 0;
+    int remote_neighbors = 0;
+    for (int dir = 0; dir < 4; ++dir) {
+      const auto di = static_cast<std::size_t>(dir);
+      count_[di] = plane_doubles(d_, kDirs[di].is_y) * static_cast<std::size_t>(n_fields);
+      offset_[di] = total;
+      total += count_[di];
+      const int nb = neighbor_of(d_, dir);
+      remote_[di] = nb >= 0 && nb != rank_.id();
+      if (remote_[di]) ++remote_neighbors;
+    }
+
+    for (int s = 0; s < kSets; ++s) {
+      auto& set = sets_[static_cast<std::size_t>(s)];
+      set.send_store.assign(total, 0.0);
+      set.recv_store.assign(total, 0.0);
+      set.send_mem =
+          unr_.mem_reg(rank_.id(), set.send_store.data(), total * sizeof(double));
+      set.recv_mem =
+          unr_.mem_reg(rank_.id(), set.recv_store.data(), total * sizeof(double));
+      if (remote_neighbors > 0) {
+        set.recv_sig = unr_.sig_init(rank_.id(), remote_neighbors);
+        set.send_sig = unr_.sig_init(rank_.id(), remote_neighbors);
+      }
+
+      // Exchange Blks: my receive staging for direction `dir` is filled by
+      // the neighbor on that side (who sends in the opposite direction).
+      // All sends/recvs are posted before any wait: with pr == 2 both y
+      // neighbors are the same rank and a blocking pairwise exchange would
+      // deadlock.
+      std::vector<unrlib::Blk> my_blks(4);
+      std::vector<runtime::RequestPtr> reqs;
+      for (int dir = 0; dir < 4; ++dir) {
+        const auto di = static_cast<std::size_t>(dir);
+        if (!remote_[di]) continue;
+        const int nb = neighbor_of(d_, dir);
+        my_blks[di] =
+            unr_.blk_init(rank_.id(), set.recv_mem, offset_[di] * sizeof(double),
+                          count_[di] * sizeof(double), set.recv_sig);
+        const int tag = kHaloTagBase + 100 + s * 8 + dir;
+        // My `dir`-side staging pairs with the peer's opposite-side one; the
+        // tags must agree on both ends of the same physical link.
+        const int peer_tag = kHaloTagBase + 100 + s * 8 + opposite(dir);
+        reqs.push_back(rank_.irecv(nb, peer_tag, &set.peer[di], sizeof(unrlib::Blk)));
+        reqs.push_back(rank_.isend(nb, tag, &my_blks[di], sizeof(unrlib::Blk)));
+      }
+      rank_.wait_all(reqs);
+    }
+  }
+
+  void start(std::span<Field* const> fields) override {
+    UNR_CHECK(static_cast<int>(fields.size()) == n_fields_);
+    UNR_CHECK_MSG(inflight_ == nullptr, "halo start() while an exchange is in flight");
+    const auto& prof = rank_.fabric().profile();
+    Set& set = sets_[static_cast<std::size_t>(current_)];
+    current_ = (current_ + 1) % kSets;
+    inflight_ = &set;
+
+    // Reuse of this set's send staging requires the previous puts from it to
+    // have completed locally.
+    if (set.used && set.send_sig != unrlib::kNoSig) {
+      unr_.sig_wait(rank_.id(), set.send_sig);
+      unr_.sig_reset(rank_.id(), set.send_sig);
+    }
+
+    // Pack and fire the notified puts. No pre-synchronization: the buffer-set
+    // alternation guarantees the peer's staging is free (Fig. 3d).
+    std::size_t packed_bytes = 0;
+    for (int dir = 0; dir < 4; ++dir) {
+      const auto di = static_cast<std::size_t>(dir);
+      const int nb = neighbor_of(d_, dir);
+      if (nb < 0) continue;
+      double* out = set.send_store.data() + offset_[di];
+      const std::size_t per_field = count_[di] / static_cast<std::size_t>(n_fields_);
+      for (int f = 0; f < n_fields_; ++f)
+        pack_plane(*fields[static_cast<std::size_t>(f)], kDirs[di],
+                   out + static_cast<std::size_t>(f) * per_field);
+      packed_bytes += count_[di] * sizeof(double);
+      if (nb == rank_.id()) {
+        // pr == 1: periodic y wraps onto this rank.
+        const auto oi = static_cast<std::size_t>(opposite(dir));
+        std::memcpy(set.recv_store.data() + offset_[oi], out,
+                    count_[di] * sizeof(double));
+        continue;
+      }
+      const unrlib::Blk local =
+          unr_.blk_init(rank_.id(), set.send_mem, offset_[di] * sizeof(double),
+                        count_[di] * sizeof(double), set.send_sig);
+      unr_.put(rank_.id(), local, set.peer[di]);
+    }
+    rank_.kernel().sleep_for(prof.memcpy_time(packed_bytes) /
+                             static_cast<Time>(threads_));
+  }
+
+  void finish(std::span<Field* const> fields) override {
+    UNR_CHECK(inflight_ != nullptr);
+    const auto& prof = rank_.fabric().profile();
+    Set& set = *inflight_;
+    inflight_ = nullptr;
+
+    // One aggregated MMAS signal covers all neighbors.
+    if (set.recv_sig != unrlib::kNoSig) {
+      unr_.sig_wait(rank_.id(), set.recv_sig);
+      unr_.sig_reset(rank_.id(), set.recv_sig);
+    }
+
+    std::size_t unpacked_bytes = 0;
+    for (int dir = 0; dir < 4; ++dir) {
+      const auto di = static_cast<std::size_t>(dir);
+      if (neighbor_of(d_, dir) < 0) continue;
+      const double* in = set.recv_store.data() + offset_[di];
+      const std::size_t per_field = count_[di] / static_cast<std::size_t>(n_fields_);
+      for (int f = 0; f < n_fields_; ++f)
+        unpack_plane(*fields[static_cast<std::size_t>(f)], kDirs[di],
+                     in + static_cast<std::size_t>(f) * per_field);
+      unpacked_bytes += count_[di] * sizeof(double);
+    }
+    rank_.kernel().sleep_for(prof.memcpy_time(unpacked_bytes) /
+                             static_cast<Time>(threads_));
+    set.used = true;
+  }
+
+  void exchange(std::span<Field* const> fields) override {
+    start(fields);
+    finish(fields);
+  }
+
+ private:
+  struct Set {
+    std::vector<double> send_store, recv_store;
+    unrlib::MemHandle send_mem, recv_mem;
+    unrlib::SigId recv_sig = unrlib::kNoSig;
+    unrlib::SigId send_sig = unrlib::kNoSig;
+    std::array<unrlib::Blk, 4> peer{};
+    bool used = false;
+  };
+
+  runtime::Rank& rank_;
+  unrlib::Unr& unr_;
+  Decomp d_;
+  int n_fields_;
+  int threads_;
+  std::array<std::size_t, 4> offset_{}, count_{};
+  std::array<bool, 4> remote_{};
+  std::array<Set, kSets> sets_;
+  int current_ = 0;
+  Set* inflight_ = nullptr;
+};
+
+}  // namespace
+
+std::unique_ptr<HaloExchange> make_mpi_halo(runtime::Rank& rank, const Decomp& d,
+                                            int n_fields, int threads) {
+  return std::make_unique<MpiHalo>(rank, d, n_fields, threads);
+}
+
+std::unique_ptr<HaloExchange> make_unr_halo(runtime::Rank& rank, unrlib::Unr& unr,
+                                            const Decomp& d, int n_fields,
+                                            int threads) {
+  return std::make_unique<UnrHalo>(rank, unr, d, n_fields, threads);
+}
+
+}  // namespace unr::powerllel

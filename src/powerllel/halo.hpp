@@ -1,0 +1,45 @@
+// Halo exchange for the velocity update (Fig. 3b of the paper).
+//
+// Two backends with identical semantics:
+//   * MPI backend — nonblocking isend/irecv of packed planes + waitall,
+//     exactly the baseline PowerLLEL communication.
+//   * UNR backend — notified PUTs into pre-exchanged staging Blks with
+//     double-buffered signals (Fig. 3d): RK1 and RK2 alternate buffer sets,
+//     each acting as the other's implicit pre-synchronization, so no
+//     explicit synchronization remains in the loop.
+#pragma once
+
+#include <memory>
+#include <span>
+
+#include "powerllel/decomp.hpp"
+#include "powerllel/field.hpp"
+#include "runtime/world.hpp"
+#include "unr/unr.hpp"
+
+namespace unr::powerllel {
+
+class HaloExchange {
+ public:
+  virtual ~HaloExchange() = default;
+  /// Fill the y and z halos of `fields` from the neighbors. The number of
+  /// fields must match the count given at construction.
+  virtual void exchange(std::span<Field* const> fields) = 0;
+
+  /// Split-phase variant for computation/communication overlap: start()
+  /// packs and fires the transfers; finish() blocks until the halos are
+  /// filled. Interior stencil work can run between the two calls — the
+  /// synchronization-free structure of Fig. 3d.
+  virtual void start(std::span<Field* const> fields) = 0;
+  virtual void finish(std::span<Field* const> fields) = 0;
+};
+
+/// `threads`: staging pack/unpack copies are OpenMP-parallel in real codes;
+/// their time charge is divided by this count.
+std::unique_ptr<HaloExchange> make_mpi_halo(runtime::Rank& rank, const Decomp& d,
+                                            int n_fields, int threads = 1);
+std::unique_ptr<HaloExchange> make_unr_halo(runtime::Rank& rank, unrlib::Unr& unr,
+                                            const Decomp& d, int n_fields,
+                                            int threads = 1);
+
+}  // namespace unr::powerllel

@@ -1,0 +1,200 @@
+#include "powerllel/ns_kernels.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace unr::powerllel {
+
+void apply_velocity_z_bc(const Decomp& d, ZBc bc, Field& u, Field& v, Field& w) {
+  const auto nyl = static_cast<std::ptrdiff_t>(d.nyl());
+  const auto nzl = static_cast<std::ptrdiff_t>(d.nzl());
+  const double mirror = bc == ZBc::kNoSlip ? -1.0 : 1.0;
+
+  if (d.at_bottom_wall()) {
+    for (std::ptrdiff_t j = -1; j <= nyl; ++j)
+      for (std::size_t i = 0; i < d.nx; ++i) {
+        u.at(i, j, -1) = mirror * u.at(i, j, 0);
+        v.at(i, j, -1) = mirror * v.at(i, j, 0);
+        w.at(i, j, -1) = 0.0;  // the bottom wall face itself
+      }
+  }
+  if (d.at_top_wall()) {
+    for (std::ptrdiff_t j = -1; j <= nyl; ++j)
+      for (std::size_t i = 0; i < d.nx; ++i) {
+        u.at(i, j, nzl) = mirror * u.at(i, j, nzl - 1);
+        v.at(i, j, nzl) = mirror * v.at(i, j, nzl - 1);
+        w.at(i, j, nzl - 1) = 0.0;  // the top wall face
+        w.at(i, j, nzl) = 0.0;      // beyond the wall (never read, kept sane)
+      }
+  }
+}
+
+void apply_pressure_z_bc(const Decomp& d, Field& p) {
+  const auto nyl = static_cast<std::ptrdiff_t>(d.nyl());
+  const auto nzl = static_cast<std::ptrdiff_t>(d.nzl());
+  if (d.at_bottom_wall())
+    for (std::ptrdiff_t j = -1; j <= nyl; ++j)
+      for (std::size_t i = 0; i < d.nx; ++i) p.at(i, j, -1) = p.at(i, j, 0);
+  if (d.at_top_wall())
+    for (std::ptrdiff_t j = -1; j <= nyl; ++j)
+      for (std::size_t i = 0; i < d.nx; ++i) p.at(i, j, nzl) = p.at(i, j, nzl - 1);
+}
+
+double interior_fraction(const Decomp& d) {
+  const auto nyl = static_cast<double>(d.nyl());
+  const auto nzl = static_cast<double>(d.nzl());
+  const double iy = std::max(0.0, nyl - 2.0);
+  const double iz = std::max(0.0, nzl - 2.0);
+  return (iy * iz) / (nyl * nzl);
+}
+
+void momentum_rhs(const Decomp& d, double dx, double dy, double dz, double nu,
+                  const Field& u, const Field& v, const Field& w, Field& fu,
+                  Field& fv, Field& fw, Region region) {
+  const auto nx = static_cast<std::ptrdiff_t>(d.nx);
+  const auto nyl = static_cast<std::ptrdiff_t>(d.nyl());
+  const auto nzl = static_cast<std::ptrdiff_t>(d.nzl());
+  const double idx = 1.0 / dx, idy = 1.0 / dy, idz = 1.0 / dz;
+  const double idx2 = idx * idx, idy2 = idy * idy, idz2 = idz * idz;
+
+  for (std::ptrdiff_t k = 0; k < nzl; ++k) {
+    for (std::ptrdiff_t j = 0; j < nyl; ++j) {
+      const bool interior_jk = j >= 1 && j < nyl - 1 && k >= 1 && k < nzl - 1;
+      if (region == Region::kInterior && !interior_jk) continue;
+      if (region == Region::kBoundary && interior_jk) continue;
+      for (std::ptrdiff_t i = 0; i < nx; ++i) {
+        const auto iu = static_cast<std::size_t>(i);
+
+        // ---- u momentum at the x-face right of cell i ----
+        {
+          // d(uu)/dx with u^2 at the two adjacent cell centers.
+          const double uc_r = 0.5 * (u.atp(i, j, k) + u.atp(i + 1, j, k));
+          const double uc_l = 0.5 * (u.atp(i - 1, j, k) + u.atp(i, j, k));
+          const double duu = (uc_r * uc_r - uc_l * uc_l) * idx;
+          // d(uv)/dy at the two xy-edges of the face.
+          const double u_jp = 0.5 * (u.atp(i, j, k) + u.atp(i, j + 1, k));
+          const double u_jm = 0.5 * (u.atp(i, j - 1, k) + u.atp(i, j, k));
+          const double v_jp = 0.5 * (v.atp(i, j, k) + v.atp(i + 1, j, k));
+          const double v_jm = 0.5 * (v.atp(i, j - 1, k) + v.atp(i + 1, j - 1, k));
+          const double duv = (u_jp * v_jp - u_jm * v_jm) * idy;
+          // d(uw)/dz at the two xz-edges.
+          const double u_kp = 0.5 * (u.atp(i, j, k) + u.atp(i, j, k + 1));
+          const double u_km = 0.5 * (u.atp(i, j, k - 1) + u.atp(i, j, k));
+          const double w_kp = 0.5 * (w.atp(i, j, k) + w.atp(i + 1, j, k));
+          const double w_km = 0.5 * (w.atp(i, j, k - 1) + w.atp(i + 1, j, k - 1));
+          const double duw = (u_kp * w_kp - u_km * w_km) * idz;
+
+          const double lap =
+              (u.atp(i + 1, j, k) - 2.0 * u.atp(i, j, k) + u.atp(i - 1, j, k)) * idx2 +
+              (u.atp(i, j + 1, k) - 2.0 * u.atp(i, j, k) + u.atp(i, j - 1, k)) * idy2 +
+              (u.atp(i, j, k + 1) - 2.0 * u.atp(i, j, k) + u.atp(i, j, k - 1)) * idz2;
+          fu.at(iu, j, k) = -(duu + duv + duw) + nu * lap;
+        }
+
+        // ---- v momentum at the y-face above cell j ----
+        {
+          const double v_ip = 0.5 * (v.atp(i, j, k) + v.atp(i + 1, j, k));
+          const double v_im = 0.5 * (v.atp(i - 1, j, k) + v.atp(i, j, k));
+          const double u_ip = 0.5 * (u.atp(i, j, k) + u.atp(i, j + 1, k));
+          const double u_im = 0.5 * (u.atp(i - 1, j, k) + u.atp(i - 1, j + 1, k));
+          const double dvu = (v_ip * u_ip - v_im * u_im) * idx;
+
+          const double vc_p = 0.5 * (v.atp(i, j, k) + v.atp(i, j + 1, k));
+          const double vc_m = 0.5 * (v.atp(i, j - 1, k) + v.atp(i, j, k));
+          const double dvv = (vc_p * vc_p - vc_m * vc_m) * idy;
+
+          const double v_kp = 0.5 * (v.atp(i, j, k) + v.atp(i, j, k + 1));
+          const double v_km = 0.5 * (v.atp(i, j, k - 1) + v.atp(i, j, k));
+          const double w_kp = 0.5 * (w.atp(i, j, k) + w.atp(i, j + 1, k));
+          const double w_km = 0.5 * (w.atp(i, j, k - 1) + w.atp(i, j + 1, k - 1));
+          const double dvw = (v_kp * w_kp - v_km * w_km) * idz;
+
+          const double lap =
+              (v.atp(i + 1, j, k) - 2.0 * v.atp(i, j, k) + v.atp(i - 1, j, k)) * idx2 +
+              (v.atp(i, j + 1, k) - 2.0 * v.atp(i, j, k) + v.atp(i, j - 1, k)) * idy2 +
+              (v.atp(i, j, k + 1) - 2.0 * v.atp(i, j, k) + v.atp(i, j, k - 1)) * idz2;
+          fv.at(iu, j, k) = -(dvu + dvv + dvw) + nu * lap;
+        }
+
+        // ---- w momentum at the z-face above cell k ----
+        {
+          // The wall faces themselves never accelerate.
+          const bool top_wall_face = d.at_top_wall() && k == nzl - 1;
+          if (top_wall_face) {
+            fw.at(iu, j, k) = 0.0;
+          } else {
+            const double w_ip = 0.5 * (w.atp(i, j, k) + w.atp(i + 1, j, k));
+            const double w_im = 0.5 * (w.atp(i - 1, j, k) + w.atp(i, j, k));
+            const double u_ip = 0.5 * (u.atp(i, j, k) + u.atp(i, j, k + 1));
+            const double u_im = 0.5 * (u.atp(i - 1, j, k) + u.atp(i - 1, j, k + 1));
+            const double dwu = (w_ip * u_ip - w_im * u_im) * idx;
+
+            const double w_jp = 0.5 * (w.atp(i, j, k) + w.atp(i, j + 1, k));
+            const double w_jm = 0.5 * (w.atp(i, j - 1, k) + w.atp(i, j, k));
+            const double v_jp = 0.5 * (v.atp(i, j, k) + v.atp(i, j, k + 1));
+            const double v_jm = 0.5 * (v.atp(i, j - 1, k) + v.atp(i, j - 1, k + 1));
+            const double dwv = (w_jp * v_jp - w_jm * v_jm) * idy;
+
+            const double wc_p = 0.5 * (w.atp(i, j, k) + w.atp(i, j, k + 1));
+            const double wc_m = 0.5 * (w.atp(i, j, k - 1) + w.atp(i, j, k));
+            const double dww = (wc_p * wc_p - wc_m * wc_m) * idz;
+
+            const double lap =
+                (w.atp(i + 1, j, k) - 2.0 * w.atp(i, j, k) + w.atp(i - 1, j, k)) * idx2 +
+                (w.atp(i, j + 1, k) - 2.0 * w.atp(i, j, k) + w.atp(i, j - 1, k)) * idy2 +
+                (w.atp(i, j, k + 1) - 2.0 * w.atp(i, j, k) + w.atp(i, j, k - 1)) * idz2;
+            fw.at(iu, j, k) = -(dwu + dwv + dww) + nu * lap;
+          }
+        }
+      }
+    }
+  }
+}
+
+void divergence(const Decomp& d, double dx, double dy, double dz, const Field& u,
+                const Field& v, const Field& w, std::span<double> out) {
+  const auto nx = static_cast<std::ptrdiff_t>(d.nx);
+  const auto nyl = static_cast<std::ptrdiff_t>(d.nyl());
+  const auto nzl = static_cast<std::ptrdiff_t>(d.nzl());
+  UNR_CHECK(out.size() == d.nx * d.nyl() * d.nzl());
+  const double idx = 1.0 / dx, idy = 1.0 / dy, idz = 1.0 / dz;
+  std::size_t o = 0;
+  for (std::ptrdiff_t k = 0; k < nzl; ++k)
+    for (std::ptrdiff_t j = 0; j < nyl; ++j)
+      for (std::ptrdiff_t i = 0; i < nx; ++i)
+        out[o++] = (u.atp(i, j, k) - u.atp(i - 1, j, k)) * idx +
+                   (v.atp(i, j, k) - v.atp(i, j - 1, k)) * idy +
+                   (w.atp(i, j, k) - w.atp(i, j, k - 1)) * idz;
+}
+
+void project_velocity(const Decomp& d, double dx, double dy, double dz, double dt,
+                      const Field& p, Field& u, Field& v, Field& w) {
+  const auto nx = static_cast<std::ptrdiff_t>(d.nx);
+  const auto nyl = static_cast<std::ptrdiff_t>(d.nyl());
+  const auto nzl = static_cast<std::ptrdiff_t>(d.nzl());
+  const double cdx = dt / dx, cdy = dt / dy, cdz = dt / dz;
+  for (std::ptrdiff_t k = 0; k < nzl; ++k)
+    for (std::ptrdiff_t j = 0; j < nyl; ++j)
+      for (std::ptrdiff_t i = 0; i < nx; ++i) {
+        const auto iu = static_cast<std::size_t>(i);
+        u.at(iu, j, k) -= cdx * (p.atp(i + 1, j, k) - p.atp(i, j, k));
+        v.at(iu, j, k) -= cdy * (p.atp(i, j + 1, k) - p.atp(i, j, k));
+        const bool top_wall_face = d.at_top_wall() && k == nzl - 1;
+        if (!top_wall_face)
+          w.at(iu, j, k) -= cdz * (p.atp(i, j, k + 1) - p.atp(i, j, k));
+      }
+}
+
+double max_abs_divergence(const Decomp& d, double dx, double dy, double dz,
+                          const Field& u, const Field& v, const Field& w) {
+  std::vector<double> div(d.nx * d.nyl() * d.nzl());
+  divergence(d, dx, dy, dz, u, v, w, div);
+  double m = 0.0;
+  for (double x : div) m = std::max(m, std::fabs(x));
+  return m;
+}
+
+}  // namespace unr::powerllel

@@ -1,0 +1,55 @@
+// Finite-difference kernels of the mini-PowerLLEL solver.
+//
+// Staggered MAC grid, 2nd-order central differences:
+//   u(i,j,k) — x-face right of cell i        v(i,j,k) — y-face above cell j
+//   w(i,j,k) — z-face above cell k           p(i,j,k) — cell center
+// Periodic in x (index wrap) and y (halo exchange); walls in z (no-slip or
+// free-slip). The staggering makes the projection exactly divergence-free
+// for the compact 7-point Laplacian solved by the PPE.
+#pragma once
+
+#include <span>
+
+#include "powerllel/decomp.hpp"
+#include "powerllel/field.hpp"
+
+namespace unr::powerllel {
+
+enum class ZBc { kNoSlip, kFreeSlip };
+
+/// Fill the wall-side z halos (ghost cells / wall faces) of the velocity.
+/// Interior z halos must already be exchanged. Only the bottom/top ranks of
+/// the column group touch anything.
+void apply_velocity_z_bc(const Decomp& d, ZBc bc, Field& u, Field& v, Field& w);
+
+/// Neumann ghost values for the pressure at the walls.
+void apply_pressure_z_bc(const Decomp& d, Field& p);
+
+/// Cell subsets for computation/communication overlap: kInterior cells never
+/// read a halo value, so their stencils can run while the halo exchange is
+/// still in flight; kBoundary is the complement.
+enum class Region { kAll, kInterior, kBoundary };
+
+/// Momentum right-hand side: advection (divergence form) + viscous
+/// diffusion, written into fu/fv/fw for the local faces of `region`.
+/// Wall w-faces get 0.
+void momentum_rhs(const Decomp& d, double dx, double dy, double dz, double nu,
+                  const Field& u, const Field& v, const Field& w, Field& fu,
+                  Field& fv, Field& fw, Region region = Region::kAll);
+
+/// Fraction of local cells in the interior region (for cost accounting).
+double interior_fraction(const Decomp& d);
+
+/// out[i + nx*(j + nyl*k)] = div(u,v,w) at cell (i,j,k).
+void divergence(const Decomp& d, double dx, double dy, double dz, const Field& u,
+                const Field& v, const Field& w, std::span<double> out);
+
+/// u -= dt * grad(p). Wall w-faces are left untouched (they stay 0).
+void project_velocity(const Decomp& d, double dx, double dy, double dz, double dt,
+                      const Field& p, Field& u, Field& v, Field& w);
+
+/// Local maximum |div|.
+double max_abs_divergence(const Decomp& d, double dx, double dy, double dz,
+                          const Field& u, const Field& v, const Field& w);
+
+}  // namespace unr::powerllel

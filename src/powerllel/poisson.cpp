@@ -1,0 +1,146 @@
+#include "powerllel/poisson.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace unr::powerllel {
+
+namespace {
+constexpr int kTridiagTagBase = 3000;
+/// Pin value for the singular (0,0) mode's first row: effectively replaces
+/// that row with "p = 0" while keeping the system tridiagonal.
+constexpr double kPinDiag = 1e30;
+}  // namespace
+
+PoissonSolver::PoissonSolver(runtime::Rank& rank, Config cfg)
+    : rank_(rank), cfg_(std::move(cfg)) {
+  const Decomp& d = cfg_.decomp;
+  d.validate();
+  UNR_CHECK_MSG(is_power_of_two(d.nx) && is_power_of_two(d.ny),
+                "nx and ny must be powers of two for the radix-2 FFT");
+  ns_per_point_ = cfg_.compute_ns_per_point > 0.0
+                      ? cfg_.compute_ns_per_point
+                      : rank_.fabric().profile().compute_ns_per_cell;
+
+  if (cfg_.backend == CommBackend::kUnr) {
+    UNR_CHECK_MSG(cfg_.unr != nullptr, "UNR backend requires a Unr instance");
+    transposer_ = make_unr_transposer(rank_, *cfg_.unr, d, cfg_.threads);
+  } else {
+    transposer_ = make_mpi_transposer(rank_, d, cfg_.threads);
+  }
+
+  const std::size_t nlines = d.nxl() * d.ny;
+  const std::size_t m = d.nzl();
+  // Largest tridiag sweep message: 3 doubles per line.
+  const std::size_t max_bytes = nlines * 3 * sizeof(double);
+  if (cfg_.backend == CommBackend::kUnr)
+    port_ = make_unr_tridiag_port(rank_, *cfg_.unr, d.col_group(), d.col(),
+                                  kTridiagTagBase, max_bytes);
+  else
+    port_ = make_mpi_tridiag_port(rank_, d.col_group(), d.col(), kTridiagTagBase);
+  tridiag_ = std::make_unique<DistTridiag>(d.col(), d.pc, m);
+
+  // Precompute the per-line systems. Line order: l = i + nxl * j.
+  const double idz2 = 1.0 / (cfg_.dz * cfg_.dz);
+  lines_.resize(nlines);
+  diag_.resize(nlines * m);
+  for (std::size_t j = 0; j < d.ny; ++j) {
+    const double ky2 = laplacian_eigenvalue(j, d.ny, cfg_.dy);
+    for (std::size_t i = 0; i < d.nxl(); ++i) {
+      const std::size_t ig = d.x0() + i;
+      const double kx2 = laplacian_eigenvalue(ig, d.nx, cfg_.dx);
+      const double k2 = kx2 + ky2;
+      const std::size_t l = i + d.nxl() * j;
+      lines_[l] = TridiagLine{idz2, idz2};
+      for (std::size_t k = 0; k < m; ++k) {
+        const std::size_t kg = d.z0() + k;
+        // Neumann walls: the missing neighbor's coupling folds back into
+        // the diagonal (ghost p equals interior p).
+        const bool at_bottom = kg == 0;
+        const bool at_top = kg == d.nz - 1;
+        double b = -2.0 * idz2 - k2;
+        if (at_bottom || at_top) b = -idz2 - k2;
+        if (k2 == 0.0 && at_bottom) b = kPinDiag;  // pin the singular mode
+        diag_[l * m + k] = b;
+      }
+    }
+  }
+
+  cx_.resize(d.nx * d.nyl() * d.nzl());
+  cy_.resize(d.nxl() * d.ny * d.nzl());
+  cz_.resize(nlines * m);
+}
+
+void PoissonSolver::charge(double points, double factor) {
+  rank_.compute(static_cast<Time>(points * factor * ns_per_point_), cfg_.threads);
+}
+
+void PoissonSolver::solve(std::span<double> rhs) {
+  const Decomp& d = cfg_.decomp;
+  const std::size_t nloc = d.nx * d.nyl() * d.nzl();
+  UNR_CHECK(rhs.size() == nloc);
+  const std::size_t nlines = d.nxl() * d.ny;
+  const std::size_t m = d.nzl();
+  const Time t_start = rank_.now();
+
+  // -> complex
+  for (std::size_t i = 0; i < nloc; ++i) cx_[i] = Complex(rhs[i], 0.0);
+  charge(static_cast<double>(nloc), 0.25);
+
+  // FFT in x.
+  Time t0 = rank_.now();
+  fft_batch(cx_.data(), d.nx, d.nyl() * d.nzl(), false);
+  charge(static_cast<double>(nloc) * std::log2(static_cast<double>(d.nx)), 0.6);
+  timings_.fft += rank_.now() - t0;
+
+  // Transpose to the y-pencil.
+  t0 = rank_.now();
+  transposer_->x_to_y(cx_.data(), cy_.data());
+  timings_.transpose += rank_.now() - t0;
+
+  // FFT in y.
+  t0 = rank_.now();
+  for (std::size_t k = 0; k < d.nzl(); ++k)
+    fft_strided(cy_.data() + d.nxl() * d.ny * k, d.ny, d.nxl(), d.nxl(), 1, false);
+  charge(static_cast<double>(nloc) * std::log2(static_cast<double>(d.ny)), 0.6);
+  timings_.fft += rank_.now() - t0;
+
+  // Repack to line-major z and solve the tridiagonal systems.
+  t0 = rank_.now();
+  for (std::size_t k = 0; k < m; ++k)
+    for (std::size_t l = 0; l < nlines; ++l)
+      cz_[l * m + k] = cy_[l + nlines * k];
+  charge(static_cast<double>(nlines * m), 0.25);
+  tridiag_->solve(lines_, diag_, cz_.data(), nlines, port_->port(), cfg_.method);
+  charge(static_cast<double>(nlines * m), 3.0);  // the 3 local Thomas passes
+  for (std::size_t k = 0; k < m; ++k)
+    for (std::size_t l = 0; l < nlines; ++l)
+      cy_[l + nlines * k] = cz_[l * m + k];
+  charge(static_cast<double>(nlines * m), 0.25);
+  timings_.tridiag += rank_.now() - t0;
+
+  // Inverse FFT y.
+  t0 = rank_.now();
+  for (std::size_t k = 0; k < d.nzl(); ++k)
+    fft_strided(cy_.data() + d.nxl() * d.ny * k, d.ny, d.nxl(), d.nxl(), 1, true);
+  charge(static_cast<double>(nloc) * std::log2(static_cast<double>(d.ny)), 0.6);
+  timings_.fft += rank_.now() - t0;
+
+  // Transpose back to the x-pencil.
+  t0 = rank_.now();
+  transposer_->y_to_x(cy_.data(), cx_.data());
+  timings_.transpose += rank_.now() - t0;
+
+  // Inverse FFT x, extract the real part.
+  t0 = rank_.now();
+  fft_batch(cx_.data(), d.nx, d.nyl() * d.nzl(), true);
+  charge(static_cast<double>(nloc) * std::log2(static_cast<double>(d.nx)), 0.6);
+  timings_.fft += rank_.now() - t0;
+  for (std::size_t i = 0; i < nloc; ++i) rhs[i] = cx_[i].real();
+  charge(static_cast<double>(nloc), 0.25);
+
+  timings_.total += rank_.now() - t_start;
+}
+
+}  // namespace unr::powerllel

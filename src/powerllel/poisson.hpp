@@ -1,0 +1,75 @@
+// FFT-based Pressure Poisson Equation solver (PowerLLEL's PPE, Fig. 3c/3e).
+//
+// Pipeline: FFT(x) -> transpose to y-pencil -> FFT(y) -> distributed
+// tridiagonal solve along z -> inverse FFT(y) -> transpose back -> inverse
+// FFT(x). Periodic in x and y; Neumann (wall) boundaries in z. The singular
+// (kx=ky=0) mode is pinned at one cell.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "powerllel/decomp.hpp"
+#include "powerllel/fft.hpp"
+#include "powerllel/transpose.hpp"
+#include "powerllel/tridiag.hpp"
+#include "powerllel/tridiag_port.hpp"
+#include "runtime/world.hpp"
+#include "unr/unr.hpp"
+
+namespace unr::powerllel {
+
+enum class CommBackend { kMpi, kUnr };
+
+struct PoissonTimings {
+  Time fft = 0;
+  Time transpose = 0;
+  Time tridiag = 0;
+  Time total = 0;
+  void reset() { *this = PoissonTimings{}; }
+};
+
+class PoissonSolver {
+ public:
+  struct Config {
+    Decomp decomp;
+    double dx = 1.0, dy = 1.0, dz = 1.0;
+    CommBackend backend = CommBackend::kMpi;
+    unrlib::Unr* unr = nullptr;  ///< required when backend == kUnr
+    TridiagMethod method = TridiagMethod::kReducedExact;
+    int threads = 1;             ///< compute threads for time charging
+    double compute_ns_per_point = 0.0;  ///< 0: use the profile's value
+  };
+
+  PoissonSolver(runtime::Rank& rank, Config cfg);
+
+  /// Solve lap(p) = rhs in place. `rhs` is the local x-pencil block
+  /// (nx * nyl * nzl reals, x fastest, no halo); on return it holds p.
+  void solve(std::span<double> rhs);
+
+  const PoissonTimings& timings() const { return timings_; }
+  void reset_timings() { timings_.reset(); }
+
+ private:
+  void charge(double points, double factor);
+
+  runtime::Rank& rank_;
+  Config cfg_;
+  std::unique_ptr<Transposer> transposer_;
+  std::unique_ptr<TridiagPort> port_;
+  std::unique_ptr<DistTridiag> tridiag_;
+
+  // Precomputed per-line tridiagonal systems (line = (i_local, j_global) in
+  // the y-pencil; nlines = nxl * ny).
+  std::vector<TridiagLine> lines_;
+  std::vector<double> diag_;
+
+  std::vector<Complex> cx_;   // x-pencil complex work array
+  std::vector<Complex> cy_;   // y-pencil complex work array
+  std::vector<Complex> cz_;   // line-major z work array
+  PoissonTimings timings_;
+  double ns_per_point_ = 2.0;
+};
+
+}  // namespace unr::powerllel

@@ -1,0 +1,239 @@
+#include "powerllel/solver.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace unr::powerllel {
+
+Solver::Solver(runtime::Rank& rank, SolverConfig cfg)
+    : rank_(rank),
+      cfg_([&] {
+        cfg.decomp.self = rank.id();
+        cfg.decomp.validate();
+        UNR_CHECK(cfg.decomp.pr * cfg.decomp.pc == rank.nranks());
+        return cfg;
+      }()),
+      dx_(cfg_.lx / static_cast<double>(cfg_.decomp.nx)),
+      dy_(cfg_.ly / static_cast<double>(cfg_.decomp.ny)),
+      dz_(cfg_.lz / static_cast<double>(cfg_.decomp.nz)),
+      ns_per_cell_(cfg_.compute_ns_per_cell > 0.0
+                       ? cfg_.compute_ns_per_cell
+                       : rank.fabric().profile().compute_ns_per_cell),
+      u_(cfg_.decomp.nx, cfg_.decomp.nyl(), cfg_.decomp.nzl()),
+      v_(cfg_.decomp.nx, cfg_.decomp.nyl(), cfg_.decomp.nzl()),
+      w_(cfg_.decomp.nx, cfg_.decomp.nyl(), cfg_.decomp.nzl()),
+      p_(cfg_.decomp.nx, cfg_.decomp.nyl(), cfg_.decomp.nzl()),
+      u1_(cfg_.decomp.nx, cfg_.decomp.nyl(), cfg_.decomp.nzl()),
+      v1_(cfg_.decomp.nx, cfg_.decomp.nyl(), cfg_.decomp.nzl()),
+      w1_(cfg_.decomp.nx, cfg_.decomp.nyl(), cfg_.decomp.nzl()),
+      fu_(cfg_.decomp.nx, cfg_.decomp.nyl(), cfg_.decomp.nzl()),
+      fv_(cfg_.decomp.nx, cfg_.decomp.nyl(), cfg_.decomp.nzl()),
+      fw_(cfg_.decomp.nx, cfg_.decomp.nyl(), cfg_.decomp.nzl()),
+      rhs_(cfg_.decomp.nx * cfg_.decomp.nyl() * cfg_.decomp.nzl(), 0.0) {
+  if (cfg_.backend == CommBackend::kUnr) {
+    UNR_CHECK_MSG(cfg_.unr != nullptr, "UNR backend requires a Unr instance");
+    vel_halo_ = make_unr_halo(rank_, *cfg_.unr, cfg_.decomp, 3, cfg_.threads);
+    p_halo_ = make_unr_halo(rank_, *cfg_.unr, cfg_.decomp, 1, cfg_.threads);
+  } else {
+    vel_halo_ = make_mpi_halo(rank_, cfg_.decomp, 3, cfg_.threads);
+    p_halo_ = make_mpi_halo(rank_, cfg_.decomp, 1, cfg_.threads);
+  }
+  PoissonSolver::Config pc;
+  pc.decomp = cfg_.decomp;
+  pc.dx = dx_;
+  pc.dy = dy_;
+  pc.dz = dz_;
+  pc.backend = cfg_.backend;
+  pc.unr = cfg_.unr;
+  pc.method = cfg_.tridiag_method;
+  pc.threads = cfg_.threads;
+  pc.compute_ns_per_point = ns_per_cell_;
+  poisson_ = std::make_unique<PoissonSolver>(rank_, pc);
+}
+
+void Solver::charge(double factor) {
+  const double cells =
+      static_cast<double>(cfg_.decomp.nx * cfg_.decomp.nyl() * cfg_.decomp.nzl());
+  rank_.compute(static_cast<Time>(cells * factor * ns_per_cell_), cfg_.threads);
+}
+
+void Solver::init_velocity(const InitFn& fu, const InitFn& fv, const InitFn& fw) {
+  const Decomp& d = cfg_.decomp;
+  for (std::size_t k = 0; k < d.nzl(); ++k) {
+    const double zc = (static_cast<double>(d.z0() + k) + 0.5) * dz_;
+    const double zf = static_cast<double>(d.z0() + k + 1) * dz_;
+    for (std::size_t j = 0; j < d.nyl(); ++j) {
+      const double yc = (static_cast<double>(d.y0() + j) + 0.5) * dy_;
+      const double yf = static_cast<double>(d.y0() + j + 1) * dy_;
+      for (std::size_t i = 0; i < d.nx; ++i) {
+        const double xc = (static_cast<double>(i) + 0.5) * dx_;
+        const double xf = static_cast<double>(i + 1) * dx_;
+        const auto js = static_cast<std::ptrdiff_t>(j);
+        const auto ks = static_cast<std::ptrdiff_t>(k);
+        u_.at(i, js, ks) = fu(xf, yc, zc);
+        v_.at(i, js, ks) = fv(xc, yf, zc);
+        w_.at(i, js, ks) = fw(xc, yc, zf);
+      }
+    }
+  }
+  apply_velocity_z_bc(cfg_.decomp, cfg_.bc, u_, v_, w_);
+}
+
+void Solver::exchange_velocity(Field& a, Field& b, Field& c) {
+  const Time t0 = rank_.now();
+  Field* fields[3] = {&a, &b, &c};
+  vel_halo_->exchange(fields);
+  apply_velocity_z_bc(cfg_.decomp, cfg_.bc, a, b, c);
+  timings_.halo += rank_.now() - t0;
+}
+
+void Solver::step() {
+  const Time t_step = rank_.now();
+  const double dt = cfg_.dt;
+  const Decomp& d = cfg_.decomp;
+  const auto nx = static_cast<std::ptrdiff_t>(d.nx);
+  const auto nyl = static_cast<std::ptrdiff_t>(d.nyl());
+  const auto nzl = static_cast<std::ptrdiff_t>(d.nzl());
+
+  // Compute the momentum RHS of (a, b, c) into fu_/fv_/fw_, exchanging the
+  // halos along the way. The UNR backend overlaps: halo puts fly while the
+  // interior stencils (which read no halo) run; only the boundary cells wait
+  // (the Fig. 3d synchronization-free structure). The MPI baseline keeps the
+  // original blocking exchange-then-compute order.
+  auto rhs_with_halo = [&](Field& a, Field& b, Field& c) {
+    Field* fields[3] = {&a, &b, &c};
+    if (cfg_.backend == CommBackend::kUnr && cfg_.overlap_halo) {
+      const double frac = interior_fraction(d);
+      Time t0 = rank_.now();
+      vel_halo_->start(fields);
+      timings_.halo += rank_.now() - t0;
+      momentum_rhs(d, dx_, dy_, dz_, cfg_.nu, a, b, c, fu_, fv_, fw_,
+                   Region::kInterior);
+      charge(8.0 * frac);
+      t0 = rank_.now();
+      vel_halo_->finish(fields);
+      apply_velocity_z_bc(d, cfg_.bc, a, b, c);
+      timings_.halo += rank_.now() - t0;
+      momentum_rhs(d, dx_, dy_, dz_, cfg_.nu, a, b, c, fu_, fv_, fw_,
+                   Region::kBoundary);
+      charge(8.0 * (1.0 - frac));
+    } else {
+      exchange_velocity(a, b, c);
+      momentum_rhs(d, dx_, dy_, dz_, cfg_.nu, a, b, c, fu_, fv_, fw_);
+      charge(8.0);
+    }
+  };
+
+  // ---- Velocity update: RK1 then RK2 (Fig. 3d) ----
+  rhs_with_halo(u_, v_, w_);
+  for (std::ptrdiff_t k = 0; k < nzl; ++k)
+    for (std::ptrdiff_t j = 0; j < nyl; ++j)
+      for (std::ptrdiff_t i = 0; i < nx; ++i) {
+        const auto iu = static_cast<std::size_t>(i);
+        u1_.at(iu, j, k) = u_.at(iu, j, k) + dt * fu_.at(iu, j, k);
+        v1_.at(iu, j, k) = v_.at(iu, j, k) + dt * fv_.at(iu, j, k);
+        w1_.at(iu, j, k) = w_.at(iu, j, k) + dt * fw_.at(iu, j, k);
+      }
+  charge(1.0);
+
+  rhs_with_halo(u1_, v1_, w1_);
+  for (std::ptrdiff_t k = 0; k < nzl; ++k)
+    for (std::ptrdiff_t j = 0; j < nyl; ++j)
+      for (std::ptrdiff_t i = 0; i < nx; ++i) {
+        const auto iu = static_cast<std::size_t>(i);
+        u_.at(iu, j, k) = 0.5 * (u_.at(iu, j, k) + u1_.at(iu, j, k) + dt * fu_.at(iu, j, k));
+        v_.at(iu, j, k) = 0.5 * (v_.at(iu, j, k) + v1_.at(iu, j, k) + dt * fv_.at(iu, j, k));
+        w_.at(iu, j, k) = 0.5 * (w_.at(iu, j, k) + w1_.at(iu, j, k) + dt * fw_.at(iu, j, k));
+      }
+  charge(1.0);
+  // The divergence stencil needs the lower halos of the provisional field.
+  exchange_velocity(u_, v_, w_);
+  timings_.velocity += rank_.now() - t_step;
+
+  // ---- Pressure Poisson solve (Fig. 3e) ----
+  const Time t_ppe = rank_.now();
+  divergence(d, dx_, dy_, dz_, u_, v_, w_, rhs_);
+  for (double& r : rhs_) r /= dt;
+  charge(1.0);
+  const PoissonTimings before = poisson_->timings();
+  poisson_->solve(rhs_);
+  const PoissonTimings& after = poisson_->timings();
+  timings_.ppe_fft += after.fft - before.fft;
+  timings_.ppe_transpose += after.transpose - before.transpose;
+  timings_.ppe_tridiag += after.tridiag - before.tridiag;
+  timings_.ppe += rank_.now() - t_ppe;
+
+  // ---- Velocity correction ----
+  const Time t_corr = rank_.now();
+  std::size_t o = 0;
+  for (std::ptrdiff_t k = 0; k < nzl; ++k)
+    for (std::ptrdiff_t j = 0; j < nyl; ++j)
+      for (std::ptrdiff_t i = 0; i < nx; ++i)
+        p_.at(static_cast<std::size_t>(i), j, k) = rhs_[o++];
+  Field* pf[1] = {&p_};
+  p_halo_->exchange(pf);
+  apply_pressure_z_bc(d, p_);
+  project_velocity(d, dx_, dy_, dz_, dt, p_, u_, v_, w_);
+  apply_velocity_z_bc(d, cfg_.bc, u_, v_, w_);
+  charge(1.5);
+  timings_.correction += rank_.now() - t_corr;
+
+  timings_.total += rank_.now() - t_step;
+  t_ += dt;
+}
+
+void Solver::run(int steps) {
+  for (int s = 0; s < steps; ++s) step();
+}
+
+double Solver::global_max_divergence() {
+  // The divergence stencil reads the lower halos: refresh them first.
+  exchange_velocity(u_, v_, w_);
+  double m = max_abs_divergence(cfg_.decomp, dx_, dy_, dz_, u_, v_, w_);
+  runtime::allreduce_max(rank_.comm(), rank_.id(), &m, 1);
+  return m;
+}
+
+double Solver::global_kinetic_energy() {
+  const Decomp& d = cfg_.decomp;
+  double e = 0.0;
+  for (std::size_t k = 0; k < d.nzl(); ++k)
+    for (std::size_t j = 0; j < d.nyl(); ++j)
+      for (std::size_t i = 0; i < d.nx; ++i) {
+        const auto js = static_cast<std::ptrdiff_t>(j);
+        const auto ks = static_cast<std::ptrdiff_t>(k);
+        e += u_.at(i, js, ks) * u_.at(i, js, ks) + v_.at(i, js, ks) * v_.at(i, js, ks) +
+             w_.at(i, js, ks) * w_.at(i, js, ks);
+      }
+  e *= 0.5 * dx_ * dy_ * dz_;
+  runtime::allreduce_sum(rank_.comm(), rank_.id(), &e, 1);
+  return e;
+}
+
+void Solver::reset_timings() {
+  timings_.reset();
+  poisson_->reset_timings();
+}
+
+StepTimings Solver::reduce_timings() {
+  double vals[8] = {
+      static_cast<double>(timings_.velocity), static_cast<double>(timings_.halo),
+      static_cast<double>(timings_.ppe),      static_cast<double>(timings_.ppe_fft),
+      static_cast<double>(timings_.ppe_transpose),
+      static_cast<double>(timings_.ppe_tridiag),
+      static_cast<double>(timings_.correction), static_cast<double>(timings_.total)};
+  runtime::allreduce_max(rank_.comm(), rank_.id(), vals, 8);
+  StepTimings r;
+  r.velocity = static_cast<Time>(vals[0]);
+  r.halo = static_cast<Time>(vals[1]);
+  r.ppe = static_cast<Time>(vals[2]);
+  r.ppe_fft = static_cast<Time>(vals[3]);
+  r.ppe_transpose = static_cast<Time>(vals[4]);
+  r.ppe_tridiag = static_cast<Time>(vals[5]);
+  r.correction = static_cast<Time>(vals[6]);
+  r.total = static_cast<Time>(vals[7]);
+  return r;
+}
+
+}  // namespace unr::powerllel

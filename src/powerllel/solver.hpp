@@ -1,0 +1,108 @@
+// Mini-PowerLLEL: an incompressible Navier-Stokes solver with the same
+// computational and communication structure as the paper's application
+// (Section V): RK2 velocity update with halo exchanges, FFT+PDD Pressure
+// Poisson solver with pencil transposes, fractional-step projection.
+//
+// Two communication backends share all numerics:
+//   kMpi — two-sided isend/irecv + pairwise collectives (the baseline)
+//   kUnr — UNR notified RMA with synchronization-free double buffering
+//          (Fig. 3d/3e optimizations)
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "powerllel/decomp.hpp"
+#include "powerllel/field.hpp"
+#include "powerllel/halo.hpp"
+#include "powerllel/ns_kernels.hpp"
+#include "powerllel/poisson.hpp"
+#include "runtime/world.hpp"
+#include "unr/unr.hpp"
+
+namespace unr::powerllel {
+
+struct SolverConfig {
+  Decomp decomp;  ///< `self` is filled in by the constructor
+  double lx = 6.283185307179586, ly = 6.283185307179586, lz = 2.0;
+  double nu = 0.01;
+  double dt = 1e-3;
+  ZBc bc = ZBc::kNoSlip;
+  CommBackend backend = CommBackend::kMpi;
+  unrlib::Unr* unr = nullptr;  ///< required for kUnr
+  TridiagMethod tridiag_method = TridiagMethod::kReducedExact;
+  int threads = 1;                    ///< OpenMP-style threads per rank (cost model)
+  double compute_ns_per_cell = 0.0;   ///< 0: take the system profile's value
+  /// UNR backend only: overlap halo transfers with the interior stencils
+  /// (Fig. 3d). Disable to isolate the pure transport gain in ablations.
+  bool overlap_halo = true;
+};
+
+/// Virtual-time breakdown of one rank's run, in the paper's categories
+/// (Fig. 6 / Fig. 7 stack the same bars).
+struct StepTimings {
+  Time velocity = 0;     ///< RK substeps: halo exchange + RHS + update
+  Time halo = 0;         ///< communication share of `velocity`
+  Time ppe = 0;          ///< whole PPE solve (incl. the pieces below)
+  Time ppe_fft = 0;
+  Time ppe_transpose = 0;
+  Time ppe_tridiag = 0;
+  Time correction = 0;   ///< divergence, pressure halo, velocity correction
+  Time total = 0;
+  void reset() { *this = StepTimings{}; }
+};
+
+class Solver {
+ public:
+  Solver(runtime::Rank& rank, SolverConfig cfg);
+
+  /// Initialize the velocity from a callback evaluated at each component's
+  /// staggered position (global coordinates).
+  using InitFn = std::function<double(double x, double y, double z)>;
+  void init_velocity(const InitFn& fu, const InitFn& fv, const InitFn& fw);
+
+  void step();
+  void run(int steps);
+
+  Field& u() { return u_; }
+  Field& v() { return v_; }
+  Field& w() { return w_; }
+  Field& p() { return p_; }
+  const Decomp& decomp() const { return cfg_.decomp; }
+  double dx() const { return dx_; }
+  double dy() const { return dy_; }
+  double dz() const { return dz_; }
+  double time() const { return t_; }
+
+  /// Global max |div(u)| (collective).
+  double global_max_divergence();
+  /// Global kinetic energy sum(u^2+v^2+w^2)/2 * cell volume (collective).
+  double global_kinetic_energy();
+
+  const StepTimings& timings() const { return timings_; }
+  void reset_timings();
+  /// Collective: element-wise max of the breakdown across ranks.
+  StepTimings reduce_timings();
+
+ private:
+  void exchange_velocity(Field& a, Field& b, Field& c);
+  void charge(double factor);
+
+  runtime::Rank& rank_;
+  SolverConfig cfg_;
+  double dx_, dy_, dz_;
+  double t_ = 0.0;
+  double ns_per_cell_;
+
+  Field u_, v_, w_, p_;
+  Field u1_, v1_, w1_;   // RK stage
+  Field fu_, fv_, fw_;   // RHS
+  std::vector<double> rhs_;
+
+  std::unique_ptr<HaloExchange> vel_halo_;
+  std::unique_ptr<HaloExchange> p_halo_;
+  std::unique_ptr<PoissonSolver> poisson_;
+  StepTimings timings_;
+};
+
+}  // namespace unr::powerllel

@@ -1,0 +1,265 @@
+#include "powerllel/transpose.hpp"
+
+#include <cstring>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace unr::powerllel {
+
+namespace {
+
+constexpr int kTransposeTagBase = 2000;
+
+/// Pack the x-block destined for row `q` out of my x-pencil array.
+/// Buffer layout: (i local in [0,nxl), j in [0,nyl), k in [0,nzl)), i fastest.
+void pack_fwd(const Decomp& d, int q, const Complex* in, Complex* buf) {
+  const std::size_t nxl = d.nxl(), nyl = d.nyl(), nzl = d.nzl(), nx = d.nx;
+  const std::size_t xoff = static_cast<std::size_t>(q) * nxl;
+  std::size_t o = 0;
+  for (std::size_t k = 0; k < nzl; ++k)
+    for (std::size_t j = 0; j < nyl; ++j) {
+      const Complex* src = in + xoff + nx * (j + nyl * k);
+      std::memcpy(buf + o, src, nxl * sizeof(Complex));
+      o += nxl;
+    }
+}
+
+/// Unpack row `q`'s block into my y-pencil array (q's y range).
+void unpack_fwd(const Decomp& d, int q, const Complex* buf, Complex* out) {
+  const std::size_t nxl = d.nxl(), nyl = d.nyl(), nzl = d.nzl(), ny = d.ny;
+  const std::size_t yoff = static_cast<std::size_t>(q) * nyl;
+  std::size_t o = 0;
+  for (std::size_t k = 0; k < nzl; ++k)
+    for (std::size_t j = 0; j < nyl; ++j) {
+      Complex* dst = out + nxl * ((yoff + j) + ny * k);
+      std::memcpy(dst, buf + o, nxl * sizeof(Complex));
+      o += nxl;
+    }
+}
+
+/// Pack the y-block destined for row `q` out of my y-pencil array.
+void pack_bwd(const Decomp& d, int q, const Complex* in, Complex* buf) {
+  const std::size_t nxl = d.nxl(), nyl = d.nyl(), nzl = d.nzl(), ny = d.ny;
+  const std::size_t yoff = static_cast<std::size_t>(q) * nyl;
+  std::size_t o = 0;
+  for (std::size_t k = 0; k < nzl; ++k)
+    for (std::size_t j = 0; j < nyl; ++j) {
+      const Complex* src = in + nxl * ((yoff + j) + ny * k);
+      std::memcpy(buf + o, src, nxl * sizeof(Complex));
+      o += nxl;
+    }
+}
+
+/// Unpack row `q`'s block into my x-pencil array (q's x range).
+void unpack_bwd(const Decomp& d, int q, const Complex* buf, Complex* out) {
+  const std::size_t nxl = d.nxl(), nyl = d.nyl(), nzl = d.nzl(), nx = d.nx;
+  const std::size_t xoff = static_cast<std::size_t>(q) * nxl;
+  std::size_t o = 0;
+  for (std::size_t k = 0; k < nzl; ++k)
+    for (std::size_t j = 0; j < nyl; ++j) {
+      Complex* dst = out + xoff + nx * (j + nyl * k);
+      std::memcpy(dst, buf + o, nxl * sizeof(Complex));
+      o += nxl;
+    }
+}
+
+std::size_t block_elems(const Decomp& d) { return d.nxl() * d.nyl() * d.nzl(); }
+
+class MpiTransposer final : public Transposer {
+ public:
+  MpiTransposer(runtime::Rank& rank, const Decomp& d, int threads)
+      : rank_(rank), d_(d), threads_(threads) {
+    const std::size_t b = block_elems(d_);
+    send_.resize(static_cast<std::size_t>(d_.pr) * b);
+    recv_.resize(static_cast<std::size_t>(d_.pr) * b);
+  }
+
+  void x_to_y(const Complex* in, Complex* out) override { run(in, out, true); }
+  void y_to_x(const Complex* in, Complex* out) override { run(in, out, false); }
+
+ private:
+  void run(const Complex* in, Complex* out, bool fwd) {
+    const std::size_t b = block_elems(d_);
+    const int my_row = d_.row();
+    const auto& prof = rank_.fabric().profile();
+    const int tag = kTransposeTagBase + (fwd ? 0 : 1);
+
+    // MPI_Alltoallv-like baseline: pack everything, then a pairwise
+    // shifted exchange in lockstep (each step completes before the next).
+    for (int q = 0; q < d_.pr; ++q) {
+      Complex* buf = send_.data() + static_cast<std::size_t>(q) * b;
+      if (fwd)
+        pack_fwd(d_, q, in, buf);
+      else
+        pack_bwd(d_, q, in, buf);
+    }
+    rank_.kernel().sleep_for(
+        prof.memcpy_time(static_cast<std::size_t>(d_.pr) * b * sizeof(Complex)) /
+        static_cast<Time>(threads_));
+    for (int s = 1; s < d_.pr; ++s) {
+      const int dst = (my_row + s) % d_.pr;
+      const int src = (my_row - s + d_.pr) % d_.pr;
+      rank_.sendrecv(d_.rank_of(dst, d_.col()), tag,
+                     send_.data() + static_cast<std::size_t>(dst) * b,
+                     b * sizeof(Complex), d_.rank_of(src, d_.col()), tag,
+                     recv_.data() + static_cast<std::size_t>(src) * b,
+                     b * sizeof(Complex));
+    }
+
+    // Self block straight from the send staging.
+    std::memcpy(recv_.data() + static_cast<std::size_t>(my_row) * b,
+                send_.data() + static_cast<std::size_t>(my_row) * b,
+                b * sizeof(Complex));
+    for (int q = 0; q < d_.pr; ++q) {
+      const Complex* buf = recv_.data() + static_cast<std::size_t>(q) * b;
+      if (fwd)
+        unpack_fwd(d_, q, buf, out);
+      else
+        unpack_bwd(d_, q, buf, out);
+    }
+    rank_.kernel().sleep_for(
+        prof.memcpy_time(static_cast<std::size_t>(d_.pr) * b * sizeof(Complex)) /
+        static_cast<Time>(threads_));
+  }
+
+  runtime::Rank& rank_;
+  Decomp d_;
+  int threads_;
+  std::vector<Complex> send_, recv_;
+};
+
+class UnrTransposer final : public Transposer {
+ public:
+  UnrTransposer(runtime::Rank& rank, unrlib::Unr& unr, const Decomp& d, int threads)
+      : rank_(rank), unr_(unr), d_(d), threads_(threads) {
+    for (int dir = 0; dir < 2; ++dir) setup_direction(dir);
+  }
+
+  void x_to_y(const Complex* in, Complex* out) override { run(in, out, true); }
+  void y_to_x(const Complex* in, Complex* out) override { run(in, out, false); }
+
+ private:
+  struct Side {
+    std::vector<Complex> send, recv;        // pr blocks each
+    unrlib::MemHandle send_mem, recv_mem;
+    std::vector<unrlib::SigId> recv_sigs;   // one per source: per-block consumption
+    unrlib::SigId send_sig = unrlib::kNoSig;
+    std::vector<unrlib::Blk> peer;          // where my block for row q lives at q
+    bool used = false;
+  };
+
+  void setup_direction(int dir) {
+    Side& s = sides_[static_cast<std::size_t>(dir)];
+    const std::size_t b = block_elems(d_);
+    const auto npr = static_cast<std::size_t>(d_.pr);
+    s.send.resize(npr * b);
+    s.recv.resize(npr * b);
+    s.send_mem = unr_.mem_reg(rank_.id(), s.send.data(), npr * b * sizeof(Complex));
+    s.recv_mem = unr_.mem_reg(rank_.id(), s.recv.data(), npr * b * sizeof(Complex));
+    s.recv_sigs.resize(npr, unrlib::kNoSig);
+    s.peer.resize(npr);
+    if (d_.pr > 1) s.send_sig = unr_.sig_init(rank_.id(), d_.pr - 1);
+
+    // Exchange blks: my recv slot q (bound to its own signal so blocks can
+    // be consumed per source as they land) goes to row q.
+    std::vector<unrlib::Blk> my_blks(npr);
+    std::vector<runtime::RequestPtr> reqs;
+    for (int q = 0; q < d_.pr; ++q) {
+      if (q == d_.row()) continue;
+      const auto qi = static_cast<std::size_t>(q);
+      s.recv_sigs[qi] = unr_.sig_init(rank_.id(), 1);
+      my_blks[qi] = unr_.blk_init(rank_.id(), s.recv_mem, qi * b * sizeof(Complex),
+                                  b * sizeof(Complex), s.recv_sigs[qi]);
+      const int nb = d_.rank_of(q, d_.col());
+      const int tag = kTransposeTagBase + 100 + dir;
+      reqs.push_back(rank_.irecv(nb, tag, &s.peer[qi], sizeof(unrlib::Blk)));
+      reqs.push_back(rank_.isend(nb, tag, &my_blks[qi], sizeof(unrlib::Blk)));
+    }
+    rank_.wait_all(reqs);
+  }
+
+  void run(const Complex* in, Complex* out, bool fwd) {
+    Side& s = sides_[fwd ? 0 : 1];
+    const std::size_t b = block_elems(d_);
+    const int my_row = d_.row();
+    const auto& prof = rank_.fabric().profile();
+
+    if (s.used && s.send_sig != unrlib::kNoSig) {
+      unr_.sig_wait(rank_.id(), s.send_sig);
+      unr_.sig_reset(rank_.id(), s.send_sig);
+    }
+
+    // Pipelined sends: pack one block, fire it, pack the next (Fig. 3e).
+    for (int off = 0; off < d_.pr; ++off) {
+      const int q = (my_row + off) % d_.pr;
+      const auto qi = static_cast<std::size_t>(q);
+      Complex* buf = s.send.data() + qi * b;
+      if (fwd)
+        pack_fwd(d_, q, in, buf);
+      else
+        pack_bwd(d_, q, in, buf);
+      rank_.kernel().sleep_for(prof.memcpy_time(b * sizeof(Complex)) /
+                               static_cast<Time>(threads_));
+      if (q == my_row) {
+        if (fwd)
+          unpack_fwd(d_, q, buf, out);
+        else
+          unpack_bwd(d_, q, buf, out);
+        rank_.kernel().sleep_for(prof.memcpy_time(b * sizeof(Complex)) /
+                                 static_cast<Time>(threads_));
+        continue;
+      }
+      const unrlib::Blk local = unr_.blk_init(rank_.id(), s.send_mem,
+                                              qi * b * sizeof(Complex),
+                                              b * sizeof(Complex), s.send_sig);
+      unr_.put(rank_.id(), local, s.peer[qi]);
+    }
+
+    // Consume blocks in ARRIVAL order (Fig. 3e pipelining): wait on the
+    // union of the per-source signals and unpack whichever block landed.
+    std::vector<unrlib::SigId> pending_sigs;
+    std::vector<int> pending_rows;
+    for (int off = 1; off < d_.pr; ++off) {
+      const int q = (my_row + off) % d_.pr;
+      pending_sigs.push_back(s.recv_sigs[static_cast<std::size_t>(q)]);
+      pending_rows.push_back(q);
+    }
+    while (!pending_sigs.empty()) {
+      const std::size_t hit = unr_.sig_wait_any(rank_.id(), pending_sigs);
+      const int q = pending_rows[hit];
+      const auto qi = static_cast<std::size_t>(q);
+      unr_.sig_reset(rank_.id(), s.recv_sigs[qi]);
+      const Complex* buf = s.recv.data() + qi * b;
+      if (fwd)
+        unpack_fwd(d_, q, buf, out);
+      else
+        unpack_bwd(d_, q, buf, out);
+      rank_.kernel().sleep_for(prof.memcpy_time(b * sizeof(Complex)) /
+                               static_cast<Time>(threads_));
+      pending_sigs.erase(pending_sigs.begin() + static_cast<std::ptrdiff_t>(hit));
+      pending_rows.erase(pending_rows.begin() + static_cast<std::ptrdiff_t>(hit));
+    }
+    s.used = true;
+  }
+
+  runtime::Rank& rank_;
+  unrlib::Unr& unr_;
+  Decomp d_;
+  int threads_;
+  std::array<Side, 2> sides_;
+};
+
+}  // namespace
+
+std::unique_ptr<Transposer> make_mpi_transposer(runtime::Rank& rank, const Decomp& d,
+                                                int threads) {
+  return std::make_unique<MpiTransposer>(rank, d, threads);
+}
+
+std::unique_ptr<Transposer> make_unr_transposer(runtime::Rank& rank, unrlib::Unr& unr,
+                                                const Decomp& d, int threads) {
+  return std::make_unique<UnrTransposer>(rank, unr, d, threads);
+}
+
+}  // namespace unr::powerllel

@@ -1,0 +1,40 @@
+// Pencil transposes for the PPE solver (Fig. 3c of the paper).
+//
+// x-pencil (nx, ny/pr, nz/pc) <-> y-pencil (nx/pr, ny, nz/pc), redistributed
+// within the row group (the pr ranks sharing a z slab). Both layouts store x
+// fastest, then y, then z.
+//
+// Backends:
+//   * MPI — pack everything, pairwise nonblocking exchange, unpack (the
+//     baseline Alltoall structure).
+//   * UNR — pipelined notified PUTs (Fig. 3e): each peer's block is packed
+//     and fired immediately; the receiver consumes blocks per-source as
+//     their individual signals trigger. Back-to-back transposes act as each
+//     other's pre-synchronization, so no explicit sync remains.
+#pragma once
+
+#include <memory>
+
+#include "powerllel/decomp.hpp"
+#include "powerllel/fft.hpp"
+#include "runtime/world.hpp"
+#include "unr/unr.hpp"
+
+namespace unr::powerllel {
+
+class Transposer {
+ public:
+  virtual ~Transposer() = default;
+  /// x-pencil -> y-pencil. in: (nx, nyl, nzl); out: (nxl, ny, nzl).
+  virtual void x_to_y(const Complex* in, Complex* out) = 0;
+  /// y-pencil -> x-pencil. in: (nxl, ny, nzl); out: (nx, nyl, nzl).
+  virtual void y_to_x(const Complex* in, Complex* out) = 0;
+};
+
+/// `threads`: pack/unpack copies are thread-parallel; time charge divided.
+std::unique_ptr<Transposer> make_mpi_transposer(runtime::Rank& rank, const Decomp& d,
+                                                int threads = 1);
+std::unique_ptr<Transposer> make_unr_transposer(runtime::Rank& rank, unrlib::Unr& unr,
+                                                const Decomp& d, int threads = 1);
+
+}  // namespace unr::powerllel

@@ -1,0 +1,219 @@
+#include "powerllel/tridiag.hpp"
+
+#include <cstring>
+
+#include "common/check.hpp"
+
+namespace unr::powerllel {
+
+void thomas_inplace(double a, std::span<const double> b, double c,
+                    std::span<Complex> d) {
+  const std::size_t n = b.size();
+  UNR_CHECK(d.size() == n && n >= 1);
+  // Scratch for the modified super-diagonal.
+  static thread_local std::vector<double> cp;
+  cp.resize(n);
+  UNR_CHECK_MSG(b[0] != 0.0, "singular tridiagonal system");
+  cp[0] = c / b[0];
+  d[0] /= b[0];
+  for (std::size_t i = 1; i < n; ++i) {
+    const double denom = b[i] - a * cp[i - 1];
+    UNR_CHECK_MSG(denom != 0.0, "singular tridiagonal system at row " << i);
+    cp[i] = c / denom;
+    d[i] = (d[i] - a * d[i - 1]) / denom;
+  }
+  for (std::size_t i = n - 1; i-- > 0;) d[i] -= cp[i] * d[i + 1];
+}
+
+void thomas_inplace_real(double a, std::span<const double> b, double c,
+                         std::span<double> d) {
+  const std::size_t n = b.size();
+  UNR_CHECK(d.size() == n && n >= 1);
+  static thread_local std::vector<double> cp;
+  cp.resize(n);
+  UNR_CHECK(b[0] != 0.0);
+  cp[0] = c / b[0];
+  d[0] /= b[0];
+  for (std::size_t i = 1; i < n; ++i) {
+    const double denom = b[i] - a * cp[i - 1];
+    UNR_CHECK(denom != 0.0);
+    cp[i] = c / denom;
+    d[i] = (d[i] - a * d[i - 1]) / denom;
+  }
+  for (std::size_t i = n - 1; i-- > 0;) d[i] -= cp[i] * d[i + 1];
+}
+
+DistTridiag::DistTridiag(int my_index, int nprocs, std::size_t n_local)
+    : my_index_(my_index), nprocs_(nprocs), n_local_(n_local) {
+  UNR_CHECK(my_index >= 0 && my_index < nprocs && n_local >= 2);
+}
+
+void DistTridiag::local_solves(std::span<const TridiagLine> lines,
+                               std::span<const double> diag, Complex* rhs,
+                               std::size_t nlines, std::vector<double>& v,
+                               std::vector<double>& u) {
+  const std::size_t m = n_local_;
+  v.assign(nlines * m, 0.0);
+  u.assign(nlines * m, 0.0);
+  for (std::size_t l = 0; l < nlines; ++l) {
+    const TridiagLine& ln = lines[l];
+    const std::span<const double> b = diag.subspan(l * m, m);
+    thomas_inplace(ln.a, b, ln.c, std::span<Complex>(rhs + l * m, m));
+    if (my_index_ > 0) {
+      std::span<double> vl(v.data() + l * m, m);
+      vl[0] = ln.a;  // A_p v = a e_0
+      thomas_inplace_real(ln.a, b, ln.c, vl);
+    }
+    if (my_index_ < nprocs_ - 1) {
+      std::span<double> ul(u.data() + l * m, m);
+      ul[m - 1] = ln.c;  // A_p u = c e_{m-1}
+      thomas_inplace_real(ln.a, b, ln.c, ul);
+    }
+  }
+}
+
+void DistTridiag::solve(std::span<const TridiagLine> lines,
+                        std::span<const double> diag, Complex* rhs,
+                        std::size_t nlines, const NeighborPort& port,
+                        TridiagMethod method) {
+  UNR_CHECK(lines.size() == nlines);
+  UNR_CHECK(diag.size() == nlines * n_local_);
+  if (nprocs_ == 1) {
+    // No interfaces: the local solve IS the global solve.
+    for (std::size_t l = 0; l < nlines; ++l)
+      thomas_inplace(lines[l].a, diag.subspan(l * n_local_, n_local_), lines[l].c,
+                     std::span<Complex>(rhs + l * n_local_, n_local_));
+    return;
+  }
+  if (method == TridiagMethod::kReducedExact)
+    solve_exact(lines, diag, rhs, nlines, port);
+  else
+    solve_pdd(lines, diag, rhs, nlines, port);
+}
+
+void DistTridiag::solve_exact(std::span<const TridiagLine> lines,
+                              std::span<const double> diag, Complex* rhs,
+                              std::size_t nlines, const NeighborPort& port) {
+  const std::size_t m = n_local_;
+  std::vector<double> v, u;
+  local_solves(lines, diag, rhs, nlines, v, u);
+
+  // Forward sweep (bottom -> top): eliminate L_p = alpha + beta * F_{p+1}.
+  // Wire format per line: {alpha.re, alpha.im, beta}.
+  std::vector<double> prev(nlines * 3, 0.0), mine(nlines * 3, 0.0);
+  std::vector<Complex> gamma(nlines, 0.0);
+  std::vector<double> delta(nlines, 0.0);
+  if (my_index_ > 0) port.recv_down(prev.data(), prev.size() * sizeof(double));
+  for (std::size_t l = 0; l < nlines; ++l) {
+    const Complex* w = rhs + l * m;
+    const double* vl = v.data() + l * m;
+    const double* ul = u.data() + l * m;
+    Complex alpha;
+    double beta;
+    if (my_index_ == 0) {
+      alpha = w[m - 1];
+      beta = -ul[m - 1];
+    } else {
+      const Complex alpha_prev(prev[l * 3], prev[l * 3 + 1]);
+      const double beta_prev = prev[l * 3 + 2];
+      const double d = 1.0 + beta_prev * vl[0];
+      UNR_CHECK_MSG(d != 0.0, "reduced interface system singular");
+      gamma[l] = (w[0] - alpha_prev * vl[0]) / d;
+      delta[l] = -ul[0] / d;
+      alpha = w[m - 1] - alpha_prev * vl[m - 1] - beta_prev * vl[m - 1] * gamma[l];
+      beta = -beta_prev * vl[m - 1] * delta[l] - ul[m - 1];
+    }
+    mine[l * 3] = alpha.real();
+    mine[l * 3 + 1] = alpha.imag();
+    mine[l * 3 + 2] = beta;
+  }
+  if (my_index_ < nprocs_ - 1)
+    port.send_up(mine.data(), mine.size() * sizeof(double));
+
+  // Backward sweep (top -> bottom): resolve the F values.
+  std::vector<double> fnext(nlines * 2, 0.0), fmine(nlines * 2, 0.0);
+  if (my_index_ < nprocs_ - 1)
+    port.recv_up(fnext.data(), fnext.size() * sizeof(double));
+  for (std::size_t l = 0; l < nlines; ++l) {
+    const Complex f_above(fnext[l * 2], fnext[l * 2 + 1]);
+    Complex f_here(0.0, 0.0);
+    if (my_index_ > 0) f_here = gamma[l] + delta[l] * f_above;
+    fmine[l * 2] = f_here.real();
+    fmine[l * 2 + 1] = f_here.imag();
+
+    // Apply the corrections: x = w - xi*v - eta*u.
+    const Complex alpha_prev(prev[l * 3], prev[l * 3 + 1]);
+    const double beta_prev = prev[l * 3 + 2];
+    const Complex xi = my_index_ > 0 ? alpha_prev + beta_prev * f_here : Complex(0.0);
+    const Complex eta = my_index_ < nprocs_ - 1 ? f_above : Complex(0.0);
+    Complex* w = rhs + l * m;
+    const double* vl = v.data() + l * m;
+    const double* ul = u.data() + l * m;
+    for (std::size_t i = 0; i < m; ++i) w[i] -= xi * vl[i] + eta * ul[i];
+  }
+  if (my_index_ > 0) port.send_down(fmine.data(), fmine.size() * sizeof(double));
+}
+
+void DistTridiag::solve_pdd(std::span<const TridiagLine> lines,
+                            std::span<const double> diag, Complex* rhs,
+                            std::size_t nlines, const NeighborPort& port) {
+  const std::size_t m = n_local_;
+  std::vector<double> v, u;
+  local_solves(lines, diag, rhs, nlines, v, u);
+
+  // Step 1: everyone (except block 0) ships its first-row data downwards.
+  // Wire format per line: {w0.re, w0.im, v0}.
+  std::vector<double> down_msg(nlines * 3, 0.0), from_up(nlines * 3, 0.0);
+  if (my_index_ > 0) {
+    for (std::size_t l = 0; l < nlines; ++l) {
+      const Complex w0 = rhs[l * m];
+      down_msg[l * 3] = w0.real();
+      down_msg[l * 3 + 1] = w0.imag();
+      down_msg[l * 3 + 2] = v[l * m];
+    }
+    port.send_down(down_msg.data(), down_msg.size() * sizeof(double));
+  }
+
+  // Step 2: solve the decoupled 2x2 interface systems and ship L_p upwards.
+  std::vector<Complex> eta(nlines, 0.0);
+  std::vector<double> up_msg(nlines * 2, 0.0), from_down(nlines * 2, 0.0);
+  if (my_index_ < nprocs_ - 1) {
+    port.recv_up(from_up.data(), from_up.size() * sizeof(double));
+    for (std::size_t l = 0; l < nlines; ++l) {
+      const Complex w1n(from_up[l * 3], from_up[l * 3 + 1]);
+      const double v1n = from_up[l * 3 + 2];
+      const Complex wm = rhs[l * m + m - 1];
+      const double um = u[l * m + m - 1];
+      const double det = 1.0 - um * v1n;
+      UNR_CHECK_MSG(det != 0.0, "PDD interface system singular");
+      const Complex lp = (wm - um * w1n) / det;  // x at my last row
+      eta[l] = (w1n - v1n * wm) / det;           // x at the neighbor's first row
+      up_msg[l * 2] = lp.real();
+      up_msg[l * 2 + 1] = lp.imag();
+    }
+    port.send_up(up_msg.data(), up_msg.size() * sizeof(double));
+  }
+
+  // Step 3: receive xi (the block below's last x) and apply corrections.
+  if (my_index_ > 0)
+    port.recv_down(from_down.data(), from_down.size() * sizeof(double));
+  for (std::size_t l = 0; l < nlines; ++l) {
+    const Complex xi = my_index_ > 0
+                           ? Complex(from_down[l * 2], from_down[l * 2 + 1])
+                           : Complex(0.0);
+    const Complex et = my_index_ < nprocs_ - 1 ? eta[l] : Complex(0.0);
+    Complex* w = rhs + l * m;
+    const double* vl = v.data() + l * m;
+    const double* ul = u.data() + l * m;
+    for (std::size_t i = 0; i < m; ++i) w[i] -= xi * vl[i] + et * ul[i];
+  }
+}
+
+void reference_solve(std::span<const TridiagLine> lines, std::span<const double> diag,
+                     Complex* rhs, std::size_t nlines, std::size_t n) {
+  for (std::size_t l = 0; l < nlines; ++l)
+    thomas_inplace(lines[l].a, diag.subspan(l * n, n), lines[l].c,
+                   std::span<Complex>(rhs + l * n, n));
+}
+
+}  // namespace unr::powerllel

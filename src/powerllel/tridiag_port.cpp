@@ -1,0 +1,156 @@
+#include "powerllel/tridiag_port.hpp"
+
+#include <cstring>
+
+#include "common/check.hpp"
+
+namespace unr::powerllel {
+
+namespace {
+
+class MpiTridiagPort final : public TridiagPort {
+ public:
+  MpiTridiagPort(runtime::Rank& rank, std::vector<int> group, int my_index,
+                 int tag_base)
+      : group_(std::move(group)) {
+    const int up_tag = tag_base;        // messages travelling upwards
+    const int down_tag = tag_base + 1;  // messages travelling downwards
+    const int below = my_index > 0 ? group_[static_cast<std::size_t>(my_index - 1)] : -1;
+    const int above = my_index + 1 < static_cast<int>(group_.size())
+                          ? group_[static_cast<std::size_t>(my_index + 1)]
+                          : -1;
+    runtime::Rank* r = &rank;
+    port_.send_up = [r, above, up_tag](const void* p, std::size_t n) {
+      UNR_CHECK(above >= 0);
+      r->send(above, up_tag, p, n);
+    };
+    port_.recv_down = [r, below, up_tag](void* p, std::size_t n) {
+      UNR_CHECK(below >= 0);
+      r->recv(below, up_tag, p, n);
+    };
+    port_.send_down = [r, below, down_tag](const void* p, std::size_t n) {
+      UNR_CHECK(below >= 0);
+      r->send(below, down_tag, p, n);
+    };
+    port_.recv_up = [r, above, down_tag](void* p, std::size_t n) {
+      UNR_CHECK(above >= 0);
+      r->recv(above, down_tag, p, n);
+    };
+  }
+
+ private:
+  std::vector<int> group_;
+};
+
+class UnrTridiagPort final : public TridiagPort {
+ public:
+  UnrTridiagPort(runtime::Rank& rank, unrlib::Unr& unr, std::vector<int> group,
+                 int my_index, int tag_base, std::size_t max_bytes)
+      : rank_(rank), unr_(unr) {
+    const int self = rank.id();
+    const int below = my_index > 0 ? group[static_cast<std::size_t>(my_index - 1)] : -1;
+    const int above = my_index + 1 < static_cast<int>(group.size())
+                          ? group[static_cast<std::size_t>(my_index + 1)]
+                          : -1;
+
+    // One Link per neighbor. A link's `in` staging is written by the peer's
+    // sends towards me; its `out` staging feeds my puts towards the peer
+    // (which land in the peer's `in` on its matching link).
+    //
+    // Blk exchange tags: the blk of an "in" buffer that receives UPWARD
+    // traffic travels DOWN to its writer, and vice versa. Between a pair
+    // (p, p+1): p+1 sends its below-link in-blk down with tag U (it receives
+    // up-traffic); p sends its above-link in-blk up with tag D.
+    auto setup = [&](Link& l, int peer, int send_tag, int recv_tag) {
+      if (peer < 0) return;
+      l.peer_rank = peer;
+      l.in.assign(max_bytes, std::byte{0});
+      l.out.assign(max_bytes, std::byte{0});
+      l.in_mem = unr_.mem_reg(self, l.in.data(), max_bytes);
+      l.out_mem = unr_.mem_reg(self, l.out.data(), max_bytes);
+      l.in_sig = unr_.sig_init(self, 1);
+      l.out_sig = unr_.sig_init(self, 1);
+      const unrlib::Blk my_in = unr_.blk_init(self, l.in_mem, 0, max_bytes, l.in_sig);
+      std::vector<runtime::RequestPtr> reqs;
+      reqs.push_back(rank_.irecv(peer, recv_tag, &l.peer_blk, sizeof(unrlib::Blk)));
+      reqs.push_back(rank_.isend(peer, send_tag, &my_in, sizeof(unrlib::Blk)));
+      rank_.wait_all(reqs);
+    };
+    const int tag_u = tag_base + 2;  // blks for buffers carrying upward data
+    const int tag_d = tag_base + 3;  // blks for buffers carrying downward data
+    setup(link_below_, below, /*send my up-in blk*/ tag_u, /*recv peer down-in*/ tag_d);
+    setup(link_above_, above, /*send my down-in blk*/ tag_d, /*recv peer up-in*/ tag_u);
+
+    port_.send_up = sender(link_above_);
+    port_.recv_up = receiver(link_above_);
+    port_.send_down = sender(link_below_);
+    port_.recv_down = receiver(link_below_);
+  }
+
+ private:
+  struct Link {
+    int peer_rank = -1;
+    std::vector<std::byte> in, out;
+    unrlib::MemHandle in_mem, out_mem;
+    unrlib::SigId in_sig = unrlib::kNoSig;
+    unrlib::SigId out_sig = unrlib::kNoSig;
+    unrlib::Blk peer_blk;
+    bool out_used = false;
+  };
+
+  std::function<void(const void*, std::size_t)> sender(Link& l) {
+    unrlib::Unr* u = &unr_;
+    runtime::Rank* r = &rank_;
+    const int self = rank_.id();
+    return [u, r, self, &l](const void* p, std::size_t n) {
+      UNR_CHECK(l.peer_rank >= 0 && n <= l.out.size());
+      if (l.out_used) {
+        u->sig_wait(self, l.out_sig);
+        u->sig_reset(self, l.out_sig);
+      }
+      std::memcpy(l.out.data(), p, n);
+      r->kernel().sleep_for(r->fabric().profile().memcpy_time(n));
+      const unrlib::Blk local = u->blk_init(self, l.out_mem, 0, n, l.out_sig);
+      unrlib::Blk remote = l.peer_blk;
+      remote.size = n;
+      u->put(self, local, remote);
+      l.out_used = true;
+    };
+  }
+
+  std::function<void(void*, std::size_t)> receiver(Link& l) {
+    unrlib::Unr* u = &unr_;
+    runtime::Rank* r = &rank_;
+    const int self = rank_.id();
+    return [u, r, self, &l](void* p, std::size_t n) {
+      UNR_CHECK(l.peer_rank >= 0 && n <= l.in.size());
+      u->sig_wait(self, l.in_sig);
+      u->sig_reset(self, l.in_sig);
+      std::memcpy(p, l.in.data(), n);
+      r->kernel().sleep_for(r->fabric().profile().memcpy_time(n));
+    };
+  }
+
+  runtime::Rank& rank_;
+  unrlib::Unr& unr_;
+  Link link_below_, link_above_;
+};
+
+}  // namespace
+
+std::unique_ptr<TridiagPort> make_mpi_tridiag_port(runtime::Rank& rank,
+                                                   std::vector<int> group,
+                                                   int my_index, int tag_base) {
+  return std::make_unique<MpiTridiagPort>(rank, std::move(group), my_index, tag_base);
+}
+
+std::unique_ptr<TridiagPort> make_unr_tridiag_port(runtime::Rank& rank,
+                                                   unrlib::Unr& unr,
+                                                   std::vector<int> group,
+                                                   int my_index, int tag_base,
+                                                   std::size_t max_bytes) {
+  return std::make_unique<UnrTridiagPort>(rank, unr, std::move(group), my_index,
+                                          tag_base, max_bytes);
+}
+
+}  // namespace unr::powerllel

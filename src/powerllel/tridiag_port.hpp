@@ -1,0 +1,42 @@
+// NeighborPort implementations over the two communication backends.
+//
+// The distributed tridiagonal solver only needs "send/recv to the block
+// below/above" (the paper's Pipeline 2). The MPI port maps this to tagged
+// two-sided messages; the UNR port maps it to notified PUTs into
+// pre-exchanged staging Blks with one signal per direction.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "powerllel/tridiag.hpp"
+#include "runtime/world.hpp"
+#include "unr/unr.hpp"
+
+namespace unr::powerllel {
+
+/// Holds the port's closures plus whatever state (buffers, signals) they
+/// capture; keep it alive as long as the port is in use.
+class TridiagPort {
+ public:
+  virtual ~TridiagPort() = default;
+  const NeighborPort& port() const { return port_; }
+
+ protected:
+  NeighborPort port_;
+};
+
+/// `group` is the column group ordered bottom (z=0) to top; `my_index` is
+/// this rank's position in it. `tag_base` must be unique per concurrent port.
+std::unique_ptr<TridiagPort> make_mpi_tridiag_port(runtime::Rank& rank,
+                                                   std::vector<int> group,
+                                                   int my_index, int tag_base);
+
+/// `max_bytes` bounds any single message (staging buffer size).
+std::unique_ptr<TridiagPort> make_unr_tridiag_port(runtime::Rank& rank,
+                                                   unrlib::Unr& unr,
+                                                   std::vector<int> group,
+                                                   int my_index, int tag_base,
+                                                   std::size_t max_bytes);
+
+}  // namespace unr::powerllel

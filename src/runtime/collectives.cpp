@@ -1,0 +1,178 @@
+#include "runtime/collectives.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace unr::runtime {
+
+namespace {
+
+// Tags: kInternalTagBase | (sequence << 4) | opcode. The per-rank sequence
+// counter advances identically on every rank because collectives must be
+// called in the same order everywhere.
+enum CollOp : int { kOpBarrier = 1, kOpBcast = 2, kOpReduce = 3, kOpGather = 4,
+                    kOpAllgather = 5, kOpAlltoall = 6 };
+
+int next_tag(Comm& comm, int self, CollOp op) {
+  const int s = comm.coll_seq()[static_cast<std::size_t>(self)]++;
+  return kInternalTagBase | ((s & 0xFFFFF) << 4) | op;
+}
+
+}  // namespace
+
+void barrier(Comm& comm, int self) {
+  const int p = comm.nranks();
+  const int tag = next_tag(comm, self, kOpBarrier);
+  char token = 0;
+  for (int k = 1; k < p; k <<= 1) {
+    const int dst = (self + k) % p;
+    const int src = (self - k + p) % p;
+    comm.sendrecv(self, dst, tag, &token, 1, src, tag, &token, 1);
+  }
+}
+
+void bcast(Comm& comm, int self, int root, void* buf, std::size_t size) {
+  const int p = comm.nranks();
+  const int tag = next_tag(comm, self, kOpBcast);
+  if (p == 1) return;
+  const int vr = (self - root + p) % p;  // rank relative to root
+  // Binomial tree: receive from parent, then forward to children.
+  int mask = 1;
+  while (mask < p) {
+    if (vr & mask) {
+      const int parent = (vr - mask + root) % p;
+      comm.recv(self, parent, tag, buf, size);
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (vr + mask < p) {
+      const int child = (vr + mask + root) % p;
+      comm.send(self, child, tag, buf, size);
+    }
+    mask >>= 1;
+  }
+}
+
+void allreduce_bytes(Comm& comm, int self, void* buf, std::size_t count,
+                     std::size_t elem_size,
+                     const std::function<void(void*, const void*)>& combine_vec) {
+  const int p = comm.nranks();
+  const int tag = next_tag(comm, self, kOpReduce);
+  if (p == 1) return;
+  const std::size_t bytes = count * elem_size;
+  std::vector<std::byte> tmp(bytes);
+
+  // Reduce to rank 0 over a binomial tree, then broadcast back.
+  int mask = 1;
+  while (mask < p) {
+    if (self & mask) {
+      comm.send(self, self - mask, tag, buf, bytes);
+      break;
+    }
+    if (self + mask < p) {
+      comm.recv(self, self + mask, tag, tmp.data(), bytes);
+      combine_vec(buf, tmp.data());
+    }
+    mask <<= 1;
+  }
+  bcast(comm, self, 0, buf, bytes);
+}
+
+void allreduce_sum(Comm& comm, int self, double* buf, std::size_t count) {
+  allreduce_bytes(comm, self, buf, count, sizeof(double),
+                  [count](void* into, const void* from) {
+                    auto* a = static_cast<double*>(into);
+                    auto* b = static_cast<const double*>(from);
+                    for (std::size_t i = 0; i < count; ++i) a[i] += b[i];
+                  });
+}
+
+void allreduce_max(Comm& comm, int self, double* buf, std::size_t count) {
+  allreduce_bytes(comm, self, buf, count, sizeof(double),
+                  [count](void* into, const void* from) {
+                    auto* a = static_cast<double*>(into);
+                    auto* b = static_cast<const double*>(from);
+                    for (std::size_t i = 0; i < count; ++i) a[i] = std::max(a[i], b[i]);
+                  });
+}
+
+void gather(Comm& comm, int self, int root, const void* send, void* recv,
+            std::size_t size) {
+  const int p = comm.nranks();
+  const int tag = next_tag(comm, self, kOpGather);
+  if (self == root) {
+    auto* out = static_cast<std::byte*>(recv);
+    std::memcpy(out + static_cast<std::size_t>(self) * size, send, size);
+    std::vector<RequestPtr> reqs;
+    for (int r = 0; r < p; ++r) {
+      if (r == root) continue;
+      reqs.push_back(comm.irecv(self, r, tag, out + static_cast<std::size_t>(r) * size,
+                                size));
+    }
+    comm.wait_all(self, reqs);
+  } else {
+    comm.send(self, root, tag, send, size);
+  }
+}
+
+void allgather(Comm& comm, int self, const void* send, void* recv, std::size_t size) {
+  const int p = comm.nranks();
+  const int tag = next_tag(comm, self, kOpAllgather);
+  auto* out = static_cast<std::byte*>(recv);
+  std::memcpy(out + static_cast<std::size_t>(self) * size, send, size);
+  // Ring: in step s, pass along the block that originated s hops upstream.
+  const int right = (self + 1) % p;
+  const int left = (self - 1 + p) % p;
+  for (int s = 0; s < p - 1; ++s) {
+    const int send_block = (self - s + p) % p;
+    const int recv_block = (self - s - 1 + p) % p;
+    comm.sendrecv(self, right, tag, out + static_cast<std::size_t>(send_block) * size,
+                  size, left, tag, out + static_cast<std::size_t>(recv_block) * size,
+                  size);
+  }
+}
+
+void alltoall(Comm& comm, int self, const void* send, void* recv, std::size_t size) {
+  const int p = comm.nranks();
+  const int tag = next_tag(comm, self, kOpAlltoall);
+  const auto* in = static_cast<const std::byte*>(send);
+  auto* out = static_cast<std::byte*>(recv);
+  std::memcpy(out + static_cast<std::size_t>(self) * size,
+              in + static_cast<std::size_t>(self) * size, size);
+  for (int s = 1; s < p; ++s) {
+    const int dst = (self + s) % p;
+    const int src = (self - s + p) % p;
+    comm.sendrecv(self, dst, tag, in + static_cast<std::size_t>(dst) * size, size, src,
+                  tag, out + static_cast<std::size_t>(src) * size, size);
+  }
+}
+
+void alltoallv(Comm& comm, int self, const void* send,
+               std::span<const std::size_t> send_counts,
+               std::span<const std::size_t> send_displs, void* recv,
+               std::span<const std::size_t> recv_counts,
+               std::span<const std::size_t> recv_displs) {
+  const int p = comm.nranks();
+  UNR_CHECK(static_cast<int>(send_counts.size()) == p &&
+            static_cast<int>(recv_counts.size()) == p);
+  const int tag = next_tag(comm, self, kOpAlltoall);
+  const auto* in = static_cast<const std::byte*>(send);
+  auto* out = static_cast<std::byte*>(recv);
+  const auto s_self = static_cast<std::size_t>(self);
+  std::memcpy(out + recv_displs[s_self], in + send_displs[s_self], send_counts[s_self]);
+  for (int s = 1; s < p; ++s) {
+    const auto dst = static_cast<std::size_t>((self + s) % p);
+    const auto src = static_cast<std::size_t>((self - s + p) % p);
+    comm.sendrecv(self, static_cast<int>(dst), tag, in + send_displs[dst],
+                  send_counts[dst], static_cast<int>(src), tag, out + recv_displs[src],
+                  recv_counts[src]);
+  }
+}
+
+}  // namespace unr::runtime

@@ -1,0 +1,48 @@
+// Collective operations over Comm.
+//
+// Textbook algorithms (dissemination barrier, binomial bcast/reduce,
+// ring allgather, shifted-pairwise alltoall(v)). Collectives must be called
+// by every rank in the same order; an internal per-rank sequence number
+// keeps their tags from colliding with each other or with user traffic.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <span>
+
+#include "runtime/comm.hpp"
+
+namespace unr::runtime {
+
+void barrier(Comm& comm, int self);
+
+void bcast(Comm& comm, int self, int root, void* buf, std::size_t size);
+
+/// Element-wise combine `count` doubles from all ranks; result everywhere.
+void allreduce_sum(Comm& comm, int self, double* buf, std::size_t count);
+void allreduce_max(Comm& comm, int self, double* buf, std::size_t count);
+
+/// Gather `size` bytes from every rank into recv (nranks*size bytes) at root.
+void gather(Comm& comm, int self, int root, const void* send, void* recv,
+            std::size_t size);
+
+/// All ranks end with everyone's block: recv holds nranks*size bytes.
+void allgather(Comm& comm, int self, const void* send, void* recv, std::size_t size);
+
+/// Personalized all-to-all: rank r sends send+d*size to rank d.
+void alltoall(Comm& comm, int self, const void* send, void* recv, std::size_t size);
+
+/// Vector all-to-all with per-peer counts and displacements (in bytes).
+void alltoallv(Comm& comm, int self, const void* send,
+               std::span<const std::size_t> send_counts,
+               std::span<const std::size_t> send_displs, void* recv,
+               std::span<const std::size_t> recv_counts,
+               std::span<const std::size_t> recv_displs);
+
+/// Generic reduction used by the typed wrappers; `combine(into, from)` folds
+/// one full vector of `count` elements of `elem_size` bytes.
+void allreduce_bytes(Comm& comm, int self, void* buf, std::size_t count,
+                     std::size_t elem_size,
+                     const std::function<void(void*, const void*)>& combine_vec);
+
+}  // namespace unr::runtime

@@ -1,0 +1,240 @@
+#include "runtime/comm.hpp"
+
+#include <cstring>
+
+#include "common/check.hpp"
+
+namespace unr::runtime {
+
+namespace {
+
+// AM channel ids used by the two-sided protocol. UNR channels use ids >= 16.
+enum AmChannel : int { kChanEager = 0, kChanRts = 1, kChanCts = 2 };
+
+struct EagerHeader {
+  std::int32_t tag;
+  std::uint64_t size;
+};
+
+struct RtsHeader {
+  std::int32_t tag;
+  std::uint64_t size;
+  std::uint64_t rdv_id;
+};
+
+struct CtsHeader {
+  std::uint64_t rdv_id;
+  std::uint32_t mr;
+};
+
+template <typename H>
+std::vector<std::byte> pack(const H& h, const void* data = nullptr, std::size_t n = 0) {
+  std::vector<std::byte> v(sizeof(H) + n);
+  std::memcpy(v.data(), &h, sizeof(H));
+  if (n > 0) std::memcpy(v.data() + sizeof(H), data, n);
+  return v;
+}
+
+template <typename H>
+H unpack(const std::vector<std::byte>& v) {
+  UNR_CHECK(v.size() >= sizeof(H));
+  H h;
+  std::memcpy(&h, v.data(), sizeof(H));
+  return h;
+}
+
+void charge(fabric::Fabric& f, Time t) {
+  // Only actors have a clock to charge; event handlers model NIC/firmware
+  // work that is already accounted in the wire model.
+  if (sim::Kernel::current_actor_id() >= 0) f.kernel().sleep_for(t);
+}
+
+}  // namespace
+
+Comm::Comm(fabric::Fabric& fabric) : fabric_(fabric) {
+  ranks_.resize(static_cast<std::size_t>(fabric_.nranks()));
+  rdv_sends_.resize(static_cast<std::size_t>(fabric_.nranks()));
+  coll_seq_.assign(static_cast<std::size_t>(fabric_.nranks()), 0);
+  obj_seq_.assign(static_cast<std::size_t>(fabric_.nranks()), 0);
+  for (int r = 0; r < fabric_.nranks(); ++r) {
+    fabric_.set_am_handler(r, kChanEager, [this, r](int src, const auto& p) {
+      handle_eager(r, src, p);
+    });
+    fabric_.set_am_handler(r, kChanRts, [this, r](int src, const auto& p) {
+      handle_rts(r, src, p);
+    });
+    fabric_.set_am_handler(r, kChanCts, [this, r](int src, const auto& p) {
+      handle_cts(r, src, p);
+    });
+  }
+}
+
+RequestPtr Comm::isend(int self, int dst, int tag, const void* data, std::size_t size) {
+  UNR_CHECK(dst >= 0 && dst < nranks());
+  const auto& prof = fabric_.profile();
+  charge(fabric_, prof.sw_overhead);
+
+  if (size <= prof.eager_threshold) {
+    // Eager: pack into the wire message (the sender-side extra copy of
+    // Fig. 1a) and complete immediately — the data is buffered.
+    charge(fabric_, prof.memcpy_time(size));
+    EagerHeader h{tag, size};
+    fabric_.send_am(self, dst, kChanEager, pack(h, data, size), /*nic*/ -1,
+                    /*ordered=*/true);
+    return make_done_request();
+  }
+
+  // Rendezvous: RTS now; the PUT happens when the CTS comes back.
+  auto req = make_request();
+  const std::uint64_t id = next_rdv_id_++;
+  rdv_sends_[static_cast<std::size_t>(self)][id] = RdvSend{data, size, req, dst};
+  RtsHeader h{tag, size, id};
+  fabric_.send_am(self, dst, kChanRts, pack(h), -1, /*ordered=*/true);
+  return req;
+}
+
+RequestPtr Comm::irecv(int self, int src, int tag, void* buf, std::size_t size) {
+  const auto& prof = fabric_.profile();
+  charge(fabric_, prof.sw_overhead);
+  auto& st = ranks_[static_cast<std::size_t>(self)];
+
+  // Check the unexpected queue first.
+  for (auto it = st.unexpected.begin(); it != st.unexpected.end(); ++it) {
+    if (!matches(src, tag, it->src, it->tag)) continue;
+    UNR_CHECK_MSG(it->size <= size, "receive buffer too small: message of "
+                                        << it->size << " bytes into " << size);
+    auto req = make_request();
+    if (it->rendezvous) {
+      accept_rts(self, it->src, it->rdv_id, buf, it->size, req);
+    } else {
+      std::memcpy(buf, it->payload.data(), it->size);
+      charge(fabric_, prof.memcpy_time(it->size));
+      req->done = true;
+    }
+    st.unexpected.erase(it);
+    return req;
+  }
+
+  auto req = make_request();
+  st.posted.push_back(PostedRecv{src, tag, buf, size, req});
+  return req;
+}
+
+void Comm::wait(int self, const RequestPtr& req) {
+  (void)self;
+  req->cond.wait([&] { return req->done; });
+  if (req->cpu_charge > 0) {
+    charge(fabric_, req->cpu_charge);
+    req->cpu_charge = 0;
+  }
+}
+
+void Comm::wait_all(int self, std::span<const RequestPtr> reqs) {
+  for (const auto& r : reqs) wait(self, r);
+}
+
+void Comm::send(int self, int dst, int tag, const void* data, std::size_t size) {
+  wait(self, isend(self, dst, tag, data, size));
+}
+
+void Comm::recv(int self, int src, int tag, void* buf, std::size_t size) {
+  wait(self, irecv(self, src, tag, buf, size));
+}
+
+void Comm::sendrecv(int self, int dst, int send_tag, const void* send_buf,
+                    std::size_t send_size, int src, int recv_tag, void* recv_buf,
+                    std::size_t recv_size) {
+  RequestPtr rr = irecv(self, src, recv_tag, recv_buf, recv_size);
+  RequestPtr sr = isend(self, dst, send_tag, send_buf, send_size);
+  wait(self, sr);
+  wait(self, rr);
+}
+
+void Comm::handle_eager(int dst, int src, const std::vector<std::byte>& payload) {
+  const auto h = unpack<EagerHeader>(payload);
+  auto& st = ranks_[static_cast<std::size_t>(dst)];
+  for (auto it = st.posted.begin(); it != st.posted.end(); ++it) {
+    if (!matches(it->src, it->tag, src, h.tag)) continue;
+    UNR_CHECK_MSG(h.size <= it->size, "receive buffer too small: message of "
+                                          << h.size << " bytes into " << it->size);
+    std::memcpy(it->buf, payload.data() + sizeof(EagerHeader), h.size);
+    it->req->cpu_charge += fabric_.profile().memcpy_time(h.size);
+    it->req->complete();
+    st.posted.erase(it);
+    return;
+  }
+  UnexpectedMsg m;
+  m.src = src;
+  m.tag = h.tag;
+  m.rendezvous = false;
+  m.size = h.size;
+  m.payload.assign(payload.begin() + sizeof(EagerHeader), payload.end());
+  st.unexpected.push_back(std::move(m));
+}
+
+void Comm::handle_rts(int dst, int src, const std::vector<std::byte>& payload) {
+  const auto h = unpack<RtsHeader>(payload);
+  auto& st = ranks_[static_cast<std::size_t>(dst)];
+  for (auto it = st.posted.begin(); it != st.posted.end(); ++it) {
+    if (!matches(it->src, it->tag, src, h.tag)) continue;
+    UNR_CHECK_MSG(h.size <= it->size, "receive buffer too small: message of "
+                                          << h.size << " bytes into " << it->size);
+    PostedRecv pr = *it;
+    st.posted.erase(it);
+    accept_rts(dst, src, h.rdv_id, pr.buf, h.size, pr.req);
+    return;
+  }
+  UnexpectedMsg m;
+  m.src = src;
+  m.tag = h.tag;
+  m.rendezvous = true;
+  m.size = h.size;
+  m.rdv_id = h.rdv_id;
+  st.unexpected.push_back(std::move(m));
+}
+
+void Comm::accept_rts(int self, int src, std::uint64_t rdv_id, void* buf,
+                      std::size_t size, const RequestPtr& req) {
+  // Expose the receive buffer for the sender's zero-copy PUT. The CTS
+  // carries the registration; delivery of the PUT completes the request
+  // (handled in handle_cts on the sender, which owns the put descriptor).
+  const fabric::MrId mr = fabric_.memory().register_region(self, buf, size == 0 ? 1 : size);
+  // Remember how to finish this receive when the data lands.
+  pending_rdv_recvs_[rdv_id] = PendingRdvRecv{self, mr, req};
+  CtsHeader h{rdv_id, mr};
+  fabric_.send_am(self, src, kChanCts, pack(h));
+}
+
+void Comm::handle_cts(int dst, int src, const std::vector<std::byte>& payload) {
+  // `dst` is the original sender; `src` the receiver granting the CTS.
+  const auto h = unpack<CtsHeader>(payload);
+  auto& pending = rdv_sends_[static_cast<std::size_t>(dst)];
+  auto it = pending.find(h.rdv_id);
+  UNR_CHECK_MSG(it != pending.end(), "CTS for unknown rendezvous id " << h.rdv_id);
+  RdvSend rs = it->second;
+  pending.erase(it);
+
+  fabric::Fabric::PutArgs put;
+  put.src_rank = dst;
+  put.src = rs.data;
+  put.dst = fabric::MemRef{src, h.mr, 0};
+  put.size = rs.size;
+  const std::uint64_t rdv_id = h.rdv_id;
+  put.on_delivered = [this, rdv_id] {
+    auto itp = pending_rdv_recvs_.find(rdv_id);
+    UNR_CHECK(itp != pending_rdv_recvs_.end());
+    PendingRdvRecv pr = itp->second;
+    pending_rdv_recvs_.erase(itp);
+    fabric_.memory().deregister_region(pr.rank, pr.mr);
+    pr.req->complete();
+  };
+  RequestPtr send_req = rs.req;
+  put.on_local_complete = [send_req] { send_req->complete(); };
+  fabric_.put(std::move(put));
+}
+
+std::size_t Comm::unexpected_count(int rank) const {
+  return ranks_[static_cast<std::size_t>(rank)].unexpected.size();
+}
+
+}  // namespace unr::runtime

@@ -1,0 +1,37 @@
+// Nonblocking-operation handles for the MPI-like runtime.
+#pragma once
+
+#include <memory>
+
+#include "common/units.hpp"
+#include "sim/cond.hpp"
+
+namespace unr::runtime {
+
+/// Shared completion state of one nonblocking operation. Completed either
+/// by an event handler (message arrival) or by the issuing actor.
+struct Request {
+  bool done = false;
+  /// CPU time the waiter still owes (e.g. the receive-side eager copy);
+  /// charged exactly once, by whoever waits.
+  Time cpu_charge = 0;
+  sim::Cond cond;
+
+  void complete() {
+    done = true;
+    cond.notify_all();
+  }
+};
+
+using RequestPtr = std::shared_ptr<Request>;
+
+inline RequestPtr make_request() { return std::make_shared<Request>(); }
+
+/// A request that is already complete (e.g. an eager send that buffered).
+inline RequestPtr make_done_request() {
+  auto r = make_request();
+  r->done = true;
+  return r;
+}
+
+}  // namespace unr::runtime

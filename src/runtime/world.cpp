@@ -1,0 +1,28 @@
+#include "runtime/world.hpp"
+
+#include "common/check.hpp"
+
+namespace unr::runtime {
+
+World::World(Config cfg) : cfg_(std::move(cfg)) {
+  fabric::Fabric::Config fc;
+  fc.nodes = cfg_.nodes;
+  fc.ranks_per_node = cfg_.ranks_per_node;
+  fc.profile = cfg_.profile;
+  fc.max_regions_per_rank = cfg_.max_regions_per_rank;
+  fc.seed = cfg_.seed;
+  fc.deterministic_routing = cfg_.deterministic_routing;
+  fabric_ = std::make_unique<fabric::Fabric>(kernel_, fc);
+  comm_ = std::make_unique<Comm>(*fabric_);
+}
+
+World::~World() = default;
+
+void World::run(std::function<void(Rank&)> body) {
+  kernel_.run(nranks(), [this, &body](int id) {
+    Rank rank(*this, id);
+    body(rank);
+  });
+}
+
+}  // namespace unr::runtime

@@ -1,0 +1,119 @@
+// World: one simulated machine + runtime, running N ranks to completion.
+//
+// This is the reproduction's stand-in for `mpirun`: it wires the sim kernel,
+// the fabric and the two-sided runtime together and exposes a per-rank
+// context object with MPI-flavoured conveniences.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "common/profile.hpp"
+#include "fabric/fabric.hpp"
+#include "runtime/collectives.hpp"
+#include "runtime/comm.hpp"
+#include "sim/kernel.hpp"
+
+namespace unr::runtime {
+
+class Rank;
+
+class World {
+ public:
+  struct Config {
+    int nodes = 2;
+    int ranks_per_node = 1;
+    unr::SystemProfile profile = unr::make_hpc_ib();
+    std::uint64_t seed = 1;
+    std::size_t max_regions_per_rank = 0;
+    bool deterministic_routing = false;
+  };
+
+  explicit World(Config cfg);
+  ~World();
+
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  int nranks() const { return fabric_->nranks(); }
+
+  /// Run `body` on every rank; returns when all ranks finish. May be called
+  /// once per World.
+  void run(std::function<void(Rank&)> body);
+
+  /// Virtual time at which the last rank finished.
+  Time elapsed() const { return kernel_.end_time(); }
+
+  sim::Kernel& kernel() { return kernel_; }
+  fabric::Fabric& fabric() { return *fabric_; }
+  Comm& comm() { return *comm_; }
+  const Config& config() const { return cfg_; }
+
+ private:
+  Config cfg_;
+  sim::Kernel kernel_;
+  std::unique_ptr<fabric::Fabric> fabric_;
+  std::unique_ptr<Comm> comm_;
+};
+
+/// Per-rank context handed to the body function. Thin forwarding layer over
+/// Comm/Fabric that fills in the rank id.
+class Rank {
+ public:
+  Rank(World& world, int id) : world_(world), id_(id) {}
+
+  int id() const { return id_; }
+  int nranks() const { return world_.nranks(); }
+  int node_id() const { return world_.fabric().node_of(id_); }
+  World& world() { return world_; }
+  Comm& comm() { return world_.comm(); }
+  fabric::Fabric& fabric() { return world_.fabric(); }
+  sim::Kernel& kernel() { return world_.kernel(); }
+  Time now() const { return world_.kernel().now(); }
+
+  // --- Point-to-point ---
+  void send(int dst, int tag, const void* p, std::size_t n) {
+    comm().send(id_, dst, tag, p, n);
+  }
+  void recv(int src, int tag, void* p, std::size_t n) {
+    comm().recv(id_, src, tag, p, n);
+  }
+  RequestPtr isend(int dst, int tag, const void* p, std::size_t n) {
+    return comm().isend(id_, dst, tag, p, n);
+  }
+  RequestPtr irecv(int src, int tag, void* p, std::size_t n) {
+    return comm().irecv(id_, src, tag, p, n);
+  }
+  void wait(const RequestPtr& r) { comm().wait(id_, r); }
+  void wait_all(std::span<const RequestPtr> rs) { comm().wait_all(id_, rs); }
+  void sendrecv(int dst, int stag, const void* sp, std::size_t sn, int src, int rtag,
+                void* rp, std::size_t rn) {
+    comm().sendrecv(id_, dst, stag, sp, sn, src, rtag, rp, rn);
+  }
+
+  // --- Collectives ---
+  void barrier() { runtime::barrier(comm(), id_); }
+  void bcast(int root, void* p, std::size_t n) { runtime::bcast(comm(), id_, root, p, n); }
+  void allreduce_sum(double* p, std::size_t count) {
+    runtime::allreduce_sum(comm(), id_, p, count);
+  }
+  void allgather(const void* s, void* r, std::size_t n) {
+    runtime::allgather(comm(), id_, s, r, n);
+  }
+  void alltoall(const void* s, void* r, std::size_t n) {
+    runtime::alltoall(comm(), id_, s, r, n);
+  }
+
+  // --- Compute model ---
+  /// Charge `single_core_work` ns of work executed with `threads` threads on
+  /// this rank's node (the node may inflate it under oversubscription).
+  void compute(Time single_core_work, int threads = 1) {
+    world_.fabric().node_of_rank(id_).compute(single_core_work, threads);
+  }
+
+ private:
+  World& world_;
+  int id_;
+};
+
+}  // namespace unr::runtime

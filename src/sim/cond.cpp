@@ -1,0 +1,25 @@
+#include "sim/cond.hpp"
+
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace unr::sim {
+
+void Cond::wait() {
+  Kernel* k = Kernel::current();
+  const int self = Kernel::current_actor_id();
+  UNR_CHECK_MSG(k != nullptr && self >= 0, "Cond::wait() outside an actor");
+  waiters_.push_back(self);
+  k->block_current();
+}
+
+void Cond::notify_all() {
+  if (waiters_.empty()) return;
+  Kernel* k = Kernel::current();
+  UNR_CHECK_MSG(k != nullptr, "Cond::notify_all() outside a simulation");
+  std::vector<int> ws = std::exchange(waiters_, {});
+  for (int w : ws) k->wake(w);
+}
+
+}  // namespace unr::sim

@@ -1,0 +1,49 @@
+// Condition variables for the simulation domain.
+//
+// Because exactly one entity runs at a time (see kernel.hpp), there is no
+// race between checking a predicate and registering as a waiter: the pattern
+//
+//   cond.wait([&]{ return ready; });        // actor side
+//   ready = true; cond.notify_all();        // event-handler side
+//
+// is always correct without locks.
+#pragma once
+
+#include <vector>
+
+#include "sim/kernel.hpp"
+
+namespace unr::sim {
+
+class Cond {
+ public:
+  Cond() = default;
+  Cond(const Cond&) = delete;
+  Cond& operator=(const Cond&) = delete;
+
+  /// Block the current actor until a notify arrives. Wakeups may be
+  /// spurious; prefer the predicate overload.
+  void wait();
+
+  /// Block until `pred()` returns true.
+  template <typename Pred>
+  void wait(Pred pred) {
+    while (!pred()) wait();
+  }
+
+  /// Register an actor as a waiter WITHOUT blocking. Used to wait on the
+  /// union of several conditions: register on each, then block once via
+  /// Kernel::block_current(). Leftover registrations surface as spurious
+  /// wakeups later; every wait re-checks its predicate, so that is safe.
+  void add_waiter(int actor) { waiters_.push_back(actor); }
+
+  /// Wake all currently-registered waiters.
+  void notify_all();
+
+  bool has_waiters() const { return !waiters_.empty(); }
+
+ private:
+  std::vector<int> waiters_;
+};
+
+}  // namespace unr::sim

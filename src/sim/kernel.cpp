@@ -1,0 +1,173 @@
+#include "sim/kernel.hpp"
+
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace unr::sim {
+
+namespace {
+thread_local Kernel* tl_kernel = nullptr;
+thread_local int tl_actor = -1;
+}  // namespace
+
+Kernel* Kernel::current() { return tl_kernel; }
+int Kernel::current_actor_id() { return tl_actor; }
+
+void Kernel::post_at(Time t, std::function<void()> fn) {
+  std::lock_guard<std::mutex> lk(mu_);
+  UNR_CHECK_MSG(t >= now_, "event posted into the past: t=" << t << " now=" << now_);
+  events_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+void Kernel::actor_main(Actor* a, const std::function<void(int)>& body) {
+  tl_kernel = this;
+  tl_actor = a->id;
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    a->cv.wait(lk, [&] { return a->state == State::kRunning || aborting_; });
+    if (aborting_ && a->state != State::kRunning) {
+      a->state = State::kDone;
+      --live_;
+      sched_cv_.notify_one();
+      return;
+    }
+  }
+  try {
+    body(a->id);
+  } catch (const AbortError&) {
+    // Torn down by the kernel; nothing to record.
+  } catch (...) {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!first_error_) first_error_ = std::current_exception();
+  }
+  std::lock_guard<std::mutex> lk(mu_);
+  a->state = State::kDone;
+  --live_;
+  if (running_ == a) running_ = nullptr;
+  sched_cv_.notify_one();
+}
+
+void Kernel::block_current() {
+  UNR_CHECK_MSG(tl_kernel == this && tl_actor >= 0,
+                "block_current() outside an actor thread");
+  Actor* a = actors_[static_cast<std::size_t>(tl_actor)].get();
+  std::unique_lock<std::mutex> lk(mu_);
+  a->state = State::kBlocked;
+  running_ = nullptr;
+  sched_cv_.notify_one();
+  a->cv.wait(lk, [&] { return a->state == State::kRunning || aborting_; });
+  if (aborting_) throw AbortError{};
+}
+
+void Kernel::wake(int actor) {
+  std::lock_guard<std::mutex> lk(mu_);
+  UNR_CHECK(actor >= 0 && actor < static_cast<int>(actors_.size()));
+  Actor* a = actors_[static_cast<std::size_t>(actor)].get();
+  if (a->state == State::kBlocked) {
+    a->state = State::kReady;
+    ready_.push_back(a);
+  }
+}
+
+void Kernel::sleep_for(Time dt) {
+  if (dt == 0) return;
+  const int self = tl_actor;
+  auto fired = std::make_shared<bool>(false);
+  post_in(dt, [this, self, fired] {
+    *fired = true;
+    wake(self);
+  });
+  while (!*fired) block_current();
+}
+
+std::string Kernel::blocked_report() const {
+  std::ostringstream os;
+  os << "blocked actors:";
+  for (const auto& a : actors_)
+    if (a->state == State::kBlocked) os << ' ' << a->id;
+  return os.str();
+}
+
+void Kernel::abort_all_locked(std::unique_lock<std::mutex>& lk, const std::string& why) {
+  aborting_ = true;
+  for (auto& a : actors_) a->cv.notify_all();
+  sched_cv_.wait(lk, [&] { return live_ == 0; });
+  lk.unlock();
+  for (auto& a : actors_)
+    if (a->thread.joinable()) a->thread.join();
+  end_time_ = now_;
+  tl_kernel = nullptr;
+  if (first_error_) std::rethrow_exception(first_error_);
+  throw DeadlockError(why);
+}
+
+void Kernel::run(int n_actors, std::function<void(int)> body) {
+  UNR_CHECK_MSG(actors_.empty(), "Kernel::run() may only be called once per kernel");
+  UNR_CHECK(n_actors >= 0);
+  if (n_actors == 0) return;
+
+  // Event handlers execute on this (scheduler) thread; they must see the
+  // kernel via Kernel::current() just like actor threads do.
+  tl_kernel = this;
+  tl_actor = -1;
+
+  actors_.reserve(static_cast<std::size_t>(n_actors));
+  for (int i = 0; i < n_actors; ++i) {
+    auto a = std::make_unique<Actor>();
+    a->id = i;
+    a->state = State::kReady;
+    actors_.push_back(std::move(a));
+  }
+  live_ = n_actors;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (auto& a : actors_) ready_.push_back(a.get());
+  }
+  for (auto& a : actors_) {
+    Actor* raw = a.get();
+    raw->thread = std::thread([this, raw, &body] { actor_main(raw, body); });
+  }
+
+  std::unique_lock<std::mutex> lk(mu_);
+  while (live_ > 0) {
+    if (!ready_.empty()) {
+      Actor* a = ready_.front();
+      ready_.pop_front();
+      a->state = State::kRunning;
+      running_ = a;
+      a->cv.notify_one();
+      sched_cv_.wait(lk, [&] { return running_ == nullptr; });
+    } else if (!events_.empty()) {
+      // const_cast: priority_queue::top() is const but we need to move the
+      // handler out before popping.
+      Event ev = std::move(const_cast<Event&>(events_.top()));
+      events_.pop();
+      UNR_CHECK(ev.t >= now_);
+      now_ = ev.t;
+      ++events_dispatched_;
+      lk.unlock();
+      try {
+        ev.fn();
+        lk.lock();
+      } catch (...) {
+        lk.lock();
+        if (!first_error_) first_error_ = std::current_exception();
+        abort_all_locked(lk, "aborting after event-handler exception");
+      }
+    } else {
+      if (first_error_)
+        abort_all_locked(lk, "aborting after actor exception");
+      abort_all_locked(lk, "simulation deadlock at t=" + std::to_string(now_) + "ns; " +
+                               blocked_report());
+    }
+  }
+  lk.unlock();
+  for (auto& a : actors_)
+    if (a->thread.joinable()) a->thread.join();
+  end_time_ = now_;
+  tl_kernel = nullptr;
+  if (first_error_) std::rethrow_exception(first_error_);
+}
+
+}  // namespace unr::sim

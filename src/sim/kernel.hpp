@@ -1,0 +1,137 @@
+// Discrete-event simulation kernel with blocking-style actors.
+//
+// Why this exists: the paper's measurements (latency, multi-NIC bandwidth
+// aggregation, compute/communication overlap, polling-thread interference)
+// are about *parallel* resources. This reproduction runs on arbitrary hosts
+// — including single-core ones — so real wall-clock timing of real threads
+// cannot express "two NICs transfer twice as fast". Instead, everything runs
+// against a virtual clock:
+//
+//   * Each simulated process (rank) is an OS thread, but EXACTLY ONE entity
+//     (one actor, or one event handler) executes at a time. Application code
+//     is written in normal blocking style (send, recv, wait on a signal) and
+//     yields to the kernel whenever it blocks or charges compute time.
+//   * Hardware (NIC engines, the wire, polling threads) is modeled as events
+//     on the virtual clock.
+//
+// Because only one entity runs at a time, NO simulation-domain data structure
+// needs locking: fabric queues, matching lists and UNR signal tables are all
+// plain containers. The single mutex in this file only sequences the
+// hand-off between threads. Runs are bit-reproducible given a seed.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace unr::sim {
+
+using unr::Time;
+
+/// Thrown inside actor bodies when the kernel tears a run down (after another
+/// actor failed, or on deadlock). Actor code should not catch it.
+struct AbortError {};
+
+/// All actors blocked, no events pending — the simulated program hung.
+class DeadlockError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Kernel {
+ public:
+  Kernel() = default;
+  ~Kernel() = default;
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
+
+  /// Current virtual time. Valid from actors and event handlers.
+  Time now() const { return now_; }
+
+  /// Schedule `fn` at absolute virtual time `t` (must be >= now()).
+  /// Events with equal time run in posting order.
+  void post_at(Time t, std::function<void()> fn);
+  void post_in(Time dt, std::function<void()> fn) { post_at(now_ + dt, std::move(fn)); }
+
+  /// Run `n_actors` copies of `body` (argument = actor id, 0-based) to
+  /// completion. Blocks the calling thread; rethrows the first actor
+  /// exception; throws DeadlockError if the simulation hangs.
+  void run(int n_actors, std::function<void(int)> body);
+
+  /// Kernel owning the calling actor thread (nullptr outside a run).
+  static Kernel* current();
+  /// Id of the calling actor (-1 outside an actor).
+  static int current_actor_id();
+
+  // --- Blocking primitives (callable only from actor threads) ---
+
+  /// Advance this actor's virtual time by `dt` (models compute / busy time).
+  void sleep_for(Time dt);
+  /// Block until some event or actor calls wake() on this actor. Callers
+  /// must loop on their predicate: wakeups may be spurious.
+  void block_current();
+  /// Make a blocked actor runnable (no-op if it is not blocked).
+  void wake(int actor);
+
+  /// Total events dispatched so far (diagnostics).
+  std::uint64_t event_count() const { return events_dispatched_; }
+  /// Virtual time at which the last run() finished.
+  Time end_time() const { return end_time_; }
+
+ private:
+  enum class State { kReady, kRunning, kBlocked, kDone };
+
+  struct Actor {
+    int id = -1;
+    State state = State::kReady;
+    std::condition_variable cv;
+    std::thread thread;
+  };
+
+  struct Event {
+    Time t;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      return a.t != b.t ? a.t > b.t : a.seq > b.seq;
+    }
+  };
+
+  void actor_main(Actor* a, const std::function<void(int)>& body);
+  void schedule_loop();
+  [[noreturn]] void abort_all_locked(std::unique_lock<std::mutex>& lk,
+                                     const std::string& why);
+  std::string blocked_report() const;
+
+  mutable std::mutex mu_;
+  std::condition_variable sched_cv_;
+  Time now_ = 0;
+  Time end_time_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_dispatched_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventLater> events_;
+  std::vector<std::unique_ptr<Actor>> actors_;
+  std::deque<Actor*> ready_;
+  Actor* running_ = nullptr;
+  int live_ = 0;
+  bool aborting_ = false;
+  std::exception_ptr first_error_;
+};
+
+/// Convenience: charge `dt` of virtual time on the current actor.
+inline void busy(Time dt) { Kernel::current()->sleep_for(dt); }
+
+}  // namespace unr::sim

@@ -1,0 +1,39 @@
+#include "sim/node.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace unr::sim {
+
+void Node::add_background_load(double core_fraction, double oversub_penalty) {
+  UNR_CHECK(core_fraction >= 0.0 && oversub_penalty >= 0.0);
+  background_ += core_fraction;
+  penalty_ += oversub_penalty;
+}
+
+void Node::remove_background_load(double core_fraction, double oversub_penalty) {
+  background_ = std::max(0.0, background_ - core_fraction);
+  penalty_ = std::max(0.0, penalty_ - oversub_penalty);
+}
+
+Time Node::compute_time(Time work_ns, int threads) const {
+  UNR_CHECK(threads >= 1);
+  const double avail = std::max(0.25, static_cast<double>(cores_) - background_);
+  const double eff = std::min(static_cast<double>(threads), avail);
+  double t = static_cast<double>(work_ns) / eff;
+  if (static_cast<double>(threads) > avail + 1e-9) t *= 1.0 + penalty_;
+  return static_cast<Time>(t);
+}
+
+void Node::compute(Time work_ns, int threads) const {
+  Kernel::current()->sleep_for(compute_time(work_ns, threads));
+}
+
+Machine::Machine(int n_nodes, int cores_per_node) {
+  UNR_CHECK(n_nodes >= 1 && cores_per_node >= 1);
+  nodes_.reserve(static_cast<std::size_t>(n_nodes));
+  for (int i = 0; i < n_nodes; ++i) nodes_.emplace_back(i, cores_per_node);
+}
+
+}  // namespace unr::sim

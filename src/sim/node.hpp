@@ -1,0 +1,61 @@
+// Per-node core accounting.
+//
+// Models the paper's Section VI-C observation: a UNR polling thread that is
+// not given a reserved core competes with the application's OpenMP threads.
+// Services (the polling engine) register a background load in "cores"; when
+// the application then asks for more threads than the remaining capacity,
+// its compute charges are inflated by a context-switch penalty on top of the
+// capacity loss.
+#pragma once
+
+#include <vector>
+
+#include "common/units.hpp"
+#include "sim/kernel.hpp"
+
+namespace unr::sim {
+
+class Node {
+ public:
+  Node(int id, int cores) : id_(id), cores_(cores) {}
+
+  int id() const { return id_; }
+  int cores() const { return cores_; }
+
+  /// Register a background service consuming `core_fraction` of one core
+  /// (e.g. a polling thread). `oversub_penalty` is the extra multiplicative
+  /// compute slowdown applied when the node is oversubscribed because of it
+  /// (models context-switch and cache-pollution cost, not just capacity).
+  void add_background_load(double core_fraction, double oversub_penalty);
+  void remove_background_load(double core_fraction, double oversub_penalty);
+
+  double background_load() const { return background_; }
+
+  /// Virtual duration of `work_ns` nanoseconds of single-core work executed
+  /// with `threads` threads on this node.
+  Time compute_time(Time work_ns, int threads) const;
+
+  /// Blocking helper for actor code: charge the compute time on the clock.
+  void compute(Time work_ns, int threads) const;
+
+ private:
+  int id_;
+  int cores_;
+  double background_ = 0.0;
+  double penalty_ = 0.0;
+};
+
+/// The set of nodes in one simulated machine.
+class Machine {
+ public:
+  Machine(int n_nodes, int cores_per_node);
+
+  int node_count() const { return static_cast<int>(nodes_.size()); }
+  Node& node(int i) { return nodes_[static_cast<std::size_t>(i)]; }
+  const Node& node(int i) const { return nodes_[static_cast<std::size_t>(i)]; }
+
+ private:
+  std::vector<Node> nodes_;
+};
+
+}  // namespace unr::sim

@@ -1,0 +1,85 @@
+// Level-4 channel: the paper's hardware-software co-design proposal
+// (Section IV-C). The NIC carries 64 bits of p and 64 bits of a and applies
+// *p += a itself after the PUT/GET — no polling thread, no CQ to drain, no
+// core stolen from the application.
+//
+// No shipped NIC supports this; the simulator models the proposed feature so
+// that its benefit (Fig. 6's polling-thread discussion) can be quantified.
+#include "common/check.hpp"
+#include "unr/channels.hpp"
+#include "unr/unr.hpp"
+
+namespace unr::unrlib {
+
+namespace {
+
+class Level4Channel final : public Channel {
+ public:
+  explicit Level4Channel(Unr& ctx) : Channel(ctx) {
+    const auto& pers = ctx.fabric().iface();
+    UNR_CHECK_MSG(pers.effective_put_remote() >= 128,
+                  "level-4 requires 128 custom bits (128-bit interface like GLEX)");
+  }
+
+  const char* name() const override { return "level4-hw"; }
+  SupportLevel level() const override { return SupportLevel::kLevel4; }
+  bool multi_channel() const override { return true; }
+
+  void put(const XferOp& op) override {
+    fabric::Fabric::PutArgs a;
+    a.src_rank = op.src_rank;
+    a.src = op.local;
+    a.dst = op.remote;
+    a.size = op.size;
+    a.nic_index = op.nic;
+
+    if (op.rsig != kNoSig) {
+      Signal& sig = ctx_.sig_at(ctx_.node_of(op.remote.rank), op.rsig);
+      a.hw_add_target = sig.raw_counter();
+      a.hw_addend = op.r_addend;
+      Signal* s = &sig;
+      a.hw_notify = [s] { s->hw_notify(); };
+    }
+    if (op.lsig != kNoSig) {
+      // Local completion is applied by the sender's NIC the same way.
+      Signal& sig = ctx_.sig_at(ctx_.node_of(op.src_rank), op.lsig);
+      Signal* s = &sig;
+      const std::int64_t addend = op.l_addend;
+      a.on_local_complete = [s, addend] { s->apply(addend); };
+    }
+    ctx_.fabric().put(std::move(a));
+  }
+
+  void get(const XferOp& op) override {
+    fabric::Fabric::GetArgs a;
+    a.src_rank = op.src_rank;
+    a.dst = op.local;
+    a.src = op.remote;
+    a.size = op.size;
+    a.nic_index = op.nic;
+
+    if (op.lsig != kNoSig) {
+      Signal& sig = ctx_.sig_at(ctx_.node_of(op.src_rank), op.lsig);
+      a.hw_add_target = sig.raw_counter();
+      a.hw_addend = op.l_addend;
+      Signal* s = &sig;
+      a.hw_notify = [s] { s->hw_notify(); };
+    }
+    if (op.rsig != kNoSig) {
+      Signal& sig = ctx_.sig_at(ctx_.node_of(op.remote.rank), op.rsig);
+      a.owner_hw_add_target = sig.raw_counter();
+      a.owner_hw_addend = op.r_addend;
+      Signal* s = &sig;
+      a.owner_hw_notify = [s] { s->hw_notify(); };
+    }
+    ctx_.fabric().get(std::move(a));
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Channel> make_level4_channel(Unr& ctx) {
+  return std::make_unique<Level4Channel>(ctx);
+}
+
+}  // namespace unr::unrlib

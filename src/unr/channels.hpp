@@ -1,0 +1,15 @@
+// Internal: constructors of the concrete channel implementations.
+#pragma once
+
+#include <memory>
+
+#include "unr/channel.hpp"
+
+namespace unr::unrlib {
+
+std::unique_ptr<Channel> make_native_channel(Unr& ctx);
+std::unique_ptr<Channel> make_level0_channel(Unr& ctx);
+std::unique_ptr<Channel> make_level4_channel(Unr& ctx);
+std::unique_ptr<Channel> make_fallback_channel(Unr& ctx);
+
+}  // namespace unr::unrlib

@@ -1,0 +1,221 @@
+#include "unr/collectives.hpp"
+
+#include "common/check.hpp"
+
+namespace unr::unrlib {
+
+namespace {
+constexpr int kSetupTagBase = 5000;
+
+int ceil_log2(int p) {
+  int r = 0;
+  while ((1 << r) < p) ++r;
+  return r;
+}
+}  // namespace
+
+// ---------------------------------------------------------------- RmaBarrier
+
+RmaBarrier::RmaBarrier(Unr& unr, runtime::Rank& rank)
+    : unr_(unr), rank_(rank), rounds_(ceil_log2(rank.nranks())) {
+  const int p = rank_.nranks();
+  const int self = rank_.id();
+  const int slots = kSets * std::max(rounds_, 1);
+  mailbox_.assign(static_cast<std::size_t>(slots), std::byte{0});
+  mem_ = unr_.mem_reg(self, mailbox_.data(), mailbox_.size());
+  sigs_.resize(static_cast<std::size_t>(slots), kNoSig);
+  peer_slots_.resize(static_cast<std::size_t>(slots));
+
+  for (int s = 0; s < kSets; ++s) {
+    for (int k = 0; k < rounds_; ++k) {
+      const auto idx = static_cast<std::size_t>(s * rounds_ + k);
+      sigs_[idx] = unr_.sig_init(self, 1);
+      const Blk my_slot = unr_.blk_init(self, mem_, idx, 1, sigs_[idx]);
+      // In round k I am signalled by (self - 2^k) and I signal (self + 2^k).
+      const int src = (self - (1 << k) + p) % p;
+      const int dst = (self + (1 << k)) % p;
+      const int tag = kSetupTagBase + s * 64 + k;
+      std::vector<runtime::RequestPtr> reqs;
+      reqs.push_back(rank_.irecv(dst, tag, &peer_slots_[idx], sizeof(Blk)));
+      reqs.push_back(rank_.isend(src, tag, &my_slot, sizeof(Blk)));
+      rank_.wait_all(reqs);
+    }
+  }
+}
+
+void RmaBarrier::run() {
+  const int self = rank_.id();
+  if (rounds_ == 0) return;  // single rank
+  const int set = current_set_;
+  current_set_ = (current_set_ + 1) % kSets;
+  for (int k = 0; k < rounds_; ++k) {
+    const auto idx = static_cast<std::size_t>(set * rounds_ + k);
+    // Reuse my own mailbox byte as the put source (any registered byte works).
+    const Blk src = unr_.blk_init(self, mem_, idx, 1);
+    unr_.put(self, src, peer_slots_[idx]);
+    unr_.sig_wait(self, sigs_[idx]);
+    unr_.sig_reset(self, sigs_[idx]);
+  }
+}
+
+// ------------------------------------------------------------------ RmaBcast
+
+RmaBcast::RmaBcast(Unr& unr, runtime::Rank& rank, int root, void* buf,
+                   std::size_t size)
+    : unr_(unr), rank_(rank), root_(root), size_(size) {
+  const int p = rank_.nranks();
+  const int self = rank_.id();
+  UNR_CHECK(root >= 0 && root < p && size > 0);
+  vrank_ = (self - root + p) % p;
+  mem_ = unr_.mem_reg(self, buf, size);
+
+  // Binomial tree: parent strips the lowest set bit of vrank; children are
+  // vrank + mask for masks above my lowest set bit (root: all powers of 2).
+  int parent_vr = -1;
+  std::vector<int> children_vr;
+  {
+    int mask = 1;
+    while (mask < p) {
+      if (vrank_ & mask) {
+        parent_vr = vrank_ ^ mask;
+        break;
+      }
+      if (vrank_ + mask < p) children_vr.push_back(vrank_ + mask);
+      mask <<= 1;
+    }
+    // Root has no set bits: the loop above collected all children already.
+  }
+  auto to_rank = [&](int vr) { return (vr + root_) % p; };
+
+  if (parent_vr >= 0) recv_sig_ = unr_.sig_init(self, 1);
+  if (!children_vr.empty())
+    send_sig_ = unr_.sig_init(self, static_cast<std::int64_t>(children_vr.size()));
+  my_blk_ = unr_.blk_init(self, mem_, 0, size_, recv_sig_);
+
+  // Credits: children tell the parent "consumed, buffer ready again".
+  credit_bytes_.assign(std::max<std::size_t>(children_vr.size(), 1), std::byte{0});
+  credit_mem_ = unr_.mem_reg(self, credit_bytes_.data(), credit_bytes_.size());
+  if (!children_vr.empty())
+    credit_sig_ = unr_.sig_init(self, static_cast<std::int64_t>(children_vr.size()));
+
+  // Handle exchange: child -> parent: my data Blk; parent -> child: a credit
+  // slot Blk for that child.
+  if (parent_vr >= 0) {
+    const int pr = to_rank(parent_vr);
+    std::vector<runtime::RequestPtr> reqs;
+    reqs.push_back(rank_.isend(pr, kSetupTagBase + 200, &my_blk_, sizeof(Blk)));
+    reqs.push_back(rank_.irecv(pr, kSetupTagBase + 201, &parent_credit_slot_,
+                               sizeof(Blk)));
+    rank_.wait_all(reqs);
+  }
+  child_blks_.resize(children_vr.size());
+  for (std::size_t c = 0; c < children_vr.size(); ++c) {
+    const int cr = to_rank(children_vr[c]);
+    const Blk credit_slot = unr_.blk_init(self, credit_mem_, c, 1, credit_sig_);
+    std::vector<runtime::RequestPtr> reqs;
+    reqs.push_back(rank_.irecv(cr, kSetupTagBase + 200, &child_blks_[c], sizeof(Blk)));
+    reqs.push_back(rank_.isend(cr, kSetupTagBase + 201, &credit_slot, sizeof(Blk)));
+    rank_.wait_all(reqs);
+  }
+}
+
+RmaBcast::~RmaBcast() {
+  // Drain the final run's inbound credits before credit_bytes_ is freed.
+  if (child_blks_.empty() || first_use_) return;
+  try {
+    unr_.sig_wait(rank_.id(), credit_sig_);
+    unr_.sig_wait(rank_.id(), send_sig_);
+  } catch (...) {
+    // Tear-down during an aborting simulation: nothing left to drain.
+  }
+}
+
+void RmaBcast::run() {
+  const int self = rank_.id();
+  if (rank_.nranks() == 1) return;
+
+  if (vrank_ != 0) {
+    unr_.sig_wait(self, recv_sig_);
+    unr_.sig_reset(self, recv_sig_);
+  }
+  if (!child_blks_.empty()) {
+    if (!first_use_) {
+      // Children must have consumed the previous run before we overwrite.
+      unr_.sig_wait(self, credit_sig_);
+      unr_.sig_reset(self, credit_sig_);
+      unr_.sig_wait(self, send_sig_);
+      unr_.sig_reset(self, send_sig_);
+    }
+    const Blk src = unr_.blk_init(self, mem_, 0, size_, send_sig_);
+    for (const Blk& child : child_blks_) unr_.put(self, src, child);
+  }
+  if (vrank_ != 0) {
+    // Consumed: credit the parent (the pre-synchronization for its next run).
+    const Blk credit_src = unr_.blk_init(self, credit_mem_, 0, 1);
+    unr_.put(self, credit_src, parent_credit_slot_);
+  }
+  first_use_ = false;
+}
+
+// -------------------------------------------------------------- RmaAllgather
+
+RmaAllgather::RmaAllgather(Unr& unr, runtime::Rank& rank, void* buf,
+                           std::size_t block_size)
+    : unr_(unr), rank_(rank), block_(block_size) {
+  const int p = rank_.nranks();
+  const int self = rank_.id();
+  UNR_CHECK(block_size > 0);
+  mem_ = unr_.mem_reg(self, buf, static_cast<std::size_t>(p) * block_);
+  if (p == 1) return;
+
+  const int steps = p - 1;
+  step_sigs_.resize(static_cast<std::size_t>(kSets * steps), kNoSig);
+  right_slots_.resize(static_cast<std::size_t>(kSets * steps));
+  send_sig_ = unr_.sig_init(self, steps);
+
+  const int left = (self - 1 + p) % p;
+  const int right = (self + 1) % p;
+  for (int s = 0; s < kSets; ++s) {
+    for (int st = 0; st < steps; ++st) {
+      const auto idx = static_cast<std::size_t>(s * steps + st);
+      step_sigs_[idx] = unr_.sig_init(self, 1);
+      // In step st, my LEFT neighbor writes block (self - st - 1) into me.
+      const int blk_idx = (self - st - 1 + p) % p;
+      const Blk my_slot =
+          unr_.blk_init(self, mem_, static_cast<std::size_t>(blk_idx) * block_,
+                        block_, step_sigs_[idx]);
+      const int tag = kSetupTagBase + 400 + s * 64 + st;
+      std::vector<runtime::RequestPtr> reqs;
+      reqs.push_back(rank_.irecv(right, tag, &right_slots_[idx], sizeof(Blk)));
+      reqs.push_back(rank_.isend(left, tag, &my_slot, sizeof(Blk)));
+      rank_.wait_all(reqs);
+    }
+  }
+}
+
+void RmaAllgather::run() {
+  const int p = rank_.nranks();
+  const int self = rank_.id();
+  if (p == 1) return;
+  const int steps = p - 1;
+  const int set = current_set_;
+  current_set_ = (current_set_ + 1) % kSets;
+
+  if (!first_use_) {
+    unr_.sig_wait(self, send_sig_);  // previous run's puts fully out
+    unr_.sig_reset(self, send_sig_);
+  }
+  for (int st = 0; st < steps; ++st) {
+    const auto idx = static_cast<std::size_t>(set * steps + st);
+    const int send_blk_idx = (self - st + p) % p;
+    const Blk src =
+        unr_.blk_init(self, mem_, static_cast<std::size_t>(send_blk_idx) * block_,
+                      block_, send_sig_);
+    unr_.put(self, src, right_slots_[idx]);
+    unr_.sig_wait(self, step_sigs_[idx]);
+    unr_.sig_reset(self, step_sigs_[idx]);
+  }
+  first_use_ = false;
+}
+
+}  // namespace unr::unrlib

@@ -1,0 +1,100 @@
+// Collective operations built ON TOP of UNR notified RMA.
+//
+// The paper deliberately keeps collectives out of the core library
+// (Section IV-E-3) and suggests implementing them as acceleration libraries
+// over UNR — citing prior RMA-collective work [56][57]. This module is that
+// library: persistent collectives whose setup phase exchanges Blk handles
+// once and whose execution phase is pure notified PUTs + MMAS signals, with
+// no tag matching and no handshakes.
+//
+// All collectives here are persistent objects: construct them collectively
+// (every rank, same order), then call run() any number of times. Buffers
+// are fixed at construction (the usual trade of RMA collectives).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "runtime/world.hpp"
+#include "unr/unr.hpp"
+
+namespace unr::unrlib {
+
+/// Dissemination barrier over notified 1-byte PUTs.
+/// ceil(log2 P) rounds; round k signals rank (self + 2^k) mod P.
+class RmaBarrier {
+ public:
+  /// Collective constructor (uses the two-sided runtime once, for setup).
+  RmaBarrier(Unr& unr, runtime::Rank& rank);
+  void run();
+
+ private:
+  Unr& unr_;
+  runtime::Rank& rank_;
+  int rounds_;
+  // Sequence-stamped mailbox slots: one per round, double-buffered so
+  // consecutive barriers cannot interfere.
+  static constexpr int kSets = 2;
+  std::vector<std::byte> mailbox_;
+  MemHandle mem_;
+  std::vector<SigId> sigs_;          // [set * rounds + round]
+  std::vector<Blk> peer_slots_;      // where I signal in round k, per set
+  int current_set_ = 0;
+};
+
+/// Binomial-tree broadcast of a fixed buffer via notified PUTs.
+class RmaBcast {
+ public:
+  /// Every rank passes its buffer of `size` bytes; `root`'s contents are
+  /// distributed on each run().
+  RmaBcast(Unr& unr, runtime::Rank& rank, int root, void* buf, std::size_t size);
+  /// Quiesces: drains the children's final consumption credits, which target
+  /// this object's staging memory (the RDMA rule: registered memory must
+  /// outlive every operation aimed at it). Must run on the owning rank,
+  /// inside the simulation.
+  ~RmaBcast();
+  void run();
+
+ private:
+  Unr& unr_;
+  runtime::Rank& rank_;
+  int root_;
+  std::size_t size_ = 0;
+  MemHandle mem_;
+  SigId recv_sig_ = kNoSig;   // parent's put landed
+  SigId send_sig_ = kNoSig;   // my puts to children completed locally
+  Blk my_blk_;
+  std::vector<Blk> child_blks_;
+  int vrank_ = 0;  // rank relative to root
+  bool first_use_ = true;
+  // Consumption credits: the pre-synchronization for buffer reuse across
+  // runs (children put one byte back once they have consumed the data).
+  std::vector<std::byte> credit_bytes_;
+  MemHandle credit_mem_;
+  SigId credit_sig_ = kNoSig;
+  Blk parent_credit_slot_;
+};
+
+/// Ring allgather: every rank contributes `size` bytes; after run(),
+/// everyone holds all P blocks in rank order.
+class RmaAllgather {
+ public:
+  RmaAllgather(Unr& unr, runtime::Rank& rank, void* buf, std::size_t block_size);
+  void run();
+
+ private:
+  Unr& unr_;
+  runtime::Rank& rank_;
+  std::size_t block_ = 0;
+  MemHandle mem_;
+  // One signal per ring step (the block forwarded in step s), double-buffered.
+  static constexpr int kSets = 2;
+  std::vector<SigId> step_sigs_;  // [set * (P-1) + step]
+  std::vector<Blk> right_slots_;  // the right neighbor's slot for step s, per set
+  SigId send_sig_ = kNoSig;
+  int current_set_ = 0;
+  bool first_use_ = true;
+};
+
+}  // namespace unr::unrlib

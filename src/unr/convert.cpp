@@ -1,0 +1,99 @@
+#include "unr/convert.hpp"
+
+#include <cstring>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace unr::unrlib {
+
+namespace {
+/// Exchange tags share the user's tag space only during setup (before the
+/// main loop), mirroring the paper's usage; offset them to reduce collision
+/// risk with concurrent application traffic.
+int exchange_tag(int user_tag) { return (user_tag & 0x0FFFFFFF) | (1 << 27); }
+}  // namespace
+
+void irecv_convert(Unr& unr, runtime::Rank& rank, const MemHandle& mem,
+                   std::size_t offset, std::size_t bytes, int src, int tag,
+                   SigId recv_finish_sig, Plan& plan) {
+  (void)plan;  // delivery is driven by the sender's plan
+  const Blk blk = unr.blk_init(rank.id(), mem, offset, bytes, recv_finish_sig);
+  rank.send(src, exchange_tag(tag), &blk, sizeof blk);
+}
+
+void isend_convert(Unr& unr, runtime::Rank& rank, const MemHandle& mem,
+                   std::size_t offset, std::size_t bytes, int dst, int tag,
+                   SigId send_finish_sig, Plan& plan) {
+  Blk remote;
+  rank.recv(dst, exchange_tag(tag), &remote, sizeof remote);
+  UNR_CHECK_MSG(remote.size == bytes, "isend/irecv convert size mismatch: sending "
+                                          << bytes << " into a " << remote.size
+                                          << "-byte block");
+  const Blk local = unr.blk_init(rank.id(), mem, offset, bytes, send_finish_sig);
+  plan.add_put(local, remote);
+}
+
+void sendrecv_convert(Unr& unr, runtime::Rank& rank, const MemHandle& send_mem,
+                      std::size_t send_off, std::size_t send_bytes, int dst,
+                      const MemHandle& recv_mem, std::size_t recv_off,
+                      std::size_t recv_bytes, int src, int tag, SigId send_finish_sig,
+                      SigId recv_finish_sig, Plan& plan) {
+  const Blk my_recv =
+      unr.blk_init(rank.id(), recv_mem, recv_off, recv_bytes, recv_finish_sig);
+  Blk remote;
+  rank.sendrecv(src, exchange_tag(tag), &my_recv, sizeof my_recv, dst,
+                exchange_tag(tag), &remote, sizeof remote);
+  UNR_CHECK_MSG(remote.size == send_bytes, "sendrecv convert size mismatch");
+  const Blk local =
+      unr.blk_init(rank.id(), send_mem, send_off, send_bytes, send_finish_sig);
+  plan.add_put(local, remote);
+}
+
+void alltoallv_convert(Unr& unr, runtime::Rank& rank, const MemHandle& send_mem,
+                       std::span<const std::size_t> send_counts,
+                       std::span<const std::size_t> send_displs,
+                       const MemHandle& recv_mem,
+                       std::span<const std::size_t> recv_counts,
+                       std::span<const std::size_t> recv_displs,
+                       SigId send_finish_sig, SigId recv_finish_sig, Plan& plan) {
+  const int p = rank.nranks();
+  const int self = rank.id();
+  UNR_CHECK(static_cast<int>(send_counts.size()) == p &&
+            static_cast<int>(recv_counts.size()) == p);
+
+  // My receive block for source r, bound to the aggregated receive signal.
+  std::vector<Blk> my_recv_blks(static_cast<std::size_t>(p));
+  for (int r = 0; r < p; ++r) {
+    const auto ri = static_cast<std::size_t>(r);
+    my_recv_blks[ri] =
+        unr.blk_init(self, recv_mem, recv_displs[ri], recv_counts[ri], recv_finish_sig);
+  }
+  // Blk[r] after the exchange = where *I* must put my data at rank r.
+  std::vector<Blk> remote_blks(static_cast<std::size_t>(p));
+  rank.alltoall(my_recv_blks.data(), remote_blks.data(), sizeof(Blk));
+
+  for (int r = 0; r < p; ++r) {
+    const auto ri = static_cast<std::size_t>(r);
+    if (r == self) continue;
+    UNR_CHECK_MSG(remote_blks[ri].size == send_counts[ri],
+                  "alltoallv convert: rank " << self << " sends " << send_counts[ri]
+                                             << "B to rank " << r << " which expects "
+                                             << remote_blks[ri].size << "B");
+    const Blk local =
+        unr.blk_init(self, send_mem, send_displs[ri], send_counts[ri], send_finish_sig);
+    plan.add_put(local, remote_blks[ri]);
+  }
+
+  // The self block: a plain local copy, still counted by both signals so
+  // num_event can be nranks on every rank.
+  const auto si = static_cast<std::size_t>(self);
+  UNR_CHECK(send_counts[si] == recv_counts[si]);
+  std::byte* dst = unr.fabric().memory().resolve(
+      {self, recv_mem.mr, recv_displs[si]}, recv_counts[si]);
+  const std::byte* src = unr.fabric().memory().resolve(
+      {self, send_mem.mr, send_displs[si]}, send_counts[si]);
+  plan.add_local_copy(dst, src, send_counts[si], send_finish_sig, recv_finish_sig);
+}
+
+}  // namespace unr::unrlib

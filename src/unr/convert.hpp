@@ -1,0 +1,51 @@
+// MPI conversion interfaces (Code 3 of the paper, Section V-C).
+//
+// These helpers let an application migrate hot two-sided MPI calls to UNR
+// without computing a single remote offset: at setup time each function
+// exchanges the Blk handles with the peer(s) over the two-sided runtime and
+// records the transmission into a Plan; in the main loop the application
+// just calls Plan::start() and waits on the finish signals.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "runtime/world.hpp"
+#include "unr/unr.hpp"
+
+namespace unr::unrlib {
+
+/// Sender side of an Isend/Irecv pair: receives the peer's receive-Blk for
+/// this (dst, tag) and records `PUT(my block -> peer block)` into the plan.
+/// `send_finish_sig` is notified on local completion (buffer reusable).
+void isend_convert(Unr& unr, runtime::Rank& rank, const MemHandle& mem,
+                   std::size_t offset, std::size_t bytes, int dst, int tag,
+                   SigId send_finish_sig, Plan& plan);
+
+/// Receiver side: exposes [offset, offset+bytes) of `mem` to the sender and
+/// ships the Blk (bound to `recv_finish_sig`) to `src`. Nothing is recorded
+/// into the plan — delivery happens when the sender's plan runs.
+void irecv_convert(Unr& unr, runtime::Rank& rank, const MemHandle& mem,
+                   std::size_t offset, std::size_t bytes, int src, int tag,
+                   SigId recv_finish_sig, Plan& plan);
+
+/// Bidirectional neighbor exchange (MPI_Sendrecv): send to `dst`, receive
+/// from `src`, both recorded/exposed at once.
+void sendrecv_convert(Unr& unr, runtime::Rank& rank, const MemHandle& send_mem,
+                      std::size_t send_off, std::size_t send_bytes, int dst,
+                      const MemHandle& recv_mem, std::size_t recv_off,
+                      std::size_t recv_bytes, int src, int tag, SigId send_finish_sig,
+                      SigId recv_finish_sig, Plan& plan);
+
+/// MPI_Alltoallv conversion: counts/displacements in BYTES relative to the
+/// registered regions. The self block becomes a local copy in the plan.
+/// Typical signal sizing: both finish signals with num_event = nranks.
+void alltoallv_convert(Unr& unr, runtime::Rank& rank, const MemHandle& send_mem,
+                       std::span<const std::size_t> send_counts,
+                       std::span<const std::size_t> send_displs,
+                       const MemHandle& recv_mem,
+                       std::span<const std::size_t> recv_counts,
+                       std::span<const std::size_t> recv_displs,
+                       SigId send_finish_sig, SigId recv_finish_sig, Plan& plan);
+
+}  // namespace unr::unrlib

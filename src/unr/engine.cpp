@@ -1,0 +1,84 @@
+#include "unr/engine.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "unr/unr.hpp"
+
+namespace unr::unrlib {
+
+Engine::Engine(Unr& ctx, int node, Config cfg, bool active)
+    : ctx_(ctx), node_(node), cfg_(cfg), active_(active) {
+  if (!active_) return;
+  sim::Node& n = ctx_.fabric().machine().node(node_);
+  if (cfg_.reserved_core) {
+    // A dedicated core: full capacity loss, but no interference penalty and
+    // no extra drain delay.
+    n.add_background_load(1.0, 0.0);
+  } else {
+    n.add_background_load(cfg_.unreserved_core_fraction, cfg_.unreserved_penalty);
+  }
+}
+
+Engine::~Engine() = default;
+
+Time Engine::phase_delay() const {
+  Time d = cfg_.poll_interval / 2;
+  if (!cfg_.reserved_core) d += cfg_.unreserved_extra_delay;
+  return std::max<Time>(d, 1);
+}
+
+void Engine::notify_work() {
+  UNR_CHECK_MSG(active_, "progress engine notified while inactive (level-4 channel?)");
+  if (scheduled_) return;
+  schedule_drain(ctx_.fabric().kernel().now() + phase_delay());
+}
+
+void Engine::enqueue(Time ready, std::function<void()> task) {
+  sw_q_.push_back(SwTask{ready, std::move(task)});
+  notify_work();
+}
+
+void Engine::schedule_drain(Time at) {
+  scheduled_ = true;
+  ctx_.fabric().kernel().post_at(at, [this] {
+    scheduled_ = false;
+    drain();
+  });
+}
+
+void Engine::drain() {
+  stats_.drains++;
+  fabric::Fabric& f = ctx_.fabric();
+  for (int i = 0; i < f.nics_per_node(); ++i) {
+    fabric::Nic& nic = f.nic(node_, i);
+    while (!nic.remote_cq().empty()) {
+      const fabric::Cqe e = nic.remote_cq().pop();
+      stats_.cqes++;
+      ctx_.channel().process_cqe(node_, e);
+    }
+    while (!nic.local_cq().empty()) {
+      const fabric::Cqe e = nic.local_cq().pop();
+      stats_.cqes++;
+      ctx_.channel().process_cqe(node_, e);
+    }
+  }
+
+  const Time now = f.kernel().now();
+  Time next_ready = 0;
+  for (std::size_t i = 0; i < sw_q_.size();) {
+    if (sw_q_[i].ready <= now) {
+      auto task = std::move(sw_q_[i].run);
+      sw_q_.erase(sw_q_.begin() + static_cast<std::ptrdiff_t>(i));
+      stats_.sw_tasks++;
+      task();
+    } else {
+      next_ready = next_ready == 0 ? sw_q_[i].ready : std::min(next_ready, sw_q_[i].ready);
+      ++i;
+    }
+  }
+  if (!sw_q_.empty() && !scheduled_)
+    schedule_drain(std::max(next_ready, now + cfg_.poll_interval));
+}
+
+}  // namespace unr::unrlib

@@ -1,0 +1,77 @@
+// The UNR progress engine: one polling "thread" per node (Section IV-C).
+//
+// At support levels 0-3 somebody must drain the NIC completion queues and
+// apply the addends to the signal counters. The engine models the paper's
+// dedicated polling thread:
+//   * it drains with a phase delay of poll_interval/2 (the expected wait for
+//     a polling loop to come around),
+//   * if it has no reserved core it consumes a fraction of one core as
+//     background load and inflates compute under oversubscription — the
+//     effect measured in Fig. 6 (HPC-IB, 16 vs 18 threads),
+//   * software notifications (level-0 companions, fallback messages) go
+//     through the same queue.
+// At level 4 the engine is idle: the NIC applies the addends itself.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "common/units.hpp"
+
+namespace unr::unrlib {
+
+class Unr;
+
+class Engine {
+ public:
+  struct Config {
+    Time poll_interval = 1 * kUs;
+    bool reserved_core = true;
+    /// Core fraction the polling thread consumes when it has no reserved
+    /// core, and the extra compute inflation it causes under oversubscription.
+    double unreserved_core_fraction = 0.75;
+    double unreserved_penalty = 0.08;
+    /// Additional drain delay when sharing cores (the polling loop gets
+    /// descheduled by the compute threads).
+    Time unreserved_extra_delay = 4 * kUs;
+  };
+
+  Engine(Unr& ctx, int node, Config cfg, bool active);
+  ~Engine();
+
+  /// Hook: a CQE landed on one of this node's NICs (or a software task was
+  /// queued); make sure a drain is scheduled.
+  void notify_work();
+
+  /// Queue a software notification task, runnable at `ready` at the earliest.
+  void enqueue(Time ready, std::function<void()> task);
+
+  bool active() const { return active_; }
+
+  struct Stats {
+    std::uint64_t drains = 0;
+    std::uint64_t cqes = 0;
+    std::uint64_t sw_tasks = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  void schedule_drain(Time at);
+  void drain();
+  Time phase_delay() const;
+
+  Unr& ctx_;
+  int node_;
+  Config cfg_;
+  bool active_;
+  bool scheduled_ = false;
+  struct SwTask {
+    Time ready;
+    std::function<void()> run;
+  };
+  std::deque<SwTask> sw_q_;
+  Stats stats_;
+};
+
+}  // namespace unr::unrlib

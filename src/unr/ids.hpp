@@ -1,0 +1,53 @@
+// Public handle types of the UNR library.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "fabric/memory.hpp"
+
+namespace unr::unrlib {
+
+/// Identifier of a Signal within its owner *node's* signal table.
+///
+/// On real hardware, the custom bits carry a pointer (or table index) that
+/// the owner process resolves; in the simulator, NICs are per node, so the
+/// table is node-scoped and the id is a node-local slot number. This is
+/// exactly the `p` of the paper's MMAS design.
+using SigId = std::uint64_t;
+inline constexpr SigId kNoSig = ~static_cast<SigId>(0);
+
+/// A registered memory region, as returned by UNR_Mem_Reg.
+struct MemHandle {
+  int rank = -1;
+  fabric::MrId mr = fabric::kInvalidMr;
+  std::size_t size = 0;
+  bool valid() const { return mr != fabric::kInvalidMr; }
+};
+
+/// BLK: the transportable data handle of Section IV-D.
+///
+/// Identifies a block of data inside a registered memory region together
+/// with the signal (if any) bound to completions touching the block. A BLK
+/// is plain data: send it to a peer once during setup and the peer can PUT
+/// into / GET from the block without ever computing a remote address offset.
+struct Blk {
+  int rank = -1;                       ///< owning rank
+  fabric::MrId mr = fabric::kInvalidMr;
+  std::size_t offset = 0;
+  std::size_t size = 0;
+  SigId sig = kNoSig;                  ///< signal at the OWNER's side
+  std::int32_t sig_n_bits = 0;         ///< the signal's event-field width N
+
+  bool valid() const { return rank >= 0 && mr != fabric::kInvalidMr; }
+  fabric::MemRef ref() const { return {rank, mr, offset}; }
+  /// A sub-block (relative to this block); keeps the same bound signal.
+  Blk sub(std::size_t rel_offset, std::size_t sub_size) const {
+    Blk b = *this;
+    b.offset += rel_offset;
+    b.size = sub_size;
+    return b;
+  }
+};
+
+}  // namespace unr::unrlib

@@ -1,0 +1,98 @@
+// The paper's exact interface names (Section IV / Code 2 / Code 3), as thin
+// wrappers over unrlib::Unr. Useful when porting code written against the
+// paper's pseudo-API, or when comparing a port line by line with Code 2.
+//
+//   UNR_Handle h{&unr, rank};
+//   auto mr       = UNR_Mem_Reg(h, send_buf, buf_size);
+//   auto send_sig = UNR_Sig_Init(h, 1);            // trigger after 1 event
+//   auto send_blk = UNR_Blk_Init(h, mr, f_x, size, send_sig);
+//   UNR_Put(h, send_blk, rmt_blk);
+//   UNR_Sig_Wait(h, send_sig);
+//   UNR_Sig_Reset(h, send_sig);
+#pragma once
+
+#include <memory>
+
+#include "unr/convert.hpp"
+#include "unr/unr.hpp"
+
+namespace unr::unrlib {
+
+/// The per-process view of the library: context + calling rank.
+struct UNR_Handle {
+  Unr* unr = nullptr;
+  int rank = -1;
+};
+
+inline MemHandle UNR_Mem_Reg(UNR_Handle h, void* buf, std::size_t size) {
+  return h.unr->mem_reg(h.rank, buf, size);
+}
+
+inline void UNR_Mem_Dereg(UNR_Handle h, const MemHandle& m) {
+  h.unr->mem_dereg(h.rank, m);
+}
+
+inline SigId UNR_Sig_Init(UNR_Handle h, std::int64_t num_event, int n_bits = -1) {
+  return h.unr->sig_init(h.rank, num_event, n_bits);
+}
+
+inline void UNR_Sig_Wait(UNR_Handle h, SigId sig) { h.unr->sig_wait(h.rank, sig); }
+inline void UNR_Sig_Reset(UNR_Handle h, SigId sig) { h.unr->sig_reset(h.rank, sig); }
+inline bool UNR_Sig_Test(UNR_Handle h, SigId sig) { return h.unr->sig_test(h.rank, sig); }
+
+inline Blk UNR_Blk_Init(UNR_Handle h, const MemHandle& mem, std::size_t offset,
+                        std::size_t size, SigId sig = kNoSig) {
+  return h.unr->blk_init(h.rank, mem, offset, size, sig);
+}
+
+inline void UNR_Put(UNR_Handle h, const Blk& local, const Blk& remote,
+                    const PutOptions& opts = {}) {
+  h.unr->put(h.rank, local, remote, opts);
+}
+
+inline void UNR_Get(UNR_Handle h, const Blk& local, const Blk& remote,
+                    const PutOptions& opts = {}) {
+  h.unr->get(h.rank, local, remote, opts);
+}
+
+/// UNR_RMA_Plan(): start recording; UNR_Plan_Start(): replay.
+inline std::unique_ptr<Plan> UNR_RMA_Plan(UNR_Handle h) {
+  return h.unr->make_plan(h.rank);
+}
+inline void UNR_Plan_Start(Plan& plan) { plan.start(); }
+
+/// Code 3: MPI conversion interfaces.
+inline void MPI_Isend_Convert(UNR_Handle h, runtime::Rank& r, const MemHandle& mem,
+                              std::size_t offset, std::size_t bytes, int dst, int tag,
+                              SigId send_finish_sig, Plan& plan) {
+  isend_convert(*h.unr, r, mem, offset, bytes, dst, tag, send_finish_sig, plan);
+}
+inline void MPI_Irecv_Convert(UNR_Handle h, runtime::Rank& r, const MemHandle& mem,
+                              std::size_t offset, std::size_t bytes, int src, int tag,
+                              SigId recv_finish_sig, Plan& plan) {
+  irecv_convert(*h.unr, r, mem, offset, bytes, src, tag, recv_finish_sig, plan);
+}
+inline void MPI_Sendrecv_Convert(UNR_Handle h, runtime::Rank& r,
+                                 const MemHandle& send_mem, std::size_t send_off,
+                                 std::size_t send_bytes, int dst,
+                                 const MemHandle& recv_mem, std::size_t recv_off,
+                                 std::size_t recv_bytes, int src, int tag,
+                                 SigId send_finish_sig, SigId recv_finish_sig,
+                                 Plan& plan) {
+  sendrecv_convert(*h.unr, r, send_mem, send_off, send_bytes, dst, recv_mem, recv_off,
+                   recv_bytes, src, tag, send_finish_sig, recv_finish_sig, plan);
+}
+inline void MPI_Alltoallv_Convert(UNR_Handle h, runtime::Rank& r,
+                                  const MemHandle& send_mem,
+                                  std::span<const std::size_t> send_counts,
+                                  std::span<const std::size_t> send_displs,
+                                  const MemHandle& recv_mem,
+                                  std::span<const std::size_t> recv_counts,
+                                  std::span<const std::size_t> recv_displs,
+                                  SigId send_finish_sig, SigId recv_finish_sig,
+                                  Plan& plan) {
+  alltoallv_convert(*h.unr, r, send_mem, send_counts, send_displs, recv_mem,
+                    recv_counts, recv_displs, send_finish_sig, recv_finish_sig, plan);
+}
+
+}  // namespace unr::unrlib

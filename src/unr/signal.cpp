@@ -1,0 +1,82 @@
+#include "unr/signal.hpp"
+
+#include <sstream>
+
+#include "common/check.hpp"
+#include "common/log.hpp"
+
+namespace unr::unrlib {
+
+Signal::Signal(std::int64_t num_event, int n_bits) : num_event_(num_event), n_(n_bits) {
+  UNR_CHECK_MSG(n_bits >= 1 && n_bits <= 61, "signal N out of range: " << n_bits);
+  UNR_CHECK_MSG(num_event >= 1 && num_event < (std::int64_t{1} << n_bits),
+                "num_event " << num_event << " does not fit in N=" << n_bits << " bits");
+  counter_ = num_event_;
+}
+
+void Signal::apply(std::int64_t addend) {
+  counter_ += addend;
+  // Also wake waiters when the overflow bit flips on: the counter will never
+  // return to zero, and a silent hang would hide the synchronization bug
+  // that the bit exists to expose.
+  if (counter_ == 0 || overflow_detected()) cond_.notify_all();
+}
+
+void Signal::hw_notify() {
+  // The hardware already performed the add; replicate apply()'s wakeup.
+  if (counter_ == 0) cond_.notify_all();
+}
+
+void Signal::warn(const std::string& what) {
+  ++warnings_;
+  std::ostringstream os;
+  os << "UNR signal" << (name_.empty() ? "" : " '" + name_ + "'") << ": " << what
+     << " (counter=" << counter_ << ", num_event=" << num_event_ << ", N=" << n_ << ")";
+  log_warn(os.str());
+}
+
+void Signal::reset() {
+  if (counter_ != 0) {
+    if (overflow_detected())
+      warn("reset with overflow bit set — more events arrived than num_event");
+    else
+      warn("reset before trigger — a message arrived earlier than expected, "
+           "check the application's pre-synchronization");
+  }
+  counter_ = num_event_;
+}
+
+void Signal::wait() {
+  if (overflow_detected()) {
+    warn("overflow bit set in wait — more events arrived than num_event");
+    return;  // the counter cannot reach zero any more
+  }
+  cond_.wait([&] { return counter_ == 0 || overflow_detected(); });
+  if (overflow_detected())
+    warn("overflow bit set in wait — more events arrived than num_event");
+}
+
+bool Signal::test() {
+  if (overflow_detected())
+    warn("overflow bit set in test — more events arrived than num_event");
+  return counter_ == 0;
+}
+
+std::int64_t Signal::encode_addend(std::int64_t addend, int n_bits) {
+  if (addend == -1) return 0;
+  if (addend == follow_addend(n_bits)) return -1;
+  // Must be a lead addend: -1 + (K-1 << (N+1)).
+  const std::int64_t k_minus_1 = (addend + 1) >> (n_bits + 1);
+  UNR_CHECK_MSG(k_minus_1 > 0 && lead_addend(static_cast<int>(k_minus_1 + 1), n_bits) ==
+                                     addend,
+                "addend " << addend << " is not a valid MMAS addend for N=" << n_bits);
+  return k_minus_1;
+}
+
+std::int64_t Signal::decode_addend(std::int64_t code, int n_bits) {
+  if (code == 0) return -1;
+  if (code < 0) return follow_addend(n_bits);
+  return lead_addend(static_cast<int>(code + 1), n_bits);
+}
+
+}  // namespace unr::unrlib

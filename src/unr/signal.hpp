@@ -1,0 +1,108 @@
+// MMAS: Multi-channel Multi-message Aggregated Signal (Section IV-B).
+//
+// A signal aggregates completion events from one or more peers and from the
+// sub-messages of multi-NIC transfers into a single waitable condition.
+//
+// Layout of the signed 64-bit `counter` (N = event-field width):
+//
+//    63 ............ N+1 |  N  | N-1 ............ 0
+//    remaining sub-msgs  | OVF |  remaining events
+//
+// Addends (applied when one completion arrives):
+//   * message on one channel:             a = -1
+//   * K sub-messages, the "lead" one:     a = -1 + ((K-1) << (N+1))
+//   * K sub-messages, each "follower":    a = -(1 << (N+1))
+//
+// counter == 0  <=>  all expected events arrived and no fragment is still
+// in flight. If MORE than num_event events arrive, the event field borrows
+// and bit N (the overflow-detect bit) flips to 1 — two's complement gives
+// the error detector for free, exactly as the paper describes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/cond.hpp"
+
+namespace unr::unrlib {
+
+class Signal {
+ public:
+  /// A signal that triggers after `num_event` completion events.
+  /// `n_bits` is N, the event-field width; num_event must fit in it.
+  Signal(std::int64_t num_event, int n_bits);
+
+  Signal(const Signal&) = delete;
+  Signal& operator=(const Signal&) = delete;
+
+  std::int64_t num_event() const { return num_event_; }
+  int n_bits() const { return n_; }
+  std::int64_t counter() const { return counter_; }
+
+  /// True once all expected events (and fragments) have arrived.
+  bool triggered() const { return counter_ == 0; }
+
+  /// Overflow-detect bit: more events arrived than num_event.
+  bool overflow_detected() const { return (counter_ >> n_) & 1; }
+
+  /// Apply one completion's addend; wakes waiters when the signal triggers.
+  void apply(std::int64_t addend);
+
+  /// Re-arm: set counter back to num_event. Per the paper's bug-avoiding
+  /// contract this must be called after the corresponding buffers are ready;
+  /// if the counter is not zero, a message arrived earlier than expected (a
+  /// synchronization error) and a warning is emitted.
+  void reset();
+
+  /// Block the calling actor until the signal triggers. Emits a warning if
+  /// the overflow bit is set. Returns the number of waits performed so far.
+  void wait();
+
+  /// Nonblocking variant of wait(): true if triggered (with the same
+  /// overflow check).
+  bool test();
+
+  /// The wait queue (used by Unr::sig_wait_any to block on several signals;
+  /// wakeups may be spurious, callers re-check their predicate).
+  sim::Cond& cond() { return cond_; }
+
+  // --- Addend encodings ---
+  static std::int64_t single_addend() { return -1; }
+  static std::int64_t lead_addend(int k, int n_bits) {
+    return -1 + (static_cast<std::int64_t>(k - 1) << (n_bits + 1));
+  }
+  static std::int64_t follow_addend(int n_bits) {
+    return -(static_cast<std::int64_t>(1) << (n_bits + 1));
+  }
+
+  /// Compressed wire form of an addend ("code"): 0 -> single (-1);
+  /// v > 0 -> lead with K-1 = v; -1 -> follower. Keeps notifications small
+  /// enough for narrow custom-bit widths (Table I level 2 mode 2).
+  static std::int64_t encode_addend(std::int64_t addend, int n_bits);
+  static std::int64_t decode_addend(std::int64_t code, int n_bits);
+
+  // --- Level-4 hardware offload hooks ---
+  /// Raw counter storage: the simulated NIC's atomic-add offload writes it
+  /// directly (the paper's proposed hardware feature).
+  std::int64_t* raw_counter() { return &counter_; }
+  /// Called by the NIC after a hardware add; performs the trigger check
+  /// that Signal::apply would have done in software.
+  void hw_notify();
+
+  /// Diagnostics.
+  std::uint64_t warnings() const { return warnings_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+  const std::string& name() const { return name_; }
+
+ private:
+  void warn(const std::string& what);
+
+  std::int64_t num_event_;
+  int n_;
+  std::int64_t counter_;
+  sim::Cond cond_;
+  std::uint64_t warnings_ = 0;
+  std::string name_;
+};
+
+}  // namespace unr::unrlib

@@ -1,0 +1,69 @@
+#include "unr/support_level.hpp"
+
+#include "common/check.hpp"
+
+namespace unr::unrlib {
+
+int effective_remote_put_bits(const fabric::Personality& p) {
+  int bits = p.effective_put_remote();
+  // PAMI shares one 64-bit pool between local and remote completions: only
+  // half of it is effectively available at the remote.
+  if (p.shared_put_bits) bits /= 2;
+  return bits;
+}
+
+SupportLevel classify(const fabric::Personality& p) {
+  const int bits = effective_remote_put_bits(p);
+  if (bits == 0) return SupportLevel::kLevel0;
+  if (bits <= 16) return SupportLevel::kLevel1;
+  if (bits < 64) return SupportLevel::kLevel2;
+  return SupportLevel::kLevel3;
+}
+
+const char* support_level_name(SupportLevel l) {
+  switch (l) {
+    case SupportLevel::kLevel0: return "Level-0";
+    case SupportLevel::kLevel1: return "Level-1";
+    case SupportLevel::kLevel2: return "Level-2";
+    case SupportLevel::kLevel3: return "Level-3";
+    case SupportLevel::kLevel4: return "Level-4";
+  }
+  return "?";
+}
+
+std::string support_level_spec(SupportLevel l) {
+  switch (l) {
+    case SupportLevel::kLevel0:
+      return "Additional order-preserving message transfers p and a.";
+    case SupportLevel::kLevel1:
+      return "All bits used for p; a = -1 assumed.";
+    case SupportLevel::kLevel2:
+      return "Mode1: all bits for p, a = -1. Mode2: x bits for p, 32-x for a.";
+    case SupportLevel::kLevel3:
+      return "p and a each use half of the bits.";
+    case SupportLevel::kLevel4:
+      return "64 bits p, 64 bits a; hardware atomic add after PUT/GET — no "
+             "polling thread required.";
+  }
+  return "?";
+}
+
+std::string support_level_suggestion(SupportLevel l) {
+  switch (l) {
+    case SupportLevel::kLevel0:
+      return "Correctness verification only; no performance guarantee.";
+    case SupportLevel::kLevel1:
+      return "Signal count limited; performance may degrade past the limit. "
+             "No multi-channel.";
+    case SupportLevel::kLevel2:
+      return "Mode1: no multi-channel. Mode2: multi-channel with limited "
+             "signals and events.";
+    case SupportLevel::kLevel3:
+      return "MMAS completely supported.";
+    case SupportLevel::kLevel4:
+      return "No performance degradation from polling threads.";
+  }
+  return "?";
+}
+
+}  // namespace unr::unrlib

@@ -1,0 +1,38 @@
+// UNR support levels (Table I) and their derivation from an interface's
+// custom-bit widths (Table II).
+#pragma once
+
+#include <string>
+
+#include "fabric/personality.hpp"
+
+namespace unr::unrlib {
+
+/// Support level 0..4 per Table I. Levels 0..3 are derived from the width of
+/// PUT custom bits *at remote*; level 4 additionally requires the hardware
+/// atomic-add-after-RMA offload (proposed, not shipped — the simulator can
+/// enable it to model the paper's co-design proposal).
+enum class SupportLevel : int {
+  kLevel0 = 0,  ///< no custom bits: companion ordered message carries (p, a)
+  kLevel1 = 1,  ///< 8/16 bits: index only, a = -1, limited signal count
+  kLevel2 = 2,  ///< 32 bits: mode 1 (index only) or mode 2 (x bits p, 32-x bits a)
+  kLevel3 = 3,  ///< 64/128 bits: full MMAS (p and a each get half)
+  kLevel4 = 4,  ///< 128 bits + hardware *p += a: no polling thread needed
+};
+
+/// Classify an interface by its remote-PUT custom-bit width (Table I rule;
+/// PAMI's shared 64-bit pool counts as 32 effective remote bits).
+SupportLevel classify(const fabric::Personality& p);
+
+/// Effective remote-PUT width used for classification.
+int effective_remote_put_bits(const fabric::Personality& p);
+
+const char* support_level_name(SupportLevel l);
+
+/// The "Implementation Specifications" column of Table I.
+std::string support_level_spec(SupportLevel l);
+
+/// The "Suggestion for Users" column of Table I.
+std::string support_level_suggestion(SupportLevel l);
+
+}  // namespace unr::unrlib

@@ -1,0 +1,345 @@
+#include "unr/unr.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <ostream>
+
+#include "common/check.hpp"
+#include "unr/channels.hpp"
+
+namespace unr::unrlib {
+
+namespace {
+
+ChannelKind resolve_kind(const Unr::Config& cfg) {
+  if (cfg.channel != ChannelKind::kAuto) return cfg.channel;
+  return cfg.enable_hw_offload ? ChannelKind::kLevel4 : ChannelKind::kNative;
+}
+
+}  // namespace
+
+std::unique_ptr<Channel> make_channel(ChannelKind kind, Unr& ctx) {
+  switch (kind) {
+    case ChannelKind::kNative: return make_native_channel(ctx);
+    case ChannelKind::kLevel0: return make_level0_channel(ctx);
+    case ChannelKind::kLevel4: return make_level4_channel(ctx);
+    case ChannelKind::kMpiFallback: return make_fallback_channel(ctx);
+    case ChannelKind::kAuto: break;
+  }
+  UNR_CHECK_MSG(false, "unresolved channel kind");
+  __builtin_unreachable();
+}
+
+Unr::Unr(runtime::World& world) : Unr(world, Config{}) {}
+
+Unr::Unr(runtime::World& world, Config cfg) : world_(world), cfg_(cfg) {
+  const ChannelKind kind = resolve_kind(cfg_);
+  sigs_.resize(static_cast<std::size_t>(world_.fabric().node_count()));
+  channel_ = make_channel(kind, *this);
+
+  // Level 4 applies addends in hardware: no polling engine, no stolen core.
+  const bool engine_active = kind != ChannelKind::kLevel4;
+  for (int n = 0; n < world_.fabric().node_count(); ++n)
+    engines_.push_back(std::make_unique<Engine>(*this, n, cfg_.engine, engine_active));
+
+  if (engine_active) {
+    for (int n = 0; n < world_.fabric().node_count(); ++n) {
+      Engine* eng = engines_[static_cast<std::size_t>(n)].get();
+      for (int i = 0; i < world_.fabric().nics_per_node(); ++i) {
+        fabric::Nic& nic = world_.fabric().nic(n, i);
+        nic.set_remote_cqe_hook([eng] { eng->notify_work(); });
+        nic.set_local_cqe_hook([eng] { eng->notify_work(); });
+      }
+    }
+  }
+}
+
+Unr::~Unr() = default;
+
+MemHandle Unr::mem_reg(int self, void* buf, std::size_t size) {
+  const fabric::MrId mr = world_.fabric().memory().register_region(self, buf, size);
+  return MemHandle{self, mr, size};
+}
+
+void Unr::mem_dereg(int self, const MemHandle& h) {
+  world_.fabric().memory().deregister_region(self, h.mr);
+}
+
+SigId Unr::sig_init(int self, std::int64_t num_event, int n_bits) {
+  const int n = n_bits < 0 ? cfg_.default_sig_n : n_bits;
+  const int node = node_of(self);
+  auto& table = sigs_[static_cast<std::size_t>(node)];
+  auto sig = std::make_unique<Signal>(num_event, n);
+  sig->set_name("r" + std::to_string(self) + "/s" + std::to_string(table.size()));
+  table.push_back(std::move(sig));
+  return table.size() - 1;
+}
+
+Signal& Unr::sig_at(int node, SigId id) const {
+  const auto& table = sigs_[static_cast<std::size_t>(node)];
+  UNR_CHECK_MSG(id < table.size(), "bad signal id " << id << " on node " << node);
+  return *table[id];
+}
+
+void Unr::sig_reset(int self, SigId sig) { sig_at(node_of(self), sig).reset(); }
+void Unr::sig_wait(int self, SigId sig) { sig_at(node_of(self), sig).wait(); }
+bool Unr::sig_test(int self, SigId sig) { return sig_at(node_of(self), sig).test(); }
+
+std::size_t Unr::sig_wait_any(int self, std::span<const SigId> sigs) {
+  UNR_CHECK(!sigs.empty());
+  const int node = node_of(self);
+  sim::Kernel* k = &world_.kernel();
+  const int me = sim::Kernel::current_actor_id();
+  UNR_CHECK_MSG(me >= 0, "sig_wait_any outside an actor");
+  for (;;) {
+    for (std::size_t i = 0; i < sigs.size(); ++i)
+      if (sig_at(node, sigs[i]).triggered()) return i;
+    // Register on EVERY signal's wait queue, then block once. Nothing can
+    // trigger between the check above and the block (single-entity
+    // execution); non-winning registrations surface as spurious wakeups
+    // later, which every wait tolerates.
+    for (const SigId s : sigs) sig_at(node, s).cond().add_waiter(me);
+    k->block_current();
+  }
+}
+std::int64_t Unr::sig_counter(int self, SigId sig) const {
+  return sig_at(node_of(self), sig).counter();
+}
+
+void Unr::apply_notification(int node, SigId id, std::int64_t code) {
+  Signal& s = sig_at(node, id);
+  s.apply(Signal::decode_addend(code, s.n_bits()));
+}
+
+Blk Unr::blk_init(int self, const MemHandle& mem, std::size_t offset, std::size_t size,
+                  SigId sig) {
+  UNR_CHECK_MSG(mem.rank == self, "blk_init with a foreign memory handle");
+  UNR_CHECK_MSG(offset + size <= mem.size,
+                "block [" << offset << ", " << offset + size
+                          << ") exceeds the registered region of " << mem.size
+                          << " bytes");
+  Blk b;
+  b.rank = self;
+  b.mr = mem.mr;
+  b.offset = offset;
+  b.size = size;
+  b.sig = sig;
+  b.sig_n_bits = sig == kNoSig ? 0 : sig_at(node_of(self), sig).n_bits();
+  return b;
+}
+
+int Unr::decide_split(const Blk& remote, std::size_t size, const PutOptions& opts) const {
+  if (opts.force_split > 0) return opts.force_split;
+  if (!cfg_.multi_channel || !channel_->multi_channel()) return 1;
+  if (size < cfg_.split_threshold) return 1;
+  int k = cfg_.max_split > 0 ? cfg_.max_split : world_.fabric().nics_per_node();
+  k = std::min<int>(k, static_cast<int>(size));  // at least one byte per fragment
+  // Splitting without a destination signal has no aggregation to pay for,
+  // but also nothing to gain for small k; still allowed.
+  (void)remote;
+  return std::max(1, k);
+}
+
+void Unr::do_xfer(bool is_put, int self, const Blk& local, const Blk& remote,
+                  const PutOptions& opts) {
+  UNR_CHECK_MSG(local.rank == self, "local Blk does not belong to the calling rank");
+  UNR_CHECK_MSG(remote.valid(), "remote Blk is invalid (was it exchanged?)");
+  UNR_CHECK_MSG(local.size == remote.size, "Blk size mismatch: local "
+                                               << local.size << " vs remote "
+                                               << remote.size);
+  const std::size_t size = local.size;
+  const auto& prof = world_.fabric().profile();
+
+  SigId lsig = opts.local_sig != kNoSig ? opts.local_sig
+                                        : (opts.use_local_blk_sig ? local.sig : kNoSig);
+  const SigId rsig = remote.sig;
+  const int r_n = remote.sig_n_bits;
+  const int l_n = lsig == kNoSig ? 0 : sig_at(node_of(self), lsig).n_bits();
+
+  void* lptr =
+      world_.fabric().memory().resolve({self, local.mr, local.offset}, size);
+
+  // Intra-node fast path (Section IV-E-2): a kernel-assisted copy instead
+  // of a NIC loopback. One hop, host memory bandwidth, software notification.
+  if (cfg_.shm_intra_node && node_of(self) == node_of(remote.rank)) {
+    sim::busy(prof.rma_post_overhead / 2);
+    do_shm_xfer(is_put, self, lptr, remote, size, lsig, rsig);
+    if (is_put)
+      stats_.puts++;
+    else
+      stats_.gets++;
+    stats_.shm_fastpath++;
+    return;
+  }
+
+  const int k = is_put ? decide_split(remote, size, opts) : 1;
+  sim::busy(prof.rma_post_overhead +
+            static_cast<Time>(k - 1) * (prof.rma_post_overhead / 2));
+
+  if (is_put)
+    stats_.puts++;
+  else
+    stats_.gets++;
+  stats_.fragments += static_cast<std::uint64_t>(k - 1);
+
+  const int nics = world_.fabric().nics_per_node();
+  std::size_t off = 0;
+  for (int i = 0; i < k; ++i) {
+    const std::size_t chunk =
+        size / static_cast<std::size_t>(k) +
+        (static_cast<std::size_t>(i) < size % static_cast<std::size_t>(k) ? 1 : 0);
+    XferOp op;
+    op.src_rank = self;
+    op.local = static_cast<std::byte*>(lptr) + off;
+    op.remote = fabric::MemRef{remote.rank, remote.mr, remote.offset + off};
+    op.size = chunk;
+    op.nic = opts.nic >= 0 ? opts.nic
+                           : (k == 1 ? world_.fabric().default_nic(self)
+                                     : (world_.fabric().default_nic(self) + i) % nics);
+    if (rsig != kNoSig) {
+      op.rsig = rsig;
+      op.r_nbits = r_n;
+      op.r_addend = k == 1 ? Signal::single_addend()
+                           : (i == 0 ? Signal::lead_addend(k, r_n)
+                                     : Signal::follow_addend(r_n));
+      op.r_code = Signal::encode_addend(op.r_addend, r_n);
+    }
+    if (lsig != kNoSig) {
+      op.lsig = lsig;
+      op.l_nbits = l_n;
+      op.l_addend = k == 1 ? Signal::single_addend()
+                           : (i == 0 ? Signal::lead_addend(k, l_n)
+                                     : Signal::follow_addend(l_n));
+      op.l_code = Signal::encode_addend(op.l_addend, l_n);
+    }
+    if (is_put)
+      channel_->put(op);
+    else
+      channel_->get(op);
+    off += chunk;
+  }
+  UNR_CHECK(off == size);
+}
+
+void Unr::do_shm_xfer(bool is_put, int self, void* lptr, const Blk& remote,
+                      std::size_t size, SigId lsig, SigId rsig) {
+  fabric::Fabric& f = world_.fabric();
+  const Time done = f.kernel().now() + cfg_.shm_latency + f.profile().memcpy_time(size);
+  const int node = node_of(self);  // same node as remote.rank by construction
+  const fabric::MemRef rref{remote.rank, remote.mr, remote.offset};
+  Unr* ctx = this;
+  f.kernel().post_at(done, [ctx, is_put, lptr, rref, size, lsig, rsig, node] {
+    std::byte* rptr = ctx->fabric().memory().resolve(rref, size);
+    if (size > 0) {
+      if (is_put)
+        std::memcpy(rptr, lptr, size);
+      else
+        std::memcpy(lptr, rptr, size);
+    }
+    // The copy is CPU-driven; both completions are visible at once and are
+    // delivered through the software queue like any other notification
+    // (applied directly under the level-4 channel, which has no engine).
+    Engine& eng = ctx->engine(node);
+    const Time now = ctx->fabric().kernel().now();
+    auto notify = [&](SigId sig) {
+      if (sig == kNoSig) return;
+      if (eng.active())
+        eng.enqueue(now, [ctx, node, sig] { ctx->apply_notification(node, sig, 0); });
+      else
+        ctx->apply_notification(node, sig, 0);
+    };
+    notify(rsig);
+    notify(lsig);
+  });
+}
+
+void Unr::put(int self, const Blk& local, const Blk& remote, const PutOptions& opts) {
+  do_xfer(true, self, local, remote, opts);
+}
+
+void Unr::get(int self, const Blk& local, const Blk& remote, const PutOptions& opts) {
+  do_xfer(false, self, local, remote, opts);
+}
+
+std::unique_ptr<Plan> Unr::make_plan(int self) {
+  return std::unique_ptr<Plan>(new Plan(*this, self));
+}
+
+void Unr::print_stats(std::ostream& os) const {
+  os << "UNR stats (channel: " << channel_->name()
+     << ", level: " << support_level_name(channel_->level()) << ")\n";
+  os << "  puts: " << stats_.puts << "  gets: " << stats_.gets
+     << "  extra fragments: " << stats_.fragments << "\n";
+  os << "  companion notifications: " << stats_.companions
+     << "  encode fallbacks: " << stats_.encode_fallbacks << "\n";
+  std::uint64_t drains = 0, cqes = 0, sw = 0;
+  for (const auto& e : engines_) {
+    drains += e->stats().drains;
+    cqes += e->stats().cqes;
+    sw += e->stats().sw_tasks;
+  }
+  os << "  engine drains: " << drains << "  CQEs processed: " << cqes
+     << "  software tasks: " << sw << "\n";
+  const auto& fs = world_.fabric().stats();
+  os << "  fabric: puts " << fs.puts << " (" << fs.put_bytes << " B), gets "
+     << fs.gets << " (" << fs.get_bytes << " B), AMs " << fs.ams
+     << ", CQ retries " << fs.cq_retries << "\n";
+  std::size_t signals = 0;
+  for (const auto& table : sigs_) signals += table.size();
+  os << "  signals allocated: " << signals << "\n";
+}
+
+void Plan::add_put(const Blk& local, const Blk& remote, const PutOptions& opts) {
+  Op op;
+  op.kind = Op::Kind::kPut;
+  op.local = local;
+  op.remote = remote;
+  op.opts = opts;
+  ops_.push_back(op);
+}
+
+void Plan::add_get(const Blk& local, const Blk& remote, const PutOptions& opts) {
+  Op op;
+  op.kind = Op::Kind::kGet;
+  op.local = local;
+  op.remote = remote;
+  op.opts = opts;
+  ops_.push_back(op);
+}
+
+void Plan::add_local_copy(void* dst, const void* src, std::size_t size, SigId sig_a,
+                          SigId sig_b) {
+  Op op;
+  op.kind = Op::Kind::kCopy;
+  op.copy_dst = dst;
+  op.copy_src = src;
+  op.copy_size = size;
+  op.copy_sig_a = sig_a;
+  op.copy_sig_b = sig_b;
+  ops_.push_back(op);
+}
+
+void Plan::start() {
+  const int node = unr_.node_of(self_);
+  for (const Op& op : ops_) {
+    switch (op.kind) {
+      case Op::Kind::kPut:
+        unr_.put(self_, op.local, op.remote, op.opts);
+        break;
+      case Op::Kind::kGet:
+        unr_.get(self_, op.local, op.remote, op.opts);
+        break;
+      case Op::Kind::kCopy: {
+        std::memcpy(op.copy_dst, op.copy_src, op.copy_size);
+        sim::busy(unr_.fabric().profile().memcpy_time(op.copy_size));
+        if (op.copy_sig_a != kNoSig)
+          unr_.sig_at(node, op.copy_sig_a).apply(Signal::single_addend());
+        if (op.copy_sig_b != kNoSig)
+          unr_.sig_at(node, op.copy_sig_b).apply(Signal::single_addend());
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace unr::unrlib

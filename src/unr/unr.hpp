@@ -1,0 +1,194 @@
+// UNR: Unified Notifiable RMA library — public interface (Section IV).
+//
+// One Unr instance serves every rank of a World (the simulator equivalent of
+// linking the library into each process). All interfaces take the calling
+// rank as their first argument, mirroring the per-process state of a real
+// deployment.
+//
+// Quick tour (paper names in parentheses):
+//   mem_reg     (UNR_Mem_Reg)    register a memory region
+//   sig_init    (UNR_Sig_Init)   create a signal triggering after n events
+//   sig_reset   (UNR_Sig_Reset)  re-arm + synchronization-error check
+//   sig_wait    (UNR_Sig_Wait)   block until triggered + overflow check
+//   blk_init    (UNR_Blk_Init)   make a transportable data handle
+//   put / get   (UNR_Put/Get)    notifiable RMA between Blks
+//   make_plan   (UNR_RMA_Plan)   record puts/gets, replay with Plan::start
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "runtime/world.hpp"
+#include "unr/channel.hpp"
+#include "unr/engine.hpp"
+#include "unr/ids.hpp"
+#include "unr/signal.hpp"
+#include "unr/support_level.hpp"
+
+namespace unr::unrlib {
+
+struct PutOptions {
+  /// Override the local-completion signal (defaults to the local Blk's).
+  SigId local_sig = kNoSig;
+  bool use_local_blk_sig = true;
+  /// Force a specific fragment count (0 = let the scheduler decide).
+  int force_split = 0;
+  /// Pin to one NIC (-1 = scheduler's choice).
+  int nic = -1;
+};
+
+class Plan;
+
+class Unr {
+ public:
+  struct Config {
+    ChannelKind channel = ChannelKind::kAuto;
+    int default_sig_n = 32;       ///< default event-field width N
+    bool multi_channel = true;    ///< split large messages over the node's NICs
+    std::size_t split_threshold = 64 * KiB;
+    int max_split = 0;            ///< max fragments per message (0 = #NICs)
+    int level2_index_bits = 20;   ///< mode-2 split of a 32-bit immediate
+    int level2_mode = 2;          ///< 1: index-only; 2: index+addend split
+    bool enable_hw_offload = false;  ///< model the proposed level-4 hardware
+    /// KNEM/XPMEM-style intra-node fast path (Section IV-E-2): same-node
+    /// transfers bypass the NIC entirely — a kernel-assisted single copy at
+    /// host memory bandwidth, notified through the software queue.
+    bool shm_intra_node = false;
+    Time shm_latency = 350;  ///< page-pin + syscall cost of the assisted copy
+    Engine::Config engine;
+  };
+
+  explicit Unr(runtime::World& world);  ///< default configuration
+  Unr(runtime::World& world, Config cfg);
+  ~Unr();
+
+  Unr(const Unr&) = delete;
+  Unr& operator=(const Unr&) = delete;
+
+  // --- Memory registration ---
+  MemHandle mem_reg(int self, void* buf, std::size_t size);
+  void mem_dereg(int self, const MemHandle& h);
+
+  // --- Signals ---
+  /// Create a signal that triggers after `num_event` completion events.
+  /// `n_bits` < 0 uses the configured default N.
+  SigId sig_init(int self, std::int64_t num_event, int n_bits = -1);
+  void sig_reset(int self, SigId sig);
+  void sig_wait(int self, SigId sig);
+  bool sig_test(int self, SigId sig);
+  /// Block until ANY of `sigs` triggers; returns its index within `sigs`.
+  /// Lets consumers process completions in arrival order (e.g. the
+  /// pipelined transpose of Fig. 3e). Triggered entries the caller has
+  /// already consumed should be removed or reset first.
+  std::size_t sig_wait_any(int self, std::span<const SigId> sigs);
+  std::int64_t sig_counter(int self, SigId sig) const;
+
+  // --- Blocks ---
+  Blk blk_init(int self, const MemHandle& mem, std::size_t offset, std::size_t size,
+               SigId sig = kNoSig);
+
+  // --- RMA ---
+  /// PUT the local block into the remote block. The remote Blk's bound
+  /// signal is notified at the receiver on delivery; the local signal (the
+  /// local Blk's, or opts.local_sig) on local completion.
+  void put(int self, const Blk& local, const Blk& remote, const PutOptions& opts = {});
+  /// GET the remote block into the local block. The local signal fires when
+  /// the data lands; the remote Blk's signal notifies the owner.
+  void get(int self, const Blk& local, const Blk& remote, const PutOptions& opts = {});
+
+  // --- Plans ---
+  std::unique_ptr<Plan> make_plan(int self);
+
+  // --- Introspection ---
+  SupportLevel support_level() const { return channel_->level(); }
+  const char* channel_name() const { return channel_->name(); }
+  Channel& channel() { return *channel_; }
+  runtime::World& world() { return world_; }
+  fabric::Fabric& fabric() { return world_.fabric(); }
+  const Config& config() const { return cfg_; }
+  Engine& engine(int node) { return *engines_[static_cast<std::size_t>(node)]; }
+
+  struct Stats {
+    std::uint64_t puts = 0;
+    std::uint64_t gets = 0;
+    std::uint64_t fragments = 0;       ///< extra sub-messages from splitting
+    std::uint64_t companions = 0;      ///< ordered companion notifications
+    std::uint64_t encode_fallbacks = 0;///< (p,a) did not fit in the custom bits
+    std::uint64_t shm_fastpath = 0;    ///< intra-node kernel-assisted copies
+  };
+  const Stats& stats() const { return stats_; }
+  Stats& mutable_stats() { return stats_; }
+
+  /// Human-readable dump of library + engine + fabric counters (operations,
+  /// fragments, companion messages, CQEs drained, CQ overflow retries).
+  void print_stats(std::ostream& os) const;
+
+  // --- Internal (channels and engines) ---
+  Signal& sig_at(int node, SigId id) const;
+  /// Apply a decoded (index, code) notification on `node`'s signal table.
+  void apply_notification(int node, SigId id, std::int64_t code);
+  int node_of(int rank) const { return world_.fabric().node_of(rank); }
+
+ private:
+  friend class Plan;
+
+  struct FragPlan {
+    int count;
+    std::int64_t r_lead, r_follow, l_lead, l_follow;  // raw addends
+  };
+  int decide_split(const Blk& remote, std::size_t size, const PutOptions& opts) const;
+  void do_xfer(bool is_put, int self, const Blk& local, const Blk& remote,
+               const PutOptions& opts);
+  void do_shm_xfer(bool is_put, int self, void* lptr, const Blk& remote,
+                   std::size_t size, SigId lsig, SigId rsig);
+
+  runtime::World& world_;
+  Config cfg_;
+  std::unique_ptr<Channel> channel_;
+  std::vector<std::unique_ptr<Engine>> engines_;              // per node
+  std::vector<std::vector<std::unique_ptr<Signal>>> sigs_;    // per node
+  Stats stats_;
+};
+
+/// A recorded series of RMA operations (UNR_RMA_Plan / UNR_Plan_Start).
+/// Record the transfers once, outside the application's main loop; replay
+/// them every iteration with start(). Completion is observed through the
+/// signals bound to the Blks.
+class Plan {
+ public:
+  void add_put(const Blk& local, const Blk& remote, const PutOptions& opts = {});
+  void add_get(const Blk& local, const Blk& remote, const PutOptions& opts = {});
+  /// A node-local copy executed at start() (e.g. the self-block of an
+  /// all-to-all); applies the given signals with a = -1 when done.
+  void add_local_copy(void* dst, const void* src, std::size_t size,
+                      SigId sig_a = kNoSig, SigId sig_b = kNoSig);
+
+  /// Post every recorded operation (non-blocking; wait on the signals).
+  void start();
+
+  std::size_t size() const { return ops_.size(); }
+  int owner() const { return self_; }
+
+ private:
+  friend class Unr;
+  Plan(Unr& unr, int self) : unr_(unr), self_(self) {}
+
+  struct Op {
+    enum class Kind { kPut, kGet, kCopy } kind;
+    Blk local, remote;
+    PutOptions opts;
+    void* copy_dst = nullptr;
+    const void* copy_src = nullptr;
+    std::size_t copy_size = 0;
+    SigId copy_sig_a = kNoSig, copy_sig_b = kNoSig;
+  };
+
+  Unr& unr_;
+  int self_;
+  std::vector<Op> ops_;
+};
+
+}  // namespace unr::unrlib

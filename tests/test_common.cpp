@@ -1,0 +1,161 @@
+// Unit tests for the common utilities: RNG determinism, statistics, units,
+// profiles and the table printer.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "common/profile.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+
+namespace unr {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += a.next() == b.next();
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, NormalMomentsApproximatelyCorrect) {
+  Rng r(11);
+  OnlineStats s;
+  for (int i = 0; i < 50000; ++i) s.add(r.normal(10.0, 3.0));
+  EXPECT_NEAR(s.mean(), 10.0, 0.1);
+  EXPECT_NEAR(s.stddev(), 3.0, 0.1);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng r(13);
+  OnlineStats s;
+  for (int i = 0; i < 50000; ++i) s.add(r.exponential(5.0));
+  EXPECT_NEAR(s.mean(), 5.0, 0.2);
+}
+
+TEST(Rng, ForkIsIndependent) {
+  Rng a(3);
+  Rng b = a.fork();
+  // The fork must not replay the parent stream.
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += a.next() == b.next();
+  EXPECT_LT(equal, 3);
+}
+
+TEST(OnlineStats, Basics) {
+  OnlineStats s;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) s.add(x);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_NEAR(s.variance(), 5.0 / 3.0, 1e-12);
+}
+
+TEST(Samples, Percentiles) {
+  Samples s;
+  for (int i = 100; i >= 1; --i) s.add(i);  // 1..100 reversed
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 100.0);
+  EXPECT_DOUBLE_EQ(s.median(), 50.5);
+  EXPECT_NEAR(s.percentile(99), 100.0, 1.1);
+  EXPECT_DOUBLE_EQ(s.mean(), 50.5);
+}
+
+TEST(Samples, EmptyIsZero) {
+  Samples s;
+  EXPECT_EQ(s.percentile(50), 0.0);
+  EXPECT_EQ(s.mean(), 0.0);
+}
+
+TEST(Log2Histogram, Buckets) {
+  Log2Histogram h;
+  h.add(0);
+  h.add(1);
+  h.add(2);
+  h.add(3);
+  h.add(1024);
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.bucket(0), 2u);  // 0 and 1
+  EXPECT_EQ(h.bucket(1), 2u);  // 2 and 3
+  EXPECT_EQ(h.bucket(10), 1u); // 1024
+}
+
+TEST(Units, Serialization) {
+  // 100 Gbps = 12.5 bytes/ns -> 1250 bytes take 100 ns.
+  EXPECT_EQ(serialize_ns(1250, 100.0), 100u);
+  // 1 MiB at 200 Gbps = 25 B/ns -> ~41.9 us.
+  EXPECT_NEAR(static_cast<double>(serialize_ns(MiB, 200.0)), 41943.04, 2.0);
+}
+
+TEST(Units, Formatting) {
+  EXPECT_EQ(format_bytes(512), "512B");
+  EXPECT_EQ(format_bytes(8 * KiB), "8KiB");
+  EXPECT_EQ(format_bytes(2 * MiB), "2MiB");
+  EXPECT_EQ(format_time(500), "500ns");
+  EXPECT_EQ(format_time(1500), "1.50us");
+}
+
+TEST(Profiles, AllFourPlatformsPresent) {
+  const auto ps = all_system_profiles();
+  ASSERT_EQ(ps.size(), 4u);
+  EXPECT_EQ(ps[0].name, "TH-XY");
+  EXPECT_EQ(ps[1].name, "TH-2A");
+  EXPECT_EQ(ps[2].name, "HPC-IB");
+  EXPECT_EQ(ps[3].name, "HPC-RoCE");
+}
+
+TEST(Profiles, TableIIIKeyFacts) {
+  // Table III of the paper: TH-XY has two 200Gbps NICs, the others one NIC.
+  EXPECT_EQ(make_th_xy().nics_per_node, 2);
+  EXPECT_EQ(make_th_xy().nic_gbps, 200.0);
+  EXPECT_EQ(make_th_2a().nics_per_node, 1);
+  EXPECT_EQ(make_hpc_ib().nic_gbps, 100.0);
+  EXPECT_EQ(make_hpc_roce().nic_gbps, 25.0);
+  EXPECT_EQ(make_th_xy().iface, Interface::kGlex);
+  EXPECT_EQ(make_hpc_ib().iface, Interface::kVerbs);
+}
+
+TEST(Profiles, LookupByNameThrowsOnUnknown) {
+  EXPECT_EQ(system_profile("TH-XY").name, "TH-XY");
+  EXPECT_THROW(system_profile("nope"), std::invalid_argument);
+}
+
+TEST(TextTable, RendersAlignedCells) {
+  TextTable t;
+  t.header({"a", "long-column"});
+  t.row({"1", "x"});
+  t.separator();
+  t.row({"22", "yy"});
+  std::ostringstream os;
+  os << t;
+  const std::string s = os.str();
+  EXPECT_NE(s.find("| a  | long-column |"), std::string::npos);
+  EXPECT_NE(s.find("| 22 | yy          |"), std::string::npos);
+}
+
+TEST(TextTable, Formatters) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::pct(0.36), "+36.0%");
+  EXPECT_EQ(TextTable::pct(-0.61), "-61.0%");
+}
+
+}  // namespace
+}  // namespace unr

@@ -1,0 +1,191 @@
+// Progress-engine behavior: drain scheduling, polling-interval latency,
+// background core accounting, CQ-overflow resilience, and software-task
+// ordering — the machinery behind Section VI-C's polling discussion.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "runtime/world.hpp"
+#include "unr/unr.hpp"
+
+namespace unr::unrlib {
+namespace {
+
+using runtime::Rank;
+using runtime::World;
+
+World::Config cfg(unr::SystemProfile prof = unr::make_th_xy()) {
+  World::Config c;
+  c.profile = std::move(prof);
+  c.deterministic_routing = true;
+  return c;
+}
+
+/// One notified put; returns the receive-side trigger time.
+Time one_put_trigger_time(const Unr::Config& uc, World::Config wc) {
+  World w(wc);
+  Unr unr(w, uc);
+  Time triggered = 0;
+  w.run([&](Rank& r) {
+    std::vector<int> buf(1, 0);
+    const MemHandle mh = unr.mem_reg(r.id(), buf.data(), sizeof(int));
+    if (r.id() == 1) {
+      const SigId rsig = unr.sig_init(1, 1);
+      const Blk rblk = unr.blk_init(1, mh, 0, sizeof(int), rsig);
+      r.send(0, 1, &rblk, sizeof rblk);
+      unr.sig_wait(1, rsig);
+      triggered = r.now();
+    } else {
+      Blk rmt;
+      r.recv(1, 1, &rmt, sizeof rmt);
+      unr.put(0, unr.blk_init(0, mh, 0, sizeof(int)), rmt);
+    }
+  });
+  return triggered;
+}
+
+TEST(Engine, PollIntervalAddsLatencyMonotonically) {
+  Time prev = 0;
+  for (Time interval : {Time(500), Time(4000), Time(16000)}) {
+    Unr::Config uc;
+    uc.engine.poll_interval = interval;
+    const Time t = one_put_trigger_time(uc, cfg());
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(Engine, ReservedCoreRegistersFullBackgroundLoad) {
+  World w(cfg());
+  Unr::Config uc;
+  uc.engine.reserved_core = true;
+  Unr unr(w, uc);
+  for (int n = 0; n < 2; ++n)
+    EXPECT_DOUBLE_EQ(w.fabric().machine().node(n).background_load(), 1.0);
+}
+
+TEST(Engine, UnreservedLoadIsFractional) {
+  World w(cfg());
+  Unr::Config uc;
+  uc.engine.reserved_core = false;
+  Unr unr(w, uc);
+  const double load = w.fabric().machine().node(0).background_load();
+  EXPECT_GT(load, 0.0);
+  EXPECT_LT(load, 1.0);
+}
+
+TEST(Engine, UnreservedEngineDelaysNotifications) {
+  Unr::Config reserved;
+  reserved.engine.reserved_core = true;
+  Unr::Config shared;
+  shared.engine.reserved_core = false;
+  EXPECT_GT(one_put_trigger_time(shared, cfg()),
+            one_put_trigger_time(reserved, cfg()));
+}
+
+TEST(Engine, DrainsBackloggedCqWithoutLoss) {
+  // Many puts land while the receiver is busy computing; a single wait must
+  // still observe every completion (the engine drains the whole backlog).
+  World w(cfg());
+  Unr unr(w);
+  const int n_msgs = 200;
+  bool ok = false;
+  w.run([&](Rank& r) {
+    std::vector<int> buf(static_cast<std::size_t>(n_msgs), 0);
+    const MemHandle mh =
+        unr.mem_reg(r.id(), buf.data(), buf.size() * sizeof(int));
+    if (r.id() == 1) {
+      const SigId rsig = unr.sig_init(1, n_msgs);
+      const Blk rblk =
+          unr.blk_init(1, mh, 0, buf.size() * sizeof(int), rsig);
+      r.send(0, 1, &rblk, sizeof rblk);
+      r.compute(2 * kMs, 1);  // stay busy while the CQ fills
+      unr.sig_wait(1, rsig);
+      ok = true;
+      for (int i = 0; i < n_msgs; ++i)
+        if (buf[static_cast<std::size_t>(i)] != i + 1) ok = false;
+    } else {
+      Blk rblk;
+      r.recv(1, 1, &rblk, sizeof rblk);
+      std::vector<int> val(static_cast<std::size_t>(n_msgs));
+      const MemHandle smh =
+          unr.mem_reg(0, val.data(), val.size() * sizeof(int));
+      for (int i = 0; i < n_msgs; ++i) {
+        val[static_cast<std::size_t>(i)] = i + 1;
+        unr.put(0,
+                unr.blk_init(0, smh, static_cast<std::size_t>(i) * sizeof(int),
+                             sizeof(int)),
+                rblk.sub(static_cast<std::size_t>(i) * sizeof(int), sizeof(int)));
+      }
+      r.kernel().sleep_for(5 * kMs);
+    }
+  });
+  EXPECT_TRUE(ok);
+  EXPECT_GE(unr.engine(1).stats().cqes, static_cast<std::uint64_t>(n_msgs));
+}
+
+TEST(Engine, TinyCqDepthSurvivesThroughRetries) {
+  // A 16-entry remote CQ with 200 incoming puts: the NACK/retry path must
+  // deliver everything (slower, but complete).
+  World::Config wc = cfg();
+  wc.profile.cq_depth = 16;
+  World w(wc);
+  Unr::Config uc;
+  uc.engine.poll_interval = 50 * kUs;  // sluggish polling: the CQ must overflow
+  Unr unr(w, uc);
+  const int n_msgs = 200;
+  bool ok = false;
+  w.run([&](Rank& r) {
+    std::vector<std::byte> buf(static_cast<std::size_t>(n_msgs), std::byte{0});
+    const MemHandle mh = unr.mem_reg(r.id(), buf.data(), buf.size());
+    if (r.id() == 1) {
+      const SigId rsig = unr.sig_init(1, n_msgs);
+      const Blk rblk = unr.blk_init(1, mh, 0, buf.size(), rsig);
+      r.send(0, 1, &rblk, sizeof rblk);
+      unr.sig_wait(1, rsig);
+      ok = true;
+    } else {
+      Blk rblk;
+      r.recv(1, 1, &rblk, sizeof rblk);
+      std::byte one{1};
+      std::vector<std::byte> src(static_cast<std::size_t>(n_msgs), one);
+      const MemHandle smh = unr.mem_reg(0, src.data(), src.size());
+      for (int i = 0; i < n_msgs; ++i)
+        unr.put(0, unr.blk_init(0, smh, static_cast<std::size_t>(i), 1),
+                rblk.sub(static_cast<std::size_t>(i), 1));
+      r.kernel().sleep_for(20 * kMs);
+    }
+  });
+  EXPECT_TRUE(ok);
+  EXPECT_GT(w.fabric().stats().cq_retries, 0u);
+}
+
+TEST(Engine, StatsCountDrainsAndTasks) {
+  World w(cfg());
+  Unr::Config uc;
+  uc.channel = ChannelKind::kLevel0;  // all notifications are software tasks
+  Unr unr(w, uc);
+  w.run([&](Rank& r) {
+    std::vector<int> buf(4, 0);
+    const MemHandle mh = unr.mem_reg(r.id(), buf.data(), buf.size() * sizeof(int));
+    if (r.id() == 1) {
+      const SigId rsig = unr.sig_init(1, 3);
+      const Blk rblk = unr.blk_init(1, mh, 0, 4 * sizeof(int), rsig);
+      r.send(0, 1, &rblk, sizeof rblk);
+      unr.sig_wait(1, rsig);
+    } else {
+      Blk rblk;
+      r.recv(1, 1, &rblk, sizeof rblk);
+      for (int i = 0; i < 3; ++i)
+        unr.put(0, unr.blk_init(0, mh, 0, 4 * sizeof(int)), rblk);
+      r.kernel().sleep_for(1 * kMs);
+    }
+  });
+  EXPECT_GE(unr.engine(1).stats().sw_tasks, 3u);
+  EXPECT_GE(unr.engine(1).stats().drains, 1u);
+  EXPECT_EQ(unr.stats().companions, 3u);
+}
+
+}  // namespace
+}  // namespace unr::unrlib

@@ -1,0 +1,196 @@
+// End-to-end UNR over EVERY Table-II interface family, including the ones
+// the paper could not access hardware for (uGNI, PAMI, Portals): the
+// portability claim is that the same application code runs unchanged while
+// the transport layer adapts to the available custom bits.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "runtime/world.hpp"
+#include "unr/unr.hpp"
+
+namespace unr::unrlib {
+namespace {
+
+using runtime::Rank;
+using runtime::World;
+
+unr::SystemProfile profile_for(unr::Interface iface) {
+  unr::SystemProfile p = unr::make_hpc_ib();  // neutral hardware numbers
+  p.iface = iface;
+  p.name = std::string("SIM-") + interface_name(iface);
+  return p;
+}
+
+class InterfaceP : public ::testing::TestWithParam<unr::Interface> {};
+
+/// The exact same producer/consumer program must work on every interface.
+TEST_P(InterfaceP, NotifiedPutUnchangedApplicationCode) {
+  World::Config wc;
+  wc.profile = profile_for(GetParam());
+  wc.deterministic_routing = true;
+  World w(wc);
+  Unr unr(w);
+
+  const int iters = 6;
+  int verified = 0;
+  w.run([&](Rank& r) {
+    std::vector<double> buf(128, 0.0);
+    const MemHandle mh = unr.mem_reg(r.id(), buf.data(), buf.size() * sizeof(double));
+    if (r.id() == 0) {
+      Blk rmt;
+      r.recv(1, 0, &rmt, sizeof rmt);
+      const SigId ssig = unr.sig_init(0, 1);
+      const Blk sblk = unr.blk_init(0, mh, 0, 128 * sizeof(double), ssig);
+      for (int it = 0; it < iters; ++it) {
+        buf[0] = it * 2.5;
+        buf[127] = -it;
+        unr.put(0, sblk, rmt);
+        unr.sig_wait(0, ssig);
+        unr.sig_reset(0, ssig);
+        char ack;
+        r.recv(1, 1, &ack, 1);
+      }
+    } else {
+      const SigId rsig = unr.sig_init(1, 1);
+      const Blk rblk = unr.blk_init(1, mh, 0, 128 * sizeof(double), rsig);
+      r.send(0, 0, &rblk, sizeof rblk);
+      for (int it = 0; it < iters; ++it) {
+        unr.sig_wait(1, rsig);
+        if (buf[0] == it * 2.5 && buf[127] == -static_cast<double>(it)) ++verified;
+        unr.sig_reset(1, rsig);
+        char ack = 1;
+        r.send(0, 1, &ack, 1);
+      }
+    }
+  });
+  EXPECT_EQ(verified, iters);
+}
+
+TEST_P(InterfaceP, NotifiedGetUnchangedApplicationCode) {
+  World::Config wc;
+  wc.profile = profile_for(GetParam());
+  wc.deterministic_routing = true;
+  World w(wc);
+  Unr unr(w);
+  bool reader_ok = false, owner_ok = false;
+  w.run([&](Rank& r) {
+    std::vector<int> buf(32, r.id() == 1 ? 99 : 0);
+    const MemHandle mh = unr.mem_reg(r.id(), buf.data(), buf.size() * sizeof(int));
+    if (r.id() == 1) {
+      const SigId osig = unr.sig_init(1, 1);
+      const Blk oblk = unr.blk_init(1, mh, 0, 32 * sizeof(int), osig);
+      r.send(0, 0, &oblk, sizeof oblk);
+      unr.sig_wait(1, osig);
+      owner_ok = true;
+    } else {
+      Blk oblk;
+      r.recv(1, 0, &oblk, sizeof oblk);
+      const SigId lsig = unr.sig_init(0, 1);
+      unr.get(0, unr.blk_init(0, mh, 0, 32 * sizeof(int), lsig), oblk);
+      unr.sig_wait(0, lsig);
+      reader_ok = buf[0] == 99 && buf[31] == 99;
+    }
+  });
+  EXPECT_TRUE(reader_ok);
+  EXPECT_TRUE(owner_ok);
+}
+
+INSTANTIATE_TEST_SUITE_P(TableTwo, InterfaceP,
+                         ::testing::Values(unr::Interface::kGlex,
+                                           unr::Interface::kVerbs,
+                                           unr::Interface::kUtofu,
+                                           unr::Interface::kUgni,
+                                           unr::Interface::kPami,
+                                           unr::Interface::kPortals),
+                         [](const ::testing::TestParamInfo<unr::Interface>& i) {
+                           return interface_name(i.param);
+                         });
+
+TEST(Level2Mode2, MultiNicSplitOnDualRailVerbs) {
+  // A hypothetical dual-rail Verbs system: level-2 mode 2 packs the signal
+  // index into x bits and the fragment addend code into 32-x, enabling
+  // multi-channel aggregation with a limited K (Table I).
+  unr::SystemProfile p = unr::make_hpc_ib();
+  p.name = "IB-DUALRAIL";
+  p.nics_per_node = 2;
+  World::Config wc;
+  wc.profile = p;
+  wc.deterministic_routing = true;
+  World w(wc);
+  Unr::Config uc;
+  uc.level2_mode = 2;
+  uc.level2_index_bits = 20;
+  uc.split_threshold = 4 * KiB;
+  // Mode-2 addend codes are only 12 bits: the signal N must be small enough
+  // for the fragment algebra to stay within the event field.
+  uc.default_sig_n = 8;
+  Unr unr(w, uc);
+  ASSERT_TRUE(unr.channel().multi_channel());
+
+  const std::size_t bytes = 512 * KiB;
+  bool ok = false;
+  w.run([&](Rank& r) {
+    std::vector<std::byte> buf(bytes);
+    const MemHandle mh = unr.mem_reg(r.id(), buf.data(), bytes);
+    if (r.id() == 1) {
+      const SigId rsig = unr.sig_init(1, 1);
+      const Blk rblk = unr.blk_init(1, mh, 0, bytes, rsig);
+      r.send(0, 1, &rblk, sizeof rblk);
+      unr.sig_wait(1, rsig);
+      ok = true;
+      for (std::size_t i = 0; i < bytes; i += 8191)
+        if (buf[i] != static_cast<std::byte>(i & 0xFF)) ok = false;
+    } else {
+      Blk rblk;
+      r.recv(1, 1, &rblk, sizeof rblk);
+      for (std::size_t i = 0; i < bytes; ++i)
+        buf[i] = static_cast<std::byte>(i & 0xFF);
+      unr.put(0, unr.blk_init(0, mh, 0, bytes), rblk);
+      r.kernel().sleep_for(2 * kMs);
+    }
+  });
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(unr.stats().fragments, 1u);        // K = 2 over the two rails
+  EXPECT_EQ(unr.stats().encode_fallbacks, 0u); // everything fit in 32 bits
+}
+
+TEST(Level2Mode1, SplitDisabledButCorrect) {
+  unr::SystemProfile p = unr::make_hpc_ib();
+  p.nics_per_node = 2;
+  World::Config wc;
+  wc.profile = p;
+  wc.deterministic_routing = true;
+  World w(wc);
+  Unr::Config uc;
+  uc.level2_mode = 1;  // all 32 bits for the index: a = -1 only
+  uc.split_threshold = 4 * KiB;
+  Unr unr(w, uc);
+  EXPECT_FALSE(unr.channel().multi_channel());
+
+  bool ok = false;
+  const std::size_t bytes = 128 * KiB;
+  w.run([&](Rank& r) {
+    std::vector<std::byte> buf(bytes, std::byte{7});
+    const MemHandle mh = unr.mem_reg(r.id(), buf.data(), bytes);
+    if (r.id() == 1) {
+      const SigId rsig = unr.sig_init(1, 1);
+      const Blk rblk = unr.blk_init(1, mh, 0, bytes, rsig);
+      r.send(0, 1, &rblk, sizeof rblk);
+      unr.sig_wait(1, rsig);
+      ok = buf[bytes - 1] == std::byte{42};
+    } else {
+      Blk rblk;
+      r.recv(1, 1, &rblk, sizeof rblk);
+      std::fill(buf.begin(), buf.end(), std::byte{42});
+      unr.put(0, unr.blk_init(0, mh, 0, bytes), rblk);
+      r.kernel().sleep_for(2 * kMs);
+    }
+  });
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(unr.stats().fragments, 0u);  // no splitting in mode 1
+}
+
+}  // namespace
+}  // namespace unr::unrlib

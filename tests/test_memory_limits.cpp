@@ -1,0 +1,104 @@
+// Registered-memory lifecycle through the UNR API: the per-rank region
+// limit that motivates the BLK design ("register memory as large as
+// possible and then divide it into BLKs" — Section IV-D), deregistration,
+// and the fail-loud behavior for operations against dead regions.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "runtime/world.hpp"
+#include "unr/unr.hpp"
+
+namespace unr::unrlib {
+namespace {
+
+using runtime::Rank;
+using runtime::World;
+
+TEST(MemoryLimits, RegionCapForcesBlkStyle) {
+  // A system allowing only 2 registered regions per rank: registering many
+  // small buffers fails, registering one big one and slicing BLKs works.
+  World::Config wc;
+  wc.profile = unr::make_th_xy();
+  wc.max_regions_per_rank = 2;
+  World w(wc);
+  Unr unr(w);
+  w.run([&](Rank& r) {
+    if (r.id() != 0) return;
+    std::vector<double> big(1024);
+    const MemHandle mh = unr.mem_reg(0, big.data(), big.size() * sizeof(double));
+    std::vector<double> other(16);
+    unr.mem_reg(0, other.data(), other.size() * sizeof(double));
+    // Third registration: over the cap.
+    std::vector<double> third(16);
+    EXPECT_THROW(unr.mem_reg(0, third.data(), third.size() * sizeof(double)),
+                 std::logic_error);
+    // But any number of BLKs over the one big region is fine.
+    std::vector<Blk> blks;
+    for (int i = 0; i < 64; ++i)
+      blks.push_back(unr.blk_init(0, mh, static_cast<std::size_t>(i) * 16 * 8, 16 * 8));
+    EXPECT_EQ(blks.size(), 64u);
+  });
+}
+
+TEST(MemoryLimits, DeregFreesASlot) {
+  World::Config wc;
+  wc.profile = unr::make_th_xy();
+  wc.max_regions_per_rank = 1;
+  World w(wc);
+  Unr unr(w);
+  w.run([&](Rank& r) {
+    if (r.id() != 0) return;
+    std::vector<double> a(8), b(8);
+    const MemHandle ma = unr.mem_reg(0, a.data(), 64);
+    EXPECT_THROW(unr.mem_reg(0, b.data(), 64), std::logic_error);
+    unr.mem_dereg(0, ma);
+    EXPECT_NO_THROW(unr.mem_reg(0, b.data(), 64));
+  });
+}
+
+TEST(MemoryLimits, PutAgainstDeregisteredRegionFailsLoudly) {
+  World::Config wc;
+  wc.profile = unr::make_th_xy();
+  wc.deterministic_routing = true;
+  World w(wc);
+  Unr unr(w);
+  EXPECT_THROW(w.run([&](Rank& r) {
+                 std::vector<int> buf(4, 0);
+                 const MemHandle mh =
+                     unr.mem_reg(r.id(), buf.data(), buf.size() * sizeof(int));
+                 if (r.id() == 1) {
+                   const Blk rblk = unr.blk_init(1, mh, 0, 4 * sizeof(int));
+                   r.send(0, 1, &rblk, sizeof rblk);
+                   unr.mem_dereg(1, mh);  // BUG: expose, then pull the rug
+                   r.kernel().sleep_for(1 * kMs);
+                 } else {
+                   Blk rblk;
+                   r.recv(1, 1, &rblk, sizeof rblk);
+                   r.kernel().sleep_for(100 * kUs);  // let the dereg land first
+                   unr.put(0, unr.blk_init(0, mh, 0, 4 * sizeof(int)), rblk);
+                   r.kernel().sleep_for(1 * kMs);
+                 }
+               }),
+               std::logic_error);
+}
+
+TEST(MemoryLimits, BlkSlicingCoversWholeRegionExactly) {
+  World::Config wc;
+  wc.profile = unr::make_th_xy();
+  World w(wc);
+  Unr unr(w);
+  w.run([&](Rank& r) {
+    if (r.id() != 0) return;
+    std::vector<std::byte> buf(256);
+    const MemHandle mh = unr.mem_reg(0, buf.data(), 256);
+    EXPECT_NO_THROW(unr.blk_init(0, mh, 0, 256));       // exact fit
+    EXPECT_NO_THROW(unr.blk_init(0, mh, 255, 1));       // last byte
+    EXPECT_NO_THROW(unr.blk_init(0, mh, 128, 0));       // empty block is legal
+    EXPECT_THROW(unr.blk_init(0, mh, 256, 1), std::logic_error);
+    EXPECT_THROW(unr.blk_init(0, mh, 0, 257), std::logic_error);
+  });
+}
+
+}  // namespace
+}  // namespace unr::unrlib

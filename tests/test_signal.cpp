@@ -1,0 +1,252 @@
+// Unit and property tests of the MMAS signal (Section IV-B): counter layout,
+// addend algebra, overflow-detect bit, reset diagnostics, and the
+// encode/decode of addend codes.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/log.hpp"
+#include "sim/kernel.hpp"
+#include "unr/signal.hpp"
+
+namespace unr::unrlib {
+namespace {
+
+class WarnCapture {
+ public:
+  WarnCapture() {
+    set_log_level(LogLevel::kOff);
+    set_warn_handler([this](const std::string& m) { messages_.push_back(m); });
+  }
+  ~WarnCapture() {
+    set_warn_handler(nullptr);
+    set_log_level(LogLevel::kWarn);
+  }
+  std::size_t count() const { return messages_.size(); }
+  const std::vector<std::string>& messages() const { return messages_; }
+
+ private:
+  std::vector<std::string> messages_;
+};
+
+TEST(Signal, SingleEventTriggers) {
+  Signal s(1, 32);
+  EXPECT_FALSE(s.triggered());
+  s.apply(Signal::single_addend());
+  EXPECT_TRUE(s.triggered());
+}
+
+TEST(Signal, CountsDownNumEvents) {
+  Signal s(5, 32);
+  for (int i = 0; i < 4; ++i) {
+    s.apply(-1);
+    EXPECT_FALSE(s.triggered());
+  }
+  s.apply(-1);
+  EXPECT_TRUE(s.triggered());
+}
+
+TEST(Signal, NumEventMustFitInN) {
+  EXPECT_THROW(Signal(16, 4), std::logic_error);   // 16 needs 5 bits
+  EXPECT_NO_THROW(Signal(15, 4));
+  EXPECT_THROW(Signal(0, 4), std::logic_error);
+  EXPECT_THROW(Signal(1, 0), std::logic_error);
+  EXPECT_THROW(Signal(1, 62), std::logic_error);
+}
+
+TEST(Signal, MultiChannelAggregation) {
+  // One message split into K=4 sub-messages: only when all four fragments
+  // have arrived does the counter fall to zero (paper Fig. 2 algebra).
+  const int n = 32;
+  Signal s(1, n);
+  const std::int64_t lead = Signal::lead_addend(4, n);
+  const std::int64_t follow = Signal::follow_addend(n);
+  EXPECT_EQ(lead, -1 + (std::int64_t{3} << 33));
+  EXPECT_EQ(follow, -(std::int64_t{1} << 33));
+  s.apply(follow);   // fragments may arrive in any order
+  EXPECT_FALSE(s.triggered());
+  s.apply(lead);
+  EXPECT_FALSE(s.triggered());
+  s.apply(follow);
+  EXPECT_FALSE(s.triggered());
+  s.apply(follow);
+  EXPECT_TRUE(s.triggered());
+}
+
+TEST(Signal, Figure2Scenario) {
+  // Receiver waits for 2 messages; sender 1 splits its message into four
+  // sub-messages over four NICs, sender 2 sends over one channel.
+  const int n = 32;
+  Signal s(2, n);
+  s.apply(Signal::single_addend());                 // sender 2's message
+  EXPECT_FALSE(s.triggered());
+  s.apply(Signal::lead_addend(4, n));               // sender 1, fragment 1
+  for (int i = 0; i < 2; ++i) s.apply(Signal::follow_addend(n));
+  EXPECT_FALSE(s.triggered());
+  s.apply(Signal::follow_addend(n));                // last fragment
+  EXPECT_TRUE(s.triggered());
+  EXPECT_FALSE(s.overflow_detected());
+}
+
+TEST(Signal, OverflowBitSetByExtraEvent) {
+  WarnCapture warns;
+  Signal s(1, 16);
+  s.apply(-1);
+  EXPECT_TRUE(s.triggered());
+  s.apply(-1);  // one event too many: the borrow flips bit N
+  EXPECT_TRUE(s.overflow_detected());
+  EXPECT_FALSE(s.triggered());
+  EXPECT_TRUE(s.test() == false);
+  EXPECT_GE(warns.count(), 1u);  // test() reports the overflow
+}
+
+TEST(Signal, TransientFragmentBorrowDoesNotLookLikeOverflow) {
+  // A follower fragment arriving first drives the counter negative, but the
+  // overflow-detect bit (bit N) must stay clear: the event field is intact.
+  const int n = 16;
+  Signal s(3, n);
+  s.apply(Signal::follow_addend(n));
+  EXPECT_LT(s.counter(), 0);
+  EXPECT_FALSE(s.overflow_detected());
+  s.apply(Signal::lead_addend(2, n));
+  EXPECT_EQ(s.counter(), 2);  // one of three events consumed
+  EXPECT_FALSE(s.overflow_detected());
+}
+
+TEST(Signal, ResetRearmsAndChecksEarlyArrival) {
+  WarnCapture warns;
+  Signal s(2, 32);
+  s.apply(-1);
+  s.apply(-1);
+  EXPECT_TRUE(s.triggered());
+  s.reset();
+  EXPECT_EQ(warns.count(), 0u);  // clean reset: no warning
+  EXPECT_EQ(s.counter(), 2);
+
+  s.apply(-1);  // a message arrives "early" relative to the next reset
+  s.reset();
+  EXPECT_EQ(warns.count(), 1u);
+  EXPECT_NE(warns.messages()[0].find("earlier than expected"), std::string::npos);
+}
+
+TEST(Signal, ResetAfterOverflowWarnsSpecifically) {
+  WarnCapture warns;
+  Signal s(1, 8);
+  s.apply(-1);
+  s.apply(-1);
+  s.reset();
+  ASSERT_GE(warns.count(), 1u);
+  EXPECT_NE(warns.messages().back().find("overflow"), std::string::npos);
+}
+
+TEST(Signal, WaitReturnsImmediatelyWhenTriggered) {
+  sim::Kernel k;
+  k.run(1, [&](int) {
+    Signal s(1, 32);
+    s.apply(-1);
+    s.wait();  // must not block
+    EXPECT_EQ(sim::Kernel::current()->now(), 0u);
+  });
+}
+
+TEST(Signal, WaitBlocksUntilApply) {
+  sim::Kernel k;
+  Signal s(1, 32);
+  Time woke = 0;
+  k.run(1, [&](int) {
+    sim::Kernel::current()->post_in(750, [&] { s.apply(-1); });
+    s.wait();
+    woke = sim::Kernel::current()->now();
+  });
+  EXPECT_EQ(woke, 750u);
+}
+
+TEST(Signal, HwNotifyWakesWaiters) {
+  // Level-4 path: the NIC adds to the raw counter, then calls hw_notify.
+  sim::Kernel k;
+  Signal s(1, 32);
+  bool woke = false;
+  k.run(1, [&](int) {
+    sim::Kernel::current()->post_in(100, [&] {
+      *s.raw_counter() += -1;
+      s.hw_notify();
+    });
+    s.wait();
+    woke = true;
+  });
+  EXPECT_TRUE(woke);
+}
+
+TEST(Signal, AddendCodeRoundTrip) {
+  for (int n : {4, 8, 16, 32, 48}) {
+    EXPECT_EQ(Signal::encode_addend(-1, n), 0);
+    EXPECT_EQ(Signal::decode_addend(0, n), -1);
+    EXPECT_EQ(Signal::decode_addend(-1, n), Signal::follow_addend(n));
+    EXPECT_EQ(Signal::encode_addend(Signal::follow_addend(n), n), -1);
+    for (int k : {2, 3, 4, 7, 64}) {
+      const std::int64_t lead = Signal::lead_addend(k, n);
+      const std::int64_t code = Signal::encode_addend(lead, n);
+      EXPECT_EQ(code, k - 1);
+      EXPECT_EQ(Signal::decode_addend(code, n), lead);
+    }
+  }
+}
+
+// ---- Property sweep: any interleaving of M messages (some split into K
+// fragments) must trigger exactly when everything arrived.
+struct MmasCase {
+  int n_bits;
+  int messages;
+  int split_k;  // every message split into this many fragments (1 = none)
+};
+
+class MmasProperty : public ::testing::TestWithParam<MmasCase> {};
+
+TEST_P(MmasProperty, TriggersExactlyAtFullArrival) {
+  const auto c = GetParam();
+  Signal s(c.messages, c.n_bits);
+  // Build the addend multiset.
+  std::vector<std::int64_t> addends;
+  for (int m = 0; m < c.messages; ++m) {
+    if (c.split_k == 1) {
+      addends.push_back(Signal::single_addend());
+    } else {
+      addends.push_back(Signal::lead_addend(c.split_k, c.n_bits));
+      for (int f = 1; f < c.split_k; ++f)
+        addends.push_back(Signal::follow_addend(c.n_bits));
+    }
+  }
+  // A deterministic "shuffle": apply in stride order to mix leads/followers.
+  const std::size_t sz = addends.size();
+  const std::size_t stride = sz > 3 ? 3 : 1;
+  std::size_t applied = 0;
+  std::size_t i = 0;
+  std::vector<bool> used(sz, false);
+  while (applied < sz) {
+    while (used[i]) i = (i + 1) % sz;
+    s.apply(addends[i]);
+    used[i] = true;
+    ++applied;
+    EXPECT_FALSE(s.overflow_detected());
+    if (applied < sz)
+      EXPECT_FALSE(s.triggered()) << "triggered early at " << applied << "/" << sz;
+    i = (i + stride) % sz;
+  }
+  EXPECT_TRUE(s.triggered());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MmasProperty,
+    ::testing::Values(MmasCase{8, 1, 1}, MmasCase{8, 3, 1}, MmasCase{8, 1, 2},
+                      MmasCase{8, 2, 4}, MmasCase{16, 5, 3}, MmasCase{32, 1, 4},
+                      MmasCase{32, 7, 2}, MmasCase{32, 4, 8}, MmasCase{48, 2, 16},
+                      MmasCase{4, 15, 1}, MmasCase{20, 9, 5}),
+    [](const ::testing::TestParamInfo<MmasCase>& info) {
+      return "N" + std::to_string(info.param.n_bits) + "_M" +
+             std::to_string(info.param.messages) + "_K" +
+             std::to_string(info.param.split_k);
+    });
+
+}  // namespace
+}  // namespace unr::unrlib

@@ -1,0 +1,207 @@
+// Tests of the discrete-event kernel: event ordering, actor blocking,
+// virtual sleep, condition variables, deadlock detection, determinism, and
+// the node compute model.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "sim/cond.hpp"
+#include "sim/kernel.hpp"
+#include "sim/node.hpp"
+
+namespace unr::sim {
+namespace {
+
+TEST(Kernel, EventsRunInTimeOrder) {
+  Kernel k;
+  std::vector<int> order;
+  k.run(1, [&](int) {
+    Kernel* kk = Kernel::current();
+    kk->post_in(300, [&] { order.push_back(3); });
+    kk->post_in(100, [&] { order.push_back(1); });
+    kk->post_in(200, [&] { order.push_back(2); });
+    kk->sleep_for(1000);
+  });
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(k.end_time(), 1000u);
+}
+
+TEST(Kernel, EqualTimestampsRunInPostOrder) {
+  Kernel k;
+  std::vector<int> order;
+  k.run(1, [&](int) {
+    Kernel* kk = Kernel::current();
+    for (int i = 0; i < 10; ++i) kk->post_in(50, [&order, i] { order.push_back(i); });
+    kk->sleep_for(100);
+  });
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Kernel, SleepAdvancesVirtualTimeOnly) {
+  Kernel k;
+  Time seen = 0;
+  k.run(1, [&](int) {
+    Kernel* kk = Kernel::current();
+    kk->sleep_for(5 * kSec);  // five virtual seconds, instant in wall time
+    seen = kk->now();
+  });
+  EXPECT_EQ(seen, 5 * kSec);
+}
+
+TEST(Kernel, ActorsInterleaveByVirtualTime) {
+  Kernel k;
+  std::vector<int> order;
+  k.run(2, [&](int id) {
+    Kernel* kk = Kernel::current();
+    // Actor 0 wakes at 10, 30; actor 1 at 20, 40.
+    kk->sleep_for(id == 0 ? 10 : 20);
+    order.push_back(id);
+    kk->sleep_for(20);
+    order.push_back(id);
+  });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 0, 1}));
+}
+
+TEST(Kernel, CondWaitAndNotify) {
+  Kernel k;
+  bool flag = false;
+  bool observed = false;
+  Cond cond;
+  k.run(2, [&](int id) {
+    Kernel* kk = Kernel::current();
+    if (id == 0) {
+      cond.wait([&] { return flag; });
+      observed = true;
+      EXPECT_EQ(kk->now(), 500u);
+    } else {
+      kk->sleep_for(500);
+      flag = true;
+      cond.notify_all();
+    }
+  });
+  EXPECT_TRUE(observed);
+}
+
+TEST(Kernel, NotifyFromEventHandler) {
+  Kernel k;
+  bool flag = false;
+  Cond cond;
+  k.run(1, [&](int) {
+    Kernel::current()->post_in(250, [&] {
+      flag = true;
+      cond.notify_all();
+    });
+    cond.wait([&] { return flag; });
+    EXPECT_EQ(Kernel::current()->now(), 250u);
+  });
+}
+
+TEST(Kernel, DeadlockDetected) {
+  Kernel k;
+  Cond never;
+  EXPECT_THROW(k.run(1, [&](int) { never.wait([] { return false; }); }),
+               DeadlockError);
+}
+
+TEST(Kernel, ActorExceptionPropagates) {
+  Kernel k;
+  EXPECT_THROW(k.run(2,
+                     [&](int id) {
+                       if (id == 1) throw std::runtime_error("boom");
+                       Kernel::current()->sleep_for(10);
+                     }),
+               std::runtime_error);
+}
+
+TEST(Kernel, ActorExceptionBeatsDeadlockReport) {
+  // Rank 0 waits forever for rank 1, which dies: the real error must win.
+  Kernel k;
+  Cond never;
+  try {
+    k.run(2, [&](int id) {
+      if (id == 1) throw std::logic_error("root cause");
+      never.wait([] { return false; });
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::logic_error& e) {
+    EXPECT_STREQ(e.what(), "root cause");
+  }
+}
+
+TEST(Kernel, ManyActorsBarrierPattern) {
+  Kernel k;
+  const int n = 64;
+  int arrived = 0;
+  Cond cond;
+  k.run(n, [&](int id) {
+    Kernel::current()->sleep_for(static_cast<Time>(id));
+    if (++arrived == n) cond.notify_all();
+    cond.wait([&] { return arrived == n; });
+  });
+  EXPECT_EQ(arrived, n);
+  EXPECT_EQ(k.end_time(), static_cast<Time>(n - 1));
+}
+
+TEST(Kernel, DeterministicEventCount) {
+  auto run_once = [] {
+    Kernel k;
+    k.run(8, [&](int id) {
+      for (int i = 0; i < 20; ++i) Kernel::current()->sleep_for(10 + static_cast<Time>(id));
+    });
+    return k.event_count();
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(Node, ComputeScalesWithThreads) {
+  Node n(0, 16);
+  EXPECT_EQ(n.compute_time(1600, 1), 1600u);
+  EXPECT_EQ(n.compute_time(1600, 16), 100u);
+  // More threads than cores do not help further.
+  EXPECT_EQ(n.compute_time(1600, 32), 100u);
+}
+
+TEST(Node, BackgroundLoadStealsCapacityAndPenalizesOversubscription) {
+  Node n(0, 16);
+  n.add_background_load(1.0, 0.0);  // a reserved service core
+  // 15 cores left; 15 threads fit exactly: no penalty.
+  EXPECT_EQ(n.compute_time(1500, 15), 100u);
+  // 16 threads oversubscribe but the penalty is 0 here.
+  EXPECT_EQ(n.compute_time(1500, 16), 100u);
+
+  Node m(1, 16);
+  m.add_background_load(0.85, 0.20);  // unreserved polling thread
+  const Time t = m.compute_time(15150, 16);
+  // capacity = 15.15, oversubscribed -> x1.2 penalty: 15150/15.15*1.2 = 1200.
+  EXPECT_EQ(t, 1200u);
+}
+
+TEST(Node, RemoveBackgroundLoadRestores) {
+  Node n(0, 8);
+  n.add_background_load(0.5, 0.1);
+  n.remove_background_load(0.5, 0.1);
+  EXPECT_EQ(n.compute_time(800, 8), 100u);
+}
+
+TEST(Machine, NodesIndependent) {
+  Machine m(4, 8);
+  m.node(2).add_background_load(1.0, 0.0);
+  EXPECT_EQ(m.node(0).background_load(), 0.0);
+  EXPECT_EQ(m.node(2).background_load(), 1.0);
+  EXPECT_EQ(m.node_count(), 4);
+}
+
+TEST(Kernel, PostIntoThePastRejected) {
+  Kernel k;
+  EXPECT_THROW(k.run(1,
+                     [&](int) {
+                       Kernel* kk = Kernel::current();
+                       kk->sleep_for(100);
+                       kk->post_at(50, [] {});
+                     }),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace unr::sim

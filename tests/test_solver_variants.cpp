@@ -1,0 +1,213 @@
+// Solver variants: PDD tridiagonal method end-to-end, overlap toggle,
+// fallback-channel backend, and PSCW group semantics beyond pairs.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <optional>
+#include <vector>
+
+#include "powerllel/solver.hpp"
+#include "runtime/window.hpp"
+#include "runtime/world.hpp"
+#include "unr/unr.hpp"
+
+namespace unr::powerllel {
+namespace {
+
+using runtime::Rank;
+using runtime::Window;
+using runtime::World;
+
+World::Config wcfg(int nranks) {
+  World::Config c;
+  c.nodes = nranks;
+  c.profile = unr::make_th_xy();
+  c.deterministic_routing = true;
+  return c;
+}
+
+SolverConfig scfg(int pr, int pc, CommBackend backend, unrlib::Unr* unr) {
+  SolverConfig sc;
+  sc.decomp.nx = 16;
+  sc.decomp.ny = 16;
+  sc.decomp.nz = 16;
+  sc.decomp.pr = pr;
+  sc.decomp.pc = pc;
+  sc.lz = 2.0;
+  sc.nu = 0.03;
+  sc.dt = 1e-3;
+  sc.bc = ZBc::kNoSlip;
+  sc.backend = backend;
+  sc.unr = unr;
+  return sc;
+}
+
+double run_solver_div(const SolverConfig& base, TridiagMethod method, bool overlap,
+                      World& w) {
+  double div = 1.0;
+  w.run([&](Rank& r) {
+    SolverConfig sc = base;
+    sc.tridiag_method = method;
+    sc.overlap_halo = overlap;
+    Solver s(r, sc);
+    s.init_velocity(
+        [](double x, double y, double z) { return std::sin(x) * z * (2 - z); },
+        [](double x, double y, double) { return 0.1 * std::cos(x + y); },
+        [](double, double, double) { return 0.0; });
+    s.run(4);
+    div = s.global_max_divergence();
+  });
+  return div;
+}
+
+TEST(SolverVariants, PddApproxKeepsDivergenceSmall) {
+  // PDD is exact for two blocks (one interface, nothing to drop) but
+  // approximate from three blocks on: with pc = 4 and the weakly-dominant
+  // low modes, the residual divergence sits measurably above the exact
+  // sweep's round-off while remaining small.
+  World w_exact(wcfg(4));
+  const double div_exact =
+      run_solver_div(scfg(1, 4, CommBackend::kMpi, nullptr),
+                     TridiagMethod::kReducedExact, false, w_exact);
+  World w_pdd(wcfg(4));
+  const double div_pdd = run_solver_div(scfg(1, 4, CommBackend::kMpi, nullptr),
+                                        TridiagMethod::kPddApprox, false, w_pdd);
+  EXPECT_LT(div_exact, 1e-10);
+  // At this TINY block size (4 z-rows per block) the dropped couplings of
+  // the weak low modes are O(1): PDD's error is large — the quantitative
+  // reason PowerLLEL can use PDD only with its production-scale blocks
+  // (hundreds of rows), and why kReducedExact is this repo's default.
+  // bench_ablation_tridiag shows the error melting with dominance.
+  EXPECT_GT(div_pdd, 1e-3);
+  EXPECT_LT(div_pdd, 10.0);  // still bounded: the solve is stable, not exact
+}
+
+TEST(SolverVariants, OverlapToggleDoesNotChangePhysics) {
+  auto run_ke = [&](bool overlap) {
+    World w(wcfg(4));
+    unrlib::Unr unr(w);
+    double ke = 0;
+    w.run([&](Rank& r) {
+      SolverConfig sc = scfg(2, 2, CommBackend::kUnr, &unr);
+      sc.overlap_halo = overlap;
+      Solver s(r, sc);
+      s.init_velocity(
+          [](double x, double y, double z) { return std::cos(x) * z * (2 - z); },
+          [](double x, double y, double) { return 0.2 * std::sin(x + y); },
+          [](double, double, double) { return 0.0; });
+      s.run(3);
+      ke = s.global_kinetic_energy();
+    });
+    return ke;
+  };
+  EXPECT_EQ(run_ke(true), run_ke(false));
+}
+
+TEST(SolverVariants, OverlapReducesVirtualTime) {
+  auto run_elapsed = [&](bool overlap) {
+    World w(wcfg(8));
+    unrlib::Unr unr(w);
+    w.run([&](Rank& r) {
+      SolverConfig sc = scfg(4, 2, CommBackend::kUnr, &unr);
+      sc.decomp.nx = 32;
+      sc.decomp.ny = 32;
+      sc.decomp.nz = 16;
+      sc.overlap_halo = overlap;
+      Solver s(r, sc);
+      s.init_velocity(
+          [](double x, double y, double z) { return std::cos(x) * z * (2 - z); },
+          [](double, double, double) { return 0.0; },
+          [](double, double, double) { return 0.0; });
+      s.run(3);
+    });
+    return w.elapsed();
+  };
+  EXPECT_LT(run_elapsed(true), run_elapsed(false));
+}
+
+TEST(SolverVariants, FallbackBackendSamePhysics) {
+  auto run_ke = [&](unrlib::ChannelKind kind) {
+    World w(wcfg(4));
+    unrlib::Unr::Config uc;
+    uc.channel = kind;
+    unrlib::Unr unr(w, uc);
+    double ke = 0, div = 1;
+    w.run([&](Rank& r) {
+      Solver s(r, scfg(2, 2, CommBackend::kUnr, &unr));
+      s.init_velocity(
+          [](double x, double y, double z) { return std::sin(x + y) * z * (2 - z); },
+          [](double, double, double) { return 0.0; },
+          [](double, double, double) { return 0.0; });
+      s.run(3);
+      ke = s.global_kinetic_energy();
+      div = s.global_max_divergence();
+    });
+    EXPECT_LT(div, 1e-10);
+    return ke;
+  };
+  const double native = run_ke(unrlib::ChannelKind::kNative);
+  const double fallback = run_ke(unrlib::ChannelKind::kMpiFallback);
+  const double level4 = run_ke(unrlib::ChannelKind::kLevel4);
+  EXPECT_EQ(native, fallback);
+  EXPECT_EQ(native, level4);
+}
+
+TEST(WindowGroups, PscwWithMultipleOrigins) {
+  // One target exposes to three origins at once; wait() must count the
+  // puts of all of them.
+  World w(wcfg(4));
+  std::vector<double> seen;
+  w.run([&](Rank& r) {
+    std::vector<double> expo(4, 0.0);
+    auto win = Window::create(r.comm(), r.id(), expo.data(), 4 * sizeof(double));
+    if (r.id() == 0) {
+      const std::array<int, 3> origins{1, 2, 3};
+      win->post(0, origins);
+      win->wait(0);
+      seen = expo;
+    } else {
+      const std::array<int, 1> target{0};
+      win->start(r.id(), target);
+      const double v = r.id() * 1.5;
+      win->put(r.id(), 0, static_cast<std::size_t>(r.id()) * sizeof(double), &v,
+               sizeof v);
+      win->complete(r.id());
+    }
+  });
+  ASSERT_EQ(seen.size(), 4u);
+  EXPECT_EQ(seen[1], 1.5);
+  EXPECT_EQ(seen[2], 3.0);
+  EXPECT_EQ(seen[3], 4.5);
+}
+
+TEST(WindowGroups, RepeatedPscwEpochs) {
+  World w(wcfg(2));
+  int good = 0;
+  w.run([&](Rank& r) {
+    std::vector<double> expo(1, 0.0);
+    auto win = Window::create(r.comm(), r.id(), expo.data(), sizeof(double));
+    const std::array<int, 1> peer{1 - r.id()};
+    for (int epoch = 0; epoch < 6; ++epoch) {
+      if (r.id() == 0) {
+        win->start(0, peer);
+        const double v = 10.0 + epoch;
+        win->put(0, 1, 0, &v, sizeof v);
+        win->complete(0);
+        // Reverse the roles so both sides exercise post/wait.
+        win->post(0, peer);
+        win->wait(0);
+      } else {
+        win->post(1, peer);
+        win->wait(1);
+        if (expo[0] == 10.0 + epoch) ++good;
+        win->start(1, peer);
+        win->complete(1);  // empty access epoch
+      }
+    }
+  });
+  EXPECT_EQ(good, 6);
+}
+
+}  // namespace
+}  // namespace unr::powerllel

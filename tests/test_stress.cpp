@@ -1,0 +1,297 @@
+// Stress and fuzz tests: randomized (but seeded and deterministic) traffic
+// patterns that exercise matching, reordering, aggregation and epoch logic
+// far beyond the directed tests.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "runtime/window.hpp"
+#include "runtime/world.hpp"
+#include "unr/unr.hpp"
+
+namespace unr {
+namespace {
+
+using runtime::Rank;
+using runtime::RequestPtr;
+using runtime::Window;
+using runtime::World;
+using unrlib::Blk;
+using unrlib::MemHandle;
+using unrlib::SigId;
+using unrlib::Unr;
+
+TEST(Stress, RandomizedTwoSidedTrafficAllDelivered) {
+  // Every rank sends a deterministic pseudo-random set of messages (peer,
+  // tag, size); every rank posts the matching receives in a different
+  // order. Jitter is ON: the matching logic must survive arbitrary
+  // reordering between pairs.
+  const int p = 6;
+  const int msgs_per_pair = 8;
+  World::Config wc;
+  wc.nodes = p;
+  wc.profile = make_hpc_roce();  // big jitter
+  wc.seed = 77;
+  World w(wc);
+
+  auto size_of = [](int src, int dst, int k) {
+    // Mix of eager and rendezvous sizes, deterministic per message.
+    const std::uint64_t h = static_cast<std::uint64_t>(src * 131 + dst * 17 + k * 7);
+    return 16 + (h * 2654435761u) % (40 * KiB);
+  };
+  auto fill_byte = [](int src, int dst, int k) {
+    return static_cast<std::byte>((src * 5 + dst * 3 + k) & 0xFF);
+  };
+
+  int bad = 0;
+  w.run([&](Rank& r) {
+    std::vector<std::vector<std::byte>> sbufs, rbufs;
+    std::vector<RequestPtr> reqs;
+    // Post all receives in a scrambled order.
+    struct RecvSlot {
+      int src, k;
+      std::size_t idx;
+    };
+    std::vector<RecvSlot> slots;
+    for (int src = 0; src < p; ++src) {
+      if (src == r.id()) continue;
+      for (int k = 0; k < msgs_per_pair; ++k) {
+        rbufs.emplace_back(size_of(src, r.id(), k));
+        slots.push_back({src, k, rbufs.size() - 1});
+      }
+    }
+    Rng rng(1000 + static_cast<std::uint64_t>(r.id()));
+    for (std::size_t i = slots.size(); i > 1; --i)
+      std::swap(slots[i - 1], slots[rng.below(i)]);
+    for (const auto& s : slots)
+      reqs.push_back(r.irecv(s.src, s.k, rbufs[s.idx].data(), rbufs[s.idx].size()));
+
+    // Fire all sends, also scrambled.
+    struct SendSlot {
+      int dst, k;
+    };
+    std::vector<SendSlot> sends;
+    for (int dst = 0; dst < p; ++dst) {
+      if (dst == r.id()) continue;
+      for (int k = 0; k < msgs_per_pair; ++k) sends.push_back({dst, k});
+    }
+    for (std::size_t i = sends.size(); i > 1; --i)
+      std::swap(sends[i - 1], sends[rng.below(i)]);
+    for (const auto& s : sends) {
+      sbufs.emplace_back(size_of(r.id(), s.dst, s.k), fill_byte(r.id(), s.dst, s.k));
+      reqs.push_back(
+          r.isend(s.dst, s.k, sbufs.back().data(), sbufs.back().size()));
+    }
+    r.wait_all(reqs);
+
+    for (const auto& s : slots) {
+      const auto& buf = rbufs[s.idx];
+      const std::byte want = fill_byte(s.src, r.id(), s.k);
+      for (std::byte b : buf)
+        if (b != want) {
+          ++bad;
+          break;
+        }
+    }
+  });
+  EXPECT_EQ(bad, 0);
+}
+
+TEST(Stress, ManySignalsManyMessagesInterleaved) {
+  // 64 independent signals per rank, notified by interleaved puts from all
+  // peers under jitter; each signal must trigger exactly on its own count.
+  const int p = 4;
+  const int sigs_per_rank = 64;
+  World::Config wc;
+  wc.nodes = p;
+  wc.profile = make_th_xy();
+  wc.seed = 5;
+  World w(wc);
+  Unr unr(w);
+  int bad = 0;
+  w.run([&](Rank& r) {
+    // Each signal s on rank t is fed one byte by every other rank.
+    std::vector<std::byte> inbox(static_cast<std::size_t>(sigs_per_rank * p));
+    const MemHandle mh = unr.mem_reg(r.id(), inbox.data(), inbox.size());
+    std::vector<SigId> sigs(sigs_per_rank);
+    std::vector<Blk> my_slots(static_cast<std::size_t>(sigs_per_rank * p));
+    for (int s = 0; s < sigs_per_rank; ++s) {
+      sigs[static_cast<std::size_t>(s)] = unr.sig_init(r.id(), p - 1);
+      for (int src = 0; src < p; ++src)
+        my_slots[static_cast<std::size_t>(s * p + src)] =
+            unr.blk_init(r.id(), mh, static_cast<std::size_t>(s * p + src), 1,
+                         sigs[static_cast<std::size_t>(s)]);
+    }
+    // Ship each peer its column of slots.
+    std::vector<Blk> targets(static_cast<std::size_t>(sigs_per_rank * p));
+    {
+      std::vector<RequestPtr> reqs;
+      std::vector<std::vector<Blk>> cols(static_cast<std::size_t>(p));
+      for (int peer = 0; peer < p; ++peer) {
+        if (peer == r.id()) continue;
+        auto& col = cols[static_cast<std::size_t>(peer)];
+        col.resize(static_cast<std::size_t>(sigs_per_rank));
+        for (int s = 0; s < sigs_per_rank; ++s)
+          col[static_cast<std::size_t>(s)] =
+              my_slots[static_cast<std::size_t>(s * p + peer)];
+        reqs.push_back(r.irecv(peer, 1,
+                               targets.data() + static_cast<std::size_t>(peer) *
+                                                    sigs_per_rank,
+                               sizeof(Blk) * static_cast<std::size_t>(sigs_per_rank)));
+        reqs.push_back(r.isend(peer, 1, col.data(),
+                               sizeof(Blk) * static_cast<std::size_t>(sigs_per_rank)));
+      }
+      r.wait_all(reqs);
+    }
+
+    // Fire all notifications in a scrambled order.
+    std::byte one{1};
+    std::vector<std::byte> src_byte(1, one);
+    const MemHandle smh = unr.mem_reg(r.id(), src_byte.data(), 1);
+    const Blk src = unr.blk_init(r.id(), smh, 0, 1);
+    struct Shot {
+      int peer, s;
+    };
+    std::vector<Shot> shots;
+    for (int peer = 0; peer < p; ++peer) {
+      if (peer == r.id()) continue;
+      for (int s = 0; s < sigs_per_rank; ++s) shots.push_back({peer, s});
+    }
+    Rng rng(42 + static_cast<std::uint64_t>(r.id()));
+    for (std::size_t i = shots.size(); i > 1; --i)
+      std::swap(shots[i - 1], shots[rng.below(i)]);
+    for (const auto& shot : shots)
+      unr.put(r.id(), src,
+              targets[static_cast<std::size_t>(shot.peer) * sigs_per_rank +
+                      static_cast<std::size_t>(shot.s)]);
+
+    // Waiting order scrambled too.
+    std::vector<int> order(static_cast<std::size_t>(sigs_per_rank));
+    std::iota(order.begin(), order.end(), 0);
+    for (std::size_t i = order.size(); i > 1; --i)
+      std::swap(order[i - 1], order[rng.below(i)]);
+    for (int s : order) {
+      unr.sig_wait(r.id(), sigs[static_cast<std::size_t>(s)]);
+      if (unr.sig_counter(r.id(), sigs[static_cast<std::size_t>(s)]) != 0) ++bad;
+    }
+    // Everyone's byte arrived?
+    for (int s = 0; s < sigs_per_rank; ++s)
+      for (int srcr = 0; srcr < p; ++srcr)
+        if (srcr != r.id() &&
+            inbox[static_cast<std::size_t>(s * p + srcr)] != one)
+          ++bad;
+  });
+  EXPECT_EQ(bad, 0);
+}
+
+TEST(Stress, SplitPutsUnderHeavyJitterAggregateCorrectly) {
+  // Multi-NIC fragment aggregation with large adaptive-routing jitter: the
+  // MMAS counter must tolerate every fragment interleaving.
+  World::Config wc;
+  wc.profile = make_th_xy();
+  wc.profile.jitter = 5000;  // brutal reordering
+  wc.seed = 31;
+  World w(wc);
+  Unr::Config uc;
+  uc.split_threshold = 1 * KiB;
+  uc.max_split = 8;  // more fragments than NICs: round-robin over both
+  Unr unr(w, uc);
+  int good = 0;
+  const int iters = 10;
+  w.run([&](Rank& r) {
+    const std::size_t bytes = 64 * KiB;
+    std::vector<std::byte> buf(bytes);
+    const MemHandle mh = unr.mem_reg(r.id(), buf.data(), bytes);
+    if (r.id() == 1) {
+      const SigId rsig = unr.sig_init(1, 1);
+      const Blk rblk = unr.blk_init(1, mh, 0, bytes, rsig);
+      r.send(0, 1, &rblk, sizeof rblk);
+      for (int it = 0; it < iters; ++it) {
+        unr.sig_wait(1, rsig);
+        bool ok = true;
+        for (std::size_t i = 0; i < bytes; i += 997)
+          if (buf[i] != static_cast<std::byte>((i + static_cast<std::size_t>(it)) & 0xFF))
+            ok = false;
+        if (ok) ++good;
+        unr.sig_reset(1, rsig);
+        char ack = 1;
+        r.send(0, 2, &ack, 1);
+      }
+    } else {
+      Blk rblk;
+      r.recv(1, 1, &rblk, sizeof rblk);
+      const SigId ssig = unr.sig_init(0, 1);
+      for (int it = 0; it < iters; ++it) {
+        for (std::size_t i = 0; i < bytes; ++i)
+          buf[i] = static_cast<std::byte>((i + static_cast<std::size_t>(it)) & 0xFF);
+        unr.put(0, unr.blk_init(0, mh, 0, bytes, ssig), rblk);
+        unr.sig_wait(0, ssig);
+        unr.sig_reset(0, ssig);
+        char ack;
+        r.recv(1, 2, &ack, 1);
+      }
+    }
+  });
+  EXPECT_EQ(good, iters);
+  EXPECT_EQ(unr.stats().fragments, static_cast<std::uint64_t>(iters * 7));
+}
+
+TEST(Stress, WindowEpochChurn) {
+  // Alternating fence and PSCW epochs with varying op counts on the same
+  // window: cumulative counters must never confuse epochs.
+  const int p = 4;
+  World::Config wc;
+  wc.nodes = p;
+  wc.profile = make_hpc_ib();
+  wc.seed = 9;
+  World w(wc);
+  int bad = 0;
+  w.run([&](Rank& r) {
+    std::vector<double> expo(64, 0.0);
+    auto win = Window::create(r.comm(), r.id(), expo.data(), 64 * sizeof(double));
+    Rng rng(7);  // same stream everywhere: identical epoch structure
+    for (int epoch = 0; epoch < 8; ++epoch) {
+      const int writer = static_cast<int>(rng.below(p));
+      const int nops = 1 + static_cast<int>(rng.below(5));
+      win->fence(r.id());
+      if (r.id() == writer) {
+        for (int k = 0; k < nops; ++k) {
+          const double v = epoch * 100 + k;
+          win->put(r.id(), (writer + 1) % p, static_cast<std::size_t>(k) * sizeof(double),
+                   &v, sizeof v);
+        }
+      }
+      win->fence(r.id());
+      if (r.id() == (writer + 1) % p) {
+        for (int k = 0; k < nops; ++k)
+          if (expo[static_cast<std::size_t>(k)] != epoch * 100 + k) ++bad;
+      }
+    }
+  });
+  EXPECT_EQ(bad, 0);
+}
+
+TEST(Stress, LargeWorldBarrierAndReduce) {
+  // 96 ranks across 48 nodes: the actor scheduler, collectives and fabric
+  // must handle a wide world.
+  World::Config wc;
+  wc.nodes = 48;
+  wc.ranks_per_node = 2;
+  wc.profile = make_th_xy();
+  World w(wc);
+  double result = 0;
+  w.run([&](Rank& r) {
+    double v = static_cast<double>(r.id());
+    r.allreduce_sum(&v, 1);
+    r.barrier();
+    if (r.id() == 0) result = v;
+  });
+  EXPECT_DOUBLE_EQ(result, 96.0 * 95.0 / 2.0);
+}
+
+}  // namespace
+}  // namespace unr

@@ -1,0 +1,213 @@
+// Tridiagonal solver tests: Thomas vs direct substitution, and the
+// distributed solver (exact reduced sweep and approximate PDD) against the
+// sequential reference, over both communication backends.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "powerllel/poisson.hpp"  // CommBackend
+#include "powerllel/tridiag.hpp"
+#include "powerllel/tridiag_port.hpp"
+#include "runtime/world.hpp"
+#include "unr/unr.hpp"
+
+namespace unr::powerllel {
+namespace {
+
+using runtime::Rank;
+using runtime::World;
+
+// Residual of the full system: a x_{i-1} + b_i x_i + c x_{i+1} - d_i.
+double residual(double a, const std::vector<double>& b, double c,
+                const std::vector<Complex>& x, const std::vector<Complex>& d) {
+  const std::size_t n = b.size();
+  double m = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    Complex r = b[i] * x[i] - d[i];
+    if (i > 0) r += a * x[i - 1];
+    if (i + 1 < n) r += c * x[i + 1];
+    m = std::max(m, std::abs(r));
+  }
+  return m;
+}
+
+TEST(Thomas, SolvesAgainstResidual) {
+  Rng rng(5);
+  const std::size_t n = 64;
+  std::vector<double> b(n);
+  const double a = 1.0, c = 1.0;
+  for (auto& bi : b) bi = -(2.5 + rng.uniform());  // diagonally dominant
+  std::vector<Complex> d(n), rhs(n);
+  for (auto& di : d) di = Complex(rng.uniform(-1, 1), rng.uniform(-1, 1));
+  rhs = d;
+  thomas_inplace(a, b, c, rhs);
+  EXPECT_LT(residual(a, b, c, rhs, d), 1e-10);
+}
+
+TEST(Thomas, RealVariantMatchesComplex) {
+  Rng rng(6);
+  const std::size_t n = 32;
+  std::vector<double> b(n);
+  for (auto& bi : b) bi = -(3.0 + rng.uniform());
+  std::vector<double> dr(n);
+  for (auto& x : dr) x = rng.uniform(-1, 1);
+  std::vector<Complex> dc(n);
+  for (std::size_t i = 0; i < n; ++i) dc[i] = dr[i];
+  thomas_inplace_real(1.0, b, 1.0, dr);
+  thomas_inplace(1.0, b, 1.0, dc);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(dr[i], dc[i].real(), 1e-12);
+}
+
+TEST(Thomas, SingleRow) {
+  std::vector<double> b{4.0};
+  std::vector<Complex> d{Complex(8.0, -4.0)};
+  thomas_inplace(0.0, b, 0.0, d);
+  EXPECT_NEAR(d[0].real(), 2.0, 1e-14);
+  EXPECT_NEAR(d[0].imag(), -1.0, 1e-14);
+}
+
+struct DistCase {
+  int nprocs;
+  CommBackend backend;
+  TridiagMethod method;
+  double dominance;  // diagonal magnitude relative to |a|+|c|
+};
+
+class DistTridiagP : public ::testing::TestWithParam<DistCase> {};
+
+TEST_P(DistTridiagP, MatchesSequentialReference) {
+  const DistCase c = GetParam();
+  const std::size_t m = 16;  // rows per block
+  const std::size_t n = m * static_cast<std::size_t>(c.nprocs);
+  const std::size_t nlines = 6;
+
+  // Build the global problem once (deterministic).
+  Rng rng(42);
+  std::vector<TridiagLine> lines(nlines);
+  std::vector<double> gdiag(nlines * n);
+  std::vector<Complex> grhs(nlines * n);
+  for (std::size_t l = 0; l < nlines; ++l) {
+    lines[l] = TridiagLine{1.0, 1.0};
+    for (std::size_t i = 0; i < n; ++i) {
+      gdiag[l * n + i] = -(c.dominance + 0.3 * rng.uniform());
+      grhs[l * n + i] = Complex(rng.uniform(-1, 1), rng.uniform(-1, 1));
+    }
+  }
+  std::vector<Complex> expect = grhs;
+  reference_solve(lines, gdiag, expect.data(), nlines, n);
+
+  World::Config wc;
+  wc.nodes = c.nprocs;
+  wc.ranks_per_node = 1;
+  wc.profile = unr::make_th_xy();
+  wc.deterministic_routing = true;
+  World w(wc);
+  std::optional<unrlib::Unr> unr;
+  if (c.backend == CommBackend::kUnr) unr.emplace(w);
+
+  std::vector<double> max_err(static_cast<std::size_t>(c.nprocs), 0.0);
+  w.run([&](Rank& r) {
+    std::vector<int> group(static_cast<std::size_t>(c.nprocs));
+    for (int i = 0; i < c.nprocs; ++i) group[static_cast<std::size_t>(i)] = i;
+    std::unique_ptr<TridiagPort> port;
+    if (c.backend == CommBackend::kUnr)
+      port = make_unr_tridiag_port(r, *unr, group, r.id(), 100,
+                                   nlines * 3 * sizeof(double));
+    else
+      port = make_mpi_tridiag_port(r, group, r.id(), 100);
+
+    // My block of the global problem.
+    const std::size_t s = static_cast<std::size_t>(r.id()) * m;
+    std::vector<double> diag(nlines * m);
+    std::vector<Complex> rhs(nlines * m);
+    for (std::size_t l = 0; l < nlines; ++l)
+      for (std::size_t i = 0; i < m; ++i) {
+        diag[l * m + i] = gdiag[l * n + s + i];
+        rhs[l * m + i] = grhs[l * n + s + i];
+      }
+
+    DistTridiag solver(r.id(), c.nprocs, m);
+    solver.solve(lines, diag, rhs.data(), nlines, port->port(), c.method);
+
+    double err = 0;
+    for (std::size_t l = 0; l < nlines; ++l)
+      for (std::size_t i = 0; i < m; ++i)
+        err = std::max(err, std::abs(rhs[l * m + i] - expect[l * n + s + i]));
+    max_err[static_cast<std::size_t>(r.id())] = err;
+  });
+
+  // The exact sweep must match to round-off; PDD is approximate, with error
+  // decaying in (dominance ratio)^m — tight here thanks to dominance >= 3.
+  const double tol = c.method == TridiagMethod::kReducedExact ? 1e-10 : 1e-6;
+  for (double e : max_err) EXPECT_LT(e, tol);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DistTridiagP,
+    ::testing::Values(
+        DistCase{1, CommBackend::kMpi, TridiagMethod::kReducedExact, 2.5},
+        DistCase{2, CommBackend::kMpi, TridiagMethod::kReducedExact, 2.5},
+        DistCase{4, CommBackend::kMpi, TridiagMethod::kReducedExact, 2.5},
+        DistCase{3, CommBackend::kMpi, TridiagMethod::kReducedExact, 2.1},
+        DistCase{2, CommBackend::kUnr, TridiagMethod::kReducedExact, 2.5},
+        DistCase{4, CommBackend::kUnr, TridiagMethod::kReducedExact, 2.5},
+        DistCase{2, CommBackend::kMpi, TridiagMethod::kPddApprox, 3.5},
+        DistCase{4, CommBackend::kMpi, TridiagMethod::kPddApprox, 3.5},
+        DistCase{4, CommBackend::kUnr, TridiagMethod::kPddApprox, 3.5}),
+    [](const ::testing::TestParamInfo<DistCase>& i) {
+      std::string s = "p" + std::to_string(i.param.nprocs);
+      s += i.param.backend == CommBackend::kUnr ? "_unr" : "_mpi";
+      s += i.param.method == TridiagMethod::kReducedExact ? "_exact" : "_pdd";
+      return s;
+    });
+
+TEST(DistTridiagRepeated, BackToBackSolvesReuseThePort) {
+  // The UNR port's staging/signal recycling must survive many solves.
+  const int p = 3;
+  const std::size_t m = 8, nlines = 4;
+  World::Config wc;
+  wc.nodes = p;
+  wc.profile = unr::make_th_xy();
+  wc.deterministic_routing = true;
+  World w(wc);
+  unrlib::Unr unr(w);
+  int failures = 0;
+  w.run([&](Rank& r) {
+    std::vector<int> group{0, 1, 2};
+    auto port = make_unr_tridiag_port(r, unr, group, r.id(), 100,
+                                      nlines * 3 * sizeof(double));
+    DistTridiag solver(r.id(), p, m);
+    std::vector<TridiagLine> lines(nlines, TridiagLine{1.0, 1.0});
+    for (int iter = 0; iter < 5; ++iter) {
+      const std::size_t n = m * p;
+      Rng rng(static_cast<std::uint64_t>(iter) + 1);
+      std::vector<double> gdiag(nlines * n);
+      std::vector<Complex> grhs(nlines * n);
+      for (auto& x : gdiag) x = -(2.8 + 0.2 * rng.uniform());
+      for (auto& x : grhs) x = Complex(rng.uniform(-1, 1), rng.uniform(-1, 1));
+      std::vector<Complex> expect = grhs;
+      reference_solve(lines, gdiag, expect.data(), nlines, n);
+
+      const std::size_t s = static_cast<std::size_t>(r.id()) * m;
+      std::vector<double> diag(nlines * m);
+      std::vector<Complex> rhs(nlines * m);
+      for (std::size_t l = 0; l < nlines; ++l)
+        for (std::size_t i = 0; i < m; ++i) {
+          diag[l * m + i] = gdiag[l * n + s + i];
+          rhs[l * m + i] = grhs[l * n + s + i];
+        }
+      solver.solve(lines, diag, rhs.data(), nlines, port->port(),
+                   TridiagMethod::kReducedExact);
+      for (std::size_t l = 0; l < nlines; ++l)
+        for (std::size_t i = 0; i < m; ++i)
+          if (std::abs(rhs[l * m + i] - expect[l * n + s + i]) > 1e-10) ++failures;
+    }
+  });
+  EXPECT_EQ(failures, 0);
+}
+
+}  // namespace
+}  // namespace unr::powerllel

@@ -1,0 +1,109 @@
+// Unr::sig_wait_any: blocking on the union of several signals and consuming
+// completions in arrival order.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+#include "runtime/world.hpp"
+#include "unr/unr.hpp"
+
+namespace unr::unrlib {
+namespace {
+
+using runtime::Rank;
+using runtime::World;
+
+World::Config cfg(int nodes = 2) {
+  World::Config c;
+  c.nodes = nodes;
+  c.profile = unr::make_th_xy();
+  c.deterministic_routing = true;
+  return c;
+}
+
+TEST(WaitAny, ReturnsImmediatelyIfOneAlreadyTriggered) {
+  World w(cfg());
+  Unr unr(w);
+  w.run([&](Rank& r) {
+    if (r.id() != 0) return;
+    const SigId a = unr.sig_init(0, 1);
+    const SigId b = unr.sig_init(0, 1);
+    unr.sig_at(0, b).apply(-1);
+    const std::array<SigId, 2> sigs{a, b};
+    EXPECT_EQ(unr.sig_wait_any(0, sigs), 1u);
+    EXPECT_EQ(r.now(), 0u);
+  });
+}
+
+TEST(WaitAny, WakesOnWhicheverArrivesFirst) {
+  World w(cfg());
+  Unr unr(w);
+  std::vector<std::size_t> order;
+  w.run([&](Rank& r) {
+    if (r.id() != 0) return;
+    const SigId a = unr.sig_init(0, 1);
+    const SigId b = unr.sig_init(0, 1);
+    const SigId c = unr.sig_init(0, 1);
+    // Fire them via events in a scrambled time order: c, a, b.
+    r.kernel().post_in(100, [&] { unr.sig_at(0, c).apply(-1); });
+    r.kernel().post_in(200, [&] { unr.sig_at(0, a).apply(-1); });
+    r.kernel().post_in(300, [&] { unr.sig_at(0, b).apply(-1); });
+
+    std::vector<SigId> pending{a, b, c};
+    while (!pending.empty()) {
+      const std::size_t hit = unr.sig_wait_any(0, pending);
+      order.push_back(static_cast<std::size_t>(pending[hit]));
+      pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(hit));
+    }
+    EXPECT_EQ(r.now(), 300u);
+  });
+  // Arrival order c(2), a(0), b(1) by SigId allocation order 0,1,2.
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 2u);
+  EXPECT_EQ(order[1], 0u);
+  EXPECT_EQ(order[2], 1u);
+}
+
+TEST(WaitAny, EndToEndArrivalOrderAcrossPeers) {
+  // Rank 0 waits on per-source signals from three peers who send at
+  // staggered times; the indices must come back in arrival order.
+  World w(cfg(4));
+  Unr unr(w);
+  std::vector<int> arrival_order;
+  w.run([&](Rank& r) {
+    std::vector<int> buf(4, -1);
+    const MemHandle mh = unr.mem_reg(r.id(), buf.data(), buf.size() * sizeof(int));
+    if (r.id() == 0) {
+      std::vector<SigId> sigs(4, kNoSig);
+      for (int src = 1; src < 4; ++src) {
+        sigs[static_cast<std::size_t>(src)] = unr.sig_init(0, 1);
+        const Blk slot = unr.blk_init(0, mh, static_cast<std::size_t>(src) * sizeof(int),
+                                      sizeof(int), sigs[static_cast<std::size_t>(src)]);
+        r.send(src, 1, &slot, sizeof slot);
+      }
+      std::vector<SigId> pending{sigs[1], sigs[2], sigs[3]};
+      std::vector<int> sources{1, 2, 3};
+      while (!pending.empty()) {
+        const std::size_t hit = unr.sig_wait_any(0, pending);
+        arrival_order.push_back(sources[hit]);
+        pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(hit));
+        sources.erase(sources.begin() + static_cast<std::ptrdiff_t>(hit));
+      }
+    } else {
+      Blk slot;
+      r.recv(0, 1, &slot, sizeof slot);
+      // Rank 3 sends first, then 1, then 2.
+      const Time delay = r.id() == 3 ? 10 * kUs : (r.id() == 1 ? 200 * kUs : 400 * kUs);
+      r.kernel().sleep_for(delay);
+      std::vector<int> val(1, r.id() * 11);
+      const MemHandle smh = unr.mem_reg(r.id(), val.data(), sizeof(int));
+      unr.put(r.id(), unr.blk_init(r.id(), smh, 0, sizeof(int)), slot);
+      r.kernel().sleep_for(1 * kMs);
+    }
+  });
+  EXPECT_EQ(arrival_order, (std::vector<int>{3, 1, 2}));
+}
+
+}  // namespace
+}  // namespace unr::unrlib
