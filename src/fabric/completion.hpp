@@ -3,14 +3,18 @@
 // A simulated NIC reports finished operations by pushing completion queue
 // entries (CQEs). The remote CQ is bounded: if nobody drains it (the job of
 // UNR's polling engine at support levels 0-3), deliveries are NACKed and
-// retried, which is the performance cliff the paper's level-4 hardware
-// proposal removes.
+// retried with capped exponential backoff, which is the performance cliff
+// the paper's level-4 hardware proposal removes. The retry policy — base
+// delay, growth, cap, jitter and the fail-loud attempt limit — lives in
+// Fabric::Config::RetryPolicy (fabric.hpp), so tests can lower the cap
+// instead of spinning through the production default.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 
+#include "common/check.hpp"
 #include "common/units.hpp"
 #include "fabric/custom_bits.hpp"
 
@@ -35,7 +39,7 @@ class CompletionQueue {
  public:
   explicit CompletionQueue(std::size_t capacity) : capacity_(capacity) {}
 
-  bool full() const { return q_.size() >= capacity_; }
+  bool full() const { return q_.size() + pressure_ >= capacity_; }
   bool empty() const { return q_.empty(); }
   std::size_t size() const { return q_.size(); }
   std::size_t capacity() const { return capacity_; }
@@ -52,10 +56,17 @@ class CompletionQueue {
   }
 
   Cqe pop() {
+    UNR_CHECK_MSG(!q_.empty(), "pop() on an empty completion queue");
     Cqe e = q_.front();
     q_.pop_front();
     return e;
   }
+
+  /// Fault injection: occupy `n` slots without inserting CQEs. Pushes NACK
+  /// while the pressure holds; pops and the drain loop are unaffected.
+  void add_pressure(std::size_t n) { pressure_ += n; }
+  void release_pressure(std::size_t n) { pressure_ -= n > pressure_ ? pressure_ : n; }
+  std::size_t pressure() const { return pressure_; }
 
   std::uint64_t pushed() const { return pushed_; }
   std::uint64_t overflows() const { return overflows_; }
@@ -63,6 +74,7 @@ class CompletionQueue {
  private:
   std::size_t capacity_;
   std::deque<Cqe> q_;
+  std::size_t pressure_ = 0;
   std::uint64_t pushed_ = 0;
   std::uint64_t overflows_ = 0;
 };

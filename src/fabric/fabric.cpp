@@ -1,5 +1,6 @@
 #include "fabric/fabric.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <utility>
 
@@ -8,13 +9,41 @@
 namespace unr::fabric {
 
 namespace {
-/// Hard cap on delivery retries after remote-CQ overflow: if nothing drains
-/// the CQ for this long, the configuration is broken and we fail loudly
-/// instead of spinning the event loop forever.
-constexpr int kMaxDeliveryAttempts = 100000;
 /// Intra-node traffic does not cross the switch fabric.
 constexpr double kIntraLatencyFactor = 0.25;
+
+/// splitmix64: cheap deterministic hash for backoff jitter. Not drawn from
+/// the fabric RNG so that NACK retries never perturb the routing-jitter
+/// stream of unrelated messages.
+std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x;
+}
 }  // namespace
+
+/// One PUT in transit: the caller's arguments, the payload snapshot, and the
+/// attempt bookkeeping the resilience layer needs to retransmit or fail over.
+struct Fabric::Flight {
+  PutArgs args;
+  std::vector<std::byte> data;
+  Time tx_done = 0;        ///< when the source NIC finished injecting
+  int wire_attempts = 0;   ///< wire traversals (first send + retransmissions)
+  int cq_attempts = 0;     ///< consecutive NACKs at the destination CQ
+  bool redirect_counted = false;  ///< dst/local CQE redirect already counted
+};
+
+/// One active message in transit (payload + retransmission count).
+struct Fabric::AmFlight {
+  int src_rank = -1;
+  int dst_rank = -1;
+  int channel = 0;
+  std::vector<std::byte> payload;
+  int attempts = 1;
+};
 
 Fabric::Fabric(sim::Kernel& kernel, Config cfg)
     : kernel_(kernel),
@@ -22,9 +51,11 @@ Fabric::Fabric(sim::Kernel& kernel, Config cfg)
       iface_(personality(cfg_.profile.iface)),
       machine_(cfg_.nodes, cfg_.profile.cores_per_node),
       memory_(cfg_.max_regions_per_rank),
-      rng_(cfg_.seed) {
+      rng_(cfg_.seed),
+      injector_(cfg_.faults, cfg_.seed) {
   UNR_CHECK(cfg_.nodes >= 1 && cfg_.ranks_per_node >= 1);
   UNR_CHECK(cfg_.profile.nics_per_node >= 1);
+  UNR_CHECK(cfg_.retry.max_attempts >= 1 && cfg_.retry.multiplier >= 1.0);
   nics_.resize(static_cast<std::size_t>(cfg_.nodes));
   for (int n = 0; n < cfg_.nodes; ++n) {
     for (int i = 0; i < cfg_.profile.nics_per_node; ++i) {
@@ -32,12 +63,70 @@ Fabric::Fabric(sim::Kernel& kernel, Config cfg)
           n, i, cfg_.profile.nic_gbps, cfg_.profile.nic_overhead, cfg_.profile.cq_depth));
     }
   }
+
+  // Schedule the configured fault timeline. The events sit in the kernel's
+  // queue until the run reaches their virtual timestamps.
+  for (const auto& nf : cfg_.faults.nic_faults) {
+    UNR_CHECK_MSG(nf.node >= 0 && nf.node < cfg_.nodes && nf.index >= 0 &&
+                      nf.index < nics_per_node(),
+                  "NIC fault targets nonexistent NIC (" << nf.node << ", " << nf.index
+                                                        << ")");
+    kernel_.post_at(nf.at, [this, nf] {
+      Nic& n = nic(nf.node, nf.index);
+      if (n.failed()) return;
+      n.fail(kernel_.now());
+      stats_.resilience.nic_failures++;
+    });
+  }
+  for (const auto& b : cfg_.faults.cq_bursts) {
+    UNR_CHECK_MSG(b.node >= 0 && b.node < cfg_.nodes && b.index >= 0 &&
+                      b.index < nics_per_node(),
+                  "CQ burst targets nonexistent NIC (" << b.node << ", " << b.index
+                                                       << ")");
+    kernel_.post_at(b.at, [this, b] {
+      nic(b.node, b.index).remote_cq().add_pressure(b.entries);
+      if (b.duration > 0)
+        kernel_.post_in(b.duration, [this, b] {
+          nic(b.node, b.index).remote_cq().release_pressure(b.entries);
+        });
+    });
+  }
 }
 
 Nic& Fabric::nic(int node, int index) {
   UNR_CHECK(node >= 0 && node < cfg_.nodes);
   UNR_CHECK(index >= 0 && index < nics_per_node());
   return *nics_[static_cast<std::size_t>(node)][static_cast<std::size_t>(index)];
+}
+
+const Nic& Fabric::nic(int node, int index) const {
+  UNR_CHECK(node >= 0 && node < cfg_.nodes);
+  UNR_CHECK(index >= 0 && index < nics_per_node());
+  return *nics_[static_cast<std::size_t>(node)][static_cast<std::size_t>(index)];
+}
+
+int Fabric::pick_healthy_nic(int node, int preferred) const {
+  const int n = nics_per_node();
+  for (int k = 0; k < n; ++k) {
+    const int idx = (preferred + k) % n;
+    if (!nic(node, idx).failed()) return idx;
+  }
+  UNR_CHECK_MSG(false, "every NIC on node " << node << " has failed — unreachable");
+  __builtin_unreachable();
+}
+
+std::vector<int> Fabric::healthy_nics(int node) const {
+  std::vector<int> out;
+  for (int i = 0; i < nics_per_node(); ++i)
+    if (!nic(node, i).failed()) out.push_back(i);
+  return out;
+}
+
+int Fabric::healthy_nic_count(int node) const {
+  int n = 0;
+  for (int i = 0; i < nics_per_node(); ++i)
+    if (!nic(node, i).failed()) ++n;
+  return n;
 }
 
 Time Fabric::wire_arrival(int src_node, int dst_node, Time tx_done, bool ordered,
@@ -56,6 +145,31 @@ Time Fabric::wire_arrival(int src_node, int dst_node, Time tx_done, bool ordered
   return arrival;
 }
 
+Time Fabric::nack_backoff_delay(int attempt) {
+  const Time base = std::max<Time>(cfg_.profile.cq_retry_delay, 1);
+  const Time cap = cfg_.retry.max_delay > 0
+                       ? cfg_.retry.max_delay
+                       : 32 * base;
+  double d = static_cast<double>(base);
+  const int growth_steps = std::min(attempt - 1, 64);
+  for (int i = 0; i < growth_steps && d < static_cast<double>(cap); ++i)
+    d *= cfg_.retry.multiplier;
+  Time delay = static_cast<Time>(std::min(d, static_cast<double>(cap)));
+  // The first retry keeps the exact base delay (bit-compatible with the
+  // pre-backoff fabric for single NACKs); later retries add deterministic
+  // jitter so that simultaneously-NACKed senders fan out instead of
+  // hammering the CQ in lockstep.
+  if (attempt > 1 && cfg_.retry.jitter_frac > 0.0) {
+    const Time window =
+        static_cast<Time>(static_cast<double>(delay) * cfg_.retry.jitter_frac);
+    if (window > 0) {
+      const std::uint64_t h = mix64(cfg_.seed ^ (0x9e3779b97f4a7c15ull * ++backoff_seq_));
+      delay += static_cast<Time>(h % (static_cast<std::uint64_t>(window) + 1));
+    }
+  }
+  return delay;
+}
+
 void Fabric::put(PutArgs args) {
   UNR_CHECK(args.src_rank >= 0 && args.src_rank < nranks());
   UNR_CHECK(args.dst.valid() && args.dst.rank < nranks());
@@ -63,88 +177,164 @@ void Fabric::put(PutArgs args) {
   // Resolve the destination now so that addressing errors surface at the
   // call site, not inside an event handler later.
   (void)memory_.resolve(args.dst, args.size);
-
-  const int src_node = node_of(args.src_rank);
-  const int dst_node = node_of(args.dst.rank);
-  int nic_idx = args.nic_index < 0 ? default_nic(args.src_rank) : args.nic_index;
-  UNR_CHECK(nic_idx < nics_per_node());
-  args.nic_index = nic_idx;
+  if (args.nic_index >= 0) UNR_CHECK(args.nic_index < nics_per_node());
 
   args.remote_imm = args.remote_imm.truncated(iface_.effective_put_remote());
   args.local_imm = args.local_imm.truncated(iface_.effective_put_local());
 
-  // Snapshot the payload at post time: RMA semantics require the source
-  // buffer to stay unchanged until local completion, and the snapshot makes
-  // the simulator robust even if callers violate that.
-  std::vector<std::byte> data(args.size);
-  if (args.size > 0) std::memcpy(data.data(), args.src, args.size);
-
-  Nic& snic = nic(src_node, nic_idx);
-  const Time tx_done = snic.reserve_tx(kernel_.now(), args.size);
-  const Time arrival =
-      wire_arrival(src_node, dst_node, tx_done, args.ordered, args.src_rank, args.dst.rank);
-
   stats_.puts++;
   stats_.put_bytes += args.size;
 
-  auto shared = std::make_shared<PutArgs>(std::move(args));
-  kernel_.post_at(arrival, [this, shared, d = std::move(data), arrival]() mutable {
-    deliver_put(shared, std::move(d), arrival, 1);
+  auto f = std::make_shared<Flight>();
+  // Snapshot the payload at post time: RMA semantics require the source
+  // buffer to stay unchanged until local completion, and the snapshot makes
+  // the simulator robust even if callers violate that.
+  f->data.resize(args.size);
+  if (args.size > 0) std::memcpy(f->data.data(), args.src, args.size);
+  f->args = std::move(args);
+  launch_put(std::move(f));
+}
+
+void Fabric::launch_put(std::shared_ptr<Flight> f) {
+  PutArgs& a = f->args;
+  const int src_node = node_of(a.src_rank);
+  const int dst_node = node_of(a.dst.rank);
+  int nic_idx = a.nic_index < 0 ? default_nic(a.src_rank) : a.nic_index;
+  if (nic(src_node, nic_idx).failed()) {
+    nic_idx = pick_healthy_nic(src_node, nic_idx);
+    stats_.resilience.failovers++;
+  }
+  a.nic_index = nic_idx;
+
+  f->wire_attempts++;
+  UNR_CHECK_MSG(f->wire_attempts <= cfg_.retry.max_attempts,
+                "delivery to rank " << a.dst.rank << " exceeded "
+                                    << cfg_.retry.max_attempts << " wire attempts");
+
+  Nic& snic = nic(src_node, nic_idx);
+  const Time tx_done = snic.reserve_tx(kernel_.now(), a.size);
+  f->tx_done = tx_done;
+  Time arrival =
+      wire_arrival(src_node, dst_node, tx_done, a.ordered, a.src_rank, a.dst.rank);
+  const Time held = injector_.extra_delay();
+  if (held > 0) {
+    stats_.resilience.injected_delays++;
+    arrival += held;
+  }
+  kernel_.post_at(arrival, [this, f = std::move(f), arrival]() mutable {
+    arrive_put(std::move(f), arrival);
   });
 }
 
-void Fabric::deliver_put(std::shared_ptr<PutArgs> a, std::vector<std::byte> data,
-                         Time arrival, int attempts) {
-  const int dst_node = node_of(a->dst.rank);
-  Nic& dnic = nic(dst_node, a->nic_index);
+void Fabric::arrive_put(std::shared_ptr<Flight> f, Time arrival) {
+  // Wire-level faults are evaluated once per traversal, at the instant the
+  // message would have landed.
+  const Nic& snic = nic(node_of(f->args.src_rank), f->args.nic_index);
+  if (snic.lost_in_tx(f->tx_done)) {
+    stats_.resilience.lost_to_nic++;
+    kernel_.post_in(cfg_.fault_detect_delay,
+                    [this, f = std::move(f)]() mutable { recover_lost_put(std::move(f)); });
+    return;
+  }
+  if (injector_.drop_delivery()) {
+    stats_.resilience.injected_drops++;
+    stats_.resilience.retransmits++;
+    kernel_.post_in(cfg_.fault_detect_delay,
+                    [this, f = std::move(f)]() mutable { launch_put(std::move(f)); });
+    return;
+  }
+  deliver_put(std::move(f), arrival);
+}
 
-  if (a->want_remote_cqe && dnic.remote_cq().full()) {
-    UNR_CHECK_MSG(attempts < kMaxDeliveryAttempts,
-                  "remote CQ on node " << dst_node << " never drained");
+void Fabric::recover_lost_put(std::shared_ptr<Flight> f) {
+  stats_.resilience.failovers++;
+  if (f->args.on_lost) {
+    // The upper layer (UNR's splitter) re-issues the sub-message on a
+    // surviving NIC, re-encoding its notification.
+    f->args.on_lost();
+    return;
+  }
+  // No handler: the fabric retransmits itself; launch_put routes the flight
+  // off the failed NIC.
+  stats_.resilience.retransmits++;
+  launch_put(std::move(f));
+}
+
+void Fabric::deliver_put(std::shared_ptr<Flight> f, Time arrival) {
+  PutArgs& a = f->args;
+  const int dst_node = node_of(a.dst.rank);
+  // A CQE cannot land on a dead NIC; redirect it to a surviving one on the
+  // destination node (adaptive routing re-steers the delivery).
+  int dst_idx = a.nic_index;
+  if (nic(dst_node, dst_idx).failed()) {
+    dst_idx = pick_healthy_nic(dst_node, dst_idx);
+    if (!f->redirect_counted) {
+      f->redirect_counted = true;
+      stats_.resilience.failovers++;
+    }
+  }
+  Nic& dnic = nic(dst_node, dst_idx);
+
+  if (a.want_remote_cqe && dnic.remote_cq().full()) {
+    f->cq_attempts++;
+    UNR_CHECK_MSG(f->cq_attempts < cfg_.retry.max_attempts,
+                  "remote CQ on node " << dst_node << " never drained ("
+                                       << f->cq_attempts << " NACKs)");
     (void)dnic.remote_cq().push({});  // records the overflow in CQ stats
     stats_.cq_retries++;
-    const Time retry = kernel_.now() + cfg_.profile.cq_retry_delay;
-    kernel_.post_at(retry, [this, a, d = std::move(data), retry, attempts]() mutable {
-      deliver_put(a, std::move(d), retry, attempts + 1);
+    const Time delay = nack_backoff_delay(f->cq_attempts);
+    stats_.resilience.backoff_ns += static_cast<std::uint64_t>(delay);
+    const Time retry = kernel_.now() + delay;
+    kernel_.post_at(retry, [this, f = std::move(f), retry]() mutable {
+      deliver_put(std::move(f), retry);
     });
     return;
   }
 
-  if (a->size > 0) {
-    std::byte* dst = memory_.resolve(a->dst, a->size);
-    std::memcpy(dst, data.data(), a->size);
+  if (a.size > 0) {
+    std::byte* dst = memory_.resolve(a.dst, a.size);
+    std::memcpy(dst, f->data.data(), a.size);
   }
 
   // Level-4 hardware offload: atomic add applied by the NIC itself.
-  if (a->hw_add_target != nullptr) {
-    *a->hw_add_target += a->hw_addend;
-    if (a->hw_notify) a->hw_notify();
+  if (a.hw_add_target != nullptr) {
+    *a.hw_add_target += a.hw_addend;
+    if (a.hw_notify) a.hw_notify();
   }
 
-  if (a->want_remote_cqe) {
+  if (a.want_remote_cqe) {
     const bool ok = dnic.remote_cq().push(
-        {CqeKind::kPutDelivered, a->src_rank, a->size, a->remote_imm, kernel_.now()});
+        {CqeKind::kPutDelivered, a.src_rank, a.size, a.remote_imm, kernel_.now()});
     UNR_CHECK(ok);
     dnic.fire_remote_cqe_hook();
   }
-  if (a->on_delivered) a->on_delivered();
+  if (a.on_delivered) a.on_delivered();
 
   // Local completion: the sender learns of completion one ACK later.
-  const int src_node = node_of(a->src_rank);
+  const int src_node = node_of(a.src_rank);
   Time ack_lat = cfg_.profile.wire_latency;
   if (src_node == dst_node)
     ack_lat = static_cast<Time>(static_cast<double>(ack_lat) * kIntraLatencyFactor);
-  kernel_.post_at(arrival + ack_lat, [this, a, src_node] {
-    Nic& snic = nic(src_node, a->nic_index);
-    if (a->want_local_cqe) {
+  kernel_.post_at(arrival + ack_lat, [this, f = std::move(f), src_node] {
+    PutArgs& args = f->args;
+    int lidx = args.nic_index;
+    if (nic(src_node, lidx).failed()) {
+      lidx = pick_healthy_nic(src_node, lidx);
+      if (!f->redirect_counted) {
+        f->redirect_counted = true;
+        stats_.resilience.failovers++;
+      }
+    }
+    Nic& snic = nic(src_node, lidx);
+    if (args.want_local_cqe) {
       // The local CQ is drained by the owner's progress engine; treat
       // overflow as fatal (real stacks size the send CQ to the SQ depth).
       const bool ok = snic.local_cq().push(
-          {CqeKind::kPutComplete, a->dst.rank, a->size, a->local_imm, kernel_.now()});
+          {CqeKind::kPutComplete, args.dst.rank, args.size, args.local_imm, kernel_.now()});
       UNR_CHECK_MSG(ok, "local CQ overflow on node " << src_node);
       snic.fire_local_cqe_hook();
     }
-    if (a->on_local_complete) a->on_local_complete();
+    if (args.on_local_complete) args.on_local_complete();
   });
 }
 
@@ -158,6 +348,10 @@ void Fabric::get(GetArgs args) {
   const int owner_node = node_of(args.src.rank);
   int nic_idx = args.nic_index < 0 ? default_nic(args.src_rank) : args.nic_index;
   UNR_CHECK(nic_idx < nics_per_node());
+  if (nic(reader_node, nic_idx).failed()) {
+    nic_idx = pick_healthy_nic(reader_node, nic_idx);
+    stats_.resilience.failovers++;
+  }
   args.nic_index = nic_idx;
 
   args.remote_imm = args.remote_imm.truncated(iface_.effective_get_remote());
@@ -174,13 +368,19 @@ void Fabric::get(GetArgs args) {
 
   auto a = std::make_shared<GetArgs>(std::move(args));
   kernel_.post_at(req_arrival, [this, a, reader_node, owner_node] {
-    // The owner's NIC serializes the response.
-    Nic& onic = nic(owner_node, a->nic_index);
+    // The owner's NIC serializes the response; a dead NIC hands the request
+    // to a surviving one.
+    int oidx = a->nic_index;
+    if (nic(owner_node, oidx).failed()) {
+      oidx = pick_healthy_nic(owner_node, oidx);
+      stats_.resilience.failovers++;
+    }
+    Nic& onic = nic(owner_node, oidx);
     const Time resp_tx = onic.reserve_tx(kernel_.now(), a->size);
 
     // Snapshot the data at response time (this is when the NIC reads memory).
     auto data = std::make_shared<std::vector<std::byte>>(a->size);
-    kernel_.post_at(resp_tx, [this, a, data, owner_node, reader_node, resp_tx] {
+    kernel_.post_at(resp_tx, [this, a, data, owner_node, reader_node, resp_tx, oidx] {
       if (a->size > 0) {
         const std::byte* src = memory_.resolve(a->src, a->size);
         std::memcpy(data->data(), src, a->size);
@@ -189,7 +389,7 @@ void Fabric::get(GetArgs args) {
       // Verbs offers 0 GET custom bits at remote — the CQE is silently
       // unavailable and upper layers must compensate (Table II).
       if (a->want_remote_cqe && iface_.get_remote_bits != 0) {
-        Nic& onic2 = nic(owner_node, a->nic_index);
+        Nic& onic2 = nic(owner_node, oidx);
         (void)onic2.remote_cq().push(
             {CqeKind::kGetDelivered, a->src_rank, a->size, a->remote_imm, kernel_.now()});
         onic2.fire_remote_cqe_hook();
@@ -207,7 +407,12 @@ void Fabric::get(GetArgs args) {
           if (a->hw_notify) a->hw_notify();
         }
         if (a->want_local_cqe) {
-          Nic& rnic2 = nic(reader_node, a->nic_index);
+          int ridx = a->nic_index;
+          if (nic(reader_node, ridx).failed()) {
+            ridx = pick_healthy_nic(reader_node, ridx);
+            stats_.resilience.failovers++;
+          }
+          Nic& rnic2 = nic(reader_node, ridx);
           const bool ok = rnic2.local_cq().push(
               {CqeKind::kGetComplete, a->src.rank, a->size, a->local_imm, kernel_.now()});
           UNR_CHECK_MSG(ok, "local CQ overflow on node " << reader_node);
@@ -230,21 +435,52 @@ void Fabric::send_am(int src_rank, int dst_rank, int channel,
   UNR_CHECK(dst_rank >= 0 && dst_rank < nranks());
   const int src_node = node_of(src_rank);
   const int dst_node = node_of(dst_rank);
-  const int nic_idx = nic_index < 0 ? default_nic(src_rank) : nic_index;
+  int nic_idx = nic_index < 0 ? default_nic(src_rank) : nic_index;
+  if (nic(src_node, nic_idx).failed()) {
+    // Control traffic reroutes transparently: an AM carries protocol state
+    // (rendezvous, companions) that must not die with one NIC.
+    nic_idx = pick_healthy_nic(src_node, nic_idx);
+    stats_.resilience.failovers++;
+  }
 
   stats_.ams++;
 
   Nic& snic = nic(src_node, nic_idx);
   const Time tx_done =
       snic.reserve_tx(kernel_.now(), payload.size() + static_cast<std::size_t>(am_header_bytes()));
-  const Time arrival = wire_arrival(src_node, dst_node, tx_done, ordered, src_rank, dst_rank);
+  Time arrival = wire_arrival(src_node, dst_node, tx_done, ordered, src_rank, dst_rank);
+  const Time held = injector_.extra_delay();
+  if (held > 0) {
+    stats_.resilience.injected_delays++;
+    arrival += held;
+  }
 
-  kernel_.post_at(arrival, [this, src_rank, dst_rank, channel, p = std::move(payload)] {
-    auto it = am_handlers_.find({dst_rank, channel});
-    UNR_CHECK_MSG(it != am_handlers_.end(), "no AM handler for rank "
-                                                << dst_rank << " channel " << channel);
-    it->second(src_rank, p);
-  });
+  auto m = std::make_shared<AmFlight>();
+  m->src_rank = src_rank;
+  m->dst_rank = dst_rank;
+  m->channel = channel;
+  m->payload = std::move(payload);
+  kernel_.post_at(arrival, [this, m = std::move(m)]() mutable { deliver_am(std::move(m)); });
+}
+
+void Fabric::deliver_am(std::shared_ptr<AmFlight> m) {
+  // Link-level retransmission on injected drops: control traffic (rendezvous,
+  // companions) must eventually arrive or the protocol wedges.
+  if (injector_.drop_delivery()) {
+    stats_.resilience.injected_drops++;
+    stats_.resilience.retransmits++;
+    m->attempts++;
+    UNR_CHECK_MSG(m->attempts <= cfg_.retry.max_attempts,
+                  "AM to rank " << m->dst_rank << " exceeded "
+                                << cfg_.retry.max_attempts << " attempts");
+    kernel_.post_in(cfg_.fault_detect_delay + cfg_.profile.wire_latency,
+                    [this, m = std::move(m)]() mutable { deliver_am(std::move(m)); });
+    return;
+  }
+  auto it = am_handlers_.find({m->dst_rank, m->channel});
+  UNR_CHECK_MSG(it != am_handlers_.end(), "no AM handler for rank "
+                                              << m->dst_rank << " channel " << m->channel);
+  it->second(m->src_rank, m->payload);
 }
 
 std::uint64_t Fabric::total_cq_overflows() const {

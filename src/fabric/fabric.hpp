@@ -22,6 +22,7 @@
 #include "common/rng.hpp"
 #include "common/units.hpp"
 #include "fabric/custom_bits.hpp"
+#include "fabric/fault.hpp"
 #include "fabric/memory.hpp"
 #include "fabric/nic.hpp"
 #include "sim/kernel.hpp"
@@ -31,6 +32,22 @@ namespace unr::fabric {
 
 class Fabric {
  public:
+  /// NACK/backoff policy for deliveries that find the remote CQ full, and
+  /// the retransmission cap for injected drops. The first retry waits the
+  /// profile's cq_retry_delay (the backoff base); subsequent retries grow by
+  /// `multiplier` up to `max_delay`, with a deterministic per-retry jitter
+  /// that desynchronizes retriers (a fixed delay marches every NACKed sender
+  /// in lockstep, turning one overflow into a retry storm).
+  struct RetryPolicy {
+    double multiplier = 2.0;  ///< backoff growth per consecutive NACK
+    Time max_delay = 0;       ///< delay cap; 0 = 32x the backoff base
+    double jitter_frac = 0.25;  ///< jitter window as a fraction of the delay
+    /// Hard cap on delivery attempts (NACK retries + drop retransmissions):
+    /// if nothing drains the CQ for this long, the configuration is broken
+    /// and we fail loudly instead of spinning the event loop forever.
+    int max_attempts = 100000;
+  };
+
   struct Config {
     int nodes = 2;
     int ranks_per_node = 1;
@@ -38,6 +55,11 @@ class Fabric {
     std::size_t max_regions_per_rank = 0;  ///< 0 = unlimited
     std::uint64_t seed = 1;
     bool deterministic_routing = false;    ///< disable jitter entirely
+    RetryPolicy retry;
+    FaultConfig faults;
+    /// Sender-side timeout before a delivery lost to a NIC failure or an
+    /// injected drop is detected and re-issued.
+    Time fault_detect_delay = 10 * kUs;
   };
 
   Fabric(sim::Kernel& kernel, Config cfg);
@@ -52,6 +74,13 @@ class Fabric {
   int default_nic(int rank) const { return rank % nics_per_node(); }
 
   Nic& nic(int node, int index);
+  const Nic& nic(int node, int index) const;
+  /// The first healthy NIC on `node` at or after `preferred` (round-robin);
+  /// fails loudly when every NIC on the node is dead.
+  int pick_healthy_nic(int node, int preferred) const;
+  /// Indices of the node's NICs that have not failed, in ascending order.
+  std::vector<int> healthy_nics(int node) const;
+  int healthy_nic_count(int node) const;
   sim::Machine& machine() { return machine_; }
   sim::Node& node_of_rank(int rank) { return machine_.node(node_of(rank)); }
   MemRegistry& memory() { return memory_; }
@@ -84,6 +113,13 @@ class Fabric {
     /// Zero-cost hooks for the runtime layer (window counters, rendezvous).
     std::function<void()> on_delivered;
     std::function<void()> on_local_complete;
+
+    /// Resilience hook: invoked (after fault_detect_delay) when the message
+    /// was lost to a NIC that failed mid-flight. When set, the CALLER owns
+    /// recovery — UNR's splitter re-issues the sub-message on a surviving
+    /// NIC with the MMAS addends re-encoded. When unset, the fabric
+    /// retransmits on a surviving NIC itself.
+    std::function<void()> on_lost;
   };
   void put(PutArgs a);
 
@@ -121,6 +157,17 @@ class Fabric {
   void send_am(int src_rank, int dst_rank, int channel, std::vector<std::byte> payload,
                int nic_index = -1, bool ordered = false);
 
+  /// Health and recovery counters for the resilience layer.
+  struct ResilienceStats {
+    std::uint64_t backoff_ns = 0;       ///< virtual time spent in NACK backoff
+    std::uint64_t injected_drops = 0;   ///< deliveries dropped by the injector
+    std::uint64_t injected_delays = 0;  ///< deliveries held up by the injector
+    std::uint64_t retransmits = 0;      ///< wire traversals repeated after a drop
+    std::uint64_t nic_failures = 0;     ///< NICs failed by the fault schedule
+    std::uint64_t lost_to_nic = 0;      ///< messages lost inside a dying NIC
+    std::uint64_t failovers = 0;        ///< deliveries moved to a surviving NIC
+  };
+
   struct Stats {
     std::uint64_t puts = 0;
     std::uint64_t gets = 0;
@@ -128,17 +175,28 @@ class Fabric {
     std::uint64_t put_bytes = 0;
     std::uint64_t get_bytes = 0;
     std::uint64_t cq_retries = 0;  ///< deliveries NACKed on a full remote CQ
+    ResilienceStats resilience;
   };
   const Stats& stats() const { return stats_; }
 
   /// Total remote-CQ overflow events across all NICs.
   std::uint64_t total_cq_overflows() const;
 
+  /// Backoff delay before NACK retry number `attempt` (1-based). Exposed for
+  /// tests and the fault-ablation bench.
+  Time nack_backoff_delay(int attempt);
+
  private:
+  struct Flight;    // one PUT in transit (args + payload + attempt bookkeeping)
+  struct AmFlight;  // one active message in transit
+
   Time wire_arrival(int src_node, int dst_node, Time tx_done, bool ordered, int src_rank,
                     int dst_rank);
-  void deliver_put(std::shared_ptr<PutArgs> a, std::vector<std::byte> data, Time arrival,
-                   int attempts);
+  void launch_put(std::shared_ptr<Flight> f);
+  void arrive_put(std::shared_ptr<Flight> f, Time arrival);
+  void deliver_put(std::shared_ptr<Flight> f, Time arrival);
+  void recover_lost_put(std::shared_ptr<Flight> f);
+  void deliver_am(std::shared_ptr<AmFlight> m);
   Time am_header_bytes() const { return 64; }
 
   sim::Kernel& kernel_;
@@ -148,7 +206,9 @@ class Fabric {
   MemRegistry memory_;
   std::vector<std::vector<std::unique_ptr<Nic>>> nics_;  // [node][index]
   Rng rng_;
+  FaultInjector injector_;
   Stats stats_;
+  std::uint64_t backoff_seq_ = 0;  // distinct jitter hash input per NACK
   std::map<std::pair<int, int>, Time> fifo_tail_;  // ordered-traffic FIFO per (src,dst)
   std::map<std::pair<int, int>, AmHandler> am_handlers_;  // (rank, channel)
 };

@@ -1,0 +1,35 @@
+#include "fabric/fault.hpp"
+
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace unr::fabric {
+
+FaultInjector::FaultInjector(FaultConfig cfg, std::uint64_t seed)
+    : cfg_(std::move(cfg)),
+      // A fixed offset keeps the injector's stream independent of the
+      // fabric's routing-jitter stream: enabling faults must not perturb
+      // the arrival jitter of messages that are NOT faulted.
+      rng_(seed ^ 0xFA017EC7ull) {
+  UNR_CHECK_MSG(cfg_.drop_rate >= 0.0 && cfg_.drop_rate < 1.0,
+                "drop_rate must be in [0, 1): " << cfg_.drop_rate);
+  UNR_CHECK_MSG(cfg_.delay_rate >= 0.0 && cfg_.delay_rate <= 1.0,
+                "delay_rate must be in [0, 1]: " << cfg_.delay_rate);
+}
+
+bool FaultInjector::drop_delivery() {
+  if (cfg_.drop_rate <= 0.0) return false;
+  if (rng_.uniform() >= cfg_.drop_rate) return false;
+  ++drops_;
+  return true;
+}
+
+Time FaultInjector::extra_delay() {
+  if (cfg_.delay_rate <= 0.0) return 0;
+  if (rng_.uniform() >= cfg_.delay_rate) return 0;
+  ++delays_;
+  return static_cast<Time>(rng_.below(static_cast<std::uint64_t>(cfg_.delay_max) + 1));
+}
+
+}  // namespace unr::fabric

@@ -1,0 +1,93 @@
+// Fault injection for the simulated fabric.
+//
+// Real interconnects hide most of their failure modes from benchmarks: link
+// CRC errors become silent retransmissions, a flaky NIC becomes a slow NIC,
+// and a congested completion queue becomes a retry storm. A DES earns its
+// keep by making those events explicit, schedulable and — given a seed —
+// exactly reproducible. The injector can:
+//   * drop a one-way delivery with a configured probability (the fabric
+//     retransmits it, like a reliable link layer),
+//   * hold a delivery up by a uniform extra delay,
+//   * fail a NIC at a virtual timestamp (traffic fails over to the node's
+//     surviving NICs),
+//   * put artificial pressure on a remote completion queue for a while,
+//     forcing the NACK/backoff path without corrupting queue contents.
+//
+// Determinism contract: the injector owns a private RNG forked from the
+// fabric seed, and draws from it ONLY when the corresponding fault class is
+// enabled. With a default FaultConfig every stream in the simulation is
+// bit-identical to a build without the injector.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+
+namespace unr::fabric {
+
+struct FaultConfig {
+  /// Probability that a one-way delivery (PUT data, active message) is lost
+  /// on the wire. Lost deliveries are retransmitted after the fabric's
+  /// detection timeout, up to the retry-policy attempt cap.
+  double drop_rate = 0.0;
+  /// Probability that a delivery is held up by an extra uniform delay.
+  double delay_rate = 0.0;
+  /// Maximum extra delay for a held-up delivery (uniform in [0, delay_max]).
+  Time delay_max = 20 * kUs;
+
+  /// Fail one NIC at a virtual timestamp. A failed NIC never recovers;
+  /// traffic posted to it (and traffic it had not yet injected) fails over
+  /// to the node's surviving NICs.
+  struct NicFault {
+    int node = 0;
+    int index = 0;
+    Time at = 0;
+  };
+  std::vector<NicFault> nic_faults;
+
+  /// Occupy `entries` slots of a remote completion queue for `duration`
+  /// (0 = forever). Deliveries that need a CQE slot are NACKed and enter the
+  /// backoff loop, reproducing an overflow burst without fabricating CQEs.
+  struct CqBurst {
+    int node = 0;
+    int index = 0;
+    Time at = 0;
+    std::size_t entries = 0;
+    Time duration = 0;
+  };
+  std::vector<CqBurst> cq_bursts;
+
+  bool any_enabled() const {
+    return drop_rate > 0.0 || delay_rate > 0.0 || !nic_faults.empty() ||
+           !cq_bursts.empty();
+  }
+};
+
+class FaultInjector {
+ public:
+  FaultInjector(FaultConfig cfg, std::uint64_t seed);
+
+  const FaultConfig& config() const { return cfg_; }
+
+  /// Should this wire traversal be dropped? Draws from the private RNG only
+  /// when drop_rate > 0.
+  bool drop_delivery();
+
+  /// Extra delivery delay for this traversal (0 when delay injection is off
+  /// or the draw misses). Draws only when delay_rate > 0.
+  Time extra_delay();
+
+  std::uint64_t drops_injected() const { return drops_; }
+  std::uint64_t delays_injected() const { return delays_; }
+
+ private:
+  FaultConfig cfg_;
+  Rng rng_;
+  std::uint64_t drops_ = 0;
+  std::uint64_t delays_ = 0;
+};
+
+}  // namespace unr::fabric

@@ -41,6 +41,21 @@ class Nic {
 
   Time busy_until() const { return busy_until_; }
 
+  // --- Failure state (fault injection) ---
+  /// Mark the NIC as failed at virtual time `when`. A failed NIC never
+  /// recovers; messages it had not finished injecting by `when` are lost and
+  /// the fabric fails them over to the node's surviving NICs.
+  void fail(Time when) {
+    if (failed_) return;
+    failed_ = true;
+    failed_at_ = when;
+  }
+  bool failed() const { return failed_; }
+  Time failed_at() const { return failed_at_; }
+  /// Was the message whose injection finishes at `tx_done` lost to this
+  /// NIC's failure? (It was still in the send engine when the NIC died.)
+  bool lost_in_tx(Time tx_done) const { return failed_ && failed_at_ < tx_done; }
+
   CompletionQueue& local_cq() { return local_cq_; }
   CompletionQueue& remote_cq() { return remote_cq_; }
 
@@ -60,6 +75,8 @@ class Nic {
   double gbps_;
   Time overhead_;
   Time busy_until_ = 0;
+  bool failed_ = false;
+  Time failed_at_ = 0;
   std::uint64_t tx_messages_ = 0;
   std::uint64_t tx_bytes_ = 0;
   CompletionQueue local_cq_;

@@ -107,7 +107,7 @@ RequestPtr Comm::irecv(int self, int src, int tag, void* buf, std::size_t size) 
     if (it->rendezvous) {
       accept_rts(self, it->src, it->rdv_id, buf, it->size, req);
     } else {
-      std::memcpy(buf, it->payload.data(), it->size);
+      if (it->size > 0) std::memcpy(buf, it->payload.data(), it->size);
       charge(fabric_, prof.memcpy_time(it->size));
       req->done = true;
     }
@@ -157,7 +157,8 @@ void Comm::handle_eager(int dst, int src, const std::vector<std::byte>& payload)
     if (!matches(it->src, it->tag, src, h.tag)) continue;
     UNR_CHECK_MSG(h.size <= it->size, "receive buffer too small: message of "
                                           << h.size << " bytes into " << it->size);
-    std::memcpy(it->buf, payload.data() + sizeof(EagerHeader), h.size);
+    if (h.size > 0)  // zero-byte recv may legally post a null buffer
+      std::memcpy(it->buf, payload.data() + sizeof(EagerHeader), h.size);
     it->req->cpu_charge += fabric_.profile().memcpy_time(h.size);
     it->req->complete();
     st.posted.erase(it);

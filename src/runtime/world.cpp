@@ -12,6 +12,9 @@ World::World(Config cfg) : cfg_(std::move(cfg)) {
   fc.max_regions_per_rank = cfg_.max_regions_per_rank;
   fc.seed = cfg_.seed;
   fc.deterministic_routing = cfg_.deterministic_routing;
+  fc.retry = cfg_.retry;
+  fc.faults = cfg_.faults;
+  fc.fault_detect_delay = cfg_.fault_detect_delay;
   fabric_ = std::make_unique<fabric::Fabric>(kernel_, fc);
   comm_ = std::make_unique<Comm>(*fabric_);
 }

@@ -27,6 +27,9 @@ class World {
     std::uint64_t seed = 1;
     std::size_t max_regions_per_rank = 0;
     bool deterministic_routing = false;
+    fabric::Fabric::RetryPolicy retry;   ///< NACK backoff + attempt cap
+    fabric::FaultConfig faults;          ///< fault-injection schedule
+    Time fault_detect_delay = 10 * kUs;  ///< loss-detection timeout
   };
 
   explicit World(Config cfg);

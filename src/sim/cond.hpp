@@ -11,6 +11,7 @@
 
 #include <vector>
 
+#include "common/check.hpp"
 #include "sim/kernel.hpp"
 
 namespace unr::sim {
@@ -29,6 +30,23 @@ class Cond {
   template <typename Pred>
   void wait(Pred pred) {
     while (!pred()) wait();
+  }
+
+  /// Block until `pred()` returns true or `timeout` virtual ns pass.
+  /// Returns the final pred() value (false = timed out). A timer event wakes
+  /// the actor at the deadline; if the predicate was satisfied earlier, the
+  /// fired timer surfaces as a spurious wakeup somewhere later, which every
+  /// wait in the simulation domain tolerates by design.
+  template <typename Pred>
+  bool wait_for(Pred pred, Time timeout) {
+    if (pred()) return true;
+    Kernel* k = Kernel::current();
+    const int self = Kernel::current_actor_id();
+    UNR_CHECK_MSG(k != nullptr && self >= 0, "Cond::wait_for() outside an actor");
+    const Time deadline = k->now() + timeout;
+    k->post_at(deadline, [k, self] { k->wake(self); });
+    while (!pred() && k->now() < deadline) wait();
+    return pred();
   }
 
   /// Register an actor as a waiter WITHOUT blocking. Used to wait on the

@@ -47,6 +47,10 @@ class Level4Channel final : public Channel {
       const std::int64_t addend = op.l_addend;
       a.on_local_complete = [s, addend] { s->apply(addend); };
     }
+    // Hardware notification rides with the data, so a fragment lost to a NIC
+    // failure can always be re-put with identical addends.
+    Unr* ctx = &ctx_;
+    a.on_lost = [ctx, op] { ctx->handle_fragment_failover(op); };
     ctx_.fabric().put(std::move(a));
   }
 

@@ -77,6 +77,14 @@ class NativeChannel final : public Channel {
 
     // The companion must not overtake the data.
     a.ordered = need_companion;
+    // NIC-failure recovery: when the notification travels entirely with the
+    // data, the fragment can be re-put on a surviving NIC with the same
+    // addends. With a companion in flight re-putting would notify twice, so
+    // those fragments keep the fabric's transparent retransmission instead.
+    if (!need_companion) {
+      Unr* ctx = &ctx_;
+      a.on_lost = [ctx, op] { ctx->handle_fragment_failover(op); };
+    }
     const int dst_rank = op.remote.rank;
     ctx_.fabric().put(std::move(a));
     if (need_companion)

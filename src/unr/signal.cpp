@@ -23,8 +23,12 @@ void Signal::apply(std::int64_t addend) {
 }
 
 void Signal::hw_notify() {
-  // The hardware already performed the add; replicate apply()'s wakeup.
-  if (counter_ == 0) cond_.notify_all();
+  // The hardware already performed the add; replicate apply()'s wakeup —
+  // INCLUDING the overflow case. An over-arrival flips the overflow bit and
+  // carries the counter past zero without ever equalling it; waiters must
+  // still wake (to warn and return), or sig_wait blocks forever on a
+  // synchronization bug the overflow bit exists to expose.
+  if (counter_ == 0 || overflow_detected()) cond_.notify_all();
 }
 
 void Signal::warn(const std::string& what) {
@@ -54,6 +58,18 @@ void Signal::wait() {
   cond_.wait([&] { return counter_ == 0 || overflow_detected(); });
   if (overflow_detected())
     warn("overflow bit set in wait — more events arrived than num_event");
+}
+
+bool Signal::wait_for(Time timeout) {
+  if (overflow_detected()) {
+    warn("overflow bit set in wait — more events arrived than num_event");
+    return true;  // the counter cannot reach zero any more
+  }
+  const bool done =
+      cond_.wait_for([&] { return counter_ == 0 || overflow_detected(); }, timeout);
+  if (overflow_detected())
+    warn("overflow bit set in wait — more events arrived than num_event");
+  return done;
 }
 
 bool Signal::test() {

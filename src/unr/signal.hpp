@@ -62,6 +62,12 @@ class Signal {
   /// overflow check).
   bool test();
 
+  /// Like wait(), but gives up after `timeout` virtual ns. Returns true when
+  /// the signal triggered (or overflowed — with the usual warning), false on
+  /// timeout. Lets applications detect a wedged transfer (e.g. every NIC on
+  /// the peer's node failed) instead of hanging.
+  bool wait_for(Time timeout);
+
   /// The wait queue (used by Unr::sig_wait_any to block on several signals;
   /// wakeups may be spurious, callers re-check their predicate).
   sim::Cond& cond() { return cond_; }

@@ -84,6 +84,9 @@ Signal& Unr::sig_at(int node, SigId id) const {
 void Unr::sig_reset(int self, SigId sig) { sig_at(node_of(self), sig).reset(); }
 void Unr::sig_wait(int self, SigId sig) { sig_at(node_of(self), sig).wait(); }
 bool Unr::sig_test(int self, SigId sig) { return sig_at(node_of(self), sig).test(); }
+bool Unr::sig_wait_for(int self, SigId sig, Time timeout) {
+  return sig_at(node_of(self), sig).wait_for(timeout);
+}
 
 std::size_t Unr::sig_wait_any(int self, std::span<const SigId> sigs) {
   UNR_CHECK(!sigs.empty());
@@ -128,11 +131,18 @@ Blk Unr::blk_init(int self, const MemHandle& mem, std::size_t offset, std::size_
   return b;
 }
 
-int Unr::decide_split(const Blk& remote, std::size_t size, const PutOptions& opts) const {
+int Unr::decide_split(int self, const Blk& remote, std::size_t size,
+                      const PutOptions& opts) const {
   if (opts.force_split > 0) return opts.force_split;
   if (!cfg_.multi_channel || !channel_->multi_channel()) return 1;
   if (size < cfg_.split_threshold) return 1;
   int k = cfg_.max_split > 0 ? cfg_.max_split : world_.fabric().nics_per_node();
+  // A dead NIC is not worth a fragment: once failures strike, degrade a
+  // K-way split to the node's surviving NIC count rather than queueing
+  // traffic on hardware that will only fail over anyway. (Without failures
+  // k may intentionally exceed the NIC count — fragments then share NICs.)
+  const int healthy = world_.fabric().healthy_nic_count(node_of(self));
+  if (healthy < world_.fabric().nics_per_node()) k = std::min(k, std::max(1, healthy));
   k = std::min<int>(k, static_cast<int>(size));  // at least one byte per fragment
   // Splitting without a destination signal has no aggregation to pay for,
   // but also nothing to gain for small k; still allowed.
@@ -172,7 +182,7 @@ void Unr::do_xfer(bool is_put, int self, const Blk& local, const Blk& remote,
     return;
   }
 
-  const int k = is_put ? decide_split(remote, size, opts) : 1;
+  const int k = is_put ? decide_split(self, remote, size, opts) : 1;
   sim::busy(prof.rma_post_overhead +
             static_cast<Time>(k - 1) * (prof.rma_post_overhead / 2));
 
@@ -182,7 +192,11 @@ void Unr::do_xfer(bool is_put, int self, const Blk& local, const Blk& remote,
     stats_.gets++;
   stats_.fragments += static_cast<std::uint64_t>(k - 1);
 
-  const int nics = world_.fabric().nics_per_node();
+  // Round-robin fragments over the node's SURVIVING NICs. With no failures
+  // this is identical to round-robin over all NICs (healthy is [0, nics)).
+  const std::vector<int> healthy = world_.fabric().healthy_nics(node_of(self));
+  const int nh = static_cast<int>(healthy.size());
+  UNR_CHECK_MSG(nh > 0, "every NIC on node " << node_of(self) << " has failed");
   std::size_t off = 0;
   for (int i = 0; i < k; ++i) {
     const std::size_t chunk =
@@ -193,9 +207,10 @@ void Unr::do_xfer(bool is_put, int self, const Blk& local, const Blk& remote,
     op.local = static_cast<std::byte*>(lptr) + off;
     op.remote = fabric::MemRef{remote.rank, remote.mr, remote.offset + off};
     op.size = chunk;
-    op.nic = opts.nic >= 0 ? opts.nic
-                           : (k == 1 ? world_.fabric().default_nic(self)
-                                     : (world_.fabric().default_nic(self) + i) % nics);
+    op.nic = opts.nic >= 0
+                 ? opts.nic
+                 : healthy[static_cast<std::size_t>(
+                       (world_.fabric().default_nic(self) + i) % nh)];
     if (rsig != kNoSig) {
       op.rsig = rsig;
       op.r_nbits = r_n;
@@ -253,6 +268,18 @@ void Unr::do_shm_xfer(bool is_put, int self, void* lptr, const Blk& remote,
   });
 }
 
+void Unr::handle_fragment_failover(const XferOp& op) {
+  stats_.failovers++;
+  XferOp re = op;
+  const int node = node_of(op.src_rank);
+  const int preferred = re.nic < 0 ? world_.fabric().default_nic(op.src_rank) : re.nic;
+  re.nic = world_.fabric().pick_healthy_nic(node, preferred);
+  // Re-put through the channel: the (p, a) addends are unchanged — the
+  // fragment was never delivered, so the signal is still owed exactly this
+  // addend — only the NIC (and hence the wire path) moves.
+  channel_->put(re);
+}
+
 void Unr::put(int self, const Blk& local, const Blk& remote, const PutOptions& opts) {
   do_xfer(true, self, local, remote, opts);
 }
@@ -284,6 +311,16 @@ void Unr::print_stats(std::ostream& os) const {
   os << "  fabric: puts " << fs.puts << " (" << fs.put_bytes << " B), gets "
      << fs.gets << " (" << fs.get_bytes << " B), AMs " << fs.ams
      << ", CQ retries " << fs.cq_retries << "\n";
+  const auto& rs = fs.resilience;
+  if (rs.injected_drops + rs.injected_delays + rs.nic_failures + rs.failovers +
+          rs.retransmits + stats_.failovers >
+      0) {
+    os << "  resilience: drops " << rs.injected_drops << ", delays "
+       << rs.injected_delays << ", retransmits " << rs.retransmits
+       << ", NIC failures " << rs.nic_failures << ", lost-to-NIC " << rs.lost_to_nic
+       << ", failovers " << rs.failovers << " (fragments re-issued: "
+       << stats_.failovers << "), backoff " << rs.backoff_ns << " ns\n";
+  }
   std::size_t signals = 0;
   for (const auto& table : sigs_) signals += table.size();
   os << "  signals allocated: " << signals << "\n";

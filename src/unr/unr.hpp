@@ -79,6 +79,9 @@ class Unr {
   void sig_reset(int self, SigId sig);
   void sig_wait(int self, SigId sig);
   bool sig_test(int self, SigId sig);
+  /// sig_wait with a deadline: false = `timeout` virtual ns passed without
+  /// the signal triggering (e.g. the transfer wedged on a failed fabric).
+  bool sig_wait_for(int self, SigId sig, Time timeout);
   /// Block until ANY of `sigs` triggers; returns its index within `sigs`.
   /// Lets consumers process completions in arrival order (e.g. the
   /// pipelined transpose of Fig. 3e). Triggered entries the caller has
@@ -118,6 +121,7 @@ class Unr {
     std::uint64_t companions = 0;      ///< ordered companion notifications
     std::uint64_t encode_fallbacks = 0;///< (p,a) did not fit in the custom bits
     std::uint64_t shm_fastpath = 0;    ///< intra-node kernel-assisted copies
+    std::uint64_t failovers = 0;       ///< fragments re-issued after a NIC died
   };
   const Stats& stats() const { return stats_; }
   Stats& mutable_stats() { return stats_; }
@@ -131,6 +135,11 @@ class Unr {
   /// Apply a decoded (index, code) notification on `node`'s signal table.
   void apply_notification(int node, SigId id, std::int64_t code);
   int node_of(int rank) const { return world_.fabric().node_of(rank); }
+  /// Re-issue a fragment whose first transmission died with a failed NIC.
+  /// Channels install this (via PutArgs::on_lost) when the notification can
+  /// be re-encoded safely; the fragment is re-put on a surviving NIC, so a
+  /// K-way split degrades to (K-1)-way instead of hanging the signal.
+  void handle_fragment_failover(const XferOp& op);
 
  private:
   friend class Plan;
@@ -139,7 +148,8 @@ class Unr {
     int count;
     std::int64_t r_lead, r_follow, l_lead, l_follow;  // raw addends
   };
-  int decide_split(const Blk& remote, std::size_t size, const PutOptions& opts) const;
+  int decide_split(int self, const Blk& remote, std::size_t size,
+                   const PutOptions& opts) const;
   void do_xfer(bool is_put, int self, const Blk& local, const Blk& remote,
                const PutOptions& opts);
   void do_shm_xfer(bool is_put, int self, void* lptr, const Blk& remote,

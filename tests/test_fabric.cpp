@@ -87,6 +87,31 @@ TEST(CompletionQueue, PushPopOverflow) {
   EXPECT_EQ(q.pushed(), 3u);
 }
 
+TEST(CompletionQueue, PopOnEmptyFailsLoudly) {
+  // Regression: pop() on an empty queue used to read q_.front() of an empty
+  // deque — undefined behavior. It must fail loudly instead.
+  CompletionQueue q(2);
+  EXPECT_THROW(q.pop(), std::logic_error);
+  q.push({});
+  q.pop();
+  EXPECT_THROW(q.pop(), std::logic_error);
+}
+
+TEST(CompletionQueue, PressureOccupiesSlotsWithoutContent) {
+  CompletionQueue q(2);
+  q.add_pressure(2);
+  EXPECT_TRUE(q.full());
+  EXPECT_TRUE(q.empty());  // pressure is not content
+  EXPECT_FALSE(q.push({}));
+  EXPECT_EQ(q.overflows(), 1u);
+  q.release_pressure(1);
+  EXPECT_TRUE(q.push({}));
+  EXPECT_TRUE(q.full());
+  q.release_pressure(5);  // over-release clamps at zero
+  EXPECT_EQ(q.pressure(), 0u);
+  EXPECT_FALSE(q.full());
+}
+
 TEST(Fabric, PutMovesDataAndSignalsDelivery) {
   Kernel k;
   Fabric f(k, two_node_cfg());
@@ -267,6 +292,41 @@ TEST(Fabric, CqOverflowNacksAndRetries) {
   });
   EXPECT_EQ(delivered, 8);           // all land eventually
   EXPECT_GT(f.stats().cq_retries, 0u);  // but some had to retry
+}
+
+TEST(Fabric, CqRetryFailsLoudlyAtConfigurableAttemptCap) {
+  // Nobody ever drains the remote CQ: the NACK loop must hit the (lowered)
+  // attempt cap and fail loudly instead of spinning the event loop forever.
+  auto cfg = two_node_cfg();
+  cfg.profile.cq_depth = 1;
+  cfg.retry.max_attempts = 16;
+  Kernel k;
+  Fabric f(k, cfg);
+  std::vector<std::byte> dst(8);
+  const MrId mr = f.memory().register_region(1, dst.data(), dst.size());
+  std::byte one{1};
+  EXPECT_THROW(k.run(2,
+                     [&](int id) {
+                       if (id != 0) {
+                         Kernel::current()->sleep_for(100 * kMs);
+                         return;
+                       }
+                       for (int i = 0; i < 2; ++i) {
+                         Fabric::PutArgs a;
+                         a.src_rank = 0;
+                         a.src = &one;
+                         a.dst = {1, mr, 0};
+                         a.size = 1;
+                         a.want_remote_cqe = true;
+                         f.put(std::move(a));
+                       }
+                       Kernel::current()->sleep_for(100 * kMs);
+                     }),
+               std::logic_error);
+  // The first put filled the depth-1 CQ; the second burned all its retries.
+  EXPECT_EQ(f.stats().cq_retries, 15u);
+  EXPECT_GT(f.stats().resilience.backoff_ns, 0u);
+  EXPECT_GT(f.total_cq_overflows(), 0u);
 }
 
 TEST(Fabric, OrderedTrafficIsFifoPerPair) {

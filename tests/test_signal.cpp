@@ -178,6 +178,70 @@ TEST(Signal, HwNotifyWakesWaiters) {
   EXPECT_TRUE(woke);
 }
 
+TEST(Signal, HwNotifyWakesWaiterOnOverflow) {
+  // Regression: an over-arrival through the hardware path flips the overflow
+  // bit and carries the counter past zero without ever equalling it. The
+  // waiter must still wake (and see the overflow warning) — it used to hang.
+  WarnCapture warns;
+  sim::Kernel k;
+  Signal s(1, 16);
+  bool woke = false;
+  k.run(1, [&](int) {
+    sim::Kernel::current()->post_in(100, [&] {
+      *s.raw_counter() += -2;  // two events against num_event = 1
+      s.hw_notify();
+    });
+    s.wait();
+    woke = true;
+  });
+  EXPECT_TRUE(woke);
+  EXPECT_TRUE(s.overflow_detected());
+  EXPECT_GE(warns.count(), 1u);
+}
+
+TEST(Signal, ApplyOverflowAlsoWakesWaiter) {
+  // Same over-arrival through the software path.
+  WarnCapture warns;
+  sim::Kernel k;
+  Signal s(1, 16);
+  bool woke = false;
+  k.run(1, [&](int) {
+    sim::Kernel::current()->post_in(100, [&] { s.apply(-2); });
+    s.wait();
+    woke = true;
+  });
+  EXPECT_TRUE(woke);
+  EXPECT_TRUE(s.overflow_detected());
+}
+
+TEST(Signal, WaitForTimesOutWithoutEvents) {
+  sim::Kernel k;
+  Signal s(1, 32);
+  bool done = true;
+  Time woke = 0;
+  k.run(1, [&](int) {
+    done = s.wait_for(5 * kUs);
+    woke = sim::Kernel::current()->now();
+  });
+  EXPECT_FALSE(done);
+  EXPECT_EQ(woke, 5 * kUs);
+  EXPECT_FALSE(s.triggered());
+}
+
+TEST(Signal, WaitForReturnsEarlyOnTrigger) {
+  sim::Kernel k;
+  Signal s(1, 32);
+  bool done = false;
+  Time woke = 0;
+  k.run(1, [&](int) {
+    sim::Kernel::current()->post_in(750, [&] { s.apply(-1); });
+    done = s.wait_for(5 * kUs);
+    woke = sim::Kernel::current()->now();
+  });
+  EXPECT_TRUE(done);
+  EXPECT_EQ(woke, 750u);
+}
+
 TEST(Signal, AddendCodeRoundTrip) {
   for (int n : {4, 8, 16, 32, 48}) {
     EXPECT_EQ(Signal::encode_addend(-1, n), 0);
