@@ -30,6 +30,7 @@ std::uint64_t mix64(std::uint64_t x) {
 struct Fabric::Flight {
   PutArgs args;
   std::vector<std::byte> data;
+  std::uint64_t id = 0;    ///< stable per-flight identity (keys backoff jitter)
   Time tx_done = 0;        ///< when the source NIC finished injecting
   int wire_attempts = 0;   ///< wire traversals (first send + retransmissions)
   int cq_attempts = 0;     ///< consecutive NACKs at the destination CQ
@@ -42,6 +43,9 @@ struct Fabric::AmFlight {
   int dst_rank = -1;
   int channel = 0;
   std::vector<std::byte> payload;
+  int nic_index = 0;
+  bool ordered = false;
+  Time tx_done = 0;  ///< when the source NIC finished injecting
   int attempts = 1;
 };
 
@@ -129,12 +133,20 @@ int Fabric::healthy_nic_count(int node) const {
   return n;
 }
 
-Time Fabric::wire_arrival(int src_node, int dst_node, Time tx_done, bool ordered,
-                          int src_rank, int dst_rank) {
+Time Fabric::one_way_latency(int src_node, int dst_node) const {
   Time lat = cfg_.profile.wire_latency;
   if (src_node == dst_node)
     lat = static_cast<Time>(static_cast<double>(lat) * kIntraLatencyFactor);
-  Time arrival = tx_done + lat;
+  return lat;
+}
+
+Time Fabric::wire_arrival(int src_node, int dst_node, Time tx_done, bool ordered,
+                          int src_rank, int dst_rank, Time extra) {
+  // `extra` (injected delay, folded-in retransmission cost) is added BEFORE
+  // the FIFO slot is reserved: an ordered delivery that is held up pushes
+  // the whole (src,dst) channel back with it, so a companion launched later
+  // can never overtake it.
+  Time arrival = tx_done + one_way_latency(src_node, dst_node) + extra;
   if (!ordered && !cfg_.deterministic_routing && cfg_.profile.jitter > 0)
     arrival += static_cast<Time>(rng_.below(cfg_.profile.jitter + 1));
   if (ordered) {
@@ -145,7 +157,7 @@ Time Fabric::wire_arrival(int src_node, int dst_node, Time tx_done, bool ordered
   return arrival;
 }
 
-Time Fabric::nack_backoff_delay(int attempt) {
+Time Fabric::nack_backoff_delay(int attempt, std::uint64_t stream) const {
   const Time base = std::max<Time>(cfg_.profile.cq_retry_delay, 1);
   const Time cap = cfg_.retry.max_delay > 0
                        ? cfg_.retry.max_delay
@@ -158,12 +170,17 @@ Time Fabric::nack_backoff_delay(int attempt) {
   // The first retry keeps the exact base delay (bit-compatible with the
   // pre-backoff fabric for single NACKs); later retries add deterministic
   // jitter so that simultaneously-NACKed senders fan out instead of
-  // hammering the CQ in lockstep.
+  // hammering the CQ in lockstep. The jitter is a pure hash of
+  // (seed, stream, attempt) — distinct flights retrying the same attempt
+  // number desynchronize, and previewing delays never shifts the sequence
+  // the simulation itself sees.
   if (attempt > 1 && cfg_.retry.jitter_frac > 0.0) {
     const Time window =
         static_cast<Time>(static_cast<double>(delay) * cfg_.retry.jitter_frac);
     if (window > 0) {
-      const std::uint64_t h = mix64(cfg_.seed ^ (0x9e3779b97f4a7c15ull * ++backoff_seq_));
+      const std::uint64_t h =
+          mix64(cfg_.seed ^ mix64(stream + 1) ^
+                (0x9e3779b97f4a7c15ull * static_cast<std::uint64_t>(attempt)));
       delay += static_cast<Time>(h % (static_cast<std::uint64_t>(window) + 1));
     }
   }
@@ -186,6 +203,7 @@ void Fabric::put(PutArgs args) {
   stats_.put_bytes += args.size;
 
   auto f = std::make_shared<Flight>();
+  f->id = ++flight_seq_;
   // Snapshot the payload at post time: RMA semantics require the source
   // buffer to stay unchanged until local completion, and the snapshot makes
   // the simulator robust even if callers violate that.
@@ -212,15 +230,31 @@ void Fabric::launch_put(std::shared_ptr<Flight> f) {
                                     << cfg_.retry.max_attempts << " wire attempts");
 
   Nic& snic = nic(src_node, nic_idx);
-  const Time tx_done = snic.reserve_tx(kernel_.now(), a.size);
-  f->tx_done = tx_done;
-  Time arrival =
-      wire_arrival(src_node, dst_node, tx_done, a.ordered, a.src_rank, a.dst.rank);
+  Time tx_done = snic.reserve_tx(kernel_.now(), a.size);
   const Time held = injector_.extra_delay();
-  if (held > 0) {
-    stats_.resilience.injected_delays++;
-    arrival += held;
+  if (held > 0) stats_.resilience.injected_delays++;
+  if (a.ordered) {
+    // Ordered traffic rides an in-order reliable link: a dropped traversal
+    // stalls the channel until the link layer retransmits it — nothing
+    // queued behind it (a companion notification in particular) may
+    // overtake. Evaluate the drops up front and fold each retransmission's
+    // cost into the arrival that reserves the FIFO slot.
+    const Time lat = one_way_latency(src_node, dst_node);
+    while (injector_.drop_delivery()) {
+      f->wire_attempts++;
+      UNR_CHECK_MSG(f->wire_attempts <= cfg_.retry.max_attempts,
+                    "delivery to rank " << a.dst.rank << " exceeded "
+                                        << cfg_.retry.max_attempts << " wire attempts");
+      stats_.resilience.injected_drops++;
+      stats_.resilience.retransmits++;
+      // The loss would have landed at tx_done + lat; the sender detects it
+      // fault_detect_delay later and re-serializes the payload.
+      tx_done = snic.reserve_tx(tx_done + lat + cfg_.fault_detect_delay, a.size);
+    }
   }
+  f->tx_done = tx_done;
+  const Time arrival = wire_arrival(src_node, dst_node, tx_done, a.ordered, a.src_rank,
+                                    a.dst.rank, held);
   kernel_.post_at(arrival, [this, f = std::move(f), arrival]() mutable {
     arrive_put(std::move(f), arrival);
   });
@@ -236,7 +270,9 @@ void Fabric::arrive_put(std::shared_ptr<Flight> f, Time arrival) {
                     [this, f = std::move(f)]() mutable { recover_lost_put(std::move(f)); });
     return;
   }
-  if (injector_.drop_delivery()) {
+  // Ordered flights evaluated their drops at launch (see launch_put) so the
+  // retransmissions could keep their FIFO slot.
+  if (!f->args.ordered && injector_.drop_delivery()) {
     stats_.resilience.injected_drops++;
     stats_.resilience.retransmits++;
     kernel_.post_in(cfg_.fault_detect_delay,
@@ -277,12 +313,12 @@ void Fabric::deliver_put(std::shared_ptr<Flight> f, Time arrival) {
 
   if (a.want_remote_cqe && dnic.remote_cq().full()) {
     f->cq_attempts++;
-    UNR_CHECK_MSG(f->cq_attempts < cfg_.retry.max_attempts,
+    UNR_CHECK_MSG(f->cq_attempts <= cfg_.retry.max_attempts,
                   "remote CQ on node " << dst_node << " never drained ("
                                        << f->cq_attempts << " NACKs)");
     (void)dnic.remote_cq().push({});  // records the overflow in CQ stats
     stats_.cq_retries++;
-    const Time delay = nack_backoff_delay(f->cq_attempts);
+    const Time delay = nack_backoff_delay(f->cq_attempts, f->id);
     stats_.resilience.backoff_ns += static_cast<std::uint64_t>(delay);
     const Time retry = kernel_.now() + delay;
     kernel_.post_at(retry, [this, f = std::move(f), retry]() mutable {
@@ -312,9 +348,7 @@ void Fabric::deliver_put(std::shared_ptr<Flight> f, Time arrival) {
 
   // Local completion: the sender learns of completion one ACK later.
   const int src_node = node_of(a.src_rank);
-  Time ack_lat = cfg_.profile.wire_latency;
-  if (src_node == dst_node)
-    ack_lat = static_cast<Time>(static_cast<double>(ack_lat) * kIntraLatencyFactor);
+  const Time ack_lat = one_way_latency(src_node, dst_node);
   kernel_.post_at(arrival + ack_lat, [this, f = std::move(f), src_node] {
     PutArgs& args = f->args;
     int lidx = args.nic_index;
@@ -433,48 +467,88 @@ void Fabric::send_am(int src_rank, int dst_rank, int channel,
                      std::vector<std::byte> payload, int nic_index, bool ordered) {
   UNR_CHECK(src_rank >= 0 && src_rank < nranks());
   UNR_CHECK(dst_rank >= 0 && dst_rank < nranks());
-  const int src_node = node_of(src_rank);
-  const int dst_node = node_of(dst_rank);
-  int nic_idx = nic_index < 0 ? default_nic(src_rank) : nic_index;
-  if (nic(src_node, nic_idx).failed()) {
-    // Control traffic reroutes transparently: an AM carries protocol state
-    // (rendezvous, companions) that must not die with one NIC.
-    nic_idx = pick_healthy_nic(src_node, nic_idx);
-    stats_.resilience.failovers++;
-  }
-
   stats_.ams++;
-
-  Nic& snic = nic(src_node, nic_idx);
-  const Time tx_done =
-      snic.reserve_tx(kernel_.now(), payload.size() + static_cast<std::size_t>(am_header_bytes()));
-  Time arrival = wire_arrival(src_node, dst_node, tx_done, ordered, src_rank, dst_rank);
-  const Time held = injector_.extra_delay();
-  if (held > 0) {
-    stats_.resilience.injected_delays++;
-    arrival += held;
-  }
 
   auto m = std::make_shared<AmFlight>();
   m->src_rank = src_rank;
   m->dst_rank = dst_rank;
   m->channel = channel;
   m->payload = std::move(payload);
+  m->nic_index = nic_index < 0 ? default_nic(src_rank) : nic_index;
+  m->ordered = ordered;
+  launch_am(std::move(m));
+}
+
+void Fabric::launch_am(std::shared_ptr<AmFlight> m) {
+  const int src_node = node_of(m->src_rank);
+  const int dst_node = node_of(m->dst_rank);
+  int nic_idx = m->nic_index;
+  if (nic(src_node, nic_idx).failed()) {
+    // Control traffic reroutes transparently: an AM carries protocol state
+    // (rendezvous, companions) that must not die with one NIC.
+    nic_idx = pick_healthy_nic(src_node, nic_idx);
+    stats_.resilience.failovers++;
+  }
+  m->nic_index = nic_idx;
+
+  Nic& snic = nic(src_node, nic_idx);
+  const std::size_t bytes =
+      m->payload.size() + static_cast<std::size_t>(am_header_bytes());
+  Time tx_done = snic.reserve_tx(kernel_.now(), bytes);
+  const Time held = injector_.extra_delay();
+  if (held > 0) stats_.resilience.injected_delays++;
+  if (m->ordered) {
+    // Same launch-time drop evaluation as ordered PUTs: the retransmission
+    // cost is folded into the FIFO slot, so an ordered companion stalls the
+    // channel instead of being overtaken by traffic queued behind it.
+    const Time lat = one_way_latency(src_node, dst_node);
+    while (injector_.drop_delivery()) {
+      m->attempts++;
+      UNR_CHECK_MSG(m->attempts <= cfg_.retry.max_attempts,
+                    "AM to rank " << m->dst_rank << " exceeded "
+                                  << cfg_.retry.max_attempts << " attempts");
+      stats_.resilience.injected_drops++;
+      stats_.resilience.retransmits++;
+      tx_done = snic.reserve_tx(tx_done + lat + cfg_.fault_detect_delay, bytes);
+    }
+  }
+  m->tx_done = tx_done;
+  const Time arrival =
+      wire_arrival(src_node, dst_node, tx_done, m->ordered, m->src_rank, m->dst_rank, held);
   kernel_.post_at(arrival, [this, m = std::move(m)]() mutable { deliver_am(std::move(m)); });
 }
 
 void Fabric::deliver_am(std::shared_ptr<AmFlight> m) {
+  // An AM still in a dying NIC's send engine is lost with it, exactly like a
+  // PUT — critically, this loses a companion TOGETHER with its data, so the
+  // recovery (data re-launches first, companion after) re-reserves FIFO
+  // slots in the original order.
+  const Nic& snic = nic(node_of(m->src_rank), m->nic_index);
+  if (snic.lost_in_tx(m->tx_done)) {
+    stats_.resilience.lost_to_nic++;
+    stats_.resilience.retransmits++;
+    m->attempts++;
+    UNR_CHECK_MSG(m->attempts <= cfg_.retry.max_attempts,
+                  "AM to rank " << m->dst_rank << " exceeded "
+                                << cfg_.retry.max_attempts << " attempts");
+    kernel_.post_in(cfg_.fault_detect_delay,
+                    [this, m = std::move(m)]() mutable { launch_am(std::move(m)); });
+    return;
+  }
   // Link-level retransmission on injected drops: control traffic (rendezvous,
-  // companions) must eventually arrive or the protocol wedges.
-  if (injector_.drop_delivery()) {
+  // companions) must eventually arrive or the protocol wedges. Ordered AMs
+  // evaluated their drops at launch (see launch_am) to keep their FIFO slot.
+  if (!m->ordered && injector_.drop_delivery()) {
     stats_.resilience.injected_drops++;
     stats_.resilience.retransmits++;
     m->attempts++;
     UNR_CHECK_MSG(m->attempts <= cfg_.retry.max_attempts,
                   "AM to rank " << m->dst_rank << " exceeded "
                                 << cfg_.retry.max_attempts << " attempts");
-    kernel_.post_in(cfg_.fault_detect_delay + cfg_.profile.wire_latency,
-                    [this, m = std::move(m)]() mutable { deliver_am(std::move(m)); });
+    // Re-enter the launch path: the retransmission consumes send-engine
+    // bandwidth and pays the (intra-node-scaled) wire latency again.
+    kernel_.post_in(cfg_.fault_detect_delay,
+                    [this, m = std::move(m)]() mutable { launch_am(std::move(m)); });
     return;
   }
   auto it = am_handlers_.find({m->dst_rank, m->channel});

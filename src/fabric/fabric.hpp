@@ -42,9 +42,11 @@ class Fabric {
     double multiplier = 2.0;  ///< backoff growth per consecutive NACK
     Time max_delay = 0;       ///< delay cap; 0 = 32x the backoff base
     double jitter_frac = 0.25;  ///< jitter window as a fraction of the delay
-    /// Hard cap on delivery attempts (NACK retries + drop retransmissions):
-    /// if nothing drains the CQ for this long, the configuration is broken
-    /// and we fail loudly instead of spinning the event loop forever.
+    /// Hard cap on delivery attempts (NACK retries + drop retransmissions),
+    /// interpreted identically on every path: attempts up to and including
+    /// max_attempts are allowed, attempt max_attempts + 1 fails loudly. If
+    /// nothing drains the CQ for this long, the configuration is broken and
+    /// we fail loudly instead of spinning the event loop forever.
     int max_attempts = 100000;
   };
 
@@ -182,20 +184,27 @@ class Fabric {
   /// Total remote-CQ overflow events across all NICs.
   std::uint64_t total_cq_overflows() const;
 
-  /// Backoff delay before NACK retry number `attempt` (1-based). Exposed for
-  /// tests and the fault-ablation bench.
-  Time nack_backoff_delay(int attempt);
+  /// Backoff delay before NACK retry number `attempt` (1-based). `stream`
+  /// selects the deterministic jitter sequence — the fabric keys it by
+  /// flight identity so simultaneously-NACKed senders desynchronize. A pure
+  /// function of the configuration, exposed for tests and the fault-ablation
+  /// bench: previewing delays cannot perturb simulation state.
+  Time nack_backoff_delay(int attempt, std::uint64_t stream = 0) const;
 
  private:
   struct Flight;    // one PUT in transit (args + payload + attempt bookkeeping)
   struct AmFlight;  // one active message in transit
 
+  /// One-way wire+switch latency between two nodes (intra-node traffic does
+  /// not cross the switch fabric and pays a scaled-down cost).
+  Time one_way_latency(int src_node, int dst_node) const;
   Time wire_arrival(int src_node, int dst_node, Time tx_done, bool ordered, int src_rank,
-                    int dst_rank);
+                    int dst_rank, Time extra = 0);
   void launch_put(std::shared_ptr<Flight> f);
   void arrive_put(std::shared_ptr<Flight> f, Time arrival);
   void deliver_put(std::shared_ptr<Flight> f, Time arrival);
   void recover_lost_put(std::shared_ptr<Flight> f);
+  void launch_am(std::shared_ptr<AmFlight> m);
   void deliver_am(std::shared_ptr<AmFlight> m);
   Time am_header_bytes() const { return 64; }
 
@@ -208,7 +217,7 @@ class Fabric {
   Rng rng_;
   FaultInjector injector_;
   Stats stats_;
-  std::uint64_t backoff_seq_ = 0;  // distinct jitter hash input per NACK
+  std::uint64_t flight_seq_ = 0;  // per-flight identity (keys backoff jitter)
   std::map<std::pair<int, int>, Time> fifo_tail_;  // ordered-traffic FIFO per (src,dst)
   std::map<std::pair<int, int>, AmHandler> am_handlers_;  // (rank, channel)
 };

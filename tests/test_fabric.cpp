@@ -323,8 +323,10 @@ TEST(Fabric, CqRetryFailsLoudlyAtConfigurableAttemptCap) {
                        Kernel::current()->sleep_for(100 * kMs);
                      }),
                std::logic_error);
-  // The first put filled the depth-1 CQ; the second burned all its retries.
-  EXPECT_EQ(f.stats().cq_retries, 15u);
+  // The first put filled the depth-1 CQ; the second burned all its retries:
+  // max_attempts NACKs are allowed, attempt max_attempts + 1 fails loudly
+  // (the same meaning the wire-retransmission cap has).
+  EXPECT_EQ(f.stats().cq_retries, 16u);
   EXPECT_GT(f.stats().resilience.backoff_ns, 0u);
   EXPECT_GT(f.total_cq_overflows(), 0u);
 }

@@ -83,6 +83,22 @@ TEST(Backoff, JitterIsBoundedAndDeterministic) {
   }
 }
 
+TEST(Backoff, PreviewIsConstAndPerFlightStreamsDesynchronize) {
+  auto cfg = two_node_cfg();
+  cfg.retry.jitter_frac = 0.25;
+  Kernel k;
+  // Const: previewing delays is a pure function of the configuration and can
+  // never shift the jitter sequence the simulation itself sees.
+  const Fabric f(k, cfg);
+  EXPECT_EQ(f.nack_backoff_delay(4, 17), f.nack_backoff_delay(4, 17));
+  // Different flights retrying the same attempt number fan out — this is
+  // what breaks up lockstep retry storms.
+  bool differs = false;
+  for (std::uint64_t s = 1; s <= 8 && !differs; ++s)
+    differs = f.nack_backoff_delay(4, s) != f.nack_backoff_delay(4, s + 8);
+  EXPECT_TRUE(differs);
+}
+
 TEST(Backoff, CustomPolicyRespected) {
   auto cfg = two_node_cfg();
   cfg.retry.multiplier = 1.0;  // fixed-delay policy (the pre-backoff behavior)
@@ -155,6 +171,124 @@ TEST(Resilience, InjectedDelayPostponesArrival) {
   EXPECT_GT(arrival, undelayed);
   EXPECT_LE(arrival, undelayed + cfg.faults.delay_max);
   EXPECT_EQ(f.stats().resilience.injected_delays, 1u);
+}
+
+TEST(Resilience, OrderedCompanionNeverOvertakesDataUnderDropsAndDelays) {
+  // The companion pattern at fabric level: an ordered data PUT immediately
+  // followed by an ordered AM on the same (src,dst) channel. Injected drops
+  // and delays must stall the FIFO, never reorder it — when the AM fires,
+  // the data it announces must already be visible.
+  auto cfg = two_node_cfg();
+  cfg.seed = 21;
+  cfg.faults.drop_rate = 0.3;
+  cfg.faults.delay_rate = 0.5;
+  cfg.faults.delay_max = 30 * kUs;
+  Kernel k;
+  Fabric f(k, cfg);
+  constexpr int kIters = 100;
+  constexpr std::size_t kMsg = 8;
+  std::vector<std::byte> dst(kIters * kMsg, std::byte{0});
+  const MrId mr = f.memory().register_region(1, dst.data(), dst.size());
+  int notified = 0;
+  f.set_am_handler(1, 7, [&](int, const std::vector<std::byte>& p) {
+    int i = -1;
+    ASSERT_EQ(p.size(), sizeof i);
+    std::memcpy(&i, p.data(), sizeof i);
+    for (std::size_t b = 0; b < kMsg; ++b)
+      ASSERT_EQ(dst[static_cast<std::size_t>(i) * kMsg + b],
+                static_cast<std::byte>(i & 0xFF))
+          << "companion overtook its data at iteration " << i;
+    notified++;
+  });
+  k.run(2, [&](int id) {
+    if (id != 0) {
+      Kernel::current()->sleep_for(100 * kMs);
+      return;
+    }
+    std::vector<std::byte> buf(kMsg);
+    for (int i = 0; i < kIters; ++i) {
+      std::fill(buf.begin(), buf.end(), static_cast<std::byte>(i & 0xFF));
+      Fabric::PutArgs a;
+      a.src_rank = 0;
+      a.src = buf.data();
+      a.dst = {1, mr, static_cast<std::size_t>(i) * kMsg};
+      a.size = kMsg;
+      a.ordered = true;
+      f.put(std::move(a));
+      std::vector<std::byte> payload(sizeof i);
+      std::memcpy(payload.data(), &i, sizeof i);
+      f.send_am(0, 1, 7, std::move(payload), -1, /*ordered=*/true);
+    }
+    Kernel::current()->sleep_for(100 * kMs);
+  });
+  EXPECT_EQ(notified, kIters);
+  EXPECT_GT(f.stats().resilience.injected_drops, 0u);
+  EXPECT_GT(f.stats().resilience.injected_delays, 0u);
+}
+
+TEST(Resilience, OrderedCompanionSurvivesMidFlightNicDeath) {
+  // A NIC dies while an ordered data+companion pair is still in its send
+  // engine: both messages are lost with the NIC and retransmitted in FIFO
+  // order (data first), so the notification still cannot overtake the data.
+  auto cfg = two_node_cfg(unr::make_th_xy());  // multi-NIC node
+  cfg.faults.nic_faults.push_back({.node = 0, .index = 0, .at = 5 * kUs});
+  Kernel k;
+  Fabric f(k, cfg);
+  const std::size_t msg = 1 * MiB;  // long serialization: dies mid-flight
+  std::vector<std::byte> src(msg), dst(msg, std::byte{0});
+  for (std::size_t i = 0; i < msg; ++i) src[i] = static_cast<std::byte>(i % 251);
+  const MrId mr = f.memory().register_region(1, dst.data(), dst.size());
+  bool notified = false;
+  f.set_am_handler(1, 7, [&](int, const std::vector<std::byte>&) {
+    EXPECT_EQ(std::memcmp(src.data(), dst.data(), msg), 0)
+        << "companion overtook the data lost to the NIC failure";
+    notified = true;
+  });
+  k.run(2, [&](int id) {
+    if (id != 0) {
+      Kernel::current()->sleep_for(10 * kMs);
+      return;
+    }
+    Fabric::PutArgs a;
+    a.src_rank = 0;
+    a.src = src.data();
+    a.dst = {1, mr, 0};
+    a.size = msg;
+    a.nic_index = 0;
+    a.ordered = true;
+    f.put(std::move(a));
+    f.send_am(0, 1, 7, std::vector<std::byte>(8), /*nic_index=*/0, /*ordered=*/true);
+    Kernel::current()->sleep_for(10 * kMs);
+  });
+  EXPECT_TRUE(notified);
+  EXPECT_GE(f.stats().resilience.lost_to_nic, 2u);  // the data AND its companion
+  EXPECT_GE(f.stats().resilience.retransmits, 2u);
+}
+
+TEST(Resilience, AmRetransmissionConsumesNicBandwidth) {
+  // A dropped AM re-enters the launch path: every retransmission reserves
+  // the source NIC's send engine again (one tx per traversal, not one per
+  // AM) and pays the wire latency through the normal arrival model.
+  auto cfg = two_node_cfg();
+  cfg.seed = 5;
+  cfg.faults.drop_rate = 0.25;
+  Kernel k;
+  Fabric f(k, cfg);
+  int delivered = 0;
+  f.set_am_handler(1, 3, [&](int, const std::vector<std::byte>&) { delivered++; });
+  k.run(2, [&](int id) {
+    if (id != 0) {
+      Kernel::current()->sleep_for(10 * kMs);
+      return;
+    }
+    for (int i = 0; i < 200; ++i)
+      f.send_am(0, 1, 3, std::vector<std::byte>(16), -1, /*ordered=*/false);
+    Kernel::current()->sleep_for(10 * kMs);
+  });
+  EXPECT_EQ(delivered, 200);
+  const auto& rs = f.stats().resilience;
+  EXPECT_GT(rs.injected_drops, 0u);
+  EXPECT_EQ(f.nic(0, 0).tx_messages(), f.stats().ams + rs.retransmits);
 }
 
 TEST(Resilience, CqBurstForcesBackoffThenDrains) {
@@ -431,6 +565,115 @@ TEST(Resilience, SplitDegradesToSurvivingNicCount) {
   // 3 fragments (k=3), not 4: the dead NIC earns no fragment.
   EXPECT_EQ(unr.stats().fragments, 2u);
   EXPECT_EQ(w.fabric().nic(0, 2).tx_messages(), 0u);
+}
+
+TEST(Resilience, Level0CompanionChannelDeliversUnderDrops) {
+  // Level 0 sends every notification as an ordered companion message behind
+  // its data. With drop injection on, the fabric's FIFO-preserving
+  // retransmission must keep each companion behind its (possibly dropped
+  // and retransmitted) data: when the final signal fires, every slice must
+  // already hold its payload.
+  World::Config wc;
+  wc.nodes = 2;
+  wc.ranks_per_node = 1;
+  wc.profile = unr::make_hpc_ib();
+  wc.deterministic_routing = true;
+  wc.seed = 13;
+  wc.faults.drop_rate = 0.2;
+  World w(wc);
+  Unr::Config ucfg;
+  ucfg.channel = ChannelKind::kLevel0;
+  Unr unr(w, ucfg);
+
+  constexpr int kIters = 30;
+  constexpr std::size_t kMsg = 4 * KiB;
+  std::vector<std::byte> src(kMsg), dst(kIters * kMsg, std::byte{0});
+  w.run([&](Rank& r) {
+    if (r.id() == 1) {
+      const MemHandle mh = unr.mem_reg(1, dst.data(), dst.size());
+      const SigId rsig = unr.sig_init(1, kIters);
+      const Blk rblk = unr.blk_init(1, mh, 0, dst.size(), rsig);
+      r.send(0, 1, &rblk, sizeof rblk);
+      unr.sig_wait(1, rsig);
+    } else {
+      const MemHandle mh = unr.mem_reg(0, src.data(), src.size());
+      Blk whole;
+      r.recv(1, 1, &whole, sizeof whole);
+      const Blk sblk = unr.blk_init(0, mh, 0, kMsg);
+      for (int i = 0; i < kIters; ++i) {
+        for (std::size_t b = 0; b < kMsg; ++b)
+          src[b] = static_cast<std::byte>((i + static_cast<int>(b)) % 253);
+        Blk slice = whole;
+        slice.offset = whole.offset + static_cast<std::size_t>(i) * kMsg;
+        slice.size = kMsg;
+        unr.put(0, sblk, slice);
+      }
+    }
+  });
+  // The signal fired: every slice's data must have been visible no later
+  // than its companion notification.
+  for (int i = 0; i < kIters; ++i)
+    for (std::size_t b = 0; b < kMsg; ++b)
+      ASSERT_EQ(dst[static_cast<std::size_t>(i) * kMsg + b],
+                static_cast<std::byte>((i + static_cast<int>(b)) % 253))
+          << "iteration " << i << " byte " << b;
+  EXPECT_GT(unr.stats().companions, 0u);
+  EXPECT_GT(w.fabric().stats().resilience.injected_drops, 0u);
+}
+
+TEST(Resilience, NativeCompanionFallbackDeliversUnderDrops) {
+  // The native channel's escape hatch (channel_native.cpp): when a split's
+  // MMAS addend does not fit the interface's custom bits (uTofu: 8 remote
+  // bits), the fragment degrades to an ordered PUT plus an ordered
+  // companion — exactly the pair that relies on fabric-internal,
+  // FIFO-preserving retransmission under drop injection.
+  unr::SystemProfile prof = unr::make_hpc_ib();
+  prof.iface = unr::Interface::kUtofu;
+  World::Config wc;
+  wc.nodes = 2;
+  wc.ranks_per_node = 1;
+  wc.profile = prof;
+  wc.deterministic_routing = true;
+  wc.seed = 29;
+  wc.faults.drop_rate = 0.15;
+  World w(wc);
+  Unr unr(w);  // auto => native channel
+
+  constexpr int kIters = 20;
+  constexpr std::size_t kMsg = 16 * KiB;
+  std::vector<std::byte> src(kMsg), dst(kIters * kMsg, std::byte{0});
+  w.run([&](Rank& r) {
+    if (r.id() == 1) {
+      const MemHandle mh = unr.mem_reg(1, dst.data(), dst.size());
+      const SigId rsig = unr.sig_init(1, kIters);
+      const Blk rblk = unr.blk_init(1, mh, 0, dst.size(), rsig);
+      r.send(0, 1, &rblk, sizeof rblk);
+      unr.sig_wait(1, rsig);
+    } else {
+      const MemHandle mh = unr.mem_reg(0, src.data(), src.size());
+      Blk whole;
+      r.recv(1, 1, &whole, sizeof whole);
+      const Blk sblk = unr.blk_init(0, mh, 0, kMsg);
+      for (int i = 0; i < kIters; ++i) {
+        for (std::size_t b = 0; b < kMsg; ++b)
+          src[b] = static_cast<std::byte>((3 * i + static_cast<int>(b)) % 241);
+        Blk slice = whole;
+        slice.offset = whole.offset + static_cast<std::size_t>(i) * kMsg;
+        slice.size = kMsg;
+        PutOptions opts;
+        opts.force_split = 2;  // MMAS addends overflow uTofu's 8 bits
+        unr.put(0, sblk, slice, opts);
+      }
+    }
+  });
+  for (int i = 0; i < kIters; ++i)
+    for (std::size_t b = 0; b < kMsg; ++b)
+      ASSERT_EQ(dst[static_cast<std::size_t>(i) * kMsg + b],
+                static_cast<std::byte>((3 * i + static_cast<int>(b)) % 241))
+          << "iteration " << i << " byte " << b;
+  EXPECT_GT(unr.stats().encode_fallbacks, 0u);  // the fallback actually fired
+  EXPECT_GT(unr.stats().companions, 0u);
+  EXPECT_GT(w.fabric().stats().resilience.injected_drops, 0u);
 }
 
 TEST(Resilience, SigWaitForTimesOutOnWedgedTransfer) {
