@@ -68,7 +68,8 @@ StepTimings run_point(const SystemProfile& prof, const ScalePoint& sp, std::size
 }
 
 void scaling_table(const SystemProfile& prof, const std::vector<ScalePoint>& points,
-                   std::size_t nx, std::size_t ny, std::size_t nz, int steps) {
+                   std::size_t nx, std::size_t ny, std::size_t nz, int steps,
+                   const unr::bench::WallTimer& budget_timer, double budget_sec) {
   std::cout << "--- " << prof.name << " strong scaling, grid " << nx << "x" << ny
             << "x" << nz << " (UNR backend) ---\n";
   TextTable t;
@@ -77,6 +78,15 @@ void scaling_table(const SystemProfile& prof, const std::vector<ScalePoint>& poi
   double base_total = 0, base_vel = 0, base_ppe = 0;
   int base_nodes = 0;
   for (const auto& sp : points) {
+    // Stop the sweep gracefully once the wall-clock budget is spent: the
+    // points already measured still print, larger ones are skipped (the CI
+    // perf job runs with a budget so a slow machine degrades coverage
+    // instead of timing out).
+    if (budget_sec > 0 && budget_timer.seconds() > budget_sec) {
+      std::cout << "(time budget of " << budget_sec << "s spent — skipping "
+                << sp.nodes << "+ node points)\n";
+      break;
+    }
     const StepTimings m = run_point(prof, sp, nx, ny, nz, steps);
     const double total = static_cast<double>(m.total) / 1e6;
     const double vel = static_cast<double>(m.velocity) / 1e6;
@@ -110,16 +120,19 @@ int main(int argc, char** argv) {
   // The per-rank block must stay compute-dominated for the halo overlap to
   // hide communication (the paper's per-rank grids are far larger still).
   const int steps = 3;
+  const unr::bench::WallTimer budget_timer;
   {
     std::vector<ScalePoint> pts{{2, 2, 2}, {4, 4, 2}, {8, 4, 4}, {16, 8, 4}};
     if (opt.full) pts.push_back({32, 8, 8});
-    scaling_table(make_th_2a(), pts, 128, 128, 64, steps);
+    scaling_table(make_th_2a(), pts, 128, 128, 64, steps, budget_timer,
+                  opt.time_budget_sec);
   }
   {
     std::vector<ScalePoint> pts{{4, 4, 2}, {8, 4, 4}, {16, 8, 4}, {32, 8, 8}};
     if (opt.full) pts.push_back({64, 16, 8});
     const std::size_t n = opt.full ? 256 : 128;
-    scaling_table(make_th_xy(), pts, n, n, 64, steps);
+    scaling_table(make_th_xy(), pts, n, n, 64, steps, budget_timer,
+                  opt.time_budget_sec);
   }
   return 0;
 }

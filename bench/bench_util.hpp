@@ -1,7 +1,11 @@
 // Shared helpers for the benchmark harnesses.
 #pragma once
 
+#include <sys/resource.h>
+
+#include <chrono>
 #include <cstring>
+#include <filesystem>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -13,10 +17,12 @@
 namespace unr::bench {
 
 /// Tiny flag parser: --quick (default scale), --full (paper-scale where
-/// feasible), --system=NAME (restrict to one platform).
+/// feasible), --system=NAME (restrict to one platform), --time-budget=SEC
+/// (sweeps stop early instead of blowing a CI budget).
 struct Options {
   bool full = false;
   std::string system;
+  double time_budget_sec = 0;  ///< 0 = unlimited
 
   static Options parse(int argc, char** argv) {
     Options o;
@@ -25,8 +31,11 @@ struct Options {
       if (a == "--full") o.full = true;
       else if (a == "--quick") o.full = false;
       else if (a.rfind("--system=", 0) == 0) o.system = a.substr(9);
+      else if (a.rfind("--time-budget=", 0) == 0) o.time_budget_sec = std::stod(a.substr(14));
+      else if (a == "--time-budget" && i + 1 < argc) o.time_budget_sec = std::stod(argv[++i]);
       else if (a == "--help" || a == "-h") {
-        std::cout << "flags: --quick (default) | --full | --system=NAME\n";
+        std::cout << "flags: --quick (default) | --full | --system=NAME | "
+                     "--time-budget=SEC\n";
         std::exit(0);
       }
     }
@@ -46,5 +55,43 @@ inline void banner(const std::string& title, const std::string& paper_note) {
 }
 
 inline std::string us(double ns) { return TextTable::num(ns / 1000.0, 2); }
+
+/// Peak resident-set size of this process so far, in MiB (Linux: ru_maxrss
+/// is reported in KiB). Monotonic over the process lifetime.
+inline double peak_rss_mib() {
+  struct rusage ru {};
+  getrusage(RUSAGE_SELF, &ru);
+  return static_cast<double>(ru.ru_maxrss) / 1024.0;
+}
+
+/// Monotonic wall-clock stopwatch for perf harnesses (virtual time measures
+/// the simulated machine; this measures the simulator itself).
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Walk up from the current directory looking for the repo root (the
+/// directory holding ROADMAP.md), so harnesses run from build/bench/ can
+/// drop artifacts like BENCH_wallclock.json at the repo root. Falls back to
+/// the current directory when not inside the repo.
+inline std::string find_repo_root() {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::path p = fs::current_path(ec);
+  if (ec) return ".";
+  for (; !p.empty(); p = p.parent_path()) {
+    if (fs::exists(p / "ROADMAP.md", ec)) return p.string();
+    if (p == p.root_path()) break;
+  }
+  return ".";
+}
 
 }  // namespace unr::bench

@@ -1,0 +1,362 @@
+// Wall-clock performance of the SIMULATOR itself.
+//
+// Every other harness in bench/ reports virtual time — what the simulated
+// machine would measure. This one measures the machine the simulator runs
+// on: wall-clock seconds, dispatched events per second, and peak RSS for a
+// set of representative scenarios (the Fig. 4 ping-pong sweep, the Fig. 7
+// quick strong-scaling point, the fault-ablation drop sweep). Simulator
+// throughput — events/sec — is what gates how much of the paper's parameter
+// space a reproduction can cover, so it gets a tracked trajectory:
+// the harness writes BENCH_wallclock.json at the repo root, and CI's perf
+// smoke job fails when a scenario regresses against the committed baseline.
+//
+// Flags:
+//   --smoke              run only the cheap smoke subset (CI perf job)
+//   --repeat=N           best-of-N wall timing per scenario (default 3)
+//   --out=PATH           where to write the JSON (default <repo>/BENCH_wallclock.json)
+//   --baseline=PATH      compare against a previous BENCH_wallclock.json;
+//                        embeds baseline/speedup per scenario in the output
+//                        and exits nonzero on regression > tolerance
+//   --tolerance=FRAC     allowed events/sec regression (default 0.20)
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "powerllel/solver.hpp"
+#include "runtime/world.hpp"
+#include "unr/unr.hpp"
+
+using namespace unr;
+using namespace unr::runtime;
+using namespace unr::unrlib;
+
+namespace {
+
+struct WallOptions {
+  bool smoke = false;
+  int repeat = 3;
+  std::string out;
+  std::string baseline;
+  double tolerance = 0.20;
+
+  static WallOptions parse(int argc, char** argv) {
+    WallOptions o;
+    for (int i = 1; i < argc; ++i) {
+      const std::string a = argv[i];
+      if (a == "--smoke") o.smoke = true;
+      else if (a.rfind("--repeat=", 0) == 0) o.repeat = std::stoi(a.substr(9));
+      else if (a.rfind("--out=", 0) == 0) o.out = a.substr(6);
+      else if (a.rfind("--baseline=", 0) == 0) o.baseline = a.substr(11);
+      else if (a.rfind("--tolerance=", 0) == 0) o.tolerance = std::stod(a.substr(12));
+      else if (a == "--help" || a == "-h") {
+        std::cout << "flags: --smoke | --repeat=N | --out=PATH | --baseline=PATH | "
+                     "--tolerance=FRAC\n";
+        std::exit(0);
+      } else {
+        std::cerr << "unknown flag: " << a << "\n";
+        std::exit(2);
+      }
+    }
+    return o;
+  }
+};
+
+/// One measured run of a scenario: how many events the kernel dispatched,
+/// how long that took in wall-clock, and how far virtual time advanced.
+struct RunSample {
+  std::uint64_t events = 0;
+  std::uint64_t virtual_ns = 0;
+  double wall_sec = 0;
+};
+
+struct ScenarioResult {
+  std::string name;
+  RunSample best;                 ///< best-of-N by wall time
+  double events_per_sec = 0;
+  double rss_after_mib = 0;
+  std::optional<double> baseline_eps;  ///< from --baseline, when present
+};
+
+// --- Scenarios --------------------------------------------------------------
+// Each returns the sample for ONE run; the driver repeats and keeps the best.
+
+/// Fig. 4 shape: UNR notified-PUT ping-pong across a size sweep on TH-XY.
+RunSample run_fig4_pingpong(const std::vector<std::size_t>& sizes, int iters) {
+  RunSample s;
+  for (std::size_t size : sizes) {
+    World::Config wc;
+    wc.nodes = 2;
+    wc.ranks_per_node = 1;
+    wc.profile = make_th_xy();
+    wc.deterministic_routing = true;
+    World w(wc);
+    Unr unr(w);
+    w.run([&](Rank& r) {
+      std::vector<std::byte> buf(size);
+      const MemHandle mh = unr.mem_reg(r.id(), buf.data(), buf.size());
+      const SigId rsig = unr.sig_init(r.id(), 1);
+      const Blk my_blk = unr.blk_init(r.id(), mh, 0, size, rsig);
+      const int peer = 1 - r.id();
+      Blk peer_blk;
+      r.sendrecv(peer, 1, &my_blk, sizeof my_blk, peer, 1, &peer_blk, sizeof peer_blk);
+      const Blk send_blk = unr.blk_init(r.id(), mh, 0, size);
+      for (int i = 0; i < iters; ++i) {
+        if (r.id() == 0) {
+          unr.put(0, send_blk, peer_blk);
+          unr.sig_wait(0, rsig);
+          unr.sig_reset(0, rsig);
+        } else {
+          unr.sig_wait(1, rsig);
+          unr.sig_reset(1, rsig);
+          unr.put(1, send_blk, peer_blk);
+        }
+      }
+    });
+    s.events += w.kernel().event_count();
+    s.virtual_ns += w.elapsed();
+  }
+  return s;
+}
+
+/// Fig. 7 shape: one strong-scaling point of mini-PowerLLEL on TH-XY with
+/// the UNR backend. This is the scenario the tentpole's >=2x target is
+/// measured on.
+RunSample run_fig7_point(int nodes, int pr, int pc, std::size_t nx, std::size_t ny,
+                         std::size_t nz, int steps) {
+  World::Config wc;
+  wc.nodes = nodes;
+  wc.ranks_per_node = 2;
+  wc.profile = make_th_xy();
+  wc.deterministic_routing = true;
+  World w(wc);
+  Unr unr(w);
+  const int threads = std::max(1, (wc.profile.cores_per_node - 2) / 2);
+  w.run([&](Rank& r) {
+    powerllel::SolverConfig sc;
+    sc.decomp.nx = nx;
+    sc.decomp.ny = ny;
+    sc.decomp.nz = nz;
+    sc.decomp.pr = pr;
+    sc.decomp.pc = pc;
+    sc.lz = 2.0;
+    sc.bc = powerllel::ZBc::kNoSlip;
+    sc.backend = powerllel::CommBackend::kUnr;
+    sc.unr = &unr;
+    sc.threads = threads;
+    powerllel::Solver s(r, sc);
+    s.init_velocity(
+        [](double x, double /*y*/, double z) { return std::sin(x) * z * (2 - z); },
+        [](double x, double y, double) { return 0.1 * std::cos(x + y); },
+        [](double, double, double) { return 0.0; });
+    s.run(steps);
+  });
+  RunSample s;
+  s.events = w.kernel().event_count();
+  s.virtual_ns = w.elapsed();
+  return s;
+}
+
+/// Fault-ablation shape: notified-put stream under CQ pressure and injected
+/// drops, swept over drop rates (NACK/backoff + retransmission machinery on
+/// the hot path).
+RunSample run_faults_sweep(const std::vector<double>& drop_rates, int iters) {
+  RunSample s;
+  for (double rate : drop_rates) {
+    World::Config wc;
+    wc.nodes = 2;
+    wc.ranks_per_node = 1;
+    wc.profile = make_th_xy();
+    wc.profile.cq_depth = 4;
+    wc.deterministic_routing = true;
+    wc.faults.drop_rate = rate;
+    wc.seed = 12345;
+    World w(wc);
+    Unr::Config uc;
+    uc.engine.poll_interval = 10 * kUs;  // lazy drain: the CQ does overflow
+    Unr unr(w, uc);
+    const std::size_t msg = 4 * KiB;
+    w.run([&](Rank& r) {
+      std::vector<std::byte> buf(msg);
+      const MemHandle mh = unr.mem_reg(r.id(), buf.data(), buf.size());
+      if (r.id() == 1) {
+        const SigId rsig = unr.sig_init(1, iters);
+        const Blk rblk = unr.blk_init(1, mh, 0, msg, rsig);
+        r.send(0, 1, &rblk, sizeof rblk);
+        unr.sig_wait(1, rsig);
+      } else {
+        Blk rblk;
+        r.recv(1, 1, &rblk, sizeof rblk);
+        const Blk sblk = unr.blk_init(0, mh, 0, msg);
+        for (int i = 0; i < iters; ++i) unr.put(0, sblk, rblk);
+      }
+    });
+    s.events += w.kernel().event_count();
+    s.virtual_ns += w.elapsed();
+  }
+  return s;
+}
+
+// --- Driver -----------------------------------------------------------------
+
+struct Scenario {
+  std::string name;
+  bool in_smoke;
+  RunSample (*fn)();
+};
+
+// Scenario parameter sets are fixed constants shared by --smoke and the full
+// run, so numbers stay comparable across modes and across PRs.
+RunSample fig4_smoke() { return run_fig4_pingpong({8, 4 * KiB}, 30); }
+RunSample fig4_full() {
+  return run_fig4_pingpong({8, 256, 4 * KiB, 64 * KiB, 1 * MiB}, 60);
+}
+RunSample fig7_quick() { return run_fig7_point(8, 4, 4, 128, 128, 64, 3); }
+RunSample fig7_16n() { return run_fig7_point(16, 8, 4, 128, 128, 64, 3); }
+RunSample faults_smoke() { return run_faults_sweep({0.02}, 150); }
+RunSample faults_full() { return run_faults_sweep({0.0, 0.01, 0.05}, 300); }
+
+const std::vector<Scenario>& scenarios() {
+  static const std::vector<Scenario> all = {
+      {"fig4_pingpong_smoke", true, &fig4_smoke},
+      {"fig7_quick", true, &fig7_quick},
+      {"faults_sweep_smoke", true, &faults_smoke},
+      {"fig4_pingpong", false, &fig4_full},
+      {"fig7_scaling_16n", false, &fig7_16n},
+      {"faults_sweep", false, &faults_full},
+  };
+  return all;
+}
+
+/// Minimal extractor for the harness's own JSON: pulls
+/// (scenario name -> events_per_sec) pairs out of a previous output file.
+/// Not a general JSON parser — it only needs to read what emit_json writes.
+std::map<std::string, double> load_baseline(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "cannot open baseline " << path << "\n";
+    std::exit(2);
+  }
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string text = ss.str();
+  std::map<std::string, double> out;
+  std::size_t pos = 0;
+  while ((pos = text.find("\"name\":", pos)) != std::string::npos) {
+    const std::size_t q1 = text.find('"', pos + 7);
+    const std::size_t q2 = text.find('"', q1 + 1);
+    if (q1 == std::string::npos || q2 == std::string::npos) break;
+    const std::string name = text.substr(q1 + 1, q2 - q1 - 1);
+    const std::size_t eps = text.find("\"events_per_sec\":", q2);
+    if (eps == std::string::npos) break;
+    out[name] = std::stod(text.substr(eps + 17));
+    pos = eps;
+  }
+  return out;
+}
+
+std::string emit_json(const std::vector<ScenarioResult>& results, bool smoke) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os << "{\n";
+  os << "  \"schema\": \"unr-bench-wallclock-v1\",\n";
+  os << "  \"mode\": \"" << (smoke ? "smoke" : "full") << "\",\n";
+  os.precision(1);
+  os << "  \"peak_rss_mib\": " << unr::bench::peak_rss_mib() << ",\n";
+  os << "  \"scenarios\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const ScenarioResult& r = results[i];
+    os << "    {\"name\": \"" << r.name << "\", ";
+    os << "\"events\": " << r.best.events << ", ";
+    os.precision(4);
+    os << "\"wall_sec\": " << r.best.wall_sec << ", ";
+    os.precision(0);
+    os << "\"events_per_sec\": " << r.events_per_sec << ", ";
+    os << "\"virtual_ns\": " << r.best.virtual_ns << ", ";
+    os.precision(1);
+    os << "\"rss_after_mib\": " << r.rss_after_mib;
+    if (r.baseline_eps) {
+      os.precision(0);
+      os << ", \"baseline_events_per_sec\": " << *r.baseline_eps;
+      os.precision(2);
+      os << ", \"speedup_vs_baseline\": " << r.events_per_sec / *r.baseline_eps;
+    }
+    os << "}" << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n";
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const WallOptions opt = WallOptions::parse(argc, argv);
+  unr::bench::banner("Simulator wall-clock performance (events/sec)",
+                     "the trajectory metric for how much of the paper's parameter "
+                     "space this reproduction can cover");
+
+  std::map<std::string, double> baseline;
+  if (!opt.baseline.empty()) baseline = load_baseline(opt.baseline);
+
+  std::vector<ScenarioResult> results;
+  TextTable t;
+  t.header({"scenario", "events", "wall (s)", "events/sec", "virt time", "RSS (MiB)"});
+  for (const Scenario& sc : scenarios()) {
+    if (opt.smoke && !sc.in_smoke) continue;
+    ScenarioResult r;
+    r.name = sc.name;
+    for (int rep = 0; rep < std::max(1, opt.repeat); ++rep) {
+      unr::bench::WallTimer timer;
+      RunSample s = sc.fn();
+      s.wall_sec = timer.seconds();
+      if (rep == 0 || s.wall_sec < r.best.wall_sec) r.best = s;
+    }
+    r.events_per_sec = static_cast<double>(r.best.events) / r.best.wall_sec;
+    r.rss_after_mib = unr::bench::peak_rss_mib();
+    auto it = baseline.find(r.name);
+    if (it != baseline.end()) r.baseline_eps = it->second;
+    results.push_back(r);
+    t.row({r.name, std::to_string(r.best.events), TextTable::num(r.best.wall_sec, 3),
+           TextTable::num(r.events_per_sec, 0), format_time(r.best.virtual_ns),
+           TextTable::num(r.rss_after_mib, 1)});
+  }
+  std::cout << t << "\n";
+
+  const std::string json = emit_json(results, opt.smoke);
+  std::cout << "BENCH_JSON " << "wallclock\n" << json;
+
+  const std::string out_path =
+      opt.out.empty() ? unr::bench::find_repo_root() + "/BENCH_wallclock.json" : opt.out;
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "cannot write " << out_path << "\n";
+    return 2;
+  }
+  out << json;
+  std::cout << "wrote " << out_path << "\n";
+
+  // Regression gate for CI: any measured scenario that fell more than
+  // `tolerance` below the committed baseline's events/sec fails the run.
+  bool regressed = false;
+  for (const ScenarioResult& r : results) {
+    if (!r.baseline_eps) continue;
+    const double floor = *r.baseline_eps * (1.0 - opt.tolerance);
+    if (r.events_per_sec < floor) {
+      std::cerr << "PERF REGRESSION: " << r.name << " at "
+                << static_cast<std::uint64_t>(r.events_per_sec)
+                << " events/sec, baseline "
+                << static_cast<std::uint64_t>(*r.baseline_eps) << " (floor "
+                << static_cast<std::uint64_t>(floor) << ")\n";
+      regressed = true;
+    }
+  }
+  return regressed ? 1 : 0;
+}

@@ -36,3 +36,17 @@ namespace unr {
       ::unr::check_fail(#expr, __FILE__, __LINE__, os_.str());    \
     }                                                             \
   } while (0)
+
+// UNR_DCHECK: debug-only checks for per-element hot loops (field accessors
+// run ~100x per grid cell per step — always-on checks there dominate the
+// simulator's wall time, unlike the per-event invariants above). Enabled in
+// debug builds and whenever UNR_ENABLE_DCHECKS is defined (the sanitizer CI
+// configuration turns them on explicitly so Release+ASan still validates
+// indices).
+#if !defined(NDEBUG) || defined(UNR_ENABLE_DCHECKS)
+#define UNR_DCHECK(expr) UNR_CHECK(expr)
+#else
+#define UNR_DCHECK(expr) \
+  do {                   \
+  } while (0)
+#endif

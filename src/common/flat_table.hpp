@@ -1,0 +1,102 @@
+// Minimal open-addressing hash table keyed by a packed 64-bit integer.
+//
+// The simulator's per-pair state (ordered-traffic FIFO tails keyed by
+// (src_rank, dst_rank)) sits on the per-message hot path; std::map's
+// node-per-entry rb-tree costs an allocation per new pair and a pointer
+// chase per lookup. This table stores entries in one contiguous power-of-two
+// array with linear probing — the common lookup touches a single cache line.
+//
+// Restrictions (deliberate, for the simulator's use):
+//   * key 0xFFFF...FF is reserved as the empty sentinel (rank pairs packed
+//     as (src << 32) | dst never collide with it),
+//   * no erase (per-pair state lives for the fabric's lifetime),
+//   * values must be default-constructible.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace unr {
+
+/// splitmix64 finalizer: cheap, high-quality mixing for packed integer keys.
+inline std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x;
+}
+
+/// Pack two non-negative 32-bit ids (ranks) into one table key.
+inline std::uint64_t pack_pair(int a, int b) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(a)) << 32) |
+         static_cast<std::uint64_t>(static_cast<std::uint32_t>(b));
+}
+
+template <class V>
+class FlatU64Map {
+ public:
+  static constexpr std::uint64_t kEmptyKey = ~std::uint64_t{0};
+
+  FlatU64Map() = default;
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Value for `key`, inserting a default-constructed one on first use.
+  V& get_or_insert(std::uint64_t key) {
+    UNR_CHECK(key != kEmptyKey);
+    if (slots_.empty() || (size_ + 1) * 8 > slots_.size() * 7) grow();
+    Entry& e = probe(key);
+    if (e.key == kEmptyKey) {
+      e.key = key;
+      ++size_;
+    }
+    return e.value;
+  }
+
+  /// Pointer to the value for `key`, or nullptr when absent.
+  V* find(std::uint64_t key) {
+    if (slots_.empty()) return nullptr;
+    Entry& e = probe(key);
+    return e.key == key ? &e.value : nullptr;
+  }
+  const V* find(std::uint64_t key) const {
+    return const_cast<FlatU64Map*>(this)->find(key);
+  }
+
+ private:
+  struct Entry {
+    std::uint64_t key = kEmptyKey;
+    V value{};
+  };
+
+  Entry& probe(std::uint64_t key) {
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = static_cast<std::size_t>(mix64(key)) & mask;
+    while (slots_[i].key != key && slots_[i].key != kEmptyKey) i = (i + 1) & mask;
+    return slots_[i];
+  }
+
+  void grow() {
+    std::vector<Entry> old = std::move(slots_);
+    slots_.assign(old.empty() ? 16 : old.size() * 2, Entry{});
+    for (Entry& e : old) {
+      if (e.key == kEmptyKey) continue;
+      const std::size_t mask = slots_.size() - 1;
+      std::size_t i = static_cast<std::size_t>(mix64(e.key)) & mask;
+      while (slots_[i].key != kEmptyKey) i = (i + 1) & mask;
+      slots_[i] = std::move(e);
+    }
+  }
+
+  std::vector<Entry> slots_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace unr

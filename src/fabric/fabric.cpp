@@ -12,21 +12,15 @@ namespace {
 /// Intra-node traffic does not cross the switch fabric.
 constexpr double kIntraLatencyFactor = 0.25;
 
-/// splitmix64: cheap deterministic hash for backoff jitter. Not drawn from
-/// the fabric RNG so that NACK retries never perturb the routing-jitter
-/// stream of unrelated messages.
-std::uint64_t mix64(std::uint64_t x) {
-  x ^= x >> 30;
-  x *= 0xbf58476d1ce4e5b9ull;
-  x ^= x >> 27;
-  x *= 0x94d049bb133111ebull;
-  x ^= x >> 31;
-  return x;
-}
+/// Recycled AM payload buffers kept beyond this are returned to the heap;
+/// steady-state traffic needs roughly (in-flight AMs) buffers, far below it.
+constexpr std::size_t kAmArenaMax = 64;
 }  // namespace
 
 /// One PUT in transit: the caller's arguments, the payload snapshot, and the
 /// attempt bookkeeping the resilience layer needs to retransmit or fail over.
+/// Pooled: acquired in put(), released by the terminal handler of whichever
+/// event chain finishes the flight.
 struct Fabric::Flight {
   PutArgs args;
   std::vector<std::byte> data;
@@ -37,7 +31,8 @@ struct Fabric::Flight {
   bool redirect_counted = false;  ///< dst/local CQE redirect already counted
 };
 
-/// One active message in transit (payload + retransmission count).
+/// One active message in transit (payload + retransmission count). Pooled
+/// like Flight; its payload buffer is recycled into the AM arena.
 struct Fabric::AmFlight {
   int src_rank = -1;
   int dst_rank = -1;
@@ -60,13 +55,14 @@ Fabric::Fabric(sim::Kernel& kernel, Config cfg)
   UNR_CHECK(cfg_.nodes >= 1 && cfg_.ranks_per_node >= 1);
   UNR_CHECK(cfg_.profile.nics_per_node >= 1);
   UNR_CHECK(cfg_.retry.max_attempts >= 1 && cfg_.retry.multiplier >= 1.0);
-  nics_.resize(static_cast<std::size_t>(cfg_.nodes));
+  nics_.reserve(static_cast<std::size_t>(cfg_.nodes * cfg_.profile.nics_per_node));
   for (int n = 0; n < cfg_.nodes; ++n) {
     for (int i = 0; i < cfg_.profile.nics_per_node; ++i) {
-      nics_[static_cast<std::size_t>(n)].push_back(std::make_unique<Nic>(
-          n, i, cfg_.profile.nic_gbps, cfg_.profile.nic_overhead, cfg_.profile.cq_depth));
+      nics_.emplace_back(n, i, cfg_.profile.nic_gbps, cfg_.profile.nic_overhead,
+                         cfg_.profile.cq_depth);
     }
   }
+  am_handlers_.resize(static_cast<std::size_t>(nranks()));
 
   // Schedule the configured fault timeline. The events sit in the kernel's
   // queue until the run reaches their virtual timestamps.
@@ -97,16 +93,18 @@ Fabric::Fabric(sim::Kernel& kernel, Config cfg)
   }
 }
 
+Fabric::~Fabric() = default;
+
 Nic& Fabric::nic(int node, int index) {
   UNR_CHECK(node >= 0 && node < cfg_.nodes);
   UNR_CHECK(index >= 0 && index < nics_per_node());
-  return *nics_[static_cast<std::size_t>(node)][static_cast<std::size_t>(index)];
+  return nic_at(node, index);
 }
 
 const Nic& Fabric::nic(int node, int index) const {
   UNR_CHECK(node >= 0 && node < cfg_.nodes);
   UNR_CHECK(index >= 0 && index < nics_per_node());
-  return *nics_[static_cast<std::size_t>(node)][static_cast<std::size_t>(index)];
+  return nic_at(node, index);
 }
 
 int Fabric::pick_healthy_nic(int node, int preferred) const {
@@ -133,6 +131,64 @@ int Fabric::healthy_nic_count(int node) const {
   return n;
 }
 
+// --- Flight pools -----------------------------------------------------------
+
+Fabric::Flight* Fabric::acquire_flight() {
+  if (!flight_free_.empty()) {
+    Flight* f = flight_free_.back();
+    flight_free_.pop_back();
+    return f;
+  }
+  flight_pool_.push_back(std::make_unique<Flight>());
+  return flight_pool_.back().get();
+}
+
+void Fabric::release_flight(Flight* f) {
+  f->args = PutArgs{};  // drop the callbacks (they may pin caller state)
+  f->data.clear();      // keep capacity for the next payload snapshot
+  f->id = 0;
+  f->tx_done = 0;
+  f->wire_attempts = 0;
+  f->cq_attempts = 0;
+  f->redirect_counted = false;
+  flight_free_.push_back(f);
+}
+
+Fabric::AmFlight* Fabric::acquire_am_flight() {
+  if (!am_free_.empty()) {
+    AmFlight* m = am_free_.back();
+    am_free_.pop_back();
+    return m;
+  }
+  am_pool_.push_back(std::make_unique<AmFlight>());
+  return am_pool_.back().get();
+}
+
+void Fabric::release_am_flight(AmFlight* m) {
+  m->payload.clear();
+  m->tx_done = 0;
+  m->attempts = 1;
+  am_free_.push_back(m);
+}
+
+std::vector<std::byte> Fabric::acquire_am_buffer(std::size_t size) {
+  std::vector<std::byte> buf;
+  if (!am_arena_.empty()) {
+    buf = std::move(am_arena_.back());
+    am_arena_.pop_back();
+  }
+  buf.resize(size);
+  return buf;
+}
+
+void Fabric::recycle_am_buffer(std::vector<std::byte>&& buf) {
+  if (buf.capacity() == 0 || am_arena_.size() >= kAmArenaMax) return;
+  buf.clear();
+  am_arena_.push_back(std::move(buf));
+}
+
+// ----------------------------------------------------------------------------
+
 Time Fabric::one_way_latency(int src_node, int dst_node) const {
   Time lat = cfg_.profile.wire_latency;
   if (src_node == dst_node)
@@ -150,7 +206,7 @@ Time Fabric::wire_arrival(int src_node, int dst_node, Time tx_done, bool ordered
   if (!ordered && !cfg_.deterministic_routing && cfg_.profile.jitter > 0)
     arrival += static_cast<Time>(rng_.below(cfg_.profile.jitter + 1));
   if (ordered) {
-    Time& tail = fifo_tail_[{src_rank, dst_rank}];
+    Time& tail = fifo_tail_.get_or_insert(pack_pair(src_rank, dst_rank));
     if (arrival <= tail) arrival = tail + 1;
     tail = arrival;
   }
@@ -202,7 +258,7 @@ void Fabric::put(PutArgs args) {
   stats_.puts++;
   stats_.put_bytes += args.size;
 
-  auto f = std::make_shared<Flight>();
+  Flight* f = acquire_flight();
   f->id = ++flight_seq_;
   // Snapshot the payload at post time: RMA semantics require the source
   // buffer to stay unchanged until local completion, and the snapshot makes
@@ -210,10 +266,10 @@ void Fabric::put(PutArgs args) {
   f->data.resize(args.size);
   if (args.size > 0) std::memcpy(f->data.data(), args.src, args.size);
   f->args = std::move(args);
-  launch_put(std::move(f));
+  launch_put(f);
 }
 
-void Fabric::launch_put(std::shared_ptr<Flight> f) {
+void Fabric::launch_put(Flight* f) {
   PutArgs& a = f->args;
   const int src_node = node_of(a.src_rank);
   const int dst_node = node_of(a.dst.rank);
@@ -255,19 +311,16 @@ void Fabric::launch_put(std::shared_ptr<Flight> f) {
   f->tx_done = tx_done;
   const Time arrival = wire_arrival(src_node, dst_node, tx_done, a.ordered, a.src_rank,
                                     a.dst.rank, held);
-  kernel_.post_at(arrival, [this, f = std::move(f), arrival]() mutable {
-    arrive_put(std::move(f), arrival);
-  });
+  kernel_.post_at(arrival, [this, f, arrival] { arrive_put(f, arrival); });
 }
 
-void Fabric::arrive_put(std::shared_ptr<Flight> f, Time arrival) {
+void Fabric::arrive_put(Flight* f, Time arrival) {
   // Wire-level faults are evaluated once per traversal, at the instant the
   // message would have landed.
   const Nic& snic = nic(node_of(f->args.src_rank), f->args.nic_index);
   if (snic.lost_in_tx(f->tx_done)) {
     stats_.resilience.lost_to_nic++;
-    kernel_.post_in(cfg_.fault_detect_delay,
-                    [this, f = std::move(f)]() mutable { recover_lost_put(std::move(f)); });
+    kernel_.post_in(cfg_.fault_detect_delay, [this, f] { recover_lost_put(f); });
     return;
   }
   // Ordered flights evaluated their drops at launch (see launch_put) so the
@@ -275,28 +328,30 @@ void Fabric::arrive_put(std::shared_ptr<Flight> f, Time arrival) {
   if (!f->args.ordered && injector_.drop_delivery()) {
     stats_.resilience.injected_drops++;
     stats_.resilience.retransmits++;
-    kernel_.post_in(cfg_.fault_detect_delay,
-                    [this, f = std::move(f)]() mutable { launch_put(std::move(f)); });
+    kernel_.post_in(cfg_.fault_detect_delay, [this, f] { launch_put(f); });
     return;
   }
-  deliver_put(std::move(f), arrival);
+  deliver_put(f, arrival);
 }
 
-void Fabric::recover_lost_put(std::shared_ptr<Flight> f) {
+void Fabric::recover_lost_put(Flight* f) {
   stats_.resilience.failovers++;
   if (f->args.on_lost) {
     // The upper layer (UNR's splitter) re-issues the sub-message on a
-    // surviving NIC, re-encoding its notification.
-    f->args.on_lost();
+    // surviving NIC, re-encoding its notification. Detach the callback
+    // before releasing the flight: recovery may immediately acquire it.
+    auto on_lost = std::move(f->args.on_lost);
+    release_flight(f);
+    on_lost();
     return;
   }
   // No handler: the fabric retransmits itself; launch_put routes the flight
   // off the failed NIC.
   stats_.resilience.retransmits++;
-  launch_put(std::move(f));
+  launch_put(f);
 }
 
-void Fabric::deliver_put(std::shared_ptr<Flight> f, Time arrival) {
+void Fabric::deliver_put(Flight* f, Time arrival) {
   PutArgs& a = f->args;
   const int dst_node = node_of(a.dst.rank);
   // A CQE cannot land on a dead NIC; redirect it to a surviving one on the
@@ -321,9 +376,7 @@ void Fabric::deliver_put(std::shared_ptr<Flight> f, Time arrival) {
     const Time delay = nack_backoff_delay(f->cq_attempts, f->id);
     stats_.resilience.backoff_ns += static_cast<std::uint64_t>(delay);
     const Time retry = kernel_.now() + delay;
-    kernel_.post_at(retry, [this, f = std::move(f), retry]() mutable {
-      deliver_put(std::move(f), retry);
-    });
+    kernel_.post_at(retry, [this, f, retry] { deliver_put(f, retry); });
     return;
   }
 
@@ -346,10 +399,11 @@ void Fabric::deliver_put(std::shared_ptr<Flight> f, Time arrival) {
   }
   if (a.on_delivered) a.on_delivered();
 
-  // Local completion: the sender learns of completion one ACK later.
+  // Local completion: the sender learns of completion one ACK later; the
+  // ACK handler is the flight's terminal owner and returns it to the pool.
   const int src_node = node_of(a.src_rank);
   const Time ack_lat = one_way_latency(src_node, dst_node);
-  kernel_.post_at(arrival + ack_lat, [this, f = std::move(f), src_node] {
+  kernel_.post_at(arrival + ack_lat, [this, f, src_node] {
     PutArgs& args = f->args;
     int lidx = args.nic_index;
     if (nic(src_node, lidx).failed()) {
@@ -369,6 +423,7 @@ void Fabric::deliver_put(std::shared_ptr<Flight> f, Time arrival) {
       snic.fire_local_cqe_hook();
     }
     if (args.on_local_complete) args.on_local_complete();
+    release_flight(f);
   });
 }
 
@@ -460,7 +515,11 @@ void Fabric::get(GetArgs args) {
 
 void Fabric::set_am_handler(int rank, int channel, AmHandler h) {
   UNR_CHECK(rank >= 0 && rank < nranks());
-  am_handlers_[{rank, channel}] = std::move(h);
+  UNR_CHECK(channel >= 0);
+  auto& chans = am_handlers_[static_cast<std::size_t>(rank)];
+  if (static_cast<std::size_t>(channel) >= chans.size())
+    chans.resize(static_cast<std::size_t>(channel) + 1);
+  chans[static_cast<std::size_t>(channel)] = std::move(h);
 }
 
 void Fabric::send_am(int src_rank, int dst_rank, int channel,
@@ -469,17 +528,17 @@ void Fabric::send_am(int src_rank, int dst_rank, int channel,
   UNR_CHECK(dst_rank >= 0 && dst_rank < nranks());
   stats_.ams++;
 
-  auto m = std::make_shared<AmFlight>();
+  AmFlight* m = acquire_am_flight();
   m->src_rank = src_rank;
   m->dst_rank = dst_rank;
   m->channel = channel;
   m->payload = std::move(payload);
   m->nic_index = nic_index < 0 ? default_nic(src_rank) : nic_index;
   m->ordered = ordered;
-  launch_am(std::move(m));
+  launch_am(m);
 }
 
-void Fabric::launch_am(std::shared_ptr<AmFlight> m) {
+void Fabric::launch_am(AmFlight* m) {
   const int src_node = node_of(m->src_rank);
   const int dst_node = node_of(m->dst_rank);
   int nic_idx = m->nic_index;
@@ -515,10 +574,10 @@ void Fabric::launch_am(std::shared_ptr<AmFlight> m) {
   m->tx_done = tx_done;
   const Time arrival =
       wire_arrival(src_node, dst_node, tx_done, m->ordered, m->src_rank, m->dst_rank, held);
-  kernel_.post_at(arrival, [this, m = std::move(m)]() mutable { deliver_am(std::move(m)); });
+  kernel_.post_at(arrival, [this, m] { deliver_am(m); });
 }
 
-void Fabric::deliver_am(std::shared_ptr<AmFlight> m) {
+void Fabric::deliver_am(AmFlight* m) {
   // An AM still in a dying NIC's send engine is lost with it, exactly like a
   // PUT — critically, this loses a companion TOGETHER with its data, so the
   // recovery (data re-launches first, companion after) re-reserves FIFO
@@ -531,8 +590,7 @@ void Fabric::deliver_am(std::shared_ptr<AmFlight> m) {
     UNR_CHECK_MSG(m->attempts <= cfg_.retry.max_attempts,
                   "AM to rank " << m->dst_rank << " exceeded "
                                 << cfg_.retry.max_attempts << " attempts");
-    kernel_.post_in(cfg_.fault_detect_delay,
-                    [this, m = std::move(m)]() mutable { launch_am(std::move(m)); });
+    kernel_.post_in(cfg_.fault_detect_delay, [this, m] { launch_am(m); });
     return;
   }
   // Link-level retransmission on injected drops: control traffic (rendezvous,
@@ -547,21 +605,24 @@ void Fabric::deliver_am(std::shared_ptr<AmFlight> m) {
                                 << cfg_.retry.max_attempts << " attempts");
     // Re-enter the launch path: the retransmission consumes send-engine
     // bandwidth and pays the (intra-node-scaled) wire latency again.
-    kernel_.post_in(cfg_.fault_detect_delay,
-                    [this, m = std::move(m)]() mutable { launch_am(std::move(m)); });
+    kernel_.post_in(cfg_.fault_detect_delay, [this, m] { launch_am(m); });
     return;
   }
-  auto it = am_handlers_.find({m->dst_rank, m->channel});
-  UNR_CHECK_MSG(it != am_handlers_.end(), "no AM handler for rank "
-                                              << m->dst_rank << " channel " << m->channel);
-  it->second(m->src_rank, m->payload);
+  const auto& chans = am_handlers_[static_cast<std::size_t>(m->dst_rank)];
+  const bool have = m->channel >= 0 &&
+                    static_cast<std::size_t>(m->channel) < chans.size() &&
+                    static_cast<bool>(chans[static_cast<std::size_t>(m->channel)]);
+  UNR_CHECK_MSG(have, "no AM handler for rank " << m->dst_rank << " channel "
+                                                << m->channel);
+  chans[static_cast<std::size_t>(m->channel)](m->src_rank, m->payload);
+  recycle_am_buffer(std::move(m->payload));
+  release_am_flight(m);
 }
 
 std::uint64_t Fabric::total_cq_overflows() const {
   std::uint64_t n = 0;
-  for (const auto& node_nics : nics_)
-    for (const auto& nic : node_nics)
-      n += nic->remote_cq().overflows() + nic->local_cq().overflows();
+  for (const Nic& nc : nics_)
+    n += nc.remote_cq().overflows() + nc.local_cq().overflows();
   return n;
 }
 

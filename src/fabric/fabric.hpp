@@ -14,10 +14,10 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
 #include <vector>
 
+#include "common/flat_table.hpp"
 #include "common/profile.hpp"
 #include "common/rng.hpp"
 #include "common/units.hpp"
@@ -65,6 +65,9 @@ class Fabric {
   };
 
   Fabric(sim::Kernel& kernel, Config cfg);
+  ~Fabric();  // out-of-line: owns pools of the private Flight/AmFlight types
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
 
   // --- Topology ---
   int nranks() const { return cfg_.nodes * cfg_.ranks_per_node; }
@@ -159,6 +162,13 @@ class Fabric {
   void send_am(int src_rank, int dst_rank, int channel, std::vector<std::byte> payload,
                int nic_index = -1, bool ordered = false);
 
+  /// A reusable payload buffer from the fabric's AM arena, sized to `size`.
+  /// Buffers handed to send_am() are recycled into the arena after their
+  /// handler returns, so steady-state AM traffic allocates nothing: callers
+  /// that pack payloads per message (the runtime's eager path) should start
+  /// from here instead of a fresh std::vector.
+  std::vector<std::byte> acquire_am_buffer(std::size_t size);
+
   /// Health and recovery counters for the resilience layer.
   struct ResilienceStats {
     std::uint64_t backoff_ns = 0;       ///< virtual time spent in NACK backoff
@@ -200,26 +210,51 @@ class Fabric {
   Time one_way_latency(int src_node, int dst_node) const;
   Time wire_arrival(int src_node, int dst_node, Time tx_done, bool ordered, int src_rank,
                     int dst_rank, Time extra = 0);
-  void launch_put(std::shared_ptr<Flight> f);
-  void arrive_put(std::shared_ptr<Flight> f, Time arrival);
-  void deliver_put(std::shared_ptr<Flight> f, Time arrival);
-  void recover_lost_put(std::shared_ptr<Flight> f);
-  void launch_am(std::shared_ptr<AmFlight> m);
-  void deliver_am(std::shared_ptr<AmFlight> m);
+  void launch_put(Flight* f);
+  void arrive_put(Flight* f, Time arrival);
+  void deliver_put(Flight* f, Time arrival);
+  void recover_lost_put(Flight* f);
+  void launch_am(AmFlight* m);
+  void deliver_am(AmFlight* m);
   Time am_header_bytes() const { return 64; }
+
+  // --- Flight pools: one PUT/AM in transit is a pooled object, not a
+  // shared_ptr-per-message. The fabric owns every flight; the event chain
+  // carries a raw pointer and the terminal handler of each chain returns the
+  // flight to its free list. Steady-state traffic therefore allocates
+  // nothing per message (the payload vectors keep their capacity too).
+  Flight* acquire_flight();
+  void release_flight(Flight* f);
+  AmFlight* acquire_am_flight();
+  void release_am_flight(AmFlight* m);
+  void recycle_am_buffer(std::vector<std::byte>&& buf);
+
+  Nic& nic_at(int node, int index) {
+    return nics_[static_cast<std::size_t>(node * cfg_.profile.nics_per_node + index)];
+  }
+  const Nic& nic_at(int node, int index) const {
+    return nics_[static_cast<std::size_t>(node * cfg_.profile.nics_per_node + index)];
+  }
 
   sim::Kernel& kernel_;
   Config cfg_;
   Personality iface_;
   sim::Machine machine_;
   MemRegistry memory_;
-  std::vector<std::vector<std::unique_ptr<Nic>>> nics_;  // [node][index]
+  std::vector<Nic> nics_;  ///< flat [node * nics_per_node + index]
   Rng rng_;
   FaultInjector injector_;
   Stats stats_;
   std::uint64_t flight_seq_ = 0;  // per-flight identity (keys backoff jitter)
-  std::map<std::pair<int, int>, Time> fifo_tail_;  // ordered-traffic FIFO per (src,dst)
-  std::map<std::pair<int, int>, AmHandler> am_handlers_;  // (rank, channel)
+  /// Ordered-traffic FIFO tail per (src,dst) rank pair, key-packed flat.
+  FlatU64Map<Time> fifo_tail_;
+  /// Dense handler table [rank][channel] (channels are small caller ids).
+  std::vector<std::vector<AmHandler>> am_handlers_;
+  std::vector<std::unique_ptr<Flight>> flight_pool_;
+  std::vector<Flight*> flight_free_;
+  std::vector<std::unique_ptr<AmFlight>> am_pool_;
+  std::vector<AmFlight*> am_free_;
+  std::vector<std::vector<std::byte>> am_arena_;  ///< recycled payload buffers
 };
 
 }  // namespace unr::fabric

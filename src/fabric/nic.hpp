@@ -58,6 +58,8 @@ class Nic {
 
   CompletionQueue& local_cq() { return local_cq_; }
   CompletionQueue& remote_cq() { return remote_cq_; }
+  const CompletionQueue& local_cq() const { return local_cq_; }
+  const CompletionQueue& remote_cq() const { return remote_cq_; }
 
   /// Invoked whenever a CQE lands in the remote CQ (lets a progress engine
   /// wake waiters without busy-polling the virtual clock).

@@ -27,9 +27,12 @@ struct CtsHeader {
   std::uint32_t mr;
 };
 
+// Payload buffers come from the fabric's AM arena: the fabric recycles them
+// after the handler runs, so the eager path allocates nothing at steady state.
 template <typename H>
-std::vector<std::byte> pack(const H& h, const void* data = nullptr, std::size_t n = 0) {
-  std::vector<std::byte> v(sizeof(H) + n);
+std::vector<std::byte> pack(fabric::Fabric& f, const H& h, const void* data = nullptr,
+                            std::size_t n = 0) {
+  std::vector<std::byte> v = f.acquire_am_buffer(sizeof(H) + n);
   std::memcpy(v.data(), &h, sizeof(H));
   if (n > 0) std::memcpy(v.data() + sizeof(H), data, n);
   return v;
@@ -79,7 +82,7 @@ RequestPtr Comm::isend(int self, int dst, int tag, const void* data, std::size_t
     // Fig. 1a) and complete immediately — the data is buffered.
     charge(fabric_, prof.memcpy_time(size));
     EagerHeader h{tag, size};
-    fabric_.send_am(self, dst, kChanEager, pack(h, data, size), /*nic*/ -1,
+    fabric_.send_am(self, dst, kChanEager, pack(fabric_, h, data, size), /*nic*/ -1,
                     /*ordered=*/true);
     return make_done_request();
   }
@@ -89,7 +92,7 @@ RequestPtr Comm::isend(int self, int dst, int tag, const void* data, std::size_t
   const std::uint64_t id = next_rdv_id_++;
   rdv_sends_[static_cast<std::size_t>(self)][id] = RdvSend{data, size, req, dst};
   RtsHeader h{tag, size, id};
-  fabric_.send_am(self, dst, kChanRts, pack(h), -1, /*ordered=*/true);
+  fabric_.send_am(self, dst, kChanRts, pack(fabric_, h), -1, /*ordered=*/true);
   return req;
 }
 
@@ -203,7 +206,7 @@ void Comm::accept_rts(int self, int src, std::uint64_t rdv_id, void* buf,
   // Remember how to finish this receive when the data lands.
   pending_rdv_recvs_[rdv_id] = PendingRdvRecv{self, mr, req};
   CtsHeader h{rdv_id, mr};
-  fabric_.send_am(self, src, kChanCts, pack(h));
+  fabric_.send_am(self, src, kChanCts, pack(fabric_, h));
 }
 
 void Comm::handle_cts(int dst, int src, const std::vector<std::byte>& payload) {

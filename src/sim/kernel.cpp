@@ -11,13 +11,98 @@ thread_local Kernel* tl_kernel = nullptr;
 thread_local int tl_actor = -1;
 }  // namespace
 
+namespace detail {
+
+EventNode* TimerWheel::pop_earliest() {
+  if (size_ == 0) return nullptr;
+  for (;;) {
+    // Level 0 first: the current slot (inclusive) onward holds events whose
+    // upper 56 bits match cur_, i.e. the next kSlots nanoseconds.
+    int idx = find_first(0, static_cast<unsigned>(cur_ & 0xff));
+    if (idx >= 0) {
+      Slot& s = slots_[0][static_cast<unsigned>(idx)];
+      EventNode* n = s.head;
+      s.head = n->next;
+      if (!s.head) {
+        s.tail = nullptr;
+        occupied_[0][idx >> 6] &= ~(std::uint64_t{1} << (idx & 63));
+      }
+      cur_ = (cur_ & ~Time{0xff}) | static_cast<Time>(idx);
+      --size_;
+      n->next = nullptr;
+      return n;
+    }
+    // Level 0 dry: find the next occupied slot on the lowest non-empty
+    // level strictly ahead of cur_'s position there, advance cur_ to that
+    // slot's start, and redistribute its chain downward. Chain order is
+    // preserved, so equal-time events stay FIFO through the cascade.
+    bool cascaded = false;
+    for (int l = 1; l < kLevels; ++l) {
+      const unsigned pos = static_cast<unsigned>((cur_ >> (8 * l)) & 0xff);
+      const int next = find_first(l, pos + 1);
+      if (next < 0) continue;
+      const Time slot_base = static_cast<Time>(next) << (8 * l);
+      if (l == kLevels - 1) {
+        cur_ = slot_base;  // top level: slot start IS the full prefix
+      } else {
+        const Time upper = cur_ & ~((Time{1} << (8 * (l + 1))) - 1);
+        cur_ = upper | slot_base;
+      }
+      EventNode* chain = take_slot(l, static_cast<unsigned>(next));
+      while (chain) {
+        EventNode* nx = chain->next;
+        --size_;  // insert() re-counts it
+        insert(chain);
+        chain = nx;
+      }
+      cascaded = true;
+      break;
+    }
+    UNR_CHECK_MSG(cascaded, "timer wheel corrupt: " << size_ << " events unreachable");
+  }
+}
+
+EventNode* TimerWheel::drain() {
+  EventNode* out = nullptr;
+  for (int l = 0; l < kLevels; ++l) {
+    for (unsigned idx = 0; idx < kSlots; ++idx) {
+      EventNode* chain = take_slot(l, idx);
+      while (chain) {
+        EventNode* nx = chain->next;
+        chain->next = out;
+        out = chain;
+        chain = nx;
+      }
+    }
+  }
+  size_ = 0;
+  return out;
+}
+
+}  // namespace detail
+
 Kernel* Kernel::current() { return tl_kernel; }
 int Kernel::current_actor_id() { return tl_actor; }
 
-void Kernel::post_at(Time t, std::function<void()> fn) {
-  std::lock_guard<std::mutex> lk(mu_);
-  UNR_CHECK_MSG(t >= now_, "event posted into the past: t=" << t << " now=" << now_);
-  events_.push(Event{t, next_seq_++, std::move(fn)});
+Kernel::~Kernel() {
+  // Destroy the callables of any never-dispatched events (their side effects
+  // are simply lost, as with the old priority_queue). Slab memory is freed
+  // by the slabs_ vector itself.
+  detail::EventNode* n = wheel_.drain();
+  while (n) {
+    detail::EventNode* nx = n->next;
+    if (n->vtbl) n->vtbl->destroy(*n);
+    n = nx;
+  }
+}
+
+void Kernel::grow_pool_locked() {
+  auto slab = std::make_unique<detail::EventNode[]>(kEventSlabNodes);
+  for (std::size_t i = 0; i < kEventSlabNodes; ++i) {
+    slab[i].next = free_nodes_;
+    free_nodes_ = &slab[i];
+  }
+  slabs_.push_back(std::move(slab));
 }
 
 void Kernel::actor_main(Actor* a, const std::function<void(int)>& body) {
@@ -73,12 +158,17 @@ void Kernel::wake(int actor) {
 void Kernel::sleep_for(Time dt) {
   if (dt == 0) return;
   const int self = tl_actor;
-  auto fired = std::make_shared<bool>(false);
-  post_in(dt, [this, self, fired] {
-    *fired = true;
+  // The flag lives on this (blocked) actor's stack: the timer either fires
+  // while we are parked below, or — if the run aborts first — is destroyed
+  // unrun, in which case block_current() has already unwound us via
+  // AbortError and the dangling pointer is never dereferenced.
+  bool fired = false;
+  bool* fired_p = &fired;
+  post_in(dt, [this, self, fired_p] {
+    *fired_p = true;
     wake(self);
   });
-  while (!*fired) block_current();
+  while (!fired) block_current();
 }
 
 std::string Kernel::blocked_report() const {
@@ -87,19 +177,6 @@ std::string Kernel::blocked_report() const {
   for (const auto& a : actors_)
     if (a->state == State::kBlocked) os << ' ' << a->id;
   return os.str();
-}
-
-void Kernel::abort_all_locked(std::unique_lock<std::mutex>& lk, const std::string& why) {
-  aborting_ = true;
-  for (auto& a : actors_) a->cv.notify_all();
-  sched_cv_.wait(lk, [&] { return live_ == 0; });
-  lk.unlock();
-  for (auto& a : actors_)
-    if (a->thread.joinable()) a->thread.join();
-  end_time_ = now_;
-  tl_kernel = nullptr;
-  if (first_error_) std::rethrow_exception(first_error_);
-  throw DeadlockError(why);
 }
 
 void Kernel::run(int n_actors, std::function<void(int)> body) {
@@ -129,7 +206,13 @@ void Kernel::run(int n_actors, std::function<void(int)> body) {
     raw->thread = std::thread([this, raw, &body] { actor_main(raw, body); });
   }
 
+  // Single-exit scheduler loop: every termination path — normal completion,
+  // actor exception, event-handler exception, deadlock, internal-invariant
+  // failure — funnels through the join below, so no exception can ever
+  // propagate past run() with actor threads still attached (std::thread's
+  // destructor would call std::terminate).
   std::unique_lock<std::mutex> lk(mu_);
+  bool need_abort = false;
   while (live_ > 0) {
     if (!ready_.empty()) {
       Actor* a = ready_.front();
@@ -138,29 +221,48 @@ void Kernel::run(int n_actors, std::function<void(int)> body) {
       running_ = a;
       a->cv.notify_one();
       sched_cv_.wait(lk, [&] { return running_ == nullptr; });
-    } else if (!events_.empty()) {
-      // const_cast: priority_queue::top() is const but we need to move the
-      // handler out before popping.
-      Event ev = std::move(const_cast<Event&>(events_.top()));
-      events_.pop();
-      UNR_CHECK(ev.t >= now_);
-      now_ = ev.t;
+    } else if (!wheel_.empty()) {
+      detail::EventNode* n = wheel_.pop_earliest();
+      if (n->t < now_) {  // wheel invariant violated; fail loud but joined
+        n->vtbl->destroy(*n);
+        free_node_locked(n);
+        if (!first_error_)
+          first_error_ = std::make_exception_ptr(
+              std::logic_error("kernel event dispatched out of order"));
+        need_abort = true;
+        break;
+      }
+      now_ = n->t;
       ++events_dispatched_;
       lk.unlock();
+      bool threw = false;
       try {
-        ev.fn();
-        lk.lock();
+        n->vtbl->invoke(*n);
       } catch (...) {
+        threw = true;
         lk.lock();
         if (!first_error_) first_error_ = std::current_exception();
-        abort_all_locked(lk, "aborting after event-handler exception");
+        lk.unlock();
+      }
+      n->vtbl->destroy(*n);
+      lk.lock();
+      free_node_locked(n);
+      if (threw) {
+        need_abort = true;
+        break;
       }
     } else {
-      if (first_error_)
-        abort_all_locked(lk, "aborting after actor exception");
-      abort_all_locked(lk, "simulation deadlock at t=" + std::to_string(now_) + "ns; " +
-                               blocked_report());
+      if (!first_error_)
+        first_error_ = std::make_exception_ptr(DeadlockError(
+            "simulation deadlock at t=" + std::to_string(now_) + "ns; " + blocked_report()));
+      need_abort = true;
+      break;
     }
+  }
+  if (need_abort) {
+    aborting_ = true;
+    for (auto& a : actors_) a->cv.notify_all();
+    sched_cv_.wait(lk, [&] { return live_ == 0; });
   }
   lk.unlock();
   for (auto& a : actors_)

@@ -18,21 +18,37 @@
 // needs locking: fabric queues, matching lists and UNR signal tables are all
 // plain containers. The single mutex in this file only sequences the
 // hand-off between threads. Runs are bit-reproducible given a seed.
+//
+// Event storage (hot path): events live in a slab-allocated, free-listed
+// pool of fixed-size nodes; the callable is constructed in-place inside the
+// node when it fits (all kernel-internal and fabric callbacks do), so the
+// common post/dispatch cycle performs no heap allocation at all. Pending
+// events are kept in a hierarchical timer wheel (8 levels x 256 slots, one
+// byte of the 64-bit virtual-time key per level) with intrusive FIFO slot
+// lists and per-level occupancy bitmaps: insert is O(1), pop is O(1)
+// amortized, and events with equal timestamps dispatch in posting order —
+// the same total order the old priority_queue<Event>-with-seq gave, which
+// keeps virtual timelines bit-identical across the swap.
 #pragma once
 
+#include <bit>
 #include <condition_variable>
+#include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
 #include <memory>
 #include <mutex>
-#include <queue>
+#include <new>
 #include <stdexcept>
 #include <string>
 #include <thread>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
+#include "common/check.hpp"
 #include "common/units.hpp"
 
 namespace unr::sim {
@@ -49,24 +65,166 @@ class DeadlockError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+namespace detail {
+
+/// Callables up to this size (and max_align_t alignment) are stored inline
+/// in the event node; larger ones fall back to a single heap allocation.
+/// 72 bytes covers every callback the simulator itself posts (the largest,
+/// UNR's shm-window completion lambda, captures ~56 bytes).
+inline constexpr std::size_t kInlineCallbackBytes = 72;
+
+struct EventNode;
+
+/// Per-callable-type dispatch: one static vtable instead of the
+/// std::function control block, so invoking an event is two indirect calls
+/// and no allocation.
+struct EventVtbl {
+  void (*invoke)(EventNode&);
+  void (*destroy)(EventNode&) noexcept;
+};
+
+struct EventNode {
+  Time t = 0;
+  EventNode* next = nullptr;  ///< slot list when pending, free list when idle
+  const EventVtbl* vtbl = nullptr;
+  alignas(std::max_align_t) unsigned char storage[kInlineCallbackBytes];
+};
+
+template <class D>
+struct InlineEventOps {
+  static D* self(EventNode& n) {
+    return std::launder(reinterpret_cast<D*>(n.storage));
+  }
+  static void invoke(EventNode& n) { (*self(n))(); }
+  static void destroy(EventNode& n) noexcept { self(n)->~D(); }
+  static constexpr EventVtbl vtbl{&invoke, &destroy};
+};
+
+template <class D>
+struct HeapEventOps {
+  static D* self(EventNode& n) {
+    return *std::launder(reinterpret_cast<D**>(n.storage));
+  }
+  static void invoke(EventNode& n) { (*self(n))(); }
+  static void destroy(EventNode& n) noexcept { delete self(n); }
+  static constexpr EventVtbl vtbl{&invoke, &destroy};
+};
+
+/// Hierarchical timer wheel over the full 64-bit virtual-time domain.
+/// Level l holds events whose timestamp first differs from the wheel's
+/// current time in byte l; slot index is that byte's value. Popping scans
+/// level 0 forward from the current slot, and when it runs dry cascades the
+/// next occupied higher-level slot down. Equal-time events always land in
+/// the same slot in posting order (appends at the tail), and a cascade
+/// re-inserts a slot's chain in list order, so FIFO-per-timestamp survives
+/// every redistribution.
+class TimerWheel {
+ public:
+  static constexpr int kLevels = 8;
+  static constexpr int kSlots = 256;
+
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+
+  /// Insert a node with n->t >= the time of the last pop.
+  void insert(EventNode* n) {
+    const int l = level_of(n->t);
+    const unsigned idx = slot_of(n->t, l);
+    Slot& s = slots_[l][idx];
+    n->next = nullptr;
+    if (s.tail) {
+      s.tail->next = n;
+      s.tail = n;
+    } else {
+      s.head = s.tail = n;
+      occupied_[l][idx >> 6] |= std::uint64_t{1} << (idx & 63);
+    }
+    ++size_;
+  }
+
+  /// Detach and return the earliest pending node (FIFO among equal times),
+  /// or nullptr when empty. Advances the wheel's notion of current time.
+  EventNode* pop_earliest();
+
+  /// Detach every remaining node into a single list (destruction path).
+  EventNode* drain();
+
+ private:
+  struct Slot {
+    EventNode* head = nullptr;
+    EventNode* tail = nullptr;
+  };
+
+  int level_of(Time t) const {
+    const Time diff = t ^ cur_;
+    if (diff == 0) return 0;
+    return (63 - std::countl_zero(diff)) >> 3;
+  }
+  static unsigned slot_of(Time t, int level) {
+    return static_cast<unsigned>((t >> (8 * level)) & 0xff);
+  }
+  /// First occupied slot index >= `from` at `level`, or -1.
+  int find_first(int level, unsigned from) const {
+    if (from >= kSlots) return -1;
+    unsigned w = from >> 6;
+    std::uint64_t word = occupied_[level][w] & (~std::uint64_t{0} << (from & 63));
+    for (;;) {
+      if (word) return static_cast<int>(w * 64 + static_cast<unsigned>(std::countr_zero(word)));
+      if (++w == kSlots / 64) return -1;
+      word = occupied_[level][w];
+    }
+  }
+  EventNode* take_slot(int level, unsigned idx) {
+    Slot& s = slots_[level][idx];
+    EventNode* head = s.head;
+    s.head = s.tail = nullptr;
+    occupied_[level][idx >> 6] &= ~(std::uint64_t{1} << (idx & 63));
+    return head;
+  }
+
+  Slot slots_[kLevels][kSlots];
+  std::uint64_t occupied_[kLevels][kSlots / 64] = {};
+  Time cur_ = 0;  ///< time of the last pop (lower bound on all pending t)
+  std::size_t size_ = 0;
+};
+
+}  // namespace detail
+
 class Kernel {
  public:
   Kernel() = default;
-  ~Kernel() = default;
+  ~Kernel();
   Kernel(const Kernel&) = delete;
   Kernel& operator=(const Kernel&) = delete;
 
   /// Current virtual time. Valid from actors and event handlers.
   Time now() const { return now_; }
 
-  /// Schedule `fn` at absolute virtual time `t` (must be >= now()).
-  /// Events with equal time run in posting order.
-  void post_at(Time t, std::function<void()> fn);
-  void post_in(Time dt, std::function<void()> fn) { post_at(now_ + dt, std::move(fn)); }
+  /// Schedule `fn` at absolute virtual time `t` (must be >= now(); posting
+  /// into the past fails loudly). Events with equal time run in posting
+  /// order. No heap allocation when the callable fits the node's inline
+  /// storage.
+  template <class F>
+  void post_at(Time t, F&& fn) {
+    static_assert(std::is_invocable_v<std::decay_t<F>&>,
+                  "event callback must be invocable with no arguments");
+    std::lock_guard<std::mutex> lk(mu_);
+    UNR_CHECK_MSG(t >= now_, "event posted into the past: t=" << t << " now=" << now_);
+    detail::EventNode* n = alloc_node_locked();
+    n->t = t;
+    attach_callback(n, std::forward<F>(fn));
+    wheel_.insert(n);
+  }
+  template <class F>
+  void post_in(Time dt, F&& fn) {
+    post_at(now_ + dt, std::forward<F>(fn));
+  }
 
   /// Run `n_actors` copies of `body` (argument = actor id, 0-based) to
   /// completion. Blocks the calling thread; rethrows the first actor
-  /// exception; throws DeadlockError if the simulation hangs.
+  /// exception; throws DeadlockError if the simulation hangs. All actor
+  /// threads are joined before any exception propagates, including on the
+  /// abort paths.
   void run(int n_actors, std::function<void(int)> body);
 
   /// Kernel owning the calling actor thread (nullptr outside a run).
@@ -99,30 +257,45 @@ class Kernel {
     std::thread thread;
   };
 
-  struct Event {
-    Time t;
-    std::uint64_t seq;
-    std::function<void()> fn;
-  };
-  struct EventLater {
-    bool operator()(const Event& a, const Event& b) const {
-      return a.t != b.t ? a.t > b.t : a.seq > b.seq;
-    }
-  };
+  static constexpr std::size_t kEventSlabNodes = 512;
 
   void actor_main(Actor* a, const std::function<void(int)>& body);
-  void schedule_loop();
-  [[noreturn]] void abort_all_locked(std::unique_lock<std::mutex>& lk,
-                                     const std::string& why);
   std::string blocked_report() const;
+
+  detail::EventNode* alloc_node_locked() {
+    if (!free_nodes_) grow_pool_locked();
+    detail::EventNode* n = free_nodes_;
+    free_nodes_ = n->next;
+    return n;
+  }
+  void free_node_locked(detail::EventNode* n) {
+    n->vtbl = nullptr;
+    n->next = free_nodes_;
+    free_nodes_ = n;
+  }
+  void grow_pool_locked();
+
+  template <class F>
+  static void attach_callback(detail::EventNode* n, F&& fn) {
+    using D = std::decay_t<F>;
+    if constexpr (sizeof(D) <= detail::kInlineCallbackBytes &&
+                  alignof(D) <= alignof(std::max_align_t)) {
+      ::new (static_cast<void*>(n->storage)) D(std::forward<F>(fn));
+      n->vtbl = &detail::InlineEventOps<D>::vtbl;
+    } else {
+      ::new (static_cast<void*>(n->storage)) D*(new D(std::forward<F>(fn)));
+      n->vtbl = &detail::HeapEventOps<D>::vtbl;
+    }
+  }
 
   mutable std::mutex mu_;
   std::condition_variable sched_cv_;
   Time now_ = 0;
   Time end_time_ = 0;
-  std::uint64_t next_seq_ = 0;
   std::uint64_t events_dispatched_ = 0;
-  std::priority_queue<Event, std::vector<Event>, EventLater> events_;
+  detail::TimerWheel wheel_;
+  std::vector<std::unique_ptr<detail::EventNode[]>> slabs_;
+  detail::EventNode* free_nodes_ = nullptr;
   std::vector<std::unique_ptr<Actor>> actors_;
   std::deque<Actor*> ready_;
   Actor* running_ = nullptr;

@@ -113,6 +113,71 @@ TEST(Determinism, FullApplicationIsReproducible) {
   EXPECT_EQ(a.div, b.div);
 }
 
+struct KernelPin {
+  std::uint64_t events;
+  Time end;
+};
+
+/// Mixed PUT/AM/fault workload: notified PUTs around a ring, two-sided eager
+/// traffic (AMs with ordered companions) the other way, adaptive-routing
+/// jitter on, injected drops, and a NIC dying mid-run. Exercises every event
+/// source in the fabric at once.
+KernelPin run_mixed_workload(std::uint64_t seed) {
+  World::Config wc;
+  wc.nodes = 4;
+  wc.ranks_per_node = 2;
+  wc.profile = make_th_xy();
+  wc.profile.nics_per_node = 2;
+  wc.seed = seed;
+  wc.faults.drop_rate = 0.05;
+  wc.faults.nic_faults.push_back({.node = 1, .index = 1, .at = 30 * kUs});
+  World w(wc);
+  Unr unr(w);
+  const int iters = 20;
+  w.run([&](Rank& r) {
+    const int n = r.nranks();
+    const int right = (r.id() + 1) % n;
+    const int left = (r.id() + n - 1) % n;
+    std::vector<std::byte> buf(4 * KiB);
+    const MemHandle mh = unr.mem_reg(r.id(), buf.data(), buf.size());
+    const SigId rsig = unr.sig_init(r.id(), iters);
+    const Blk my_blk = unr.blk_init(r.id(), mh, 0, buf.size(), rsig);
+    Blk right_blk;
+    r.sendrecv(right, 7, &my_blk, sizeof my_blk, left, 7, &right_blk, sizeof right_blk);
+    const Blk send_blk = unr.blk_init(r.id(), mh, 0, buf.size());
+    std::uint64_t token = static_cast<std::uint64_t>(r.id());
+    for (int i = 0; i < iters; ++i) {
+      unr.put(r.id(), send_blk, right_blk);
+      std::uint64_t got = 0;
+      runtime::RequestPtr rr = r.irecv(right, 9, &got, sizeof got);
+      r.send(left, 9, &token, sizeof token);
+      r.wait(rr);
+      token = got + 1;
+    }
+    unr.sig_wait(r.id(), rsig);
+    r.barrier();
+  });
+  return {w.kernel().event_count(), w.elapsed()};
+}
+
+// Golden values pinned BEFORE the simulator hot-path refactor (timer wheel,
+// pooled events/flights, flat tables): the refactor claims to be
+// semantics-preserving, so the exact event count and end time of this
+// workload must never move. If a legitimate *model* change (new event
+// sources, cost-model changes) shifts them, re-pin deliberately in the same
+// PR that changes the model and say so in its description.
+inline constexpr std::uint64_t kMixedGoldenEvents = 1205;
+inline constexpr Time kMixedGoldenEnd = 97650;
+
+TEST(Determinism, MixedFaultWorkloadPinned) {
+  const KernelPin a = run_mixed_workload(42);
+  const KernelPin b = run_mixed_workload(42);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.end, b.end);
+  EXPECT_EQ(a.events, kMixedGoldenEvents);
+  EXPECT_EQ(a.end, kMixedGoldenEnd);
+}
+
 TEST(Determinism, PhysicsIndependentOfJitterSeed) {
   // Message timing varies with the seed, but the NUMERICS may not: the
   // solver must compute the same flow regardless of arrival order.

@@ -3,7 +3,9 @@
 // the node compute model.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
+#include <memory>
 #include <vector>
 
 #include "sim/cond.hpp"
@@ -201,6 +203,52 @@ TEST(Kernel, PostIntoThePastRejected) {
                        kk->post_at(50, [] {});
                      }),
                std::logic_error);
+}
+
+// Timestamps chosen to straddle every byte boundary of the timer wheel's
+// 8x256 hierarchy: events must dispatch in time order, and equal-time
+// events in posting order, even when popping them forces multi-level
+// cascades across large virtual-time jumps.
+TEST(Kernel, TimerWheelOrderAcrossCascades) {
+  Kernel k;
+  std::vector<int> order;
+  k.run(1, [&](int) {
+    Kernel* kk = Kernel::current();
+    // Same-time group far in the future (level >= 3 insert, cascades down).
+    const Time far = (Time{1} << 24) + 7;
+    kk->post_at(far, [&] { order.push_back(10); });
+    kk->post_at(far, [&] { order.push_back(11); });
+    kk->post_at(far, [&] { order.push_back(12); });
+    // Scattered times that land on different wheel levels, posted out of
+    // chronological order.
+    kk->post_at(300, [&] { order.push_back(2); });          // level 1
+    kk->post_at(5, [&] { order.push_back(0); });            // level 0
+    kk->post_at((Time{1} << 16) + 1, [&] { order.push_back(3); });  // level 2
+    kk->post_at(255, [&] { order.push_back(1); });          // level 0 edge
+    kk->post_at(far + 1, [&] { order.push_back(13); });
+    // An event posted FROM an event, at the same time as a pending one:
+    // posting order must still win within the timestamp.
+    kk->post_at(300, [&] { order.push_back(20); });
+    kk->sleep_for(far + 2);
+  });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 20, 3, 10, 11, 12, 13}));
+  EXPECT_EQ(k.end_time(), (Time{1} << 24) + 9);
+}
+
+// A large callable (captures beyond the node's inline storage) must take the
+// heap fallback and still run and destroy exactly once.
+TEST(Kernel, OversizedEventCallableHeapFallback) {
+  Kernel k;
+  auto tracker = std::make_shared<int>(0);
+  k.run(1, [&](int) {
+    Kernel* kk = Kernel::current();
+    std::array<std::uint64_t, 16> big{};  // 128 bytes of captured state
+    big[3] = 42;
+    kk->post_in(10, [tracker, big] { *tracker += static_cast<int>(big[3]); });
+    kk->sleep_for(20);
+  });
+  EXPECT_EQ(*tracker, 42);
+  EXPECT_EQ(tracker.use_count(), 1);  // the event's copy was destroyed
 }
 
 }  // namespace
