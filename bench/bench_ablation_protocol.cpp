@@ -23,6 +23,7 @@ double pingpong(const SystemProfile& base, std::size_t size, bool force_eager) {
   wc.ranks_per_node = 1;
   wc.profile = prof;
   wc.deterministic_routing = true;
+  unr::bench::apply_telemetry(wc);
   World w(wc);
   const int iters = 20;
   Time window = 0;

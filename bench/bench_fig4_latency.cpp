@@ -28,6 +28,7 @@ World::Config world_cfg(const SystemProfile& prof) {
   wc.ranks_per_node = 1;
   wc.profile = prof;
   wc.deterministic_routing = true;
+  unr::bench::apply_telemetry(wc);
   return wc;
 }
 

@@ -39,6 +39,7 @@ double run_pairs(std::size_t size, int iters, bool shared_nics, Mode mode,
   wc.profile = make_th_xy();
   wc.deterministic_routing = true;
   wc.seed = seed;
+  unr::bench::apply_telemetry(wc);
   World w(wc);
 
   Unr::Config uc;

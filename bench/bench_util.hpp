@@ -13,12 +13,57 @@
 #include "common/profile.hpp"
 #include "common/table.hpp"
 #include "common/units.hpp"
+#include "runtime/world.hpp"
 
 namespace unr::bench {
 
+/// Telemetry request parsed from --trace=FILE / --metrics=FILE /
+/// --trace-ring=N. Process-global so every harness's own parser can feed it
+/// and every World::Config construction site can consume it.
+struct TelemetryFlags {
+  std::string trace_path;    ///< Chrome trace JSON destination ("" = off)
+  std::string metrics_path;  ///< metrics JSON destination ("" = off)
+  std::size_t ring_capacity = 1u << 16;
+};
+
+inline TelemetryFlags& telemetry_flags() {
+  static TelemetryFlags f;
+  return f;
+}
+
+/// Recognize and record one telemetry flag; false = not a telemetry flag.
+inline bool parse_telemetry_flag(const std::string& a) {
+  TelemetryFlags& f = telemetry_flags();
+  if (a.rfind("--trace=", 0) == 0) { f.trace_path = a.substr(8); return true; }
+  if (a.rfind("--metrics=", 0) == 0) { f.metrics_path = a.substr(10); return true; }
+  if (a.rfind("--trace-ring=", 0) == 0) {
+    f.ring_capacity = std::stoul(a.substr(13));
+    return true;
+  }
+  return false;
+}
+
+/// Route the requested telemetry outputs into a World::Config. Benches sweep
+/// many Worlds; only the FIRST one asking gets the output files (the
+/// representative run), so later Worlds don't overwrite them. No-op when no
+/// telemetry flag was given.
+inline void apply_telemetry(runtime::World::Config& wc) {
+  const TelemetryFlags& f = telemetry_flags();
+  if (f.trace_path.empty() && f.metrics_path.empty()) return;
+  static bool claimed = false;
+  if (claimed) return;
+  claimed = true;
+  wc.telemetry.trace.enabled = !f.trace_path.empty();
+  wc.telemetry.trace.ring_capacity = f.ring_capacity;
+  wc.telemetry.trace_path = f.trace_path;
+  wc.telemetry.metrics_path = f.metrics_path;
+}
+
 /// Tiny flag parser: --quick (default scale), --full (paper-scale where
 /// feasible), --system=NAME (restrict to one platform), --time-budget=SEC
-/// (sweeps stop early instead of blowing a CI budget).
+/// (sweeps stop early instead of blowing a CI budget), --trace=FILE /
+/// --metrics=FILE / --trace-ring=N (observability outputs from the first
+/// World the harness builds).
 struct Options {
   bool full = false;
   std::string system;
@@ -33,9 +78,11 @@ struct Options {
       else if (a.rfind("--system=", 0) == 0) o.system = a.substr(9);
       else if (a.rfind("--time-budget=", 0) == 0) o.time_budget_sec = std::stod(a.substr(14));
       else if (a == "--time-budget" && i + 1 < argc) o.time_budget_sec = std::stod(argv[++i]);
+      else if (parse_telemetry_flag(a)) {}
       else if (a == "--help" || a == "-h") {
         std::cout << "flags: --quick (default) | --full | --system=NAME | "
-                     "--time-budget=SEC\n";
+                     "--time-budget=SEC | --trace=FILE | --metrics=FILE | "
+                     "--trace-ring=N\n";
         std::exit(0);
       }
     }

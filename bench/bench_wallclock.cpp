@@ -56,9 +56,11 @@ struct WallOptions {
       else if (a.rfind("--out=", 0) == 0) o.out = a.substr(6);
       else if (a.rfind("--baseline=", 0) == 0) o.baseline = a.substr(11);
       else if (a.rfind("--tolerance=", 0) == 0) o.tolerance = std::stod(a.substr(12));
+      else if (unr::bench::parse_telemetry_flag(a)) {}
       else if (a == "--help" || a == "-h") {
         std::cout << "flags: --smoke | --repeat=N | --out=PATH | --baseline=PATH | "
-                     "--tolerance=FRAC\n";
+                     "--tolerance=FRAC | --trace=FILE | --metrics=FILE | "
+                     "--trace-ring=N\n";
         std::exit(0);
       } else {
         std::cerr << "unknown flag: " << a << "\n";
@@ -97,6 +99,7 @@ RunSample run_fig4_pingpong(const std::vector<std::size_t>& sizes, int iters) {
     wc.ranks_per_node = 1;
     wc.profile = make_th_xy();
     wc.deterministic_routing = true;
+    unr::bench::apply_telemetry(wc);
     World w(wc);
     Unr unr(w);
     w.run([&](Rank& r) {
@@ -136,6 +139,7 @@ RunSample run_fig7_point(int nodes, int pr, int pc, std::size_t nx, std::size_t 
   wc.ranks_per_node = 2;
   wc.profile = make_th_xy();
   wc.deterministic_routing = true;
+  unr::bench::apply_telemetry(wc);
   World w(wc);
   Unr unr(w);
   const int threads = std::max(1, (wc.profile.cores_per_node - 2) / 2);
@@ -178,6 +182,7 @@ RunSample run_faults_sweep(const std::vector<double>& drop_rates, int iters) {
     wc.deterministic_routing = true;
     wc.faults.drop_rate = rate;
     wc.seed = 12345;
+    unr::bench::apply_telemetry(wc);
     World w(wc);
     Unr::Config uc;
     uc.engine.poll_interval = 10 * kUs;  // lazy drain: the CQ does overflow

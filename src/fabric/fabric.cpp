@@ -42,6 +42,7 @@ struct Fabric::AmFlight {
   bool ordered = false;
   Time tx_done = 0;  ///< when the source NIC finished injecting
   int attempts = 1;
+  std::uint64_t id = 0;  ///< trace-span identity (separate from flight ids)
 };
 
 Fabric::Fabric(sim::Kernel& kernel, Config cfg)
@@ -63,6 +64,7 @@ Fabric::Fabric(sim::Kernel& kernel, Config cfg)
     }
   }
   am_handlers_.resize(static_cast<std::size_t>(nranks()));
+  init_telemetry();
 
   // Schedule the configured fault timeline. The events sit in the kernel's
   // queue until the run reaches their virtual timestamps.
@@ -75,7 +77,10 @@ Fabric::Fabric(sim::Kernel& kernel, Config cfg)
       Nic& n = nic(nf.node, nf.index);
       if (n.failed()) return;
       n.fail(kernel_.now());
-      stats_.resilience.nic_failures++;
+      m_.nic_failures.inc();
+      if (tr_.on)
+        kernel_.telemetry().tracer().instant(nf.node, obs::kNicTidBase + nf.index,
+                                             tr_.cat_fault, tr_.nic_failure);
     });
   }
   for (const auto& b : cfg_.faults.cq_bursts) {
@@ -84,6 +89,9 @@ Fabric::Fabric(sim::Kernel& kernel, Config cfg)
                   "CQ burst targets nonexistent NIC (" << b.node << ", " << b.index
                                                        << ")");
     kernel_.post_at(b.at, [this, b] {
+      if (tr_.on)
+        kernel_.telemetry().tracer().instant(b.node, obs::kNicTidBase + b.index,
+                                             tr_.cat_fault, tr_.cq_burst);
       nic(b.node, b.index).remote_cq().add_pressure(b.entries);
       if (b.duration > 0)
         kernel_.post_in(b.duration, [this, b] {
@@ -94,6 +102,81 @@ Fabric::Fabric(sim::Kernel& kernel, Config cfg)
 }
 
 Fabric::~Fabric() = default;
+
+void Fabric::init_telemetry() {
+  obs::Registry& reg = kernel_.telemetry().registry();
+  m_.puts = reg.counter("fabric.puts");
+  m_.gets = reg.counter("fabric.gets");
+  m_.ams = reg.counter("fabric.ams");
+  m_.put_bytes = reg.counter("fabric.put_bytes");
+  m_.get_bytes = reg.counter("fabric.get_bytes");
+  m_.cq_retries = reg.counter("fabric.cq_retries");
+  m_.backoff_ns = reg.counter("fabric.resilience.backoff_ns");
+  m_.injected_drops = reg.counter("fabric.resilience.injected_drops");
+  m_.injected_delays = reg.counter("fabric.resilience.injected_delays");
+  m_.retransmits = reg.counter("fabric.resilience.retransmits");
+  m_.nic_failures = reg.counter("fabric.resilience.nic_failures");
+  m_.lost_to_nic = reg.counter("fabric.resilience.lost_to_nic");
+  m_.failovers = reg.counter("fabric.resilience.failovers");
+  const int npn = nics_per_node();
+  m_.nic_cqes.reserve(static_cast<std::size_t>(cfg_.nodes * npn));
+  for (int n = 0; n < cfg_.nodes; ++n)
+    for (int i = 0; i < npn; ++i)
+      m_.nic_cqes.push_back(reg.counter(
+          "fabric.nic.remote_cqes",
+          {{"node", std::to_string(n)}, {"nic", std::to_string(i)}}));
+  m_.rank_puts.reserve(static_cast<std::size_t>(nranks()));
+  for (int r = 0; r < nranks(); ++r)
+    m_.rank_puts.push_back(
+        reg.counter("fabric.rank.puts", {{"rank", std::to_string(r)}}));
+
+  obs::Tracer& trc = kernel_.telemetry().tracer();
+  tr_.on = trc.enabled();
+  tr_.cat_flight = trc.intern("flight");
+  tr_.cat_am = trc.intern("am");
+  tr_.cat_get = trc.intern("get");
+  tr_.cat_fault = trc.intern("fault");
+  tr_.put = trc.intern("put");
+  tr_.get = trc.intern("get");
+  tr_.am = trc.intern("am");
+  tr_.nack = trc.intern("cq_nack");
+  tr_.retransmit = trc.intern("retransmit");
+  tr_.lost = trc.intern("lost_to_nic");
+  tr_.failover = trc.intern("failover");
+  tr_.nic_failure = trc.intern("nic_failure");
+  tr_.cq_burst = trc.intern("cq_burst");
+  tr_.k_src = trc.intern("src");
+  tr_.k_dst = trc.intern("dst");
+  tr_.k_size = trc.intern("size");
+  tr_.k_nic = trc.intern("nic");
+  tr_.k_attempt = trc.intern("attempt");
+  tr_.k_delay_ns = trc.intern("delay_ns");
+  if (tr_.on) {
+    for (int n = 0; n < cfg_.nodes; ++n) {
+      trc.set_process_name(n, "node " + std::to_string(n));
+      for (int i = 0; i < npn; ++i)
+        trc.set_thread_name(n, obs::kNicTidBase + i, "nic " + std::to_string(i));
+    }
+  }
+}
+
+Fabric::Stats Fabric::stats() const {
+  Stats s;
+  s.puts = m_.puts.value();
+  s.gets = m_.gets.value();
+  s.ams = m_.ams.value();
+  s.put_bytes = m_.put_bytes.value();
+  s.get_bytes = m_.get_bytes.value();
+  s.cq_retries = m_.cq_retries.value();
+  s.resilience.backoff_ns = m_.backoff_ns.value();
+  s.resilience.injected_drops = m_.injected_drops.value();
+  s.resilience.injected_delays = m_.injected_delays.value();
+  s.resilience.retransmits = m_.retransmits.value();
+  s.resilience.nic_failures = m_.nic_failures.value();
+  s.resilience.lost_to_nic = m_.lost_to_nic.value();
+  s.resilience.failovers = m_.failovers.value();
+  return s;
+}
 
 Nic& Fabric::nic(int node, int index) {
   UNR_CHECK(node >= 0 && node < cfg_.nodes);
@@ -168,6 +251,7 @@ void Fabric::release_am_flight(AmFlight* m) {
   m->payload.clear();
   m->tx_done = 0;
   m->attempts = 1;
+  m->id = 0;
   am_free_.push_back(m);
 }
 
@@ -255,11 +339,16 @@ void Fabric::put(PutArgs args) {
   args.remote_imm = args.remote_imm.truncated(iface_.effective_put_remote());
   args.local_imm = args.local_imm.truncated(iface_.effective_put_local());
 
-  stats_.puts++;
-  stats_.put_bytes += args.size;
+  m_.puts.inc();
+  m_.put_bytes.inc(args.size);
+  m_.rank_puts[static_cast<std::size_t>(args.src_rank)].inc();
 
   Flight* f = acquire_flight();
   f->id = ++flight_seq_;
+  if (tr_.on)
+    kernel_.telemetry().tracer().async_begin(
+        node_of(args.src_rank), args.src_rank, tr_.cat_flight, tr_.put, f->id,
+        {{tr_.k_dst, args.dst.rank}, {tr_.k_size, static_cast<std::int64_t>(args.size)}});
   // Snapshot the payload at post time: RMA semantics require the source
   // buffer to stay unchanged until local completion, and the snapshot makes
   // the simulator robust even if callers violate that.
@@ -276,7 +365,10 @@ void Fabric::launch_put(Flight* f) {
   int nic_idx = a.nic_index < 0 ? default_nic(a.src_rank) : a.nic_index;
   if (nic(src_node, nic_idx).failed()) {
     nic_idx = pick_healthy_nic(src_node, nic_idx);
-    stats_.resilience.failovers++;
+    m_.failovers.inc();
+    if (tr_.on)
+      kernel_.telemetry().tracer().instant(src_node, a.src_rank, tr_.cat_flight,
+                                           tr_.failover, {{tr_.k_nic, nic_idx}});
   }
   a.nic_index = nic_idx;
 
@@ -288,7 +380,7 @@ void Fabric::launch_put(Flight* f) {
   Nic& snic = nic(src_node, nic_idx);
   Time tx_done = snic.reserve_tx(kernel_.now(), a.size);
   const Time held = injector_.extra_delay();
-  if (held > 0) stats_.resilience.injected_delays++;
+  if (held > 0) m_.injected_delays.inc();
   if (a.ordered) {
     // Ordered traffic rides an in-order reliable link: a dropped traversal
     // stalls the channel until the link layer retransmits it — nothing
@@ -301,8 +393,12 @@ void Fabric::launch_put(Flight* f) {
       UNR_CHECK_MSG(f->wire_attempts <= cfg_.retry.max_attempts,
                     "delivery to rank " << a.dst.rank << " exceeded "
                                         << cfg_.retry.max_attempts << " wire attempts");
-      stats_.resilience.injected_drops++;
-      stats_.resilience.retransmits++;
+      m_.injected_drops.inc();
+      m_.retransmits.inc();
+      if (tr_.on)
+        kernel_.telemetry().tracer().instant(src_node, a.src_rank, tr_.cat_flight,
+                                             tr_.retransmit,
+                                             {{tr_.k_attempt, f->wire_attempts}});
       // The loss would have landed at tx_done + lat; the sender detects it
       // fault_detect_delay later and re-serializes the payload.
       tx_done = snic.reserve_tx(tx_done + lat + cfg_.fault_detect_delay, a.size);
@@ -319,15 +415,23 @@ void Fabric::arrive_put(Flight* f, Time arrival) {
   // message would have landed.
   const Nic& snic = nic(node_of(f->args.src_rank), f->args.nic_index);
   if (snic.lost_in_tx(f->tx_done)) {
-    stats_.resilience.lost_to_nic++;
+    m_.lost_to_nic.inc();
+    if (tr_.on)
+      kernel_.telemetry().tracer().instant(node_of(f->args.src_rank), f->args.src_rank,
+                                           tr_.cat_flight, tr_.lost,
+                                           {{tr_.k_nic, f->args.nic_index}});
     kernel_.post_in(cfg_.fault_detect_delay, [this, f] { recover_lost_put(f); });
     return;
   }
   // Ordered flights evaluated their drops at launch (see launch_put) so the
   // retransmissions could keep their FIFO slot.
   if (!f->args.ordered && injector_.drop_delivery()) {
-    stats_.resilience.injected_drops++;
-    stats_.resilience.retransmits++;
+    m_.injected_drops.inc();
+    m_.retransmits.inc();
+    if (tr_.on)
+      kernel_.telemetry().tracer().instant(node_of(f->args.src_rank), f->args.src_rank,
+                                           tr_.cat_flight, tr_.retransmit,
+                                           {{tr_.k_attempt, f->wire_attempts}});
     kernel_.post_in(cfg_.fault_detect_delay, [this, f] { launch_put(f); });
     return;
   }
@@ -335,11 +439,20 @@ void Fabric::arrive_put(Flight* f, Time arrival) {
 }
 
 void Fabric::recover_lost_put(Flight* f) {
-  stats_.resilience.failovers++;
+  m_.failovers.inc();
+  if (tr_.on)
+    kernel_.telemetry().tracer().instant(node_of(f->args.src_rank), f->args.src_rank,
+                                         tr_.cat_flight, tr_.failover,
+                                         {{tr_.k_nic, f->args.nic_index}});
   if (f->args.on_lost) {
     // The upper layer (UNR's splitter) re-issues the sub-message on a
-    // surviving NIC, re-encoding its notification. Detach the callback
-    // before releasing the flight: recovery may immediately acquire it.
+    // surviving NIC, re-encoding its notification — this flight's span ends
+    // here; the re-issue begins a new one. Detach the callback before
+    // releasing the flight: recovery may immediately acquire it.
+    if (tr_.on)
+      kernel_.telemetry().tracer().async_end(node_of(f->args.src_rank),
+                                             f->args.src_rank, tr_.cat_flight,
+                                             tr_.put, f->id);
     auto on_lost = std::move(f->args.on_lost);
     release_flight(f);
     on_lost();
@@ -347,7 +460,7 @@ void Fabric::recover_lost_put(Flight* f) {
   }
   // No handler: the fabric retransmits itself; launch_put routes the flight
   // off the failed NIC.
-  stats_.resilience.retransmits++;
+  m_.retransmits.inc();
   launch_put(f);
 }
 
@@ -361,7 +474,7 @@ void Fabric::deliver_put(Flight* f, Time arrival) {
     dst_idx = pick_healthy_nic(dst_node, dst_idx);
     if (!f->redirect_counted) {
       f->redirect_counted = true;
-      stats_.resilience.failovers++;
+      m_.failovers.inc();
     }
   }
   Nic& dnic = nic(dst_node, dst_idx);
@@ -372,9 +485,15 @@ void Fabric::deliver_put(Flight* f, Time arrival) {
                   "remote CQ on node " << dst_node << " never drained ("
                                        << f->cq_attempts << " NACKs)");
     (void)dnic.remote_cq().push({});  // records the overflow in CQ stats
-    stats_.cq_retries++;
+    m_.cq_retries.inc();
     const Time delay = nack_backoff_delay(f->cq_attempts, f->id);
-    stats_.resilience.backoff_ns += static_cast<std::uint64_t>(delay);
+    m_.backoff_ns.inc(static_cast<std::uint64_t>(delay));
+    if (tr_.on)
+      kernel_.telemetry().tracer().instant(
+          dst_node, obs::kNicTidBase + dst_idx, tr_.cat_flight, tr_.nack,
+          {{tr_.k_src, a.src_rank},
+           {tr_.k_attempt, f->cq_attempts},
+           {tr_.k_delay_ns, static_cast<std::int64_t>(delay)}});
     const Time retry = kernel_.now() + delay;
     kernel_.post_at(retry, [this, f, retry] { deliver_put(f, retry); });
     return;
@@ -395,6 +514,7 @@ void Fabric::deliver_put(Flight* f, Time arrival) {
     const bool ok = dnic.remote_cq().push(
         {CqeKind::kPutDelivered, a.src_rank, a.size, a.remote_imm, kernel_.now()});
     UNR_CHECK(ok);
+    m_.nic_cqes[static_cast<std::size_t>(dst_node * nics_per_node() + dst_idx)].inc();
     dnic.fire_remote_cqe_hook();
   }
   if (a.on_delivered) a.on_delivered();
@@ -410,7 +530,7 @@ void Fabric::deliver_put(Flight* f, Time arrival) {
       lidx = pick_healthy_nic(src_node, lidx);
       if (!f->redirect_counted) {
         f->redirect_counted = true;
-        stats_.resilience.failovers++;
+        m_.failovers.inc();
       }
     }
     Nic& snic = nic(src_node, lidx);
@@ -423,6 +543,9 @@ void Fabric::deliver_put(Flight* f, Time arrival) {
       snic.fire_local_cqe_hook();
     }
     if (args.on_local_complete) args.on_local_complete();
+    if (tr_.on)
+      kernel_.telemetry().tracer().async_end(src_node, args.src_rank,
+                                             tr_.cat_flight, tr_.put, f->id);
     release_flight(f);
   });
 }
@@ -439,15 +562,20 @@ void Fabric::get(GetArgs args) {
   UNR_CHECK(nic_idx < nics_per_node());
   if (nic(reader_node, nic_idx).failed()) {
     nic_idx = pick_healthy_nic(reader_node, nic_idx);
-    stats_.resilience.failovers++;
+    m_.failovers.inc();
   }
   args.nic_index = nic_idx;
 
   args.remote_imm = args.remote_imm.truncated(iface_.effective_get_remote());
   args.local_imm = args.local_imm.truncated(iface_.effective_get_local());
 
-  stats_.gets++;
-  stats_.get_bytes += args.size;
+  m_.gets.inc();
+  m_.get_bytes.inc(args.size);
+  const std::uint64_t get_id = ++get_seq_;
+  if (tr_.on)
+    kernel_.telemetry().tracer().async_begin(
+        reader_node, args.src_rank, tr_.cat_get, tr_.get, get_id,
+        {{tr_.k_src, args.src.rank}, {tr_.k_size, static_cast<std::int64_t>(args.size)}});
 
   // Request: a small descriptor travels to the data owner.
   Nic& rnic = nic(reader_node, nic_idx);
@@ -456,20 +584,21 @@ void Fabric::get(GetArgs args) {
                                         args.src_rank, args.src.rank);
 
   auto a = std::make_shared<GetArgs>(std::move(args));
-  kernel_.post_at(req_arrival, [this, a, reader_node, owner_node] {
+  kernel_.post_at(req_arrival, [this, a, reader_node, owner_node, get_id] {
     // The owner's NIC serializes the response; a dead NIC hands the request
     // to a surviving one.
     int oidx = a->nic_index;
     if (nic(owner_node, oidx).failed()) {
       oidx = pick_healthy_nic(owner_node, oidx);
-      stats_.resilience.failovers++;
+      m_.failovers.inc();
     }
     Nic& onic = nic(owner_node, oidx);
     const Time resp_tx = onic.reserve_tx(kernel_.now(), a->size);
 
     // Snapshot the data at response time (this is when the NIC reads memory).
     auto data = std::make_shared<std::vector<std::byte>>(a->size);
-    kernel_.post_at(resp_tx, [this, a, data, owner_node, reader_node, resp_tx, oidx] {
+    kernel_.post_at(resp_tx, [this, a, data, owner_node, reader_node, resp_tx, oidx,
+                              get_id] {
       if (a->size > 0) {
         const std::byte* src = memory_.resolve(a->src, a->size);
         std::memcpy(data->data(), src, a->size);
@@ -489,7 +618,7 @@ void Fabric::get(GetArgs args) {
       }
       const Time arrival = wire_arrival(owner_node, reader_node, resp_tx, false,
                                         a->src.rank, a->src_rank);
-      kernel_.post_at(arrival, [this, a, data, reader_node] {
+      kernel_.post_at(arrival, [this, a, data, reader_node, get_id] {
         if (a->size > 0) std::memcpy(a->dst, data->data(), a->size);
         if (a->hw_add_target != nullptr) {
           *a->hw_add_target += a->hw_addend;
@@ -499,7 +628,7 @@ void Fabric::get(GetArgs args) {
           int ridx = a->nic_index;
           if (nic(reader_node, ridx).failed()) {
             ridx = pick_healthy_nic(reader_node, ridx);
-            stats_.resilience.failovers++;
+            m_.failovers.inc();
           }
           Nic& rnic2 = nic(reader_node, ridx);
           const bool ok = rnic2.local_cq().push(
@@ -508,6 +637,9 @@ void Fabric::get(GetArgs args) {
           rnic2.fire_local_cqe_hook();
         }
         if (a->on_complete) a->on_complete();
+        if (tr_.on)
+          kernel_.telemetry().tracer().async_end(reader_node, a->src_rank,
+                                                 tr_.cat_get, tr_.get, get_id);
       });
     });
   });
@@ -526,7 +658,7 @@ void Fabric::send_am(int src_rank, int dst_rank, int channel,
                      std::vector<std::byte> payload, int nic_index, bool ordered) {
   UNR_CHECK(src_rank >= 0 && src_rank < nranks());
   UNR_CHECK(dst_rank >= 0 && dst_rank < nranks());
-  stats_.ams++;
+  m_.ams.inc();
 
   AmFlight* m = acquire_am_flight();
   m->src_rank = src_rank;
@@ -535,6 +667,12 @@ void Fabric::send_am(int src_rank, int dst_rank, int channel,
   m->payload = std::move(payload);
   m->nic_index = nic_index < 0 ? default_nic(src_rank) : nic_index;
   m->ordered = ordered;
+  m->id = ++am_seq_;
+  if (tr_.on)
+    kernel_.telemetry().tracer().async_begin(
+        node_of(src_rank), src_rank, tr_.cat_am, tr_.am, m->id,
+        {{tr_.k_dst, dst_rank},
+         {tr_.k_size, static_cast<std::int64_t>(m->payload.size())}});
   launch_am(m);
 }
 
@@ -546,7 +684,10 @@ void Fabric::launch_am(AmFlight* m) {
     // Control traffic reroutes transparently: an AM carries protocol state
     // (rendezvous, companions) that must not die with one NIC.
     nic_idx = pick_healthy_nic(src_node, nic_idx);
-    stats_.resilience.failovers++;
+    m_.failovers.inc();
+    if (tr_.on)
+      kernel_.telemetry().tracer().instant(src_node, m->src_rank, tr_.cat_am,
+                                           tr_.failover, {{tr_.k_nic, nic_idx}});
   }
   m->nic_index = nic_idx;
 
@@ -555,7 +696,7 @@ void Fabric::launch_am(AmFlight* m) {
       m->payload.size() + static_cast<std::size_t>(am_header_bytes());
   Time tx_done = snic.reserve_tx(kernel_.now(), bytes);
   const Time held = injector_.extra_delay();
-  if (held > 0) stats_.resilience.injected_delays++;
+  if (held > 0) m_.injected_delays.inc();
   if (m->ordered) {
     // Same launch-time drop evaluation as ordered PUTs: the retransmission
     // cost is folded into the FIFO slot, so an ordered companion stalls the
@@ -566,8 +707,12 @@ void Fabric::launch_am(AmFlight* m) {
       UNR_CHECK_MSG(m->attempts <= cfg_.retry.max_attempts,
                     "AM to rank " << m->dst_rank << " exceeded "
                                   << cfg_.retry.max_attempts << " attempts");
-      stats_.resilience.injected_drops++;
-      stats_.resilience.retransmits++;
+      m_.injected_drops.inc();
+      m_.retransmits.inc();
+      if (tr_.on)
+        kernel_.telemetry().tracer().instant(src_node, m->src_rank, tr_.cat_am,
+                                             tr_.retransmit,
+                                             {{tr_.k_attempt, m->attempts}});
       tx_done = snic.reserve_tx(tx_done + lat + cfg_.fault_detect_delay, bytes);
     }
   }
@@ -584,8 +729,12 @@ void Fabric::deliver_am(AmFlight* m) {
   // slots in the original order.
   const Nic& snic = nic(node_of(m->src_rank), m->nic_index);
   if (snic.lost_in_tx(m->tx_done)) {
-    stats_.resilience.lost_to_nic++;
-    stats_.resilience.retransmits++;
+    m_.lost_to_nic.inc();
+    m_.retransmits.inc();
+    if (tr_.on)
+      kernel_.telemetry().tracer().instant(node_of(m->src_rank), m->src_rank,
+                                           tr_.cat_am, tr_.lost,
+                                           {{tr_.k_nic, m->nic_index}});
     m->attempts++;
     UNR_CHECK_MSG(m->attempts <= cfg_.retry.max_attempts,
                   "AM to rank " << m->dst_rank << " exceeded "
@@ -597,8 +746,12 @@ void Fabric::deliver_am(AmFlight* m) {
   // companions) must eventually arrive or the protocol wedges. Ordered AMs
   // evaluated their drops at launch (see launch_am) to keep their FIFO slot.
   if (!m->ordered && injector_.drop_delivery()) {
-    stats_.resilience.injected_drops++;
-    stats_.resilience.retransmits++;
+    m_.injected_drops.inc();
+    m_.retransmits.inc();
+    if (tr_.on)
+      kernel_.telemetry().tracer().instant(node_of(m->src_rank), m->src_rank,
+                                           tr_.cat_am, tr_.retransmit,
+                                           {{tr_.k_attempt, m->attempts}});
     m->attempts++;
     UNR_CHECK_MSG(m->attempts <= cfg_.retry.max_attempts,
                   "AM to rank " << m->dst_rank << " exceeded "
@@ -615,6 +768,9 @@ void Fabric::deliver_am(AmFlight* m) {
   UNR_CHECK_MSG(have, "no AM handler for rank " << m->dst_rank << " channel "
                                                 << m->channel);
   chans[static_cast<std::size_t>(m->channel)](m->src_rank, m->payload);
+  if (tr_.on)
+    kernel_.telemetry().tracer().async_end(node_of(m->dst_rank), m->dst_rank,
+                                           tr_.cat_am, tr_.am, m->id);
   recycle_am_buffer(std::move(m->payload));
   release_am_flight(m);
 }

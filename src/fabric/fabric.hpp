@@ -25,6 +25,8 @@
 #include "fabric/fault.hpp"
 #include "fabric/memory.hpp"
 #include "fabric/nic.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "sim/kernel.hpp"
 #include "sim/node.hpp"
 
@@ -189,7 +191,10 @@ class Fabric {
     std::uint64_t cq_retries = 0;  ///< deliveries NACKed on a full remote CQ
     ResilienceStats resilience;
   };
-  const Stats& stats() const { return stats_; }
+  /// DEPRECATED shim (one PR): a snapshot materialized from the kernel's
+  /// obs::Registry, which now owns all fabric counters (names under
+  /// "fabric.*" — see docs/OBSERVABILITY.md). Prefer reading the registry.
+  Stats stats() const;
 
   /// Total remote-CQ overflow events across all NICs.
   std::uint64_t total_cq_overflows() const;
@@ -204,6 +209,29 @@ class Fabric {
  private:
   struct Flight;    // one PUT in transit (args + payload + attempt bookkeeping)
   struct AmFlight;  // one active message in transit
+
+  /// Pre-resolved registry handles: hot-path accounting is one pointer-
+  /// indirect add, no name lookup ever happens after construction.
+  struct Metrics {
+    obs::Counter puts, gets, ams, put_bytes, get_bytes, cq_retries;
+    obs::Counter backoff_ns, injected_drops, injected_delays, retransmits;
+    obs::Counter nic_failures, lost_to_nic, failovers;
+    /// Per-NIC delivered remote CQEs, flat [node * nics_per_node + index].
+    std::vector<obs::Counter> nic_cqes;
+    /// Per-rank PUT issue counts (label rank=R).
+    std::vector<obs::Counter> rank_puts;
+  };
+
+  /// Interned trace strings + cached enabled flag. The tracer's configure()
+  /// happens before the Fabric exists (World does it first), so caching the
+  /// flag here keeps every disabled-path check a single member-bool test.
+  struct TraceIds {
+    bool on = false;
+    obs::StrId cat_flight, cat_am, cat_get, cat_fault;
+    obs::StrId put, get, am, nack, retransmit, lost, failover, nic_failure, cq_burst;
+    obs::StrId k_src, k_dst, k_size, k_nic, k_attempt, k_delay_ns;
+  };
+  void init_telemetry();
 
   /// One-way wire+switch latency between two nodes (intra-node traffic does
   /// not cross the switch fabric and pays a scaled-down cost).
@@ -244,8 +272,14 @@ class Fabric {
   std::vector<Nic> nics_;  ///< flat [node * nics_per_node + index]
   Rng rng_;
   FaultInjector injector_;
-  Stats stats_;
+  Metrics m_;
+  TraceIds tr_;
   std::uint64_t flight_seq_ = 0;  // per-flight identity (keys backoff jitter)
+  // Trace-span ids for AMs/GETs are separate sequences: flight_seq_ keys the
+  // NACK-backoff jitter streams, so sharing it would shift PUT flight ids
+  // and perturb seeded timelines.
+  std::uint64_t am_seq_ = 0;
+  std::uint64_t get_seq_ = 0;
   /// Ordered-traffic FIFO tail per (src,dst) rank pair, key-packed flat.
   FlatU64Map<Time> fifo_tail_;
   /// Dense handler table [rank][channel] (channels are small caller ids).

@@ -1,0 +1,217 @@
+#include "obs/registry.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <ostream>
+
+namespace unr::obs {
+
+namespace {
+
+// Detached-handle sinks: a default-constructed Counter/Gauge/Histogram is
+// usable (so instrumented structs can be default-constructed before their
+// owner registers them) but counts into a shared throwaway slot.
+detail::CounterSlot g_counter_sink;
+detail::GaugeSlot g_gauge_sink;
+detail::HistSlot g_hist_sink;
+
+void write_json_escaped(std::ostream& os, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          // Control characters never appear in metric names; keep it simple.
+          os << ' ';
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
+void write_labels(std::ostream& os, const Labels& labels) {
+  os << '{';
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i) os << ',';
+    os << '"';
+    write_json_escaped(os, labels[i].key);
+    os << "\":\"";
+    write_json_escaped(os, labels[i].value);
+    os << '"';
+  }
+  os << '}';
+}
+
+int bucket_of(std::uint64_t v) { return std::bit_width(v); }
+
+}  // namespace
+
+Counter::Counter() : s_(&g_counter_sink) {}
+Gauge::Gauge() : s_(&g_gauge_sink) {}
+Histogram::Histogram() : s_(&g_hist_sink) {}
+
+void Histogram::observe(std::uint64_t v) {
+  s_->buckets[bucket_of(v)]++;
+  s_->count++;
+  s_->sum += v;
+}
+
+std::uint64_t Histogram::bucket_floor(int i) {
+  return i == 0 ? 0 : std::uint64_t{1} << (i - 1);
+}
+
+double Histogram::percentile(double p) const {
+  if (s_->count == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  const double target = p / 100.0 * static_cast<double>(s_->count);
+  std::uint64_t cum = 0;
+  for (int i = 0; i < detail::HistSlot::kBuckets; ++i) {
+    const std::uint64_t n = s_->buckets[i];
+    if (n == 0) continue;
+    if (static_cast<double>(cum + n) >= target) {
+      const double lo = static_cast<double>(bucket_floor(i));
+      const double hi = i == 0 ? 0.0 : static_cast<double>(bucket_floor(i)) * 2.0 - 1.0;
+      const double frac = n ? (target - static_cast<double>(cum)) / static_cast<double>(n) : 0.0;
+      return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+    }
+    cum += n;
+  }
+  return static_cast<double>(bucket_floor(detail::HistSlot::kBuckets - 1));
+}
+
+std::string Registry::key_of(std::string_view name, const Labels& labels) {
+  // Canonical identity: name + labels sorted by key, so {a=1,b=2} and
+  // {b=2,a=1} resolve to the same metric.
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Label& a, const Label& b) { return a.key < b.key; });
+  std::string key(name);
+  for (const Label& l : sorted) {
+    key += '\x1f';
+    key += l.key;
+    key += '\x1e';
+    key += l.value;
+  }
+  return key;
+}
+
+Counter Registry::counter(std::string_view name, const Labels& labels) {
+  if (!enabled_) {
+    counters_.emplace_back();
+    return Counter(&counters_.back());
+  }
+  const std::string key = key_of(name, labels);
+  auto it = by_key_.find(key);
+  if (it != by_key_.end()) return Counter(&counters_[metrics_[it->second].index]);
+  counters_.emplace_back();
+  by_key_.emplace(key, metrics_.size());
+  metrics_.push_back({std::string(name), labels, Kind::kCounter, counters_.size() - 1});
+  return Counter(&counters_.back());
+}
+
+Gauge Registry::gauge(std::string_view name, const Labels& labels) {
+  if (!enabled_) {
+    gauges_.emplace_back();
+    return Gauge(&gauges_.back());
+  }
+  const std::string key = key_of(name, labels);
+  auto it = by_key_.find(key);
+  if (it != by_key_.end()) return Gauge(&gauges_[metrics_[it->second].index]);
+  gauges_.emplace_back();
+  by_key_.emplace(key, metrics_.size());
+  metrics_.push_back({std::string(name), labels, Kind::kGauge, gauges_.size() - 1});
+  return Gauge(&gauges_.back());
+}
+
+Histogram Registry::histogram(std::string_view name, const Labels& labels) {
+  if (!enabled_) {
+    hists_.emplace_back();
+    return Histogram(&hists_.back());
+  }
+  const std::string key = key_of(name, labels);
+  auto it = by_key_.find(key);
+  if (it != by_key_.end()) return Histogram(&hists_[metrics_[it->second].index]);
+  hists_.emplace_back();
+  by_key_.emplace(key, metrics_.size());
+  metrics_.push_back({std::string(name), labels, Kind::kHistogram, hists_.size() - 1});
+  return Histogram(&hists_.back());
+}
+
+void Registry::reset() {
+  for (auto& s : counters_) s.v = 0;
+  for (auto& s : gauges_) s.v = 0;
+  for (auto& s : hists_) s = detail::HistSlot{};
+}
+
+std::ptrdiff_t Registry::find(std::string_view name, const Labels& labels,
+                              Kind kind) const {
+  auto it = by_key_.find(key_of(name, labels));
+  if (it == by_key_.end()) return -1;
+  if (metrics_[it->second].kind != kind) return -1;
+  return static_cast<std::ptrdiff_t>(it->second);
+}
+
+std::uint64_t Registry::counter_value(std::string_view name, const Labels& labels) const {
+  const std::ptrdiff_t i = find(name, labels, Kind::kCounter);
+  return i < 0 ? 0 : counters_[metrics_[i].index].v;
+}
+
+std::int64_t Registry::gauge_value(std::string_view name, const Labels& labels) const {
+  const std::ptrdiff_t i = find(name, labels, Kind::kGauge);
+  return i < 0 ? 0 : gauges_[metrics_[i].index].v;
+}
+
+const detail::HistSlot* Registry::histogram_slot(std::string_view name,
+                                                 const Labels& labels) const {
+  const std::ptrdiff_t i = find(name, labels, Kind::kHistogram);
+  return i < 0 ? nullptr : &hists_[metrics_[i].index];
+}
+
+void Registry::write_json(std::ostream& os) const {
+  os << "{\n  \"schema\": \"unr-metrics-v1\",\n  \"metrics\": [";
+  bool first = true;
+  for (const Meta& m : metrics_) {
+    if (!first) os << ',';
+    first = false;
+    os << "\n    {\"name\": \"";
+    write_json_escaped(os, m.name);
+    os << "\", \"labels\": ";
+    write_labels(os, m.labels);
+    switch (m.kind) {
+      case Kind::kCounter:
+        os << ", \"type\": \"counter\", \"value\": " << counters_[m.index].v << '}';
+        break;
+      case Kind::kGauge:
+        os << ", \"type\": \"gauge\", \"value\": " << gauges_[m.index].v << '}';
+        break;
+      case Kind::kHistogram: {
+        const detail::HistSlot& h = hists_[m.index];
+        os << ", \"type\": \"histogram\", \"count\": " << h.count
+           << ", \"sum\": " << h.sum;
+        // Percentiles as integers (values are virtual ns / bytes — integer
+        // domains), keeping the dump byte-deterministic across libcs.
+        const Histogram view(const_cast<detail::HistSlot*>(&h));
+        os << ", \"p50\": " << static_cast<std::uint64_t>(view.percentile(50))
+           << ", \"p90\": " << static_cast<std::uint64_t>(view.percentile(90))
+           << ", \"p99\": " << static_cast<std::uint64_t>(view.percentile(99));
+        os << ", \"buckets\": [";
+        bool bfirst = true;
+        for (int i = 0; i < detail::HistSlot::kBuckets; ++i) {
+          if (h.buckets[i] == 0) continue;
+          if (!bfirst) os << ',';
+          bfirst = false;
+          os << '[' << Histogram::bucket_floor(i) << ',' << h.buckets[i] << ']';
+        }
+        os << "]}";
+        break;
+      }
+    }
+  }
+  os << "\n  ]\n}\n";
+}
+
+}  // namespace unr::obs

@@ -1,0 +1,165 @@
+// obs::Registry — the simulation-wide metrics registry.
+//
+// One registry serves one simulation (it lives inside sim::Kernel, next to
+// the virtual clock). Components register named counters/gauges/histograms
+// once at construction time — optionally with labels such as {rank=3} or
+// {node=0, nic=1} — and keep the returned handle. A handle is a pre-resolved
+// pointer to the metric's slot, so hot-path updates are a single add with no
+// lookup, no lock (the sim kernel runs one entity at a time) and no
+// allocation.
+//
+// The legacy per-module stats structs (Fabric::Stats, Unr::Stats,
+// Engine::Stats) are retained as deprecated snapshot views materialized from
+// this registry; new code should read the registry directly (value lookups,
+// or the JSON dump written by Telemetry::flush).
+//
+// Disabled mode: a disabled registry still hands out fully functional
+// handles (they count into private unregistered slots, so module snapshot
+// views keep working), but registers nothing — size() is 0, lookups return
+// 0, and write_json emits an empty metric list. The hot-path cost is one
+// pointer-indirect add either way.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace unr::obs {
+
+struct Label {
+  std::string key;
+  std::string value;
+};
+using Labels = std::vector<Label>;
+
+namespace detail {
+
+struct CounterSlot {
+  std::uint64_t v = 0;
+};
+
+struct GaugeSlot {
+  std::int64_t v = 0;
+};
+
+/// Log2-bucketed histogram: bucket i holds values whose bit width is i
+/// (bucket 0 holds only 0), i.e. [2^(i-1), 2^i - 1] for i >= 1.
+struct HistSlot {
+  static constexpr int kBuckets = 65;
+  std::uint64_t buckets[kBuckets] = {};
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+};
+
+}  // namespace detail
+
+/// Monotonically increasing event count. Copyable; copies share the slot.
+class Counter {
+ public:
+  Counter();  ///< a detached counter backed by a private static sink
+  void inc(std::uint64_t d = 1) { s_->v += d; }
+  std::uint64_t value() const { return s_->v; }
+
+ private:
+  friend class Registry;
+  explicit Counter(detail::CounterSlot* s) : s_(s) {}
+  detail::CounterSlot* s_;
+};
+
+/// Point-in-time signed value (queue depth, end-of-run totals).
+class Gauge {
+ public:
+  Gauge();
+  void set(std::int64_t v) { s_->v = v; }
+  void add(std::int64_t d) { s_->v += d; }
+  std::int64_t value() const { return s_->v; }
+
+ private:
+  friend class Registry;
+  explicit Gauge(detail::GaugeSlot* s) : s_(s) {}
+  detail::GaugeSlot* s_;
+};
+
+/// Log2-bucketed distribution with approximate percentiles.
+class Histogram {
+ public:
+  Histogram();
+  void observe(std::uint64_t v);
+  std::uint64_t count() const { return s_->count; }
+  std::uint64_t sum() const { return s_->sum; }
+  /// Approximate percentile (p in [0, 100]): linear interpolation inside the
+  /// containing log2 bucket. Exact for values that are powers of two minus
+  /// one apart; never off by more than the bucket width.
+  double percentile(double p) const;
+  /// Lower bound of bucket i (0 for bucket 0, else 2^(i-1)).
+  static std::uint64_t bucket_floor(int i);
+
+ private:
+  friend class Registry;
+  explicit Histogram(detail::HistSlot* s) : s_(s) {}
+  detail::HistSlot* s_;
+};
+
+class Registry {
+ public:
+  explicit Registry(bool enabled = true) : enabled_(enabled) {}
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  bool enabled() const { return enabled_; }
+  /// Enable/disable registration of future metrics. Existing handles are
+  /// unaffected. Configure before constructing instrumented components
+  /// (World does this in its constructor).
+  void set_enabled(bool on) { enabled_ = on; }
+
+  /// Register (or re-acquire) a metric. Re-registering the same name+labels
+  /// returns a handle to the same slot. Handles stay valid for the
+  /// registry's lifetime.
+  Counter counter(std::string_view name, const Labels& labels = {});
+  Gauge gauge(std::string_view name, const Labels& labels = {});
+  Histogram histogram(std::string_view name, const Labels& labels = {});
+
+  /// Zero every slot (registered or not). Well-defined at any point between
+  /// events; benches that loop configurations call this between runs.
+  void reset();
+
+  /// Number of registered metrics (0 when disabled).
+  std::size_t size() const { return metrics_.size(); }
+
+  /// Lookup by name+labels; 0 when absent (or when the registry is disabled).
+  std::uint64_t counter_value(std::string_view name, const Labels& labels = {}) const;
+  std::int64_t gauge_value(std::string_view name, const Labels& labels = {}) const;
+  /// nullptr when absent.
+  const detail::HistSlot* histogram_slot(std::string_view name,
+                                         const Labels& labels = {}) const;
+
+  /// Deterministic JSON dump (registration order): schema "unr-metrics-v1".
+  void write_json(std::ostream& os) const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Meta {
+    std::string name;
+    Labels labels;
+    Kind kind;
+    std::size_t index;  ///< into the kind's slot deque
+  };
+
+  static std::string key_of(std::string_view name, const Labels& labels);
+  /// Registered metric index for name+labels of `kind`, or -1.
+  std::ptrdiff_t find(std::string_view name, const Labels& labels, Kind kind) const;
+
+  bool enabled_;
+  // Deques: slot addresses are stable across growth.
+  std::deque<detail::CounterSlot> counters_;
+  std::deque<detail::GaugeSlot> gauges_;
+  std::deque<detail::HistSlot> hists_;
+  std::vector<Meta> metrics_;                       ///< registration order
+  std::unordered_map<std::string, std::size_t> by_key_;  ///< key -> metrics_ index
+};
+
+}  // namespace unr::obs

@@ -1,0 +1,33 @@
+#include "obs/telemetry.hpp"
+
+#include <fstream>
+#include <iostream>
+
+namespace unr::obs {
+
+void Telemetry::configure(const TelemetryConfig& cfg) {
+  cfg_ = cfg;
+  registry_.set_enabled(cfg.metrics);
+  tracer_.configure(cfg.trace);
+}
+
+void Telemetry::flush() {
+  if (!cfg_.trace_path.empty()) {
+    std::ofstream os(cfg_.trace_path, std::ios::binary | std::ios::trunc);
+    if (os) {
+      tracer_.write_json(os);
+    } else {
+      std::cerr << "[obs] cannot open trace file " << cfg_.trace_path << "\n";
+    }
+  }
+  if (!cfg_.metrics_path.empty()) {
+    std::ofstream os(cfg_.metrics_path, std::ios::binary | std::ios::trunc);
+    if (os) {
+      registry_.write_json(os);
+    } else {
+      std::cerr << "[obs] cannot open metrics file " << cfg_.metrics_path << "\n";
+    }
+  }
+}
+
+}  // namespace unr::obs

@@ -1,0 +1,59 @@
+// obs::Telemetry — the single entry point to the observability layer.
+//
+// One Telemetry instance lives inside sim::Kernel (next to the virtual
+// clock), so every component that can reach the kernel can reach the
+// registry and the tracer:
+//
+//   kernel.telemetry().registry().counter("fabric.puts").inc();
+//   kernel.telemetry().tracer().instant(...);
+//
+// Configure it BEFORE constructing instrumented components (Fabric, Unr,
+// Comm, Solver cache handles and the tracer's enabled flag at construction);
+// runtime::World does this first thing in its constructor from
+// World::Config::telemetry. flush() writes the configured output files; the
+// kernel destructor calls it, so benches get their --trace/--metrics files
+// without any explicit teardown code.
+#pragma once
+
+#include <string>
+
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+
+namespace unr::obs {
+
+struct TelemetryConfig {
+  /// Export metrics (register names, enable lookups/dumps). Handles keep
+  /// counting either way; this only gates the registry's visible surface.
+  bool metrics = true;
+  TracerConfig trace;
+  std::string trace_path;    ///< Chrome trace JSON written by flush(); "" = off
+  std::string metrics_path;  ///< metrics JSON written by flush(); "" = off
+};
+
+class Telemetry {
+ public:
+  Telemetry() = default;
+  Telemetry(const Telemetry&) = delete;
+  Telemetry& operator=(const Telemetry&) = delete;
+
+  void configure(const TelemetryConfig& cfg);
+  void bind_clock(const Time* now) { tracer_.bind_clock(now); }
+
+  Registry& registry() { return registry_; }
+  const Registry& registry() const { return registry_; }
+  Tracer& tracer() { return tracer_; }
+  const Tracer& tracer() const { return tracer_; }
+
+  /// Write trace_path / metrics_path if configured. Idempotent (re-writes);
+  /// warns to stderr on I/O failure instead of throwing — telemetry must
+  /// never take down a run that already produced its result.
+  void flush();
+
+ private:
+  TelemetryConfig cfg_;
+  Registry registry_{true};
+  Tracer tracer_;
+};
+
+}  // namespace unr::obs

@@ -1,0 +1,215 @@
+#include "obs/trace.hpp"
+
+#include <cassert>
+#include <ostream>
+
+namespace unr::obs {
+
+namespace {
+
+void write_json_escaped(std::ostream& os, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          os << ' ';
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
+// Chrome expects `ts`/`dur` in microseconds; our clock is integer ns.
+// Print fixed-point µs with exactly three fractionals: byte-deterministic,
+// no floating point involved.
+void write_us(std::ostream& os, Time ns) {
+  os << (ns / 1000) << '.';
+  const auto frac = ns % 1000;
+  if (frac < 100) os << '0';
+  if (frac < 10) os << '0';
+  os << frac;
+}
+
+}  // namespace
+
+void Tracer::configure(const TracerConfig& cfg) {
+  enabled_ = cfg.enabled;
+  ring_.clear();
+  head_ = 0;
+  count_ = 0;
+  dropped_ = 0;
+  if (enabled_) {
+    std::size_t cap = cfg.ring_capacity == 0 ? 1 : cfg.ring_capacity;
+    ring_.resize(cap);
+  } else {
+    ring_.shrink_to_fit();
+  }
+}
+
+StrId Tracer::intern(std::string_view s) {
+  auto it = intern_.find(std::string(s));
+  if (it != intern_.end()) return it->second;
+  const StrId id = static_cast<StrId>(strings_.size());
+  strings_.emplace_back(s);
+  intern_.emplace(strings_.back(), id);
+  return id;
+}
+
+void Tracer::set_process_name(int pid, std::string_view name) {
+  if (!enabled_) return;
+  for (auto& [p, n] : process_names_) {
+    if (p == pid) {
+      n = std::string(name);
+      return;
+    }
+  }
+  process_names_.emplace_back(pid, std::string(name));
+}
+
+void Tracer::set_thread_name(int pid, int tid, std::string_view name) {
+  if (!enabled_) return;
+  for (auto& [key, n] : thread_names_) {
+    if (key.first == pid && key.second == tid) {
+      n = std::string(name);
+      return;
+    }
+  }
+  thread_names_.emplace_back(std::make_pair(pid, tid), std::string(name));
+}
+
+void Tracer::push(char ph, int pid, int tid, StrId cat, StrId name, Time ts,
+                  Time dur, std::uint64_t id,
+                  std::initializer_list<TraceArg> args) {
+  Event& e = ring_[head_];
+  if (count_ == ring_.size()) {
+    ++dropped_;  // overwriting the oldest event
+  } else {
+    ++count_;
+  }
+  head_ = head_ + 1 == ring_.size() ? 0 : head_ + 1;
+  e.ts = ts;
+  e.dur = dur;
+  e.id = id;
+  e.cat = cat;
+  e.name = name;
+  e.pid = pid;
+  e.tid = tid;
+  e.ph = ph;
+  e.nargs = 0;
+  for (const TraceArg& a : args) {
+    if (e.nargs == kMaxArgs) break;
+    e.args[e.nargs++] = a;
+  }
+}
+
+void Tracer::complete(int pid, int tid, StrId cat, StrId name, Time start,
+                      Time dur, std::initializer_list<TraceArg> args) {
+  if (!enabled_) return;
+  push('X', pid, tid, cat, name, start, dur, 0, args);
+}
+
+void Tracer::instant(int pid, int tid, StrId cat, StrId name,
+                     std::initializer_list<TraceArg> args) {
+  if (!enabled_) return;
+  push('i', pid, tid, cat, name, now(), 0, 0, args);
+}
+
+void Tracer::async_begin(int pid, int tid, StrId cat, StrId name,
+                         std::uint64_t id,
+                         std::initializer_list<TraceArg> args) {
+  if (!enabled_) return;
+  push('b', pid, tid, cat, name, now(), 0, id, args);
+}
+
+void Tracer::async_end(int pid, int tid, StrId cat, StrId name,
+                       std::uint64_t id,
+                       std::initializer_list<TraceArg> args) {
+  if (!enabled_) return;
+  push('e', pid, tid, cat, name, now(), 0, id, args);
+}
+
+void Tracer::clear() {
+  head_ = 0;
+  count_ = 0;
+  dropped_ = 0;
+}
+
+void Tracer::write_event(std::ostream& os, const Event& e) const {
+  os << "{\"name\":\"";
+  write_json_escaped(os, strings_[e.name]);
+  os << "\",\"cat\":\"";
+  write_json_escaped(os, strings_[e.cat]);
+  os << "\",\"ph\":\"" << e.ph << "\",\"ts\":";
+  write_us(os, e.ts);
+  if (e.ph == 'X') {
+    os << ",\"dur\":";
+    write_us(os, e.dur);
+  }
+  os << ",\"pid\":" << e.pid << ",\"tid\":" << e.tid;
+  if (e.ph == 'b' || e.ph == 'e') {
+    char buf[19] = "0x";
+    static const char* hex = "0123456789abcdef";
+    int n = 2;
+    std::uint64_t v = e.id;
+    char tmp[16];
+    int t = 0;
+    do {
+      tmp[t++] = hex[v & 0xf];
+      v >>= 4;
+    } while (v);
+    while (t) buf[n++] = tmp[--t];
+    os << ",\"id\":\"" << std::string_view(buf, n) << '"';
+  }
+  if (e.ph == 'i') os << ",\"s\":\"t\"";
+  if (e.nargs) {
+    os << ",\"args\":{";
+    for (int i = 0; i < e.nargs; ++i) {
+      if (i) os << ',';
+      os << '"';
+      write_json_escaped(os, strings_[e.args[i].key]);
+      os << "\":" << e.args[i].value;
+    }
+    os << '}';
+  }
+  os << '}';
+}
+
+void Tracer::write_json(std::ostream& os) const {
+  os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) os << ",";
+    first = false;
+    os << "\n";
+  };
+  for (const auto& [pid, name] : process_names_) {
+    sep();
+    os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+       << ",\"tid\":0,\"args\":{\"name\":\"";
+    write_json_escaped(os, name);
+    os << "\"}}";
+  }
+  for (const auto& [key, name] : thread_names_) {
+    sep();
+    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" << key.first
+       << ",\"tid\":" << key.second << ",\"args\":{\"name\":\"";
+    write_json_escaped(os, name);
+    os << "\"}}";
+  }
+  const std::size_t start = count_ == ring_.size() ? head_ : 0;
+  for (std::size_t i = 0; i < count_; ++i) {
+    const std::size_t idx =
+        start + i >= ring_.size() ? start + i - ring_.size() : start + i;
+    sep();
+    write_event(os, ring_[idx]);
+  }
+  os << "\n],\"otherData\":{\"schema\":\"unr-trace-v1\",\"recorded\":" << count_
+     << ",\"dropped\":" << dropped_ << "}}\n";
+}
+
+}  // namespace unr::obs

@@ -1,0 +1,125 @@
+// obs::Tracer — virtual-time tracing to Chrome trace-event JSON.
+//
+// Events are timestamped in virtual nanoseconds read through a bound clock
+// pointer (sim::Kernel binds its `now_`). Emission is a push into a fixed
+// ring buffer of POD events — no allocation, no formatting — so the sim
+// hot path pays a single `enabled` branch when tracing is off and a few
+// stores when it is on. JSON rendering happens once, at flush.
+//
+// Event kinds map to Chrome trace phases:
+//   complete()    -> "X"  (span with explicit start + duration)
+//   instant()     -> "i"  (point event)
+//   async_begin/  -> "b"/"e" (async nestable span; overlapping flights on
+//   async_end()              one track, matched by category + id)
+//   set_process_name / set_thread_name -> "M" metadata records
+//
+// Names and categories are interned once (cache the StrId at component
+// construction); per-event args carry interned keys + int64 values.
+//
+// The ring keeps the LAST `ring_capacity` events: tracing a long run stays
+// bounded and you see the end of the timeline; `dropped()` reports how many
+// older events were overwritten (also recorded in the JSON's otherData).
+//
+// Determinism: timestamps are integer virtual ns printed as fixed-point
+// microseconds ("12.345"), so identical seeds produce byte-identical files.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace unr::obs {
+
+using StrId = std::uint32_t;
+
+struct TraceArg {
+  StrId key = 0;
+  std::int64_t value = 0;
+};
+
+struct TracerConfig {
+  bool enabled = false;
+  std::size_t ring_capacity = 1u << 16;  ///< events kept (last N)
+};
+
+// Track (tid) conventions shared by instrumented components. Ranks use
+// their global rank id as tid; infrastructure tracks sit far above any
+// plausible rank count and get thread_name metadata.
+inline constexpr int kEngineTid = 1'000'000;    ///< per-node polling engine
+inline constexpr int kNicTidBase = 1'000'100;   ///< + local NIC index
+
+class Tracer {
+ public:
+  static constexpr int kMaxArgs = 4;
+
+  bool enabled() const { return enabled_; }
+  /// Reconfigure; clears any recorded events. Do this before constructing
+  /// instrumented components (they cache `enabled()` at construction).
+  void configure(const TracerConfig& cfg);
+  /// Bind the virtual clock all events are stamped from.
+  void bind_clock(const Time* now) { now_ = now; }
+
+  /// Intern a string; stable for the tracer's lifetime. Safe (and cheap) to
+  /// call when disabled so components can cache ids unconditionally.
+  StrId intern(std::string_view s);
+
+  void set_process_name(int pid, std::string_view name);
+  void set_thread_name(int pid, int tid, std::string_view name);
+
+  void complete(int pid, int tid, StrId cat, StrId name, Time start, Time dur,
+                std::initializer_list<TraceArg> args = {});
+  void instant(int pid, int tid, StrId cat, StrId name,
+               std::initializer_list<TraceArg> args = {});
+  void async_begin(int pid, int tid, StrId cat, StrId name, std::uint64_t id,
+                   std::initializer_list<TraceArg> args = {});
+  void async_end(int pid, int tid, StrId cat, StrId name, std::uint64_t id,
+                 std::initializer_list<TraceArg> args = {});
+
+  Time now() const { return now_ ? *now_ : 0; }
+  std::size_t recorded() const { return count_; }
+  std::uint64_t dropped() const { return dropped_; }
+  void clear();
+
+  /// Chrome trace JSON ("unr-trace-v1"): metadata first, then ring events
+  /// oldest-to-newest. Deterministic for a deterministic event stream.
+  void write_json(std::ostream& os) const;
+
+ private:
+  struct Event {
+    Time ts;
+    Time dur;
+    std::uint64_t id;
+    StrId cat;
+    StrId name;
+    std::int32_t pid;
+    std::int32_t tid;
+    char ph;
+    std::uint8_t nargs;
+    TraceArg args[kMaxArgs];
+  };
+
+  void push(char ph, int pid, int tid, StrId cat, StrId name, Time ts, Time dur,
+            std::uint64_t id, std::initializer_list<TraceArg> args);
+  void write_event(std::ostream& os, const Event& e) const;
+
+  bool enabled_ = false;
+  const Time* now_ = nullptr;
+  std::vector<Event> ring_;
+  std::size_t head_ = 0;  ///< next write position
+  std::size_t count_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::vector<std::string> strings_;
+  std::unordered_map<std::string, StrId> intern_;
+  std::vector<std::pair<int, std::string>> process_names_;
+  std::vector<std::pair<std::pair<int, int>, std::string>> thread_names_;
+};
+
+}  // namespace unr::obs

@@ -50,6 +50,22 @@ Solver::Solver(runtime::Rank& rank, SolverConfig cfg)
   pc.threads = cfg_.threads;
   pc.compute_ns_per_point = ns_per_cell_;
   poisson_ = std::make_unique<PoissonSolver>(rank_, pc);
+
+  obs::Telemetry& tel = rank_.kernel().telemetry();
+  step_ns_ = tel.registry().histogram("solver.step_ns",
+                                      {{"rank", std::to_string(rank_.id())}});
+  obs::Tracer& tr = tel.tracer();
+  tr_.on = tr.enabled();
+  tr_.cat = tr.intern("solver");
+  tr_.velocity = tr.intern("velocity");
+  tr_.ppe = tr.intern("ppe");
+  tr_.correction = tr.intern("correction");
+  tr_.k_fft = tr.intern("fft_ns");
+  tr_.k_transpose = tr.intern("transpose_ns");
+  tr_.k_tridiag = tr.intern("tridiag_ns");
+  if (tr_.on)
+    tr.set_thread_name(rank_.node_id(), rank_.id(),
+                       "rank " + std::to_string(rank_.id()));
 }
 
 void Solver::charge(double factor) {
@@ -150,6 +166,10 @@ void Solver::step() {
   // The divergence stencil needs the lower halos of the provisional field.
   exchange_velocity(u_, v_, w_);
   timings_.velocity += rank_.now() - t_step;
+  if (tr_.on)
+    rank_.kernel().telemetry().tracer().complete(rank_.node_id(), rank_.id(), tr_.cat,
+                                                 tr_.velocity, t_step,
+                                                 rank_.now() - t_step);
 
   // ---- Pressure Poisson solve (Fig. 3e) ----
   const Time t_ppe = rank_.now();
@@ -163,6 +183,12 @@ void Solver::step() {
   timings_.ppe_transpose += after.transpose - before.transpose;
   timings_.ppe_tridiag += after.tridiag - before.tridiag;
   timings_.ppe += rank_.now() - t_ppe;
+  if (tr_.on)
+    rank_.kernel().telemetry().tracer().complete(
+        rank_.node_id(), rank_.id(), tr_.cat, tr_.ppe, t_ppe, rank_.now() - t_ppe,
+        {{tr_.k_fft, static_cast<std::int64_t>(after.fft - before.fft)},
+         {tr_.k_transpose, static_cast<std::int64_t>(after.transpose - before.transpose)},
+         {tr_.k_tridiag, static_cast<std::int64_t>(after.tridiag - before.tridiag)}});
 
   // ---- Velocity correction ----
   const Time t_corr = rank_.now();
@@ -178,7 +204,12 @@ void Solver::step() {
   apply_velocity_z_bc(d, cfg_.bc, u_, v_, w_);
   charge(1.5);
   timings_.correction += rank_.now() - t_corr;
+  if (tr_.on)
+    rank_.kernel().telemetry().tracer().complete(rank_.node_id(), rank_.id(), tr_.cat,
+                                                 tr_.correction, t_corr,
+                                                 rank_.now() - t_corr);
 
+  step_ns_.observe(rank_.now() - t_step);
   timings_.total += rank_.now() - t_step;
   t_ += dt;
 }

@@ -12,6 +12,8 @@
 #include <functional>
 #include <memory>
 
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "powerllel/decomp.hpp"
 #include "powerllel/field.hpp"
 #include "powerllel/halo.hpp"
@@ -103,6 +105,15 @@ class Solver {
   std::unique_ptr<HaloExchange> p_halo_;
   std::unique_ptr<PoissonSolver> poisson_;
   StepTimings timings_;
+  /// Per-rank distribution of whole-step virtual durations.
+  obs::Histogram step_ns_;
+  /// Interned trace ids for the per-phase spans; `on` caches enablement.
+  struct TraceIds {
+    bool on = false;
+    obs::StrId cat, velocity, ppe, correction;
+    obs::StrId k_fft, k_transpose, k_tridiag;
+  };
+  TraceIds tr_;
 };
 
 }  // namespace unr::powerllel

@@ -55,6 +55,20 @@ void charge(fabric::Fabric& f, Time t) {
 }  // namespace
 
 Comm::Comm(fabric::Fabric& fabric) : fabric_(fabric) {
+  obs::Telemetry& tel = fabric_.kernel().telemetry();
+  m_.eager_sends = tel.registry().counter("comm.eager_sends");
+  m_.rts_sends = tel.registry().counter("comm.rts_sends");
+  m_.cts_sends = tel.registry().counter("comm.cts_sends");
+  m_.unexpected_msgs = tel.registry().counter("comm.unexpected_msgs");
+  tr_.on = tel.tracer().enabled();
+  tr_.cat = tel.tracer().intern("rdv");
+  tr_.rdv = tel.tracer().intern("rendezvous");
+  tr_.eager = tel.tracer().intern("eager");
+  tr_.rts = tel.tracer().intern("rts");
+  tr_.k_src = tel.tracer().intern("src");
+  tr_.k_dst = tel.tracer().intern("dst");
+  tr_.k_size = tel.tracer().intern("size");
+  tr_.k_tag = tel.tracer().intern("tag");
   ranks_.resize(static_cast<std::size_t>(fabric_.nranks()));
   rdv_sends_.resize(static_cast<std::size_t>(fabric_.nranks()));
   coll_seq_.assign(static_cast<std::size_t>(fabric_.nranks()), 0);
@@ -81,6 +95,11 @@ RequestPtr Comm::isend(int self, int dst, int tag, const void* data, std::size_t
     // Eager: pack into the wire message (the sender-side extra copy of
     // Fig. 1a) and complete immediately — the data is buffered.
     charge(fabric_, prof.memcpy_time(size));
+    m_.eager_sends.inc();
+    if (tr_.on)
+      fabric_.kernel().telemetry().tracer().instant(
+          fabric_.node_of(self), self, tr_.cat, tr_.eager,
+          {{tr_.k_dst, dst}, {tr_.k_size, static_cast<std::int64_t>(size)}});
     EagerHeader h{tag, size};
     fabric_.send_am(self, dst, kChanEager, pack(fabric_, h, data, size), /*nic*/ -1,
                     /*ordered=*/true);
@@ -91,6 +110,13 @@ RequestPtr Comm::isend(int self, int dst, int tag, const void* data, std::size_t
   auto req = make_request();
   const std::uint64_t id = next_rdv_id_++;
   rdv_sends_[static_cast<std::size_t>(self)][id] = RdvSend{data, size, req, dst};
+  m_.rts_sends.inc();
+  // The handshake span covers RTS departure to CTS arrival back at the
+  // sender (handle_cts); the data PUT itself is traced by the fabric.
+  if (tr_.on)
+    fabric_.kernel().telemetry().tracer().async_begin(
+        fabric_.node_of(self), self, tr_.cat, tr_.rdv, id,
+        {{tr_.k_dst, dst}, {tr_.k_size, static_cast<std::int64_t>(size)}});
   RtsHeader h{tag, size, id};
   fabric_.send_am(self, dst, kChanRts, pack(fabric_, h), -1, /*ordered=*/true);
   return req;
@@ -167,6 +193,7 @@ void Comm::handle_eager(int dst, int src, const std::vector<std::byte>& payload)
     st.posted.erase(it);
     return;
   }
+  m_.unexpected_msgs.inc();
   UnexpectedMsg m;
   m.src = src;
   m.tag = h.tag;
@@ -178,6 +205,10 @@ void Comm::handle_eager(int dst, int src, const std::vector<std::byte>& payload)
 
 void Comm::handle_rts(int dst, int src, const std::vector<std::byte>& payload) {
   const auto h = unpack<RtsHeader>(payload);
+  if (tr_.on)
+    fabric_.kernel().telemetry().tracer().instant(
+        fabric_.node_of(dst), dst, tr_.cat, tr_.rts,
+        {{tr_.k_src, src}, {tr_.k_size, static_cast<std::int64_t>(h.size)}});
   auto& st = ranks_[static_cast<std::size_t>(dst)];
   for (auto it = st.posted.begin(); it != st.posted.end(); ++it) {
     if (!matches(it->src, it->tag, src, h.tag)) continue;
@@ -194,6 +225,7 @@ void Comm::handle_rts(int dst, int src, const std::vector<std::byte>& payload) {
   m.rendezvous = true;
   m.size = h.size;
   m.rdv_id = h.rdv_id;
+  m_.unexpected_msgs.inc();
   st.unexpected.push_back(std::move(m));
 }
 
@@ -205,6 +237,7 @@ void Comm::accept_rts(int self, int src, std::uint64_t rdv_id, void* buf,
   const fabric::MrId mr = fabric_.memory().register_region(self, buf, size == 0 ? 1 : size);
   // Remember how to finish this receive when the data lands.
   pending_rdv_recvs_[rdv_id] = PendingRdvRecv{self, mr, req};
+  m_.cts_sends.inc();
   CtsHeader h{rdv_id, mr};
   fabric_.send_am(self, src, kChanCts, pack(fabric_, h));
 }
@@ -217,6 +250,10 @@ void Comm::handle_cts(int dst, int src, const std::vector<std::byte>& payload) {
   UNR_CHECK_MSG(it != pending.end(), "CTS for unknown rendezvous id " << h.rdv_id);
   RdvSend rs = it->second;
   pending.erase(it);
+  // CTS back at the original sender: the handshake opened in isend is done.
+  if (tr_.on)
+    fabric_.kernel().telemetry().tracer().async_end(fabric_.node_of(dst), dst,
+                                                    tr_.cat, tr_.rdv, h.rdv_id);
 
   fabric::Fabric::PutArgs put;
   put.src_rank = dst;

@@ -17,6 +17,8 @@
 
 #include "common/units.hpp"
 #include "fabric/fabric.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "runtime/request.hpp"
 
 namespace unr::runtime {
@@ -113,6 +115,17 @@ class Comm {
                   const RequestPtr& req);
 
   fabric::Fabric& fabric_;
+  /// Protocol counters (registry handles resolved once at construction).
+  struct Metrics {
+    obs::Counter eager_sends, rts_sends, cts_sends, unexpected_msgs;
+  };
+  Metrics m_;
+  /// Interned trace ids; `on` caches the tracer's enabled flag.
+  struct TraceIds {
+    bool on = false;
+    obs::StrId cat, rdv, eager, rts, k_src, k_dst, k_size, k_tag;
+  };
+  TraceIds tr_;
   std::vector<RankState> ranks_;
   std::vector<std::unordered_map<std::uint64_t, RdvSend>> rdv_sends_;  // per src rank
   std::unordered_map<std::uint64_t, PendingRdvRecv> pending_rdv_recvs_;

@@ -5,6 +5,10 @@
 namespace unr::runtime {
 
 World::World(Config cfg) : cfg_(std::move(cfg)) {
+  // First thing, before the Fabric (or anything else instrumented) exists:
+  // components cache registry handles and the tracer's enabled flag at
+  // construction time.
+  kernel_.telemetry().configure(cfg_.telemetry);
   fabric::Fabric::Config fc;
   fc.nodes = cfg_.nodes;
   fc.ranks_per_node = cfg_.ranks_per_node;

@@ -10,6 +10,7 @@
 
 #include "common/profile.hpp"
 #include "fabric/fabric.hpp"
+#include "obs/telemetry.hpp"
 #include "runtime/collectives.hpp"
 #include "runtime/comm.hpp"
 #include "sim/kernel.hpp"
@@ -30,6 +31,10 @@ class World {
     fabric::Fabric::RetryPolicy retry;   ///< NACK backoff + attempt cap
     fabric::FaultConfig faults;          ///< fault-injection schedule
     Time fault_detect_delay = 10 * kUs;  ///< loss-detection timeout
+    /// Observability: metrics registry + virtual-time tracer + output files.
+    /// Applied to the kernel BEFORE any instrumented component is built, so
+    /// cached handles/flags see the final configuration.
+    obs::TelemetryConfig telemetry;
   };
 
   explicit World(Config cfg);

@@ -85,6 +85,9 @@ Kernel* Kernel::current() { return tl_kernel; }
 int Kernel::current_actor_id() { return tl_actor; }
 
 Kernel::~Kernel() {
+  // Write any configured --trace/--metrics output files while the clock and
+  // registry are still alive.
+  telemetry_.flush();
   // Destroy the callables of any never-dispatched events (their side effects
   // are simply lost, as with the old priority_queue). Slab memory is freed
   // by the slabs_ vector itself.
@@ -268,6 +271,8 @@ void Kernel::run(int n_actors, std::function<void(int)> body) {
   for (auto& a : actors_)
     if (a->thread.joinable()) a->thread.join();
   end_time_ = now_;
+  telemetry_.registry().gauge("sim.events_dispatched").set(static_cast<std::int64_t>(events_dispatched_));
+  telemetry_.registry().gauge("sim.end_time_ns").set(static_cast<std::int64_t>(end_time_));
   tl_kernel = nullptr;
   if (first_error_) std::rethrow_exception(first_error_);
 }

@@ -50,6 +50,7 @@
 
 #include "common/check.hpp"
 #include "common/units.hpp"
+#include "obs/telemetry.hpp"
 
 namespace unr::sim {
 
@@ -192,7 +193,7 @@ class TimerWheel {
 
 class Kernel {
  public:
-  Kernel() = default;
+  Kernel() { telemetry_.bind_clock(&now_); }
   ~Kernel();
   Kernel(const Kernel&) = delete;
   Kernel& operator=(const Kernel&) = delete;
@@ -247,6 +248,12 @@ class Kernel {
   /// Virtual time at which the last run() finished.
   Time end_time() const { return end_time_; }
 
+  /// The simulation's observability surface (metrics registry + virtual-time
+  /// tracer). Configure before constructing instrumented components; the
+  /// destructor flushes any configured output files.
+  obs::Telemetry& telemetry() { return telemetry_; }
+  const obs::Telemetry& telemetry() const { return telemetry_; }
+
  private:
   enum class State { kReady, kRunning, kBlocked, kDone };
 
@@ -290,6 +297,7 @@ class Kernel {
 
   mutable std::mutex mu_;
   std::condition_variable sched_cv_;
+  obs::Telemetry telemetry_;
   Time now_ = 0;
   Time end_time_ = 0;
   std::uint64_t events_dispatched_ = 0;

@@ -51,7 +51,7 @@ void Channel::send_companion(int src_rank, int dst_rank, SigId idx, std::int64_t
   CompanionMsg m{idx, code};
   std::vector<std::byte> payload(sizeof m);
   std::memcpy(payload.data(), &m, sizeof m);
-  ctx_.mutable_stats().companions++;
+  ctx_.metrics().companions.inc();
   ctx_.fabric().send_am(src_rank, dst_rank, kAmCompanion, std::move(payload), nic,
                         ordered);
 }

@@ -47,7 +47,7 @@ class NativeChannel final : public Channel {
         a.remote_imm = imm;
       } else {
         need_companion = true;
-        ctx_.mutable_stats().encode_fallbacks++;
+        ctx_.metrics().encode_fallbacks.inc();
       }
     }
 
@@ -60,7 +60,7 @@ class NativeChannel final : public Channel {
         a.local_imm = imm;
       } else {
         local_sw = true;
-        ctx_.mutable_stats().encode_fallbacks++;
+        ctx_.metrics().encode_fallbacks.inc();
       }
     }
     if (local_sw) {
@@ -114,7 +114,7 @@ class NativeChannel final : public Channel {
         a.remote_imm = imm;
       } else {
         owner_companion = true;
-        ctx_.mutable_stats().encode_fallbacks++;
+        ctx_.metrics().encode_fallbacks.inc();
       }
     }
 

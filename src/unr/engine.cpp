@@ -9,7 +9,19 @@ namespace unr::unrlib {
 
 Engine::Engine(Unr& ctx, int node, Config cfg, bool active)
     : ctx_(ctx), node_(node), cfg_(cfg), active_(active) {
+  obs::Telemetry& tel = ctx_.fabric().kernel().telemetry();
+  const obs::Labels node_label{{"node", std::to_string(node_)}};
+  m_.drains = tel.registry().counter("unr.engine.drains", node_label);
+  m_.cqes = tel.registry().counter("unr.engine.cqes", node_label);
+  m_.sw_tasks = tel.registry().counter("unr.engine.sw_tasks", node_label);
+  tr_.on = tel.tracer().enabled();
+  tr_.cat = tel.tracer().intern("engine");
+  tr_.drain = tel.tracer().intern("drain");
+  tr_.k_cqes = tel.tracer().intern("cqes");
+  tr_.k_sw = tel.tracer().intern("sw_tasks");
   if (!active_) return;
+  if (tr_.on)
+    tel.tracer().set_thread_name(node_, obs::kEngineTid, "polling-engine");
   sim::Node& n = ctx_.fabric().machine().node(node_);
   if (cfg_.reserved_core) {
     // A dedicated core: full capacity loss, but no interference penalty and
@@ -21,6 +33,10 @@ Engine::Engine(Unr& ctx, int node, Config cfg, bool active)
 }
 
 Engine::~Engine() = default;
+
+Engine::Stats Engine::stats() const {
+  return Stats{m_.drains.value(), m_.cqes.value(), m_.sw_tasks.value()};
+}
 
 Time Engine::phase_delay() const {
   Time d = cfg_.poll_interval / 2;
@@ -48,18 +64,20 @@ void Engine::schedule_drain(Time at) {
 }
 
 void Engine::drain() {
-  stats_.drains++;
+  m_.drains.inc();
+  std::uint64_t drained_cqes = 0;
+  std::uint64_t ran_sw = 0;
   fabric::Fabric& f = ctx_.fabric();
   for (int i = 0; i < f.nics_per_node(); ++i) {
     fabric::Nic& nic = f.nic(node_, i);
     while (!nic.remote_cq().empty()) {
       const fabric::Cqe e = nic.remote_cq().pop();
-      stats_.cqes++;
+      ++drained_cqes;
       ctx_.channel().process_cqe(node_, e);
     }
     while (!nic.local_cq().empty()) {
       const fabric::Cqe e = nic.local_cq().pop();
-      stats_.cqes++;
+      ++drained_cqes;
       ctx_.channel().process_cqe(node_, e);
     }
   }
@@ -70,13 +88,22 @@ void Engine::drain() {
     if (sw_q_[i].ready <= now) {
       auto task = std::move(sw_q_[i].run);
       sw_q_.erase(sw_q_.begin() + static_cast<std::ptrdiff_t>(i));
-      stats_.sw_tasks++;
+      ++ran_sw;
       task();
     } else {
       next_ready = next_ready == 0 ? sw_q_[i].ready : std::min(next_ready, sw_q_[i].ready);
       ++i;
     }
   }
+  m_.cqes.inc(drained_cqes);
+  m_.sw_tasks.inc(ran_sw);
+  // A drain executes at one virtual instant, so its trace record is an
+  // instant on the engine track carrying the work it found.
+  if (tr_.on)
+    ctx_.fabric().kernel().telemetry().tracer().instant(
+        node_, obs::kEngineTid, tr_.cat, tr_.drain,
+        {{tr_.k_cqes, static_cast<std::int64_t>(drained_cqes)},
+         {tr_.k_sw, static_cast<std::int64_t>(ran_sw)}});
   if (!sw_q_.empty() && !scheduled_)
     schedule_drain(std::max(next_ready, now + cfg_.poll_interval));
 }

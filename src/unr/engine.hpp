@@ -18,6 +18,8 @@
 #include <functional>
 
 #include "common/units.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 
 namespace unr::unrlib {
 
@@ -54,7 +56,9 @@ class Engine {
     std::uint64_t cqes = 0;
     std::uint64_t sw_tasks = 0;
   };
-  const Stats& stats() const { return stats_; }
+  /// DEPRECATED shim (one PR): snapshot of the registry's
+  /// "unr.engine.*"{node=N} counters.
+  Stats stats() const;
 
  private:
   void schedule_drain(Time at);
@@ -71,7 +75,16 @@ class Engine {
     std::function<void()> run;
   };
   std::deque<SwTask> sw_q_;
-  Stats stats_;
+  struct Metrics {
+    obs::Counter drains, cqes, sw_tasks;
+  };
+  Metrics m_;
+  struct TraceIds {
+    bool on = false;
+    obs::StrId cat, drain;
+    obs::StrId k_cqes, k_sw;
+  };
+  TraceIds tr_;
 };
 
 }  // namespace unr::unrlib

@@ -39,6 +39,14 @@ inline SigId UNR_Sig_Init(UNR_Handle h, std::int64_t num_event, int n_bits = -1)
 inline void UNR_Sig_Wait(UNR_Handle h, SigId sig) { h.unr->sig_wait(h.rank, sig); }
 inline void UNR_Sig_Reset(UNR_Handle h, SigId sig) { h.unr->sig_reset(h.rank, sig); }
 inline bool UNR_Sig_Test(UNR_Handle h, SigId sig) { return h.unr->sig_test(h.rank, sig); }
+/// Bounded wait: false = `timeout` virtual ns elapsed without a trigger.
+inline bool UNR_Sig_Wait_For(UNR_Handle h, SigId sig, Time timeout) {
+  return h.unr->sig_wait_for(h.rank, sig, timeout);
+}
+/// Wait until ANY of `sigs` triggers; returns the index within `sigs`.
+inline std::size_t UNR_Sig_Wait_Any(UNR_Handle h, std::span<const SigId> sigs) {
+  return h.unr->sig_wait_any(h.rank, sigs);
+}
 
 inline Blk UNR_Blk_Init(UNR_Handle h, const MemHandle& mem, std::size_t offset,
                         std::size_t size, SigId sig = kNoSig) {
@@ -51,7 +59,7 @@ inline void UNR_Put(UNR_Handle h, const Blk& local, const Blk& remote,
 }
 
 inline void UNR_Get(UNR_Handle h, const Blk& local, const Blk& remote,
-                    const PutOptions& opts = {}) {
+                    const GetOptions& opts = {}) {
   h.unr->get(h.rank, local, remote, opts);
 }
 

@@ -33,6 +33,7 @@ std::unique_ptr<Channel> make_channel(ChannelKind kind, Unr& ctx) {
 Unr::Unr(runtime::World& world) : Unr(world, Config{}) {}
 
 Unr::Unr(runtime::World& world, Config cfg) : world_(world), cfg_(cfg) {
+  init_telemetry();
   const ChannelKind kind = resolve_kind(cfg_);
   sigs_.resize(static_cast<std::size_t>(world_.fabric().node_count()));
   channel_ = make_channel(kind, *this);
@@ -55,6 +56,37 @@ Unr::Unr(runtime::World& world, Config cfg) : world_(world), cfg_(cfg) {
 }
 
 Unr::~Unr() = default;
+
+void Unr::init_telemetry() {
+  obs::Telemetry& tel = world_.kernel().telemetry();
+  obs::Registry& reg = tel.registry();
+  m_.puts = reg.counter("unr.puts");
+  m_.gets = reg.counter("unr.gets");
+  m_.fragments = reg.counter("unr.fragments");
+  m_.companions = reg.counter("unr.companions");
+  m_.encode_fallbacks = reg.counter("unr.encode_fallbacks");
+  m_.shm_fastpath = reg.counter("unr.shm_fastpath");
+  m_.failovers = reg.counter("unr.failovers");
+  tr_.on = tel.tracer().enabled();
+  tr_.cat = tel.tracer().intern("unr");
+  tr_.sig_apply = tel.tracer().intern("sig_apply");
+  tr_.k_sig = tel.tracer().intern("sig");
+  tr_.k_code = tel.tracer().intern("code");
+}
+
+Unr::Stats Unr::stats() const {
+  Stats s;
+  s.puts = m_.puts.value();
+  s.gets = m_.gets.value();
+  s.fragments = m_.fragments.value();
+  s.companions = m_.companions.value();
+  s.encode_fallbacks = m_.encode_fallbacks.value();
+  s.shm_fastpath = m_.shm_fastpath.value();
+  s.failovers = m_.failovers.value();
+  return s;
+}
+
+void Unr::reset_stats() { world_.kernel().telemetry().registry().reset(); }
 
 MemHandle Unr::mem_reg(int self, void* buf, std::size_t size) {
   const fabric::MrId mr = world_.fabric().memory().register_region(self, buf, size);
@@ -111,6 +143,10 @@ std::int64_t Unr::sig_counter(int self, SigId sig) const {
 
 void Unr::apply_notification(int node, SigId id, std::int64_t code) {
   Signal& s = sig_at(node, id);
+  if (tr_.on)
+    world_.kernel().telemetry().tracer().instant(
+        node, obs::kEngineTid, tr_.cat, tr_.sig_apply,
+        {{tr_.k_sig, static_cast<std::int64_t>(id)}, {tr_.k_code, code}});
   s.apply(Signal::decode_addend(code, s.n_bits()));
 }
 
@@ -132,7 +168,7 @@ Blk Unr::blk_init(int self, const MemHandle& mem, std::size_t offset, std::size_
 }
 
 int Unr::decide_split(int self, const Blk& remote, std::size_t size,
-                      const PutOptions& opts) const {
+                      const XferOptions& opts) const {
   if (opts.force_split > 0) return opts.force_split;
   if (!cfg_.multi_channel || !channel_->multi_channel()) return 1;
   if (size < cfg_.split_threshold) return 1;
@@ -151,7 +187,7 @@ int Unr::decide_split(int self, const Blk& remote, std::size_t size,
 }
 
 void Unr::do_xfer(bool is_put, int self, const Blk& local, const Blk& remote,
-                  const PutOptions& opts) {
+                  const XferOptions& opts) {
   UNR_CHECK_MSG(local.rank == self, "local Blk does not belong to the calling rank");
   UNR_CHECK_MSG(remote.valid(), "remote Blk is invalid (was it exchanged?)");
   UNR_CHECK_MSG(local.size == remote.size, "Blk size mismatch: local "
@@ -175,10 +211,10 @@ void Unr::do_xfer(bool is_put, int self, const Blk& local, const Blk& remote,
     sim::busy(prof.rma_post_overhead / 2);
     do_shm_xfer(is_put, self, lptr, remote, size, lsig, rsig);
     if (is_put)
-      stats_.puts++;
+      m_.puts.inc();
     else
-      stats_.gets++;
-    stats_.shm_fastpath++;
+      m_.gets.inc();
+    m_.shm_fastpath.inc();
     return;
   }
 
@@ -187,10 +223,10 @@ void Unr::do_xfer(bool is_put, int self, const Blk& local, const Blk& remote,
             static_cast<Time>(k - 1) * (prof.rma_post_overhead / 2));
 
   if (is_put)
-    stats_.puts++;
+    m_.puts.inc();
   else
-    stats_.gets++;
-  stats_.fragments += static_cast<std::uint64_t>(k - 1);
+    m_.gets.inc();
+  m_.fragments.inc(static_cast<std::uint64_t>(k - 1));
 
   // Round-robin fragments over the node's SURVIVING NICs. With no failures
   // this is identical to round-robin over all NICs (healthy is [0, nics)).
@@ -269,7 +305,7 @@ void Unr::do_shm_xfer(bool is_put, int self, void* lptr, const Blk& remote,
 }
 
 void Unr::handle_fragment_failover(const XferOp& op) {
-  stats_.failovers++;
+  m_.failovers.inc();
   XferOp re = op;
   const int node = node_of(op.src_rank);
   const int preferred = re.nic < 0 ? world_.fabric().default_nic(op.src_rank) : re.nic;
@@ -284,7 +320,7 @@ void Unr::put(int self, const Blk& local, const Blk& remote, const PutOptions& o
   do_xfer(true, self, local, remote, opts);
 }
 
-void Unr::get(int self, const Blk& local, const Blk& remote, const PutOptions& opts) {
+void Unr::get(int self, const Blk& local, const Blk& remote, const GetOptions& opts) {
   do_xfer(false, self, local, remote, opts);
 }
 
@@ -293,33 +329,37 @@ std::unique_ptr<Plan> Unr::make_plan(int self) {
 }
 
 void Unr::print_stats(std::ostream& os) const {
+  // A human-readable view over the registry (the same counters --metrics
+  // dumps as JSON); everything below reads registry-backed snapshots.
+  const Stats us = stats();
   os << "UNR stats (channel: " << channel_->name()
      << ", level: " << support_level_name(channel_->level()) << ")\n";
-  os << "  puts: " << stats_.puts << "  gets: " << stats_.gets
-     << "  extra fragments: " << stats_.fragments << "\n";
-  os << "  companion notifications: " << stats_.companions
-     << "  encode fallbacks: " << stats_.encode_fallbacks << "\n";
+  os << "  puts: " << us.puts << "  gets: " << us.gets
+     << "  extra fragments: " << us.fragments << "\n";
+  os << "  companion notifications: " << us.companions
+     << "  encode fallbacks: " << us.encode_fallbacks << "\n";
   std::uint64_t drains = 0, cqes = 0, sw = 0;
   for (const auto& e : engines_) {
-    drains += e->stats().drains;
-    cqes += e->stats().cqes;
-    sw += e->stats().sw_tasks;
+    const Engine::Stats es = e->stats();
+    drains += es.drains;
+    cqes += es.cqes;
+    sw += es.sw_tasks;
   }
   os << "  engine drains: " << drains << "  CQEs processed: " << cqes
      << "  software tasks: " << sw << "\n";
-  const auto& fs = world_.fabric().stats();
+  const fabric::Fabric::Stats fs = world_.fabric().stats();
   os << "  fabric: puts " << fs.puts << " (" << fs.put_bytes << " B), gets "
      << fs.gets << " (" << fs.get_bytes << " B), AMs " << fs.ams
      << ", CQ retries " << fs.cq_retries << "\n";
   const auto& rs = fs.resilience;
   if (rs.injected_drops + rs.injected_delays + rs.nic_failures + rs.failovers +
-          rs.retransmits + stats_.failovers >
+          rs.retransmits + us.failovers >
       0) {
     os << "  resilience: drops " << rs.injected_drops << ", delays "
        << rs.injected_delays << ", retransmits " << rs.retransmits
        << ", NIC failures " << rs.nic_failures << ", lost-to-NIC " << rs.lost_to_nic
        << ", failovers " << rs.failovers << " (fragments re-issued: "
-       << stats_.failovers << "), backoff " << rs.backoff_ns << " ns\n";
+       << us.failovers << "), backoff " << rs.backoff_ns << " ns\n";
   }
   std::size_t signals = 0;
   for (const auto& table : sigs_) signals += table.size();
@@ -335,7 +375,7 @@ void Plan::add_put(const Blk& local, const Blk& remote, const PutOptions& opts) 
   ops_.push_back(op);
 }
 
-void Plan::add_get(const Blk& local, const Blk& remote, const PutOptions& opts) {
+void Plan::add_get(const Blk& local, const Blk& remote, const GetOptions& opts) {
   Op op;
   op.kind = Op::Kind::kGet;
   op.local = local;

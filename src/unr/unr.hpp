@@ -30,7 +30,9 @@
 
 namespace unr::unrlib {
 
-struct PutOptions {
+/// Per-transfer options, shared by PUT and GET (the knobs — local-signal
+/// override, forced split, NIC pinning — are direction-agnostic).
+struct XferOptions {
   /// Override the local-completion signal (defaults to the local Blk's).
   SigId local_sig = kNoSig;
   bool use_local_blk_sig = true;
@@ -39,6 +41,10 @@ struct PutOptions {
   /// Pin to one NIC (-1 = scheduler's choice).
   int nic = -1;
 };
+/// Directional aliases. `get()` historically took PutOptions; both names
+/// stay valid and interchangeable.
+using PutOptions = XferOptions;
+using GetOptions = XferOptions;
 
 class Plan;
 
@@ -100,7 +106,7 @@ class Unr {
   void put(int self, const Blk& local, const Blk& remote, const PutOptions& opts = {});
   /// GET the remote block into the local block. The local signal fires when
   /// the data lands; the remote Blk's signal notifies the owner.
-  void get(int self, const Blk& local, const Blk& remote, const PutOptions& opts = {});
+  void get(int self, const Blk& local, const Blk& remote, const GetOptions& opts = {});
 
   // --- Plans ---
   std::unique_ptr<Plan> make_plan(int self);
@@ -123,8 +129,12 @@ class Unr {
     std::uint64_t shm_fastpath = 0;    ///< intra-node kernel-assisted copies
     std::uint64_t failovers = 0;       ///< fragments re-issued after a NIC died
   };
-  const Stats& stats() const { return stats_; }
-  Stats& mutable_stats() { return stats_; }
+  /// DEPRECATED shim (one PR): snapshot of the registry's "unr.*" counters.
+  Stats stats() const;
+  /// Zero EVERY metric of this simulation's registry — library, engine,
+  /// fabric and solver counters alike — so benches that loop configurations
+  /// over one World start each run from a clean slate.
+  void reset_stats();
 
   /// Human-readable dump of library + engine + fabric counters (operations,
   /// fragments, companion messages, CQEs drained, CQ overflow retries).
@@ -140,6 +150,13 @@ class Unr {
   /// be re-encoded safely; the fragment is re-put on a surviving NIC, so a
   /// K-way split degrades to (K-1)-way instead of hanging the signal.
   void handle_fragment_failover(const XferOp& op);
+  /// Pre-resolved registry handles for the library's own counters; channels
+  /// bump companions / encode_fallbacks through this.
+  struct Metrics {
+    obs::Counter puts, gets, fragments, companions, encode_fallbacks;
+    obs::Counter shm_fastpath, failovers;
+  };
+  Metrics& metrics() { return m_; }
 
  private:
   friend class Plan;
@@ -148,10 +165,11 @@ class Unr {
     int count;
     std::int64_t r_lead, r_follow, l_lead, l_follow;  // raw addends
   };
+  void init_telemetry();
   int decide_split(int self, const Blk& remote, std::size_t size,
-                   const PutOptions& opts) const;
+                   const XferOptions& opts) const;
   void do_xfer(bool is_put, int self, const Blk& local, const Blk& remote,
-               const PutOptions& opts);
+               const XferOptions& opts);
   void do_shm_xfer(bool is_put, int self, void* lptr, const Blk& remote,
                    std::size_t size, SigId lsig, SigId rsig);
 
@@ -160,7 +178,12 @@ class Unr {
   std::unique_ptr<Channel> channel_;
   std::vector<std::unique_ptr<Engine>> engines_;              // per node
   std::vector<std::vector<std::unique_ptr<Signal>>> sigs_;    // per node
-  Stats stats_;
+  Metrics m_;
+  struct TraceIds {
+    bool on = false;
+    obs::StrId cat, sig_apply, k_sig, k_code;
+  };
+  TraceIds tr_;
 };
 
 /// A recorded series of RMA operations (UNR_RMA_Plan / UNR_Plan_Start).
@@ -170,7 +193,7 @@ class Unr {
 class Plan {
  public:
   void add_put(const Blk& local, const Blk& remote, const PutOptions& opts = {});
-  void add_get(const Blk& local, const Blk& remote, const PutOptions& opts = {});
+  void add_get(const Blk& local, const Blk& remote, const GetOptions& opts = {});
   /// A node-local copy executed at start() (e.g. the self-block of an
   /// all-to-all); applies the given signals with a = -1 when done.
   void add_local_copy(void* dst, const void* src, std::size_t size,
@@ -189,7 +212,7 @@ class Plan {
   struct Op {
     enum class Kind { kPut, kGet, kCopy } kind;
     Blk local, remote;
-    PutOptions opts;
+    XferOptions opts;
     void* copy_dst = nullptr;
     const void* copy_src = nullptr;
     std::size_t copy_size = 0;

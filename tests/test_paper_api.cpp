@@ -95,6 +95,42 @@ TEST(PaperApi, PlanAndGet) {
   EXPECT_TRUE(got);
 }
 
+TEST(PaperApi, SigWaitForAndWaitAny) {
+  World::Config wc;
+  wc.profile = unr::make_th_xy();
+  wc.deterministic_routing = true;
+  World w(wc);
+  Unr lib(w);
+  bool timed_out = false, triggered = false;
+  std::size_t which = 99;
+
+  w.run([&](Rank& r) {
+    UNR_Handle h{&lib, r.id()};
+    std::vector<double> buf(32, 0.0);
+    auto mr = UNR_Mem_Reg(h, buf.data(), buf.size() * sizeof(double));
+    if (r.id() == 0) {
+      Blk rmt;
+      r.recv(1, 0, &rmt, sizeof rmt);
+      r.kernel().sleep_for(50 * kUs);  // let the receiver's bounded wait expire
+      auto sblk = UNR_Blk_Init(h, mr, 0, 16 * sizeof(double));
+      UNR_Put(h, sblk, rmt);
+    } else {
+      // Two candidate signals; the PUT notifies only sig_b's block.
+      auto sig_a = UNR_Sig_Init(h, 1);
+      auto sig_b = UNR_Sig_Init(h, 1);
+      auto rblk = UNR_Blk_Init(h, mr, 0, 16 * sizeof(double), sig_b);
+      r.send(0, 0, &rblk, sizeof rblk);
+      timed_out = !UNR_Sig_Wait_For(h, sig_a, 10 * kUs);  // nothing targets sig_a
+      const SigId sigs[2] = {sig_a, sig_b};
+      which = UNR_Sig_Wait_Any(h, std::span<const SigId>(sigs, 2));
+      triggered = UNR_Sig_Wait_For(h, sig_b, 10 * kUs);  // already triggered
+    }
+  });
+  EXPECT_TRUE(timed_out);
+  EXPECT_EQ(which, 1u);
+  EXPECT_TRUE(triggered);
+}
+
 TEST(PaperApi, ConvertNamesCompile) {
   World::Config wc;
   wc.nodes = 2;

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event JSON file produced by the obs::Tracer.
+
+Stdlib-only. Checks:
+  * the file parses as JSON and has a traceEvents list,
+  * every event carries name/ph/ts/pid/tid with sane types,
+  * phases are limited to the set the tracer emits (X, i, b, e, M),
+  * "X" events have a non-negative dur,
+  * async "b"/"e" events match up per (cat, id) without going negative,
+  * otherData declares the unr-trace-v1 schema.
+
+Events are NOT required to be sorted by ts: the ring buffer interleaves
+tracks, and Perfetto/chrome://tracing sort on load.
+
+Usage: check_trace.py TRACE.json [--expect-name NAME ...] [--expect-cat CAT ...]
+"""
+import argparse
+import collections
+import json
+import sys
+
+ALLOWED_PHASES = {"X", "i", "b", "e", "M"}
+
+
+def fail(msg):
+    print(f"check_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("trace")
+    ap.add_argument("--expect-name", action="append", default=[],
+                    help="require at least one event with this name")
+    ap.add_argument("--expect-cat", action="append", default=[],
+                    help="require at least one event with this category")
+    args = ap.parse_args()
+
+    try:
+        with open(args.trace, "rb") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot parse {args.trace}: {e}")
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        fail("no traceEvents list")
+
+    other = doc.get("otherData", {})
+    if other.get("schema") != "unr-trace-v1":
+        fail(f"otherData.schema is {other.get('schema')!r}, want 'unr-trace-v1'")
+
+    names = collections.Counter()
+    cats = collections.Counter()
+    async_depth = collections.Counter()  # (cat, id) -> open spans
+    for i, e in enumerate(events):
+        where = f"event {i}"
+        if not isinstance(e, dict):
+            fail(f"{where} is not an object")
+        for key in ("name", "ph", "pid", "tid"):
+            if key not in e:
+                fail(f"{where} missing {key!r}: {e}")
+        ph = e["ph"]
+        if ph not in ALLOWED_PHASES:
+            fail(f"{where} has unexpected phase {ph!r}")
+        if ph != "M":
+            ts = e.get("ts")
+            if not isinstance(ts, (int, float)) or ts < 0:
+                fail(f"{where} has bad ts {ts!r}")
+        if ph == "X":
+            dur = e.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                fail(f"{where} ('{e['name']}') has bad dur {dur!r}")
+        if ph in ("b", "e"):
+            key = (e.get("cat"), e.get("id"))
+            if e.get("id") is None:
+                fail(f"{where} async event without id")
+            if ph == "b":
+                async_depth[key] += 1
+            else:
+                async_depth[key] -= 1
+                if async_depth[key] < 0:
+                    fail(f"{where} async end without begin for {key}")
+        names[e["name"]] += 1
+        if "cat" in e:
+            cats[e["cat"]] += 1
+
+    # Spans still open at the end of the ring are fine (the ring may have
+    # dropped their begins, or flush happened mid-flight) — only a negative
+    # depth (end before begin, checked above) is a structural error.
+
+    for want in args.expect_name:
+        if names[want] == 0:
+            fail(f"no event named {want!r} (have: {sorted(names)})")
+    for want in args.expect_cat:
+        if cats[want] == 0:
+            fail(f"no event with category {want!r} (have: {sorted(cats)})")
+
+    recorded = other.get("recorded")
+    dropped = other.get("dropped", 0)
+    print(f"check_trace: OK: {len(events)} events "
+          f"(recorded={recorded}, dropped={dropped}), "
+          f"{len(names)} distinct names, {len(cats)} categories")
+
+
+if __name__ == "__main__":
+    main()
