@@ -1,0 +1,88 @@
+#include "check/oracle.hpp"
+
+#include "common/check.hpp"
+#include "common/flat_table.hpp"
+
+namespace unr::check {
+
+std::byte Oracle::pattern_byte(std::uint64_t pattern, std::uint64_t i) {
+  // One splitmix64 finalizer per 8-byte lane; cheap and position-sensitive
+  // (shifted or partially-written payloads can never alias the expectation).
+  const std::uint64_t lane = mix64(pattern + (i >> 3));
+  return static_cast<std::byte>((lane >> ((i & 7) * 8)) & 0xff);
+}
+
+void Oracle::fill(std::span<std::byte> buf, std::uint64_t pattern) {
+  for (std::size_t i = 0; i < buf.size(); ++i) buf[i] = pattern_byte(pattern, i);
+}
+
+bool Oracle::check(std::span<const std::byte> buf, std::uint64_t pattern,
+                   std::size_t& bad_index) {
+  for (std::size_t i = 0; i < buf.size(); ++i) {
+    if (buf[i] != pattern_byte(pattern, i)) {
+      bad_index = i;
+      return false;
+    }
+  }
+  return true;
+}
+
+Oracle::Events Oracle::expected_events(std::size_t round, int rank) const {
+  UNR_CHECK(round < spec_.rounds.size());
+  const RoundSpec& r = spec_.rounds[round];
+  Events e;
+  if (r.kind != RoundSpec::Kind::kXfer) return e;
+  for (const OpSpec& op : r.ops) {
+    if (op.kind == OpSpec::Kind::kSend) continue;
+    // PUT a->b: delivery notifies b, local completion notifies a.
+    // GET a<-b: the owner b is notified of the read, the landing notifies a.
+    if (op.remote_notify && op.b == rank) ++e.arrivals;
+    if (op.local_notify && op.a == rank) ++e.locals;
+  }
+  return e;
+}
+
+bool Oracle::verifiable(const OpSpec& op) {
+  switch (op.kind) {
+    case OpSpec::Kind::kSend:
+      return true;  // recv completion orders it
+    case OpSpec::Kind::kPut:
+      // Only the receiver's own arrival signal orders the landing at b
+      // before b's verification. Local completion is NOT enough on every
+      // channel: the MPI fallback is a buffered send that fires the local
+      // signal at issue time, long before delivery.
+      return op.remote_notify;
+    case OpSpec::Kind::kGet:
+      // The owner's notification fires when the response LEAVES the owner —
+      // it does not order the landing at the reader. Only the reader's own
+      // local signal does.
+      return op.local_notify;
+  }
+  return false;
+}
+
+std::uint64_t Oracle::coll_pattern(std::size_t round, int rank) const {
+  return mix64(spec_.seed ^ (static_cast<std::uint64_t>(round) << 20) ^
+               static_cast<std::uint64_t>(rank + 1)) |
+         1;
+}
+
+double Oracle::allreduce_contrib(std::size_t round, int rank, std::size_t j) const {
+  // Integers below 2^20: any summation order over <= 2^20 ranks stays exact.
+  return static_cast<double>(mix64(coll_pattern(round, rank) + j) % 1000);
+}
+
+double Oracle::allreduce_expected(std::size_t round, std::size_t j) const {
+  double sum = 0;
+  for (int r = 0; r < spec_.nranks(); ++r) sum += allreduce_contrib(round, r, j);
+  return sum;
+}
+
+std::uint64_t Oracle::window_pattern(std::size_t round, int origin) const {
+  return mix64(spec_.seed ^ 0x77696eull ^
+               (static_cast<std::uint64_t>(round) << 24) ^
+               static_cast<std::uint64_t>(origin + 1)) |
+         1;
+}
+
+}  // namespace unr::check

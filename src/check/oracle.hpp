@@ -1,0 +1,68 @@
+// Reference oracle: the plain-C++ model of what a workload MUST produce.
+//
+// Everything here is computed without touching the simulator: payload bytes
+// are a pure function of (pattern id, byte index); signal expectations follow
+// the MMAS accounting identity — every operation nets exactly -1 on each
+// bound signal regardless of how many fragments it was split into (the lead
+// addend's +(K-1) sub-message field cancels against K-1 followers) — so a
+// round signal created with num_event = <expected ops> must read exactly 0
+// after the waits; collective results are modeled with exact-in-double
+// integer arithmetic so any reduction order gives bit-identical sums.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "check/workload.hpp"
+
+namespace unr::check {
+
+class Oracle {
+ public:
+  explicit Oracle(const WorkloadSpec& spec) : spec_(spec) {}
+
+  // --- Payload model ---
+  static std::byte pattern_byte(std::uint64_t pattern, std::uint64_t i);
+  static void fill(std::span<std::byte> buf, std::uint64_t pattern);
+  /// True when buf matches the pattern; on mismatch `bad_index` is the first
+  /// differing byte.
+  static bool check(std::span<const std::byte> buf, std::uint64_t pattern,
+                    std::size_t& bad_index);
+
+  // --- Signal model (MMAS accounting) ---
+  struct Events {
+    std::int64_t arrivals = 0;  ///< notified landings at this rank
+    std::int64_t locals = 0;    ///< local completions owed to this rank
+  };
+  /// Expected notification counts for `rank` in xfer round `round`; both
+  /// round signals are created with exactly these num_event values, so the
+  /// triggered counter must be exactly 0 (±anything = lost/duplicated/stray
+  /// notification or a broken addend).
+  Events expected_events(std::size_t round, int rank) const;
+
+  /// Can this op's landing be ordered before the round-closing barrier on
+  /// EVERY channel level? (send: recv completion; PUT: the receiver's
+  /// arrival signal; GET: the reader's local signal.) Other ops are
+  /// fire-and-forget from the verifier's point of view and are excluded
+  /// from byte verification and from the digest — the set must be the same
+  /// across channels or differential digests could not match.
+  static bool verifiable(const OpSpec& op);
+
+  // --- Collective model ---
+  /// Pattern id of `rank`'s contribution to collective round `round`.
+  std::uint64_t coll_pattern(std::size_t round, int rank) const;
+  /// rank's j-th allreduce contribution: small exact-in-double integers, so
+  /// the reduction result is order-independent and bit-checkable.
+  double allreduce_contrib(std::size_t round, int rank, std::size_t j) const;
+  double allreduce_expected(std::size_t round, std::size_t j) const;
+
+  // --- Window model ---
+  /// Pattern id of origin's put into window round `round`.
+  std::uint64_t window_pattern(std::size_t round, int origin) const;
+
+ private:
+  const WorkloadSpec& spec_;
+};
+
+}  // namespace unr::check

@@ -1,0 +1,583 @@
+#include "check/runner.hpp"
+
+#include <cstring>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <utility>
+
+#include "check/oracle.hpp"
+#include "common/log.hpp"
+#include "common/profile.hpp"
+#include "runtime/window.hpp"
+#include "runtime/world.hpp"
+#include "unr/collectives.hpp"
+#include "unr/unr.hpp"
+
+namespace unr::check {
+namespace {
+
+constexpr std::uint64_t kFnvBasis = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+void fnv(std::uint64_t& h, const void* p, std::size_t n) {
+  const auto* b = static_cast<const unsigned char*>(p);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= b[i];
+    h *= kFnvPrime;
+  }
+}
+
+void fnv_u64(std::uint64_t& h, std::uint64_t v) { fnv(h, &v, sizeof(v)); }
+
+// Tag plan: Blk handles and two-sided payloads each get a dedicated tag per
+// (round, op) so nothing can cross-match. Both planes stay far below
+// runtime::kInternalTagBase (1 << 28); validate() bounds round/op counts.
+int blk_tag(std::size_t round, std::size_t op) {
+  return (1 << 20) + static_cast<int>(round) * 256 + static_cast<int>(op);
+}
+int send_tag(std::size_t round, std::size_t op) {
+  return (1 << 21) + static_cast<int>(round) * 256 + static_cast<int>(op);
+}
+
+std::string op_desc(std::size_t i, const OpSpec& op) {
+  std::ostringstream os;
+  os << "op " << i << " (" << op_kind_name(op.kind) << " a=" << op.a
+     << " b=" << op.b << " size=" << op.size << ")";
+  return os.str();
+}
+
+/// Everything the per-rank body needs; lives on run_workload's stack. The
+/// kernel runs one actor at a time, so ranks may touch shared vectors
+/// without locks (same rule the rest of the simulator relies on).
+struct Ctx {
+  const WorkloadSpec& spec;
+  const RunOptions& opt;
+  const Oracle& oracle;
+  unrlib::Unr& unr;
+  std::vector<std::vector<std::byte>>& region;
+  std::vector<std::vector<std::uint64_t>>& digests;
+  std::vector<std::string>& violations;
+  bool window_needed = false;
+  std::size_t max_wslot = 0;
+  bool rma_barrier_needed = false;
+
+  void viol(std::size_t round, int rank, const std::string& msg) {
+    std::ostringstream os;
+    os << "round " << round << " rank " << rank << ": " << msg;
+    violations.push_back(os.str());
+  }
+};
+
+void run_xfer_round(runtime::Rank& r, Ctx& c, std::size_t ri,
+                    const RoundSpec& round, unrlib::MemHandle& mh,
+                    std::uint64_t& dig) {
+  using unrlib::kNoSig;
+  const int self = r.id();
+  auto& mine = c.region[static_cast<std::size_t>(self)];
+  const std::size_t nops = round.ops.size();
+
+  // Two fresh signals, armed with the oracle's exact expected counts — the
+  // MMAS accounting identity makes "counter == 0 after the waits" the check.
+  const Oracle::Events ev = c.oracle.expected_events(ri, self);
+  const unrlib::SigId sig_in =
+      ev.arrivals > 0 ? c.unr.sig_init(self, ev.arrivals, c.spec.sig_n_bits)
+                      : kNoSig;
+  const unrlib::SigId sig_loc =
+      ev.locals > 0 ? c.unr.sig_init(self, ev.locals, c.spec.sig_n_bits)
+                    : kNoSig;
+
+  // Fill every slot this rank sources (PUT: at a; GET: at b). The corrupt
+  // mutation flips one transmitted byte AFTER the fill — the oracle keeps
+  // the clean expectation, so the flip must surface at the lander.
+  for (const OpSpec& op : round.ops) {
+    if (op.kind == OpSpec::Kind::kSend || op.size == 0) continue;
+    const int src_rank = op.kind == OpSpec::Kind::kPut ? op.a : op.b;
+    if (src_rank != self) continue;
+    const std::span<std::byte> s(mine.data() + op.src_off, op.size);
+    Oracle::fill(s, op.pattern);
+    if (op.corrupt) s[op.size / 2] ^= std::byte{0x20};
+  }
+
+  // Blk exchange: the peer side (b) builds the remote Blk — binding its own
+  // arrival signal when the op is notified — and ships it to the issuer.
+  // Two-sided recvs are posted up front so sends never wait on matching.
+  std::vector<runtime::RequestPtr> pre;   // Blk handles; gate op issue
+  std::vector<runtime::RequestPtr> post;  // two-sided payloads
+  std::vector<unrlib::Blk> owned(nops), needed(nops);
+  std::vector<std::vector<std::byte>> sbuf(nops), rbuf(nops);
+  for (std::size_t i = 0; i < nops; ++i) {
+    const OpSpec& op = round.ops[i];
+    if (op.kind == OpSpec::Kind::kSend) {
+      if (op.b == self) {
+        rbuf[i].assign(op.size, std::byte{0});
+        post.push_back(r.irecv(op.a, send_tag(ri, i), rbuf[i].data(), op.size));
+      }
+      continue;
+    }
+    if (op.b == self) {
+      const std::uint64_t off =
+          op.kind == OpSpec::Kind::kPut ? op.dst_off : op.src_off;
+      owned[i] = c.unr.blk_init(self, mh, off, op.size,
+                                op.remote_notify ? sig_in : kNoSig);
+      pre.push_back(r.isend(op.a, blk_tag(ri, i), &owned[i],
+                            sizeof(unrlib::Blk)));
+    }
+    if (op.a == self) {
+      pre.push_back(r.irecv(op.b, blk_tag(ri, i), &needed[i],
+                            sizeof(unrlib::Blk)));
+    }
+  }
+  r.wait_all(pre);
+
+  // Issue in spec order.
+  for (std::size_t i = 0; i < nops; ++i) {
+    const OpSpec& op = round.ops[i];
+    if (op.a != self) continue;
+    if (op.kind == OpSpec::Kind::kSend) {
+      sbuf[i].assign(op.size, std::byte{0});
+      Oracle::fill(sbuf[i], op.pattern);
+      if (op.corrupt && op.size > 0) sbuf[i][op.size / 2] ^= std::byte{0x20};
+      post.push_back(r.isend(op.b, send_tag(ri, i), sbuf[i].data(), op.size));
+      continue;
+    }
+    unrlib::XferOptions xo;
+    xo.use_local_blk_sig = false;
+    if (op.local_notify) xo.local_sig = sig_loc;
+    xo.force_split = op.force_split;
+    xo.nic = op.nic;
+    if (op.kind == OpSpec::Kind::kPut) {
+      const unrlib::Blk lblk = c.unr.blk_init(self, mh, op.src_off, op.size);
+      c.unr.put(self, lblk, needed[i], xo);
+    } else {
+      const unrlib::Blk lblk = c.unr.blk_init(self, mh, op.dst_off, op.size);
+      c.unr.get(self, lblk, needed[i], xo);
+    }
+  }
+
+  // Waits. sig_wait_for turns a wedged transfer into a shrinkable violation
+  // instead of a hang.
+  if (sig_in != kNoSig && !c.unr.sig_wait_for(self, sig_in, c.opt.wait_timeout)) {
+    c.viol(ri, self, "arrival-signal timeout, counter=" +
+                         std::to_string(c.unr.sig_counter(self, sig_in)));
+  }
+  if (sig_loc != kNoSig &&
+      !c.unr.sig_wait_for(self, sig_loc, c.opt.wait_timeout)) {
+    c.viol(ri, self, "local-signal timeout, counter=" +
+                         std::to_string(c.unr.sig_counter(self, sig_loc)));
+  }
+  r.wait_all(post);
+
+  // Mutation hook: one stray single-op addend after the waits; the counter
+  // check below must flag the signal sitting at -1.
+  if (round.stray_sig_rank == self) {
+    const unrlib::SigId tgt = sig_in != kNoSig ? sig_in : sig_loc;
+    if (tgt != kNoSig) c.unr.apply_notification(r.node_id(), tgt, 0);
+  }
+
+  // The barrier orders every verifiable landing (each is covered by a signal
+  // wait on some rank) before anyone reads the landed bytes.
+  r.barrier();
+
+  std::size_t bad = 0;
+  for (std::size_t i = 0; i < nops; ++i) {
+    const OpSpec& op = round.ops[i];
+    if (op.kind == OpSpec::Kind::kSend && op.b == self) {
+      if (!Oracle::check(rbuf[i], op.pattern, bad)) {
+        c.viol(ri, self, op_desc(i, op) + ": recv payload mismatch at byte " +
+                             std::to_string(bad));
+      }
+      fnv(dig, rbuf[i].data(), rbuf[i].size());
+    } else if (op.kind == OpSpec::Kind::kPut && op.b == self &&
+               Oracle::verifiable(op)) {
+      const std::span<const std::byte> s(mine.data() + op.dst_off, op.size);
+      if (!Oracle::check(s, op.pattern, bad)) {
+        c.viol(ri, self, op_desc(i, op) + ": PUT landing mismatch at byte " +
+                             std::to_string(bad));
+      }
+      fnv(dig, s.data(), s.size());
+    } else if (op.kind == OpSpec::Kind::kGet && op.a == self &&
+               Oracle::verifiable(op)) {
+      const std::span<const std::byte> s(mine.data() + op.dst_off, op.size);
+      if (!Oracle::check(s, op.pattern, bad)) {
+        c.viol(ri, self, op_desc(i, op) + ": GET landing mismatch at byte " +
+                             std::to_string(bad));
+      }
+      fnv(dig, s.data(), s.size());
+    }
+    // Wild-write detector: a source slot must come back byte-identical
+    // (skip slots we corrupted ourselves).
+    if (op.kind != OpSpec::Kind::kSend && !op.corrupt && op.size > 0) {
+      const int src_rank = op.kind == OpSpec::Kind::kPut ? op.a : op.b;
+      if (src_rank == self) {
+        const std::span<const std::byte> s(mine.data() + op.src_off, op.size);
+        if (!Oracle::check(s, op.pattern, bad)) {
+          c.viol(ri, self, op_desc(i, op) + ": SOURCE slot modified at byte " +
+                               std::to_string(bad));
+        }
+      }
+    }
+  }
+
+  const auto check_sig = [&](unrlib::SigId sig, const char* which) {
+    if (sig == kNoSig) return;
+    const std::int64_t ctr = c.unr.sig_counter(self, sig);
+    if (ctr != 0) {
+      c.viol(ri, self, std::string(which) + "-signal counter " +
+                           std::to_string(ctr) + " after waits (expected 0)");
+    }
+    const std::uint64_t warn = c.unr.sig_at(r.node_id(), sig).warnings();
+    if (warn != 0) {
+      c.viol(ri, self, std::string(which) + "-signal raised " +
+                           std::to_string(warn) + " overflow warning(s)");
+    }
+    fnv_u64(dig, static_cast<std::uint64_t>(ctr));
+  };
+  check_sig(sig_in, "arrival");
+  check_sig(sig_loc, "local");
+}
+
+void run_rank(runtime::Rank& r, Ctx& c) {
+  const int self = r.id();
+  const int P = r.nranks();
+  auto& mine = c.region[static_cast<std::size_t>(self)];
+  unrlib::MemHandle mh = c.unr.mem_reg(self, mine.data(), mine.size());
+
+  // Persistent structures any round might need (collective construction).
+  std::vector<std::byte> expose;
+  std::shared_ptr<runtime::Window> win;
+  if (c.window_needed) {
+    expose.assign(static_cast<std::size_t>(P) * c.max_wslot, std::byte{0});
+    win = runtime::Window::create(r.comm(), self, expose.data(), expose.size());
+  }
+  std::optional<unrlib::RmaBarrier> rbar;
+  if (c.rma_barrier_needed) rbar.emplace(c.unr, r);
+
+  for (std::size_t ri = 0; ri < c.spec.rounds.size(); ++ri) {
+    const RoundSpec& round = c.spec.rounds[ri];
+    std::uint64_t& dig = c.digests[ri][static_cast<std::size_t>(self)];
+    std::size_t bad = 0;
+    switch (round.kind) {
+      case RoundSpec::Kind::kXfer:
+        run_xfer_round(r, c, ri, round, mh, dig);
+        break;
+      case RoundSpec::Kind::kBarrier:
+        r.barrier();
+        break;
+      case RoundSpec::Kind::kRmaBarrier:
+        rbar->run();
+        break;
+      case RoundSpec::Kind::kBcast: {
+        std::vector<std::byte> buf(round.size);
+        const std::uint64_t pat = c.oracle.coll_pattern(ri, round.root);
+        if (self == round.root) Oracle::fill(buf, pat);
+        r.bcast(round.root, buf.data(), buf.size());
+        if (!Oracle::check(buf, pat, bad)) {
+          c.viol(ri, self,
+                 "bcast payload mismatch at byte " + std::to_string(bad));
+        }
+        fnv(dig, buf.data(), buf.size());
+        break;
+      }
+      case RoundSpec::Kind::kAllgather: {
+        std::vector<std::byte> one(round.size);
+        std::vector<std::byte> all(static_cast<std::size_t>(P) * round.size);
+        Oracle::fill(one, c.oracle.coll_pattern(ri, self));
+        r.allgather(one.data(), all.data(), round.size);
+        for (int o = 0; o < P; ++o) {
+          const std::span<const std::byte> s(
+              all.data() + static_cast<std::size_t>(o) * round.size,
+              round.size);
+          if (!Oracle::check(s, c.oracle.coll_pattern(ri, o), bad)) {
+            c.viol(ri, self, "allgather slot " + std::to_string(o) +
+                                 " mismatch at byte " + std::to_string(bad));
+          }
+        }
+        fnv(dig, all.data(), all.size());
+        break;
+      }
+      case RoundSpec::Kind::kAllreduce: {
+        std::vector<double> v(round.size);
+        for (std::size_t j = 0; j < v.size(); ++j) {
+          v[j] = c.oracle.allreduce_contrib(ri, self, j);
+        }
+        r.allreduce_sum(v.data(), v.size());
+        for (std::size_t j = 0; j < v.size(); ++j) {
+          const double want = c.oracle.allreduce_expected(ri, j);
+          if (v[j] != want) {
+            std::ostringstream os;
+            os << "allreduce[" << j << "] = " << v[j] << ", oracle " << want;
+            c.viol(ri, self, os.str());
+          }
+        }
+        fnv(dig, v.data(), v.size() * sizeof(double));
+        break;
+      }
+      case RoundSpec::Kind::kWindow: {
+        // Shifted ring: each origin puts into slot 0 of exactly one target,
+        // so epochs can reuse the exposure buffer (fences order them).
+        const std::size_t slot = round.size;
+        const int target = (self + round.root) % P;
+        const int origin = (self - round.root + P) % P;
+        std::vector<std::byte> src(slot);
+        Oracle::fill(src, c.oracle.window_pattern(ri, self));
+        win->fence(self);
+        win->put(self, target, 0, src.data(), slot);
+        win->fence(self);
+        // Safe to read before the next epoch: its opening fence cannot
+        // complete without this rank's participation.
+        const std::span<const std::byte> got(expose.data(), slot);
+        if (!Oracle::check(got, c.oracle.window_pattern(ri, origin), bad)) {
+          c.viol(ri, self, "window epoch: data from origin " +
+                               std::to_string(origin) + " mismatch at byte " +
+                               std::to_string(bad));
+        }
+        fnv(dig, got.data(), got.size());
+        break;
+      }
+    }
+  }
+
+  // Drain: unverifiable fire-and-forget tails (non-notified ops, companion
+  // messages, rendezvous acks) must land before the pool-conservation
+  // checks read the teardown state.
+  r.barrier();
+  r.kernel().sleep_for(2 * kMs);
+  r.barrier();
+}
+
+}  // namespace
+
+std::string validate(const WorkloadSpec& spec) {
+  const auto err = [](const std::string& m) { return m; };
+  if (spec.nodes < 1 || spec.ranks_per_node < 1) return err("bad topology");
+  const int P = spec.nranks();
+  if (P < 2) return err("need at least 2 ranks");
+  if (P > 256) return err("more than 256 ranks");
+  if (spec.nics < 1 || spec.nics > 64) return err("bad NIC count");
+  if (spec.nic_death && spec.nics < 2) return err("nic_death needs >= 2 NICs");
+  if (spec.sig_n_bits < 1 || spec.sig_n_bits > 61) return err("sig_n_bits out of [1, 61]");
+  if (spec.region_bytes == 0 || spec.region_bytes > 64 * MiB) return err("bad region size");
+  if (spec.rounds.size() > 4096) return err("more than 4096 rounds");
+  Oracle oracle(spec);
+  for (std::size_t ri = 0; ri < spec.rounds.size(); ++ri) {
+    const RoundSpec& round = spec.rounds[ri];
+    const auto rerr = [&](const std::string& m) {
+      return "round " + std::to_string(ri) + ": " + m;
+    };
+    if (round.stray_sig_rank < -1 || round.stray_sig_rank >= P) {
+      return rerr("stray_sig_rank out of range");
+    }
+    switch (round.kind) {
+      case RoundSpec::Kind::kXfer: {
+        if (round.ops.size() > 256) return rerr("more than 256 ops");
+        for (std::size_t i = 0; i < round.ops.size(); ++i) {
+          const OpSpec& op = round.ops[i];
+          const auto oerr = [&](const std::string& m) {
+            return rerr("op " + std::to_string(i) + ": " + m);
+          };
+          if (op.a < 0 || op.a >= P || op.b < 0 || op.b >= P) {
+            return oerr("rank out of range");
+          }
+          if (op.a == op.b) return oerr("self-targeted op");
+          if (op.kind == OpSpec::Kind::kSend) {
+            if (op.size > 16 * MiB) return oerr("send too large");
+          } else {
+            if (op.src_off + op.size > spec.region_bytes ||
+                op.dst_off + op.size > spec.region_bytes) {
+              return oerr("slot outside the registered region");
+            }
+            if (op.force_split < 0 || op.force_split > 64) {
+              return oerr("bad force_split");
+            }
+            if (op.nic < -1 || op.nic >= spec.nics) return oerr("bad nic pin");
+          }
+        }
+        // Signal capacity: the armed counts must fit the event field.
+        for (int rank = 0; rank < P; ++rank) {
+          const Oracle::Events ev = oracle.expected_events(ri, rank);
+          const std::int64_t cap = std::int64_t{1}
+                                   << (spec.sig_n_bits < 62 ? spec.sig_n_bits : 61);
+          if (ev.arrivals >= cap || ev.locals >= cap) {
+            return rerr("expected events overflow sig_n_bits");
+          }
+        }
+        break;
+      }
+      case RoundSpec::Kind::kBarrier:
+      case RoundSpec::Kind::kRmaBarrier:
+        break;
+      case RoundSpec::Kind::kBcast:
+        if (round.root < 0 || round.root >= P) return rerr("bcast root out of range");
+        if (round.size < 1 || round.size > 16 * MiB) return rerr("bad bcast size");
+        break;
+      case RoundSpec::Kind::kAllgather:
+        if (round.size < 1 || round.size > 1 * MiB) return rerr("bad allgather size");
+        break;
+      case RoundSpec::Kind::kAllreduce:
+        if (round.size < 1 || round.size > 64 * KiB) return rerr("bad allreduce count");
+        break;
+      case RoundSpec::Kind::kWindow:
+        if (round.root < 1 || round.root >= P) return rerr("window shift out of [1, P)");
+        if (round.size < 1 || round.size > 64 * KiB) return rerr("bad window slot size");
+        break;
+    }
+  }
+  return "";
+}
+
+RunResult run_workload(const WorkloadSpec& spec, const RunOptions& opt) {
+  RunResult out;
+  if (const std::string verr = validate(spec); !verr.empty()) {
+    out.violations.push_back("invalid spec: " + verr);
+    return out;
+  }
+
+  // Fault runs exercise warn paths on purpose; keep the console quiet but
+  // let genuine errors through.
+  const LogLevel prev_level = log_level();
+  set_log_level(LogLevel::kError);
+
+  const int P = spec.nranks();
+  const std::size_t R = spec.rounds.size();
+  const Oracle oracle(spec);
+  std::vector<std::string> violations;
+  std::vector<std::vector<std::byte>> region(static_cast<std::size_t>(P));
+  for (auto& v : region) v.assign(spec.region_bytes, std::byte{0});
+  std::vector<std::vector<std::uint64_t>> digests(
+      R, std::vector<std::uint64_t>(static_cast<std::size_t>(P), kFnvBasis));
+
+  {
+    runtime::World::Config wc;
+    wc.nodes = spec.nodes;
+    wc.ranks_per_node = spec.ranks_per_node;
+    wc.profile = system_profile(spec.profile);
+    wc.profile.iface = spec.iface;
+    wc.profile.nics_per_node = spec.nics;
+    wc.seed = spec.seed;
+    if (spec.faults) {
+      wc.faults.drop_rate = 0.02;
+      wc.faults.delay_rate = 0.05;
+      wc.faults.delay_max = 5 * kUs;
+      if (spec.nic_death) {
+        wc.faults.nic_faults.push_back({spec.nodes - 1, spec.nics - 1, 40 * kUs});
+      }
+    }
+    runtime::World w(wc);
+
+    unrlib::Unr::Config uc;
+    uc.channel = opt.channel;
+    uc.split_threshold = spec.split_threshold;
+    uc.shm_intra_node = spec.shm_intra_node;
+    uc.enable_hw_offload = opt.channel == unrlib::ChannelKind::kLevel4;
+    unrlib::Unr unr(w, uc);
+
+    Ctx ctx{spec, opt, oracle, unr, region, digests, violations};
+    for (const RoundSpec& round : spec.rounds) {
+      if (round.kind == RoundSpec::Kind::kWindow) {
+        ctx.window_needed = true;
+        if (round.size > ctx.max_wslot) ctx.max_wslot = round.size;
+      }
+      if (round.kind == RoundSpec::Kind::kRmaBarrier) {
+        ctx.rma_barrier_needed = true;
+      }
+    }
+
+    try {
+      w.run([&ctx](runtime::Rank& r) { run_rank(r, ctx); });
+    } catch (const std::exception& e) {
+      // Fail-loud invariants (UNR_CHECK in the kernel/fabric/signals) and
+      // deadlock detection surface here.
+      violations.push_back(std::string("run aborted: ") + e.what());
+    }
+
+    if (opt.check_invariants) {
+      const sim::Kernel::PoolDebug kp = w.kernel().pool_debug();
+      if (kp.leaked() != 0) {
+        std::ostringstream os;
+        os << "EventNode pool leak: total=" << kp.total << " free=" << kp.free
+           << " pending=" << kp.pending;
+        violations.push_back(os.str());
+      }
+      const fabric::Fabric::PoolDebug fp = w.fabric().pool_debug();
+      if (fp.live_flights() != 0) {
+        violations.push_back("fragment conservation: " +
+                             std::to_string(fp.live_flights()) +
+                             " Flight(s) never released");
+      }
+      if (fp.live_am_flights() != 0) {
+        violations.push_back("fragment conservation: " +
+                             std::to_string(fp.live_am_flights()) +
+                             " AmFlight(s) never released");
+      }
+    }
+
+    out.events = w.kernel().event_count();
+    out.end_time = w.elapsed();
+  }
+
+  set_log_level(prev_level);
+
+  // Fold per-(round, rank) digests in a fixed order; timing never enters.
+  std::uint64_t d = kFnvBasis;
+  fnv_u64(d, static_cast<std::uint64_t>(P));
+  fnv_u64(d, static_cast<std::uint64_t>(R));
+  for (const auto& per_rank : digests) {
+    for (const std::uint64_t v : per_rank) fnv_u64(d, v);
+  }
+  out.digest = d;
+  out.violations = std::move(violations);
+  out.ok = out.violations.empty();
+  return out;
+}
+
+std::span<const unrlib::ChannelKind> differential_channels() {
+  static constexpr unrlib::ChannelKind kDiff[] = {
+      unrlib::ChannelKind::kNative,
+      unrlib::ChannelKind::kLevel0,
+      unrlib::ChannelKind::kMpiFallback,
+  };
+  return kDiff;
+}
+
+const char* channel_token(unrlib::ChannelKind k) {
+  switch (k) {
+    case unrlib::ChannelKind::kAuto: return "auto";
+    case unrlib::ChannelKind::kNative: return "native";
+    case unrlib::ChannelKind::kLevel0: return "level0";
+    case unrlib::ChannelKind::kLevel4: return "level4";
+    case unrlib::ChannelKind::kMpiFallback: return "fallback";
+  }
+  return "?";
+}
+
+DiffResult run_differential(const WorkloadSpec& spec,
+                            std::span<const unrlib::ChannelKind> channels,
+                            const RunOptions& base) {
+  DiffResult out;
+  for (const unrlib::ChannelKind ch : channels) {
+    RunOptions o = base;
+    o.channel = ch;
+    RunResult r = run_workload(spec, o);
+    for (const std::string& v : r.violations) {
+      out.violations.push_back(std::string(channel_token(ch)) + ": " + v);
+    }
+    out.runs.emplace_back(ch, std::move(r));
+  }
+  // Application-visible results must not depend on the notification
+  // transport: compare every digest against the first channel's.
+  for (std::size_t i = 1; i < out.runs.size(); ++i) {
+    if (out.runs[i].second.digest != out.runs[0].second.digest) {
+      std::ostringstream os;
+      os << "digest mismatch: " << channel_token(out.runs[0].first) << "=0x"
+         << std::hex << out.runs[0].second.digest << " vs "
+         << channel_token(out.runs[i].first) << "=0x"
+         << out.runs[i].second.digest;
+      out.violations.push_back(os.str());
+    }
+  }
+  out.ok = out.violations.empty();
+  return out;
+}
+
+}  // namespace unr::check

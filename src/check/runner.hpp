@@ -1,0 +1,83 @@
+// Property-based fuzzing: the execution + checking engine.
+//
+// run_workload() builds a World + Unr for the spec, executes every round of
+// the workload, and checks each completed operation against the reference
+// oracle (byte-accurate payloads, MMAS counter accounting, collective sums,
+// window epochs). Violations never abort the run — they accumulate into
+// RunResult::violations so the shrinker can use "still fails" as its
+// predicate even for workloads that trip several checks at once.
+//
+// Checked invariants (beyond per-op payload/counter checks):
+//   * signal counters read exactly 0 after the round's waits (MMAS identity);
+//   * source buffers are unchanged after the round (no wild writes);
+//   * Signal overflow warnings are zero (no early/duplicated notification);
+//   * at teardown the fabric's Flight/AmFlight pools and the kernel's
+//     EventNode pool balance (fragment conservation, no leaked events);
+//   * any UNR_CHECK / deadlock thrown inside the run is captured as a
+//     violation (fail-loud hooks in the kernel and fabric land here).
+//
+// The digest folds every application-visible result (verified payload bytes,
+// triggered counters, collective outputs) in (round, rank) order. It is a
+// pure function of the data — never of virtual time — so replaying the same
+// spec over a different channel level must produce the same digest bit for
+// bit. run_differential() asserts exactly that.
+#pragma once
+
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "check/workload.hpp"
+#include "common/units.hpp"
+#include "unr/channel.hpp"
+
+namespace unr::check {
+
+struct RunOptions {
+  unrlib::ChannelKind channel = unrlib::ChannelKind::kNative;
+  /// Deadline for each round's signal waits (virtual ns). A wedged transfer
+  /// becomes a "signal wait timeout" violation instead of a hang, which keeps
+  /// hangs shrinkable like any other failure.
+  Time wait_timeout = 500 * kMs;
+  /// Check pool conservation at teardown (disable only for experiments that
+  /// tear the World down mid-flight on purpose).
+  bool check_invariants = true;
+};
+
+struct RunResult {
+  bool ok = false;
+  std::vector<std::string> violations;
+  /// Order-stable fold of all application-visible results; timing never
+  /// enters it, so it must match bit-for-bit across channel levels.
+  std::uint64_t digest = 0;
+  std::uint64_t events = 0;  ///< kernel events dispatched (fingerprinting)
+  Time end_time = 0;         ///< virtual completion time (fingerprinting)
+};
+
+/// Validate a spec without running it (rank ranges, region-bounds of every
+/// offset, signal-width capacity, window/collective parameters). Returns ""
+/// when the spec is runnable; generate() always produces valid specs, but
+/// repro files and shrinker edits go through this gate too.
+std::string validate(const WorkloadSpec& spec);
+
+RunResult run_workload(const WorkloadSpec& spec, const RunOptions& opt = {});
+
+/// Differential channel check: replay the identical spec over each channel
+/// and require (a) zero violations everywhere and (b) bit-identical digests.
+struct DiffResult {
+  bool ok = false;
+  std::vector<std::string> violations;  ///< per-channel failures + mismatches
+  std::vector<std::pair<unrlib::ChannelKind, RunResult>> runs;
+};
+DiffResult run_differential(const WorkloadSpec& spec,
+                            std::span<const unrlib::ChannelKind> channels,
+                            const RunOptions& base = {});
+
+/// The three software channel levels every fabric personality can run; the
+/// default channel set for differential mode.
+std::span<const unrlib::ChannelKind> differential_channels();
+
+const char* channel_token(unrlib::ChannelKind k);
+
+}  // namespace unr::check

@@ -1,0 +1,137 @@
+#include "check/shrink.hpp"
+
+#include <utility>
+
+#include "check/runner.hpp"
+
+namespace unr::check {
+namespace {
+
+struct Shrinker {
+  const FailPred& pred;
+  const ShrinkOptions& opt;
+  ShrinkStats& st;
+  WorkloadSpec best;
+
+  bool budget() const { return st.attempts < opt.max_attempts; }
+
+  /// Run one candidate; adopt it when it still fails.
+  bool accept(WorkloadSpec cand) {
+    if (!budget()) return false;
+    if (!validate(cand).empty()) return false;
+    ++st.attempts;
+    if (!pred(cand)) return false;
+    ++st.successes;
+    best = std::move(cand);
+    return true;
+  }
+
+  /// End -> start so surviving indices stay valid across removals.
+  bool drop_rounds() {
+    bool progress = false;
+    for (std::size_t ri = best.rounds.size(); ri-- > 0 && budget();) {
+      WorkloadSpec cand = best;
+      cand.rounds.erase(cand.rounds.begin() + static_cast<std::ptrdiff_t>(ri));
+      progress |= accept(std::move(cand));
+    }
+    return progress;
+  }
+
+  bool drop_ops() {
+    bool progress = false;
+    for (std::size_t ri = best.rounds.size(); ri-- > 0 && budget();) {
+      if (best.rounds[ri].kind != RoundSpec::Kind::kXfer) continue;
+      for (std::size_t oi = best.rounds[ri].ops.size(); oi-- > 0 && budget();) {
+        WorkloadSpec cand = best;
+        auto& ops = cand.rounds[ri].ops;
+        ops.erase(ops.begin() + static_cast<std::ptrdiff_t>(oi));
+        progress |= accept(std::move(cand));
+      }
+    }
+    return progress;
+  }
+
+  bool simplify_globals() {
+    bool progress = false;
+    if (best.faults || best.nic_death) {
+      WorkloadSpec cand = best;
+      cand.faults = false;
+      cand.nic_death = false;
+      progress |= accept(std::move(cand));
+    }
+    if (best.shm_intra_node) {
+      WorkloadSpec cand = best;
+      cand.shm_intra_node = false;
+      progress |= accept(std::move(cand));
+    }
+    for (std::size_t ri = 0; ri < best.rounds.size() && budget(); ++ri) {
+      if (best.rounds[ri].stray_sig_rank < 0) continue;
+      WorkloadSpec cand = best;
+      cand.rounds[ri].stray_sig_rank = -1;
+      progress |= accept(std::move(cand));
+    }
+    return progress;
+  }
+
+  bool edit_op(std::size_t ri, std::size_t oi,
+               const std::function<void(OpSpec&)>& fn) {
+    WorkloadSpec cand = best;
+    fn(cand.rounds[ri].ops[oi]);
+    return accept(std::move(cand));
+  }
+
+  bool simplify_ops() {
+    bool progress = false;
+    for (std::size_t ri = 0; ri < best.rounds.size() && budget(); ++ri) {
+      if (best.rounds[ri].kind != RoundSpec::Kind::kXfer) continue;
+      for (std::size_t oi = 0; oi < best.rounds[ri].ops.size() && budget();
+           ++oi) {
+        const OpSpec snap = best.rounds[ri].ops[oi];
+        if (snap.force_split != 0) {
+          progress |= edit_op(ri, oi, [](OpSpec& o) { o.force_split = 0; });
+        }
+        if (snap.nic != -1) {
+          progress |= edit_op(ri, oi, [](OpSpec& o) { o.nic = -1; });
+        }
+        // Shrink sizes toward the smallest that still reproduces; a
+        // corrupted payload needs at least one byte to flip.
+        if (snap.size > 1) {
+          const std::uint64_t floor_sz = snap.corrupt ? 1 : 0;
+          if (edit_op(ri, oi, [&](OpSpec& o) { o.size = floor_sz; })) {
+            progress = true;
+          } else if (snap.size > 8 &&
+                     edit_op(ri, oi, [](OpSpec& o) { o.size /= 2; })) {
+            progress = true;
+          }
+        }
+        if (snap.local_notify) {
+          progress |= edit_op(ri, oi, [](OpSpec& o) { o.local_notify = false; });
+        }
+        if (snap.remote_notify) {
+          progress |= edit_op(ri, oi, [](OpSpec& o) { o.remote_notify = false; });
+        }
+      }
+    }
+    return progress;
+  }
+};
+
+}  // namespace
+
+WorkloadSpec shrink(const WorkloadSpec& failing, const FailPred& still_fails,
+                    const ShrinkOptions& opt, ShrinkStats* stats) {
+  ShrinkStats local;
+  ShrinkStats& st = stats ? *stats : local;
+  Shrinker s{still_fails, opt, st, failing};
+  bool progress = true;
+  while (progress && s.budget()) {
+    progress = false;
+    progress |= s.drop_rounds();
+    progress |= s.drop_ops();
+    progress |= s.simplify_globals();
+    progress |= s.simplify_ops();
+  }
+  return s.best;
+}
+
+}  // namespace unr::check

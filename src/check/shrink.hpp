@@ -1,0 +1,41 @@
+// Failing-seed shrinker: greedy delta-debugging over the explicit op list.
+//
+// Because a workload is a concrete list of rounds and ops (not a seed that
+// re-rolls everything downstream), the minimizer can delete one element at a
+// time and the rest of the workload replays byte-identically. The shrinker
+// runs removal and simplification passes to a fixpoint, keeping every edit
+// for which the caller's predicate still reports "fails".
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "check/workload.hpp"
+
+namespace unr::check {
+
+struct ShrinkOptions {
+  /// Hard cap on predicate evaluations (each one replays the workload).
+  std::size_t max_attempts = 500;
+};
+
+struct ShrinkStats {
+  std::size_t attempts = 0;   ///< predicate evaluations spent
+  std::size_t successes = 0;  ///< edits the predicate accepted
+};
+
+/// "Does this candidate still fail?" Must be deterministic — the same spec
+/// must keep failing the same way (the simulator's seeded determinism
+/// guarantees this for real failures).
+using FailPred = std::function<bool(const WorkloadSpec&)>;
+
+/// Minimize `failing` while `still_fails` holds. Passes, repeated to
+/// fixpoint: drop whole rounds, drop individual ops, switch off faults /
+/// NIC death / shm, clear stray-signal marks, then per-op simplification
+/// (unforce split, unpin NIC, shrink sizes, drop notifications). Every
+/// candidate is validate()d before it is run.
+WorkloadSpec shrink(const WorkloadSpec& failing, const FailPred& still_fails,
+                    const ShrinkOptions& opt = {},
+                    ShrinkStats* stats = nullptr);
+
+}  // namespace unr::check

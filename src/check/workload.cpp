@@ -1,0 +1,436 @@
+#include "check/workload.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "check/oracle.hpp"
+#include "common/check.hpp"
+#include "common/flat_table.hpp"
+#include "common/rng.hpp"
+
+namespace unr::check {
+
+namespace {
+
+/// Weighted pick: `weights` parallel to [0, n); returns an index.
+int pick_weighted(Rng& rng, std::initializer_list<int> weights) {
+  int total = 0;
+  for (int w : weights) total += w;
+  int roll = static_cast<int>(rng.below(static_cast<std::uint64_t>(total)));
+  int i = 0;
+  for (int w : weights) {
+    if (roll < w) return i;
+    roll -= w;
+    ++i;
+  }
+  return 0;
+}
+
+template <class T>
+T pick_from(Rng& rng, std::initializer_list<T> vals) {
+  auto it = vals.begin();
+  std::advance(it, static_cast<std::ptrdiff_t>(rng.below(vals.size())));
+  return *it;
+}
+
+/// Per-rank bump allocator over the shared region: every op gets offsets no
+/// other op ever touches, which is what makes the byte oracle exact.
+class Layout {
+ public:
+  explicit Layout(int nranks) : cursor_(static_cast<std::size_t>(nranks), 0) {}
+  std::uint64_t claim(int rank, std::uint64_t size) {
+    std::uint64_t& c = cursor_[static_cast<std::size_t>(rank)];
+    const std::uint64_t off = c;
+    c += std::max<std::uint64_t>(8, (size + 7) & ~std::uint64_t{7});
+    return off;
+  }
+  std::uint64_t high_water() const {
+    std::uint64_t m = 64;
+    for (std::uint64_t c : cursor_) m = std::max(m, c);
+    return m;
+  }
+
+ private:
+  std::vector<std::uint64_t> cursor_;
+};
+
+}  // namespace
+
+WorkloadSpec generate(std::uint64_t seed, const GenConfig& gc) {
+  Rng rng(seed ^ 0x756e725f66757a7aull);  // "unr_fuzz"
+  WorkloadSpec s;
+  s.seed = seed;
+  s.iface = gc.iface;
+  s.faults = gc.faults;
+  s.profile = pick_from<const char*>(rng, {"TH-XY", "TH-2A", "HPC-IB", "HPC-RoCE"});
+  s.nodes = pick_from(rng, {1, 2, 2, 3});
+  s.ranks_per_node = s.nodes == 1 ? 2 : pick_from(rng, {1, 1, 2});
+  s.nics = pick_from(rng, {1, 2, 2, 4});
+  s.sig_n_bits = pick_from(rng, {5, 8, 12, 30});
+  s.shm_intra_node = s.ranks_per_node > 1 && rng.below(100) < 30;
+  s.nic_death = s.faults && s.nics >= 2 && rng.below(100) < 50;
+
+  const int P = s.nranks();
+  Layout layout(P);
+  const int n_rounds =
+      gc.min_rounds + static_cast<int>(rng.below(static_cast<std::uint64_t>(
+                          gc.max_rounds - gc.min_rounds + 1)));
+
+  for (int r = 0; r < n_rounds; ++r) {
+    RoundSpec round;
+    switch (pick_weighted(rng, {50, 8, 8, 8, 8, 8, 10})) {
+      case 0: round.kind = RoundSpec::Kind::kXfer; break;
+      case 1: round.kind = RoundSpec::Kind::kBarrier; break;
+      case 2: round.kind = RoundSpec::Kind::kRmaBarrier; break;
+      case 3: round.kind = RoundSpec::Kind::kBcast; break;
+      case 4: round.kind = RoundSpec::Kind::kAllgather; break;
+      case 5: round.kind = RoundSpec::Kind::kAllreduce; break;
+      default: round.kind = RoundSpec::Kind::kWindow; break;
+    }
+    switch (round.kind) {
+      case RoundSpec::Kind::kXfer: {
+        const int n_ops = 1 + static_cast<int>(rng.below(static_cast<std::uint64_t>(
+                                  gc.max_ops_per_round)));
+        for (int i = 0; i < n_ops; ++i) {
+          OpSpec op;
+          switch (pick_weighted(rng, {50, 30, 20})) {
+            case 0: op.kind = OpSpec::Kind::kPut; break;
+            case 1: op.kind = OpSpec::Kind::kGet; break;
+            default: op.kind = OpSpec::Kind::kSend; break;
+          }
+          op.a = static_cast<int>(rng.below(static_cast<std::uint64_t>(P)));
+          op.b = static_cast<int>(rng.below(static_cast<std::uint64_t>(P - 1)));
+          if (op.b >= op.a) ++op.b;  // peer != self
+          if (op.kind == OpSpec::Kind::kSend) {
+            // 12 KiB exceeds every profile's eager threshold -> rendezvous.
+            op.size = pick_from<std::uint64_t>(
+                rng, {0, 1, 64, 64, 1500, 4096, 12 * 1024});
+          } else {
+            // 40 KiB exceeds split_threshold -> automatic multi-NIC split.
+            op.size = pick_from<std::uint64_t>(
+                rng, {0, 1, 8, 8, 257, 4096, 4096, 9 * 1024, 40 * 1024});
+          }
+          op.pattern = rng.next() | 1;
+          if (op.kind != OpSpec::Kind::kSend) {
+            op.remote_notify = rng.below(100) < 80;
+            op.local_notify = rng.below(100) < 70;
+            if (op.kind == OpSpec::Kind::kPut && rng.below(100) < 25)
+              op.force_split = static_cast<int>(2 + rng.below(3));
+            if (rng.below(100) < 20)
+              op.nic = static_cast<int>(rng.below(static_cast<std::uint64_t>(s.nics)));
+            // Source is at `a` for PUT, at `b` (the owner) for GET; the
+            // landing side is the mirror.
+            const int src_rank = op.kind == OpSpec::Kind::kPut ? op.a : op.b;
+            const int dst_rank = op.kind == OpSpec::Kind::kPut ? op.b : op.a;
+            op.src_off = layout.claim(src_rank, op.size);
+            op.dst_off = layout.claim(dst_rank, op.size);
+          }
+          round.ops.push_back(op);
+        }
+        break;
+      }
+      case RoundSpec::Kind::kBcast:
+        round.root = static_cast<int>(rng.below(static_cast<std::uint64_t>(P)));
+        round.size = pick_from<std::uint64_t>(rng, {1, 64, 2048});
+        break;
+      case RoundSpec::Kind::kAllgather:
+        round.size = pick_from<std::uint64_t>(rng, {1, 64, 2048});
+        break;
+      case RoundSpec::Kind::kAllreduce:
+        round.size = pick_from<std::uint64_t>(rng, {1, 16, 128});
+        break;
+      case RoundSpec::Kind::kWindow:
+        round.root = 1 + static_cast<int>(rng.below(static_cast<std::uint64_t>(
+                             std::max(1, P - 1))));
+        round.size = pick_from<std::uint64_t>(rng, {8, 64, 512});
+        break;
+      case RoundSpec::Kind::kBarrier:
+      case RoundSpec::Kind::kRmaBarrier:
+        break;
+    }
+    s.rounds.push_back(std::move(round));
+  }
+  s.region_bytes = layout.high_water();
+  return s;
+}
+
+bool inject_mutation(WorkloadSpec& spec, Mutation m, std::uint64_t seed) {
+  if (m == Mutation::kNone) return true;
+  if (m == Mutation::kCorruptPayload) {
+    std::vector<std::pair<std::size_t, std::size_t>> sites;
+    for (std::size_t r = 0; r < spec.rounds.size(); ++r) {
+      const RoundSpec& round = spec.rounds[r];
+      if (round.kind != RoundSpec::Kind::kXfer) continue;
+      for (std::size_t i = 0; i < round.ops.size(); ++i) {
+        const OpSpec& op = round.ops[i];
+        // Only ops whose landing the runner actually reads back can carry
+        // the planted corruption (Oracle::verifiable is the single source
+        // of truth for that set).
+        if (op.size >= 1 && Oracle::verifiable(op)) sites.emplace_back(r, i);
+      }
+    }
+    if (sites.empty()) return false;
+    const auto [r, i] = sites[mix64(seed) % sites.size()];
+    spec.rounds[r].ops[i].corrupt = true;
+    return true;
+  }
+  // kStraySignal: pick a round + rank where the arrival signal exists, so the
+  // stray addend drives a real counter negative.
+  std::vector<std::pair<std::size_t, int>> sites;
+  for (std::size_t r = 0; r < spec.rounds.size(); ++r) {
+    const RoundSpec& round = spec.rounds[r];
+    if (round.kind != RoundSpec::Kind::kXfer) continue;
+    for (const OpSpec& op : round.ops) {
+      if (op.kind == OpSpec::Kind::kSend || !op.remote_notify) continue;
+      // The remote notification lands at `b` for both PUT (receiver) and GET
+      // (data owner) — that rank's arrival signal is the mutation target.
+      sites.emplace_back(r, op.b);
+    }
+  }
+  if (sites.empty()) return false;
+  const auto [r, rank] = sites[mix64(seed ^ 0x5157ull) % sites.size()];
+  spec.rounds[r].stray_sig_rank = rank;
+  return true;
+}
+
+std::size_t total_ops(const WorkloadSpec& spec) {
+  std::size_t n = 0;
+  for (const RoundSpec& r : spec.rounds)
+    n += r.kind == RoundSpec::Kind::kXfer ? r.ops.size() : 1;
+  return n;
+}
+
+const char* op_kind_name(OpSpec::Kind k) {
+  switch (k) {
+    case OpSpec::Kind::kPut: return "put";
+    case OpSpec::Kind::kGet: return "get";
+    case OpSpec::Kind::kSend: return "send";
+  }
+  return "?";
+}
+
+const char* round_kind_name(RoundSpec::Kind k) {
+  switch (k) {
+    case RoundSpec::Kind::kXfer: return "xfer";
+    case RoundSpec::Kind::kBarrier: return "barrier";
+    case RoundSpec::Kind::kRmaBarrier: return "rma_barrier";
+    case RoundSpec::Kind::kBcast: return "bcast";
+    case RoundSpec::Kind::kAllgather: return "allgather";
+    case RoundSpec::Kind::kAllreduce: return "allreduce";
+    case RoundSpec::Kind::kWindow: return "window";
+  }
+  return "?";
+}
+
+const char* iface_token(Interface i) {
+  switch (i) {
+    case Interface::kGlex: return "glex";
+    case Interface::kVerbs: return "verbs";
+    case Interface::kUtofu: return "utofu";
+    case Interface::kUgni: return "ugni";
+    case Interface::kPami: return "pami";
+    case Interface::kPortals: return "portals";
+  }
+  return "?";
+}
+
+bool iface_from_token(const std::string& s, Interface& out) {
+  if (s == "glex") out = Interface::kGlex;
+  else if (s == "verbs") out = Interface::kVerbs;
+  else if (s == "utofu") out = Interface::kUtofu;
+  else if (s == "ugni") out = Interface::kUgni;
+  else if (s == "pami") out = Interface::kPami;
+  else if (s == "portals") out = Interface::kPortals;
+  else return false;
+  return true;
+}
+
+namespace {
+
+RoundSpec::Kind round_kind_from(const std::string& s, bool& ok) {
+  ok = true;
+  if (s == "xfer") return RoundSpec::Kind::kXfer;
+  if (s == "barrier") return RoundSpec::Kind::kBarrier;
+  if (s == "rma_barrier") return RoundSpec::Kind::kRmaBarrier;
+  if (s == "bcast") return RoundSpec::Kind::kBcast;
+  if (s == "allgather") return RoundSpec::Kind::kAllgather;
+  if (s == "allreduce") return RoundSpec::Kind::kAllreduce;
+  if (s == "window") return RoundSpec::Kind::kWindow;
+  ok = false;
+  return RoundSpec::Kind::kBarrier;
+}
+
+OpSpec::Kind op_kind_from(const std::string& s, bool& ok) {
+  ok = true;
+  if (s == "put") return OpSpec::Kind::kPut;
+  if (s == "get") return OpSpec::Kind::kGet;
+  if (s == "send") return OpSpec::Kind::kSend;
+  ok = false;
+  return OpSpec::Kind::kPut;
+}
+
+}  // namespace
+
+std::string to_text(const WorkloadSpec& s) {
+  std::ostringstream os;
+  os << "unrfuzz v1\n";
+  os << "seed " << s.seed << "\n";
+  os << "profile " << s.profile << "\n";
+  os << "iface " << iface_token(s.iface) << "\n";
+  os << "topo nodes=" << s.nodes << " rpn=" << s.ranks_per_node
+     << " nics=" << s.nics << "\n";
+  os << "cfg sig_n_bits=" << s.sig_n_bits << " split_threshold=" << s.split_threshold
+     << " shm=" << (s.shm_intra_node ? 1 : 0) << " faults=" << (s.faults ? 1 : 0)
+     << " nic_death=" << (s.nic_death ? 1 : 0) << " region=" << s.region_bytes
+     << "\n";
+  for (const RoundSpec& r : s.rounds) {
+    os << "round " << round_kind_name(r.kind) << " root=" << r.root
+       << " size=" << r.size << " stray=" << r.stray_sig_rank << "\n";
+    for (const OpSpec& op : r.ops) {
+      os << "  op " << op_kind_name(op.kind) << " a=" << op.a << " b=" << op.b
+         << " size=" << op.size << " src=" << op.src_off << " dst=" << op.dst_off
+         << " split=" << op.force_split << " nic=" << op.nic
+         << " rn=" << (op.remote_notify ? 1 : 0)
+         << " ln=" << (op.local_notify ? 1 : 0) << " pattern=" << op.pattern
+         << " corrupt=" << (op.corrupt ? 1 : 0) << "\n";
+    }
+  }
+  os << "end\n";
+  return os.str();
+}
+
+namespace {
+
+/// Parse "key=value" into (key, value); returns false on malformed input.
+bool split_kv(const std::string& tok, std::string& key, std::string& val) {
+  const std::size_t eq = tok.find('=');
+  if (eq == std::string::npos || eq == 0) return false;
+  key = tok.substr(0, eq);
+  val = tok.substr(eq + 1);
+  return !val.empty();
+}
+
+bool parse_i64(const std::string& s, std::int64_t& out) {
+  try {
+    std::size_t pos = 0;
+    out = std::stoll(s, &pos);
+    return pos == s.size();
+  } catch (...) {
+    return false;
+  }
+}
+
+bool parse_u64(const std::string& s, std::uint64_t& out) {
+  try {
+    std::size_t pos = 0;
+    out = std::stoull(s, &pos);
+    return pos == s.size();
+  } catch (...) {
+    return false;
+  }
+}
+
+}  // namespace
+
+bool from_text(const std::string& text, WorkloadSpec& out, std::string* error) {
+  auto fail = [&](const std::string& why) {
+    if (error) *error = why;
+    return false;
+  };
+  WorkloadSpec s;
+  s.rounds.clear();
+  std::istringstream is(text);
+  std::string line;
+  if (!std::getline(is, line) || line != "unrfuzz v1")
+    return fail("missing 'unrfuzz v1' header");
+  bool saw_end = false;
+  while (std::getline(is, line)) {
+    std::istringstream ls(line);
+    std::string word;
+    if (!(ls >> word)) continue;  // blank line
+    if (word == "end") {
+      saw_end = true;
+      break;
+    }
+    if (word == "seed") {
+      if (!(ls >> s.seed)) return fail("bad seed line");
+    } else if (word == "profile") {
+      if (!(ls >> s.profile)) return fail("bad profile line");
+    } else if (word == "iface") {
+      std::string tok;
+      if (!(ls >> tok) || !iface_from_token(tok, s.iface))
+        return fail("bad iface line: " + line);
+    } else if (word == "topo" || word == "cfg") {
+      std::string tok, key, val;
+      while (ls >> tok) {
+        if (!split_kv(tok, key, val)) return fail("bad token '" + tok + "'");
+        std::int64_t iv = 0;
+        std::uint64_t uv = 0;
+        if (key == "nodes" && parse_i64(val, iv)) s.nodes = static_cast<int>(iv);
+        else if (key == "rpn" && parse_i64(val, iv)) s.ranks_per_node = static_cast<int>(iv);
+        else if (key == "nics" && parse_i64(val, iv)) s.nics = static_cast<int>(iv);
+        else if (key == "sig_n_bits" && parse_i64(val, iv)) s.sig_n_bits = static_cast<int>(iv);
+        else if (key == "split_threshold" && parse_u64(val, uv)) s.split_threshold = uv;
+        else if (key == "shm" && parse_i64(val, iv)) s.shm_intra_node = iv != 0;
+        else if (key == "faults" && parse_i64(val, iv)) s.faults = iv != 0;
+        else if (key == "nic_death" && parse_i64(val, iv)) s.nic_death = iv != 0;
+        else if (key == "region" && parse_u64(val, uv)) s.region_bytes = uv;
+        else return fail("unknown key '" + key + "' in: " + line);
+      }
+    } else if (word == "round") {
+      std::string kind_tok;
+      if (!(ls >> kind_tok)) return fail("bad round line: " + line);
+      bool ok = false;
+      RoundSpec r;
+      r.kind = round_kind_from(kind_tok, ok);
+      if (!ok) return fail("unknown round kind '" + kind_tok + "'");
+      std::string tok, key, val;
+      while (ls >> tok) {
+        if (!split_kv(tok, key, val)) return fail("bad token '" + tok + "'");
+        std::int64_t iv = 0;
+        std::uint64_t uv = 0;
+        if (key == "root" && parse_i64(val, iv)) r.root = static_cast<int>(iv);
+        else if (key == "size" && parse_u64(val, uv)) r.size = uv;
+        else if (key == "stray" && parse_i64(val, iv)) r.stray_sig_rank = static_cast<int>(iv);
+        else return fail("unknown key '" + key + "' in: " + line);
+      }
+      s.rounds.push_back(std::move(r));
+    } else if (word == "op") {
+      if (s.rounds.empty()) return fail("op line before any round");
+      std::string kind_tok;
+      if (!(ls >> kind_tok)) return fail("bad op line: " + line);
+      bool ok = false;
+      OpSpec op;
+      op.kind = op_kind_from(kind_tok, ok);
+      if (!ok) return fail("unknown op kind '" + kind_tok + "'");
+      std::string tok, key, val;
+      while (ls >> tok) {
+        if (!split_kv(tok, key, val)) return fail("bad token '" + tok + "'");
+        std::int64_t iv = 0;
+        std::uint64_t uv = 0;
+        if (key == "a" && parse_i64(val, iv)) op.a = static_cast<int>(iv);
+        else if (key == "b" && parse_i64(val, iv)) op.b = static_cast<int>(iv);
+        else if (key == "size" && parse_u64(val, uv)) op.size = uv;
+        else if (key == "src" && parse_u64(val, uv)) op.src_off = uv;
+        else if (key == "dst" && parse_u64(val, uv)) op.dst_off = uv;
+        else if (key == "split" && parse_i64(val, iv)) op.force_split = static_cast<int>(iv);
+        else if (key == "nic" && parse_i64(val, iv)) op.nic = static_cast<int>(iv);
+        else if (key == "rn" && parse_i64(val, iv)) op.remote_notify = iv != 0;
+        else if (key == "ln" && parse_i64(val, iv)) op.local_notify = iv != 0;
+        else if (key == "pattern" && parse_u64(val, uv)) op.pattern = uv;
+        else if (key == "corrupt" && parse_i64(val, iv)) op.corrupt = iv != 0;
+        else return fail("unknown key '" + key + "' in: " + line);
+      }
+      s.rounds.back().ops.push_back(op);
+    } else {
+      return fail("unknown line: " + line);
+    }
+  }
+  if (!saw_end) return fail("missing 'end' line");
+  if (s.nodes < 1 || s.ranks_per_node < 1 || s.nics < 1 || s.nranks() < 2)
+    return fail("bad topology");
+  out = std::move(s);
+  return true;
+}
+
+}  // namespace unr::check

@@ -1,0 +1,126 @@
+// Property-based fuzzing: the workload model.
+//
+// A Workload is an EXPLICIT list of rounds and operations — not just a seed.
+// The generator expands a seed into this list once; the runner executes the
+// list; the shrinker edits the list. Keeping the structure explicit is what
+// makes delta-debugging possible: removing op 3 of round 2 does not reshuffle
+// the RNG stream of everything after it, so a failure localized to one op
+// stays reproducible while the rest of the workload melts away.
+//
+// Round protocol (the shape the runner executes; see runner.cpp):
+//   * every op has DEDICATED source/destination offsets in a per-rank region,
+//     assigned once by the generator and never reused — rounds cannot
+//     interfere through the buffers, so the byte-level oracle is exact;
+//   * each rank creates at most two fresh signals per xfer round (arrivals +
+//     local completions) with num_event equal to the oracle's expected count,
+//     so "counter == 0 after the waits" is the MMAS accounting invariant;
+//   * rounds end with a barrier, which orders every notified landing before
+//     the verification that reads it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/profile.hpp"
+#include "common/units.hpp"
+
+namespace unr::check {
+
+/// One RMA or two-sided operation inside an xfer round.
+struct OpSpec {
+  enum class Kind : int {
+    kPut = 0,   ///< notified RMA PUT a -> b
+    kGet = 1,   ///< notified RMA GET: a reads from b
+    kSend = 2,  ///< two-sided message a -> b (tag-matched, eager/rendezvous)
+  };
+  Kind kind = Kind::kPut;
+  int a = 0;  ///< issuing rank (PUT/send: source of the data; GET: the reader)
+  int b = 0;  ///< peer rank (PUT/send: receiver; GET: owner of the data)
+  std::uint64_t size = 0;
+  std::uint64_t src_off = 0;  ///< data-source offset (PUT: at a; GET: at b)
+  std::uint64_t dst_off = 0;  ///< landing offset (PUT: at b; GET: at a)
+  int force_split = 0;        ///< 0 = scheduler decides
+  int nic = -1;               ///< -1 = scheduler decides
+  bool remote_notify = true;  ///< bind the landing side's round signal
+  bool local_notify = true;   ///< bind the issuer's local-completion signal
+  std::uint64_t pattern = 1;  ///< payload pattern id (never 0)
+  /// Mutation hook: flip one byte of the TRANSMITTED data only (the oracle
+  /// keeps the unflipped expectation). Used by the harness's self-test: a
+  /// corrupted payload must be caught and shrunk.
+  bool corrupt = false;
+};
+
+/// One synchronization epoch of the workload.
+struct RoundSpec {
+  enum class Kind : int {
+    kXfer = 0,        ///< a batch of OpSpecs + signal waits
+    kBarrier = 1,     ///< two-sided dissemination barrier
+    kRmaBarrier = 2,  ///< unrlib::RmaBarrier (notified-PUT dissemination)
+    kBcast = 3,       ///< runtime broadcast, `size` bytes from `root`
+    kAllgather = 4,   ///< runtime allgather, `size` bytes per rank
+    kAllreduce = 5,   ///< runtime allreduce_sum over `size` doubles
+    kWindow = 6,      ///< MPI-RMA window epoch: fence, puts, fence, verify
+  };
+  Kind kind = Kind::kXfer;
+  std::vector<OpSpec> ops;  ///< kXfer only
+  int root = 0;             ///< kBcast: root; kWindow: target shift (1..P-1)
+  std::uint64_t size = 0;   ///< collective payload (bytes / doubles / slot bytes)
+  /// Mutation hook: this rank applies one stray addend to its arrival signal
+  /// after the waits — the oracle's counter==0 check must catch it.
+  int stray_sig_rank = -1;
+};
+
+/// A complete self-checking workload: configuration + rounds.
+struct WorkloadSpec {
+  std::uint64_t seed = 1;           ///< seeds routing jitter + fault injection
+  std::string profile = "TH-XY";    ///< base cost model (system_profile name)
+  Interface iface = Interface::kGlex;
+  int nodes = 2;
+  int ranks_per_node = 1;
+  int nics = 2;
+  int sig_n_bits = 8;               ///< MMAS event-field width for round signals
+  std::uint64_t split_threshold = 16 * KiB;
+  bool shm_intra_node = false;
+  bool faults = false;              ///< PR-1 injector: drops + delays (+ NIC death)
+  bool nic_death = false;           ///< kill one NIC mid-run (needs nics >= 2)
+  std::uint64_t region_bytes = 64;  ///< per-rank registered region size
+  std::vector<RoundSpec> rounds;
+
+  int nranks() const { return nodes * ranks_per_node; }
+};
+
+/// Knobs for the seed -> WorkloadSpec expansion.
+struct GenConfig {
+  Interface iface = Interface::kGlex;
+  bool faults = false;
+  int min_rounds = 3;
+  int max_rounds = 8;
+  int max_ops_per_round = 6;
+};
+
+/// Deterministically expand a seed into an explicit workload.
+WorkloadSpec generate(std::uint64_t seed, const GenConfig& gc);
+
+/// Intentional-bug injection for the harness's self-test (mutation check).
+enum class Mutation { kNone, kCorruptPayload, kStraySignal };
+/// Plant `m` somewhere the oracle is guaranteed to look (a verifiable op of
+/// size >= 1 / an xfer round with arrival events). Returns false when the
+/// workload has no eligible site.
+bool inject_mutation(WorkloadSpec& spec, Mutation m, std::uint64_t seed);
+
+/// Total op count across all rounds (shrink-quality metric).
+std::size_t total_ops(const WorkloadSpec& spec);
+
+// --- Text round-trip (repro files; tools/fuzz_triage.py pretty-prints it) ---
+std::string to_text(const WorkloadSpec& spec);
+bool from_text(const std::string& text, WorkloadSpec& out, std::string* error);
+
+const char* op_kind_name(OpSpec::Kind k);
+const char* round_kind_name(RoundSpec::Kind k);
+/// Lower-case interface token ("glex", "verbs", ...); from_token returns
+/// false on an unknown name.
+const char* iface_token(Interface i);
+bool iface_from_token(const std::string& s, Interface& out);
+
+}  // namespace unr::check

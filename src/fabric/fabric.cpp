@@ -15,6 +15,11 @@ constexpr double kIntraLatencyFactor = 0.25;
 /// Recycled AM payload buffers kept beyond this are returned to the heap;
 /// steady-state traffic needs roughly (in-flight AMs) buffers, far below it.
 constexpr std::size_t kAmArenaMax = 64;
+
+/// Ordered-stream sequence numbers are assigned once, at first launch;
+/// retransmissions keep theirs. The sentinel marks a not-yet-sequenced
+/// (or unordered) flight.
+constexpr std::uint64_t kNoOrderSeq = ~std::uint64_t{0};
 }  // namespace
 
 /// One PUT in transit: the caller's arguments, the payload snapshot, and the
@@ -29,6 +34,7 @@ struct Fabric::Flight {
   int wire_attempts = 0;   ///< wire traversals (first send + retransmissions)
   int cq_attempts = 0;     ///< consecutive NACKs at the destination CQ
   bool redirect_counted = false;  ///< dst/local CQE redirect already counted
+  std::uint64_t order_seq = kNoOrderSeq;  ///< position in the (src,dst) ordered stream
 };
 
 /// One active message in transit (payload + retransmission count). Pooled
@@ -43,6 +49,7 @@ struct Fabric::AmFlight {
   Time tx_done = 0;  ///< when the source NIC finished injecting
   int attempts = 1;
   std::uint64_t id = 0;  ///< trace-span identity (separate from flight ids)
+  std::uint64_t order_seq = kNoOrderSeq;  ///< position in the (src,dst) ordered stream
 };
 
 Fabric::Fabric(sim::Kernel& kernel, Config cfg)
@@ -234,6 +241,7 @@ void Fabric::release_flight(Flight* f) {
   f->wire_attempts = 0;
   f->cq_attempts = 0;
   f->redirect_counted = false;
+  f->order_seq = kNoOrderSeq;
   flight_free_.push_back(f);
 }
 
@@ -252,6 +260,7 @@ void Fabric::release_am_flight(AmFlight* m) {
   m->tx_done = 0;
   m->attempts = 1;
   m->id = 0;
+  m->order_seq = kNoOrderSeq;
   am_free_.push_back(m);
 }
 
@@ -362,6 +371,14 @@ void Fabric::launch_put(Flight* f) {
   PutArgs& a = f->args;
   const int src_node = node_of(a.src_rank);
   const int dst_node = node_of(a.dst.rank);
+  if (a.ordered && f->order_seq == kNoOrderSeq) {
+    // An ordered flight must keep its stream slot across recoveries: an
+    // on_lost handler would abandon the sequence (the re-issue is a brand-new
+    // flight) and wedge the reorder buffer behind the hole.
+    UNR_CHECK_MSG(!a.on_lost, "ordered flights cannot use on_lost recovery");
+    f->order_seq =
+        ordered_streams_.get_or_insert(pack_pair(a.src_rank, a.dst.rank)).next_send++;
+  }
   int nic_idx = a.nic_index < 0 ? default_nic(a.src_rank) : a.nic_index;
   if (nic(src_node, nic_idx).failed()) {
     nic_idx = pick_healthy_nic(src_node, nic_idx);
@@ -435,7 +452,10 @@ void Fabric::arrive_put(Flight* f, Time arrival) {
     kernel_.post_in(cfg_.fault_detect_delay, [this, f] { launch_put(f); });
     return;
   }
-  deliver_put(f, arrival);
+  if (f->args.ordered)
+    ordered_ready_put(f, arrival);
+  else
+    deliver_put(f, arrival);
 }
 
 void Fabric::recover_lost_put(Flight* f) {
@@ -511,6 +531,12 @@ void Fabric::deliver_put(Flight* f, Time arrival) {
   }
 
   if (a.want_remote_cqe) {
+    // Width invariant: the immediate was truncated to the interface's
+    // remote-PUT width at post time; no recovery/failover path may widen it.
+    UNR_CHECK_MSG(a.remote_imm.fits(iface_.effective_put_remote()),
+                  "remote CQE immediate exceeds the interface's "
+                      << iface_.effective_put_remote() << "-bit width: "
+                      << a.remote_imm.to_string());
     const bool ok = dnic.remote_cq().push(
         {CqeKind::kPutDelivered, a.src_rank, a.size, a.remote_imm, kernel_.now()});
     UNR_CHECK(ok);
@@ -535,6 +561,10 @@ void Fabric::deliver_put(Flight* f, Time arrival) {
     }
     Nic& snic = nic(src_node, lidx);
     if (args.want_local_cqe) {
+      UNR_CHECK_MSG(args.local_imm.fits(iface_.effective_put_local()),
+                    "local CQE immediate exceeds the interface's "
+                        << iface_.effective_put_local() << "-bit width: "
+                        << args.local_imm.to_string());
       // The local CQ is drained by the owner's progress engine; treat
       // overflow as fatal (real stacks size the send CQ to the SQ depth).
       const bool ok = snic.local_cq().push(
@@ -607,6 +637,10 @@ void Fabric::get(GetArgs args) {
       // Verbs offers 0 GET custom bits at remote — the CQE is silently
       // unavailable and upper layers must compensate (Table II).
       if (a->want_remote_cqe && iface_.get_remote_bits != 0) {
+        UNR_CHECK_MSG(a->remote_imm.fits(iface_.effective_get_remote()),
+                      "GET owner CQE immediate exceeds the interface's "
+                          << iface_.effective_get_remote() << "-bit width: "
+                          << a->remote_imm.to_string());
         Nic& onic2 = nic(owner_node, oidx);
         (void)onic2.remote_cq().push(
             {CqeKind::kGetDelivered, a->src_rank, a->size, a->remote_imm, kernel_.now()});
@@ -625,6 +659,10 @@ void Fabric::get(GetArgs args) {
           if (a->hw_notify) a->hw_notify();
         }
         if (a->want_local_cqe) {
+          UNR_CHECK_MSG(a->local_imm.fits(iface_.effective_get_local()),
+                        "GET reader CQE immediate exceeds the interface's "
+                            << iface_.effective_get_local() << "-bit width: "
+                            << a->local_imm.to_string());
           int ridx = a->nic_index;
           if (nic(reader_node, ridx).failed()) {
             ridx = pick_healthy_nic(reader_node, ridx);
@@ -679,6 +717,9 @@ void Fabric::send_am(int src_rank, int dst_rank, int channel,
 void Fabric::launch_am(AmFlight* m) {
   const int src_node = node_of(m->src_rank);
   const int dst_node = node_of(m->dst_rank);
+  if (m->ordered && m->order_seq == kNoOrderSeq)
+    m->order_seq =
+        ordered_streams_.get_or_insert(pack_pair(m->src_rank, m->dst_rank)).next_send++;
   int nic_idx = m->nic_index;
   if (nic(src_node, nic_idx).failed()) {
     // Control traffic reroutes transparently: an AM carries protocol state
@@ -761,6 +802,13 @@ void Fabric::deliver_am(AmFlight* m) {
     kernel_.post_in(cfg_.fault_detect_delay, [this, m] { launch_am(m); });
     return;
   }
+  if (m->ordered)
+    ordered_ready_am(m);
+  else
+    deliver_am_payload(m);
+}
+
+void Fabric::deliver_am_payload(AmFlight* m) {
   const auto& chans = am_handlers_[static_cast<std::size_t>(m->dst_rank)];
   const bool have = m->channel >= 0 &&
                     static_cast<std::size_t>(m->channel) < chans.size() &&
@@ -773,6 +821,56 @@ void Fabric::deliver_am(AmFlight* m) {
                                            tr_.cat_am, tr_.am, m->id);
   recycle_am_buffer(std::move(m->payload));
   release_am_flight(m);
+}
+
+// --- Ordered-stream release: a traversal that survived its faults is only
+// *eligible* to deliver; it lands when every predecessor on its (src,dst)
+// stream has. In the fault-free (and drop-only) world sequence order equals
+// arrival order and these release inline with zero extra state; only a
+// NIC-death recovery — which re-enters the launch path and takes a fresh
+// FIFO slot — populates the hold-back map.
+
+void Fabric::ordered_ready_put(Flight* f, Time arrival) {
+  const std::uint64_t key = pack_pair(f->args.src_rank, f->args.dst.rank);
+  OrderedStream& st = ordered_streams_.get_or_insert(key);
+  if (f->order_seq != st.next_release) {
+    st.held.emplace(f->order_seq, HeldOrdered{/*am=*/false, f});
+    return;
+  }
+  deliver_put(f, arrival);
+  advance_ordered(key);
+}
+
+void Fabric::ordered_ready_am(AmFlight* m) {
+  const std::uint64_t key = pack_pair(m->src_rank, m->dst_rank);
+  OrderedStream& st = ordered_streams_.get_or_insert(key);
+  if (m->order_seq != st.next_release) {
+    st.held.emplace(m->order_seq, HeldOrdered{/*am=*/true, m});
+    return;
+  }
+  deliver_am_payload(m);
+  advance_ordered(key);
+}
+
+void Fabric::advance_ordered(std::uint64_t key) {
+  // A delivery can issue new traffic and grow the stream table (invalidating
+  // references), so the entry is re-fetched every iteration.
+  while (true) {
+    OrderedStream* st = ordered_streams_.find(key);
+    st->next_release++;
+    const auto it = st->held.find(st->next_release);
+    if (it == st->held.end()) return;
+    const HeldOrdered h = it->second;
+    st->held.erase(it);
+    if (h.am)
+      deliver_am_payload(static_cast<AmFlight*>(h.flight));
+    else
+      deliver_put(static_cast<Flight*>(h.flight), kernel_.now());
+  }
+}
+
+Fabric::PoolDebug Fabric::pool_debug() const {
+  return {flight_pool_.size(), flight_free_.size(), am_pool_.size(), am_free_.size()};
 }
 
 std::uint64_t Fabric::total_cq_overflows() const {

@@ -14,6 +14,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <vector>
 
@@ -199,6 +200,18 @@ class Fabric {
   /// Total remote-CQ overflow events across all NICs.
   std::uint64_t total_cq_overflows() const;
 
+  /// Flight-pool conservation snapshot. A live flight is pool-owned but not
+  /// on the free list; after a quiesced run every event chain's terminal
+  /// handler has returned its flight, so nonzero live counts at teardown
+  /// mean a chain leaked its pooled Flight/AmFlight.
+  struct PoolDebug {
+    std::size_t flights_total = 0, flights_free = 0;
+    std::size_t am_total = 0, am_free = 0;
+    std::size_t live_flights() const { return flights_total - flights_free; }
+    std::size_t live_am_flights() const { return am_total - am_free; }
+  };
+  PoolDebug pool_debug() const;
+
   /// Backoff delay before NACK retry number `attempt` (1-based). `stream`
   /// selects the deterministic jitter sequence — the fabric keys it by
   /// flight identity so simultaneously-NACKed senders desynchronize. A pure
@@ -244,6 +257,10 @@ class Fabric {
   void recover_lost_put(Flight* f);
   void launch_am(AmFlight* m);
   void deliver_am(AmFlight* m);
+  void deliver_am_payload(AmFlight* m);
+  void ordered_ready_put(Flight* f, Time arrival);
+  void ordered_ready_am(AmFlight* m);
+  void advance_ordered(std::uint64_t key);
   Time am_header_bytes() const { return 64; }
 
   // --- Flight pools: one PUT/AM in transit is a pooled object, not a
@@ -282,6 +299,25 @@ class Fabric {
   std::uint64_t get_seq_ = 0;
   /// Ordered-traffic FIFO tail per (src,dst) rank pair, key-packed flat.
   FlatU64Map<Time> fifo_tail_;
+  /// One entry of a stream's reorder buffer: a flight whose traversal
+  /// succeeded but whose predecessor is still recovering.
+  struct HeldOrdered {
+    bool am = false;
+    void* flight = nullptr;  ///< Flight* or AmFlight* according to `am`
+  };
+  /// Receiver-side release state of one (src,dst) ordered stream. The FIFO
+  /// tail above orders arrival *events* for healthy traffic, but a NIC-death
+  /// failover re-enters the launch path and reserves a fresh (later) slot,
+  /// letting traffic queued behind the lost message overtake it. The
+  /// receiver therefore sequences ordered deliveries and holds back any that
+  /// lands ahead of a recovering predecessor — a reorder buffer, exactly as
+  /// in a reliable in-order transport.
+  struct OrderedStream {
+    std::uint64_t next_send = 0;     ///< next sequence number to assign
+    std::uint64_t next_release = 0;  ///< next sequence allowed to deliver
+    std::map<std::uint64_t, HeldOrdered> held;  ///< out-of-order arrivals
+  };
+  FlatU64Map<OrderedStream> ordered_streams_;
   /// Dense handler table [rank][channel] (channels are small caller ids).
   std::vector<std::vector<AmHandler>> am_handlers_;
   std::vector<std::unique_ptr<Flight>> flight_pool_;

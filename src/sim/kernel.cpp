@@ -105,7 +105,13 @@ void Kernel::grow_pool_locked() {
     slab[i].next = free_nodes_;
     free_nodes_ = &slab[i];
   }
+  free_count_ += kEventSlabNodes;
   slabs_.push_back(std::move(slab));
+}
+
+Kernel::PoolDebug Kernel::pool_debug() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return {slabs_.size() * kEventSlabNodes, free_count_, wheel_.size()};
 }
 
 void Kernel::actor_main(Actor* a, const std::function<void(int)>& body) {

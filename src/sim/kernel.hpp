@@ -248,6 +248,19 @@ class Kernel {
   /// Virtual time at which the last run() finished.
   Time end_time() const { return end_time_; }
 
+  /// Event-pool conservation snapshot. Every node carved from the slabs is
+  /// either on the free list or pending in the timer wheel; `leaked()` > 0
+  /// means a node escaped the alloc/dispatch/free cycle. Valid from actor
+  /// context and between runs (never from inside an event handler, where the
+  /// node being dispatched is intentionally in neither set).
+  struct PoolDebug {
+    std::size_t total = 0;    ///< nodes carved from slabs so far
+    std::size_t free = 0;     ///< nodes on the free list
+    std::size_t pending = 0;  ///< nodes queued in the timer wheel
+    std::size_t leaked() const { return total - free - pending; }
+  };
+  PoolDebug pool_debug() const;
+
   /// The simulation's observability surface (metrics registry + virtual-time
   /// tracer). Configure before constructing instrumented components; the
   /// destructor flushes any configured output files.
@@ -273,12 +286,14 @@ class Kernel {
     if (!free_nodes_) grow_pool_locked();
     detail::EventNode* n = free_nodes_;
     free_nodes_ = n->next;
+    --free_count_;
     return n;
   }
   void free_node_locked(detail::EventNode* n) {
     n->vtbl = nullptr;
     n->next = free_nodes_;
     free_nodes_ = n;
+    ++free_count_;
   }
   void grow_pool_locked();
 
@@ -304,6 +319,7 @@ class Kernel {
   detail::TimerWheel wheel_;
   std::vector<std::unique_ptr<detail::EventNode[]>> slabs_;
   detail::EventNode* free_nodes_ = nullptr;
+  std::size_t free_count_ = 0;  ///< length of the free list (pool accounting)
   std::vector<std::unique_ptr<Actor>> actors_;
   std::deque<Actor*> ready_;
   Actor* running_ = nullptr;

@@ -132,8 +132,15 @@ std::size_t Unr::sig_wait_any(int self, std::span<const SigId> sigs) {
     // Register on EVERY signal's wait queue, then block once. Nothing can
     // trigger between the check above and the block (single-entity
     // execution); non-winning registrations surface as spurious wakeups
-    // later, which every wait tolerates.
-    for (const SigId s : sigs) sig_at(node, s).cond().add_waiter(me);
+    // later, which every wait tolerates. A SigId listed twice registers
+    // once: duplicate registrations on one wait queue would wake this actor
+    // twice for one trigger, and the second wake could steal a wakeup a
+    // different signal owed us after the first consumed it.
+    for (std::size_t i = 0; i < sigs.size(); ++i) {
+      bool dup = false;
+      for (std::size_t j = 0; j < i && !dup; ++j) dup = sigs[j] == sigs[i];
+      if (!dup) sig_at(node, sigs[i]).cond().add_waiter(me);
+    }
     k->block_current();
   }
 }

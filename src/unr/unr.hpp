@@ -91,7 +91,9 @@ class Unr {
   /// Block until ANY of `sigs` triggers; returns its index within `sigs`.
   /// Lets consumers process completions in arrival order (e.g. the
   /// pipelined transpose of Fig. 3e). Triggered entries the caller has
-  /// already consumed should be removed or reset first.
+  /// already consumed should be removed or reset first. A SigId appearing
+  /// more than once is waited on once; the FIRST occurrence's index is
+  /// returned when it triggers.
   std::size_t sig_wait_any(int self, std::span<const SigId> sigs);
   std::int64_t sig_counter(int self, SigId sig) const;
 

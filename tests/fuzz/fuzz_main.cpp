@@ -1,0 +1,310 @@
+// unr_fuzz: property-based fuzz driver over the check:: subsystem.
+//
+// Sweeps seeds x interface personalities x fault modes; every case is
+// generated, executed, and checked against the reference oracle — by default
+// differentially across the three software channel levels (native / level0 /
+// MPI fallback), whose application-visible digests must match bit for bit.
+//
+// Failures write a repro file (workload text format) next to the working
+// directory, are minimized by the shrinker, and exit the sweep nonzero.
+//
+//   unr_fuzz --seeds=200 --ifaces=glex,verbs,utofu --faults=both
+//   unr_fuzz --repro=fuzz-fail-17-verbs-on.repro
+//   unr_fuzz --mutate --seeds=5         # harness self-test (must catch bugs)
+//   unr_fuzz --print-spec=42 --ifaces=glex
+//
+// tools/fuzz_triage.py wraps the repro/shrink workflow.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "check/runner.hpp"
+#include "check/shrink.hpp"
+#include "check/workload.hpp"
+
+namespace {
+
+using namespace unr;
+using namespace unr::check;
+
+struct CliArgs {
+  std::uint64_t seeds = 25;
+  std::uint64_t seed0 = 1;
+  std::vector<Interface> ifaces = {Interface::kGlex, Interface::kVerbs,
+                                   Interface::kUtofu};
+  std::vector<unrlib::ChannelKind> channels;  // empty = differential trio
+  int faults = 2;                             // 0 = off, 1 = on, 2 = both
+  bool mutate = false;
+  bool do_shrink = true;
+  std::string repro;
+  std::string dump_dir = ".";
+  double time_budget = 0;  // wall seconds; 0 = unlimited
+  std::int64_t print_spec = -1;
+};
+
+bool parse_iface_list(const std::string& v, std::vector<Interface>& out) {
+  out.clear();
+  if (v == "all") {
+    out = {Interface::kGlex, Interface::kVerbs,  Interface::kUtofu,
+           Interface::kUgni, Interface::kPami,   Interface::kPortals};
+    return true;
+  }
+  std::stringstream ss(v);
+  std::string tok;
+  while (std::getline(ss, tok, ',')) {
+    Interface i{};
+    if (!iface_from_token(tok, i)) {
+      std::cerr << "unknown interface: " << tok << "\n";
+      return false;
+    }
+    out.push_back(i);
+  }
+  return !out.empty();
+}
+
+bool parse_channel_list(const std::string& v,
+                        std::vector<unrlib::ChannelKind>& out) {
+  out.clear();
+  std::stringstream ss(v);
+  std::string tok;
+  while (std::getline(ss, tok, ',')) {
+    if (tok == "native") out.push_back(unrlib::ChannelKind::kNative);
+    else if (tok == "level0") out.push_back(unrlib::ChannelKind::kLevel0);
+    else if (tok == "level4") out.push_back(unrlib::ChannelKind::kLevel4);
+    else if (tok == "fallback") out.push_back(unrlib::ChannelKind::kMpiFallback);
+    else if (tok == "auto") out.push_back(unrlib::ChannelKind::kAuto);
+    else {
+      std::cerr << "unknown channel: " << tok << "\n";
+      return false;
+    }
+  }
+  return !out.empty();
+}
+
+bool parse_args(int argc, char** argv, CliArgs& a) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto val = [&](const char* prefix) -> const char* {
+      const std::size_t n = std::strlen(prefix);
+      return arg.rfind(prefix, 0) == 0 ? arg.c_str() + n : nullptr;
+    };
+    if (const char* v = val("--seeds=")) a.seeds = std::strtoull(v, nullptr, 10);
+    else if (const char* v = val("--seed0=")) a.seed0 = std::strtoull(v, nullptr, 10);
+    else if (const char* v = val("--ifaces=")) { if (!parse_iface_list(v, a.ifaces)) return false; }
+    else if (const char* v = val("--channels=")) { if (!parse_channel_list(v, a.channels)) return false; }
+    else if (const char* v = val("--faults=")) {
+      const std::string m = v;
+      if (m == "off") a.faults = 0;
+      else if (m == "on") a.faults = 1;
+      else if (m == "both") a.faults = 2;
+      else { std::cerr << "bad --faults (off|on|both)\n"; return false; }
+    }
+    else if (const char* v = val("--repro=")) a.repro = v;
+    else if (const char* v = val("--dump-dir=")) a.dump_dir = v;
+    else if (const char* v = val("--time-budget=")) a.time_budget = std::strtod(v, nullptr);
+    else if (const char* v = val("--print-spec=")) a.print_spec = std::strtoll(v, nullptr, 10);
+    else if (arg == "--mutate") a.mutate = true;
+    else if (arg == "--no-shrink") a.do_shrink = false;
+    else if (arg == "--help" || arg == "-h") return false;
+    else { std::cerr << "unknown flag: " << arg << "\n"; return false; }
+  }
+  return true;
+}
+
+void usage() {
+  std::cerr <<
+      "unr_fuzz [--seeds=N] [--seed0=S] [--ifaces=glex,verbs,...|all]\n"
+      "         [--channels=native,level0,fallback,level4,auto]\n"
+      "         [--faults=off|on|both] [--time-budget=SECONDS]\n"
+      "         [--dump-dir=DIR] [--no-shrink]\n"
+      "         [--repro=FILE]     replay one workload file\n"
+      "         [--mutate]         self-test: injected bugs must be caught\n"
+      "         [--print-spec=S]   print the generated workload for seed S\n";
+}
+
+std::span<const unrlib::ChannelKind> channel_set(const CliArgs& a) {
+  return a.channels.empty()
+             ? differential_channels()
+             : std::span<const unrlib::ChannelKind>(a.channels);
+}
+
+/// Run one spec over the configured channel set; returns the combined
+/// violation list (differential digest mismatches included).
+std::vector<std::string> run_case(const WorkloadSpec& spec, const CliArgs& a) {
+  const DiffResult d = run_differential(spec, channel_set(a));
+  return d.violations;
+}
+
+std::string case_name(std::uint64_t seed, Interface iface, bool faults) {
+  std::ostringstream os;
+  os << "seed " << seed << " iface " << iface_token(iface)
+     << " faults " << (faults ? "on" : "off");
+  return os.str();
+}
+
+void write_repro(const WorkloadSpec& spec, const std::string& path) {
+  std::ofstream f(path);
+  f << to_text(spec);
+  std::cerr << "  repro written: " << path << "\n";
+}
+
+/// Shrink with "the channel sweep still reports any violation" as the
+/// predicate, then persist + print the minimized workload.
+void shrink_and_report(const WorkloadSpec& spec, const CliArgs& a,
+                       const std::string& tag) {
+  if (!a.do_shrink) return;
+  ShrinkStats st;
+  const WorkloadSpec tiny = shrink(
+      spec, [&](const WorkloadSpec& cand) { return !run_case(cand, a).empty(); },
+      {}, &st);
+  std::cerr << "  shrunk to " << total_ops(tiny) << " op(s) over "
+            << tiny.rounds.size() << " round(s) (" << st.attempts
+            << " attempts)\n";
+  write_repro(tiny, a.dump_dir + "/" + tag + ".min.repro");
+  std::cerr << to_text(tiny);
+}
+
+int replay(const CliArgs& a) {
+  std::ifstream f(a.repro);
+  if (!f) {
+    std::cerr << "cannot open " << a.repro << "\n";
+    return 2;
+  }
+  std::stringstream buf;
+  buf << f.rdbuf();
+  WorkloadSpec spec;
+  std::string err;
+  if (!from_text(buf.str(), spec, &err)) {
+    std::cerr << "bad repro file: " << err << "\n";
+    return 2;
+  }
+  const DiffResult d = run_differential(spec, channel_set(a));
+  for (const auto& [ch, r] : d.runs) {
+    std::cerr << channel_token(ch) << ": digest 0x" << std::hex << r.digest
+              << std::dec << ", " << r.events << " events, end "
+              << r.end_time << " ns\n";
+  }
+  if (d.ok) {
+    std::cerr << "PASS: no violations\n";
+    return 0;
+  }
+  for (const std::string& v : d.violations) std::cerr << "VIOLATION: " << v << "\n";
+  shrink_and_report(spec, a, "repro");
+  return 1;
+}
+
+/// Harness self-test: plant a known bug, require the oracle to catch it and
+/// the shrinker to reduce it to a small repro.
+int mutate_sweep(const CliArgs& a) {
+  int escapes = 0;
+  int planted = 0;
+  for (std::uint64_t s = a.seed0; s < a.seed0 + a.seeds; ++s) {
+    for (const Mutation m : {Mutation::kCorruptPayload, Mutation::kStraySignal}) {
+      GenConfig gc;
+      gc.iface = a.ifaces.front();
+      WorkloadSpec spec = generate(s, gc);
+      if (!inject_mutation(spec, m, s)) continue;
+      ++planted;
+      const char* name =
+          m == Mutation::kCorruptPayload ? "corrupt-payload" : "stray-signal";
+      const std::vector<std::string> v = run_case(spec, a);
+      if (v.empty()) {
+        std::cerr << "ESCAPE: " << name << " at seed " << s
+                  << " not caught by the oracle\n";
+        ++escapes;
+        continue;
+      }
+      ShrinkStats st;
+      const WorkloadSpec tiny = shrink(
+          spec,
+          [&](const WorkloadSpec& c) { return !run_case(c, a).empty(); }, {},
+          &st);
+      std::cerr << name << " seed " << s << ": caught (\"" << v.front()
+                << "\"), shrunk " << total_ops(spec) << " -> "
+                << total_ops(tiny) << " ops\n";
+      if (total_ops(tiny) > 10) {
+        std::cerr << "ESCAPE: shrinker left " << total_ops(tiny)
+                  << " ops (> 10)\n";
+        ++escapes;
+      }
+    }
+  }
+  std::cerr << "mutation self-test: " << planted << " planted, " << escapes
+            << " escape(s)\n";
+  if (planted == 0) {
+    std::cerr << "no mutation sites found — widen the sweep\n";
+    return 2;
+  }
+  return escapes == 0 ? 0 : 1;
+}
+
+int sweep(const CliArgs& a) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto out_of_budget = [&] {
+    if (a.time_budget <= 0) return false;
+    const std::chrono::duration<double> dt = std::chrono::steady_clock::now() - t0;
+    return dt.count() >= a.time_budget;
+  };
+
+  std::uint64_t cases = 0;
+  int failures = 0;
+  bool truncated = false;
+  for (const Interface iface : a.ifaces) {
+    for (const bool faults : {false, true}) {
+      if ((a.faults == 0 && faults) || (a.faults == 1 && !faults)) continue;
+      for (std::uint64_t s = a.seed0; s < a.seed0 + a.seeds; ++s) {
+        if (out_of_budget()) {
+          truncated = true;
+          goto done;
+        }
+        GenConfig gc;
+        gc.iface = iface;
+        gc.faults = faults;
+        const WorkloadSpec spec = generate(s, gc);
+        ++cases;
+        const std::vector<std::string> v = run_case(spec, a);
+        if (v.empty()) continue;
+        ++failures;
+        std::cerr << "FAIL: " << case_name(s, iface, faults) << "\n";
+        for (const std::string& msg : v) std::cerr << "  " << msg << "\n";
+        std::ostringstream tag;
+        tag << "fuzz-fail-" << s << "-" << iface_token(iface) << "-"
+            << (faults ? "on" : "off");
+        write_repro(spec, a.dump_dir + "/" + tag.str() + ".repro");
+        shrink_and_report(spec, a, tag.str());
+      }
+    }
+  }
+done:
+  const std::chrono::duration<double> dt = std::chrono::steady_clock::now() - t0;
+  std::cerr << "fuzz sweep: " << cases << " case(s), " << failures
+            << " failure(s), " << dt.count() << " s"
+            << (truncated ? " [time budget hit]" : "") << "\n";
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs a;
+  if (!parse_args(argc, argv, a)) {
+    usage();
+    return 2;
+  }
+  if (a.print_spec >= 0) {
+    GenConfig gc;
+    gc.iface = a.ifaces.front();
+    gc.faults = a.faults == 1;
+    std::cout << to_text(generate(static_cast<std::uint64_t>(a.print_spec), gc));
+    return 0;
+  }
+  if (!a.repro.empty()) return replay(a);
+  if (a.mutate) return mutate_sweep(a);
+  return sweep(a);
+}

@@ -1,0 +1,182 @@
+// Tier-1 slice of the property-based fuzz harness (docs/TESTING.md).
+//
+// The nightly `fuzz` label runs hundreds of seeds; this file keeps a small,
+// fast cross-section in the always-on gate: generator determinism + text
+// round-trip, clean differential runs across channel levels and interface
+// personalities (faults on and off), and the mutation self-test — a planted
+// bug must be caught by the oracle and shrunk to a tiny repro.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "check/oracle.hpp"
+#include "check/runner.hpp"
+#include "check/shrink.hpp"
+#include "check/workload.hpp"
+
+namespace unr::check {
+namespace {
+
+GenConfig cfg(Interface iface, bool faults = false) {
+  GenConfig gc;
+  gc.iface = iface;
+  gc.faults = faults;
+  return gc;
+}
+
+TEST(FuzzGenerate, DeterministicAndValid) {
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    const WorkloadSpec a = generate(seed, cfg(Interface::kVerbs));
+    const WorkloadSpec b = generate(seed, cfg(Interface::kVerbs));
+    EXPECT_EQ(to_text(a), to_text(b)) << "seed " << seed;
+    EXPECT_EQ(validate(a), "") << "seed " << seed;
+    EXPECT_GE(a.rounds.size(), 1u);
+  }
+}
+
+TEST(FuzzGenerate, TextRoundTrip) {
+  for (std::uint64_t seed : {1ull, 7ull, 23ull}) {
+    const WorkloadSpec a = generate(seed, cfg(Interface::kUtofu, true));
+    WorkloadSpec b;
+    std::string err;
+    ASSERT_TRUE(from_text(to_text(a), b, &err)) << err;
+    EXPECT_EQ(to_text(a), to_text(b));
+    EXPECT_EQ(validate(b), "");
+  }
+}
+
+TEST(FuzzRun, CleanSeedsNative) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const WorkloadSpec spec = generate(seed, cfg(Interface::kGlex));
+    RunOptions opt;
+    opt.channel = unrlib::ChannelKind::kNative;
+    const RunResult r = run_workload(spec, opt);
+    EXPECT_TRUE(r.ok) << "seed " << seed << ": "
+                      << (r.violations.empty() ? "" : r.violations.front());
+    EXPECT_GT(r.events, 0u);
+  }
+}
+
+TEST(FuzzRun, DifferentialChannelsBitIdentical) {
+  for (std::uint64_t seed : {2ull, 5ull, 11ull}) {
+    const WorkloadSpec spec = generate(seed, cfg(Interface::kVerbs));
+    const DiffResult d = run_differential(spec, differential_channels());
+    EXPECT_TRUE(d.ok) << "seed " << seed << ": "
+                      << (d.violations.empty() ? "" : d.violations.front());
+    ASSERT_EQ(d.runs.size(), 3u);
+    EXPECT_EQ(d.runs[0].second.digest, d.runs[1].second.digest);
+    EXPECT_EQ(d.runs[0].second.digest, d.runs[2].second.digest);
+  }
+}
+
+TEST(FuzzRun, FaultsStillSatisfyOracle) {
+  for (std::uint64_t seed : {3ull, 9ull}) {
+    const WorkloadSpec spec = generate(seed, cfg(Interface::kUtofu, true));
+    const DiffResult d = run_differential(spec, differential_channels());
+    EXPECT_TRUE(d.ok) << "seed " << seed << ": "
+                      << (d.violations.empty() ? "" : d.violations.front());
+  }
+}
+
+TEST(FuzzRun, EveryPersonalityOneSeed) {
+  for (const Interface i :
+       {Interface::kGlex, Interface::kVerbs, Interface::kUtofu,
+        Interface::kUgni, Interface::kPami, Interface::kPortals}) {
+    const WorkloadSpec spec = generate(13, cfg(i));
+    RunOptions opt;
+    opt.channel = unrlib::ChannelKind::kNative;
+    const RunResult r = run_workload(spec, opt);
+    EXPECT_TRUE(r.ok) << iface_token(i) << ": "
+                      << (r.violations.empty() ? "" : r.violations.front());
+  }
+}
+
+TEST(FuzzRun, DeterministicReplay) {
+  const WorkloadSpec spec = generate(6, cfg(Interface::kVerbs, true));
+  RunOptions opt;
+  opt.channel = unrlib::ChannelKind::kNative;
+  const RunResult a = run_workload(spec, opt);
+  const RunResult b = run_workload(spec, opt);
+  EXPECT_EQ(a.digest, b.digest);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.end_time, b.end_time);
+}
+
+TEST(FuzzRun, RejectsInvalidSpec) {
+  WorkloadSpec spec = generate(1, cfg(Interface::kGlex));
+  spec.rounds.emplace_back();
+  spec.rounds.back().kind = RoundSpec::Kind::kXfer;
+  OpSpec bad;
+  bad.a = 0;
+  bad.b = spec.nranks() + 5;  // out of range
+  spec.rounds.back().ops.push_back(bad);
+  const RunResult r = run_workload(spec);
+  EXPECT_FALSE(r.ok);
+  ASSERT_FALSE(r.violations.empty());
+  EXPECT_NE(r.violations.front().find("invalid spec"), std::string::npos);
+}
+
+// The acceptance check: a planted payload corruption must be caught by the
+// byte oracle and shrunk to a <= 10-op repro that still fails.
+TEST(FuzzMutation, CorruptPayloadCaughtAndShrunk) {
+  RunOptions opt;
+  opt.channel = unrlib::ChannelKind::kNative;
+  bool planted = false;
+  for (std::uint64_t seed = 1; seed <= 10 && !planted; ++seed) {
+    WorkloadSpec spec = generate(seed, cfg(Interface::kGlex));
+    if (!inject_mutation(spec, Mutation::kCorruptPayload, seed)) continue;
+    planted = true;
+    const RunResult r = run_workload(spec, opt);
+    ASSERT_FALSE(r.ok) << "corruption escaped the oracle (seed " << seed << ")";
+    bool byte_hit = false;
+    for (const std::string& v : r.violations) {
+      byte_hit |= v.find("mismatch at byte") != std::string::npos;
+    }
+    EXPECT_TRUE(byte_hit) << r.violations.front();
+
+    ShrinkStats st;
+    const WorkloadSpec tiny = shrink(
+        spec,
+        [&](const WorkloadSpec& c) { return !run_workload(c, opt).ok; }, {},
+        &st);
+    EXPECT_LE(total_ops(tiny), 10u);
+    EXPECT_LE(total_ops(tiny), total_ops(spec));
+    EXPECT_FALSE(run_workload(tiny, opt).ok) << "shrunk repro stopped failing";
+    EXPECT_GT(st.successes, 0u);
+  }
+  ASSERT_TRUE(planted) << "no eligible corruption site in 10 seeds";
+}
+
+TEST(FuzzMutation, StraySignalCaughtByCounterCheck) {
+  RunOptions opt;
+  opt.channel = unrlib::ChannelKind::kNative;
+  bool planted = false;
+  for (std::uint64_t seed = 1; seed <= 10 && !planted; ++seed) {
+    WorkloadSpec spec = generate(seed, cfg(Interface::kVerbs));
+    if (!inject_mutation(spec, Mutation::kStraySignal, seed)) continue;
+    planted = true;
+    const RunResult r = run_workload(spec, opt);
+    ASSERT_FALSE(r.ok) << "stray notification escaped (seed " << seed << ")";
+    bool counter_hit = false;
+    for (const std::string& v : r.violations) {
+      counter_hit |= v.find("counter") != std::string::npos;
+    }
+    EXPECT_TRUE(counter_hit) << r.violations.front();
+  }
+  ASSERT_TRUE(planted) << "no eligible stray-signal site in 10 seeds";
+}
+
+TEST(FuzzOracle, PatternIsPositionSensitive) {
+  EXPECT_NE(Oracle::pattern_byte(1, 0), Oracle::pattern_byte(2, 0));
+  std::vector<std::byte> buf(64);
+  Oracle::fill(buf, 99);
+  std::size_t bad = 0;
+  EXPECT_TRUE(Oracle::check(buf, 99, bad));
+  buf[17] ^= std::byte{1};
+  EXPECT_FALSE(Oracle::check(buf, 99, bad));
+  EXPECT_EQ(bad, 17u);
+}
+
+}  // namespace
+}  // namespace unr::check

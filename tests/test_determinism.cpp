@@ -8,6 +8,8 @@
 #include <optional>
 #include <vector>
 
+#include "check/runner.hpp"
+#include "check/workload.hpp"
 #include "powerllel/solver.hpp"
 #include "runtime/world.hpp"
 #include "unr/unr.hpp"
@@ -176,6 +178,49 @@ TEST(Determinism, MixedFaultWorkloadPinned) {
   EXPECT_EQ(a.end, b.end);
   EXPECT_EQ(a.events, kMixedGoldenEvents);
   EXPECT_EQ(a.end, kMixedGoldenEnd);
+}
+
+// ---------------------------------------------------------------------------
+// Golden corpus: one generated fuzz workload per interface personality
+// (Table II), run on the native channel, with its event count, virtual end
+// time, and application-visible digest pinned. These are the same workloads
+// the nightly fuzz sweep draws from (src/check/), so any timing-model or
+// notification-path change that moves the simulation shows up here
+// immediately — in tier 1, not at 3am. Re-pin deliberately (the failure
+// output prints the new values) only in a PR that intentionally changes the
+// model, and say so in its description.
+struct GoldenPin {
+  Interface iface;
+  std::uint64_t seed;  // distinct per personality so each workload differs
+  std::uint64_t events;
+  Time end;
+  std::uint64_t digest;
+};
+
+inline constexpr GoldenPin kGoldenCorpus[] = {
+    {Interface::kGlex, 2026, 140, 2015238, 15776137241779103725ull},
+    {Interface::kVerbs, 2027, 986, 2164072, 9072712369951878418ull},
+    {Interface::kUtofu, 2028, 152, 2045572, 10922542496294661094ull},
+    {Interface::kUgni, 2029, 644, 2059332, 5753888831682073803ull},
+    {Interface::kPami, 2030, 119, 2019302, 1302273569689558915ull},
+    {Interface::kPortals, 2031, 171, 2083644, 18003767250503377947ull},
+};
+
+TEST(Determinism, GoldenCorpusPerPersonality) {
+  for (const GoldenPin& pin : kGoldenCorpus) {
+    check::GenConfig gc;
+    gc.iface = pin.iface;
+    const check::WorkloadSpec spec = check::generate(pin.seed, gc);
+    check::RunOptions opt;
+    opt.channel = unrlib::ChannelKind::kNative;
+    const check::RunResult r = check::run_workload(spec, opt);
+    ASSERT_TRUE(r.ok) << check::iface_token(pin.iface) << ": "
+                      << (r.violations.empty() ? "" : r.violations.front());
+    EXPECT_EQ(r.events, pin.events) << check::iface_token(pin.iface);
+    EXPECT_EQ(r.end_time, pin.end) << check::iface_token(pin.iface);
+    EXPECT_EQ(r.digest, pin.digest)
+        << check::iface_token(pin.iface) << " digest 0x" << std::hex << r.digest;
+  }
 }
 
 TEST(Determinism, PhysicsIndependentOfJitterSeed) {

@@ -258,6 +258,77 @@ TEST(Fabric, RemoteImmTruncatedToInterfaceWidth) {
   EXPECT_EQ(e.kind, CqeKind::kPutDelivered);
 }
 
+TEST(Fabric, ZeroByteGetCompletesWithoutTouchingMemory) {
+  // A 0-byte GET is legal: it pays the full round trip and fires its
+  // completion, but must not touch a single byte on either side.
+  Kernel k;
+  Fabric f(k, two_node_cfg());
+  std::vector<std::byte> owner_buf(32, std::byte{0xAA});
+  std::vector<std::byte> reader_buf(32, std::byte{0x55});
+  const MrId mr = f.memory().register_region(1, owner_buf.data(), owner_buf.size());
+  Time got = 0;
+  bool done = false;
+  Cond cond;
+  k.run(2, [&](int id) {
+    if (id != 0) return;
+    Fabric::GetArgs a;
+    a.src_rank = 0;
+    a.dst = reader_buf.data();
+    a.src = {1, mr, 0};
+    a.size = 0;
+    a.on_complete = [&] {
+      got = k.now();
+      done = true;
+      cond.notify_all();
+    };
+    f.get(std::move(a));
+    cond.wait([&] { return done; });
+  });
+  EXPECT_TRUE(done);
+  EXPECT_GT(got, 2 * f.profile().wire_latency);  // still a request + response
+  for (const std::byte b : reader_buf) EXPECT_EQ(b, std::byte{0x55});
+  for (const std::byte b : owner_buf) EXPECT_EQ(b, std::byte{0xAA});
+}
+
+TEST(Fabric, PutImmExactlyAtWidthBoundary) {
+  // Verbs: 32 remote PUT bits. 2^32 - 1 fits exactly and must survive
+  // untouched; 2^32 is one past the boundary and masks to 0 (the fabric
+  // models hardware truncation — detecting the overflow and falling back is
+  // the channel layer's job).
+  Kernel k;
+  Fabric f(k, two_node_cfg(unr::make_hpc_ib()));
+  std::vector<std::byte> dst(8);
+  const MrId mr = f.memory().register_region(1, dst.data(), dst.size());
+  std::byte one{1};
+  k.run(2, [&](int id) {
+    if (id != 0) {
+      Kernel::current()->sleep_for(300 * kUs);
+      return;
+    }
+    const auto send = [&](std::uint64_t imm) {
+      Fabric::PutArgs a;
+      a.src_rank = 0;
+      a.src = &one;
+      a.dst = {1, mr, 0};
+      a.size = 1;
+      a.remote_imm = CustomBits::from_u64(imm);
+      a.want_remote_cqe = true;
+      f.put(std::move(a));
+      Kernel::current()->sleep_for(100 * kUs);  // keep arrivals ordered
+    };
+    send(0xFFFFFFFFull);   // exactly at the 32-bit boundary
+    send(0x100000000ull);  // one past
+  });
+  auto& cq = f.nic(1, 0).remote_cq();
+  ASSERT_EQ(cq.size(), 2u);
+  const Cqe at = cq.pop();
+  EXPECT_EQ(at.imm.lo, 0xFFFFFFFFull);
+  EXPECT_EQ(at.imm.hi, 0u);
+  const Cqe past = cq.pop();
+  EXPECT_EQ(past.imm.lo, 0u);
+  EXPECT_EQ(past.imm.hi, 0u);
+}
+
 TEST(Fabric, CqOverflowNacksAndRetries) {
   auto cfg = two_node_cfg();
   cfg.profile.cq_depth = 4;

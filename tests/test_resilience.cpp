@@ -265,6 +265,41 @@ TEST(Resilience, OrderedCompanionSurvivesMidFlightNicDeath) {
   EXPECT_GE(f.stats().resilience.retransmits, 2u);
 }
 
+TEST(Resilience, OrderedStreamStaysFifoAcrossNicDeathFailover) {
+  // Regression (found by the fuzz harness, seed 60): a big ordered message
+  // is in NIC 0's send engine when the NIC dies; a second ordered message to
+  // the same peer is sent after the death and reroutes to NIC 1. The lost
+  // message's recovery re-enters the launch path and reserves a *later*
+  // FIFO slot, so without receiver-side sequencing the younger message
+  // overtakes it — reordering the (src,dst) ordered stream that two-sided
+  // eager traffic and level-0 companions rely on.
+  auto cfg = two_node_cfg(unr::make_th_xy());  // multi-NIC node
+  cfg.faults.nic_faults.push_back({.node = 0, .index = 0, .at = 5 * kUs});
+  Kernel k;
+  Fabric f(k, cfg);
+  std::vector<int> order;
+  f.set_am_handler(1, 7, [&](int, const std::vector<std::byte>& p) {
+    order.push_back(static_cast<int>(std::to_integer<unsigned char>(p[0])));
+  });
+  k.run(2, [&](int id) {
+    if (id != 0) {
+      Kernel::current()->sleep_for(10 * kMs);
+      return;
+    }
+    // Long serialization: still in tx at the 5us death, lost with the NIC.
+    f.send_am(0, 1, 7, std::vector<std::byte>(1 * MiB, std::byte{1}),
+              /*nic_index=*/0, /*ordered=*/true);
+    Kernel::current()->sleep_for(10 * kUs);  // NIC 0 is dead by now
+    f.send_am(0, 1, 7, std::vector<std::byte>(8, std::byte{2}),
+              /*nic_index=*/0, /*ordered=*/true);
+    Kernel::current()->sleep_for(10 * kMs);
+  });
+  EXPECT_GE(f.stats().resilience.lost_to_nic, 1u);
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 1);
+  EXPECT_EQ(order[1], 2);
+}
+
 TEST(Resilience, AmRetransmissionConsumesNicBandwidth) {
   // A dropped AM re-enters the launch path: every retransmission reserves
   // the source NIC's send engine again (one tx per traversal, not one per

@@ -225,6 +225,86 @@ TEST(UnrCore, Code2ProducerConsumerLoop) {
   EXPECT_EQ(verified, iters);
 }
 
+TEST(UnrCore, ZeroByteGetNotifiesBothSidesAndMovesNothing) {
+  World w(world_cfg());
+  Unr unr(w);
+  bool owner_ok = false, reader_ok = false;
+  w.run([&](Rank& r) {
+    std::vector<std::byte> buf(16, r.id() == 1 ? std::byte{0xAA} : std::byte{0x55});
+    const MemHandle mh = unr.mem_reg(r.id(), buf.data(), buf.size());
+    if (r.id() == 1) {
+      // Owner: the bound signal must net exactly one event for a 0-byte read.
+      const SigId rsig = unr.sig_init(1, 1);
+      const Blk rblk = unr.blk_init(1, mh, 0, 0, rsig);
+      r.send(0, 7, &rblk, sizeof rblk);
+      unr.sig_wait(1, rsig);
+      owner_ok = unr.sig_counter(1, rsig) == 0;
+      for (const std::byte b : buf) owner_ok &= b == std::byte{0xAA};
+    } else {
+      Blk rblk;
+      r.recv(1, 7, &rblk, sizeof rblk);
+      const SigId lsig = unr.sig_init(0, 1);
+      const Blk lblk = unr.blk_init(0, mh, 0, 0, lsig);
+      unr.get(0, lblk, rblk);
+      unr.sig_wait(0, lsig);
+      reader_ok = true;
+      for (const std::byte b : buf) reader_ok &= b == std::byte{0x55};
+    }
+  });
+  EXPECT_TRUE(owner_ok);
+  EXPECT_TRUE(reader_ok);
+  EXPECT_EQ(unr.stats().gets, 1u);
+}
+
+TEST(UnrCore, CustomBitsBoundarySigIdFallsBackToCompanion) {
+  // uTofu: 8 custom bits, index-only encoding. Signal id 255 is the last
+  // one that encodes natively; id 256 cannot fit and must ride an ordered
+  // companion message — same semantics, one extra AM.
+  auto prof = unr::make_th_xy();
+  prof.iface = Interface::kUtofu;
+  World w(world_cfg(prof));
+  Unr unr(w);
+  std::uint64_t companions_at_boundary = 0, fallbacks_at_boundary = 0;
+  w.run([&](Rank& r) {
+    std::vector<std::byte> buf(8, std::byte{0});
+    const MemHandle mh = unr.mem_reg(r.id(), buf.data(), buf.size());
+    if (r.id() == 1) {
+      SigId last_fit = kNoSig, first_past = kNoSig;
+      for (int i = 0; i < 257; ++i) {
+        const SigId s = unr.sig_init(1, 1);
+        if (s == 255) last_fit = s;
+        if (s == 256) first_past = s;
+      }
+      ASSERT_NE(last_fit, kNoSig);
+      ASSERT_NE(first_past, kNoSig);
+      const Blk b_fit = unr.blk_init(1, mh, 0, 4, last_fit);
+      const Blk b_past = unr.blk_init(1, mh, 4, 4, first_past);
+      r.send(0, 1, &b_fit, sizeof b_fit);
+      r.send(0, 2, &b_past, sizeof b_past);
+      unr.sig_wait(1, last_fit);
+      unr.sig_wait(1, first_past);
+      EXPECT_EQ(unr.sig_counter(1, last_fit), 0);
+      EXPECT_EQ(unr.sig_counter(1, first_past), 0);
+    } else {
+      Blk b_fit, b_past;
+      r.recv(1, 1, &b_fit, sizeof b_fit);
+      r.recv(1, 2, &b_past, sizeof b_past);
+      std::vector<std::byte> src(4, std::byte{0x11});
+      const MemHandle smh = unr.mem_reg(0, src.data(), src.size());
+      unr.put(0, unr.blk_init(0, smh, 0, 4), b_fit);
+      companions_at_boundary = unr.stats().companions;
+      fallbacks_at_boundary = unr.stats().encode_fallbacks;
+      unr.put(0, unr.blk_init(0, smh, 0, 4), b_past);
+    }
+  });
+  // id 255: encoded in the custom bits, no fallback traffic.
+  EXPECT_EQ(fallbacks_at_boundary, 0u);
+  EXPECT_EQ(companions_at_boundary, 0u);
+  // id 256: exactly one encode fallback -> companion notification.
+  EXPECT_EQ(unr.stats().encode_fallbacks, 1u);
+  EXPECT_GE(unr.stats().companions, 1u);
+}
+
 TEST(UnrCore, SigResetDetectsMissingPreSynchronization) {
   // The receiver resets the signal, then the producer's SECOND message races
   // ahead of the consumer: reset-before-trigger fires the diagnostic.

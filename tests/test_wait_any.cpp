@@ -65,6 +65,38 @@ TEST(WaitAny, WakesOnWhicheverArrivesFirst) {
   EXPECT_EQ(order[2], 1u);
 }
 
+TEST(WaitAny, DuplicateSigIdsWaitOnceReturnFirstIndex) {
+  // Regression: the same SigId listed twice used to register the actor as a
+  // waiter twice on one Cond. The contract now: duplicates are waited on
+  // once, and the FIRST occurrence's index is returned when it triggers.
+  World w(cfg());
+  Unr unr(w);
+  w.run([&](Rank& r) {
+    if (r.id() != 0) return;
+    const SigId a = unr.sig_init(0, 1);
+    const SigId b = unr.sig_init(0, 1);
+
+    // Already-triggered duplicate: scan resolves to the first occurrence.
+    unr.sig_at(0, a).apply(-1);
+    const std::array<SigId, 3> dup_front{a, b, a};
+    EXPECT_EQ(unr.sig_wait_any(0, dup_front), 0u);
+    const std::array<SigId, 3> dup_back{b, a, a};
+    EXPECT_EQ(unr.sig_wait_any(0, dup_back), 1u);
+
+    // Blocking duplicate: fresh, untriggered signals so the wait actually
+    // blocks. The wake path must land on the first occurrence, and the
+    // duplicate registration must not corrupt the waiter list (a second
+    // wait on the same set still works).
+    const SigId c = unr.sig_init(0, 1);
+    const SigId d = unr.sig_init(0, 1);
+    r.kernel().post_in(100, [&] { unr.sig_at(0, c).apply(-1); });
+    const std::array<SigId, 4> dups{c, c, d, c};
+    EXPECT_EQ(unr.sig_wait_any(0, dups), 0u);
+    EXPECT_EQ(r.now(), 100u);
+    EXPECT_EQ(unr.sig_wait_any(0, dups), 0u);  // still triggered, no re-arm
+  });
+}
+
 TEST(WaitAny, EndToEndArrivalOrderAcrossPeers) {
   // Rank 0 waits on per-source signals from three peers who send at
   // staggered times; the indices must come back in arrival order.

@@ -1,0 +1,214 @@
+#!/usr/bin/env python3
+"""Triage helper for unr_fuzz repro files (docs/TESTING.md).
+
+A failing fuzz seed is dumped by `unr_fuzz` as a `.repro` file — the full
+workload spec in the `unrfuzz v1` text format (src/check/workload.cpp).
+This tool makes those files pleasant to work with:
+
+    fuzz_triage.py show  FILE...          pretty-print spec(s): topology,
+                                          config, per-round op table, with
+                                          planted mutations highlighted
+    fuzz_triage.py replay FILE            re-run the repro through unr_fuzz
+                                          (differential channels by default),
+                                          shrinking on failure
+    fuzz_triage.py replay FILE --channels native --no-shrink
+    fuzz_triage.py diff  A B              structural diff of two repro files
+                                          (e.g. original vs shrunk)
+
+Stdlib only; the heavy lifting stays in the C++ harness.
+"""
+
+import argparse
+import os
+import signal
+import subprocess
+import sys
+
+# Die quietly when piped into `head` and friends.
+if hasattr(signal, "SIGPIPE"):
+    signal.signal(signal.SIGPIPE, signal.SIG_DFL)
+
+DEFAULT_BINARY_DIRS = (
+    "build/tests/fuzz",
+    "build-rel/tests/fuzz",
+    "tests/fuzz",
+)
+
+
+def find_unr_fuzz(explicit):
+    if explicit:
+        if os.path.isfile(explicit) and os.access(explicit, os.X_OK):
+            return explicit
+        sys.exit(f"error: --unr-fuzz {explicit!r} is not an executable")
+    here = os.path.dirname(os.path.abspath(__file__))
+    repo = os.path.dirname(here)
+    for d in DEFAULT_BINARY_DIRS:
+        cand = os.path.join(repo, d, "unr_fuzz")
+        if os.path.isfile(cand) and os.access(cand, os.X_OK):
+            return cand
+    sys.exit(
+        "error: unr_fuzz binary not found; build it first "
+        "(cmake --build build --target unr_fuzz) or pass --unr-fuzz PATH"
+    )
+
+
+def parse_repro(path):
+    """Parse the unrfuzz v1 text format into a dict (loose, for display)."""
+    spec = {"header": {}, "rounds": [], "path": path}
+    with open(path, encoding="utf-8") as f:
+        lines = [ln.rstrip("\n") for ln in f]
+    if not lines or not lines[0].startswith("unrfuzz"):
+        sys.exit(f"error: {path}: not an unrfuzz repro file")
+    spec["version"] = lines[0]
+    cur = None
+    for ln in lines[1:]:
+        stripped = ln.strip()
+        if not stripped or stripped == "end":
+            continue
+        toks = stripped.split()
+        if toks[0] == "round":
+            cur = {"kind": toks[1], "ops": []}
+            cur.update(kv_pairs(toks[2:]))
+            spec["rounds"].append(cur)
+        elif toks[0] == "op":
+            if cur is None:
+                sys.exit(f"error: {path}: op line before any round")
+            op = {"kind": toks[1]}
+            op.update(kv_pairs(toks[2:]))
+            cur["ops"].append(op)
+        elif toks[0] in ("seed", "profile", "iface"):
+            spec["header"][toks[0]] = toks[1] if len(toks) > 1 else ""
+        elif toks[0] in ("topo", "cfg"):
+            spec["header"].update(kv_pairs(toks[1:]))
+        else:
+            sys.exit(f"error: {path}: unrecognised line: {ln!r}")
+    return spec
+
+
+def kv_pairs(tokens):
+    out = {}
+    for tok in tokens:
+        if "=" not in tok:
+            sys.exit(f"error: malformed key=value token {tok!r}")
+        k, v = tok.split("=", 1)
+        out[k] = v
+    return out
+
+
+def op_flags(op):
+    flags = []
+    if op.get("rn") == "1":
+        flags.append("remote_notify")
+    if op.get("ln") == "1":
+        flags.append("local_notify")
+    if op.get("split", "0") not in ("0", ""):
+        flags.append(f"split={op['split']}")
+    if op.get("nic", "-1") != "-1":
+        flags.append(f"nic={op['nic']}")
+    if op.get("corrupt") == "1":
+        flags.append("CORRUPT")  # planted mutation — the bug to chase
+    return ",".join(flags) or "-"
+
+
+def show(spec):
+    h = spec["header"]
+    print(f"== {spec['path']} ({spec['version']})")
+    print(
+        f"   seed={h.get('seed')} profile={h.get('profile')} "
+        f"iface={h.get('iface')}  "
+        f"{h.get('nodes')}x{h.get('rpn')} ranks, {h.get('nics')} NIC(s)"
+    )
+    print(
+        f"   sig_n_bits={h.get('sig_n_bits')} "
+        f"split_threshold={h.get('split_threshold')} shm={h.get('shm')} "
+        f"faults={h.get('faults')} nic_death={h.get('nic_death')} "
+        f"region={h.get('region')}"
+    )
+    n_ops = sum(len(r["ops"]) for r in spec["rounds"])
+    print(f"   {len(spec['rounds'])} round(s), {n_ops} transfer op(s)")
+    for i, rnd in enumerate(spec["rounds"]):
+        extra = ""
+        if rnd["kind"] in ("bcast", "allgather", "allreduce", "window"):
+            extra = f" root={rnd.get('root')} size={rnd.get('size')}"
+        if rnd.get("stray", "-1") != "-1":
+            extra += f" STRAY_SIGNAL@rank{rnd['stray']}"  # planted mutation
+        print(f"   round {i}: {rnd['kind']}{extra}")
+        for j, op in enumerate(rnd["ops"]):
+            print(
+                f"     [{j}] {op['kind']:<4} {op['a']:>3} -> {op['b']:>3}  "
+                f"{op['size']:>8}B  src={op['src']} dst={op['dst']}  "
+                f"{op_flags(op)}"
+            )
+    print()
+
+
+def structural_diff(a, b):
+    def describe(spec):
+        rows = []
+        for i, rnd in enumerate(spec["rounds"]):
+            rows.append((i, rnd["kind"], None, None))
+            for j, op in enumerate(rnd["ops"]):
+                rows.append((i, rnd["kind"], j, tuple(sorted(op.items()))))
+        return rows
+
+    ra, rb = describe(a), describe(b)
+    sa, sb = set(ra), set(rb)
+    print(f"-- only in {a['path']}:")
+    for row in ra:
+        if row not in sb:
+            print(f"   round {row[0]} {row[1]}" + (f" op[{row[2]}]" if row[2] is not None else ""))
+    print(f"-- only in {b['path']}:")
+    for row in rb:
+        if row not in sa:
+            print(f"   round {row[0]} {row[1]}" + (f" op[{row[2]}]" if row[2] is not None else ""))
+    na = sum(len(r["ops"]) for r in a["rounds"])
+    nb = sum(len(r["ops"]) for r in b["rounds"])
+    print(f"-- op count: {na} -> {nb}")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = ap.add_subparsers(dest="cmd", required=True)
+
+    p_show = sub.add_parser("show", help="pretty-print repro file(s)")
+    p_show.add_argument("files", nargs="+")
+
+    p_replay = sub.add_parser("replay", help="re-run a repro through unr_fuzz")
+    p_replay.add_argument("file")
+    p_replay.add_argument("--unr-fuzz", help="path to the unr_fuzz binary")
+    p_replay.add_argument("--channels",
+                          help="comma list: native,level0,fallback,level4,auto "
+                               "(default: differential trio)")
+    p_replay.add_argument("--no-shrink", action="store_true",
+                          help="skip shrinking when the repro still fails")
+
+    p_diff = sub.add_parser("diff", help="structural diff of two repro files")
+    p_diff.add_argument("a")
+    p_diff.add_argument("b")
+
+    args = ap.parse_args()
+
+    if args.cmd == "show":
+        for f in args.files:
+            show(parse_repro(f))
+        return 0
+
+    if args.cmd == "diff":
+        structural_diff(parse_repro(args.a), parse_repro(args.b))
+        return 0
+
+    # replay
+    parse_repro(args.file)  # validate + fail early with a good message
+    binary = find_unr_fuzz(args.unr_fuzz)
+    cmd = [binary, f"--repro={args.file}"]
+    if args.channels:
+        cmd.append(f"--channels={args.channels}")
+    if args.no_shrink:
+        cmd.append("--no-shrink")
+    print("+ " + " ".join(cmd), file=sys.stderr)
+    return subprocess.call(cmd)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
