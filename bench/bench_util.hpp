@@ -4,6 +4,8 @@
 #include <sys/resource.h>
 
 #include <chrono>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <iostream>
@@ -109,6 +111,35 @@ inline double peak_rss_mib() {
   struct rusage ru {};
   getrusage(RUSAGE_SELF, &ru);
   return static_cast<double>(ru.ru_maxrss) / 1024.0;
+}
+
+/// Reset the kernel's resident-set high-water mark (Linux: writing "5" to
+/// /proc/self/clear_refs zeroes VmHWM). Returns false where unsupported —
+/// callers then only have the monotonic process-wide peak.
+inline bool reset_peak_rss() {
+  std::FILE* f = std::fopen("/proc/self/clear_refs", "w");
+  if (!f) return false;
+  const bool ok = std::fputs("5", f) >= 0;
+  std::fclose(f);
+  return ok;
+}
+
+/// Current high-water mark (VmHWM) in MiB since the last reset_peak_rss(),
+/// or -1 where /proc/self/status is unavailable. Unlike ru_maxrss this is
+/// resettable, so per-scenario peaks don't inherit a bigger predecessor's.
+inline double resettable_peak_rss_mib() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (!f) return -1.0;
+  char line[256];
+  double kib = -1.0;
+  while (std::fgets(line, sizeof line, f)) {
+    if (std::strncmp(line, "VmHWM:", 6) == 0) {
+      kib = std::strtod(line + 6, nullptr);
+      break;
+    }
+  }
+  std::fclose(f);
+  return kib < 0 ? -1.0 : kib / 1024.0;
 }
 
 /// Monotonic wall-clock stopwatch for perf harnesses (virtual time measures

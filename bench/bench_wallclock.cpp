@@ -12,12 +12,20 @@
 //
 // Flags:
 //   --smoke              run only the cheap smoke subset (CI perf job)
+//   --scenario=NAME      run only the named scenario (repeatable)
 //   --repeat=N           best-of-N wall timing per scenario (default 3)
 //   --out=PATH           where to write the JSON (default <repo>/BENCH_wallclock.json)
 //   --baseline=PATH      compare against a previous BENCH_wallclock.json;
 //                        embeds baseline/speedup per scenario in the output
 //                        and exits nonzero on regression > tolerance
 //   --tolerance=FRAC     allowed events/sec regression (default 0.20)
+//   --rss-ceiling-mib=N  fail if any scenario's peak RSS exceeds N MiB
+//                        (the scale-smoke job's bounded-memory assertion)
+//
+// RSS accounting: each scenario resets the kernel's RSS high-water mark
+// (/proc/self/clear_refs) before its first rep and reports the per-scenario
+// peak (VmHWM) — NOT the monotonic process-wide ru_maxrss, which made every
+// scenario after the biggest one report the same number (schema v1 bug).
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
@@ -42,25 +50,30 @@ namespace {
 
 struct WallOptions {
   bool smoke = false;
+  std::vector<std::string> only;  ///< --scenario= filters (empty = all)
   int repeat = 3;
   std::string out;
   std::string baseline;
   double tolerance = 0.20;
+  double rss_ceiling_mib = 0;  ///< 0 = no ceiling
 
   static WallOptions parse(int argc, char** argv) {
     WallOptions o;
     for (int i = 1; i < argc; ++i) {
       const std::string a = argv[i];
       if (a == "--smoke") o.smoke = true;
+      else if (a.rfind("--scenario=", 0) == 0) o.only.push_back(a.substr(11));
       else if (a.rfind("--repeat=", 0) == 0) o.repeat = std::stoi(a.substr(9));
       else if (a.rfind("--out=", 0) == 0) o.out = a.substr(6);
       else if (a.rfind("--baseline=", 0) == 0) o.baseline = a.substr(11);
       else if (a.rfind("--tolerance=", 0) == 0) o.tolerance = std::stod(a.substr(12));
+      else if (a.rfind("--rss-ceiling-mib=", 0) == 0)
+        o.rss_ceiling_mib = std::stod(a.substr(18));
       else if (unr::bench::parse_telemetry_flag(a)) {}
       else if (a == "--help" || a == "-h") {
-        std::cout << "flags: --smoke | --repeat=N | --out=PATH | --baseline=PATH | "
-                     "--tolerance=FRAC | --trace=FILE | --metrics=FILE | "
-                     "--trace-ring=N\n";
+        std::cout << "flags: --smoke | --scenario=NAME | --repeat=N | --out=PATH | "
+                     "--baseline=PATH | --tolerance=FRAC | --rss-ceiling-mib=N | "
+                     "--trace=FILE | --metrics=FILE | --trace-ring=N\n";
         std::exit(0);
       } else {
         std::cerr << "unknown flag: " << a << "\n";
@@ -68,6 +81,12 @@ struct WallOptions {
       }
     }
     return o;
+  }
+
+  bool selected(const std::string& name, bool in_smoke) const {
+    if (!only.empty())
+      return std::find(only.begin(), only.end(), name) != only.end();
+    return !smoke || in_smoke;
   }
 };
 
@@ -83,7 +102,7 @@ struct ScenarioResult {
   std::string name;
   RunSample best;                 ///< best-of-N by wall time
   double events_per_sec = 0;
-  double rss_after_mib = 0;
+  double rss_peak_mib = 0;  ///< THIS scenario's peak (max across its reps)
   std::optional<double> baseline_eps;  ///< from --baseline, when present
 };
 
@@ -215,6 +234,7 @@ struct Scenario {
   std::string name;
   bool in_smoke;
   RunSample (*fn)();
+  int repeat_override = 0;  ///< 0 = use --repeat; heavyweight points pin 1
 };
 
 // Scenario parameter sets are fixed constants shared by --smoke and the full
@@ -225,6 +245,12 @@ RunSample fig4_full() {
 }
 RunSample fig7_quick() { return run_fig7_point(8, 4, 4, 128, 128, 64, 3); }
 RunSample fig7_16n() { return run_fig7_point(16, 8, 4, 128, 128, 64, 3); }
+// The thread-per-rank ceiling breaker: 1024 simulated nodes x 2 ranks each
+// = 2048 fiber actors in ONE process (the paper's full Fig. 7 machine is
+// 1728 nodes). Feasible only because actors are pooled fibers now; the
+// scale-smoke CI job runs exactly this point under a time budget and an RSS
+// ceiling.
+RunSample fig7_1024n() { return run_fig7_point(1024, 64, 32, 256, 128, 64, 1); }
 RunSample faults_smoke() { return run_faults_sweep({0.02}, 150); }
 RunSample faults_full() { return run_faults_sweep({0.0, 0.01, 0.05}, 300); }
 
@@ -235,6 +261,7 @@ const std::vector<Scenario>& scenarios() {
       {"faults_sweep_smoke", true, &faults_smoke},
       {"fig4_pingpong", false, &fig4_full},
       {"fig7_scaling_16n", false, &fig7_16n},
+      {"fig7_scaling_1024n", false, &fig7_1024n, 1},
       {"faults_sweep", false, &faults_full},
   };
   return all;
@@ -271,10 +298,18 @@ std::string emit_json(const std::vector<ScenarioResult>& results, bool smoke) {
   std::ostringstream os;
   os.setf(std::ios::fixed);
   os << "{\n";
-  os << "  \"schema\": \"unr-bench-wallclock-v1\",\n";
+  // v2: per-scenario "rss_peak_mib" (resettable VmHWM high-water mark)
+  // replaced v1's "rss_after_mib", which was the monotonic process-wide
+  // peak and therefore identical for every scenario after the largest.
+  os << "  \"schema\": \"unr-bench-wallclock-v2\",\n";
   os << "  \"mode\": \"" << (smoke ? "smoke" : "full") << "\",\n";
   os.precision(1);
-  os << "  \"peak_rss_mib\": " << unr::bench::peak_rss_mib() << ",\n";
+  // Per-scenario resets rewind the kernel's hiwater_rss counter, which also
+  // feeds ru_maxrss — so the run-wide peak is the max over scenario peaks,
+  // not a (no longer monotonic) getrusage call at emit time.
+  double run_peak = 0;
+  for (const ScenarioResult& r : results) run_peak = std::max(run_peak, r.rss_peak_mib);
+  os << "  \"peak_rss_mib\": " << run_peak << ",\n";
   os << "  \"scenarios\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const ScenarioResult& r = results[i];
@@ -286,7 +321,7 @@ std::string emit_json(const std::vector<ScenarioResult>& results, bool smoke) {
     os << "\"events_per_sec\": " << r.events_per_sec << ", ";
     os << "\"virtual_ns\": " << r.best.virtual_ns << ", ";
     os.precision(1);
-    os << "\"rss_after_mib\": " << r.rss_after_mib;
+    os << "\"rss_peak_mib\": " << r.rss_peak_mib;
     if (r.baseline_eps) {
       os.precision(0);
       os << ", \"baseline_events_per_sec\": " << *r.baseline_eps;
@@ -313,25 +348,33 @@ int main(int argc, char** argv) {
 
   std::vector<ScenarioResult> results;
   TextTable t;
-  t.header({"scenario", "events", "wall (s)", "events/sec", "virt time", "RSS (MiB)"});
+  t.header({"scenario", "events", "wall (s)", "events/sec", "virt time", "peak RSS (MiB)"});
+  const bool rss_resettable = unr::bench::reset_peak_rss();
   for (const Scenario& sc : scenarios()) {
-    if (opt.smoke && !sc.in_smoke) continue;
+    if (!opt.selected(sc.name, sc.in_smoke)) continue;
     ScenarioResult r;
     r.name = sc.name;
-    for (int rep = 0; rep < std::max(1, opt.repeat); ++rep) {
+    // Per-scenario RSS: zero the kernel's high-water mark, run the reps,
+    // read it back — the max over THIS scenario's reps, uncontaminated by
+    // whatever ran before. Without clear_refs support, fall back to the
+    // monotonic process peak (v1 behavior, better than nothing).
+    if (rss_resettable) unr::bench::reset_peak_rss();
+    const int reps = sc.repeat_override > 0 ? sc.repeat_override : std::max(1, opt.repeat);
+    for (int rep = 0; rep < reps; ++rep) {
       unr::bench::WallTimer timer;
       RunSample s = sc.fn();
       s.wall_sec = timer.seconds();
       if (rep == 0 || s.wall_sec < r.best.wall_sec) r.best = s;
     }
+    const double hwm = unr::bench::resettable_peak_rss_mib();
+    r.rss_peak_mib = (rss_resettable && hwm >= 0) ? hwm : unr::bench::peak_rss_mib();
     r.events_per_sec = static_cast<double>(r.best.events) / r.best.wall_sec;
-    r.rss_after_mib = unr::bench::peak_rss_mib();
     auto it = baseline.find(r.name);
     if (it != baseline.end()) r.baseline_eps = it->second;
     results.push_back(r);
     t.row({r.name, std::to_string(r.best.events), TextTable::num(r.best.wall_sec, 3),
            TextTable::num(r.events_per_sec, 0), format_time(r.best.virtual_ns),
-           TextTable::num(r.rss_after_mib, 1)});
+           TextTable::num(r.rss_peak_mib, 1)});
   }
   std::cout << t << "\n";
 
@@ -350,7 +393,7 @@ int main(int argc, char** argv) {
 
   // Regression gate for CI: any measured scenario that fell more than
   // `tolerance` below the committed baseline's events/sec fails the run.
-  bool regressed = false;
+  bool failed = false;
   for (const ScenarioResult& r : results) {
     if (!r.baseline_eps) continue;
     const double floor = *r.baseline_eps * (1.0 - opt.tolerance);
@@ -360,8 +403,20 @@ int main(int argc, char** argv) {
                 << " events/sec, baseline "
                 << static_cast<std::uint64_t>(*r.baseline_eps) << " (floor "
                 << static_cast<std::uint64_t>(floor) << ")\n";
-      regressed = true;
+      failed = true;
     }
   }
-  return regressed ? 1 : 0;
+  // Bounded-memory gate (scale-smoke): per-scenario peaks only, so a big
+  // scenario earlier in the list cannot mask — or falsely trip — this.
+  if (opt.rss_ceiling_mib > 0) {
+    for (const ScenarioResult& r : results) {
+      if (r.rss_peak_mib > opt.rss_ceiling_mib) {
+        std::cerr << "RSS CEILING EXCEEDED: " << r.name << " peaked at "
+                  << r.rss_peak_mib << " MiB, ceiling " << opt.rss_ceiling_mib
+                  << " MiB\n";
+        failed = true;
+      }
+    }
+  }
+  return failed ? 1 : 0;
 }

@@ -499,6 +499,15 @@ RunResult run_workload(const WorkloadSpec& spec, const RunOptions& opt) {
            << " pending=" << kp.pending;
         violations.push_back(os.str());
       }
+      // Coroutine-frame conservation: every actor fiber must have completed
+      // and returned its stack to the pool by the time run() exits — on the
+      // abort path too. A live stack here is a fiber the scheduler lost.
+      if (kp.live_stacks() != 0) {
+        std::ostringstream os;
+        os << "fiber stack leak: " << kp.live_stacks() << " of "
+           << kp.stacks_total << " coroutine frame(s) never released";
+        violations.push_back(os.str());
+      }
       const fabric::Fabric::PoolDebug fp = w.fabric().pool_debug();
       if (fp.live_flights() != 0) {
         violations.push_back("fragment conservation: " +

@@ -33,19 +33,26 @@ class Cond {
   }
 
   /// Block until `pred()` returns true or `timeout` virtual ns pass.
-  /// Returns the final pred() value (false = timed out). A timer event wakes
-  /// the actor at the deadline; if the predicate was satisfied earlier, the
-  /// fired timer surfaces as a spurious wakeup somewhere later, which every
-  /// wait in the simulation domain tolerates by design.
+  /// Returns the final pred() value (false = timed out). Boundary semantics:
+  ///   * timeout == 0 polls the predicate exactly once and returns — no
+  ///     event is posted and no virtual time passes;
+  ///   * a notify arriving exactly AT the deadline wins over the timeout
+  ///     (the kernel's timed-wait machinery re-checks behind any notify
+  ///     events already queued at the deadline timestamp — see
+  ///     Kernel::arm_timed_wait).
+  /// If the predicate is satisfied before the deadline, the armed timer
+  /// fires later as a plain spurious wakeup, which every wait in the
+  /// simulation domain tolerates by design.
   template <typename Pred>
   bool wait_for(Pred pred, Time timeout) {
     if (pred()) return true;
+    if (timeout == 0) return false;  // poll once, post nothing
     Kernel* k = Kernel::current();
     const int self = Kernel::current_actor_id();
     UNR_CHECK_MSG(k != nullptr && self >= 0, "Cond::wait_for() outside an actor");
-    const Time deadline = k->now() + timeout;
-    k->post_at(deadline, [k, self] { k->wake(self); });
-    while (!pred() && k->now() < deadline) wait();
+    const std::uint64_t token = k->arm_timed_wait(k->now() + timeout);
+    while (!pred() && !k->timed_wait_expired(token)) wait();
+    k->disarm_timed_wait(token);
     return pred();
   }
 

@@ -1,0 +1,234 @@
+#include "sim/fiber.hpp"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <cstring>
+
+#include "common/check.hpp"
+
+#ifdef UNR_FIBER_ASAN
+#include <pthread.h>
+#include <sanitizer/asan_interface.h>
+#include <sanitizer/common_interface_defs.h>
+#endif
+
+namespace unr::sim::detail {
+
+namespace {
+
+#ifndef UNR_FIBER_UCONTEXT
+extern "C" {
+void unr_fiber_switch(void** save_sp, void* restore_sp);
+void unr_fiber_trampoline();
+}
+#endif
+
+#ifdef UNR_FIBER_ASAN
+// Sanitizer handshake around a stack switch. The save slot passed to
+// start_switch_fiber is the OUTGOING context's — ASan parks the current
+// fake stack there. A dying fiber passes nullptr instead so ASan frees its
+// fake-stack allocations rather than keeping them live for a resume that
+// never comes. The finish half runs on the destination stack and must
+// restore the fake stack the DESTINATION parked when it last switched away
+// (its own slot) — not the suspender's; mixing those up resurrects
+// destroyed fake stacks and eventually faults on an unmapped frame.
+void asan_before_switch(FiberContext& from, FiberContext& to, bool from_dying) {
+  __sanitizer_start_switch_fiber(from_dying ? nullptr : &from.asan_fake_stack,
+                                 to.asan_stack_bottom, to.asan_stack_size);
+}
+
+void asan_after_switch(FiberContext& resumed) {
+  __sanitizer_finish_switch_fiber(resumed.asan_fake_stack, nullptr, nullptr);
+}
+#endif
+
+}  // namespace
+
+void bind_thread_context(FiberContext& ctx) {
+#ifdef UNR_FIBER_ASAN
+  pthread_attr_t attr;
+  void* stack_addr = nullptr;
+  std::size_t stack_size = 0;
+  UNR_CHECK(pthread_getattr_np(pthread_self(), &attr) == 0);
+  UNR_CHECK(pthread_attr_getstack(&attr, &stack_addr, &stack_size) == 0);
+  pthread_attr_destroy(&attr);
+  ctx.asan_stack_bottom = stack_addr;
+  ctx.asan_stack_size = stack_size;
+#else
+  (void)ctx;
+#endif
+}
+
+void finish_switch_on_entry() {
+#ifdef UNR_FIBER_ASAN
+  // A fresh fiber has no parked fake stack; ASan creates one lazily.
+  __sanitizer_finish_switch_fiber(nullptr, nullptr, nullptr);
+#endif
+}
+
+#ifdef UNR_FIBER_UCONTEXT
+
+namespace {
+// makecontext only forwards ints; smuggle the two pointers through in halves.
+void uc_entry_shim(unsigned fn_hi, unsigned fn_lo, unsigned arg_hi, unsigned arg_lo) {
+  auto join = [](unsigned hi, unsigned lo) {
+    return (static_cast<std::uintptr_t>(hi) << 32) | static_cast<std::uintptr_t>(lo);
+  };
+  auto* fn = reinterpret_cast<void (*)(void*)>(join(fn_hi, fn_lo));
+  fn(reinterpret_cast<void*>(join(arg_hi, arg_lo)));
+  UNR_CHECK_MSG(false, "fiber entry function returned");
+}
+}  // namespace
+
+void init_fiber_context(FiberContext& ctx, FiberStack stack,
+                        void (*entry)(void*), void* arg) {
+  UNR_CHECK(getcontext(&ctx.uc) == 0);
+  ctx.uc.uc_stack.ss_sp = stack.base;
+  ctx.uc.uc_stack.ss_size = stack.size;
+  ctx.uc.uc_link = nullptr;
+  const auto fn = reinterpret_cast<std::uintptr_t>(entry);
+  const auto a = reinterpret_cast<std::uintptr_t>(arg);
+  makecontext(&ctx.uc, reinterpret_cast<void (*)()>(uc_entry_shim), 4,
+              static_cast<unsigned>(fn >> 32), static_cast<unsigned>(fn),
+              static_cast<unsigned>(a >> 32), static_cast<unsigned>(a));
+#ifdef UNR_FIBER_ASAN
+  ctx.asan_fake_stack = nullptr;  // fresh fiber: nothing parked yet
+  ctx.asan_stack_bottom = stack.base;
+  ctx.asan_stack_size = stack.size;
+#endif
+}
+
+void switch_context(FiberContext& from, FiberContext& to, bool from_dying) {
+#ifdef UNR_FIBER_ASAN
+  asan_before_switch(from, to, from_dying);
+#else
+  (void)from_dying;
+#endif
+  UNR_CHECK(swapcontext(&from.uc, &to.uc) == 0);
+#ifdef UNR_FIBER_ASAN
+  asan_after_switch(from);  // control is back: `from` is the resumed context
+#endif
+}
+
+#else  // x86-64 assembly path
+
+void init_fiber_context(FiberContext& ctx, FiberStack stack,
+                        void (*entry)(void*), void* arg) {
+  // Seed the stack with the frame unr_fiber_switch restores: FP control
+  // words, r15..r12, rbx, rbp, then the return address (the trampoline).
+  // The r12/r13 slots carry the entry function and its argument.
+  std::uint32_t mxcsr;
+  std::uint16_t fcw;
+  asm volatile("stmxcsr %0" : "=m"(mxcsr));
+  asm volatile("fnstcw %0" : "=m"(fcw));
+  auto top = reinterpret_cast<std::uintptr_t>(stack.base + stack.size) & ~std::uintptr_t{15};
+  auto* p = reinterpret_cast<std::uint64_t*>(top);
+  *--p = reinterpret_cast<std::uint64_t>(&unr_fiber_trampoline);  // ret target
+  *--p = 0;                                                       // rbp
+  *--p = 0;                                                       // rbx
+  *--p = reinterpret_cast<std::uint64_t>(entry);                  // r12
+  *--p = reinterpret_cast<std::uint64_t>(arg);                    // r13
+  *--p = 0;                                                       // r14
+  *--p = 0;                                                       // r15
+  *--p = static_cast<std::uint64_t>(mxcsr) |
+         (static_cast<std::uint64_t>(fcw) << 32);  // [sp]=mxcsr, [sp+4]=fcw
+  ctx.sp = p;
+#ifdef UNR_FIBER_ASAN
+  ctx.asan_fake_stack = nullptr;  // fresh fiber: nothing parked yet
+  ctx.asan_stack_bottom = stack.base;
+  ctx.asan_stack_size = stack.size;
+#endif
+}
+
+void switch_context(FiberContext& from, FiberContext& to, bool from_dying) {
+#ifdef UNR_FIBER_ASAN
+  asan_before_switch(from, to, from_dying);
+#else
+  (void)from_dying;
+#endif
+  unr_fiber_switch(&from.sp, to.sp);
+#ifdef UNR_FIBER_ASAN
+  asan_after_switch(from);  // control is back: `from` is the resumed context
+#endif
+}
+
+#endif  // UNR_FIBER_UCONTEXT
+
+std::size_t default_stack_bytes() {
+#ifdef UNR_FIBER_ASAN
+  std::size_t kib = 1024;  // ASan redzones inflate every frame ~3x
+#else
+  std::size_t kib = 256;
+#endif
+  if (const char* env = std::getenv("UNR_SIM_STACK_KIB")) {
+    const long v = std::atol(env);
+    if (v >= 16) kib = static_cast<std::size_t>(v);
+  }
+  return kib * 1024;
+}
+
+StackPool::StackPool(std::size_t stack_bytes) {
+  const long ps = sysconf(_SC_PAGESIZE);
+  page_ = ps > 0 ? static_cast<std::size_t>(ps) : 4096;
+  stack_bytes_ = (stack_bytes + page_ - 1) & ~(page_ - 1);
+  if (stack_bytes_ < 2 * page_) stack_bytes_ = 2 * page_;
+  if (const char* env = std::getenv("UNR_SIM_STACK_GUARD"))
+    guard_mode_ = std::atoi(env) != 0 ? 1 : 0;
+}
+
+StackPool::~StackPool() {
+  for (const Slab& s : slabs_) munmap(s.map, s.bytes);
+}
+
+void StackPool::grow() {
+  // One mmap holds many stacks: at 100k fibers, per-stack mmaps would blow
+  // through vm.max_map_count (~65530 VMAs) long before memory runs out.
+  // Guard pages (mprotect) split a slab's VMA, so they get the same budget
+  // treatment: on by default while the pool is small, dropped for huge pools
+  // unless UNR_SIM_STACK_GUARD=1 insists.
+  constexpr std::size_t kTargetSlabBytes = std::size_t{16} << 20;
+  constexpr std::size_t kMaxGuardedStacks = 16384;
+  const bool guard =
+      guard_mode_ == 1 || (guard_mode_ == -1 && total_ < kMaxGuardedStacks);
+  const std::size_t stride = stack_bytes_ + (guard ? page_ : 0);
+  std::size_t count = kTargetSlabBytes / stride;
+  if (count < 1) count = 1;
+  if (count > 256) count = 256;
+  const std::size_t bytes = count * stride;
+  void* map = mmap(nullptr, bytes, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE | MAP_STACK, -1, 0);
+  UNR_CHECK_MSG(map != MAP_FAILED, "fiber stack slab mmap(" << bytes << ") failed");
+  slabs_.push_back({map, bytes});
+  free_.reserve(free_.size() + count);
+  auto* base = static_cast<unsigned char*>(map);
+  for (std::size_t i = 0; i < count; ++i) {
+    unsigned char* lo = base + i * stride;
+    if (guard) {
+      UNR_CHECK(mprotect(lo, page_, PROT_NONE) == 0);
+      lo += page_;
+      ++guarded_;
+    }
+    free_.push_back(lo);
+  }
+  total_ += count;
+}
+
+FiberStack StackPool::acquire() {
+  if (free_.empty()) grow();
+  unsigned char* base = free_.back();
+  free_.pop_back();
+  return {base, stack_bytes_};
+}
+
+void StackPool::release(FiberStack s) {
+#ifdef UNR_FIBER_ASAN
+  // Scrub stale redzone poison (e.g. frames unwound by a terminating
+  // exception) so the next fiber starts on a clean stack.
+  __asan_unpoison_memory_region(s.base, s.size);
+#endif
+  free_.push_back(s.base);
+}
+
+}  // namespace unr::sim::detail

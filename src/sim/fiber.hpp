@@ -1,0 +1,143 @@
+// Pooled stackful coroutines ("fibers") for the simulation kernel.
+//
+// Why fibers and not OS threads: the kernel runs EXACTLY ONE entity at a
+// time, so a thread per simulated rank buys no parallelism — it only buys a
+// mutex/condvar handoff (two futex round trips) per block/wake and an 8 MiB
+// kernel-managed stack per rank, which capped Worlds at a few hundred ranks.
+// A fiber is just a saved stack pointer plus a lazily-committed stack slab:
+// switching is a couple dozen instructions on the same OS thread, and a
+// parked rank costs only the stack pages it actually touched. That is what
+// lets one World hold 100k+ ranks in one process.
+//
+// Why not C++20 stackless coroutines: actor bodies are ordinary blocking
+// call chains (solver -> halo -> comm -> Cond::wait -> Kernel), arbitrarily
+// deep. A stackless coroutine can only suspend in its own frame, so every
+// function on every such chain would need to become a coroutine and every
+// call a co_await — a viral rewrite of the entire runtime and all
+// applications for no semantic gain. Stackful fibers keep the blocking
+// programming model bit-for-bit and move only the suspension mechanism.
+//
+// Mechanics (x86-64): unr_fiber_switch (fiber_x86_64.S) saves the SysV
+// callee-saved registers + FP control words on the current stack, stores the
+// stack pointer, and restores the target's. A fresh fiber's stack is seeded
+// with a frame whose return address is unr_fiber_trampoline, which forwards
+// a pointer argument (pre-loaded into r13) to the entry function (r12).
+// Other architectures fall back to ucontext (UNR_FIBER_UCONTEXT).
+//
+// Stacks come from a pool of large anonymous mmaps (MAP_NORESERVE: address
+// space is reserved up front, pages are committed only when touched).
+// Freed stacks are recycled in LIFO order — "pooled fibers". Each stack gets
+// a PROT_NONE guard page below it while the pool is small enough for the
+// kernel's VMA budget (vm.max_map_count); gigantic pools (100k+ ranks) drop
+// the guards rather than the ranks. UNR_SIM_STACK_GUARD=0/1 forces either.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#if !defined(__x86_64__) && !defined(UNR_FIBER_UCONTEXT)
+#define UNR_FIBER_UCONTEXT 1
+#endif
+
+#ifdef UNR_FIBER_UCONTEXT
+#include <ucontext.h>
+#endif
+
+#if defined(__SANITIZE_ADDRESS__)
+#define UNR_FIBER_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define UNR_FIBER_ASAN 1
+#endif
+#endif
+
+namespace unr::sim::detail {
+
+/// One fiber stack carved from the pool. `base` is the lowest usable
+/// address; the stack grows downward from `base + size`.
+struct FiberStack {
+  unsigned char* base = nullptr;
+  std::size_t size = 0;
+};
+
+/// A switchable execution context: either a fiber (owns a FiberStack) or
+/// the scheduler's borrowed OS-thread stack (sp-only save slot).
+struct FiberContext {
+#ifdef UNR_FIBER_UCONTEXT
+  ucontext_t uc;
+#else
+  void* sp = nullptr;
+#endif
+#ifdef UNR_FIBER_ASAN
+  void* asan_fake_stack = nullptr;       ///< fake-stack token while suspended
+  const void* asan_stack_bottom = nullptr;
+  std::size_t asan_stack_size = 0;
+#endif
+};
+
+/// Record the OS-thread stack bounds in `ctx` (the scheduler context) so
+/// sanitizer fiber switching can re-enter it. No-op without ASan.
+void bind_thread_context(FiberContext& ctx);
+
+/// Seed a fresh fiber: the first switch_context() into `ctx` calls
+/// `entry(arg)` on `stack`. `entry` must never return (it must switch away
+/// with `from_dying = true` instead).
+void init_fiber_context(FiberContext& ctx, FiberStack stack,
+                        void (*entry)(void*), void* arg);
+
+/// Transfer control from `from` (the running context) to `to`. Returns when
+/// something switches back into `from`. `from_dying` marks `from` as
+/// terminating: it will never be resumed, and its sanitizer fake stack is
+/// released.
+void switch_context(FiberContext& from, FiberContext& to, bool from_dying);
+
+/// Must be called first thing inside a fiber entry function (completes the
+/// sanitizer's stack switch bookkeeping). No-op without ASan.
+void finish_switch_on_entry();
+
+/// Slab-allocating, free-listed pool of fixed-size fiber stacks.
+class StackPool {
+ public:
+  /// `stack_bytes` is rounded up to the page size.
+  explicit StackPool(std::size_t stack_bytes);
+  ~StackPool();
+  StackPool(const StackPool&) = delete;
+  StackPool& operator=(const StackPool&) = delete;
+
+  FiberStack acquire();
+  void release(FiberStack s);
+
+  std::size_t stack_bytes() const { return stack_bytes_; }
+  std::size_t total() const { return total_; }     ///< stacks carved so far
+  std::size_t free_count() const { return free_.size(); }
+
+  /// Stacks checked out and not yet released (live coroutine frames).
+  std::size_t live() const { return total_ - free_.size(); }
+
+ private:
+  struct Slab {
+    void* map = nullptr;
+    std::size_t bytes = 0;
+  };
+
+  void grow();
+
+  std::size_t stack_bytes_ = 0;
+  std::size_t page_ = 4096;
+  int guard_mode_ = -1;  ///< -1 auto, 0 off, 1 on (from UNR_SIM_STACK_GUARD)
+  std::size_t guarded_ = 0;
+  std::vector<Slab> slabs_;
+  // The free list lives OUTSIDE the stacks (not intrusive): writing even one
+  // word into each carved stack would commit its bottom page, defeating the
+  // lazy-commit design (100k stacks x 4 KiB = 400 MiB of pure bookkeeping).
+  std::vector<unsigned char*> free_;
+  std::size_t total_ = 0;
+};
+
+/// Default per-fiber stack size: UNR_SIM_STACK_KIB (min 16) if set, else
+/// 256 KiB — 1 MiB under ASan, whose redzones inflate every frame. Address
+/// space only: untouched pages are never committed.
+std::size_t default_stack_bytes();
+
+}  // namespace unr::sim::detail

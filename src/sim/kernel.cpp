@@ -90,7 +90,7 @@ Kernel::~Kernel() {
   telemetry_.flush();
   // Destroy the callables of any never-dispatched events (their side effects
   // are simply lost, as with the old priority_queue). Slab memory is freed
-  // by the slabs_ vector itself.
+  // by the slabs_ vector itself; fiber stack slabs by the StackPool.
   detail::EventNode* n = wheel_.drain();
   while (n) {
     detail::EventNode* nx = n->next;
@@ -99,7 +99,7 @@ Kernel::~Kernel() {
   }
 }
 
-void Kernel::grow_pool_locked() {
+void Kernel::grow_pool() {
   auto slab = std::make_unique<detail::EventNode[]>(kEventSlabNodes);
   for (std::size_t i = 0; i < kEventSlabNodes; ++i) {
     slab[i].next = free_nodes_;
@@ -110,52 +110,61 @@ void Kernel::grow_pool_locked() {
 }
 
 Kernel::PoolDebug Kernel::pool_debug() const {
-  std::lock_guard<std::mutex> lk(mu_);
-  return {slabs_.size() * kEventSlabNodes, free_count_, wheel_.size()};
+  PoolDebug d;
+  d.total = slabs_.size() * kEventSlabNodes;
+  d.free = free_count_;
+  d.pending = wheel_.size();
+  if (stacks_) {
+    d.stacks_total = stacks_->total();
+    d.stacks_free = stacks_->free_count();
+  }
+  return d;
 }
 
-void Kernel::actor_main(Actor* a, const std::function<void(int)>& body) {
-  tl_kernel = this;
-  tl_actor = a->id;
-  {
-    std::unique_lock<std::mutex> lk(mu_);
-    a->cv.wait(lk, [&] { return a->state == State::kRunning || aborting_; });
-    if (aborting_ && a->state != State::kRunning) {
-      a->state = State::kDone;
-      --live_;
-      sched_cv_.notify_one();
-      return;
+// First switch into a fresh fiber lands here (via the trampoline), on the
+// fiber's own stack. Must never return: the final act is a dying switch
+// back to the scheduler. Everything — including exceptions — is contained
+// on this side of the switch so the unwinder never walks off a fiber stack.
+void Kernel::fiber_entry(void* arg) {
+  detail::finish_switch_on_entry();
+  Actor* a = static_cast<Actor*>(arg);
+  Kernel* k = a->kernel;
+  if (!k->aborting_) {
+    try {
+      (*k->body_)(a->id);
+    } catch (const AbortError&) {
+      // Torn down by the kernel; nothing to record.
+    } catch (...) {
+      if (!k->first_error_) k->first_error_ = std::current_exception();
     }
   }
-  try {
-    body(a->id);
-  } catch (const AbortError&) {
-    // Torn down by the kernel; nothing to record.
-  } catch (...) {
-    std::lock_guard<std::mutex> lk(mu_);
-    if (!first_error_) first_error_ = std::current_exception();
-  }
-  std::lock_guard<std::mutex> lk(mu_);
   a->state = State::kDone;
-  --live_;
-  if (running_ == a) running_ = nullptr;
-  sched_cv_.notify_one();
+  --k->live_;
+  detail::switch_context(a->ctx, k->sched_ctx_, /*from_dying=*/true);
+  UNR_CHECK_MSG(false, "resumed a completed fiber");  // unreachable
+}
+
+void Kernel::resume(Actor* a) {
+  a->state = State::kRunning;
+  tl_actor = a->id;
+  detail::switch_context(sched_ctx_, a->ctx, /*from_dying=*/false);
+  tl_actor = -1;
+  if (a->state == State::kDone && a->stack.base) {
+    stacks_->release(a->stack);
+    a->stack = {};
+  }
 }
 
 void Kernel::block_current() {
   UNR_CHECK_MSG(tl_kernel == this && tl_actor >= 0,
-                "block_current() outside an actor thread");
+                "block_current() outside an actor fiber");
   Actor* a = actors_[static_cast<std::size_t>(tl_actor)].get();
-  std::unique_lock<std::mutex> lk(mu_);
   a->state = State::kBlocked;
-  running_ = nullptr;
-  sched_cv_.notify_one();
-  a->cv.wait(lk, [&] { return a->state == State::kRunning || aborting_; });
+  detail::switch_context(a->ctx, sched_ctx_, /*from_dying=*/false);
   if (aborting_) throw AbortError{};
 }
 
 void Kernel::wake(int actor) {
-  std::lock_guard<std::mutex> lk(mu_);
   UNR_CHECK(actor >= 0 && actor < static_cast<int>(actors_.size()));
   Actor* a = actors_[static_cast<std::size_t>(actor)].get();
   if (a->state == State::kBlocked) {
@@ -167,7 +176,7 @@ void Kernel::wake(int actor) {
 void Kernel::sleep_for(Time dt) {
   if (dt == 0) return;
   const int self = tl_actor;
-  // The flag lives on this (blocked) actor's stack: the timer either fires
+  // The flag lives on this (parked) fiber's stack: the timer either fires
   // while we are parked below, or — if the run aborts first — is destroyed
   // unrun, in which case block_current() has already unwound us via
   // AbortError and the dangling pointer is never dereferenced.
@@ -178,6 +187,53 @@ void Kernel::sleep_for(Time dt) {
     wake(self);
   });
   while (!fired) block_current();
+}
+
+std::uint64_t Kernel::arm_timed_wait(Time deadline) {
+  UNR_CHECK_MSG(tl_kernel == this && tl_actor >= 0,
+                "arm_timed_wait() outside an actor fiber");
+  Actor* a = actors_[static_cast<std::size_t>(tl_actor)].get();
+  UNR_CHECK_MSG(a->timed_token == 0,
+                "actor " << a->id << " armed a timed wait inside a timed wait");
+  const std::uint64_t token = ++timed_wait_seq_;
+  a->timed_token = token;
+  a->timed_expired = false;
+  const int self = a->id;
+  post_at(deadline, [this, self, token] {
+    Actor* w = actors_[static_cast<std::size_t>(self)].get();
+    if (w->timed_token != token) {
+      // The wait already completed: this timer is the usual spurious wakeup
+      // (identical to the pre-token design, including the event count).
+      wake(self);
+      return;
+    }
+    // Still armed at the deadline. A notify event queued at this very
+    // timestamp must win, so expire via a re-posted check that lands BEHIND
+    // everything already queued here; any wake it triggers preempts the
+    // check (ready actors run before events) and disarms first.
+    post_at(now_, [this, self, token] {
+      Actor* w2 = actors_[static_cast<std::size_t>(self)].get();
+      if (w2->timed_token == token) w2->timed_expired = true;
+      wake(self);
+    });
+  });
+  return token;
+}
+
+bool Kernel::timed_wait_expired(std::uint64_t token) const {
+  UNR_CHECK_MSG(tl_kernel == this && tl_actor >= 0,
+                "timed_wait_expired() outside an actor fiber");
+  const Actor* a = actors_[static_cast<std::size_t>(tl_actor)].get();
+  return a->timed_token == token && a->timed_expired;
+}
+
+void Kernel::disarm_timed_wait(std::uint64_t token) {
+  UNR_CHECK_MSG(tl_kernel == this && tl_actor >= 0,
+                "disarm_timed_wait() outside an actor fiber");
+  Actor* a = actors_[static_cast<std::size_t>(tl_actor)].get();
+  UNR_CHECK_MSG(a->timed_token == token, "timed-wait token mismatch");
+  a->timed_token = 0;
+  a->timed_expired = false;
 }
 
 std::string Kernel::blocked_report() const {
@@ -193,48 +249,47 @@ void Kernel::run(int n_actors, std::function<void(int)> body) {
   UNR_CHECK(n_actors >= 0);
   if (n_actors == 0) return;
 
-  // Event handlers execute on this (scheduler) thread; they must see the
-  // kernel via Kernel::current() just like actor threads do.
+  // Actors and event handlers all execute on this OS thread; both find the
+  // kernel via Kernel::current().
   tl_kernel = this;
   tl_actor = -1;
+  body_ = &body;
+  detail::bind_thread_context(sched_ctx_);
+  if (!stacks_)
+    stacks_ = std::make_unique<detail::StackPool>(
+        actor_stack_bytes_ ? actor_stack_bytes_ : detail::default_stack_bytes());
 
   actors_.reserve(static_cast<std::size_t>(n_actors));
   for (int i = 0; i < n_actors; ++i) {
     auto a = std::make_unique<Actor>();
     a->id = i;
     a->state = State::kReady;
+    a->kernel = this;
+    a->stack = stacks_->acquire();
+    detail::init_fiber_context(a->ctx, a->stack, &Kernel::fiber_entry, a.get());
     actors_.push_back(std::move(a));
   }
   live_ = n_actors;
-  {
-    std::lock_guard<std::mutex> lk(mu_);
-    for (auto& a : actors_) ready_.push_back(a.get());
-  }
-  for (auto& a : actors_) {
-    Actor* raw = a.get();
-    raw->thread = std::thread([this, raw, &body] { actor_main(raw, body); });
-  }
+  for (auto& a : actors_) ready_.push_back(a.get());
 
-  // Single-exit scheduler loop: every termination path — normal completion,
-  // actor exception, event-handler exception, deadlock, internal-invariant
-  // failure — funnels through the join below, so no exception can ever
-  // propagate past run() with actor threads still attached (std::thread's
-  // destructor would call std::terminate).
-  std::unique_lock<std::mutex> lk(mu_);
+  // Single-exit scheduler loop. The decision structure is EXACTLY the old
+  // thread-based kernel's — drain the ready queue FIFO, then dispatch the
+  // earliest event (FIFO among equal timestamps), else deadlock — so
+  // virtual timelines are bit-identical across the fiber swap. Every
+  // termination path (normal completion, actor exception, event-handler
+  // exception, deadlock, wheel-invariant failure) funnels through the abort
+  // sweep below, so no fiber is ever left mid-frame when run() exits.
   bool need_abort = false;
   while (live_ > 0) {
     if (!ready_.empty()) {
       Actor* a = ready_.front();
       ready_.pop_front();
-      a->state = State::kRunning;
-      running_ = a;
-      a->cv.notify_one();
-      sched_cv_.wait(lk, [&] { return running_ == nullptr; });
+      resume(a);
     } else if (!wheel_.empty()) {
       detail::EventNode* n = wheel_.pop_earliest();
-      if (n->t < now_) {  // wheel invariant violated; fail loud but joined
+      if (n->t < now_) {  // wheel invariant violated; fail loud but unwound
         n->vtbl->destroy(*n);
-        free_node_locked(n);
+        free_node(n);
         if (!first_error_)
           first_error_ = std::make_exception_ptr(
               std::logic_error("kernel event dispatched out of order"));
@@ -243,19 +298,15 @@ void Kernel::run(int n_actors, std::function<void(int)> body) {
       }
       now_ = n->t;
       ++events_dispatched_;
-      lk.unlock();
       bool threw = false;
       try {
         n->vtbl->invoke(*n);
       } catch (...) {
         threw = true;
-        lk.lock();
         if (!first_error_) first_error_ = std::current_exception();
-        lk.unlock();
       }
       n->vtbl->destroy(*n);
-      lk.lock();
-      free_node_locked(n);
+      free_node(n);
       if (threw) {
         need_abort = true;
         break;
@@ -269,16 +320,19 @@ void Kernel::run(int n_actors, std::function<void(int)> body) {
     }
   }
   if (need_abort) {
+    // Resume every unfinished fiber until it completes: fresh fibers see
+    // aborting_ and skip their body; parked ones unwind via the AbortError
+    // thrown out of block_current(). Either way each fiber runs to its
+    // dying switch and returns its stack to the pool.
     aborting_ = true;
-    for (auto& a : actors_) a->cv.notify_all();
-    sched_cv_.wait(lk, [&] { return live_ == 0; });
+    ready_.clear();
+    for (auto& a : actors_)
+      while (a->state != State::kDone) resume(a.get());
   }
-  lk.unlock();
-  for (auto& a : actors_)
-    if (a->thread.joinable()) a->thread.join();
   end_time_ = now_;
   telemetry_.registry().gauge("sim.events_dispatched").set(static_cast<std::int64_t>(events_dispatched_));
   telemetry_.registry().gauge("sim.end_time_ns").set(static_cast<std::int64_t>(end_time_));
+  body_ = nullptr;
   tl_kernel = nullptr;
   if (first_error_) std::rethrow_exception(first_error_);
 }

@@ -1,4 +1,5 @@
-// Discrete-event simulation kernel with blocking-style actors.
+// Discrete-event simulation kernel with blocking-style actors on pooled
+// fibers (stackful coroutines).
 //
 // Why this exists: the paper's measurements (latency, multi-NIC bandwidth
 // aggregation, compute/communication overlap, polling-thread interference)
@@ -7,17 +8,25 @@
 // cannot express "two NICs transfer twice as fast". Instead, everything runs
 // against a virtual clock:
 //
-//   * Each simulated process (rank) is an OS thread, but EXACTLY ONE entity
-//     (one actor, or one event handler) executes at a time. Application code
-//     is written in normal blocking style (send, recv, wait on a signal) and
-//     yields to the kernel whenever it blocks or charges compute time.
+//   * Each simulated process (rank) is a FIBER — a pooled, lazily-committed
+//     stack plus a saved context (sim/fiber.hpp) — multiplexed with the
+//     scheduler on ONE OS thread. Application code is written in normal
+//     blocking style (send, recv, wait on a signal); "blocking" parks the
+//     fiber on a wait queue or the timer wheel and switches back to the
+//     scheduler in a couple dozen instructions. EXACTLY ONE entity (one
+//     actor, or one event handler) executes at a time.
 //   * Hardware (NIC engines, the wire, polling threads) is modeled as events
 //     on the virtual clock.
 //
-// Because only one entity runs at a time, NO simulation-domain data structure
-// needs locking: fabric queues, matching lists and UNR signal tables are all
-// plain containers. The single mutex in this file only sequences the
-// hand-off between threads. Runs are bit-reproducible given a seed.
+// Because everything runs on one OS thread, NO simulation-domain data
+// structure needs locking — fabric queues, matching lists and UNR signal
+// tables are all plain containers — and there is no mutex/condvar handoff
+// per block/wake like the retired thread-per-rank design had (two futex
+// round trips each, and an 8 MiB kernel stack per rank that capped Worlds
+// at a few hundred ranks; fibers hold 100k+ ranks in one process). Wake
+// order is the kernel's explicit choice (FIFO ready queue, FIFO-per-
+// timestamp events), never the OS scheduler's, so runs are bit-reproducible
+// given a seed by construction.
 //
 // Event storage (hot path): events live in a slab-allocated, free-listed
 // pool of fixed-size nodes; the callable is constructed in-place inside the
@@ -32,18 +41,15 @@
 #pragma once
 
 #include <bit>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <new>
 #include <stdexcept>
 #include <string>
-#include <thread>
 #include <type_traits>
 #include <utility>
 #include <vector>
@@ -51,6 +57,7 @@
 #include "common/check.hpp"
 #include "common/units.hpp"
 #include "obs/telemetry.hpp"
+#include "sim/fiber.hpp"
 
 namespace unr::sim {
 
@@ -209,9 +216,8 @@ class Kernel {
   void post_at(Time t, F&& fn) {
     static_assert(std::is_invocable_v<std::decay_t<F>&>,
                   "event callback must be invocable with no arguments");
-    std::lock_guard<std::mutex> lk(mu_);
     UNR_CHECK_MSG(t >= now_, "event posted into the past: t=" << t << " now=" << now_);
-    detail::EventNode* n = alloc_node_locked();
+    detail::EventNode* n = alloc_node();
     n->t = t;
     attach_callback(n, std::forward<F>(fn));
     wheel_.insert(n);
@@ -222,42 +228,76 @@ class Kernel {
   }
 
   /// Run `n_actors` copies of `body` (argument = actor id, 0-based) to
-  /// completion. Blocks the calling thread; rethrows the first actor
-  /// exception; throws DeadlockError if the simulation hangs. All actor
-  /// threads are joined before any exception propagates, including on the
-  /// abort paths.
+  /// completion. Each actor is a fiber; all of them and the scheduler share
+  /// the calling OS thread. Rethrows the first actor exception; throws
+  /// DeadlockError if the simulation hangs. Every actor fiber completes (and
+  /// returns its stack to the pool) before any exception propagates,
+  /// including on the abort paths.
   void run(int n_actors, std::function<void(int)> body);
 
-  /// Kernel owning the calling actor thread (nullptr outside a run).
+  /// Kernel owning the calling fiber/thread (nullptr outside a run).
   static Kernel* current();
-  /// Id of the calling actor (-1 outside an actor).
+  /// Id of the calling actor (-1 outside an actor, e.g. in event handlers).
   static int current_actor_id();
 
-  // --- Blocking primitives (callable only from actor threads) ---
+  // --- Blocking primitives (callable only from actor fibers) ---
 
   /// Advance this actor's virtual time by `dt` (models compute / busy time).
   void sleep_for(Time dt);
-  /// Block until some event or actor calls wake() on this actor. Callers
+  /// Park this fiber until some event or actor calls wake() on it. Callers
   /// must loop on their predicate: wakeups may be spurious.
   void block_current();
   /// Make a blocked actor runnable (no-op if it is not blocked).
   void wake(int actor);
+
+  // --- Timed waits ---
+  // One timer event is posted at the deadline. If the wait completes first
+  // (disarm), that timer degenerates into the usual spurious wakeup — the
+  // exact behavior, event count and schedule of the pre-token design. Only
+  // a wait still armed AT its deadline takes the new path: the timer
+  // re-posts a check at the same timestamp, behind any notify events already
+  // queued there, so a wake arriving exactly at the deadline WINS and only
+  // a genuinely unanswered deadline expires the wait.
+
+  /// Arm a timed wait for the current actor, expiring at absolute time
+  /// `deadline`. Returns a token; at most one may be armed per actor.
+  std::uint64_t arm_timed_wait(Time deadline);
+  /// True once the armed wait's deadline passed without a disarm.
+  bool timed_wait_expired(std::uint64_t token) const;
+  /// Release the token (after success OR after observing expiry).
+  void disarm_timed_wait(std::uint64_t token);
+
+  /// Per-fiber stack size for this kernel's actors (address-space
+  /// reservation; pages commit on touch). Must be set before run().
+  /// Default: detail::default_stack_bytes() (UNR_SIM_STACK_KIB env).
+  void set_actor_stack_bytes(std::size_t bytes) {
+    UNR_CHECK_MSG(actors_.empty(), "set_actor_stack_bytes() after run()");
+    actor_stack_bytes_ = bytes;
+  }
 
   /// Total events dispatched so far (diagnostics).
   std::uint64_t event_count() const { return events_dispatched_; }
   /// Virtual time at which the last run() finished.
   Time end_time() const { return end_time_; }
 
-  /// Event-pool conservation snapshot. Every node carved from the slabs is
-  /// either on the free list or pending in the timer wheel; `leaked()` > 0
-  /// means a node escaped the alloc/dispatch/free cycle. Valid from actor
-  /// context and between runs (never from inside an event handler, where the
-  /// node being dispatched is intentionally in neither set).
+  /// Conservation snapshot for the pooled resources. Every event node
+  /// carved from the slabs is either on the free list or pending in the
+  /// timer wheel; `leaked()` > 0 means a node escaped the
+  /// alloc/dispatch/free cycle. Valid from actor context and between runs
+  /// (never from inside an event handler, where the node being dispatched
+  /// is intentionally in neither set). Fiber stacks obey the same
+  /// discipline: each is either free in the pool or owned by a live actor,
+  /// so after run() returns — normally or via abort — `live_stacks()` must
+  /// equal zero.
   struct PoolDebug {
-    std::size_t total = 0;    ///< nodes carved from slabs so far
-    std::size_t free = 0;     ///< nodes on the free list
-    std::size_t pending = 0;  ///< nodes queued in the timer wheel
+    std::size_t total = 0;         ///< event nodes carved from slabs so far
+    std::size_t free = 0;          ///< event nodes on the free list
+    std::size_t pending = 0;       ///< event nodes queued in the timer wheel
+    std::size_t stacks_total = 0;  ///< fiber stacks carved from the pool
+    std::size_t stacks_free = 0;   ///< fiber stacks back in the pool
     std::size_t leaked() const { return total - free - pending; }
+    /// Coroutine frames still held by not-yet-completed actors.
+    std::size_t live_stacks() const { return stacks_total - stacks_free; }
   };
   PoolDebug pool_debug() const;
 
@@ -273,29 +313,33 @@ class Kernel {
   struct Actor {
     int id = -1;
     State state = State::kReady;
-    std::condition_variable cv;
-    std::thread thread;
+    Kernel* kernel = nullptr;
+    detail::FiberContext ctx;
+    detail::FiberStack stack;
+    std::uint64_t timed_token = 0;  ///< armed timed-wait token (0 = none)
+    bool timed_expired = false;
   };
 
   static constexpr std::size_t kEventSlabNodes = 512;
 
-  void actor_main(Actor* a, const std::function<void(int)>& body);
+  static void fiber_entry(void* arg);  ///< runs the actor body on its fiber
+  void resume(Actor* a);               ///< scheduler -> fiber -> scheduler
   std::string blocked_report() const;
 
-  detail::EventNode* alloc_node_locked() {
-    if (!free_nodes_) grow_pool_locked();
+  detail::EventNode* alloc_node() {
+    if (!free_nodes_) grow_pool();
     detail::EventNode* n = free_nodes_;
     free_nodes_ = n->next;
     --free_count_;
     return n;
   }
-  void free_node_locked(detail::EventNode* n) {
+  void free_node(detail::EventNode* n) {
     n->vtbl = nullptr;
     n->next = free_nodes_;
     free_nodes_ = n;
     ++free_count_;
   }
-  void grow_pool_locked();
+  void grow_pool();
 
   template <class F>
   static void attach_callback(detail::EventNode* n, F&& fn) {
@@ -310,8 +354,6 @@ class Kernel {
     }
   }
 
-  mutable std::mutex mu_;
-  std::condition_variable sched_cv_;
   obs::Telemetry telemetry_;
   Time now_ = 0;
   Time end_time_ = 0;
@@ -320,11 +362,15 @@ class Kernel {
   std::vector<std::unique_ptr<detail::EventNode[]>> slabs_;
   detail::EventNode* free_nodes_ = nullptr;
   std::size_t free_count_ = 0;  ///< length of the free list (pool accounting)
+  std::size_t actor_stack_bytes_ = 0;  ///< 0 = default_stack_bytes()
+  std::unique_ptr<detail::StackPool> stacks_;
+  detail::FiberContext sched_ctx_;  ///< the scheduler's own (OS-thread) context
+  const std::function<void(int)>* body_ = nullptr;  ///< valid during run()
   std::vector<std::unique_ptr<Actor>> actors_;
   std::deque<Actor*> ready_;
-  Actor* running_ = nullptr;
   int live_ = 0;
   bool aborting_ = false;
+  std::uint64_t timed_wait_seq_ = 0;
   std::exception_ptr first_error_;
 };
 

@@ -47,6 +47,12 @@ inline bool UNR_Sig_Wait_For(UNR_Handle h, SigId sig, Time timeout) {
 inline std::size_t UNR_Sig_Wait_Any(UNR_Handle h, std::span<const SigId> sigs) {
   return h.unr->sig_wait_any(h.rank, sigs);
 }
+/// Bounded wait-any: Unr::kWaitAnyTimeout = `timeout` virtual ns elapsed
+/// with no trigger. timeout == 0 polls once; at-deadline triggers win.
+inline std::size_t UNR_Sig_Wait_Any_For(UNR_Handle h, std::span<const SigId> sigs,
+                                        Time timeout) {
+  return h.unr->sig_wait_any_for(h.rank, sigs, timeout);
+}
 
 inline Blk UNR_Blk_Init(UNR_Handle h, const MemHandle& mem, std::size_t offset,
                         std::size_t size, SigId sig = kNoSig) {

@@ -144,6 +144,40 @@ std::size_t Unr::sig_wait_any(int self, std::span<const SigId> sigs) {
     k->block_current();
   }
 }
+std::size_t Unr::sig_wait_any_for(int self, std::span<const SigId> sigs, Time timeout) {
+  UNR_CHECK(!sigs.empty());
+  const int node = node_of(self);
+  sim::Kernel* k = &world_.kernel();
+  const int me = sim::Kernel::current_actor_id();
+  UNR_CHECK_MSG(me >= 0, "sig_wait_any_for outside an actor");
+  auto poll = [&]() -> std::size_t {
+    for (std::size_t i = 0; i < sigs.size(); ++i)
+      if (sig_at(node, sigs[i]).triggered()) return i;
+    return kWaitAnyTimeout;
+  };
+  if (const std::size_t hit = poll(); hit != kWaitAnyTimeout) return hit;
+  if (timeout == 0) return kWaitAnyTimeout;  // poll once, post nothing
+  const std::uint64_t token = k->arm_timed_wait(k->now() + timeout);
+  for (;;) {
+    if (const std::size_t hit = poll(); hit != kWaitAnyTimeout) {
+      k->disarm_timed_wait(token);
+      return hit;
+    }
+    if (k->timed_wait_expired(token)) {
+      k->disarm_timed_wait(token);
+      // Final poll: an apply() exactly at the deadline may have queued our
+      // expiry check behind it — at-deadline triggers win, as in wait_for.
+      return poll();
+    }
+    // Same registration discipline as sig_wait_any (see above).
+    for (std::size_t i = 0; i < sigs.size(); ++i) {
+      bool dup = false;
+      for (std::size_t j = 0; j < i && !dup; ++j) dup = sigs[j] == sigs[i];
+      if (!dup) sig_at(node, sigs[i]).cond().add_waiter(me);
+    }
+    k->block_current();
+  }
+}
 std::int64_t Unr::sig_counter(int self, SigId sig) const {
   return sig_at(node_of(self), sig).counter();
 }

@@ -95,6 +95,13 @@ class Unr {
   /// more than once is waited on once; the FIRST occurrence's index is
   /// returned when it triggers.
   std::size_t sig_wait_any(int self, std::span<const SigId> sigs);
+  /// sig_wait_any with a deadline. Returns the index of a triggered signal,
+  /// or kWaitAnyTimeout if `timeout` virtual ns passed with none triggered.
+  /// Boundary semantics match Cond::wait_for: timeout == 0 polls each
+  /// signal exactly once and returns; a trigger landing exactly at the
+  /// deadline wins over the timeout.
+  std::size_t sig_wait_any_for(int self, std::span<const SigId> sigs, Time timeout);
+  static constexpr std::size_t kWaitAnyTimeout = static_cast<std::size_t>(-1);
   std::int64_t sig_counter(int self, SigId sig) const;
 
   // --- Blocks ---

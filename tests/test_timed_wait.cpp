@@ -1,0 +1,243 @@
+// Boundary semantics of the timed waits: Cond::wait_for, Signal::wait_for
+// (via Unr::sig_wait_for), and Unr::sig_wait_any_for.
+//
+// The contract under test, at every layer:
+//   * timeout == 0 polls the predicate once and returns without posting any
+//     timer event or advancing virtual time;
+//   * a wake arriving EXACTLY at the deadline wins over the timeout (the
+//     expiry check yields to same-timestamp notifies already in flight);
+//   * a wake arriving after the deadline loses — the wait returns timed-out
+//     exactly at the deadline, not when the late wake lands.
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "runtime/world.hpp"
+#include "sim/cond.hpp"
+#include "sim/kernel.hpp"
+#include "unr/unr.hpp"
+
+namespace unr::sim {
+namespace {
+
+// timeout == 0 is a pure poll: no timer armed (event_count stays 0), no time
+// passes, result is just the predicate.
+TEST(CondWaitFor, ZeroTimeoutPollsOnce) {
+  Kernel k;
+  k.run(1, [&](int) {
+    Kernel* kk = Kernel::current();
+    Cond cond;
+    bool flag = false;
+    EXPECT_FALSE(cond.wait_for([&] { return flag; }, 0));
+    EXPECT_EQ(kk->now(), 0u);
+    flag = true;
+    EXPECT_TRUE(cond.wait_for([&] { return flag; }, 0));
+    EXPECT_EQ(kk->now(), 0u);
+  });
+  EXPECT_EQ(k.event_count(), 0u);  // the poll posted nothing
+}
+
+// An already-true predicate returns immediately even with a huge timeout,
+// again without arming a timer.
+TEST(CondWaitFor, TruePredicateSkipsTimer) {
+  Kernel k;
+  k.run(1, [&](int) {
+    Cond cond;
+    EXPECT_TRUE(cond.wait_for([] { return true; }, 1000000));
+    EXPECT_EQ(Kernel::current()->now(), 0u);
+  });
+  EXPECT_EQ(k.event_count(), 0u);
+}
+
+// The adversarial ordering: actor 0 arms its deadline timer BEFORE actor 1
+// schedules anything, so at t=100 the expiry fires first in the bucket. The
+// notify that lands at the same timestamp must still win — the expiry check
+// re-queues behind same-time work instead of declaring timeout on the spot.
+TEST(CondWaitFor, NotifyExactlyAtDeadlineWins) {
+  Kernel k;
+  Cond cond;
+  bool flag = false;
+  bool got = false;
+  k.run(2, [&](int id) {
+    Kernel* kk = Kernel::current();
+    if (id == 0) {
+      got = cond.wait_for([&] { return flag; }, 100);
+      EXPECT_EQ(kk->now(), 100u);
+    } else {
+      kk->sleep_for(100);
+      flag = true;
+      cond.notify_all();
+    }
+  });
+  EXPECT_TRUE(got);
+}
+
+// One tick past the deadline is too late: the waiter reports timeout at
+// t=100 and does NOT linger until the notify at t=101.
+TEST(CondWaitFor, NotifyAfterDeadlineLoses) {
+  Kernel k;
+  Cond cond;
+  bool flag = false;
+  k.run(2, [&](int id) {
+    Kernel* kk = Kernel::current();
+    if (id == 0) {
+      EXPECT_FALSE(cond.wait_for([&] { return flag; }, 100));
+      EXPECT_EQ(kk->now(), 100u);
+    } else {
+      kk->sleep_for(101);
+      flag = true;
+      cond.notify_all();
+    }
+  });
+}
+
+// A timed wait satisfied early leaves its deadline timer in the wheel. When
+// that stale timer fires mid-way through a SECOND timed wait, it must look
+// like a spurious wake (re-check and keep waiting), not a timeout for the
+// wrong wait: the second wait runs its full 100 ns, ending at 150.
+TEST(CondWaitFor, StaleTimerFromEarlierWaitIsSpurious) {
+  Kernel k;
+  Cond cond;
+  bool first = false;
+  k.run(2, [&](int id) {
+    Kernel* kk = Kernel::current();
+    if (id == 0) {
+      EXPECT_TRUE(cond.wait_for([&] { return first; }, 100));
+      EXPECT_EQ(kk->now(), 50u);  // satisfied early; timer still armed for 100
+      EXPECT_FALSE(cond.wait_for([] { return false; }, 100));
+      EXPECT_EQ(kk->now(), 150u);  // NOT 100: the stale timer didn't count
+    } else {
+      kk->sleep_for(50);
+      first = true;
+      cond.notify_all();
+    }
+  });
+}
+
+}  // namespace
+}  // namespace unr::sim
+
+namespace unr::unrlib {
+namespace {
+
+using runtime::Rank;
+using runtime::World;
+
+World::Config cfg(int nodes = 2) {
+  World::Config c;
+  c.nodes = nodes;
+  c.profile = unr::make_th_xy();
+  c.deterministic_routing = true;
+  return c;
+}
+
+// Signal::wait_for inherits Cond's boundary semantics through its internal
+// condition variable; exercise them through the library API.
+TEST(SignalWaitFor, ZeroTimeoutPollsOnce) {
+  World w(cfg());
+  Unr unr(w);
+  w.run([&](Rank& r) {
+    if (r.id() != 0) return;
+    const SigId sig = unr.sig_init(0, 1);
+    EXPECT_FALSE(unr.sig_wait_for(0, sig, 0));
+    EXPECT_EQ(r.now(), 0u);
+    unr.sig_at(0, sig).apply(-1);
+    EXPECT_TRUE(unr.sig_wait_for(0, sig, 0));
+    EXPECT_EQ(r.now(), 0u);
+  });
+}
+
+// Rank 0 arms its deadline first (it runs first), rank 1 applies the
+// completion exactly at the deadline: the apply must win.
+TEST(SignalWaitFor, ApplyExactlyAtDeadlineWins) {
+  World w(cfg());
+  Unr unr(w);
+  SigId sig = kNoSig;
+  w.run([&](Rank& r) {
+    if (r.id() == 0) {
+      sig = unr.sig_init(0, 1);
+      EXPECT_TRUE(unr.sig_wait_for(0, sig, 100));
+      EXPECT_EQ(r.now(), 100u);
+    } else if (r.id() == 1) {
+      r.kernel().sleep_for(100);
+      unr.sig_at(0, sig).apply(-1);
+    }
+  });
+}
+
+TEST(SignalWaitFor, ApplyAfterDeadlineLoses) {
+  World w(cfg());
+  Unr unr(w);
+  SigId sig = kNoSig;
+  w.run([&](Rank& r) {
+    if (r.id() == 0) {
+      sig = unr.sig_init(0, 1);
+      EXPECT_FALSE(unr.sig_wait_for(0, sig, 100));
+      EXPECT_EQ(r.now(), 100u);
+      // The late apply still lands; an untimed wait then consumes it.
+      unr.sig_wait(0, sig);
+      EXPECT_EQ(r.now(), 150u);
+    } else if (r.id() == 1) {
+      r.kernel().sleep_for(150);
+      unr.sig_at(0, sig).apply(-1);
+    }
+  });
+}
+
+TEST(WaitAnyFor, ZeroTimeoutPollsOnce) {
+  World w(cfg());
+  Unr unr(w);
+  w.run([&](Rank& r) {
+    if (r.id() != 0) return;
+    const SigId a = unr.sig_init(0, 1);
+    const SigId b = unr.sig_init(0, 1);
+    const std::array<SigId, 2> sigs{a, b};
+    EXPECT_EQ(unr.sig_wait_any_for(0, sigs, 0), Unr::kWaitAnyTimeout);
+    EXPECT_EQ(r.now(), 0u);
+    unr.sig_at(0, b).apply(-1);
+    EXPECT_EQ(unr.sig_wait_any_for(0, sigs, 0), 1u);
+    EXPECT_EQ(r.now(), 0u);
+  });
+}
+
+TEST(WaitAnyFor, ApplyExactlyAtDeadlineWins) {
+  World w(cfg());
+  Unr unr(w);
+  SigId a = kNoSig, b = kNoSig;
+  w.run([&](Rank& r) {
+    if (r.id() == 0) {
+      a = unr.sig_init(0, 1);
+      b = unr.sig_init(0, 1);
+      const std::array<SigId, 2> sigs{a, b};
+      EXPECT_EQ(unr.sig_wait_any_for(0, sigs, 100), 1u);
+      EXPECT_EQ(r.now(), 100u);
+    } else if (r.id() == 1) {
+      r.kernel().sleep_for(100);
+      unr.sig_at(0, b).apply(-1);
+    }
+  });
+}
+
+TEST(WaitAnyFor, TimesOutWhenNothingTriggers) {
+  World w(cfg());
+  Unr unr(w);
+  SigId a = kNoSig, b = kNoSig;
+  w.run([&](Rank& r) {
+    if (r.id() == 0) {
+      a = unr.sig_init(0, 1);
+      b = unr.sig_init(0, 1);
+      const std::array<SigId, 2> sigs{a, b};
+      EXPECT_EQ(unr.sig_wait_any_for(0, sigs, 100), Unr::kWaitAnyTimeout);
+      EXPECT_EQ(r.now(), 100u);
+      // The late apply is still observable by a later untimed wait_any.
+      EXPECT_EQ(unr.sig_wait_any(0, sigs), 0u);
+      EXPECT_EQ(r.now(), 150u);
+    } else if (r.id() == 1) {
+      r.kernel().sleep_for(150);
+      unr.sig_at(0, a).apply(-1);
+    }
+  });
+}
+
+}  // namespace
+}  // namespace unr::unrlib
