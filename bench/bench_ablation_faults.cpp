@@ -47,7 +47,7 @@ Result run_drop_case(double drop_rate, const fabric::Fabric::RetryPolicy& retry,
   wc.retry = retry;
   wc.faults.drop_rate = drop_rate;
   wc.seed = 12345;
-  unr::bench::apply_telemetry(wc);
+  unr::bench::apply_world_flags(wc);
   World w(wc);
   Unr::Config uc;
   uc.engine.poll_interval = 10 * kUs;  // lazy drain: the CQ does overflow
@@ -87,7 +87,7 @@ Result run_nic_fail_case(bool with_fault, int iters) {
   wc.deterministic_routing = true;
   if (with_fault)
     wc.faults.nic_faults.push_back({.node = 0, .index = 1, .at = 100 * kUs});
-  unr::bench::apply_telemetry(wc);
+  unr::bench::apply_world_flags(wc);
   World w(wc);
   Unr unr(w);
 

@@ -28,7 +28,7 @@ double run_ms(const SystemProfile& prof, bool use_unr, bool overlap) {
   wc.ranks_per_node = 2;
   wc.profile = prof;
   wc.deterministic_routing = true;
-  unr::bench::apply_telemetry(wc);
+  unr::bench::apply_world_flags(wc);
   World w(wc);
   std::optional<Unr> unr;
   if (use_unr) unr.emplace(w);

@@ -31,7 +31,7 @@ Result run_case(ChannelKind kind, Time poll_interval, bool reserved) {
   wc.ranks_per_node = 1;
   wc.profile = make_th_xy();
   wc.deterministic_routing = true;
-  unr::bench::apply_telemetry(wc);
+  unr::bench::apply_world_flags(wc);
   World w(wc);
   Unr::Config uc;
   uc.channel = kind;

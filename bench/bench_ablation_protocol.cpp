@@ -23,7 +23,7 @@ double pingpong(const SystemProfile& base, std::size_t size, bool force_eager) {
   wc.ranks_per_node = 1;
   wc.profile = prof;
   wc.deterministic_routing = true;
-  unr::bench::apply_telemetry(wc);
+  unr::bench::apply_world_flags(wc);
   World w(wc);
   const int iters = 20;
   Time window = 0;

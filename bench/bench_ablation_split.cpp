@@ -23,7 +23,7 @@ double one_put_time(std::size_t bytes, int force_split) {
   wc.ranks_per_node = 1;
   wc.profile = make_th_xy();
   wc.deterministic_routing = true;
-  unr::bench::apply_telemetry(wc);
+  unr::bench::apply_world_flags(wc);
   World w(wc);
   Unr::Config uc;
   uc.split_threshold = 1;

@@ -44,7 +44,7 @@ Result run_case(int nprocs, std::size_t m, std::size_t nlines, double dominance,
   wc.nodes = nprocs;
   wc.profile = make_th_xy();
   wc.deterministic_routing = true;
-  unr::bench::apply_telemetry(wc);
+  unr::bench::apply_world_flags(wc);
   World w(wc);
   Result res;
   std::vector<double> errs(static_cast<std::size_t>(nprocs), 0.0);

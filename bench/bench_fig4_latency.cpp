@@ -28,7 +28,7 @@ World::Config world_cfg(const SystemProfile& prof) {
   wc.ranks_per_node = 1;
   wc.profile = prof;
   wc.deterministic_routing = true;
-  unr::bench::apply_telemetry(wc);
+  unr::bench::apply_world_flags(wc);
   return wc;
 }
 

@@ -39,7 +39,7 @@ double run_pairs(std::size_t size, int iters, bool shared_nics, Mode mode,
   wc.profile = make_th_xy();
   wc.deterministic_routing = true;
   wc.seed = seed;
-  unr::bench::apply_telemetry(wc);
+  unr::bench::apply_world_flags(wc);
   World w(wc);
 
   Unr::Config uc;

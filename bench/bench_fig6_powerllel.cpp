@@ -53,7 +53,7 @@ Measured run_variant(const RunCfg& rc, const Variant& v) {
   wc.ranks_per_node = rc.rpn;
   wc.profile = rc.prof;
   wc.deterministic_routing = true;
-  unr::bench::apply_telemetry(wc);
+  unr::bench::apply_world_flags(wc);
   World w(wc);
 
   std::optional<Unr> unr;

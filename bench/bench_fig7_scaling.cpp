@@ -37,7 +37,7 @@ StepTimings run_point(const SystemProfile& prof, const ScalePoint& sp, std::size
   wc.ranks_per_node = 2;
   wc.profile = prof;
   wc.deterministic_routing = true;
-  unr::bench::apply_telemetry(wc);
+  unr::bench::apply_world_flags(wc);
   World w(wc);
   Unr unr(w);
 

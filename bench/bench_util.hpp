@@ -61,8 +61,24 @@ inline void apply_telemetry(runtime::World::Config& wc) {
   wc.telemetry.metrics_path = f.metrics_path;
 }
 
+/// Process-global kernel shard request (--shards=N), consumed by
+/// apply_world_flags at every World::Config construction site. 0 = leave
+/// World::Config's auto default (UNR_SHARDS env, else 1).
+inline int& shard_request() {
+  static int shards = 0;
+  return shards;
+}
+
+/// Route both the telemetry outputs and the shard request into a
+/// World::Config. Every bench builds its Worlds through this.
+inline void apply_world_flags(runtime::World::Config& wc) {
+  apply_telemetry(wc);
+  wc.shards = shard_request();
+}
+
 /// Tiny flag parser: --quick (default scale), --full (paper-scale where
-/// feasible), --system=NAME (restrict to one platform), --time-budget=SEC
+/// feasible), --system=NAME (restrict to one platform), --shards=N (kernel
+/// worker shards for every World the harness builds), --time-budget=SEC
 /// (sweeps stop early instead of blowing a CI budget), --trace=FILE /
 /// --metrics=FILE / --trace-ring=N (observability outputs from the first
 /// World the harness builds).
@@ -70,6 +86,9 @@ struct Options {
   bool full = false;
   std::string system;
   double time_budget_sec = 0;  ///< 0 = unlimited
+  /// Kernel worker shards for every World the harness builds (--shards=N).
+  /// 0 = World::Config's auto default (UNR_SHARDS env, else 1).
+  int shards = 0;
 
   static Options parse(int argc, char** argv) {
     Options o;
@@ -78,13 +97,17 @@ struct Options {
       if (a == "--full") o.full = true;
       else if (a == "--quick") o.full = false;
       else if (a.rfind("--system=", 0) == 0) o.system = a.substr(9);
+      else if (a.rfind("--shards=", 0) == 0) {
+        o.shards = std::stoi(a.substr(9));
+        shard_request() = o.shards;
+      }
       else if (a.rfind("--time-budget=", 0) == 0) o.time_budget_sec = std::stod(a.substr(14));
       else if (a == "--time-budget" && i + 1 < argc) o.time_budget_sec = std::stod(argv[++i]);
       else if (parse_telemetry_flag(a)) {}
       else if (a == "--help" || a == "-h") {
         std::cout << "flags: --quick (default) | --full | --system=NAME | "
-                     "--time-budget=SEC | --trace=FILE | --metrics=FILE | "
-                     "--trace-ring=N\n";
+                     "--shards=N | --time-budget=SEC | --trace=FILE | "
+                     "--metrics=FILE | --trace-ring=N\n";
         std::exit(0);
       }
     }

@@ -14,10 +14,15 @@
 //   --smoke              run only the cheap smoke subset (CI perf job)
 //   --scenario=NAME      run only the named scenario (repeatable)
 //   --repeat=N           best-of-N wall timing per scenario (default 3)
+//   --shards=N           kernel worker shards for every World (0 = auto)
+//   --shard-sweep        also run the fig7 scenarios at K = 1/2/4/8 and
+//                        record the sweep in the JSON (expensive; used when
+//                        regenerating the committed baseline)
 //   --out=PATH           where to write the JSON (default <repo>/BENCH_wallclock.json)
 //   --baseline=PATH      compare against a previous BENCH_wallclock.json;
 //                        embeds baseline/speedup per scenario in the output
-//                        and exits nonzero on regression > tolerance
+//                        and exits nonzero on regression > tolerance OR on a
+//                        measured scenario missing from the baseline file
 //   --tolerance=FRAC     allowed events/sec regression (default 0.20)
 //   --rss-ceiling-mib=N  fail if any scenario's peak RSS exceeds N MiB
 //                        (the scale-smoke job's bounded-memory assertion)
@@ -26,6 +31,11 @@
 // (/proc/self/clear_refs) before its first rep and reports the per-scenario
 // peak (VmHWM) — NOT the monotonic process-wide ru_maxrss, which made every
 // scenario after the biggest one report the same number (schema v1 bug).
+//
+// Timing accounting (schema v3): wall_sec covers ONLY the kernel run —
+// World/Unr construction (actor stacks, NIC arrays, registries) is reported
+// separately as setup_sec, so events/sec measures the event loop, not the
+// allocator. At 1024 nodes the setup was a visible fraction of v2's number.
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
@@ -36,6 +46,8 @@
 #include <sstream>
 #include <string>
 #include <vector>
+
+#include <thread>
 
 #include "bench_util.hpp"
 #include "powerllel/solver.hpp"
@@ -56,6 +68,8 @@ struct WallOptions {
   std::string baseline;
   double tolerance = 0.20;
   double rss_ceiling_mib = 0;  ///< 0 = no ceiling
+  int shards = 0;              ///< --shards=N for every World (0 = auto)
+  bool shard_sweep = false;    ///< run fig7 scenarios at K = 1/2/4/8 too
 
   static WallOptions parse(int argc, char** argv) {
     WallOptions o;
@@ -64,6 +78,11 @@ struct WallOptions {
       if (a == "--smoke") o.smoke = true;
       else if (a.rfind("--scenario=", 0) == 0) o.only.push_back(a.substr(11));
       else if (a.rfind("--repeat=", 0) == 0) o.repeat = std::stoi(a.substr(9));
+      else if (a.rfind("--shards=", 0) == 0) {
+        o.shards = std::stoi(a.substr(9));
+        unr::bench::shard_request() = o.shards;
+      }
+      else if (a == "--shard-sweep") o.shard_sweep = true;
       else if (a.rfind("--out=", 0) == 0) o.out = a.substr(6);
       else if (a.rfind("--baseline=", 0) == 0) o.baseline = a.substr(11);
       else if (a.rfind("--tolerance=", 0) == 0) o.tolerance = std::stod(a.substr(12));
@@ -71,9 +90,10 @@ struct WallOptions {
         o.rss_ceiling_mib = std::stod(a.substr(18));
       else if (unr::bench::parse_telemetry_flag(a)) {}
       else if (a == "--help" || a == "-h") {
-        std::cout << "flags: --smoke | --scenario=NAME | --repeat=N | --out=PATH | "
-                     "--baseline=PATH | --tolerance=FRAC | --rss-ceiling-mib=N | "
-                     "--trace=FILE | --metrics=FILE | --trace-ring=N\n";
+        std::cout << "flags: --smoke | --scenario=NAME | --repeat=N | --shards=N | "
+                     "--shard-sweep | --out=PATH | --baseline=PATH | "
+                     "--tolerance=FRAC | --rss-ceiling-mib=N | --trace=FILE | "
+                     "--metrics=FILE | --trace-ring=N\n";
         std::exit(0);
       } else {
         std::cerr << "unknown flag: " << a << "\n";
@@ -92,10 +112,13 @@ struct WallOptions {
 
 /// One measured run of a scenario: how many events the kernel dispatched,
 /// how long that took in wall-clock, and how far virtual time advanced.
+/// Scenarios fill wall_sec (kernel run only) and setup_sec (World/Unr
+/// construction) themselves, so events/sec never charges the allocator.
 struct RunSample {
   std::uint64_t events = 0;
   std::uint64_t virtual_ns = 0;
   double wall_sec = 0;
+  double setup_sec = 0;
 };
 
 struct ScenarioResult {
@@ -104,6 +127,7 @@ struct ScenarioResult {
   double events_per_sec = 0;
   double rss_peak_mib = 0;  ///< THIS scenario's peak (max across its reps)
   std::optional<double> baseline_eps;  ///< from --baseline, when present
+  bool baseline_missing = false;       ///< --baseline given, scenario absent
 };
 
 // --- Scenarios --------------------------------------------------------------
@@ -113,14 +137,17 @@ struct ScenarioResult {
 RunSample run_fig4_pingpong(const std::vector<std::size_t>& sizes, int iters) {
   RunSample s;
   for (std::size_t size : sizes) {
+    unr::bench::WallTimer setup;
     World::Config wc;
     wc.nodes = 2;
     wc.ranks_per_node = 1;
     wc.profile = make_th_xy();
     wc.deterministic_routing = true;
-    unr::bench::apply_telemetry(wc);
+    unr::bench::apply_world_flags(wc);
     World w(wc);
     Unr unr(w);
+    s.setup_sec += setup.seconds();
+    unr::bench::WallTimer timer;
     w.run([&](Rank& r) {
       std::vector<std::byte> buf(size);
       const MemHandle mh = unr.mem_reg(r.id(), buf.data(), buf.size());
@@ -142,6 +169,7 @@ RunSample run_fig4_pingpong(const std::vector<std::size_t>& sizes, int iters) {
         }
       }
     });
+    s.wall_sec += timer.seconds();
     s.events += w.kernel().event_count();
     s.virtual_ns += w.elapsed();
   }
@@ -153,15 +181,19 @@ RunSample run_fig4_pingpong(const std::vector<std::size_t>& sizes, int iters) {
 /// measured on.
 RunSample run_fig7_point(int nodes, int pr, int pc, std::size_t nx, std::size_t ny,
                          std::size_t nz, int steps) {
+  RunSample s;
+  unr::bench::WallTimer setup;
   World::Config wc;
   wc.nodes = nodes;
   wc.ranks_per_node = 2;
   wc.profile = make_th_xy();
   wc.deterministic_routing = true;
-  unr::bench::apply_telemetry(wc);
+  unr::bench::apply_world_flags(wc);
   World w(wc);
   Unr unr(w);
+  s.setup_sec = setup.seconds();
   const int threads = std::max(1, (wc.profile.cores_per_node - 2) / 2);
+  unr::bench::WallTimer timer;
   w.run([&](Rank& r) {
     powerllel::SolverConfig sc;
     sc.decomp.nx = nx;
@@ -181,7 +213,7 @@ RunSample run_fig7_point(int nodes, int pr, int pc, std::size_t nx, std::size_t 
         [](double, double, double) { return 0.0; });
     s.run(steps);
   });
-  RunSample s;
+  s.wall_sec = timer.seconds();
   s.events = w.kernel().event_count();
   s.virtual_ns = w.elapsed();
   return s;
@@ -193,6 +225,7 @@ RunSample run_fig7_point(int nodes, int pr, int pc, std::size_t nx, std::size_t 
 RunSample run_faults_sweep(const std::vector<double>& drop_rates, int iters) {
   RunSample s;
   for (double rate : drop_rates) {
+    unr::bench::WallTimer setup;
     World::Config wc;
     wc.nodes = 2;
     wc.ranks_per_node = 1;
@@ -201,12 +234,14 @@ RunSample run_faults_sweep(const std::vector<double>& drop_rates, int iters) {
     wc.deterministic_routing = true;
     wc.faults.drop_rate = rate;
     wc.seed = 12345;
-    unr::bench::apply_telemetry(wc);
+    unr::bench::apply_world_flags(wc);
     World w(wc);
     Unr::Config uc;
     uc.engine.poll_interval = 10 * kUs;  // lazy drain: the CQ does overflow
     Unr unr(w, uc);
+    s.setup_sec += setup.seconds();
     const std::size_t msg = 4 * KiB;
+    unr::bench::WallTimer timer;
     w.run([&](Rank& r) {
       std::vector<std::byte> buf(msg);
       const MemHandle mh = unr.mem_reg(r.id(), buf.data(), buf.size());
@@ -222,6 +257,7 @@ RunSample run_faults_sweep(const std::vector<double>& drop_rates, int iters) {
         for (int i = 0; i < iters; ++i) unr.put(0, sblk, rblk);
       }
     });
+    s.wall_sec += timer.seconds();
     s.events += w.kernel().event_count();
     s.virtual_ns += w.elapsed();
   }
@@ -294,15 +330,34 @@ std::map<std::string, double> load_baseline(const std::string& path) {
   return out;
 }
 
-std::string emit_json(const std::vector<ScenarioResult>& results, bool smoke) {
+/// One point of the fig7 shard-count sweep (K = 1/2/4/8).
+struct SweepPoint {
+  int shards = 0;
+  RunSample sample;
+  double events_per_sec = 0;
+};
+
+struct SweepResult {
+  std::string scenario;
+  std::vector<SweepPoint> points;
+};
+
+std::string emit_json(const std::vector<ScenarioResult>& results,
+                      const std::vector<SweepResult>& sweeps, bool smoke,
+                      int shards_requested) {
   std::ostringstream os;
   os.setf(std::ios::fixed);
   os << "{\n";
-  // v2: per-scenario "rss_peak_mib" (resettable VmHWM high-water mark)
-  // replaced v1's "rss_after_mib", which was the monotonic process-wide
-  // peak and therefore identical for every scenario after the largest.
-  os << "  \"schema\": \"unr-bench-wallclock-v2\",\n";
+  // v3: "wall_sec" now covers only the kernel run; World/Unr construction is
+  // the new per-scenario "setup_sec", so events/sec measures the event loop
+  // (at 1024 nodes, setup was a visible slice of v2's wall time). Adds the
+  // top-level "shards"/"host_hw_threads" fields and the optional
+  // "shard_sweep" section (fig7 scenarios at K = 1/2/4/8). v2 introduced the
+  // per-scenario resettable "rss_peak_mib" over v1's monotonic process peak.
+  os << "  \"schema\": \"unr-bench-wallclock-v3\",\n";
   os << "  \"mode\": \"" << (smoke ? "smoke" : "full") << "\",\n";
+  os << "  \"shards\": " << shards_requested << ",\n";
+  os << "  \"host_hw_threads\": " << std::thread::hardware_concurrency() << ",\n";
   os.precision(1);
   // Per-scenario resets rewind the kernel's hiwater_rss counter, which also
   // feeds ru_maxrss — so the run-wide peak is the max over scenario peaks,
@@ -317,6 +372,7 @@ std::string emit_json(const std::vector<ScenarioResult>& results, bool smoke) {
     os << "\"events\": " << r.best.events << ", ";
     os.precision(4);
     os << "\"wall_sec\": " << r.best.wall_sec << ", ";
+    os << "\"setup_sec\": " << r.best.setup_sec << ", ";
     os.precision(0);
     os << "\"events_per_sec\": " << r.events_per_sec << ", ";
     os << "\"virtual_ns\": " << r.best.virtual_ns << ", ";
@@ -330,8 +386,31 @@ std::string emit_json(const std::vector<ScenarioResult>& results, bool smoke) {
     }
     os << "}" << (i + 1 < results.size() ? "," : "") << "\n";
   }
-  os << "  ]\n";
-  os << "}\n";
+  os << "  ]";
+  if (!sweeps.empty()) {
+    // Sweep entries deliberately use the key "scenario", not "name", so
+    // load_baseline's minimal extractor (which scans for "name") never
+    // mistakes a sweep point's events/sec for a scenario baseline.
+    os << ",\n  \"shard_sweep\": [\n";
+    for (std::size_t i = 0; i < sweeps.size(); ++i) {
+      const SweepResult& sw = sweeps[i];
+      os << "    {\"scenario\": \"" << sw.scenario << "\", \"points\": [\n";
+      for (std::size_t j = 0; j < sw.points.size(); ++j) {
+        const SweepPoint& p = sw.points[j];
+        os << "      {\"shards\": " << p.shards << ", ";
+        os.precision(4);
+        os << "\"wall_sec\": " << p.sample.wall_sec << ", ";
+        os << "\"setup_sec\": " << p.sample.setup_sec << ", ";
+        os.precision(0);
+        os << "\"events\": " << p.sample.events << ", ";
+        os << "\"events_per_sec\": " << p.events_per_sec << "}"
+           << (j + 1 < sw.points.size() ? "," : "") << "\n";
+      }
+      os << "    ]}" << (i + 1 < sweeps.size() ? "," : "") << "\n";
+    }
+    os << "  ]";
+  }
+  os << "\n}\n";
   return os.str();
 }
 
@@ -348,7 +427,8 @@ int main(int argc, char** argv) {
 
   std::vector<ScenarioResult> results;
   TextTable t;
-  t.header({"scenario", "events", "wall (s)", "events/sec", "virt time", "peak RSS (MiB)"});
+  t.header({"scenario", "events", "wall (s)", "setup (s)", "events/sec", "virt time",
+            "peak RSS (MiB)"});
   const bool rss_resettable = unr::bench::reset_peak_rss();
   for (const Scenario& sc : scenarios()) {
     if (!opt.selected(sc.name, sc.in_smoke)) continue;
@@ -361,9 +441,9 @@ int main(int argc, char** argv) {
     if (rss_resettable) unr::bench::reset_peak_rss();
     const int reps = sc.repeat_override > 0 ? sc.repeat_override : std::max(1, opt.repeat);
     for (int rep = 0; rep < reps; ++rep) {
-      unr::bench::WallTimer timer;
-      RunSample s = sc.fn();
-      s.wall_sec = timer.seconds();
+      // Scenarios time themselves: wall_sec is the kernel run only, setup
+      // (World/Unr construction) lands in setup_sec (schema v3).
+      const RunSample s = sc.fn();
       if (rep == 0 || s.wall_sec < r.best.wall_sec) r.best = s;
     }
     const double hwm = unr::bench::resettable_peak_rss_mib();
@@ -371,14 +451,50 @@ int main(int argc, char** argv) {
     r.events_per_sec = static_cast<double>(r.best.events) / r.best.wall_sec;
     auto it = baseline.find(r.name);
     if (it != baseline.end()) r.baseline_eps = it->second;
+    else if (!opt.baseline.empty()) r.baseline_missing = true;
     results.push_back(r);
     t.row({r.name, std::to_string(r.best.events), TextTable::num(r.best.wall_sec, 3),
-           TextTable::num(r.events_per_sec, 0), format_time(r.best.virtual_ns),
-           TextTable::num(r.rss_peak_mib, 1)});
+           TextTable::num(r.best.setup_sec, 3), TextTable::num(r.events_per_sec, 0),
+           format_time(r.best.virtual_ns), TextTable::num(r.rss_peak_mib, 1)});
   }
   std::cout << t << "\n";
 
-  const std::string json = emit_json(results, opt.smoke);
+  // Shard-count sweep over the fig7 scenarios (the shard-parallel kernel's
+  // target workload). One rep per point; K clamps to the node count inside
+  // the World, so the recorded "shards" is the request, and
+  // "host_hw_threads" in the JSON says how much real parallelism the host
+  // could offer the sweep.
+  std::vector<SweepResult> sweeps;
+  if (opt.shard_sweep) {
+    struct SweepTarget { const char* name; RunSample (*fn)(); };
+    const SweepTarget targets[] = {{"fig7_quick", &fig7_quick},
+                                   {"fig7_scaling_1024n", &fig7_1024n}};
+    const int saved_request = unr::bench::shard_request();
+    for (const SweepTarget& tg : targets) {
+      if (!opt.only.empty() && !opt.selected(tg.name, /*in_smoke=*/true)) continue;
+      SweepResult sw;
+      sw.scenario = tg.name;
+      TextTable st;
+      st.header({"shards", "events", "wall (s)", "setup (s)", "events/sec"});
+      for (const int k : {1, 2, 4, 8}) {
+        unr::bench::shard_request() = k;
+        SweepPoint p;
+        p.shards = k;
+        p.sample = tg.fn();
+        p.events_per_sec = static_cast<double>(p.sample.events) / p.sample.wall_sec;
+        sw.points.push_back(p);
+        st.row({std::to_string(k), std::to_string(p.sample.events),
+                TextTable::num(p.sample.wall_sec, 3),
+                TextTable::num(p.sample.setup_sec, 3),
+                TextTable::num(p.events_per_sec, 0)});
+      }
+      std::cout << "shard sweep: " << sw.scenario << "\n" << st << "\n";
+      sweeps.push_back(sw);
+    }
+    unr::bench::shard_request() = saved_request;
+  }
+
+  const std::string json = emit_json(results, sweeps, opt.smoke, opt.shards);
   std::cout << "BENCH_JSON " << "wallclock\n" << json;
 
   const std::string out_path =
@@ -392,9 +508,18 @@ int main(int argc, char** argv) {
   std::cout << "wrote " << out_path << "\n";
 
   // Regression gate for CI: any measured scenario that fell more than
-  // `tolerance` below the committed baseline's events/sec fails the run.
+  // `tolerance` below the committed baseline's events/sec fails the run. A
+  // scenario absent from the baseline file fails LOUDLY instead of silently
+  // passing ungated — otherwise adding a scenario (or typoing a name) would
+  // quietly remove it from the perf gate forever.
   bool failed = false;
   for (const ScenarioResult& r : results) {
+    if (r.baseline_missing) {
+      std::cerr << "BASELINE MISSING: " << r.name << " not found in "
+                << opt.baseline << " — regenerate the baseline file (run "
+                << "bench_wallclock without --baseline and commit the JSON)\n";
+      failed = true;
+    }
     if (!r.baseline_eps) continue;
     const double floor = *r.baseline_eps * (1.0 - opt.tolerance);
     if (r.events_per_sec < floor) {

@@ -463,6 +463,7 @@ RunResult run_workload(const WorkloadSpec& spec, const RunOptions& opt) {
         wc.faults.nic_faults.push_back({spec.nodes - 1, spec.nics - 1, 40 * kUs});
       }
     }
+    wc.shards = opt.shards;
     runtime::World w(wc);
 
     unrlib::Unr::Config uc;

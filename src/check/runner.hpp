@@ -43,6 +43,11 @@ struct RunOptions {
   /// Check pool conservation at teardown (disable only for experiments that
   /// tear the World down mid-flight on purpose).
   bool check_invariants = true;
+  /// Kernel worker shards (World::Config::shards): 0 = auto, 1 = the classic
+  /// single-threaded kernel. The digest is timing-free, so a spec must
+  /// produce the same digest at any shard count that shares its fault
+  /// pattern (always, for fault-free specs).
+  int shards = 0;
 };
 
 struct RunResult {

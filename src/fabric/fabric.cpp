@@ -57,12 +57,21 @@ Fabric::Fabric(sim::Kernel& kernel, Config cfg)
       cfg_(std::move(cfg)),
       iface_(personality(cfg_.profile.iface)),
       machine_(cfg_.nodes, cfg_.profile.cores_per_node),
-      memory_(cfg_.max_regions_per_rank),
-      rng_(cfg_.seed),
-      injector_(cfg_.faults, cfg_.seed) {
+      memory_(cfg_.max_regions_per_rank, cfg_.nodes * cfg_.ranks_per_node) {
   UNR_CHECK(cfg_.nodes >= 1 && cfg_.ranks_per_node >= 1);
   UNR_CHECK(cfg_.profile.nics_per_node >= 1);
   UNR_CHECK(cfg_.retry.max_attempts >= 1 && cfg_.retry.multiplier >= 1.0);
+  // One mutable-state context per kernel shard. Shard 0 is seeded exactly
+  // like the pre-shard single-context fabric; higher shards fork
+  // decorrelated RNG/fault streams from the same configuration seed.
+  const int nshards = kernel_.shard_count();
+  shard_ctx_.reserve(static_cast<std::size_t>(nshards));
+  for (int s = 0; s < nshards; ++s) {
+    const std::uint64_t fork =
+        s == 0 ? cfg_.seed
+               : mix64(cfg_.seed + 0x9e3779b97f4a7c15ull * static_cast<std::uint64_t>(s));
+    shard_ctx_.push_back(std::make_unique<ShardCtx>(fork, cfg_.faults, fork));
+  }
   nics_.reserve(static_cast<std::size_t>(cfg_.nodes * cfg_.profile.nics_per_node));
   for (int n = 0; n < cfg_.nodes; ++n) {
     for (int i = 0; i < cfg_.profile.nics_per_node; ++i) {
@@ -74,13 +83,16 @@ Fabric::Fabric(sim::Kernel& kernel, Config cfg)
   init_telemetry();
 
   // Schedule the configured fault timeline. The events sit in the kernel's
-  // queue until the run reaches their virtual timestamps.
+  // queue until the run reaches their virtual timestamps; each is routed to
+  // the shard owning the target NIC's node (a no-op routing when unsharded).
   for (const auto& nf : cfg_.faults.nic_faults) {
     UNR_CHECK_MSG(nf.node >= 0 && nf.node < cfg_.nodes && nf.index >= 0 &&
                       nf.index < nics_per_node(),
                   "NIC fault targets nonexistent NIC (" << nf.node << ", " << nf.index
                                                         << ")");
-    kernel_.post_at(nf.at, [this, nf] {
+    // The immutable schedule backs cross-shard loss checks (nic_lost_in_tx).
+    nic(nf.node, nf.index).schedule_fail(nf.at);
+    kernel_.post_at_node(nf.node, nf.at, [this, nf] {
       Nic& n = nic(nf.node, nf.index);
       if (n.failed()) return;
       n.fail(kernel_.now());
@@ -95,7 +107,7 @@ Fabric::Fabric(sim::Kernel& kernel, Config cfg)
                       b.index < nics_per_node(),
                   "CQ burst targets nonexistent NIC (" << b.node << ", " << b.index
                                                        << ")");
-    kernel_.post_at(b.at, [this, b] {
+    kernel_.post_at_node(b.node, b.at, [this, b] {
       if (tr_.on)
         kernel_.telemetry().tracer().instant(b.node, obs::kNicTidBase + b.index,
                                              tr_.cat_fault, tr_.cq_burst);
@@ -109,6 +121,12 @@ Fabric::Fabric(sim::Kernel& kernel, Config cfg)
 }
 
 Fabric::~Fabric() = default;
+
+Fabric::ShardCtx::ShardCtx(std::uint64_t rng_seed, const FaultConfig& faults,
+                           std::uint64_t fault_seed)
+    : rng(rng_seed), injector(faults, fault_seed) {}
+
+Fabric::ShardCtx::~ShardCtx() = default;
 
 void Fabric::init_telemetry() {
   obs::Registry& reg = kernel_.telemetry().registry();
@@ -223,14 +241,20 @@ int Fabric::healthy_nic_count(int node) const {
 
 // --- Flight pools -----------------------------------------------------------
 
+// Pools are per shard; a flight acquired on one shard may be released into
+// another's free list when its terminal handler runs there (AM flights
+// complete at the receiver). Objects migrate between free lists exactly like
+// the kernel's event nodes; pool_debug() conserves over the global sums.
+
 Fabric::Flight* Fabric::acquire_flight() {
-  if (!flight_free_.empty()) {
-    Flight* f = flight_free_.back();
-    flight_free_.pop_back();
+  ShardCtx& c = sctx();
+  if (!c.flight_free.empty()) {
+    Flight* f = c.flight_free.back();
+    c.flight_free.pop_back();
     return f;
   }
-  flight_pool_.push_back(std::make_unique<Flight>());
-  return flight_pool_.back().get();
+  c.flight_pool.push_back(std::make_unique<Flight>());
+  return c.flight_pool.back().get();
 }
 
 void Fabric::release_flight(Flight* f) {
@@ -242,17 +266,18 @@ void Fabric::release_flight(Flight* f) {
   f->cq_attempts = 0;
   f->redirect_counted = false;
   f->order_seq = kNoOrderSeq;
-  flight_free_.push_back(f);
+  sctx().flight_free.push_back(f);
 }
 
 Fabric::AmFlight* Fabric::acquire_am_flight() {
-  if (!am_free_.empty()) {
-    AmFlight* m = am_free_.back();
-    am_free_.pop_back();
+  ShardCtx& c = sctx();
+  if (!c.am_free.empty()) {
+    AmFlight* m = c.am_free.back();
+    c.am_free.pop_back();
     return m;
   }
-  am_pool_.push_back(std::make_unique<AmFlight>());
-  return am_pool_.back().get();
+  c.am_pool.push_back(std::make_unique<AmFlight>());
+  return c.am_pool.back().get();
 }
 
 void Fabric::release_am_flight(AmFlight* m) {
@@ -261,23 +286,25 @@ void Fabric::release_am_flight(AmFlight* m) {
   m->attempts = 1;
   m->id = 0;
   m->order_seq = kNoOrderSeq;
-  am_free_.push_back(m);
+  sctx().am_free.push_back(m);
 }
 
 std::vector<std::byte> Fabric::acquire_am_buffer(std::size_t size) {
+  ShardCtx& c = sctx();
   std::vector<std::byte> buf;
-  if (!am_arena_.empty()) {
-    buf = std::move(am_arena_.back());
-    am_arena_.pop_back();
+  if (!c.am_arena.empty()) {
+    buf = std::move(c.am_arena.back());
+    c.am_arena.pop_back();
   }
   buf.resize(size);
   return buf;
 }
 
 void Fabric::recycle_am_buffer(std::vector<std::byte>&& buf) {
-  if (buf.capacity() == 0 || am_arena_.size() >= kAmArenaMax) return;
+  ShardCtx& c = sctx();
+  if (buf.capacity() == 0 || c.am_arena.size() >= kAmArenaMax) return;
   buf.clear();
-  am_arena_.push_back(std::move(buf));
+  c.am_arena.push_back(std::move(buf));
 }
 
 // ----------------------------------------------------------------------------
@@ -297,9 +324,9 @@ Time Fabric::wire_arrival(int src_node, int dst_node, Time tx_done, bool ordered
   // can never overtake it.
   Time arrival = tx_done + one_way_latency(src_node, dst_node) + extra;
   if (!ordered && !cfg_.deterministic_routing && cfg_.profile.jitter > 0)
-    arrival += static_cast<Time>(rng_.below(cfg_.profile.jitter + 1));
+    arrival += static_cast<Time>(sctx().rng.below(cfg_.profile.jitter + 1));
   if (ordered) {
-    Time& tail = fifo_tail_.get_or_insert(pack_pair(src_rank, dst_rank));
+    Time& tail = sctx().fifo_tail.get_or_insert(pack_pair(src_rank, dst_rank));
     if (arrival <= tail) arrival = tail + 1;
     tail = arrival;
   }
@@ -341,8 +368,10 @@ void Fabric::put(PutArgs args) {
   UNR_CHECK(args.dst.valid() && args.dst.rank < nranks());
   UNR_CHECK(args.src != nullptr || args.size == 0);
   // Resolve the destination now so that addressing errors surface at the
-  // call site, not inside an event handler later.
-  (void)memory_.resolve(args.dst, args.size);
+  // call site, not inside an event handler later. Another shard's registry
+  // may be mid-registration, so cross-shard destinations skip the early
+  // check — deliver_put performs the same resolve on the owning shard.
+  if (shard_local(args.dst.rank)) (void)memory_.resolve(args.dst, args.size);
   if (args.nic_index >= 0) UNR_CHECK(args.nic_index < nics_per_node());
 
   args.remote_imm = args.remote_imm.truncated(iface_.effective_put_remote());
@@ -353,7 +382,7 @@ void Fabric::put(PutArgs args) {
   m_.rank_puts[static_cast<std::size_t>(args.src_rank)].inc();
 
   Flight* f = acquire_flight();
-  f->id = ++flight_seq_;
+  f->id = shard_id_tag() | ++sctx().flight_seq;
   if (tr_.on)
     kernel_.telemetry().tracer().async_begin(
         node_of(args.src_rank), args.src_rank, tr_.cat_flight, tr_.put, f->id,
@@ -377,7 +406,7 @@ void Fabric::launch_put(Flight* f) {
     // flight) and wedge the reorder buffer behind the hole.
     UNR_CHECK_MSG(!a.on_lost, "ordered flights cannot use on_lost recovery");
     f->order_seq =
-        ordered_streams_.get_or_insert(pack_pair(a.src_rank, a.dst.rank)).next_send++;
+        sctx().order_next_send.get_or_insert(pack_pair(a.src_rank, a.dst.rank))++;
   }
   int nic_idx = a.nic_index < 0 ? default_nic(a.src_rank) : a.nic_index;
   if (nic(src_node, nic_idx).failed()) {
@@ -396,7 +425,7 @@ void Fabric::launch_put(Flight* f) {
 
   Nic& snic = nic(src_node, nic_idx);
   Time tx_done = snic.reserve_tx(kernel_.now(), a.size);
-  const Time held = injector_.extra_delay();
+  const Time held = sctx().injector.extra_delay();
   if (held > 0) m_.injected_delays.inc();
   if (a.ordered) {
     // Ordered traffic rides an in-order reliable link: a dropped traversal
@@ -405,7 +434,7 @@ void Fabric::launch_put(Flight* f) {
     // overtake. Evaluate the drops up front and fold each retransmission's
     // cost into the arrival that reserves the FIFO slot.
     const Time lat = one_way_latency(src_node, dst_node);
-    while (injector_.drop_delivery()) {
+    while (sctx().injector.drop_delivery()) {
       f->wire_attempts++;
       UNR_CHECK_MSG(f->wire_attempts <= cfg_.retry.max_attempts,
                     "delivery to rank " << a.dst.rank << " exceeded "
@@ -424,32 +453,40 @@ void Fabric::launch_put(Flight* f) {
   f->tx_done = tx_done;
   const Time arrival = wire_arrival(src_node, dst_node, tx_done, a.ordered, a.src_rank,
                                     a.dst.rank, held);
-  kernel_.post_at(arrival, [this, f, arrival] { arrive_put(f, arrival); });
+  // Arrival runs on the destination node's shard (where the payload lands
+  // and the remote CQE fires); the wire latency covers the lookahead.
+  kernel_.post_at_node(dst_node, arrival, [this, f, arrival] { arrive_put(f, arrival); });
 }
 
 void Fabric::arrive_put(Flight* f, Time arrival) {
   // Wire-level faults are evaluated once per traversal, at the instant the
-  // message would have landed.
+  // message would have landed. This runs on the destination's shard, so the
+  // source NIC's health is read through the immutable fault schedule.
   const Nic& snic = nic(node_of(f->args.src_rank), f->args.nic_index);
-  if (snic.lost_in_tx(f->tx_done)) {
+  const int src_node = node_of(f->args.src_rank);
+  if (nic_lost_in_tx(snic, arrival, f->tx_done)) {
     m_.lost_to_nic.inc();
     if (tr_.on)
       kernel_.telemetry().tracer().instant(node_of(f->args.src_rank), f->args.src_rank,
                                            tr_.cat_flight, tr_.lost,
                                            {{tr_.k_nic, f->args.nic_index}});
-    kernel_.post_in(cfg_.fault_detect_delay, [this, f] { recover_lost_put(f); });
+    // Recovery re-launches from the source: route it back to the source's
+    // shard (fault_detect_delay bounds the lookahead when faults are armed).
+    kernel_.post_at_node(src_node, kernel_.now() + cfg_.fault_detect_delay,
+                         [this, f] { recover_lost_put(f); });
     return;
   }
   // Ordered flights evaluated their drops at launch (see launch_put) so the
   // retransmissions could keep their FIFO slot.
-  if (!f->args.ordered && injector_.drop_delivery()) {
+  if (!f->args.ordered && sctx().injector.drop_delivery()) {
     m_.injected_drops.inc();
     m_.retransmits.inc();
     if (tr_.on)
       kernel_.telemetry().tracer().instant(node_of(f->args.src_rank), f->args.src_rank,
                                            tr_.cat_flight, tr_.retransmit,
                                            {{tr_.k_attempt, f->wire_attempts}});
-    kernel_.post_in(cfg_.fault_detect_delay, [this, f] { launch_put(f); });
+    kernel_.post_at_node(src_node, kernel_.now() + cfg_.fault_detect_delay,
+                         [this, f] { launch_put(f); });
     return;
   }
   if (f->args.ordered)
@@ -547,9 +584,11 @@ void Fabric::deliver_put(Flight* f, Time arrival) {
 
   // Local completion: the sender learns of completion one ACK later; the
   // ACK handler is the flight's terminal owner and returns it to the pool.
+  // It runs on the source's shard (local CQ + caller completion hooks); the
+  // ACK's wire crossing covers the lookahead.
   const int src_node = node_of(a.src_rank);
   const Time ack_lat = one_way_latency(src_node, dst_node);
-  kernel_.post_at(arrival + ack_lat, [this, f, src_node] {
+  kernel_.post_at_node(src_node, arrival + ack_lat, [this, f, src_node] {
     PutArgs& args = f->args;
     int lidx = args.nic_index;
     if (nic(src_node, lidx).failed()) {
@@ -584,7 +623,9 @@ void Fabric::get(GetArgs args) {
   UNR_CHECK(args.src_rank >= 0 && args.src_rank < nranks());
   UNR_CHECK(args.src.valid() && args.src.rank < nranks());
   UNR_CHECK(args.dst != nullptr || args.size == 0);
-  (void)memory_.resolve(args.src, args.size);
+  // Early validation only against shard-local registries (see put()); the
+  // owner-side response event performs the same resolve otherwise.
+  if (shard_local(args.src.rank)) (void)memory_.resolve(args.src, args.size);
 
   const int reader_node = node_of(args.src_rank);
   const int owner_node = node_of(args.src.rank);
@@ -601,7 +642,7 @@ void Fabric::get(GetArgs args) {
 
   m_.gets.inc();
   m_.get_bytes.inc(args.size);
-  const std::uint64_t get_id = ++get_seq_;
+  const std::uint64_t get_id = shard_id_tag() | ++sctx().get_seq;
   if (tr_.on)
     kernel_.telemetry().tracer().async_begin(
         reader_node, args.src_rank, tr_.cat_get, tr_.get, get_id,
@@ -614,7 +655,10 @@ void Fabric::get(GetArgs args) {
                                         args.src_rank, args.src.rank);
 
   auto a = std::make_shared<GetArgs>(std::move(args));
-  kernel_.post_at(req_arrival, [this, a, reader_node, owner_node, get_id] {
+  // The request descriptor lands at the data owner; its wire crossing covers
+  // the lookahead when owner and reader live on different shards.
+  kernel_.post_at_node(owner_node, req_arrival,
+                       [this, a, reader_node, owner_node, get_id] {
     // The owner's NIC serializes the response; a dead NIC hands the request
     // to a surviving one.
     int oidx = a->nic_index;
@@ -652,7 +696,8 @@ void Fabric::get(GetArgs args) {
       }
       const Time arrival = wire_arrival(owner_node, reader_node, resp_tx, false,
                                         a->src.rank, a->src_rank);
-      kernel_.post_at(arrival, [this, a, data, reader_node, get_id] {
+      // The response returns to the reader's shard (local CQE + completion).
+      kernel_.post_at_node(reader_node, arrival, [this, a, data, reader_node, get_id] {
         if (a->size > 0) std::memcpy(a->dst, data->data(), a->size);
         if (a->hw_add_target != nullptr) {
           *a->hw_add_target += a->hw_addend;
@@ -705,7 +750,7 @@ void Fabric::send_am(int src_rank, int dst_rank, int channel,
   m->payload = std::move(payload);
   m->nic_index = nic_index < 0 ? default_nic(src_rank) : nic_index;
   m->ordered = ordered;
-  m->id = ++am_seq_;
+  m->id = shard_id_tag() | ++sctx().am_seq;
   if (tr_.on)
     kernel_.telemetry().tracer().async_begin(
         node_of(src_rank), src_rank, tr_.cat_am, tr_.am, m->id,
@@ -719,7 +764,7 @@ void Fabric::launch_am(AmFlight* m) {
   const int dst_node = node_of(m->dst_rank);
   if (m->ordered && m->order_seq == kNoOrderSeq)
     m->order_seq =
-        ordered_streams_.get_or_insert(pack_pair(m->src_rank, m->dst_rank)).next_send++;
+        sctx().order_next_send.get_or_insert(pack_pair(m->src_rank, m->dst_rank))++;
   int nic_idx = m->nic_index;
   if (nic(src_node, nic_idx).failed()) {
     // Control traffic reroutes transparently: an AM carries protocol state
@@ -736,14 +781,14 @@ void Fabric::launch_am(AmFlight* m) {
   const std::size_t bytes =
       m->payload.size() + static_cast<std::size_t>(am_header_bytes());
   Time tx_done = snic.reserve_tx(kernel_.now(), bytes);
-  const Time held = injector_.extra_delay();
+  const Time held = sctx().injector.extra_delay();
   if (held > 0) m_.injected_delays.inc();
   if (m->ordered) {
     // Same launch-time drop evaluation as ordered PUTs: the retransmission
     // cost is folded into the FIFO slot, so an ordered companion stalls the
     // channel instead of being overtaken by traffic queued behind it.
     const Time lat = one_way_latency(src_node, dst_node);
-    while (injector_.drop_delivery()) {
+    while (sctx().injector.drop_delivery()) {
       m->attempts++;
       UNR_CHECK_MSG(m->attempts <= cfg_.retry.max_attempts,
                     "AM to rank " << m->dst_rank << " exceeded "
@@ -760,16 +805,19 @@ void Fabric::launch_am(AmFlight* m) {
   m->tx_done = tx_done;
   const Time arrival =
       wire_arrival(src_node, dst_node, tx_done, m->ordered, m->src_rank, m->dst_rank, held);
-  kernel_.post_at(arrival, [this, m] { deliver_am(m); });
+  // Delivery runs on the receiver's shard (handler + arena recycle there).
+  kernel_.post_at_node(dst_node, arrival, [this, m] { deliver_am(m); });
 }
 
 void Fabric::deliver_am(AmFlight* m) {
   // An AM still in a dying NIC's send engine is lost with it, exactly like a
   // PUT — critically, this loses a companion TOGETHER with its data, so the
   // recovery (data re-launches first, companion after) re-reserves FIFO
-  // slots in the original order.
+  // slots in the original order. Like arrive_put, this runs on the
+  // receiver's shard and reads the source NIC's immutable fault schedule.
   const Nic& snic = nic(node_of(m->src_rank), m->nic_index);
-  if (snic.lost_in_tx(m->tx_done)) {
+  const int src_node = node_of(m->src_rank);
+  if (nic_lost_in_tx(snic, kernel_.now(), m->tx_done)) {
     m_.lost_to_nic.inc();
     m_.retransmits.inc();
     if (tr_.on)
@@ -780,13 +828,14 @@ void Fabric::deliver_am(AmFlight* m) {
     UNR_CHECK_MSG(m->attempts <= cfg_.retry.max_attempts,
                   "AM to rank " << m->dst_rank << " exceeded "
                                 << cfg_.retry.max_attempts << " attempts");
-    kernel_.post_in(cfg_.fault_detect_delay, [this, m] { launch_am(m); });
+    kernel_.post_at_node(src_node, kernel_.now() + cfg_.fault_detect_delay,
+                         [this, m] { launch_am(m); });
     return;
   }
   // Link-level retransmission on injected drops: control traffic (rendezvous,
   // companions) must eventually arrive or the protocol wedges. Ordered AMs
   // evaluated their drops at launch (see launch_am) to keep their FIFO slot.
-  if (!m->ordered && injector_.drop_delivery()) {
+  if (!m->ordered && sctx().injector.drop_delivery()) {
     m_.injected_drops.inc();
     m_.retransmits.inc();
     if (tr_.on)
@@ -799,7 +848,8 @@ void Fabric::deliver_am(AmFlight* m) {
                                 << cfg_.retry.max_attempts << " attempts");
     // Re-enter the launch path: the retransmission consumes send-engine
     // bandwidth and pays the (intra-node-scaled) wire latency again.
-    kernel_.post_in(cfg_.fault_detect_delay, [this, m] { launch_am(m); });
+    kernel_.post_at_node(src_node, kernel_.now() + cfg_.fault_detect_delay,
+                         [this, m] { launch_am(m); });
     return;
   }
   if (m->ordered)
@@ -832,7 +882,7 @@ void Fabric::deliver_am_payload(AmFlight* m) {
 
 void Fabric::ordered_ready_put(Flight* f, Time arrival) {
   const std::uint64_t key = pack_pair(f->args.src_rank, f->args.dst.rank);
-  OrderedStream& st = ordered_streams_.get_or_insert(key);
+  OrderedStream& st = sctx().order_recv.get_or_insert(key);
   if (f->order_seq != st.next_release) {
     st.held.emplace(f->order_seq, HeldOrdered{/*am=*/false, f});
     return;
@@ -843,7 +893,7 @@ void Fabric::ordered_ready_put(Flight* f, Time arrival) {
 
 void Fabric::ordered_ready_am(AmFlight* m) {
   const std::uint64_t key = pack_pair(m->src_rank, m->dst_rank);
-  OrderedStream& st = ordered_streams_.get_or_insert(key);
+  OrderedStream& st = sctx().order_recv.get_or_insert(key);
   if (m->order_seq != st.next_release) {
     st.held.emplace(m->order_seq, HeldOrdered{/*am=*/true, m});
     return;
@@ -856,7 +906,7 @@ void Fabric::advance_ordered(std::uint64_t key) {
   // A delivery can issue new traffic and grow the stream table (invalidating
   // references), so the entry is re-fetched every iteration.
   while (true) {
-    OrderedStream* st = ordered_streams_.find(key);
+    OrderedStream* st = sctx().order_recv.find(key);
     st->next_release++;
     const auto it = st->held.find(st->next_release);
     if (it == st->held.end()) return;
@@ -870,7 +920,16 @@ void Fabric::advance_ordered(std::uint64_t key) {
 }
 
 Fabric::PoolDebug Fabric::pool_debug() const {
-  return {flight_pool_.size(), flight_free_.size(), am_pool_.size(), am_free_.size()};
+  // Flights migrate between shard pools (released into the handling shard's
+  // free list), so conservation only holds over the global sums.
+  PoolDebug d;
+  for (const auto& sc : shard_ctx_) {
+    d.flights_total += sc->flight_pool.size();
+    d.flights_free += sc->flight_free.size();
+    d.am_total += sc->am_pool.size();
+    d.am_free += sc->am_free.size();
+  }
+  return d;
 }
 
 std::uint64_t Fabric::total_cq_overflows() const {

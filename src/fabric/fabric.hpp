@@ -281,24 +281,36 @@ class Fabric {
     return nics_[static_cast<std::size_t>(node * cfg_.profile.nics_per_node + index)];
   }
 
+  /// True when `rank`'s simulated node is owned by the calling kernel shard
+  /// (always true on an unsharded kernel). Optional early validation against
+  /// another shard's state is skipped and left to the owning shard's
+  /// delivery event, which performs the same checks.
+  bool shard_local(int rank) const {
+    return !kernel_.sharded() ||
+           kernel_.current_shard() == kernel_.shard_of_node(node_of(rank));
+  }
+
+  /// Shard-safe variant of Nic::lost_in_tx for the delivery side. The
+  /// receiver's shard may evaluate a delivery concurrently with the sender's
+  /// shard running the fault event that flips the NIC's mutable failed flag,
+  /// so under sharding the predicate is computed from the immutable fault
+  /// schedule instead: the failure is visible once the caller's clock (`at`)
+  /// has reached it, and the message was lost if it was still in the send
+  /// engine then. Unsharded, the legacy flag path runs bit-identically.
+  bool nic_lost_in_tx(const Nic& n, Time at, Time tx_done) const {
+    if (!kernel_.sharded()) return n.lost_in_tx(tx_done);
+    const Time planned = n.scheduled_fail();
+    return planned <= at && planned < tx_done;
+  }
+
   sim::Kernel& kernel_;
   Config cfg_;
   Personality iface_;
   sim::Machine machine_;
   MemRegistry memory_;
   std::vector<Nic> nics_;  ///< flat [node * nics_per_node + index]
-  Rng rng_;
-  FaultInjector injector_;
   Metrics m_;
   TraceIds tr_;
-  std::uint64_t flight_seq_ = 0;  // per-flight identity (keys backoff jitter)
-  // Trace-span ids for AMs/GETs are separate sequences: flight_seq_ keys the
-  // NACK-backoff jitter streams, so sharing it would shift PUT flight ids
-  // and perturb seeded timelines.
-  std::uint64_t am_seq_ = 0;
-  std::uint64_t get_seq_ = 0;
-  /// Ordered-traffic FIFO tail per (src,dst) rank pair, key-packed flat.
-  FlatU64Map<Time> fifo_tail_;
   /// One entry of a stream's reorder buffer: a flight whose traversal
   /// succeeded but whose predecessor is still recovering.
   struct HeldOrdered {
@@ -306,25 +318,63 @@ class Fabric {
     void* flight = nullptr;  ///< Flight* or AmFlight* according to `am`
   };
   /// Receiver-side release state of one (src,dst) ordered stream. The FIFO
-  /// tail above orders arrival *events* for healthy traffic, but a NIC-death
-  /// failover re-enters the launch path and reserves a fresh (later) slot,
-  /// letting traffic queued behind the lost message overtake it. The
-  /// receiver therefore sequences ordered deliveries and holds back any that
-  /// lands ahead of a recovering predecessor — a reorder buffer, exactly as
-  /// in a reliable in-order transport.
+  /// tail (ShardCtx::fifo_tail) orders arrival *events* for healthy traffic,
+  /// but a NIC-death failover re-enters the launch path and reserves a fresh
+  /// (later) slot, letting traffic queued behind the lost message overtake
+  /// it. The receiver therefore sequences ordered deliveries and holds back
+  /// any that lands ahead of a recovering predecessor — a reorder buffer,
+  /// exactly as in a reliable in-order transport. Send-side sequence numbers
+  /// live separately in ShardCtx::order_next_send (the sender's shard).
   struct OrderedStream {
-    std::uint64_t next_send = 0;     ///< next sequence number to assign
     std::uint64_t next_release = 0;  ///< next sequence allowed to deliver
     std::map<std::uint64_t, HeldOrdered> held;  ///< out-of-order arrivals
   };
-  FlatU64Map<OrderedStream> ordered_streams_;
+  /// Mutable launch/delivery state, one instance per kernel worker shard
+  /// (exactly one on an unsharded kernel). Every field is only touched by
+  /// the shard the current event or actor runs on: send-side state (RNG,
+  /// injector, id sequences, FIFO tails, send cursors) belongs to the
+  /// sender's shard, receive-side state (reorder buffers) to the receiver's,
+  /// and the flight pools recycle into whichever shard releases the flight —
+  /// objects migrate between free lists exactly like the kernel's event
+  /// nodes, and pool_debug() conserves over the global sums. Shard 0 is
+  /// seeded exactly like the pre-shard fabric, so a single-shard run is
+  /// bit-identical to the golden pins; higher shards fork decorrelated
+  /// streams, making multi-shard runs reproducible per (seed, K).
+  struct ShardCtx {
+    // Out-of-line (fabric.cpp): the pools hold the incomplete Flight types.
+    ShardCtx(std::uint64_t rng_seed, const FaultConfig& faults,
+             std::uint64_t fault_seed);
+    ~ShardCtx();
+    Rng rng;
+    FaultInjector injector;
+    std::uint64_t flight_seq = 0;  // per-flight identity (keys backoff jitter)
+    // Trace-span ids for AMs/GETs are separate sequences: flight_seq keys
+    // the NACK-backoff jitter streams, so sharing it would shift PUT flight
+    // ids and perturb seeded timelines.
+    std::uint64_t am_seq = 0;
+    std::uint64_t get_seq = 0;
+    /// Ordered-traffic FIFO tail per (src,dst) rank pair, key-packed flat.
+    FlatU64Map<Time> fifo_tail;
+    FlatU64Map<std::uint64_t> order_next_send;  ///< send-side stream cursors
+    FlatU64Map<OrderedStream> order_recv;       ///< reorder buffers (receiver)
+    std::vector<std::unique_ptr<Flight>> flight_pool;
+    std::vector<Flight*> flight_free;
+    std::vector<std::unique_ptr<AmFlight>> am_pool;
+    std::vector<AmFlight*> am_free;
+    std::vector<std::vector<std::byte>> am_arena;  ///< recycled payload buffers
+  };
+  /// The calling shard's context (index 0 unsharded / outside a run).
+  ShardCtx& sctx() {
+    return *shard_ctx_[static_cast<std::size_t>(kernel_.current_shard())];
+  }
+  /// Flight/AM ids carry the allocating shard in the top bits so per-shard
+  /// sequences never collide; shard 0 produces the legacy id values.
+  std::uint64_t shard_id_tag() const {
+    return static_cast<std::uint64_t>(kernel_.current_shard()) << 48;
+  }
+  std::vector<std::unique_ptr<ShardCtx>> shard_ctx_;
   /// Dense handler table [rank][channel] (channels are small caller ids).
   std::vector<std::vector<AmHandler>> am_handlers_;
-  std::vector<std::unique_ptr<Flight>> flight_pool_;
-  std::vector<Flight*> flight_free_;
-  std::vector<std::unique_ptr<AmFlight>> am_pool_;
-  std::vector<AmFlight*> am_free_;
-  std::vector<std::vector<std::byte>> am_arena_;  ///< recycled payload buffers
 };
 
 }  // namespace unr::fabric

@@ -5,30 +5,34 @@
 namespace unr::fabric {
 
 MrId MemRegistry::register_region(int rank, void* base, std::size_t size) {
-  UNR_CHECK(rank >= 0 && base != nullptr && size > 0);
+  UNR_CHECK(rank >= 0 && static_cast<std::size_t>(rank) < regions_.size() &&
+            base != nullptr && size > 0);
   if (max_per_rank_ != 0) {
-    UNR_CHECK_MSG(live_count_[rank] < max_per_rank_,
+    UNR_CHECK_MSG(live_count_[static_cast<std::size_t>(rank)] < max_per_rank_,
                   "rank " << rank << " exceeded the registered-region limit ("
                           << max_per_rank_ << ")");
   }
-  regions_.push_back(Region{rank, static_cast<std::byte*>(base), size, true});
-  live_count_[rank]++;
-  return static_cast<MrId>(regions_.size());  // ids are 1-based; 0 = invalid
+  auto& mine = regions_[static_cast<std::size_t>(rank)];
+  mine.push_back(Region{static_cast<std::byte*>(base), size, true});
+  live_count_[static_cast<std::size_t>(rank)]++;
+  return static_cast<MrId>(mine.size());  // ids are per-rank 1-based; 0 = invalid
 }
 
 const MemRegistry::Region& MemRegistry::lookup(int rank, MrId id) const {
-  UNR_CHECK_MSG(id != kInvalidMr && id <= regions_.size(), "bad memory region id " << id);
-  const Region& r = regions_[id - 1];
+  UNR_CHECK_MSG(rank >= 0 && static_cast<std::size_t>(rank) < regions_.size(),
+                "bad rank " << rank << " in memory reference");
+  const auto& mine = regions_[static_cast<std::size_t>(rank)];
+  UNR_CHECK_MSG(id != kInvalidMr && id <= mine.size(),
+                "bad memory region id " << id << " for rank " << rank);
+  const Region& r = mine[id - 1];
   UNR_CHECK_MSG(r.live, "access to deregistered region " << id);
-  UNR_CHECK_MSG(r.rank == rank, "region " << id << " belongs to rank " << r.rank
-                                          << ", not rank " << rank);
   return r;
 }
 
 void MemRegistry::deregister_region(int rank, MrId id) {
   const Region& r = lookup(rank, id);
   const_cast<Region&>(r).live = false;
-  live_count_[rank]--;
+  live_count_[static_cast<std::size_t>(rank)]--;
 }
 
 std::byte* MemRegistry::resolve(const MemRef& ref, std::size_t len) const {
@@ -44,8 +48,7 @@ std::size_t MemRegistry::region_size(int rank, MrId id) const {
 }
 
 std::size_t MemRegistry::count(int rank) const {
-  auto it = live_count_.find(rank);
-  return it == live_count_.end() ? 0 : it->second;
+  return live_count_[static_cast<std::size_t>(rank)];
 }
 
 }  // namespace unr::fabric

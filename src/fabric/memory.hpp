@@ -6,11 +6,17 @@
 // and the number of regions per rank can be capped (some systems limit it —
 // the reason UNR's BLK design sub-divides few large regions rather than
 // registering many small ones).
+//
+// Sharding: all registration and deregistration for a rank happens on the
+// rank's own kernel shard (register/deregister are called from fiber code or
+// from AM handlers running on the owner node), so the per-rank tables below
+// are single-shard-mutated with no locking. Cross-shard *reads* never happen
+// either: the fabric gates its send-side early validation with
+// Fabric::shard_local() and re-resolves at delivery time on the owner shard.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 namespace unr::fabric {
@@ -30,9 +36,12 @@ struct MemRef {
 
 class MemRegistry {
  public:
-  /// `max_regions_per_rank` == 0 means unlimited.
-  explicit MemRegistry(std::size_t max_regions_per_rank = 0)
-      : max_per_rank_(max_regions_per_rank) {}
+  /// `max_regions_per_rank` == 0 means unlimited. Ids are per-rank and
+  /// 1-based: rank 3's region 1 and rank 7's region 1 are distinct regions.
+  MemRegistry(std::size_t max_regions_per_rank, int nranks)
+      : max_per_rank_(max_regions_per_rank),
+        regions_(static_cast<std::size_t>(nranks)),
+        live_count_(static_cast<std::size_t>(nranks), 0) {}
 
   /// Register [base, base+size) for `rank`. Throws if the per-rank region
   /// limit is exceeded.
@@ -51,7 +60,6 @@ class MemRegistry {
 
  private:
   struct Region {
-    int rank;
     std::byte* base;
     std::size_t size;
     bool live;
@@ -60,8 +68,8 @@ class MemRegistry {
   const Region& lookup(int rank, MrId id) const;
 
   std::size_t max_per_rank_;
-  std::vector<Region> regions_;               // index = MrId - 1
-  std::unordered_map<int, std::size_t> live_count_;
+  std::vector<std::vector<Region>> regions_;  // [rank][MrId - 1]
+  std::vector<std::size_t> live_count_;       // [rank]
 };
 
 }  // namespace unr::fabric

@@ -56,6 +56,16 @@ class Nic {
   /// NIC's failure? (It was still in the send engine when the NIC died.)
   bool lost_in_tx(Time tx_done) const { return failed_ && failed_at_ < tx_done; }
 
+  /// No failure scheduled for this NIC.
+  static constexpr Time kNeverFails = ~Time{0};
+  /// Record the fault schedule's earliest failure time for this NIC.
+  /// Written once at Fabric construction (before any worker thread exists)
+  /// and immutable afterwards, so any kernel shard may read it — unlike the
+  /// mutable failed()/failed_at() pair, which only the owning shard's fault
+  /// event writes (see Fabric::nic_lost_in_tx).
+  void schedule_fail(Time at) { scheduled_fail_ = std::min(scheduled_fail_, at); }
+  Time scheduled_fail() const { return scheduled_fail_; }
+
   CompletionQueue& local_cq() { return local_cq_; }
   CompletionQueue& remote_cq() { return remote_cq_; }
   const CompletionQueue& local_cq() const { return local_cq_; }
@@ -79,6 +89,7 @@ class Nic {
   Time busy_until_ = 0;
   bool failed_ = false;
   Time failed_at_ = 0;
+  Time scheduled_fail_ = kNeverFails;
   std::uint64_t tx_messages_ = 0;
   std::uint64_t tx_bytes_ = 0;
   CompletionQueue local_cq_;

@@ -55,6 +55,13 @@ Gauge::Gauge() : s_(&g_gauge_sink) {}
 Histogram::Histogram() : s_(&g_hist_sink) {}
 
 void Histogram::observe(std::uint64_t v) {
+  if (detail::g_concurrent) {
+    std::atomic_ref<std::uint64_t>(s_->buckets[bucket_of(v)])
+        .fetch_add(1, std::memory_order_relaxed);
+    std::atomic_ref<std::uint64_t>(s_->count).fetch_add(1, std::memory_order_relaxed);
+    std::atomic_ref<std::uint64_t>(s_->sum).fetch_add(v, std::memory_order_relaxed);
+    return;
+  }
   s_->buckets[bucket_of(v)]++;
   s_->count++;
   s_->sum += v;
@@ -100,6 +107,7 @@ std::string Registry::key_of(std::string_view name, const Labels& labels) {
 }
 
 Counter Registry::counter(std::string_view name, const Labels& labels) {
+  std::lock_guard<std::mutex> lock(reg_mu_);
   if (!enabled_) {
     counters_.emplace_back();
     return Counter(&counters_.back());
@@ -114,6 +122,7 @@ Counter Registry::counter(std::string_view name, const Labels& labels) {
 }
 
 Gauge Registry::gauge(std::string_view name, const Labels& labels) {
+  std::lock_guard<std::mutex> lock(reg_mu_);
   if (!enabled_) {
     gauges_.emplace_back();
     return Gauge(&gauges_.back());
@@ -128,6 +137,7 @@ Gauge Registry::gauge(std::string_view name, const Labels& labels) {
 }
 
 Histogram Registry::histogram(std::string_view name, const Labels& labels) {
+  std::lock_guard<std::mutex> lock(reg_mu_);
   if (!enabled_) {
     hists_.emplace_back();
     return Histogram(&hists_.back());

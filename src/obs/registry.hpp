@@ -20,9 +20,11 @@
 // pointer-indirect add either way.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <iosfwd>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -35,6 +37,19 @@ struct Label {
   std::string value;
 };
 using Labels = std::vector<Label>;
+
+namespace detail {
+/// True while the sharded sim kernel has worker threads running; metric
+/// updates switch to atomic read-modify-writes. Toggled only while the
+/// process is single-threaded (before spawning / after joining the
+/// workers), so a plain bool is race-free: the thread fork/join provides
+/// the happens-before edges.
+inline bool g_concurrent = false;
+}  // namespace detail
+
+/// Enter/leave concurrent-update mode (see detail::g_concurrent). Called by
+/// the sharded kernel around its worker-thread lifetime.
+inline void set_concurrent(bool on) { detail::g_concurrent = on; }
 
 namespace detail {
 
@@ -61,7 +76,12 @@ struct HistSlot {
 class Counter {
  public:
   Counter();  ///< a detached counter backed by a private static sink
-  void inc(std::uint64_t d = 1) { s_->v += d; }
+  void inc(std::uint64_t d = 1) {
+    if (detail::g_concurrent)
+      std::atomic_ref<std::uint64_t>(s_->v).fetch_add(d, std::memory_order_relaxed);
+    else
+      s_->v += d;
+  }
   std::uint64_t value() const { return s_->v; }
 
  private:
@@ -74,8 +94,18 @@ class Counter {
 class Gauge {
  public:
   Gauge();
-  void set(std::int64_t v) { s_->v = v; }
-  void add(std::int64_t d) { s_->v += d; }
+  void set(std::int64_t v) {
+    if (detail::g_concurrent)
+      std::atomic_ref<std::int64_t>(s_->v).store(v, std::memory_order_relaxed);
+    else
+      s_->v = v;
+  }
+  void add(std::int64_t d) {
+    if (detail::g_concurrent)
+      std::atomic_ref<std::int64_t>(s_->v).fetch_add(d, std::memory_order_relaxed);
+    else
+      s_->v += d;
+  }
   std::int64_t value() const { return s_->v; }
 
  private:
@@ -154,6 +184,10 @@ class Registry {
   std::ptrdiff_t find(std::string_view name, const Labels& labels, Kind kind) const;
 
   bool enabled_;
+  // Guards registration (deque growth + index maps) against concurrent
+  // lazily-registering shards; handles and slot reads stay lock-free
+  // (deque addresses are stable).
+  mutable std::mutex reg_mu_;
   // Deques: slot addresses are stable across growth.
   std::deque<detail::CounterSlot> counters_;
   std::deque<detail::GaugeSlot> gauges_;

@@ -71,6 +71,8 @@ Comm::Comm(fabric::Fabric& fabric) : fabric_(fabric) {
   tr_.k_tag = tel.tracer().intern("tag");
   ranks_.resize(static_cast<std::size_t>(fabric_.nranks()));
   rdv_sends_.resize(static_cast<std::size_t>(fabric_.nranks()));
+  pending_rdv_recvs_.resize(static_cast<std::size_t>(fabric_.nranks()));
+  rdv_seq_.assign(static_cast<std::size_t>(fabric_.nranks()), 0);
   coll_seq_.assign(static_cast<std::size_t>(fabric_.nranks()), 0);
   obj_seq_.assign(static_cast<std::size_t>(fabric_.nranks()), 0);
   for (int r = 0; r < fabric_.nranks(); ++r) {
@@ -108,7 +110,8 @@ RequestPtr Comm::isend(int self, int dst, int tag, const void* data, std::size_t
 
   // Rendezvous: RTS now; the PUT happens when the CTS comes back.
   auto req = make_request();
-  const std::uint64_t id = next_rdv_id_++;
+  const std::uint64_t id = ((static_cast<std::uint64_t>(self) + 1) << 40) |
+                           ++rdv_seq_[static_cast<std::size_t>(self)];
   rdv_sends_[static_cast<std::size_t>(self)][id] = RdvSend{data, size, req, dst};
   m_.rts_sends.inc();
   // The handshake span covers RTS departure to CTS arrival back at the
@@ -235,8 +238,11 @@ void Comm::accept_rts(int self, int src, std::uint64_t rdv_id, void* buf,
   // carries the registration; delivery of the PUT completes the request
   // (handled in handle_cts on the sender, which owns the put descriptor).
   const fabric::MrId mr = fabric_.memory().register_region(self, buf, size == 0 ? 1 : size);
-  // Remember how to finish this receive when the data lands.
-  pending_rdv_recvs_[rdv_id] = PendingRdvRecv{self, mr, req};
+  // Remember how to finish this receive when the data lands. Keyed by the
+  // receiving rank: the PUT delivers on this rank's shard, so the map is
+  // never touched cross-shard.
+  pending_rdv_recvs_[static_cast<std::size_t>(self)][rdv_id] =
+      PendingRdvRecv{self, mr, req};
   m_.cts_sends.inc();
   CtsHeader h{rdv_id, mr};
   fabric_.send_am(self, src, kChanCts, pack(fabric_, h));
@@ -261,11 +267,13 @@ void Comm::handle_cts(int dst, int src, const std::vector<std::byte>& payload) {
   put.dst = fabric::MemRef{src, h.mr, 0};
   put.size = rs.size;
   const std::uint64_t rdv_id = h.rdv_id;
-  put.on_delivered = [this, rdv_id] {
-    auto itp = pending_rdv_recvs_.find(rdv_id);
-    UNR_CHECK(itp != pending_rdv_recvs_.end());
+  const int receiver = src;  // delivery runs on the receiver's shard
+  put.on_delivered = [this, rdv_id, receiver] {
+    auto& pend = pending_rdv_recvs_[static_cast<std::size_t>(receiver)];
+    auto itp = pend.find(rdv_id);
+    UNR_CHECK(itp != pend.end());
     PendingRdvRecv pr = itp->second;
-    pending_rdv_recvs_.erase(itp);
+    pend.erase(itp);
     fabric_.memory().deregister_region(pr.rank, pr.mr);
     pr.req->complete();
   };

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -59,9 +60,12 @@ class Comm {
   std::vector<int>& coll_seq() { return coll_seq_; }
 
   /// Registry of collectively-created objects (windows). Ranks creating the
-  /// n-th object all receive the same instance; see Window::create.
+  /// n-th object all receive the same instance; see Window::create. The
+  /// create-or-get step is the one place where ranks on different kernel
+  /// shards touch shared runtime state, so it must run under object_mutex().
   std::vector<std::shared_ptr<void>>& object_registry() { return obj_registry_; }
   std::vector<int>& object_seq() { return obj_seq_; }
+  std::mutex& object_mutex() { return obj_mu_; }
 
  private:
   struct PostedRecv {
@@ -128,11 +132,17 @@ class Comm {
   TraceIds tr_;
   std::vector<RankState> ranks_;
   std::vector<std::unordered_map<std::uint64_t, RdvSend>> rdv_sends_;  // per src rank
-  std::unordered_map<std::uint64_t, PendingRdvRecv> pending_rdv_recvs_;
-  std::uint64_t next_rdv_id_ = 1;
+  /// Receiver-side rendezvous state, indexed by the receiving rank so every
+  /// entry is only touched from that rank's kernel shard.
+  std::vector<std::unordered_map<std::uint64_t, PendingRdvRecv>> pending_rdv_recvs_;
+  /// Per-sender rendezvous sequence numbers; ids embed the sender rank so
+  /// they stay globally unique without a shared counter. They travel in
+  /// RTS/CTS headers only and never reach application-visible bytes.
+  std::vector<std::uint64_t> rdv_seq_;
   std::vector<int> coll_seq_;
   std::vector<std::shared_ptr<void>> obj_registry_;
   std::vector<int> obj_seq_;
+  std::mutex obj_mu_;
 };
 
 }  // namespace unr::runtime

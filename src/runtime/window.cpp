@@ -1,6 +1,7 @@
 #include "runtime/window.hpp"
 
 #include <cstring>
+#include <mutex>
 
 #include "common/check.hpp"
 
@@ -35,14 +36,20 @@ std::shared_ptr<Window> Window::create(Comm& comm, int self, void* base,
   auto& registry = comm.object_registry();
   const auto index =
       static_cast<std::size_t>(comm.object_seq()[static_cast<std::size_t>(self)]++);
-  if (index == registry.size()) {
-    auto win = std::shared_ptr<Window>(new Window(comm));
-    win->pscw_tag_base_ = static_cast<int>(index);
-    registry.push_back(win);
+  std::shared_ptr<Window> win;
+  {
+    // Ranks on different kernel shards may reach the create-or-get step
+    // concurrently; the first to arrive constructs the shared instance.
+    std::lock_guard<std::mutex> lk(comm.object_mutex());
+    if (index == registry.size()) {
+      auto fresh = std::shared_ptr<Window>(new Window(comm));
+      fresh->pscw_tag_base_ = static_cast<int>(index);
+      registry.push_back(fresh);
+    }
+    UNR_CHECK_MSG(index < registry.size(),
+                  "collective Window::create called out of order");
+    win = std::static_pointer_cast<Window>(registry[index]);
   }
-  UNR_CHECK_MSG(index < registry.size(),
-                "collective Window::create called out of order");
-  auto win = std::static_pointer_cast<Window>(registry[index]);
 
   win->mrs_[static_cast<std::size_t>(self)] =
       comm.fabric().memory().register_region(self, base, size == 0 ? 1 : size);

@@ -1,14 +1,73 @@
 #include "runtime/world.hpp"
 
+#include <algorithm>
+#include <cstdlib>
+
 #include "common/check.hpp"
 
 namespace unr::runtime {
+
+namespace {
+
+/// Minimum virtual delta of any cross-shard event post, derived from the
+/// fabric model. Shards own whole simulated nodes, so only inter-node event
+/// chains ever cross a shard:
+///   * every wire crossing between distinct nodes costs at least
+///     profile.wire_latency (NIC overhead, jitter and injected delays only
+///     add to it) — this covers PUT/GET/AM arrivals and the ACK back;
+///   * loss-recovery paths (NIC death, injected drops) re-post on the source
+///     shard fault_detect_delay after the failed arrival, so when either
+///     fault class is armed the recovery delay bounds the lookahead too.
+Time shard_lookahead(const World::Config& cfg) {
+  Time la = cfg.profile.wire_latency;
+  if (cfg.faults.drop_rate > 0.0 || !cfg.faults.nic_faults.empty())
+    la = std::min(la, cfg.fault_detect_delay);
+  return la;
+}
+
+int resolve_shards(const World::Config& cfg) {
+  int k = cfg.shards;
+  if (k == 0) {
+    if (const char* env = std::getenv("UNR_SHARDS")) k = std::atoi(env);
+  }
+  if (k <= 1) return 1;
+  k = std::min(k, cfg.nodes);
+  if (k <= 1) return 1;
+  // The tracer binds the kernel's scalar clock and is not shard-aware;
+  // tracing runs fall back to the bit-identical single-threaded kernel.
+  if (cfg.telemetry.trace.enabled) return 1;
+  if (shard_lookahead(cfg) == 0) return 1;
+  return k;
+}
+
+}  // namespace
 
 World::World(Config cfg) : cfg_(std::move(cfg)) {
   // First thing, before the Fabric (or anything else instrumented) exists:
   // components cache registry handles and the tracer's enabled flag at
   // construction time.
   kernel_.telemetry().configure(cfg_.telemetry);
+
+  // Shard plan next, still before the Fabric: the fabric keeps per-shard
+  // state (RNG streams, flight pools, FIFO tails) sized off the final count,
+  // and its constructor posts the fault timeline into the kernel.
+  const int k = resolve_shards(cfg_);
+  if (k > 1) {
+    sim::ShardPlan plan;
+    plan.shards = k;
+    plan.lookahead = shard_lookahead(cfg_);
+    plan.node_shard.resize(static_cast<std::size_t>(cfg_.nodes));
+    for (int n = 0; n < cfg_.nodes; ++n)
+      plan.node_shard[static_cast<std::size_t>(n)] =
+          static_cast<int>(static_cast<std::int64_t>(n) * k / cfg_.nodes);
+    const int nranks = cfg_.nodes * cfg_.ranks_per_node;
+    plan.actor_shard.resize(static_cast<std::size_t>(nranks));
+    for (int r = 0; r < nranks; ++r)
+      plan.actor_shard[static_cast<std::size_t>(r)] =
+          plan.node_shard[static_cast<std::size_t>(r / cfg_.ranks_per_node)];
+    kernel_.configure_shards(std::move(plan));
+  }
+
   fabric::Fabric::Config fc;
   fc.nodes = cfg_.nodes;
   fc.ranks_per_node = cfg_.ranks_per_node;

@@ -31,6 +31,14 @@ class World {
     fabric::Fabric::RetryPolicy retry;   ///< NACK backoff + attempt cap
     fabric::FaultConfig faults;          ///< fault-injection schedule
     Time fault_detect_delay = 10 * kUs;  ///< loss-detection timeout
+    /// Kernel worker shards for conservative-lookahead parallel simulation.
+    /// 0 = auto (the UNR_SHARDS environment variable, else 1); 1 = the
+    /// classic single-threaded kernel, bit-identical to the golden pins.
+    /// Clamped to the node count; forced to 1 when tracing is enabled (the
+    /// tracer binds the scalar virtual clock) or when the derived lookahead
+    /// is zero. Simulated nodes are partitioned contiguously, so intra-node
+    /// traffic never crosses a shard.
+    int shards = 0;
     /// Observability: metrics registry + virtual-time tracer + output files.
     /// Applied to the kernel BEFORE any instrumented component is built, so
     /// cached handles/flags see the final configuration.
@@ -44,6 +52,10 @@ class World {
   World& operator=(const World&) = delete;
 
   int nranks() const { return fabric_->nranks(); }
+
+  /// Worker shards the kernel actually runs with (after auto-resolution and
+  /// the safety clamps described at Config::shards).
+  int shards() const { return kernel_.shard_count(); }
 
   /// Run `body` on every rank; returns when all ranks finish. May be called
   /// once per World.

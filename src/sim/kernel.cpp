@@ -1,8 +1,12 @@
 #include "sim/kernel.hpp"
 
+#include <algorithm>
 #include <sstream>
+#include <thread>
 
 #include "common/check.hpp"
+#include "obs/registry.hpp"
+#include "sim/shard.hpp"
 
 namespace unr::sim {
 
@@ -84,6 +88,8 @@ EventNode* TimerWheel::drain() {
 Kernel* Kernel::current() { return tl_kernel; }
 int Kernel::current_actor_id() { return tl_actor; }
 
+Kernel::Kernel() { telemetry_.bind_clock(&now_); }
+
 Kernel::~Kernel() {
   // Write any configured --trace/--metrics output files while the clock and
   // registry are still alive.
@@ -118,6 +124,20 @@ Kernel::PoolDebug Kernel::pool_debug() const {
     d.stacks_total = stacks_->total();
     d.stacks_free = stacks_->free_count();
   }
+  if (engine_) {
+    // Event nodes and stacks migrate between shards (a cross-shard event is
+    // allocated on its source and freed on its destination), so conservation
+    // only holds for the global sums, which is what callers check.
+    for (const auto& rt : engine_->shards) {
+      d.total += rt->slabs.size() * kEventSlabNodes;
+      d.free += rt->free_count;
+      d.pending += rt->heap.size();
+      if (rt->stacks) {
+        d.stacks_total += rt->stacks->total();
+        d.stacks_free += rt->stacks->free_count();
+      }
+    }
+  }
   return d;
 }
 
@@ -129,28 +149,36 @@ void Kernel::fiber_entry(void* arg) {
   detail::finish_switch_on_entry();
   Actor* a = static_cast<Actor*>(arg);
   Kernel* k = a->kernel;
-  if (!k->aborting_) {
+  if (!k->aborting_.load(std::memory_order_relaxed)) {
     try {
       (*k->body_)(a->id);
     } catch (const AbortError&) {
       // Torn down by the kernel; nothing to record.
     } catch (...) {
-      if (!k->first_error_) k->first_error_ = std::current_exception();
+      // Errors are recorded shard-locally (single writer); the unsharded
+      // kernel writes first_error_ directly as before.
+      if (a->home) {
+        if (!a->home->err) a->home->err = std::current_exception();
+      } else if (!k->first_error_) {
+        k->first_error_ = std::current_exception();
+      }
     }
   }
   a->state = State::kDone;
-  --k->live_;
-  detail::switch_context(a->ctx, k->sched_ctx_, /*from_dying=*/true);
+  if (a->home) --a->home->live; else --k->live_;
+  detail::FiberContext& sched = a->home ? a->home->sched_ctx : k->sched_ctx_;
+  detail::switch_context(a->ctx, sched, /*from_dying=*/true);
   UNR_CHECK_MSG(false, "resumed a completed fiber");  // unreachable
 }
 
 void Kernel::resume(Actor* a) {
+  detail::ShardRt* rt = a->home;
   a->state = State::kRunning;
   tl_actor = a->id;
-  detail::switch_context(sched_ctx_, a->ctx, /*from_dying=*/false);
+  detail::switch_context(rt ? rt->sched_ctx : sched_ctx_, a->ctx, /*from_dying=*/false);
   tl_actor = -1;
   if (a->state == State::kDone && a->stack.base) {
-    stacks_->release(a->stack);
+    (rt ? *rt->stacks : *stacks_).release(a->stack);
     a->stack = {};
   }
 }
@@ -160,13 +188,26 @@ void Kernel::block_current() {
                 "block_current() outside an actor fiber");
   Actor* a = actors_[static_cast<std::size_t>(tl_actor)].get();
   a->state = State::kBlocked;
-  detail::switch_context(a->ctx, sched_ctx_, /*from_dying=*/false);
-  if (aborting_) throw AbortError{};
+  detail::switch_context(a->ctx, a->home ? a->home->sched_ctx : sched_ctx_,
+                         /*from_dying=*/false);
+  if (aborting_.load(std::memory_order_relaxed)) throw AbortError{};
 }
 
 void Kernel::wake(int actor) {
   UNR_CHECK(actor >= 0 && actor < static_cast<int>(actors_.size()));
   Actor* a = actors_[static_cast<std::size_t>(actor)].get();
+  if (a->home) {
+    // Cross-shard wakes are impossible by construction: all cross-node
+    // traffic flows through fabric events, which dispatch on the woken
+    // actor's own shard. Enforce it — a violation here is a sharding bug.
+    UNR_CHECK_MSG(detail::tl_shard == a->home,
+                  "cross-shard wake of actor " << actor);
+    if (a->state == State::kBlocked) {
+      a->state = State::kReady;
+      a->home->ready.push_back(a);
+    }
+    return;
+  }
   if (a->state == State::kBlocked) {
     a->state = State::kReady;
     ready_.push_back(a);
@@ -195,7 +236,13 @@ std::uint64_t Kernel::arm_timed_wait(Time deadline) {
   Actor* a = actors_[static_cast<std::size_t>(tl_actor)].get();
   UNR_CHECK_MSG(a->timed_token == 0,
                 "actor " << a->id << " armed a timed wait inside a timed wait");
-  const std::uint64_t token = ++timed_wait_seq_;
+  // Tokens only need to be unique per actor; sharded mode draws them from a
+  // shard-local sequence (tagged with the shard id) to avoid a shared
+  // counter race.
+  detail::ShardRt* rt = detail::tl_shard;
+  const std::uint64_t token =
+      rt ? ((static_cast<std::uint64_t>(rt->id) + 1) << 48) | ++rt->timed_seq
+         : ++timed_wait_seq_;
   a->timed_token = token;
   a->timed_expired = false;
   const int self = a->id;
@@ -211,7 +258,7 @@ std::uint64_t Kernel::arm_timed_wait(Time deadline) {
     // timestamp must win, so expire via a re-posted check that lands BEHIND
     // everything already queued here; any wake it triggers preempts the
     // check (ready actors run before events) and disarms first.
-    post_at(now_, [this, self, token] {
+    post_at(now(), [this, self, token] {
       Actor* w2 = actors_[static_cast<std::size_t>(self)].get();
       if (w2->timed_token == token) w2->timed_expired = true;
       wake(self);
@@ -248,6 +295,12 @@ void Kernel::run(int n_actors, std::function<void(int)> body) {
   UNR_CHECK_MSG(actors_.empty(), "Kernel::run() may only be called once per kernel");
   UNR_CHECK(n_actors >= 0);
   if (n_actors == 0) return;
+
+  if (engine_) {
+    body_ = &body;
+    run_sharded(n_actors);
+    return;
+  }
 
   // Actors and event handlers all execute on this OS thread; both find the
   // kernel via Kernel::current().
@@ -330,6 +383,274 @@ void Kernel::run(int n_actors, std::function<void(int)> body) {
       while (a->state != State::kDone) resume(a.get());
   }
   end_time_ = now_;
+  telemetry_.registry().gauge("sim.events_dispatched").set(static_cast<std::int64_t>(events_dispatched_));
+  telemetry_.registry().gauge("sim.end_time_ns").set(static_cast<std::int64_t>(end_time_));
+  body_ = nullptr;
+  tl_kernel = nullptr;
+  if (first_error_) std::rethrow_exception(first_error_);
+}
+
+// --- Sharded mode ---------------------------------------------------------
+
+void Kernel::configure_shards(ShardPlan plan) {
+  UNR_CHECK_MSG(actors_.empty(), "configure_shards() after run()");
+  UNR_CHECK_MSG(!engine_, "configure_shards() called twice");
+  UNR_CHECK_MSG(wheel_.empty(), "configure_shards() after events were posted");
+  if (plan.shards <= 1) return;
+  UNR_CHECK_MSG(plan.lookahead > 0, "sharded plan needs a positive lookahead");
+  for (int s : plan.node_shard) UNR_CHECK(s >= 0 && s < plan.shards);
+  for (int s : plan.actor_shard) UNR_CHECK(s >= 0 && s < plan.shards);
+  engine_ = std::make_unique<detail::ShardEngine>(std::move(plan));
+}
+
+int Kernel::shard_count() const { return engine_ ? engine_->plan.shards : 1; }
+
+int Kernel::shard_of_node(int node) const {
+  if (!engine_) return 0;
+  const auto& map = engine_->plan.node_shard;
+  UNR_CHECK(node >= 0 && node < static_cast<int>(map.size()));
+  return map[static_cast<std::size_t>(node)];
+}
+
+int Kernel::current_shard() const {
+  detail::ShardRt* rt = detail::tl_shard;
+  return rt ? rt->id : 0;
+}
+
+Time Kernel::sharded_now() const {
+  detail::ShardRt* rt = detail::tl_shard;
+  return rt ? rt->now : now_;
+}
+
+detail::EventNode* Kernel::sharded_alloc_node() {
+  detail::ShardRt* rt = detail::tl_shard;
+  // Pre-run posts (World/Fabric construction) draw from the kernel's own
+  // pool; the node is freed into whichever shard dispatches it — pool
+  // conservation is checked over the global sums.
+  return rt ? rt->alloc_node() : alloc_node();
+}
+
+void Kernel::sharded_commit_local(detail::EventNode* n) {
+  detail::ShardRt* rt = detail::tl_shard;
+  UNR_CHECK_MSG(rt,
+                "post_at() on a sharded kernel outside a run; use "
+                "post_at_node() so the event can be routed to its shard");
+  rt->heap_insert(n);
+}
+
+void Kernel::sharded_commit_node(int node, detail::EventNode* n) {
+  detail::ShardEngine& eng = *engine_;
+  const int dst = shard_of_node(node);
+  detail::ShardRt* self = detail::tl_shard;
+  if (!self) {
+    // Construction-time post from the coordinator thread: the workers have
+    // not started, so inserting into the owner's heap directly is safe.
+    eng.shards[static_cast<std::size_t>(dst)]->heap_insert(n);
+    return;
+  }
+  if (self->id == dst) {
+    UNR_CHECK_MSG(n->t >= self->now, "event posted into the past: t=" << n->t
+                                     << " now=" << self->now);
+    self->heap_insert(n);
+    return;
+  }
+  // Conservative lookahead makes every cross-shard post land at or beyond
+  // the current window's end; the destination merges it before deciding its
+  // next window, so it can never miss it. During an abort unwind the window
+  // bound is meaningless — stranded channel nodes are drained after join.
+  UNR_CHECK_MSG(n->t >= self->wend || aborting_.load(std::memory_order_relaxed),
+                "cross-shard event inside the lookahead window: t=" << n->t
+                << " window_end=" << self->wend << " (lookahead too large?)");
+  self->out[static_cast<std::size_t>(dst)].push(n);
+}
+
+// One window-synchronized worker loop per shard; shard 0 runs on the
+// coordinating (main) thread. The decision after bar_sync uses only the
+// snapshots every shard published BEFORE the barrier, so all shards compute
+// identical stop/abort/window decisions with no leader and no extra
+// synchronization.
+void Kernel::shard_worker(detail::ShardRt* rt) {
+  tl_kernel = this;
+  tl_actor = -1;
+  detail::tl_shard = rt;
+  detail::bind_thread_context(rt->sched_ctx);
+  detail::ShardEngine& eng = *engine_;
+  const int nshards = eng.plan.shards;
+  const Time lookahead = eng.plan.lookahead;
+  bool do_abort = false;
+  for (;;) {
+    // Publish: the earliest virtual time this shard could run anything.
+    rt->horizon = !rt->ready.empty() ? rt->now
+                  : rt->heap_empty() ? detail::kShardTimeInf
+                                     : rt->top_time();
+    rt->live_pub = rt->live;
+    rt->err_pub = rt->err != nullptr;
+    eng.bar_sync.arrive_and_wait();
+
+    // Decide (identical on every shard, from the published snapshots).
+    Time lo = detail::kShardTimeInf;
+    std::size_t live = 0;
+    bool any_err = false;
+    for (int q = 0; q < nshards; ++q) {
+      const detail::ShardRt& o = *eng.shards[static_cast<std::size_t>(q)];
+      lo = std::min(lo, o.horizon);
+      live += o.live_pub;
+      any_err = any_err || o.err_pub;
+    }
+    if (any_err) {
+      do_abort = true;
+      break;
+    }
+    if (live == 0) break;  // every actor completed (pending timers may remain)
+    if (lo == detail::kShardTimeInf) {
+      rt->saw_deadlock = true;
+      do_abort = true;
+      break;
+    }
+    rt->wend = lo > detail::kShardTimeInf - lookahead ? detail::kShardTimeInf
+                                                      : lo + lookahead;
+
+    // Process: same decision structure as the K=1 loop (ready FIFO first,
+    // then earliest event, FIFO among equal timestamps), bounded by the
+    // window. Actors may run with now >= wend — they execute at a time the
+    // window already proved safe; only EVENT dispatch is window-bounded.
+    for (;;) {
+      if (!rt->ready.empty()) {
+        Actor* a = rt->ready.front();
+        rt->ready.pop_front();
+        resume(a);
+        continue;
+      }
+      if (!rt->heap_empty() && rt->top_time() < rt->wend) {
+        detail::EventNode* n = rt->heap_pop();
+        if (n->t < rt->now) {  // heap invariant violated; fail loud but unwound
+          n->vtbl->destroy(*n);
+          rt->free_node(n);
+          if (!rt->err)
+            rt->err = std::make_exception_ptr(
+                std::logic_error("kernel event dispatched out of order"));
+          break;
+        }
+        rt->now = n->t;
+        ++rt->events;
+        bool threw = false;
+        try {
+          n->vtbl->invoke(*n);
+        } catch (...) {
+          threw = true;
+          if (!rt->err) rt->err = std::current_exception();
+        }
+        n->vtbl->destroy(*n);
+        rt->free_node(n);
+        if (threw) break;
+        continue;
+      }
+      break;
+    }
+    eng.bar_pub.arrive_and_wait();
+
+    // Merge: drain the channels addressed to this shard in source-shard
+    // order. Channel contents are deterministic, so the merged (t, seq)
+    // order is too. Sources cannot touch these channels again until they
+    // pass the next bar_sync, which this shard also has to reach first.
+    for (int src = 0; src < nshards; ++src) {
+      detail::EventNode* n =
+          eng.shards[static_cast<std::size_t>(src)]->out[static_cast<std::size_t>(rt->id)].take();
+      while (n) {
+        detail::EventNode* nx = n->next;
+        rt->heap_insert(n);
+        n = nx;
+      }
+    }
+  }
+  if (do_abort) {
+    // Same contract as the K=1 abort sweep, per shard: every unfinished
+    // fiber owned by this shard runs to its dying switch so no stack leaks.
+    aborting_.store(true, std::memory_order_relaxed);
+    rt->ready.clear();
+    for (auto& a : actors_)
+      if (a->home == rt)
+        while (a->state != State::kDone) resume(a.get());
+  }
+  detail::tl_shard = nullptr;
+  if (rt->id != 0) tl_kernel = nullptr;
+}
+
+void Kernel::run_sharded(int n_actors) {
+  detail::ShardEngine& eng = *engine_;
+  const int nshards = eng.plan.shards;
+  UNR_CHECK_MSG(static_cast<int>(eng.plan.actor_shard.size()) >= n_actors,
+                "shard plan covers " << eng.plan.actor_shard.size()
+                << " actors, run() asked for " << n_actors);
+  tl_kernel = this;
+  tl_actor = -1;
+  const std::size_t stack_bytes =
+      actor_stack_bytes_ ? actor_stack_bytes_ : detail::default_stack_bytes();
+  for (auto& rt : eng.shards)
+    if (!rt->stacks) rt->stacks = std::make_unique<detail::StackPool>(stack_bytes);
+
+  actors_.reserve(static_cast<std::size_t>(n_actors));
+  for (int i = 0; i < n_actors; ++i) {
+    auto a = std::make_unique<Actor>();
+    a->id = i;
+    a->state = State::kReady;
+    a->kernel = this;
+    a->home = eng.shards[static_cast<std::size_t>(
+        eng.plan.actor_shard[static_cast<std::size_t>(i)])].get();
+    a->stack = a->home->stacks->acquire();
+    detail::init_fiber_context(a->ctx, a->stack, &Kernel::fiber_entry, a.get());
+    a->home->ready.push_back(a.get());
+    ++a->home->live;
+    actors_.push_back(std::move(a));
+  }
+  live_ = n_actors;  // diagnostics only; per-shard counts drive termination
+
+  // Metrics may now be bumped from several workers at once; the registry
+  // switches counters to atomic updates for the workers' lifetime.
+  obs::set_concurrent(true);
+  {
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<std::size_t>(nshards - 1));
+    for (int s = 1; s < nshards; ++s)
+      workers.emplace_back(
+          [this, rt = eng.shards[static_cast<std::size_t>(s)].get()] { shard_worker(rt); });
+    shard_worker(eng.shards[0].get());
+    for (auto& w : workers) w.join();
+  }
+  obs::set_concurrent(false);
+
+  // An abort unwind can strand staged cross-shard nodes (their windows never
+  // merged); destroy the callables and return the nodes so pool conservation
+  // holds at teardown.
+  for (auto& rt : eng.shards)
+    for (auto& ch : rt->out) {
+      detail::EventNode* n = ch.take();
+      while (n) {
+        detail::EventNode* nx = n->next;
+        if (n->vtbl) n->vtbl->destroy(*n);
+        rt->free_node(n);
+        n = nx;
+      }
+    }
+
+  Time end = 0;
+  std::uint64_t dispatched = 0;
+  for (auto& rt : eng.shards) {
+    end = std::max(end, rt->now);
+    dispatched += rt->events;
+  }
+  live_ = 0;  // the sweep above guarantees every fiber completed
+  now_ = end;
+  end_time_ = end;
+  events_dispatched_ += dispatched;
+  for (auto& rt : eng.shards)
+    if (rt->err) {
+      first_error_ = rt->err;
+      break;
+    }
+  if (!first_error_ && eng.shards[0]->saw_deadlock)
+    first_error_ = std::make_exception_ptr(DeadlockError(
+        "simulation deadlock at t=" + std::to_string(end) + "ns; " + blocked_report()));
   telemetry_.registry().gauge("sim.events_dispatched").set(static_cast<std::int64_t>(events_dispatched_));
   telemetry_.registry().gauge("sim.end_time_ns").set(static_cast<std::int64_t>(end_time_));
   body_ = nullptr;

@@ -38,8 +38,14 @@
 // amortized, and events with equal timestamps dispatch in posting order —
 // the same total order the old priority_queue<Event>-with-seq gave, which
 // keeps virtual timelines bit-identical across the swap.
+//
+// Sharded mode (shard.hpp): configure_shards() partitions actors and
+// simulated nodes across K worker shards synchronized by conservative
+// lookahead windows. K=1 never constructs the shard engine — the wheel and
+// the scheduler loop below run exactly as before, bit-identical.
 #pragma once
 
+#include <atomic>
 #include <bit>
 #include <cstddef>
 #include <cstdint>
@@ -73,6 +79,19 @@ class DeadlockError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// How a World partitions the simulation across kernel worker shards.
+/// Built at World construction from the fabric topology; `lookahead` is the
+/// minimum virtual latency of any cross-shard event post (so a shard
+/// processing events below min(horizons) + lookahead can never need an
+/// event another shard has yet to send). shards <= 1 means the classic
+/// single-threaded kernel.
+struct ShardPlan {
+  int shards = 1;
+  Time lookahead = 0;           ///< must be > 0 when shards > 1
+  std::vector<int> node_shard;  ///< simulated node id -> owning shard
+  std::vector<int> actor_shard; ///< actor id -> owning shard
+};
+
 namespace detail {
 
 /// Callables up to this size (and max_align_t alignment) are stored inline
@@ -97,6 +116,9 @@ struct EventNode {
   const EventVtbl* vtbl = nullptr;
   alignas(std::max_align_t) unsigned char storage[kInlineCallbackBytes];
 };
+
+struct ShardRt;
+class ShardEngine;
 
 template <class D>
 struct InlineEventOps {
@@ -200,22 +222,34 @@ class TimerWheel {
 
 class Kernel {
  public:
-  Kernel() { telemetry_.bind_clock(&now_); }
+  Kernel();  // out of line: members include a unique_ptr to the shard engine
   ~Kernel();
   Kernel(const Kernel&) = delete;
   Kernel& operator=(const Kernel&) = delete;
 
-  /// Current virtual time. Valid from actors and event handlers.
-  Time now() const { return now_; }
+  /// Current virtual time. Valid from actors and event handlers. In
+  /// sharded mode this is the calling shard's clock (shards advance
+  /// independently inside a lookahead window).
+  Time now() const { return engine_ ? sharded_now() : now_; }
 
   /// Schedule `fn` at absolute virtual time `t` (must be >= now(); posting
   /// into the past fails loudly). Events with equal time run in posting
   /// order. No heap allocation when the callable fits the node's inline
-  /// storage.
+  /// storage. In sharded mode this posts to the CALLING shard (the common
+  /// intra-shard case, lock-free); use post_at_node() for anything that may
+  /// land on another simulated node.
   template <class F>
   void post_at(Time t, F&& fn) {
     static_assert(std::is_invocable_v<std::decay_t<F>&>,
                   "event callback must be invocable with no arguments");
+    if (engine_) {
+      UNR_CHECK_MSG(t >= now(), "event posted into the past: t=" << t << " now=" << now());
+      detail::EventNode* n = sharded_alloc_node();
+      n->t = t;
+      attach_callback(n, std::forward<F>(fn));
+      sharded_commit_local(n);
+      return;
+    }
     UNR_CHECK_MSG(t >= now_, "event posted into the past: t=" << t << " now=" << now_);
     detail::EventNode* n = alloc_node();
     n->t = t;
@@ -224,7 +258,26 @@ class Kernel {
   }
   template <class F>
   void post_in(Time dt, F&& fn) {
-    post_at(now_ + dt, std::forward<F>(fn));
+    post_at(now() + dt, std::forward<F>(fn));
+  }
+
+  /// Schedule `fn` at time `t` on the shard owning simulated node `node`.
+  /// Identical to post_at() on an unsharded kernel. Cross-shard posts are
+  /// staged into a per-(src,dst) channel merged at the next window
+  /// boundary; conservative lookahead guarantees (and this path asserts)
+  /// that their timestamps are at or beyond the current window's end.
+  template <class F>
+  void post_at_node(int node, Time t, F&& fn) {
+    static_assert(std::is_invocable_v<std::decay_t<F>&>,
+                  "event callback must be invocable with no arguments");
+    if (!engine_) {
+      post_at(t, std::forward<F>(fn));
+      return;
+    }
+    detail::EventNode* n = sharded_alloc_node();
+    n->t = t;
+    attach_callback(n, std::forward<F>(fn));
+    sharded_commit_node(node, n);
   }
 
   /// Run `n_actors` copies of `body` (argument = actor id, 0-based) to
@@ -239,6 +292,22 @@ class Kernel {
   static Kernel* current();
   /// Id of the calling actor (-1 outside an actor, e.g. in event handlers).
   static int current_actor_id();
+
+  // --- Sharded mode (see shard.hpp) ---
+
+  /// Install a shard plan. Must be called before any event is posted and
+  /// before run(); plans with shards <= 1 are a no-op (the kernel stays the
+  /// classic single-threaded one, bit-identical to the golden pins).
+  void configure_shards(ShardPlan plan);
+  /// True when a multi-shard plan is installed.
+  bool sharded() const { return engine_ != nullptr; }
+  /// Number of worker shards (1 when unsharded).
+  int shard_count() const;
+  /// Shard owning simulated node `node` (0 when unsharded).
+  int shard_of_node(int node) const;
+  /// Shard the calling thread executes on (0 when unsharded or outside a
+  /// run). Components keeping per-shard state index it with this.
+  int current_shard() const;
 
   // --- Blocking primitives (callable only from actor fibers) ---
 
@@ -308,12 +377,16 @@ class Kernel {
   const obs::Telemetry& telemetry() const { return telemetry_; }
 
  private:
+  friend struct detail::ShardRt;
+  friend class detail::ShardEngine;
+
   enum class State { kReady, kRunning, kBlocked, kDone };
 
   struct Actor {
     int id = -1;
     State state = State::kReady;
     Kernel* kernel = nullptr;
+    detail::ShardRt* home = nullptr;  ///< owning shard (nullptr unsharded)
     detail::FiberContext ctx;
     detail::FiberStack stack;
     std::uint64_t timed_token = 0;  ///< armed timed-wait token (0 = none)
@@ -325,6 +398,15 @@ class Kernel {
   static void fiber_entry(void* arg);  ///< runs the actor body on its fiber
   void resume(Actor* a);               ///< scheduler -> fiber -> scheduler
   std::string blocked_report() const;
+
+  // Sharded-mode internals (kernel.cpp; non-template so the post templates
+  // above stay free of shard.hpp types).
+  Time sharded_now() const;
+  detail::EventNode* sharded_alloc_node();
+  void sharded_commit_local(detail::EventNode* n);
+  void sharded_commit_node(int node, detail::EventNode* n);
+  void run_sharded(int n_actors);
+  void shard_worker(detail::ShardRt* rt);
 
   detail::EventNode* alloc_node() {
     if (!free_nodes_) grow_pool();
@@ -369,9 +451,13 @@ class Kernel {
   std::vector<std::unique_ptr<Actor>> actors_;
   std::deque<Actor*> ready_;
   int live_ = 0;
-  bool aborting_ = false;
+  // Set once when a run aborts; atomic because in sharded mode every worker
+  // observes it (fiber_entry / block_current) and each sets it before its
+  // own abort sweep. Single-threaded K=1 semantics are unchanged.
+  std::atomic<bool> aborting_{false};
   std::uint64_t timed_wait_seq_ = 0;
   std::exception_ptr first_error_;
+  std::unique_ptr<detail::ShardEngine> engine_;  ///< nullptr unless sharded
 };
 
 /// Convenience: charge `dt` of virtual time on the current actor.

@@ -1,0 +1,78 @@
+#include "sim/shard.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace unr::sim::detail {
+
+thread_local ShardRt* tl_shard = nullptr;
+
+namespace {
+/// Min-heap on (t, seq): std::*_heap build a max-heap, so the comparator is
+/// "greater" lexicographically.
+struct HeapAfter {
+  bool operator()(const ShardRt::HeapEntry& a, const ShardRt::HeapEntry& b) const {
+    if (a.t != b.t) return a.t > b.t;
+    return a.seq > b.seq;
+  }
+};
+}  // namespace
+
+ShardRt::~ShardRt() {
+  // Destroy the callables of never-dispatched events (deadline timers may
+  // legitimately outlive a run) and of anything stranded in a channel by an
+  // aborted run. Node memory is freed by the slab vector itself.
+  for (HeapEntry& e : heap)
+    if (e.n->vtbl) e.n->vtbl->destroy(*e.n);
+  heap.clear();
+  for (Channel& ch : out) {
+    EventNode* n = ch.take();
+    while (n) {
+      EventNode* nx = n->next;
+      if (n->vtbl) n->vtbl->destroy(*n);
+      n = nx;
+    }
+  }
+}
+
+void ShardRt::heap_insert(EventNode* n) {
+  n->next = nullptr;
+  heap.push_back(HeapEntry{n->t, heap_seq++, n});
+  std::push_heap(heap.begin(), heap.end(), HeapAfter{});
+}
+
+EventNode* ShardRt::heap_pop() {
+  std::pop_heap(heap.begin(), heap.end(), HeapAfter{});
+  EventNode* n = heap.back().n;
+  heap.pop_back();
+  return n;
+}
+
+void ShardRt::grow_pool() {
+  auto slab = std::make_unique<EventNode[]>(Kernel::kEventSlabNodes);
+  for (std::size_t i = 0; i < Kernel::kEventSlabNodes; ++i) {
+    slab[i].next = free_nodes;
+    free_nodes = &slab[i];
+  }
+  free_count += Kernel::kEventSlabNodes;
+  slabs.push_back(std::move(slab));
+}
+
+EventNode* ShardRt::alloc_node() {
+  if (!free_nodes) grow_pool();
+  EventNode* n = free_nodes;
+  free_nodes = n->next;
+  --free_count;
+  return n;
+}
+
+void ShardRt::free_node(EventNode* n) {
+  n->vtbl = nullptr;
+  n->next = free_nodes;
+  free_nodes = n;
+  ++free_count;
+}
+
+}  // namespace unr::sim::detail

@@ -1,0 +1,164 @@
+// Sharded execution runtime for the DES kernel: conservative-lookahead
+// parallel simulation across worker shards.
+//
+// The kernel's single-threaded scheduler (kernel.hpp) dispatches one entity
+// at a time, so a multi-core host simulates a 1024-node fabric no faster
+// than one core allows. Virtual time gives a natural conservative bound:
+// every event crossing between two simulated nodes takes at least the
+// minimum wire latency, so two groups of nodes can advance independently
+// inside a bounded window without ever needing an event from each other.
+//
+// Structure: each shard owns a disjoint subset of simulated nodes and their
+// actor fibers, with its own event queue, ready FIFO, event-node pool and
+// fiber stack pool — the hot intra-shard post/dispatch/block/wake cycle
+// touches no shared state and takes no locks. Shards synchronize only at
+// window boundaries:
+//
+//   publish:  horizon[s] = earliest time shard s could run anything
+//             (its clock if an actor is ready, else its earliest event)
+//   barrier   (bar_sync)
+//   decide:   L = min horizon; window end = L + lookahead. Every shard
+//             computes the same decision from the same published snapshot,
+//             so stop/abort/deadlock choices are deterministic and need no
+//             coordinator thread.
+//   process:  drain ready actors; dispatch local events with t < window
+//             end. Cross-shard posts are staged into per-(src,dst) channels
+//             — by construction their timestamps are >= window end, which
+//             the post path asserts.
+//   barrier   (bar_pub)
+//   merge:    each shard drains the channels addressed to it, in source-
+//             shard order, into its event queue.
+//
+// Why the sharded queue is a binary heap and not the timer wheel: popping
+// the wheel advances its internal current-time cursor, after which a merged
+// cross-shard event below the cursor would be unreachable. The heap is
+// keyed (t, insertion sequence) — the same FIFO-per-timestamp total order —
+// peeks in O(1), and accepts any t >= the shard's clock. K=1 never builds
+// any of this: the kernel's wheel and scheduler loop run untouched, which
+// is what keeps single-shard runs bit-identical to the golden pins.
+//
+// Determinism for fixed (seed, K): merge order is (timestamp, source shard,
+// per-channel FIFO), decided by data, never by thread arrival; termination
+// is decided only from barrier-published snapshots.
+#pragma once
+
+#include <barrier>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "common/units.hpp"
+#include "sim/fiber.hpp"
+#include "sim/kernel.hpp"
+
+namespace unr::sim::detail {
+
+inline constexpr Time kShardTimeInf = std::numeric_limits<Time>::max();
+
+/// Per-shard scheduler state. Everything here is owned by exactly one
+/// worker thread during a run; the `horizon`/`live_pub`/`err_pub` snapshot
+/// fields are published before bar_sync and read by other shards only
+/// after it (the barrier provides the happens-before edge), and the `out`
+/// channels are written during the process phase and drained by their
+/// destination only after bar_pub.
+struct ShardRt {
+  /// Intrusive FIFO of staged cross-shard event nodes (links via
+  /// EventNode::next, which is unused while a node is off the heap).
+  struct Channel {
+    EventNode* head = nullptr;
+    EventNode* tail = nullptr;
+    void push(EventNode* n) {
+      n->next = nullptr;
+      if (tail) tail->next = n; else head = n;
+      tail = n;
+    }
+    EventNode* take() {
+      EventNode* h = head;
+      head = tail = nullptr;
+      return h;
+    }
+  };
+
+  /// Min-heap entry ordered by (t, seq): seq is assigned at insertion, so
+  /// equal-time events dispatch in insertion order — the same
+  /// FIFO-per-timestamp total order the timer wheel gives the K=1 path.
+  struct HeapEntry {
+    Time t = 0;
+    std::uint64_t seq = 0;
+    EventNode* n = nullptr;
+  };
+
+  explicit ShardRt(int shard_id, int nshards)
+      : id(shard_id), out(static_cast<std::size_t>(nshards)) {}
+  ~ShardRt();
+  ShardRt(const ShardRt&) = delete;
+  ShardRt& operator=(const ShardRt&) = delete;
+
+  // --- event heap ---
+  bool heap_empty() const { return heap.empty(); }
+  Time top_time() const { return heap.front().t; }
+  void heap_insert(EventNode* n);
+  EventNode* heap_pop();
+
+  // --- event-node pool (mirrors the kernel's slab/free-list pool) ---
+  EventNode* alloc_node();
+  void free_node(EventNode* n);
+  void grow_pool();
+
+  const int id;
+  Time now = 0;
+  Time wend = 0;  ///< current window end (exclusive); cross-posts assert >= it
+
+  // Published snapshot (written pre-bar_sync, read post-bar_sync).
+  Time horizon = 0;
+  std::size_t live_pub = 0;
+  bool err_pub = false;
+
+  std::vector<HeapEntry> heap;
+  std::uint64_t heap_seq = 0;
+
+  std::vector<std::unique_ptr<EventNode[]>> slabs;
+  EventNode* free_nodes = nullptr;
+  std::size_t free_count = 0;
+
+  std::deque<Kernel::Actor*> ready;
+  std::size_t live = 0;  ///< this shard's not-yet-done actors
+  std::unique_ptr<StackPool> stacks;
+  FiberContext sched_ctx;  ///< this worker thread's scheduler context
+  std::uint64_t timed_seq = 0;
+  std::uint64_t events = 0;
+  std::exception_ptr err;
+  bool saw_deadlock = false;
+
+  std::vector<Channel> out;  ///< out[dst]: staged events bound for shard dst
+};
+
+/// The whole sharded runtime: one ShardRt per worker plus the two window
+/// barriers. Built by Kernel::configure_shards (only for plans with more
+/// than one shard) and owned by the kernel.
+class ShardEngine {
+ public:
+  explicit ShardEngine(ShardPlan p)
+      : plan(std::move(p)),
+        bar_sync(plan.shards),
+        bar_pub(plan.shards) {
+    shards.reserve(static_cast<std::size_t>(plan.shards));
+    for (int s = 0; s < plan.shards; ++s)
+      shards.push_back(std::make_unique<ShardRt>(s, plan.shards));
+  }
+
+  ShardPlan plan;
+  std::vector<std::unique_ptr<ShardRt>> shards;
+  std::barrier<> bar_sync;  ///< after horizon publish, before the decision
+  std::barrier<> bar_pub;   ///< after the process phase, before the merge
+};
+
+/// Worker thread -> its shard (nullptr on non-worker threads and between
+/// runs). Lives in shard.cpp; kernel.cpp routes posts and clocks through it.
+extern thread_local ShardRt* tl_shard;
+
+}  // namespace unr::sim::detail

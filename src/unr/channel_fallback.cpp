@@ -42,6 +42,8 @@ class FallbackChannel final : public Channel {
  public:
   explicit FallbackChannel(Unr& ctx) : Channel(ctx) {
     fabric::Fabric& f = ctx_.fabric();
+    pending_gets_.resize(static_cast<std::size_t>(f.nranks()));
+    token_seq_.assign(static_cast<std::size_t>(f.nranks()), 0);
     for (int r = 0; r < f.nranks(); ++r) {
       f.set_am_handler(r, kAmFallbackPut, [this, r](int src, const auto& p) {
         on_put_msg(r, src, p);
@@ -82,9 +84,13 @@ class FallbackChannel final : public Channel {
   void get(const XferOp& op) override {
     const auto& prof = ctx_.fabric().profile();
     sim::busy(prof.sw_overhead);
-    const std::uint64_t token = next_token_++;
-    pending_gets_[token] = PendingGet{op.local, op.size, op.lsig, op.l_code,
-                                      ctx_.node_of(op.src_rank)};
+    // Tokens only need per-reader uniqueness: the reply comes back to this
+    // rank and is looked up in this rank's own pending map, so no rank ever
+    // touches another rank's (= possibly another kernel shard's) state.
+    const std::uint64_t token = ++token_seq_[static_cast<std::size_t>(op.src_rank)];
+    pending_gets_[static_cast<std::size_t>(op.src_rank)][token] =
+        PendingGet{op.local, op.size, op.lsig, op.l_code,
+                   ctx_.node_of(op.src_rank)};
     FallbackGetReq rq{op.remote.mr, op.remote.offset, op.size,
                       op.rsig == kNoSig ? kNoSig : op.rsig, op.r_code, token};
     std::vector<std::byte> msg(sizeof rq);
@@ -154,14 +160,14 @@ class FallbackChannel final : public Channel {
   }
 
   void on_get_rep(int self, int /*src*/, const std::vector<std::byte>& payload) {
-    (void)self;
     FallbackGetRepHeader rh;
     UNR_CHECK(payload.size() >= sizeof rh);
     std::memcpy(&rh, payload.data(), sizeof rh);
-    auto it = pending_gets_.find(rh.token);
-    UNR_CHECK_MSG(it != pending_gets_.end(), "fallback GET reply with unknown token");
+    auto& pend = pending_gets_[static_cast<std::size_t>(self)];
+    auto it = pend.find(rh.token);
+    UNR_CHECK_MSG(it != pend.end(), "fallback GET reply with unknown token");
     PendingGet pg = it->second;
-    pending_gets_.erase(it);
+    pend.erase(it);
 
     auto data = std::make_shared<std::vector<std::byte>>(payload.begin() + sizeof rh,
                                                          payload.end());
@@ -174,8 +180,8 @@ class FallbackChannel final : public Channel {
     });
   }
 
-  std::unordered_map<std::uint64_t, PendingGet> pending_gets_;
-  std::uint64_t next_token_ = 1;
+  std::vector<std::unordered_map<std::uint64_t, PendingGet>> pending_gets_;  // [reader]
+  std::vector<std::uint64_t> token_seq_;                                     // [reader]
 };
 
 }  // namespace

@@ -55,7 +55,7 @@ TEST(Personalities, TableTwoRows) {
 }
 
 TEST(MemRegistry, RegisterResolveBounds) {
-  MemRegistry reg;
+  MemRegistry reg(0, 8);
   std::vector<std::byte> buf(256);
   const MrId id = reg.register_region(3, buf.data(), buf.size());
   EXPECT_EQ(reg.resolve({3, id, 16}, 10), buf.data() + 16);
@@ -67,7 +67,7 @@ TEST(MemRegistry, RegisterResolveBounds) {
 }
 
 TEST(MemRegistry, PerRankLimitEnforced) {
-  MemRegistry reg(2);
+  MemRegistry reg(2, 8);
   std::vector<std::byte> buf(64);
   reg.register_region(0, buf.data(), 1);
   reg.register_region(0, buf.data() + 1, 1);

@@ -128,6 +128,11 @@ World::Config cfg(int nodes = 2) {
   c.nodes = nodes;
   c.profile = unr::make_th_xy();
   c.deterministic_routing = true;
+  // These tests poke another rank's signal directly from a peer fiber (a
+  // shared-memory shortcut, not a fabric op) and assert same-timestamp
+  // boundary semantics — both assume the scalar single-shard clock, so pin
+  // it regardless of UNR_SHARDS.
+  c.shards = 1;
   return c;
 }
 
