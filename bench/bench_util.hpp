@@ -16,6 +16,7 @@
 #include "common/table.hpp"
 #include "common/units.hpp"
 #include "runtime/world.hpp"
+#include "svc/runspec.hpp"
 
 namespace unr::bench {
 
@@ -76,41 +77,55 @@ inline void apply_world_flags(runtime::World::Config& wc) {
   wc.shards = shard_request();
 }
 
-/// Tiny flag parser: --quick (default scale), --full (paper-scale where
-/// feasible), --system=NAME (restrict to one platform), --shards=N (kernel
-/// worker shards for every World the harness builds), --time-budget=SEC
-/// (sweeps stop early instead of blowing a CI budget), --trace=FILE /
-/// --metrics=FILE / --trace-ring=N (observability outputs from the first
-/// World the harness builds).
+/// Bench command lines ARE RunSpecs: every run-description flag comes from
+/// the one svc::flag_schema() table (--full/--quick, --system=NAME,
+/// --shards=N, --seed=N, --time-budget=SEC, fault knobs, --param=K=V, ...)
+/// and parses into a svc::RunSpec; the fields below are a thin view over it
+/// for the harness loops. Only the telemetry OUTPUT flags (--trace=FILE /
+/// --metrics=FILE / --trace-ring=N) stay outside the spec — file paths are
+/// an I/O concern, not part of the run.
+///
+/// Unknown flags are an error (exit 2), not a silent no-op: a typoed
+/// --sytem=TH-XY used to run the full sweep as if nothing happened.
 struct Options {
-  bool full = false;
-  std::string system;
-  double time_budget_sec = 0;  ///< 0 = unlimited
+  svc::RunSpec spec;           ///< the canonical parse result
+  bool full = false;           ///< view of spec.full
+  std::string system;          ///< view of spec.profile ("" = all systems)
+  double time_budget_sec = 0;  ///< view of spec.time_budget_sec; 0 = unlimited
   /// Kernel worker shards for every World the harness builds (--shards=N).
   /// 0 = World::Config's auto default (UNR_SHARDS env, else 1).
-  int shards = 0;
+  int shards = 0;  ///< view of spec.shards
 
   static Options parse(int argc, char** argv) {
     Options o;
     for (int i = 1; i < argc; ++i) {
       const std::string a = argv[i];
-      if (a == "--full") o.full = true;
-      else if (a == "--quick") o.full = false;
-      else if (a.rfind("--system=", 0) == 0) o.system = a.substr(9);
-      else if (a.rfind("--shards=", 0) == 0) {
-        o.shards = std::stoi(a.substr(9));
-        shard_request() = o.shards;
-      }
-      else if (a.rfind("--time-budget=", 0) == 0) o.time_budget_sec = std::stod(a.substr(14));
-      else if (a == "--time-budget" && i + 1 < argc) o.time_budget_sec = std::stod(argv[++i]);
-      else if (parse_telemetry_flag(a)) {}
-      else if (a == "--help" || a == "-h") {
-        std::cout << "flags: --quick (default) | --full | --system=NAME | "
-                     "--shards=N | --time-budget=SEC | --trace=FILE | "
-                     "--metrics=FILE | --trace-ring=N\n";
+      if (parse_telemetry_flag(a)) continue;
+      if (a == "--help" || a == "-h") {
+        std::cout << "run-description flags (one schema, all harnesses):\n"
+                  << svc::flags_help()
+                  << "telemetry outputs:\n"
+                     "  --trace=FILE      Chrome trace JSON from the first World\n"
+                     "  --metrics=FILE    metrics JSON from the first World\n"
+                     "  --trace-ring=N    tracer ring capacity\n";
         std::exit(0);
       }
+      std::string err;
+      switch (svc::apply_flag(o.spec, a, &err)) {
+        case svc::FlagResult::kOk: break;
+        case svc::FlagResult::kError:
+          std::cerr << "bad flag " << a << ": " << err << "\n";
+          std::exit(2);
+        case svc::FlagResult::kNotMine:
+          std::cerr << "unknown flag: " << a << " (see --help)\n";
+          std::exit(2);
+      }
     }
+    o.full = o.spec.full;
+    o.system = o.spec.profile;
+    o.time_budget_sec = o.spec.time_budget_sec;
+    o.shards = o.spec.shards;
+    shard_request() = o.spec.shards;
     return o;
   }
 

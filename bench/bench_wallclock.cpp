@@ -418,6 +418,20 @@ std::string emit_json(const std::vector<ScenarioResult>& results,
 
 int main(int argc, char** argv) {
   const WallOptions opt = WallOptions::parse(argc, argv);
+  // A --scenario= filter that matches nothing must fail LOUDLY: a typoed
+  // name used to run zero scenarios and exit 0, which let CI's perf gate
+  // pass vacuously.
+  for (const std::string& name : opt.only) {
+    const auto& all = scenarios();
+    const bool known = std::any_of(all.begin(), all.end(),
+                                   [&](const Scenario& s) { return s.name == name; });
+    if (!known) {
+      std::cerr << "unknown scenario: " << name << " (known:";
+      for (const Scenario& s : all) std::cerr << " " << s.name;
+      std::cerr << ")\n";
+      return 2;
+    }
+  }
   unr::bench::banner("Simulator wall-clock performance (events/sec)",
                      "the trajectory metric for how much of the paper's parameter "
                      "space this reproduction can cover");

@@ -464,6 +464,10 @@ RunResult run_workload(const WorkloadSpec& spec, const RunOptions& opt) {
       }
     }
     wc.shards = opt.shards;
+    if (opt.trace_out) {
+      wc.telemetry.trace.enabled = true;
+      wc.telemetry.trace.ring_capacity = opt.trace_ring;
+    }
     runtime::World w(wc);
 
     unrlib::Unr::Config uc;
@@ -524,6 +528,19 @@ RunResult run_workload(const WorkloadSpec& spec, const RunOptions& opt) {
 
     out.events = w.kernel().event_count();
     out.end_time = w.elapsed();
+
+    // In-memory telemetry capture (the service's streaming path) — read
+    // before the World tears the kernel down.
+    if (opt.trace_out) {
+      std::ostringstream ts;
+      w.kernel().telemetry().tracer().write_json(ts);
+      *opt.trace_out = ts.str();
+    }
+    if (opt.metrics_out) {
+      std::ostringstream ms;
+      w.kernel().telemetry().registry().write_json(ms);
+      *opt.metrics_out = ms.str();
+    }
   }
 
   set_log_level(prev_level);
@@ -559,6 +576,16 @@ const char* channel_token(unrlib::ChannelKind k) {
     case unrlib::ChannelKind::kMpiFallback: return "fallback";
   }
   return "?";
+}
+
+bool channel_from_token(const std::string& s, unrlib::ChannelKind& out) {
+  if (s == "auto") out = unrlib::ChannelKind::kAuto;
+  else if (s == "native") out = unrlib::ChannelKind::kNative;
+  else if (s == "level0") out = unrlib::ChannelKind::kLevel0;
+  else if (s == "level4") out = unrlib::ChannelKind::kLevel4;
+  else if (s == "fallback") out = unrlib::ChannelKind::kMpiFallback;
+  else return false;
+  return true;
 }
 
 DiffResult run_differential(const WorkloadSpec& spec,

@@ -48,6 +48,13 @@ struct RunOptions {
   /// produce the same digest at any shard count that shares its fault
   /// pattern (always, for fault-free specs).
   int shards = 0;
+  /// Capture the virtual-time trace of the run ("unr-trace-v1" JSON) into
+  /// *trace_out instead of a file — the service streams it back to clients.
+  /// Tracing binds the scalar clock, so the World forces shards to 1.
+  std::string* trace_out = nullptr;
+  std::size_t trace_ring = 1u << 16;  ///< tracer ring capacity when capturing
+  /// Capture the run's metrics-registry dump ("unr-metrics-v1" JSON).
+  std::string* metrics_out = nullptr;
 };
 
 struct RunResult {
@@ -84,5 +91,7 @@ DiffResult run_differential(const WorkloadSpec& spec,
 std::span<const unrlib::ChannelKind> differential_channels();
 
 const char* channel_token(unrlib::ChannelKind k);
+/// Inverse of channel_token (also accepts "auto"); false on an unknown name.
+bool channel_from_token(const std::string& s, unrlib::ChannelKind& out);
 
 }  // namespace unr::check

@@ -273,7 +273,7 @@ OpSpec::Kind op_kind_from(const std::string& s, bool& ok) {
 
 std::string to_text(const WorkloadSpec& s) {
   std::ostringstream os;
-  os << "unrfuzz v1\n";
+  os << kWorkloadFormat << "\n";
   os << "seed " << s.seed << "\n";
   os << "profile " << s.profile << "\n";
   os << "iface " << iface_token(s.iface) << "\n";
@@ -341,8 +341,8 @@ bool from_text(const std::string& text, WorkloadSpec& out, std::string* error) {
   s.rounds.clear();
   std::istringstream is(text);
   std::string line;
-  if (!std::getline(is, line) || line != "unrfuzz v1")
-    return fail("missing 'unrfuzz v1' header");
+  if (!std::getline(is, line) || (line != "unrfuzz v1" && line != "unrfuzz v2"))
+    return fail("missing 'unrfuzz v1'/'unrfuzz v2' header");
   bool saw_end = false;
   while (std::getline(is, line)) {
     std::istringstream ls(line);

@@ -49,6 +49,8 @@ struct OpSpec {
   /// keeps the unflipped expectation). Used by the harness's self-test: a
   /// corrupted payload must be caught and shrunk.
   bool corrupt = false;
+
+  bool operator==(const OpSpec&) const = default;
 };
 
 /// One synchronization epoch of the workload.
@@ -69,6 +71,8 @@ struct RoundSpec {
   /// Mutation hook: this rank applies one stray addend to its arrival signal
   /// after the waits — the oracle's counter==0 check must catch it.
   int stray_sig_rank = -1;
+
+  bool operator==(const RoundSpec&) const = default;
 };
 
 /// A complete self-checking workload: configuration + rounds.
@@ -88,6 +92,8 @@ struct WorkloadSpec {
   std::vector<RoundSpec> rounds;
 
   int nranks() const { return nodes * ranks_per_node; }
+
+  bool operator==(const WorkloadSpec&) const = default;
 };
 
 /// Knobs for the seed -> WorkloadSpec expansion.
@@ -113,6 +119,11 @@ bool inject_mutation(WorkloadSpec& spec, Mutation m, std::uint64_t seed);
 std::size_t total_ops(const WorkloadSpec& spec);
 
 // --- Text round-trip (repro files; tools/fuzz_triage.py pretty-prints it) ---
+// Format v2 ("unrfuzz v2") is the STABLE embeddable form referenced by
+// svc::RunSpec: identical body grammar to v1, revved so a RunSpec can name
+// the exact sub-format it embeds. to_text emits v2; from_text accepts both
+// headers (old v1 repro files keep replaying).
+inline constexpr const char* kWorkloadFormat = "unrfuzz v2";
 std::string to_text(const WorkloadSpec& spec);
 bool from_text(const std::string& text, WorkloadSpec& out, std::string* error);
 

@@ -45,6 +45,8 @@ struct FaultConfig {
     int node = 0;
     int index = 0;
     Time at = 0;
+
+    bool operator==(const NicFault&) const = default;
   };
   std::vector<NicFault> nic_faults;
 
@@ -57,6 +59,8 @@ struct FaultConfig {
     Time at = 0;
     std::size_t entries = 0;
     Time duration = 0;
+
+    bool operator==(const CqBurst&) const = default;
   };
   std::vector<CqBurst> cq_bursts;
 
@@ -64,6 +68,8 @@ struct FaultConfig {
     return drop_rate > 0.0 || delay_rate > 0.0 || !nic_faults.empty() ||
            !cq_bursts.empty();
   }
+
+  bool operator==(const FaultConfig&) const = default;
 };
 
 class FaultInjector {

@@ -1,0 +1,67 @@
+#include "svc/cache.hpp"
+
+namespace unr::svc {
+
+std::optional<std::string> ResultCache::get(const std::string& spec_text) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = index_.find(spec_text);
+  if (it == index_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++hits_;
+  return it->second->body;
+}
+
+void ResultCache::put(const std::string& spec_text, const std::string& body) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const std::size_t cost = spec_text.size() + body.size();
+  if (cost > cfg_.max_bytes) return;
+  const auto it = index_.find(spec_text);
+  if (it != index_.end()) {
+    bytes_ -= it->second->key.size() + it->second->body.size();
+    it->second->body = body;
+    bytes_ += cost;
+    lru_.splice(lru_.begin(), lru_, it->second);
+  } else {
+    lru_.push_front(Entry{spec_text, body});
+    index_[spec_text] = lru_.begin();
+    bytes_ += cost;
+  }
+  evict_locked();
+}
+
+void ResultCache::evict_locked() {
+  while (lru_.size() > cfg_.max_entries ||
+         (bytes_ > cfg_.max_bytes && lru_.size() > 1)) {
+    const Entry& victim = lru_.back();
+    bytes_ -= victim.key.size() + victim.body.size();
+    index_.erase(victim.key);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+std::uint64_t ResultCache::hits() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return hits_;
+}
+std::uint64_t ResultCache::misses() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return misses_;
+}
+std::uint64_t ResultCache::evictions() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return evictions_;
+}
+std::size_t ResultCache::entries() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return lru_.size();
+}
+std::size_t ResultCache::bytes() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return bytes_;
+}
+
+}  // namespace unr::svc

@@ -1,0 +1,64 @@
+// (seed, config)-keyed result cache for completed service runs.
+//
+// Keyed by the FULL canonical RunSpec text — the digest is the display /
+// lookup fingerprint, but the text is the key so a 64-bit collision can
+// never alias two different runs. Values are the rendered result bodies
+// ("unr-svc-result-v1" JSON): a hit replays the original run's bytes
+// exactly. Bounded LRU on both entry count and total cached bytes.
+//
+// Thread-safe: every method takes the internal mutex (session threads race
+// on it). Hit/miss/eviction tallies are plain counters read through the
+// accessors; the Server mirrors them into its obs::Registry under ITS lock
+// (obs handles assume single-threaded updates).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+namespace unr::svc {
+
+class ResultCache {
+ public:
+  struct Config {
+    std::size_t max_entries = 128;
+    std::size_t max_bytes = 256u << 20;  ///< bodies can embed whole traces
+  };
+
+  explicit ResultCache(Config cfg) : cfg_(cfg) {}
+
+  /// Rendered body for a previously completed identical spec, or nullopt.
+  /// A hit promotes the entry to most-recently-used.
+  std::optional<std::string> get(const std::string& spec_text);
+
+  /// Insert (or refresh) the body for a spec; evicts LRU entries as needed.
+  /// Bodies larger than max_bytes are not cached at all.
+  void put(const std::string& spec_text, const std::string& body);
+
+  std::uint64_t hits() const;
+  std::uint64_t misses() const;
+  std::uint64_t evictions() const;
+  std::size_t entries() const;
+  std::size_t bytes() const;
+
+ private:
+  struct Entry {
+    std::string key;
+    std::string body;
+  };
+
+  void evict_locked();
+
+  Config cfg_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  ///< front = most recent
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  std::size_t bytes_ = 0;
+  std::uint64_t hits_ = 0, misses_ = 0, evictions_ = 0;
+};
+
+}  // namespace unr::svc

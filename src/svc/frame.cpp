@@ -1,0 +1,107 @@
+#include "svc/frame.hpp"
+
+#include <sys/socket.h>
+#include <sys/types.h>
+
+#include <cerrno>
+#include <unistd.h>
+
+namespace unr::svc {
+
+namespace {
+
+/// Read exactly `n` bytes; distinguishes EOF-at-a-boundary (first byte)
+/// from EOF mid-buffer.
+FrameStatus read_exact(int fd, void* buf, std::size_t n, bool at_boundary) {
+  auto* p = static_cast<unsigned char*>(buf);
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::read(fd, p + got, n - got);
+    if (r > 0) {
+      got += static_cast<std::size_t>(r);
+      continue;
+    }
+    if (r == 0) {
+      return (at_boundary && got == 0) ? FrameStatus::kClosed
+                                       : FrameStatus::kTruncated;
+    }
+    if (errno == EINTR) continue;
+    return FrameStatus::kIoError;
+  }
+  return FrameStatus::kOk;
+}
+
+FrameStatus write_all(int fd, const void* buf, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(buf);
+  std::size_t done = 0;
+  while (done < n) {
+    // MSG_NOSIGNAL: a client that vanished mid-run must surface as an error
+    // on THIS session, not a SIGPIPE that kills the whole server.
+    const ssize_t w = ::send(fd, p + done, n - done, MSG_NOSIGNAL);
+    if (w >= 0) {
+      done += static_cast<std::size_t>(w);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    return FrameStatus::kIoError;
+  }
+  return FrameStatus::kOk;
+}
+
+}  // namespace
+
+const char* frame_status_name(FrameStatus s) {
+  switch (s) {
+    case FrameStatus::kOk: return "ok";
+    case FrameStatus::kClosed: return "closed";
+    case FrameStatus::kTruncated: return "truncated";
+    case FrameStatus::kTooLarge: return "too-large";
+    case FrameStatus::kEmpty: return "empty";
+    case FrameStatus::kIoError: return "io-error";
+  }
+  return "?";
+}
+
+FrameStatus read_frame(int fd, std::string& payload) {
+  unsigned char hdr[4];
+  FrameStatus st = read_exact(fd, hdr, sizeof hdr, /*at_boundary=*/true);
+  if (st != FrameStatus::kOk) return st;
+  const std::uint32_t len = (static_cast<std::uint32_t>(hdr[0]) << 24) |
+                            (static_cast<std::uint32_t>(hdr[1]) << 16) |
+                            (static_cast<std::uint32_t>(hdr[2]) << 8) |
+                            static_cast<std::uint32_t>(hdr[3]);
+  if (len == 0) return FrameStatus::kEmpty;
+  if (len > kMaxFrameBytes) return FrameStatus::kTooLarge;
+  payload.resize(len);
+  return read_exact(fd, payload.data(), len, /*at_boundary=*/false);
+}
+
+FrameStatus write_frame(int fd, const std::string& payload) {
+  if (payload.empty()) return FrameStatus::kEmpty;
+  if (payload.size() > kMaxFrameBytes) return FrameStatus::kTooLarge;
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  const unsigned char hdr[4] = {
+      static_cast<unsigned char>(len >> 24),
+      static_cast<unsigned char>(len >> 16),
+      static_cast<unsigned char>(len >> 8),
+      static_cast<unsigned char>(len),
+  };
+  FrameStatus st = write_all(fd, hdr, sizeof hdr);
+  if (st != FrameStatus::kOk) return st;
+  return write_all(fd, payload.data(), payload.size());
+}
+
+bool encode_frame(const std::string& payload, std::string& wire) {
+  if (payload.empty() || payload.size() > kMaxFrameBytes) return false;
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  wire.clear();
+  wire.reserve(4 + payload.size());
+  wire.push_back(static_cast<char>(len >> 24));
+  wire.push_back(static_cast<char>(len >> 16));
+  wire.push_back(static_cast<char>(len >> 8));
+  wire.push_back(static_cast<char>(len));
+  wire += payload;
+  return true;
+}
+
+}  // namespace unr::svc

@@ -1,0 +1,46 @@
+// Length-prefixed framing over a byte stream (the service wire format).
+//
+// Every frame is a 4-byte big-endian payload length followed by that many
+// bytes of UTF-8 JSON. Rules, enforced on BOTH ends:
+//   * zero-length frames are a protocol error (there is no valid empty JSON
+//     document, and a length of 0 is the classic desync symptom);
+//   * frames above kMaxFrameBytes are a protocol error — the reader refuses
+//     BEFORE allocating, so a corrupt length can't balloon memory;
+//   * short reads/writes are retried: a frame may arrive one byte at a time
+//     across any boundary (tests drip-feed exactly that).
+//
+// All functions are EINTR-safe and never raise SIGPIPE (writes use
+// MSG_NOSIGNAL); errors come back as FrameStatus.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace unr::svc {
+
+inline constexpr std::size_t kMaxFrameBytes = 16u << 20;  ///< 16 MiB
+
+enum class FrameStatus {
+  kOk,
+  kClosed,    ///< clean EOF between frames
+  kTruncated, ///< EOF inside a frame
+  kTooLarge,  ///< advertised length exceeds kMaxFrameBytes
+  kEmpty,     ///< advertised length is zero
+  kIoError,   ///< read()/send() failed
+};
+
+const char* frame_status_name(FrameStatus s);
+
+/// Read one complete frame from `fd` (blocking, looping over partial reads).
+FrameStatus read_frame(int fd, std::string& payload);
+
+/// Write one complete frame to `fd` (blocking, looping over partial writes).
+FrameStatus write_frame(int fd, const std::string& payload);
+
+/// Encode payload into a wire buffer (prefix + payload) — for tests and for
+/// clients that batch their own writes. False when the payload is an illegal
+/// frame (empty / too large).
+bool encode_frame(const std::string& payload, std::string& wire);
+
+}  // namespace unr::svc

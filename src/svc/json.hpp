@@ -1,0 +1,47 @@
+// Minimal JSON for the service wire protocol — no external dependencies.
+//
+// The protocol's frames are small, flat-ish JSON objects (op codes, spec
+// text, result summaries), so this is a deliberately small recursive-descent
+// parser plus an escaping helper for composing responses with ostringstream.
+// Numbers are held as double AND as int64 when the text was integral, so
+// byte counts and event counts survive exactly.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace unr::svc {
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kObject, kArray };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::int64_t integer = 0;  ///< valid when `integral`
+  bool integral = false;
+  std::string string;
+  std::vector<std::pair<std::string, Json>> members;  ///< kObject, in order
+  std::vector<Json> items;                            ///< kArray
+
+  /// Parse a complete JSON document; trailing garbage is an error.
+  static bool parse(std::string_view text, Json& out, std::string* err);
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const Json* find(std::string_view key) const;
+  /// Convenience string member with fallback.
+  std::string str(std::string_view key, const std::string& fallback = "") const;
+  /// Convenience integer member with fallback.
+  std::int64_t num(std::string_view key, std::int64_t fallback = 0) const;
+};
+
+/// JSON string escaping (control chars, quotes, backslash) — the composing
+/// side of the protocol. Returns the escaped body WITHOUT surrounding quotes.
+std::string json_escape(std::string_view s);
+
+}  // namespace unr::svc

@@ -1,0 +1,96 @@
+#include "svc/run.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "check/runner.hpp"
+#include "svc/json.hpp"
+#include "svc/scenarios.hpp"
+
+namespace unr::svc {
+
+namespace {
+
+std::string hex16(std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+void run_workload_spec(const RunSpec& spec, RunOutcome& out) {
+  const std::string invalid = check::validate(*spec.workload);
+  if (!invalid.empty()) {
+    out.error = "invalid workload: " + invalid;
+    return;
+  }
+  check::RunOptions opt;
+  if (!check::channel_from_token(spec.channel, opt.channel)) {
+    out.error = "unknown channel '" + spec.channel + "'";
+    return;
+  }
+  opt.shards = spec.shards;
+  if (spec.trace) {
+    opt.trace_out = &out.trace_json;
+    opt.trace_ring = spec.trace_ring;
+  }
+  if (spec.metrics) opt.metrics_out = &out.metrics_json;
+  const check::RunResult r = check::run_workload(*spec.workload, opt);
+  out.ok = r.ok;
+  out.violations = r.violations;
+  out.result_digest = r.digest;
+  out.events = r.events;
+  out.virtual_ns = r.end_time;
+}
+
+}  // namespace
+
+RunOutcome run_runspec(const RunSpec& spec) {
+  RunOutcome out;
+  try {
+    if (spec.workload) {
+      run_workload_spec(spec, out);
+    } else if (spec.scenario.empty() || spec.scenario == "-") {
+      out.error = "spec names neither a scenario nor a workload";
+    } else if (!run_scenario(spec, out)) {
+      std::string names;
+      for (const std::string& n : scenario_names())
+        names += (names.empty() ? "" : ", ") + n;
+      out.error = "unknown scenario '" + spec.scenario + "' (known: " + names + ")";
+    }
+  } catch (const std::exception& e) {
+    out.ok = false;
+    out.error = std::string("run aborted: ") + e.what();
+  }
+  if (!out.error.empty()) out.ok = false;
+  return out;
+}
+
+std::string render_body(const RunSpec& spec, const RunOutcome& outcome) {
+  std::ostringstream os;
+  os << "{\"schema\":\"unr-svc-result-v1\"";
+  os << ",\"spec_digest\":\"" << digest_hex(spec) << "\"";
+  os << ",\"ok\":" << (outcome.ok ? "true" : "false");
+  if (!outcome.error.empty())
+    os << ",\"error\":\"" << json_escape(outcome.error) << "\"";
+  os << ",\"digest\":\"" << hex16(outcome.result_digest) << "\"";
+  os << ",\"events\":" << outcome.events;
+  os << ",\"virtual_ns\":" << outcome.virtual_ns;
+  os << ",\"violations\":[";
+  for (std::size_t i = 0; i < outcome.violations.size(); ++i) {
+    os << (i ? "," : "") << "\"" << json_escape(outcome.violations[i]) << "\"";
+  }
+  os << "]";
+  // metrics/trace are themselves canonical JSON documents; embed verbatim so
+  // a cache hit replays the exact bytes the original run produced.
+  os << ",\"metrics\":";
+  if (outcome.metrics_json.empty()) os << "null";
+  else os << outcome.metrics_json;
+  os << ",\"trace\":";
+  if (outcome.trace_json.empty()) os << "null";
+  else os << outcome.trace_json;
+  os << "}";
+  return os.str();
+}
+
+}  // namespace unr::svc

@@ -1,0 +1,39 @@
+// Execute one RunSpec and render its deterministic result payload.
+//
+// run_runspec is the single execution path behind the session server (and
+// anything else that wants to run a spec in-process): an embedded workload
+// goes through check::run_workload against the reference oracle; a named
+// scenario goes through the svc scenario registry. Either way the outcome is
+// rendered ONCE into a canonical JSON body (render_body) — the string the
+// cache stores and every repeat submission is served from, byte for byte.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "svc/runspec.hpp"
+
+namespace unr::svc {
+
+struct RunOutcome {
+  bool ok = false;
+  std::string error;  ///< pre-run rejection (unknown scenario, bad spec)
+  std::vector<std::string> violations;  ///< oracle/invariant findings
+  std::uint64_t result_digest = 0;      ///< application-visible result fold
+  std::uint64_t events = 0;             ///< kernel events dispatched
+  Time virtual_ns = 0;                  ///< virtual completion time
+  std::string metrics_json;  ///< "unr-metrics-v1" registry dump ("" = off)
+  std::string trace_json;    ///< "unr-trace-v1" Chrome trace ("" = off)
+};
+
+/// Run the spec to completion in the calling thread. Never throws: failures
+/// land in outcome.error / outcome.violations.
+RunOutcome run_runspec(const RunSpec& spec);
+
+/// Deterministic JSON body for a completed run ("unr-svc-result-v1"). A pure
+/// function of (spec, outcome) — the cacheable, byte-stable payload.
+std::string render_body(const RunSpec& spec, const RunOutcome& outcome);
+
+}  // namespace unr::svc

@@ -1,0 +1,361 @@
+#include "svc/runspec.hpp"
+
+#include <charconv>
+#include <cstdlib>
+#include <sstream>
+
+#include "check/runner.hpp"
+#include "common/profile.hpp"
+#include "common/units.hpp"
+
+namespace unr::svc {
+
+namespace {
+
+constexpr std::uint64_t kFnvBasis = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+/// Shortest round-tripping decimal form of a double ("0.02", not
+/// "2.0000000000000004e-02") — the canonical text must satisfy
+/// parse(serialize(x)) == x bit for bit.
+std::string fmt_double(double v) {
+  char buf[64];
+  const auto [p, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  return ec == std::errc() ? std::string(buf, p) : std::string("0");
+}
+
+bool parse_double(const std::string& s, double& out) {
+  const char* b = s.c_str();
+  char* e = nullptr;
+  out = std::strtod(b, &e);
+  return e == b + s.size() && !s.empty();
+}
+
+bool parse_u64(const std::string& s, std::uint64_t& out) {
+  const auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
+  return ec == std::errc() && p == s.data() + s.size();
+}
+
+bool parse_i(const std::string& s, int& out) {
+  const auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
+  return ec == std::errc() && p == s.data() + s.size();
+}
+
+bool parse_bool(const std::string& s, bool& out) {
+  if (s == "0") out = false;
+  else if (s == "1") out = true;
+  else return false;
+  return true;
+}
+
+/// "-" stands for the empty string in single-token fields (the line grammar
+/// has no quoting).
+std::string opt_token(const std::string& s) { return s.empty() ? "-" : s; }
+std::string from_opt_token(const std::string& s) { return s == "-" ? "" : s; }
+
+bool split_kv(const std::string& tok, std::string& key, std::string& val) {
+  const std::size_t eq = tok.find('=');
+  if (eq == std::string::npos || eq == 0) return false;
+  key = tok.substr(0, eq);
+  val = tok.substr(eq + 1);
+  return !val.empty();
+}
+
+}  // namespace
+
+std::string to_text(const RunSpec& s) {
+  std::ostringstream os;
+  os << kRunSpecFormat << "\n";
+  os << "scenario " << opt_token(s.scenario) << "\n";
+  os << "profile " << opt_token(s.profile) << "\n";
+  os << "channel " << s.channel << "\n";
+  os << "topo nodes=" << s.nodes << " rpn=" << s.ranks_per_node << "\n";
+  os << "run seed=" << s.seed << " shards=" << s.shards
+     << " full=" << (s.full ? 1 : 0)
+     << " time_budget=" << fmt_double(s.time_budget_sec) << "\n";
+  os << "faults drop=" << fmt_double(s.faults.drop_rate)
+     << " delay=" << fmt_double(s.faults.delay_rate)
+     << " delay_max=" << s.faults.delay_max << "\n";
+  for (const fabric::FaultConfig::NicFault& nf : s.faults.nic_faults) {
+    os << "nicfault node=" << nf.node << " nic=" << nf.index << " at=" << nf.at
+       << "\n";
+  }
+  for (const fabric::FaultConfig::CqBurst& cb : s.faults.cq_bursts) {
+    os << "cqburst node=" << cb.node << " cq=" << cb.index << " at=" << cb.at
+       << " entries=" << cb.entries << " dur=" << cb.duration << "\n";
+  }
+  os << "telemetry trace=" << (s.trace ? 1 : 0) << " ring=" << s.trace_ring
+     << " metrics=" << (s.metrics ? 1 : 0) << "\n";
+  // std::map iterates in key order — the canonical param order.
+  for (const auto& [k, v] : s.params) os << "param " << k << "=" << v << "\n";
+  if (s.workload) os << "workload " << check::to_text(*s.workload);
+  os << "end\n";
+  return os.str();
+}
+
+bool from_text(const std::string& text, RunSpec& out, std::string* error) {
+  const auto fail = [&](const std::string& why) {
+    if (error) *error = why;
+    return false;
+  };
+  RunSpec s;
+  std::istringstream is(text);
+  std::string line;
+  if (!std::getline(is, line) || line != kRunSpecFormat)
+    return fail(std::string("missing '") + kRunSpecFormat + "' header");
+  bool saw_end = false;
+  while (std::getline(is, line)) {
+    std::istringstream ls(line);
+    std::string word;
+    if (!(ls >> word)) continue;  // blank line
+    if (word == "end") {
+      saw_end = true;
+      break;
+    }
+    if (word == "scenario") {
+      std::string tok;
+      if (!(ls >> tok)) return fail("bad scenario line");
+      s.scenario = from_opt_token(tok);
+    } else if (word == "profile") {
+      std::string tok;
+      if (!(ls >> tok)) return fail("bad profile line");
+      s.profile = from_opt_token(tok);
+    } else if (word == "channel") {
+      unrlib::ChannelKind ck{};
+      if (!(ls >> s.channel) || !check::channel_from_token(s.channel, ck))
+        return fail("bad channel line: " + line);
+    } else if (word == "workload") {
+      // The rest of this line is the sub-format header; the block runs
+      // verbatim to the workload's OWN "end" line (the body grammar never
+      // emits another).
+      std::string sub;
+      std::getline(ls, sub);
+      if (!sub.empty() && sub.front() == ' ') sub.erase(0, 1);
+      std::string wtext = sub + "\n";
+      bool wdone = false;
+      while (std::getline(is, line)) {
+        wtext += line;
+        wtext += "\n";
+        if (line == "end") {
+          wdone = true;
+          break;
+        }
+      }
+      if (!wdone) return fail("unterminated workload block");
+      check::WorkloadSpec w;
+      std::string werr;
+      if (!check::from_text(wtext, w, &werr))
+        return fail("bad embedded workload: " + werr);
+      s.workload = std::move(w);
+    } else {
+      // key=value lines; which keys are legal depends on the leading word.
+      std::string tok, key, val;
+      fabric::FaultConfig::NicFault nf;
+      fabric::FaultConfig::CqBurst cb;
+      while (ls >> tok) {
+        if (!split_kv(tok, key, val)) return fail("bad token '" + tok + "'");
+        bool ok = false;
+        if (word == "topo") {
+          if (key == "nodes") ok = parse_i(val, s.nodes);
+          else if (key == "rpn") ok = parse_i(val, s.ranks_per_node);
+        } else if (word == "run") {
+          if (key == "seed") ok = parse_u64(val, s.seed);
+          else if (key == "shards") ok = parse_i(val, s.shards);
+          else if (key == "full") ok = parse_bool(val, s.full);
+          else if (key == "time_budget") ok = parse_double(val, s.time_budget_sec);
+        } else if (word == "faults") {
+          if (key == "drop") ok = parse_double(val, s.faults.drop_rate);
+          else if (key == "delay") ok = parse_double(val, s.faults.delay_rate);
+          else if (key == "delay_max") ok = parse_u64(val, s.faults.delay_max);
+        } else if (word == "nicfault") {
+          if (key == "node") ok = parse_i(val, nf.node);
+          else if (key == "nic") ok = parse_i(val, nf.index);
+          else if (key == "at") ok = parse_u64(val, nf.at);
+        } else if (word == "cqburst") {
+          if (key == "node") ok = parse_i(val, cb.node);
+          else if (key == "cq") ok = parse_i(val, cb.index);
+          else if (key == "at") ok = parse_u64(val, cb.at);
+          else if (key == "entries") ok = parse_u64(val, cb.entries);
+          else if (key == "dur") ok = parse_u64(val, cb.duration);
+        } else if (word == "telemetry") {
+          if (key == "trace") ok = parse_bool(val, s.trace);
+          else if (key == "ring") ok = parse_u64(val, s.trace_ring);
+          else if (key == "metrics") ok = parse_bool(val, s.metrics);
+        } else if (word == "param") {
+          std::uint64_t v = 0;
+          ok = parse_u64(val, v);
+          if (ok) s.params[key] = v;
+        } else {
+          return fail("unknown line: " + line);
+        }
+        if (!ok) return fail("bad key '" + key + "' in: " + line);
+      }
+      if (word == "nicfault") s.faults.nic_faults.push_back(nf);
+      if (word == "cqburst") s.faults.cq_bursts.push_back(cb);
+    }
+  }
+  if (!saw_end) return fail("missing 'end' line");
+  if (s.nodes < 1 || s.ranks_per_node < 1) return fail("bad topology");
+  out = std::move(s);
+  return true;
+}
+
+std::uint64_t digest(const RunSpec& spec) {
+  const std::string text = to_text(spec);
+  std::uint64_t h = kFnvBasis;
+  for (const unsigned char c : text) {
+    h ^= c;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+std::string digest_hex(const RunSpec& spec) {
+  char buf[19];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(digest(spec)));
+  return buf;
+}
+
+// --- Flag schema ------------------------------------------------------------
+
+namespace {
+
+constexpr FlagInfo kSchema[] = {
+    {"--scenario=NAME", "named scenario / bench scenario filter"},
+    {"--profile=NAME", "system profile (TH-XY, TH-2A, HPC-IB, HPC-RoCE)"},
+    {"--system=NAME", "alias of --profile (legacy bench spelling)"},
+    {"--nodes=N", "simulated nodes"},
+    {"--rpn=N", "ranks per node"},
+    {"--seed=N", "run seed (routing jitter + fault injection)"},
+    {"--shards=N", "kernel worker shards for every World (0 = auto)"},
+    {"--channel=TOK", "UNR channel: native|level0|level4|fallback|auto"},
+    {"--full", "paper-scale sweep (default is --quick)"},
+    {"--quick", "quick sweep scale (the default)"},
+    {"--time-budget=SEC", "sweeps stop early instead of blowing a budget"},
+    {"--drop-rate=F", "fault timeline: wire drop probability"},
+    {"--delay-rate=F", "fault timeline: delivery delay probability"},
+    {"--delay-max-us=N", "fault timeline: max injected delay (microseconds)"},
+    {"--nic-fault=NODE,NIC,AT_US", "fault timeline: kill a NIC (repeatable)"},
+    {"--trace-on", "enable the virtual-time tracer (no output file)"},
+    {"--trace-ring=N", "tracer ring capacity"},
+    {"--param=K=V", "scenario parameter (repeatable)"},
+};
+
+}  // namespace
+
+std::span<const FlagInfo> flag_schema() { return kSchema; }
+
+std::string flags_help() {
+  std::ostringstream os;
+  for (const FlagInfo& f : kSchema) {
+    os << "  " << f.flag;
+    for (std::size_t n = std::string(f.flag).size(); n < 30; ++n) os << ' ';
+    os << f.help << "\n";
+  }
+  return os.str();
+}
+
+FlagResult apply_flag(RunSpec& spec, const std::string& arg, std::string* err) {
+  const auto bad = [&](const std::string& why) {
+    if (err) *err = why;
+    return FlagResult::kError;
+  };
+  const auto val = [&](const char* prefix) -> const char* {
+    const std::size_t n = std::char_traits<char>::length(prefix);
+    return arg.rfind(prefix, 0) == 0 ? arg.c_str() + n : nullptr;
+  };
+  if (arg == "--full") { spec.full = true; return FlagResult::kOk; }
+  if (arg == "--quick") { spec.full = false; return FlagResult::kOk; }
+  if (arg == "--trace-on") { spec.trace = true; return FlagResult::kOk; }
+  if (const char* v = val("--scenario=")) { spec.scenario = v; return FlagResult::kOk; }
+  if (const char* v = val("--profile=")) { spec.profile = v; return FlagResult::kOk; }
+  if (const char* v = val("--system=")) { spec.profile = v; return FlagResult::kOk; }
+  if (const char* v = val("--nodes=")) {
+    return parse_i(v, spec.nodes) ? FlagResult::kOk : bad("bad --nodes");
+  }
+  if (const char* v = val("--rpn=")) {
+    return parse_i(v, spec.ranks_per_node) ? FlagResult::kOk : bad("bad --rpn");
+  }
+  if (const char* v = val("--seed=")) {
+    return parse_u64(v, spec.seed) ? FlagResult::kOk : bad("bad --seed");
+  }
+  if (const char* v = val("--shards=")) {
+    return parse_i(v, spec.shards) ? FlagResult::kOk : bad("bad --shards");
+  }
+  if (const char* v = val("--channel=")) {
+    unrlib::ChannelKind ck{};
+    if (!check::channel_from_token(v, ck)) return bad("bad --channel token");
+    spec.channel = v;
+    return FlagResult::kOk;
+  }
+  if (const char* v = val("--time-budget=")) {
+    return parse_double(v, spec.time_budget_sec) ? FlagResult::kOk
+                                                 : bad("bad --time-budget");
+  }
+  if (const char* v = val("--drop-rate=")) {
+    return parse_double(v, spec.faults.drop_rate) ? FlagResult::kOk
+                                                  : bad("bad --drop-rate");
+  }
+  if (const char* v = val("--delay-rate=")) {
+    return parse_double(v, spec.faults.delay_rate) ? FlagResult::kOk
+                                                   : bad("bad --delay-rate");
+  }
+  if (const char* v = val("--delay-max-us=")) {
+    std::uint64_t us = 0;
+    if (!parse_u64(v, us)) return bad("bad --delay-max-us");
+    spec.faults.delay_max = us * kUs;
+    return FlagResult::kOk;
+  }
+  if (const char* v = val("--nic-fault=")) {
+    // NODE,NIC,AT_US
+    const std::string t = v;
+    const std::size_t c1 = t.find(',');
+    const std::size_t c2 = c1 == std::string::npos ? c1 : t.find(',', c1 + 1);
+    fabric::FaultConfig::NicFault nf;
+    std::uint64_t at_us = 0;
+    if (c1 == std::string::npos || c2 == std::string::npos ||
+        !parse_i(t.substr(0, c1), nf.node) ||
+        !parse_i(t.substr(c1 + 1, c2 - c1 - 1), nf.index) ||
+        !parse_u64(t.substr(c2 + 1), at_us)) {
+      return bad("bad --nic-fault (want NODE,NIC,AT_US)");
+    }
+    nf.at = at_us * kUs;
+    spec.faults.nic_faults.push_back(nf);
+    return FlagResult::kOk;
+  }
+  if (const char* v = val("--trace-ring=")) {
+    return parse_u64(v, spec.trace_ring) ? FlagResult::kOk
+                                         : bad("bad --trace-ring");
+  }
+  if (const char* v = val("--param=")) {
+    std::string key, sval;
+    std::uint64_t pv = 0;
+    if (!split_kv(v, key, sval) || !parse_u64(sval, pv))
+      return bad("bad --param (want --param=KEY=U64)");
+    spec.params[key] = pv;
+    return FlagResult::kOk;
+  }
+  return FlagResult::kNotMine;
+}
+
+runtime::World::Config to_world_config(const RunSpec& spec,
+                                       const std::string& fallback_profile) {
+  runtime::World::Config wc;
+  wc.nodes = spec.nodes;
+  wc.ranks_per_node = spec.ranks_per_node;
+  wc.profile = system_profile(spec.profile.empty() ? fallback_profile
+                                                   : spec.profile);
+  wc.seed = spec.seed;
+  // Service/scenario runs always pin routing: the result must be a pure
+  // function of the spec, and the cache serves repeats byte-identically.
+  wc.deterministic_routing = true;
+  wc.faults = spec.faults;
+  wc.shards = spec.shards;
+  wc.telemetry.trace.enabled = spec.trace;
+  wc.telemetry.trace.ring_capacity = spec.trace_ring;
+  wc.telemetry.metrics = spec.metrics;
+  return wc;
+}
+
+}  // namespace unr::svc

@@ -1,0 +1,125 @@
+// svc::RunSpec — the ONE canonical, serializable description of a run.
+//
+// Every way this repo describes "what to simulate" funnels through this
+// type: the bench harnesses parse their command lines into it (bench_util's
+// Options is a thin view over it), the fuzz harness embeds its WorkloadSpec
+// in it when writing .repro files, and the session server (svc::Server)
+// accepts it over the wire. A run is a pure function of the RunSpec — the
+// seed, the topology, the fault timeline and the telemetry toggles are all
+// inside it — which is what makes completed runs cacheable: digest() over
+// the canonical text form is the cache key, and two specs with equal digests
+// produce byte-identical results.
+//
+// Canonical text form ("unrspec v1", one field block per line, fixed order,
+// params sorted by key; from_text(to_text(s)) == s exactly):
+//
+//   unrspec v1
+//   scenario pingpong            # "-" = none (a workload block follows)
+//   profile TH-XY                # "-" = harness/scenario default
+//   channel native               # UNR software channel for workload runs
+//   topo nodes=2 rpn=1
+//   run seed=1 shards=0 full=0 time_budget=0
+//   faults drop=0 delay=0 delay_max=20000
+//   nicfault node=0 nic=1 at=40000            # 0..N lines
+//   cqburst node=0 cq=0 at=0 entries=4 dur=0  # 0..N lines
+//   telemetry trace=0 ring=65536 metrics=1
+//   param iters=100                           # 0..N lines, sorted
+//   param size=4096
+//   workload unrfuzz v2                       # optional embedded block,
+//   ...                                       # verbatim unrfuzz v2 body,
+//   end                                       # terminated by ITS OWN "end"
+//   end
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+
+#include "check/workload.hpp"
+#include "fabric/fault.hpp"
+#include "runtime/world.hpp"
+
+namespace unr::svc {
+
+inline constexpr const char* kRunSpecFormat = "unrspec v1";
+
+struct RunSpec {
+  /// Named scenario from svc::scenario_names() ("" = none). Exactly one of
+  /// scenario / workload describes a service run; benches use the field as a
+  /// filter and ignore the registry.
+  std::string scenario;
+  /// Embedded explicit workload (the fuzz harness's unit of execution).
+  std::optional<check::WorkloadSpec> workload;
+
+  // --- Machine / topology (scenario runs; a workload carries its own) ---
+  std::string profile;  ///< system profile name; "" = harness/scenario default
+  int nodes = 2;
+  int ranks_per_node = 1;
+  std::uint64_t seed = 1;
+  int shards = 0;              ///< kernel worker shards (0 = auto)
+  std::string channel = "native";  ///< UNR software channel token
+  bool full = false;           ///< bench scale: quick (default) vs paper-scale
+  double time_budget_sec = 0;  ///< sweeps stop early; 0 = unlimited
+
+  // --- Fault timeline (scenario runs; workloads derive their own) ---
+  fabric::FaultConfig faults;
+
+  // --- Telemetry toggles (outputs routed per invocation, NOT part of the
+  // spec: file paths / wire streaming are I/O concerns; whether the tracer
+  // runs — which also pins the kernel to one shard — is part of the run) ---
+  bool trace = false;
+  std::size_t trace_ring = 1u << 16;
+  bool metrics = true;
+
+  // --- Scenario parameters (canonical: sorted by key) ---
+  std::map<std::string, std::uint64_t> params;
+
+  std::uint64_t param(const std::string& key, std::uint64_t fallback) const {
+    const auto it = params.find(key);
+    return it == params.end() ? fallback : it->second;
+  }
+
+  bool operator==(const RunSpec&) const = default;
+};
+
+/// Canonical text form (see the header comment). to_text always emits every
+/// field in a fixed order so equal specs serialize identically.
+std::string to_text(const RunSpec& spec);
+bool from_text(const std::string& text, RunSpec& out, std::string* error);
+
+/// FNV-1a over the canonical text: the result-cache key. Two RunSpecs are
+/// the same run iff their canonical texts match; the cache stores the full
+/// text next to the digest so a collision can never alias two runs.
+std::uint64_t digest(const RunSpec& spec);
+std::string digest_hex(const RunSpec& spec);
+
+// --- The one flag schema ----------------------------------------------------
+// Every harness derives its run-description flags from this table instead of
+// hand-rolling a parser; unknown flags fail loudly at the call site.
+
+struct FlagInfo {
+  const char* flag;  ///< e.g. "--seed=N"
+  const char* help;
+};
+std::span<const FlagInfo> flag_schema();
+/// One line per schema flag, for --help output.
+std::string flags_help();
+
+enum class FlagResult {
+  kNotMine,  ///< not a RunSpec flag; the caller's own flags get a chance
+  kOk,
+  kError,  ///< recognized but malformed; *err explains
+};
+/// Apply one command-line argument to the spec ("--seed=7", "--full", ...).
+FlagResult apply_flag(RunSpec& spec, const std::string& arg, std::string* err);
+
+/// Build the World::Config a scenario run describes: topology, profile
+/// (resolved via `fallback_profile` when the spec leaves it empty), seed,
+/// shards, fault timeline and telemetry toggles. Output paths stay empty —
+/// callers route them per invocation.
+runtime::World::Config to_world_config(const RunSpec& spec,
+                                       const std::string& fallback_profile);
+
+}  // namespace unr::svc

@@ -1,0 +1,25 @@
+// Named scenarios the session server can run directly from a RunSpec —
+// parameterized miniatures of the bench workloads (notified-PUT ping-pong,
+// a faultable PUT stream, an allreduce ring), each a pure function of the
+// spec. Scenario parameters come from RunSpec::params with per-scenario
+// defaults; topology/profile/faults/telemetry come from the spec proper.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "svc/run.hpp"
+#include "svc/runspec.hpp"
+
+namespace unr::svc {
+
+/// Registry listing, in canonical order (stable for docs and error text).
+const std::vector<std::string>& scenario_names();
+
+bool is_scenario(const std::string& name);
+
+/// Execute a named scenario. False when the name is unknown; execution
+/// failures (bad parameters, run aborts) come back inside `out`.
+bool run_scenario(const RunSpec& spec, RunOutcome& out);
+
+}  // namespace unr::svc

@@ -1,0 +1,326 @@
+#include "svc/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+
+#include "svc/frame.hpp"
+#include "svc/json.hpp"
+#include "svc/run.hpp"
+#include "svc/runspec.hpp"
+#include "svc/scenarios.hpp"
+
+namespace unr::svc {
+
+namespace {
+
+int parse_auto_shards() {
+  const char* e = std::getenv("UNR_SHARDS");
+  if (!e || !*e) return 1;
+  const int v = std::atoi(e);
+  return v > 0 ? v : 1;
+}
+
+std::string error_frame(const std::string& what) {
+  return "{\"type\":\"error\",\"error\":\"" + json_escape(what) + "\"}";
+}
+
+}  // namespace
+
+Server::Server(Config cfg)
+    : cfg_(cfg),
+      cache_(ResultCache::Config{cfg.cache_entries, cfg.cache_bytes}),
+      auto_shards_(parse_auto_shards()),
+      m_sessions_(registry_.counter("svc.sessions")),
+      m_runs_(registry_.counter("svc.runs")),
+      m_hits_(registry_.counter("svc.cache.hits")),
+      m_misses_(registry_.counter("svc.cache.misses")),
+      m_active_(registry_.gauge("svc.sessions.active")),
+      m_cache_entries_(registry_.gauge("svc.cache.entries")),
+      m_cache_bytes_(registry_.gauge("svc.cache.bytes")) {}
+
+Server::~Server() { stop(); }
+
+bool Server::start(std::string* err) {
+  if (running_.load()) return true;
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    if (err) *err = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(cfg_.port));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    if (err) *err = std::string("bind: ") + std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  if (::listen(listen_fd_, cfg_.backlog) < 0) {
+    if (err) *err = std::string("listen: ") + std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  socklen_t alen = sizeof addr;
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &alen);
+  port_ = ntohs(addr.sin_port);
+  stopping_.store(false);
+  running_.store(true);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  return true;
+}
+
+void Server::stop() {
+  if (!running_.exchange(false)) return;
+  stopping_.store(true);
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  // Kick every live session off its blocking read; a session mid-simulation
+  // finishes the (bounded) run, fails its final write, and exits.
+  std::vector<Session*> live;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (auto& s : sessions_) {
+      if (s->fd >= 0) ::shutdown(s->fd, SHUT_RDWR);
+      live.push_back(s.get());
+    }
+  }
+  for (Session* s : live) {
+    if (s->thread.joinable()) s->thread.join();
+  }
+  std::lock_guard<std::mutex> lk(mu_);
+  reap_finished_locked();
+}
+
+void Server::accept_loop() {
+  while (!stopping_.load()) {
+    sockaddr_in peer{};
+    socklen_t plen = sizeof peer;
+    const int fd =
+        ::accept(listen_fd_, reinterpret_cast<sockaddr*>(&peer), &plen);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listen socket shut down (stop()) or fatal
+    }
+    std::lock_guard<std::mutex> lk(mu_);
+    reap_finished_locked();
+    auto s = std::make_unique<Session>();
+    s->id = next_session_id_++;
+    s->fd = fd;
+    ++sessions_opened_;
+    m_sessions_.inc();
+    Session* raw = s.get();
+    sessions_.push_back(std::move(s));
+    raw->thread = std::thread([this, raw] { session_loop(*raw); });
+    if (cfg_.verbose)
+      std::cerr << "[svc] session " << raw->id << " open\n";
+  }
+}
+
+void Server::reap_finished_locked() {
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    Session& s = **it;
+    if (!s.done.load()) {
+      ++it;
+      continue;
+    }
+    if (s.thread.joinable()) s.thread.join();
+    if (s.fd >= 0) ::close(s.fd);
+    closed_bytes_in_ += s.bytes_in;
+    closed_bytes_out_ += s.bytes_out;
+    ++sessions_closed_;
+    if (cfg_.verbose) std::cerr << "[svc] session " << s.id << " closed\n";
+    it = sessions_.erase(it);
+  }
+}
+
+void Server::session_loop(Session& s) {
+  std::string payload;
+  bool alive = true;
+  while (alive && !stopping_.load()) {
+    const FrameStatus st = read_frame(s.fd, payload);
+    if (st == FrameStatus::kClosed) break;
+    if (st == FrameStatus::kEmpty || st == FrameStatus::kTooLarge) {
+      // The stream is desynced past this point: answer, then hang up.
+      const std::string e =
+          error_frame(std::string("bad frame: ") + frame_status_name(st));
+      if (write_frame(s.fd, e) == FrameStatus::kOk) s.bytes_out += 4 + e.size();
+      break;
+    }
+    if (st != FrameStatus::kOk) break;  // truncated / io error
+    s.bytes_in += 4 + payload.size();
+
+    std::vector<std::string> replies;
+    alive = handle(s, payload, replies);
+    for (const std::string& r : replies) {
+      if (write_frame(s.fd, r) != FrameStatus::kOk) {
+        alive = false;  // client vanished (mid-run disconnect lands here)
+        break;
+      }
+      s.bytes_out += 4 + r.size();
+    }
+  }
+  ::shutdown(s.fd, SHUT_RDWR);
+  s.done.store(true);
+}
+
+bool Server::handle(Session& s, const std::string& payload,
+                    std::vector<std::string>& replies) {
+  Json req;
+  std::string jerr;
+  if (!Json::parse(payload, req, &jerr)) {
+    replies.push_back(error_frame("bad json: " + jerr));
+    return true;
+  }
+  const std::string op = req.str("op", "");
+  if (op == "hello") {
+    std::ostringstream os;
+    os << "{\"type\":\"hello\",\"proto\":\"unr-svc-v1\",\"scenarios\":[";
+    const auto& names = scenario_names();
+    for (std::size_t i = 0; i < names.size(); ++i)
+      os << (i ? "," : "") << "\"" << names[i] << "\"";
+    os << "]}";
+    replies.push_back(os.str());
+    return true;
+  }
+  if (op == "submit") {
+    const Json* spec = req.find("spec");
+    if (!spec || spec->type != Json::Type::kString) {
+      replies.push_back(error_frame("submit needs a string 'spec'"));
+      return true;
+    }
+    submit(s, spec->string, replies);
+    return true;
+  }
+  if (op == "stats") {
+    replies.push_back(render_stats());
+    return true;
+  }
+  if (op == "bye") {
+    replies.push_back("{\"type\":\"bye\"}");
+    return false;
+  }
+  replies.push_back(error_frame("unknown op '" + op + "'"));
+  return true;
+}
+
+void Server::submit(Session& s, const std::string& spec_text,
+                    std::vector<std::string>& replies) {
+  RunSpec spec;
+  std::string perr;
+  if (!from_text(spec_text, spec, &perr)) {
+    replies.push_back(error_frame("bad spec: " + perr));
+    return;
+  }
+  // Canonical key: re-serialize, so formatting quirks in the submitted text
+  // can't split one run across two cache entries.
+  const std::string key = to_text(spec);
+  const std::string dhex = digest_hex(spec);
+
+  if (auto body = cache_.get(key)) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      m_hits_.inc();
+    }
+    replies.push_back("{\"type\":\"status\",\"state\":\"done\",\"cache\":\"hit\","
+                      "\"digest\":\"" + dhex + "\"}");
+    replies.push_back("{\"type\":\"result\",\"cache\":\"hit\",\"digest\":\"" +
+                      dhex + "\",\"body\":" + *body + "}");
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    m_misses_.inc();
+    ++runs_;
+    m_runs_.inc();
+  }
+  // Stream the acknowledgement BEFORE simulating so the client sees the
+  // session advance while the run executes.
+  const std::string status =
+      "{\"type\":\"status\",\"state\":\"running\",\"cache\":\"miss\","
+      "\"digest\":\"" + dhex + "\"}";
+  if (write_frame(s.fd, status) == FrameStatus::kOk)
+    s.bytes_out += 4 + status.size();
+
+  // Shard arbitration: the sharded kernel flips a process-global flag around
+  // its workers, so a run that will shard must not overlap any other run.
+  // Tracing pins the kernel to one shard, so traced runs stay shared.
+  const int effective = spec.shards == 0 ? auto_shards_ : spec.shards;
+  const bool exclusive = effective > 1 && !spec.trace;
+  std::string body;
+  if (exclusive) {
+    std::unique_lock<std::shared_mutex> gate(run_gate_);
+    body = render_body(spec, run_runspec(spec));
+  } else {
+    std::shared_lock<std::shared_mutex> gate(run_gate_);
+    body = render_body(spec, run_runspec(spec));
+  }
+  cache_.put(key, body);
+  replies.push_back("{\"type\":\"result\",\"cache\":\"miss\",\"digest\":\"" +
+                    dhex + "\",\"body\":" + body + "}");
+}
+
+std::string Server::render_stats() {
+  const Stats st = stats();
+  std::ostringstream os;
+  os << "{\"type\":\"stats\"";
+  os << ",\"sessions_opened\":" << st.sessions_opened;
+  os << ",\"sessions_closed\":" << st.sessions_closed;
+  os << ",\"active_sessions\":" << st.active_sessions;
+  os << ",\"runs\":" << st.runs;
+  os << ",\"cache\":{\"hits\":" << st.cache_hits
+     << ",\"misses\":" << st.cache_misses
+     << ",\"entries\":" << cache_.entries() << ",\"bytes\":" << cache_.bytes()
+     << "}";
+  os << ",\"bytes_in\":" << st.bytes_in;
+  os << ",\"bytes_out\":" << st.bytes_out;
+  {
+    // Mirror the cache gauges, then dump the registry — all handle updates
+    // happen under mu_, matching the registry's single-writer fast path.
+    std::lock_guard<std::mutex> lk(mu_);
+    m_active_.set(static_cast<std::int64_t>(st.active_sessions));
+    m_cache_entries_.set(static_cast<std::int64_t>(cache_.entries()));
+    m_cache_bytes_.set(static_cast<std::int64_t>(cache_.bytes()));
+    std::ostringstream reg;
+    registry_.write_json(reg);
+    os << ",\"metrics\":" << reg.str();
+  }
+  os << "}";
+  return os.str();
+}
+
+Server::Stats Server::stats() const {
+  Stats st;
+  std::lock_guard<std::mutex> lk(mu_);
+  st.sessions_opened = sessions_opened_;
+  st.sessions_closed = sessions_closed_;
+  st.runs = runs_;
+  st.cache_hits = cache_.hits();
+  st.cache_misses = cache_.misses();
+  st.bytes_in = closed_bytes_in_;
+  st.bytes_out = closed_bytes_out_;
+  for (const auto& s : sessions_) {
+    if (!s->done.load()) ++st.active_sessions;
+    st.bytes_in += s->bytes_in;
+    st.bytes_out += s->bytes_out;
+  }
+  return st;
+}
+
+}  // namespace unr::svc

@@ -1,0 +1,138 @@
+// svc::Server — simulation-as-a-service over plain TCP.
+//
+// A long-running session server: clients connect (loopback TCP), exchange
+// length-prefixed JSON frames (see frame.hpp), and submit RunSpecs. Each
+// accepted connection is one SESSION with its own thread, its own byte
+// accounting, and strictly sequential request handling; concurrency comes
+// from many sessions. Completed runs land in a bounded LRU keyed by the
+// canonical RunSpec text — a repeat submission (same digest) is served from
+// the cache byte-identically, without re-simulating.
+//
+// Protocol (every frame is one JSON object):
+//   -> {"op":"hello"}
+//   <- {"type":"hello","proto":"unr-svc-v1","scenarios":[...]}
+//   -> {"op":"submit","spec":"<unrspec v1 text>"}
+//   <- {"type":"status","state":"running","cache":"hit"|"miss","digest":...}
+//   <- {"type":"result","cache":...,"digest":...,"body":{unr-svc-result-v1}}
+//   -> {"op":"stats"}
+//   <- {"type":"stats",...,"metrics":{unr-metrics-v1 registry dump}}
+//   -> {"op":"bye"}
+//   <- {"type":"bye"}           (server closes the session afterwards)
+// Malformed JSON / unknown ops get {"type":"error",...} and the session
+// lives on; framing violations (zero-length / oversized / truncated frames)
+// end the session — the stream is desynced and nothing after it can be
+// trusted.
+//
+// Concurrency contract with the simulator: the sharded kernel flips the
+// process-global obs concurrent-update flag around its worker threads, so a
+// sharded run may not overlap ANY other run in the process. The server
+// arbitrates with a shared_mutex — scalar (1-shard) runs take it shared and
+// overlap freely; a run that will shard takes it exclusive.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/registry.hpp"
+#include "svc/cache.hpp"
+
+namespace unr::svc {
+
+class Server {
+ public:
+  struct Config {
+    int port = 0;      ///< 0 = OS-assigned ephemeral (read back via port())
+    int backlog = 64;
+    std::size_t cache_entries = 128;
+    std::size_t cache_bytes = 256u << 20;
+    bool verbose = false;  ///< log session lifecycle to stderr
+  };
+
+  struct Stats {
+    std::uint64_t sessions_opened = 0;
+    std::uint64_t sessions_closed = 0;
+    std::uint64_t active_sessions = 0;
+    std::uint64_t runs = 0;          ///< submissions actually simulated
+    std::uint64_t cache_hits = 0;
+    std::uint64_t cache_misses = 0;
+    std::uint64_t bytes_in = 0;      ///< wire bytes, all sessions, incl. live
+    std::uint64_t bytes_out = 0;
+  };
+
+  Server() : Server(Config{}) {}
+  explicit Server(Config cfg);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind + listen + start the accept thread. False (with *err) on failure.
+  bool start(std::string* err = nullptr);
+
+  /// Stop accepting, shut every session socket, join every thread. Sessions
+  /// mid-simulation finish their run first (runs are bounded); their final
+  /// write fails and the session exits. Idempotent.
+  void stop();
+
+  bool running() const { return running_.load(); }
+  int port() const { return port_; }
+
+  Stats stats() const;
+
+ private:
+  struct Session {
+    std::uint64_t id = 0;
+    int fd = -1;
+    /// Written by the session thread, read by stats() — hence atomic.
+    std::atomic<std::uint64_t> bytes_in{0};
+    std::atomic<std::uint64_t> bytes_out{0};
+    std::atomic<bool> done{false};
+    std::thread thread;
+  };
+
+  void accept_loop();
+  void session_loop(Session& s);
+  /// Handle one decoded request; appends reply frames to `replies`.
+  /// Returns false when the session should end (bye).
+  bool handle(Session& s, const std::string& payload,
+              std::vector<std::string>& replies);
+  void submit(Session& s, const std::string& spec_text,
+              std::vector<std::string>& replies);
+  std::string render_stats();
+  void reap_finished_locked();
+
+  Config cfg_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+
+  ResultCache cache_;
+  /// Shard arbitration (see the header comment): shared = scalar run,
+  /// exclusive = run whose kernel will spawn worker shards.
+  std::shared_mutex run_gate_;
+  int auto_shards_ = 1;  ///< resolved UNR_SHARDS default for shards=0 specs
+
+  mutable std::mutex mu_;  ///< sessions list + totals + registry handles
+  std::list<std::unique_ptr<Session>> sessions_;
+  std::uint64_t next_session_id_ = 1;
+  std::uint64_t sessions_opened_ = 0;
+  std::uint64_t sessions_closed_ = 0;
+  std::uint64_t runs_ = 0;
+  std::uint64_t closed_bytes_in_ = 0;   ///< totals folded in at session end
+  std::uint64_t closed_bytes_out_ = 0;
+
+  obs::Registry registry_{true};
+  obs::Counter m_sessions_, m_runs_, m_hits_, m_misses_;
+  obs::Gauge m_active_, m_cache_entries_, m_cache_bytes_;
+};
+
+}  // namespace unr::svc

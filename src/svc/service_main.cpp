@@ -1,0 +1,59 @@
+// unr_service — the simulation-as-a-service session server binary.
+//
+// Binds loopback TCP (ephemeral port by default), prints "LISTENING <port>"
+// on stdout once ready (CI and tools/unr_client.py key off that line), and
+// serves sessions until SIGINT/SIGTERM. See docs/SERVICE.md for the wire
+// protocol and tools/unr_client.py for a reference client.
+#include <csignal>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "svc/server.hpp"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+void on_signal(int) { g_stop = 1; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  unr::svc::Server::Config cfg;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind("--port=", 0) == 0) cfg.port = std::stoi(a.substr(7));
+    else if (a.rfind("--cache-entries=", 0) == 0)
+      cfg.cache_entries = static_cast<std::size_t>(std::stoul(a.substr(16)));
+    else if (a.rfind("--cache-mib=", 0) == 0)
+      cfg.cache_bytes = static_cast<std::size_t>(std::stoul(a.substr(12))) << 20;
+    else if (a == "--verbose") cfg.verbose = true;
+    else if (a == "--help" || a == "-h") {
+      std::cout << "flags: --port=N (0 = ephemeral) | --cache-entries=N | "
+                   "--cache-mib=N | --verbose\n";
+      return 0;
+    } else {
+      std::cerr << "unknown flag: " << a << "\n";
+      return 2;
+    }
+  }
+
+  unr::svc::Server server(cfg);
+  std::string err;
+  if (!server.start(&err)) {
+    std::cerr << "unr_service: " << err << "\n";
+    return 1;
+  }
+  std::cout << "LISTENING " << server.port() << std::endl;  // flushes
+
+  struct sigaction sa{};
+  sa.sa_handler = &on_signal;
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+  sigset_t empty;
+  ::sigemptyset(&empty);
+  while (!g_stop) ::sigsuspend(&empty);
+
+  server.stop();
+  return 0;
+}

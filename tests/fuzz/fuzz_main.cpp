@@ -5,8 +5,12 @@
 // differentially across the three software channel levels (native / level0 /
 // MPI fallback), whose application-visible digests must match bit for bit.
 //
-// Failures write a repro file (workload text format) next to the working
-// directory, are minimized by the shrinker, and exit the sweep nonzero.
+// Failures write a repro file next to the working directory, are minimized
+// by the shrinker, and exit the sweep nonzero. Repros are full svc::RunSpec
+// documents ("unrspec v1") with the workload embedded — the same canonical
+// form the session server and the benches speak — and --repro= also accepts
+// the older bare-workload files ("unrfuzz v1"/"unrfuzz v2"), so historical
+// repros keep replaying.
 //
 //   unr_fuzz --seeds=200 --ifaces=glex,verbs,utofu --faults=both
 //   unr_fuzz --repro=fuzz-fail-17-verbs-on.repro
@@ -27,6 +31,7 @@
 #include "check/runner.hpp"
 #include "check/shrink.hpp"
 #include "check/workload.hpp"
+#include "svc/runspec.hpp"
 
 namespace {
 
@@ -149,9 +154,28 @@ std::string case_name(std::uint64_t seed, Interface iface, bool faults) {
 }
 
 void write_repro(const WorkloadSpec& spec, const std::string& path) {
+  svc::RunSpec rs;
+  rs.workload = spec;
+  rs.seed = spec.seed;
   std::ofstream f(path);
-  f << to_text(spec);
+  f << svc::to_text(rs);
   std::cerr << "  repro written: " << path << "\n";
+}
+
+/// Accept every repro generation: a full "unrspec v1" document (current), or
+/// a bare workload in "unrfuzz v1"/"unrfuzz v2" (what older sweeps dumped).
+bool load_repro(const std::string& text, WorkloadSpec& spec, std::string& err) {
+  if (text.rfind(svc::kRunSpecFormat, 0) == 0) {
+    svc::RunSpec rs;
+    if (!svc::from_text(text, rs, &err)) return false;
+    if (!rs.workload) {
+      err = "unrspec repro embeds no workload block";
+      return false;
+    }
+    spec = *rs.workload;
+    return true;
+  }
+  return from_text(text, spec, &err);
 }
 
 /// Shrink with "the channel sweep still reports any violation" as the
@@ -180,7 +204,7 @@ int replay(const CliArgs& a) {
   buf << f.rdbuf();
   WorkloadSpec spec;
   std::string err;
-  if (!from_text(buf.str(), spec, &err)) {
+  if (!load_repro(buf.str(), spec, err)) {
     std::cerr << "bad repro file: " << err << "\n";
     return 2;
   }

@@ -1,0 +1,190 @@
+// svc::RunSpec: canonical text round-trip, digest stability, the one flag
+// schema, and the workload-format compatibility contract ("unrfuzz v1" files
+// keep parsing after the v2 rev).
+#include "svc/runspec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "check/workload.hpp"
+#include "svc/run.hpp"
+
+using namespace unr;
+using namespace unr::svc;
+
+namespace {
+
+RunSpec rich_spec() {
+  RunSpec s;
+  s.scenario = "pingpong";
+  s.profile = "TH-2A";
+  s.channel = "level0";
+  s.nodes = 4;
+  s.ranks_per_node = 2;
+  s.seed = 987654321;
+  s.shards = 2;
+  s.full = true;
+  s.time_budget_sec = 12.5;
+  s.faults.drop_rate = 0.02;
+  s.faults.delay_rate = 0.05;
+  s.faults.delay_max = 5 * kUs;
+  s.faults.nic_faults.push_back({1, 0, 40 * kUs});
+  s.faults.cq_bursts.push_back({0, 1, 7 * kUs, 16, 3 * kUs});
+  s.trace = true;
+  s.trace_ring = 1u << 10;
+  s.metrics = false;
+  s.params["iters"] = 64;
+  s.params["size"] = 4096;
+  return s;
+}
+
+TEST(RunSpecText, RoundTripRich) {
+  const RunSpec s = rich_spec();
+  const std::string text = to_text(s);
+  RunSpec back;
+  std::string err;
+  ASSERT_TRUE(from_text(text, back, &err)) << err << "\n" << text;
+  EXPECT_EQ(s, back) << text;
+  // Canonical: serializing the parse reproduces the text byte for byte.
+  EXPECT_EQ(text, to_text(back));
+}
+
+TEST(RunSpecText, RoundTripDefaults) {
+  RunSpec s;
+  RunSpec back;
+  std::string err;
+  ASSERT_TRUE(from_text(to_text(s), back, &err)) << err;
+  EXPECT_EQ(s, back);
+}
+
+TEST(RunSpecText, RoundTripEmbeddedWorkloads) {
+  // parse(serialize(spec)) == spec for generated workloads across seeds and
+  // fault modes — the satellite's core acceptance test.
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    check::GenConfig gc;
+    gc.faults = (seed % 2) == 0;
+    RunSpec s;
+    s.workload = check::generate(seed, gc);
+    s.seed = s.workload->seed;
+    const std::string text = to_text(s);
+    RunSpec back;
+    std::string err;
+    ASSERT_TRUE(from_text(text, back, &err)) << "seed " << seed << ": " << err;
+    EXPECT_EQ(s, back) << "seed " << seed;
+    EXPECT_EQ(text, to_text(back)) << "seed " << seed;
+  }
+}
+
+TEST(RunSpecText, PartialDocumentsUseDefaults) {
+  RunSpec back;
+  std::string err;
+  ASSERT_TRUE(
+      from_text("unrspec v1\nscenario pingpong\nrun seed=7\nend\n", back, &err))
+      << err;
+  EXPECT_EQ(back.scenario, "pingpong");
+  EXPECT_EQ(back.seed, 7u);
+  EXPECT_EQ(back.nodes, 2);
+  EXPECT_EQ(back.channel, "native");
+}
+
+TEST(RunSpecText, RejectsMalformed) {
+  RunSpec s;
+  std::string err;
+  EXPECT_FALSE(from_text("not a spec\n", s, &err));
+  EXPECT_FALSE(from_text("unrspec v1\n", s, &err));  // missing end
+  EXPECT_FALSE(from_text("unrspec v1\nbogus line here\nend\n", s, &err));
+  EXPECT_FALSE(from_text("unrspec v1\nrun seed=notanumber\nend\n", s, &err));
+  EXPECT_FALSE(from_text("unrspec v1\nchannel warp\nend\n", s, &err));
+  EXPECT_FALSE(
+      from_text("unrspec v1\nworkload unrfuzz v2\nseed 1\n", s, &err))
+      << "unterminated workload block must fail";
+}
+
+TEST(RunSpecDigest, StableAndDiscriminating) {
+  const RunSpec a = rich_spec();
+  RunSpec b = rich_spec();
+  EXPECT_EQ(digest(a), digest(b));
+  EXPECT_EQ(digest_hex(a), digest_hex(b));
+  b.seed += 1;
+  EXPECT_NE(digest(a), digest(b));
+  RunSpec c = rich_spec();
+  c.params["iters"] = 65;
+  EXPECT_NE(digest(a), digest(c));
+}
+
+TEST(RunSpecFlags, SchemaDrivesParsing) {
+  RunSpec s;
+  std::string err;
+  const char* flags[] = {"--scenario=pingpong", "--system=TH-2A", "--nodes=4",
+                         "--rpn=2",             "--seed=99",      "--shards=3",
+                         "--channel=level0",    "--full",         "--drop-rate=0.01",
+                         "--param=iters=32"};
+  for (const char* f : flags)
+    ASSERT_EQ(apply_flag(s, f, &err), FlagResult::kOk) << f << ": " << err;
+  EXPECT_EQ(s.scenario, "pingpong");
+  EXPECT_EQ(s.profile, "TH-2A");
+  EXPECT_EQ(s.nodes, 4);
+  EXPECT_EQ(s.ranks_per_node, 2);
+  EXPECT_EQ(s.seed, 99u);
+  EXPECT_EQ(s.shards, 3);
+  EXPECT_EQ(s.channel, "level0");
+  EXPECT_TRUE(s.full);
+  EXPECT_DOUBLE_EQ(s.faults.drop_rate, 0.01);
+  EXPECT_EQ(s.param("iters", 0), 32u);
+  // The flag-built spec round-trips like any other.
+  RunSpec back;
+  ASSERT_TRUE(from_text(to_text(s), back, &err)) << err;
+  EXPECT_EQ(s, back);
+}
+
+TEST(RunSpecFlags, UnknownAndMalformed) {
+  RunSpec s;
+  std::string err;
+  EXPECT_EQ(apply_flag(s, "--definitely-not-a-flag", &err),
+            FlagResult::kNotMine);
+  EXPECT_EQ(apply_flag(s, "--seed=banana", &err), FlagResult::kError);
+  EXPECT_FALSE(err.empty());
+  EXPECT_EQ(apply_flag(s, "--channel=warp", &err), FlagResult::kError);
+  EXPECT_EQ(apply_flag(s, "--nic-fault=1,2", &err), FlagResult::kError);
+}
+
+TEST(RunSpecFlags, EverySchemaFlagHasHelp) {
+  for (const FlagInfo& f : flag_schema()) {
+    EXPECT_NE(f.flag, nullptr);
+    EXPECT_NE(f.help, nullptr);
+    EXPECT_EQ(std::string(f.flag).rfind("--", 0), 0u) << f.flag;
+  }
+  EXPECT_FALSE(flags_help().empty());
+}
+
+TEST(WorkloadFormat, V2EmittedV1Accepted) {
+  check::GenConfig gc;
+  const check::WorkloadSpec w = check::generate(5, gc);
+  std::string text = check::to_text(w);
+  ASSERT_EQ(text.rfind("unrfuzz v2\n", 0), 0u) << text.substr(0, 32);
+  // Old repro files carry the v1 header over the same body grammar.
+  text.replace(0, std::string("unrfuzz v2").size(), "unrfuzz v1");
+  check::WorkloadSpec back;
+  std::string err;
+  ASSERT_TRUE(check::from_text(text, back, &err)) << err;
+  EXPECT_EQ(w, back);
+}
+
+TEST(RunSpecWorldConfig, MapsTopologyFaultsTelemetry) {
+  const RunSpec s = rich_spec();
+  const runtime::World::Config wc = to_world_config(s, "TH-XY");
+  EXPECT_EQ(wc.nodes, 4);
+  EXPECT_EQ(wc.ranks_per_node, 2);
+  EXPECT_EQ(wc.seed, 987654321u);
+  EXPECT_EQ(wc.shards, 2);
+  EXPECT_TRUE(wc.deterministic_routing);
+  EXPECT_DOUBLE_EQ(wc.faults.drop_rate, 0.02);
+  ASSERT_EQ(wc.faults.nic_faults.size(), 1u);
+  EXPECT_TRUE(wc.telemetry.trace.enabled);
+  EXPECT_EQ(wc.telemetry.trace.ring_capacity, 1u << 10);
+  EXPECT_FALSE(wc.telemetry.metrics);
+  EXPECT_EQ(wc.profile.name, "TH-2A");
+  RunSpec noprofile;
+  EXPECT_EQ(to_world_config(noprofile, "HPC-IB").profile.name, "HPC-IB");
+}
+
+}  // namespace

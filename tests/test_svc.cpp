@@ -1,0 +1,361 @@
+// The session server stack: frame codec edge cases (partial reads across
+// frame boundaries, zero-length / oversized frames, truncation), the JSON
+// codec, and the server end-to-end over real sockets — concurrent sessions,
+// cache-hit byte-identity, and mid-run client disconnects.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "svc/frame.hpp"
+#include "svc/json.hpp"
+#include "svc/run.hpp"
+#include "svc/runspec.hpp"
+#include "svc/server.hpp"
+
+using namespace unr::svc;
+
+namespace {
+
+// --- Frame codec ------------------------------------------------------------
+
+struct Pair {
+  int a = -1, b = -1;  ///< a = test side, b = peer side
+  Pair() {
+    int fds[2];
+    EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    a = fds[0];
+    b = fds[1];
+  }
+  ~Pair() {
+    if (a >= 0) ::close(a);
+    if (b >= 0) ::close(b);
+  }
+};
+
+TEST(Frame, RoundTrip) {
+  Pair p;
+  ASSERT_EQ(write_frame(p.b, "{\"x\":1}"), FrameStatus::kOk);
+  std::string payload;
+  ASSERT_EQ(read_frame(p.a, payload), FrameStatus::kOk);
+  EXPECT_EQ(payload, "{\"x\":1}");
+}
+
+TEST(Frame, PartialReadsAcrossBoundaries) {
+  // Drip two frames one byte at a time: the reader must reassemble both and
+  // stop exactly at each boundary.
+  Pair p;
+  std::string wire, w2;
+  ASSERT_TRUE(encode_frame("{\"first\":true}", wire));
+  ASSERT_TRUE(encode_frame("{\"second\":\"abc\"}", w2));
+  wire += w2;
+  std::thread writer([&] {
+    for (const char c : wire) {
+      ASSERT_EQ(::send(p.b, &c, 1, 0), 1);
+    }
+    ::shutdown(p.b, SHUT_WR);
+  });
+  std::string payload;
+  EXPECT_EQ(read_frame(p.a, payload), FrameStatus::kOk);
+  EXPECT_EQ(payload, "{\"first\":true}");
+  EXPECT_EQ(read_frame(p.a, payload), FrameStatus::kOk);
+  EXPECT_EQ(payload, "{\"second\":\"abc\"}");
+  EXPECT_EQ(read_frame(p.a, payload), FrameStatus::kClosed);
+  writer.join();
+}
+
+TEST(Frame, ZeroLengthIsError) {
+  Pair p;
+  const unsigned char hdr[4] = {0, 0, 0, 0};
+  ASSERT_EQ(::send(p.b, hdr, 4, 0), 4);
+  std::string payload;
+  EXPECT_EQ(read_frame(p.a, payload), FrameStatus::kEmpty);
+  EXPECT_EQ(write_frame(p.b, ""), FrameStatus::kEmpty);
+}
+
+TEST(Frame, OversizedIsRefusedBeforeAllocating) {
+  Pair p;
+  // 0xFFFFFFFF advertised length: must come back kTooLarge without the
+  // reader ever trying to allocate 4 GiB.
+  const unsigned char hdr[4] = {0xFF, 0xFF, 0xFF, 0xFF};
+  ASSERT_EQ(::send(p.b, hdr, 4, 0), 4);
+  std::string payload;
+  EXPECT_EQ(read_frame(p.a, payload), FrameStatus::kTooLarge);
+  const std::string big(kMaxFrameBytes + 1, 'x');
+  EXPECT_EQ(write_frame(p.b, big), FrameStatus::kTooLarge);
+  std::string wire;
+  EXPECT_FALSE(encode_frame(big, wire));
+  EXPECT_FALSE(encode_frame("", wire));
+}
+
+TEST(Frame, TruncationMidFrameVsCleanEof) {
+  {
+    Pair p;
+    std::string wire;
+    ASSERT_TRUE(encode_frame("{\"x\":1}", wire));
+    // Send all but the last byte, then hang up: EOF inside a frame.
+    ASSERT_EQ(::send(p.b, wire.data(), wire.size() - 1, 0),
+              static_cast<ssize_t>(wire.size() - 1));
+    ::shutdown(p.b, SHUT_WR);
+    std::string payload;
+    EXPECT_EQ(read_frame(p.a, payload), FrameStatus::kTruncated);
+  }
+  {
+    Pair p;
+    ::shutdown(p.b, SHUT_WR);  // hang up between frames: clean close
+    std::string payload;
+    EXPECT_EQ(read_frame(p.a, payload), FrameStatus::kClosed);
+  }
+}
+
+// --- JSON codec -------------------------------------------------------------
+
+TEST(Json, ParsesProtocolShapes) {
+  Json v;
+  std::string err;
+  ASSERT_TRUE(Json::parse(
+      "{\"op\":\"submit\",\"n\":42,\"f\":1.5,\"b\":true,\"z\":null,"
+      "\"a\":[1,2,3],\"s\":\"q\\\"\\n\\u0041\"}",
+      v, &err))
+      << err;
+  EXPECT_EQ(v.str("op", ""), "submit");
+  EXPECT_EQ(v.num("n", 0), 42);
+  EXPECT_TRUE(v.find("f")->number == 1.5);
+  EXPECT_TRUE(v.find("b")->boolean);
+  EXPECT_EQ(v.find("z")->type, Json::Type::kNull);
+  EXPECT_EQ(v.find("a")->items.size(), 3u);
+  EXPECT_EQ(v.find("s")->string, "q\"\nA");
+}
+
+TEST(Json, RejectsGarbage) {
+  Json v;
+  std::string err;
+  EXPECT_FALSE(Json::parse("", v, &err));
+  EXPECT_FALSE(Json::parse("{\"a\":}", v, &err));
+  EXPECT_FALSE(Json::parse("{\"a\":1} trailing", v, &err));
+  EXPECT_FALSE(Json::parse("{\"a\":1", v, &err));
+  std::string deep;
+  for (int i = 0; i < 64; ++i) deep += "[";
+  EXPECT_FALSE(Json::parse(deep, v, &err));
+}
+
+TEST(Json, EscapeRoundTrips) {
+  const std::string nasty = "a\"b\\c\nd\te\x01f";
+  Json v;
+  std::string err;
+  ASSERT_TRUE(Json::parse("{\"k\":\"" + json_escape(nasty) + "\"}", v, &err))
+      << err;
+  EXPECT_EQ(v.str("k", ""), nasty);
+}
+
+// --- Server end-to-end ------------------------------------------------------
+
+int connect_to(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0);
+  return fd;
+}
+
+std::string request(int fd, const std::string& payload) {
+  EXPECT_EQ(write_frame(fd, payload), FrameStatus::kOk);
+  std::string reply;
+  EXPECT_EQ(read_frame(fd, reply), FrameStatus::kOk);
+  return reply;
+}
+
+std::string small_spec(std::uint64_t seed) {
+  RunSpec s;
+  s.scenario = "pingpong";
+  s.seed = seed;
+  s.params["iters"] = 10;
+  s.params["size"] = 256;
+  return to_text(s);
+}
+
+std::string submit_payload(const std::string& spec_text) {
+  return "{\"op\":\"submit\",\"spec\":\"" + json_escape(spec_text) + "\"}";
+}
+
+/// Submit and collect (status?, result-frame-raw).
+std::string submit_and_wait(int fd, const std::string& spec_text) {
+  std::string frame = request(fd, submit_payload(spec_text));
+  Json v;
+  std::string err;
+  EXPECT_TRUE(Json::parse(frame, v, &err)) << err << ": " << frame;
+  EXPECT_NE(v.str("type", ""), "error") << frame;
+  if (v.str("type", "") == "status") {
+    EXPECT_EQ(read_frame(fd, frame), FrameStatus::kOk);
+  }
+  return frame;
+}
+
+/// Raw bytes of the "body" value — the cached payload.
+std::string body_of(const std::string& result_frame) {
+  const std::size_t i = result_frame.find("\"body\":");
+  EXPECT_NE(i, std::string::npos) << result_frame;
+  return result_frame.substr(i + 7, result_frame.size() - (i + 7) - 1);
+}
+
+TEST(Server, HelloSubmitCacheStats) {
+  Server server;
+  std::string err;
+  ASSERT_TRUE(server.start(&err)) << err;
+
+  const int fd = connect_to(server.port());
+  const std::string hello = request(fd, "{\"op\":\"hello\"}");
+  EXPECT_NE(hello.find("unr-svc-v1"), std::string::npos);
+  EXPECT_NE(hello.find("pingpong"), std::string::npos);
+
+  const std::string spec = small_spec(7);
+  const std::string first = submit_and_wait(fd, spec);
+  EXPECT_NE(first.find("\"cache\":\"miss\""), std::string::npos) << first;
+  EXPECT_NE(first.find("\"ok\":true"), std::string::npos) << first;
+  const std::string second = submit_and_wait(fd, spec);
+  EXPECT_NE(second.find("\"cache\":\"hit\""), std::string::npos) << second;
+  // The whole result body — digest, events, metrics JSON — is byte-identical
+  // between the original run and the cache hit.
+  EXPECT_EQ(body_of(first), body_of(second));
+
+  const std::string stats = request(fd, "{\"op\":\"stats\"}");
+  Json sv;
+  ASSERT_TRUE(Json::parse(stats, sv, &err)) << err;
+  const Json* cache = sv.find("cache");
+  ASSERT_NE(cache, nullptr);
+  EXPECT_GE(cache->num("hits", 0), 1);
+  EXPECT_GE(cache->num("misses", 0), 1);
+  EXPECT_NE(stats.find("unr-metrics-v1"), std::string::npos) << stats;
+  EXPECT_GT(sv.num("bytes_in", 0), 0);
+  EXPECT_GT(sv.num("bytes_out", 0), 0);
+
+  EXPECT_EQ(request(fd, "{\"op\":\"bye\"}"), "{\"type\":\"bye\"}");
+  ::close(fd);
+  server.stop();
+  const Server::Stats st = server.stats();
+  EXPECT_EQ(st.sessions_opened, 1u);
+  EXPECT_EQ(st.sessions_closed, 1u);
+  EXPECT_EQ(st.cache_hits, 1u);
+}
+
+TEST(Server, EightConcurrentSessions) {
+  Server server;
+  std::string err;
+  ASSERT_TRUE(server.start(&err)) << err;
+  constexpr int kSessions = 8;
+  std::vector<std::string> results(kSessions);
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kSessions; ++i) {
+    threads.emplace_back([&, i] {
+      const int fd = connect_to(server.port());
+      results[static_cast<std::size_t>(i)] =
+          submit_and_wait(fd, small_spec(100 + static_cast<std::uint64_t>(i)));
+      write_frame(fd, "{\"op\":\"bye\"}");
+      std::string bye;
+      read_frame(fd, bye);
+      ::close(fd);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (const std::string& r : results) {
+    EXPECT_NE(r.find("\"ok\":true"), std::string::npos) << r;
+    EXPECT_NE(r.find("\"cache\":\"miss\""), std::string::npos) << r;
+  }
+  const Server::Stats st = server.stats();
+  EXPECT_EQ(st.sessions_opened, kSessions);
+  EXPECT_EQ(st.cache_misses, kSessions);
+  server.stop();
+}
+
+TEST(Server, MidRunDisconnectDoesNotWedgeTheServer) {
+  Server server;
+  std::string err;
+  ASSERT_TRUE(server.start(&err)) << err;
+
+  // Fire a submit and hang up WITHOUT reading any reply: the session's
+  // result write fails, the session dies, the run still completes and lands
+  // in the cache.
+  const std::string spec = small_spec(55);
+  {
+    const int fd = connect_to(server.port());
+    ASSERT_EQ(write_frame(fd, submit_payload(spec)), FrameStatus::kOk);
+    ::close(fd);
+  }
+  // A fresh session gets the cached result (or at worst re-runs it) — the
+  // server must still answer.
+  const int fd = connect_to(server.port());
+  const std::string r = submit_and_wait(fd, spec);
+  EXPECT_NE(r.find("\"ok\":true"), std::string::npos) << r;
+  ::close(fd);
+  server.stop();
+  const Server::Stats st = server.stats();
+  EXPECT_EQ(st.sessions_opened, 2u);
+  EXPECT_EQ(st.sessions_closed, 2u);
+}
+
+TEST(Server, MalformedFramesAndOps) {
+  Server server;
+  std::string err;
+  ASSERT_TRUE(server.start(&err)) << err;
+
+  {  // unknown op: error frame, session survives
+    const int fd = connect_to(server.port());
+    EXPECT_NE(request(fd, "{\"op\":\"frobnicate\"}").find("\"type\":\"error\""),
+              std::string::npos);
+    EXPECT_NE(request(fd, "not json at all").find("bad json"),
+              std::string::npos);
+    EXPECT_NE(request(fd, "{\"op\":\"submit\",\"spec\":\"garbage\"}")
+                  .find("bad spec"),
+              std::string::npos);
+    EXPECT_EQ(request(fd, "{\"op\":\"bye\"}"), "{\"type\":\"bye\"}");
+    ::close(fd);
+  }
+  {  // zero-length frame: error frame, then the server hangs up
+    const int fd = connect_to(server.port());
+    const unsigned char hdr[4] = {0, 0, 0, 0};
+    ASSERT_EQ(::send(fd, hdr, 4, 0), 4);
+    std::string reply;
+    ASSERT_EQ(read_frame(fd, reply), FrameStatus::kOk);
+    EXPECT_NE(reply.find("bad frame"), std::string::npos);
+    EXPECT_EQ(read_frame(fd, reply), FrameStatus::kClosed);
+    ::close(fd);
+  }
+  server.stop();
+}
+
+// --- run_runspec (no sockets) ----------------------------------------------
+
+TEST(RunRunspec, WorkloadAndScenarioPaths) {
+  RunSpec s;
+  s.scenario = "allreduce";
+  s.params["iters"] = 2;
+  s.params["count"] = 32;
+  const RunOutcome a = run_runspec(s);
+  EXPECT_TRUE(a.ok) << a.error;
+  EXPECT_GT(a.events, 0u);
+  // Same spec, same outcome — the determinism the cache stands on.
+  const RunOutcome b = run_runspec(s);
+  EXPECT_EQ(a.result_digest, b.result_digest);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.virtual_ns, b.virtual_ns);
+  EXPECT_EQ(render_body(s, a), render_body(s, b));
+
+  RunSpec bad;
+  bad.scenario = "nope";
+  EXPECT_FALSE(run_runspec(bad).ok);
+  EXPECT_NE(run_runspec(bad).error.find("unknown scenario"), std::string::npos);
+
+  RunSpec none;
+  EXPECT_FALSE(run_runspec(none).ok);
+}
+
+}  // namespace

@@ -1,9 +1,11 @@
 #!/usr/bin/env python3
 """Triage helper for unr_fuzz repro files (docs/TESTING.md).
 
-A failing fuzz seed is dumped by `unr_fuzz` as a `.repro` file — the full
-workload spec in the `unrfuzz v1` text format (src/check/workload.cpp).
-This tool makes those files pleasant to work with:
+A failing fuzz seed is dumped by `unr_fuzz` as a `.repro` file — a full
+RunSpec document (`unrspec v1`, src/svc/runspec.cpp) embedding the workload
+(`unrfuzz v2` body grammar, src/check/workload.cpp). Older bare-workload
+repros (`unrfuzz v1`/`unrfuzz v2` as the first line) parse too. This tool
+makes those files pleasant to work with:
 
     fuzz_triage.py show  FILE...          pretty-print spec(s): topology,
                                           config, per-round op table, with
@@ -53,12 +55,39 @@ def find_unr_fuzz(explicit):
 
 
 def parse_repro(path):
-    """Parse the unrfuzz v1 text format into a dict (loose, for display)."""
-    spec = {"header": {}, "rounds": [], "path": path}
+    """Parse a repro file into a dict (loose, for display).
+
+    Accepts every generation of the format: bare workloads ("unrfuzz v1",
+    "unrfuzz v2" — identical body grammar) and the current full-RunSpec
+    documents ("unrspec v1") that embed a workload block.
+    """
+    spec = {"header": {}, "rounds": [], "path": path, "runspec": {}}
     with open(path, encoding="utf-8") as f:
         lines = [ln.rstrip("\n") for ln in f]
+    if lines and lines[0].startswith("unrspec"):
+        # RunSpec wrapper: record the outer run-description lines, then
+        # re-point `lines` at the embedded workload block (whose own "end"
+        # terminates it; the wrapper's final "end" is dropped).
+        spec["runspec"]["version"] = lines[0]
+        wl_start = None
+        for i, ln in enumerate(lines[1:], start=1):
+            s = ln.strip()
+            if s.startswith("workload "):
+                wl_start = i
+                break
+            if s and s != "end":
+                toks = s.split()
+                spec["runspec"][toks[0]] = " ".join(toks[1:])
+        if wl_start is None:
+            sys.exit(f"error: {path}: unrspec repro embeds no workload block")
+        body = [lines[wl_start].strip()[len("workload "):]]
+        for ln in lines[wl_start + 1:]:
+            body.append(ln)
+            if ln.strip() == "end":
+                break
+        lines = body
     if not lines or not lines[0].startswith("unrfuzz"):
-        sys.exit(f"error: {path}: not an unrfuzz repro file")
+        sys.exit(f"error: {path}: not an unrfuzz/unrspec repro file")
     spec["version"] = lines[0]
     cur = None
     for ln in lines[1:]:
@@ -112,7 +141,9 @@ def op_flags(op):
 
 def show(spec):
     h = spec["header"]
-    print(f"== {spec['path']} ({spec['version']})")
+    wrapper = spec.get("runspec", {}).get("version")
+    tag = f"{wrapper} / {spec['version']}" if wrapper else spec["version"]
+    print(f"== {spec['path']} ({tag})")
     print(
         f"   seed={h.get('seed')} profile={h.get('profile')} "
         f"iface={h.get('iface')}  "

@@ -1,0 +1,260 @@
+#!/usr/bin/env python3
+"""Reference client for the unr_service session server (docs/SERVICE.md).
+
+Speaks the length-prefixed JSON frame protocol over loopback TCP:
+
+    unr_client.py submit --port P SPECFILE      submit one RunSpec file
+    unr_client.py submit --port P - < spec.txt  ... or from stdin
+    unr_client.py stats  --port P               server/session/cache counters
+    unr_client.py smoke  --port P               CI smoke: N concurrent
+                                                sessions + cache byte-identity
+
+`submit --expect-cache hit|miss` turns the reply's cache disposition into an
+exit-code assertion (CI uses this). The smoke subcommand is the service CI
+job: it drives `--sessions` concurrent sessions (default 8), each submitting
+a distinct spec, then submits one spec twice and asserts the repeat is a
+cache hit whose result body is BYTE-identical to the miss's.
+
+Stdlib only.
+"""
+
+import argparse
+import json
+import socket
+import struct
+import sys
+import threading
+
+MAX_FRAME = 16 << 20
+
+
+class ProtocolError(Exception):
+    pass
+
+
+def send_frame(sock, obj):
+    payload = json.dumps(obj).encode("utf-8")
+    if not payload or len(payload) > MAX_FRAME:
+        raise ProtocolError(f"illegal frame size {len(payload)}")
+    sock.sendall(struct.pack(">I", len(payload)) + payload)
+
+
+def recv_exact(sock, n):
+    buf = b""
+    while len(buf) < n:
+        chunk = sock.recv(n - len(buf))
+        if not chunk:
+            raise ProtocolError("connection closed mid-frame")
+        buf += chunk
+    return buf
+
+
+def recv_frame_raw(sock):
+    (length,) = struct.unpack(">I", recv_exact(sock, 4))
+    if length == 0 or length > MAX_FRAME:
+        raise ProtocolError(f"illegal frame length {length}")
+    return recv_exact(sock, length)
+
+
+def recv_frame(sock):
+    return json.loads(recv_frame_raw(sock).decode("utf-8"))
+
+
+def body_bytes(raw_result):
+    """The raw bytes of the "body" value inside a result frame — the exact
+    payload the server cached, for byte-identity assertions."""
+    marker = b'"body":'
+    i = raw_result.find(marker)
+    if i < 0 or not raw_result.endswith(b"}"):
+        raise ProtocolError("result frame has no body")
+    return raw_result[i + len(marker):-1]
+
+
+class Session:
+    """One connected session: sequential request/reply over its socket."""
+
+    def __init__(self, host, port, timeout=300.0):
+        self.sock = socket.create_connection((host, port), timeout=timeout)
+
+    def close(self):
+        try:
+            send_frame(self.sock, {"op": "bye"})
+            recv_frame(self.sock)
+        except (OSError, ProtocolError):
+            pass
+        self.sock.close()
+
+    def hello(self):
+        send_frame(self.sock, {"op": "hello"})
+        return recv_frame(self.sock)
+
+    def stats(self):
+        send_frame(self.sock, {"op": "stats"})
+        return recv_frame(self.sock)
+
+    def submit(self, spec_text):
+        """Returns (status_frame_or_None, result_frame, raw_result_bytes)."""
+        send_frame(self.sock, {"op": "submit", "spec": spec_text})
+        raw = recv_frame_raw(self.sock)
+        first = json.loads(raw.decode("utf-8"))
+        if first.get("type") == "error":
+            raise ProtocolError(first.get("error", "server error"))
+        if first.get("type") == "result":
+            return None, first, raw
+        raw = recv_frame_raw(self.sock)
+        result = json.loads(raw.decode("utf-8"))
+        if result.get("type") != "result":
+            raise ProtocolError(f"expected result frame, got {result}")
+        return first, result, raw
+
+
+def pingpong_spec(seed, size=4096, iters=50):
+    return (
+        "unrspec v1\n"
+        "scenario pingpong\n"
+        f"run seed={seed}\n"
+        f"param iters={iters}\n"
+        f"param size={size}\n"
+        "end\n"
+    )
+
+
+def read_spec(path):
+    if path == "-":
+        return sys.stdin.read()
+    with open(path, encoding="utf-8") as f:
+        return f.read()
+
+
+def cmd_submit(args):
+    s = Session(args.host, args.port)
+    try:
+        status, result, _raw = s.submit(read_spec(args.spec))
+        print(json.dumps(result, indent=2))
+        body = result.get("body", {})
+        if not body.get("ok", False):
+            print(f"run failed: {body.get('error', body.get('violations'))}",
+                  file=sys.stderr)
+            return 1
+        if args.expect_cache and result.get("cache") != args.expect_cache:
+            print(f"expected cache={args.expect_cache}, got {result.get('cache')}",
+                  file=sys.stderr)
+            return 1
+        return 0
+    finally:
+        s.close()
+
+
+def cmd_stats(args):
+    s = Session(args.host, args.port)
+    try:
+        print(json.dumps(s.stats(), indent=2))
+        return 0
+    finally:
+        s.close()
+
+
+def cmd_smoke(args):
+    # Phase 1: N concurrent sessions, each its own spec (distinct seeds, so
+    # every one is a cache miss and a real simulation).
+    results = [None] * args.sessions
+    errors = []
+
+    def worker(i):
+        try:
+            s = Session(args.host, args.port)
+            try:
+                status, result, _raw = s.submit(pingpong_spec(seed=1000 + i))
+                body = result["body"]
+                if not body.get("ok"):
+                    raise ProtocolError(f"session {i}: run failed: {body}")
+                if result.get("cache") != "miss":
+                    raise ProtocolError(
+                        f"session {i}: expected miss, got {result.get('cache')}")
+                results[i] = body
+            finally:
+                s.close()
+        except Exception as e:  # collected, reported, failed loudly below
+            errors.append(f"session {i}: {e}")
+
+    threads = [threading.Thread(target=worker, args=(i,))
+               for i in range(args.sessions)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    if errors:
+        for e in errors:
+            print(f"FAIL: {e}", file=sys.stderr)
+        return 1
+    print(f"ok: {args.sessions} concurrent sessions, all ran")
+
+    # Phase 2: identical spec twice — the repeat must be served from the
+    # cache with a byte-identical result body (metrics and trace included).
+    spec = pingpong_spec(seed=4242)
+    s = Session(args.host, args.port)
+    try:
+        _, first, raw_first = s.submit(spec)
+        _, second, raw_second = s.submit(spec)
+    finally:
+        s.close()
+    if first.get("cache") != "miss":
+        print(f"FAIL: first submission was {first.get('cache')}, want miss",
+              file=sys.stderr)
+        return 1
+    if second.get("cache") != "hit":
+        print(f"FAIL: repeat submission was {second.get('cache')}, want hit",
+              file=sys.stderr)
+        return 1
+    # BYTE identity of the raw body payload (metrics and trace included) —
+    # not just structural JSON equality.
+    if body_bytes(raw_first) != body_bytes(raw_second):
+        print("FAIL: cache hit body differs from the original run",
+              file=sys.stderr)
+        return 1
+    print("ok: repeat submission was a cache hit, body byte-identical")
+
+    # Phase 3: the server's own accounting agrees.
+    s = Session(args.host, args.port)
+    try:
+        st = s.stats()
+    finally:
+        s.close()
+    cache = st.get("cache", {})
+    if cache.get("hits", 0) < 1:
+        print(f"FAIL: server reports no cache hits: {cache}", file=sys.stderr)
+        return 1
+    print(f"ok: server stats: sessions={st.get('sessions_opened')} "
+          f"runs={st.get('runs')} cache={cache}")
+    print("SMOKE PASS")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--host", default="127.0.0.1")
+    ap.add_argument("--port", type=int, required=True)
+    sub = ap.add_subparsers(dest="cmd", required=True)
+
+    p = sub.add_parser("submit", help="submit one RunSpec file (or - = stdin)")
+    p.add_argument("spec")
+    p.add_argument("--expect-cache", choices=("hit", "miss"))
+    p.set_defaults(fn=cmd_submit)
+
+    p = sub.add_parser("stats", help="print server stats")
+    p.set_defaults(fn=cmd_stats)
+
+    p = sub.add_parser("smoke", help="concurrency + cache-identity smoke")
+    p.add_argument("--sessions", type=int, default=8)
+    p.set_defaults(fn=cmd_smoke)
+
+    args = ap.parse_args()
+    try:
+        sys.exit(args.fn(args))
+    except (ProtocolError, OSError) as e:
+        print(f"error: {e}", file=sys.stderr)
+        sys.exit(1)
+
+
+if __name__ == "__main__":
+    main()
