@@ -50,8 +50,10 @@
 #include <thread>
 
 #include "bench_util.hpp"
+#include "check/runner.hpp"
 #include "powerllel/solver.hpp"
 #include "runtime/world.hpp"
+#include "scenarios/traffic.hpp"
 #include "unr/unr.hpp"
 
 using namespace unr;
@@ -264,6 +266,34 @@ RunSample run_faults_sweep(const std::vector<double>& drop_rates, int iters) {
   return s;
 }
 
+/// Scenario-pack traffic (src/scenarios): expand the named pattern and run it
+/// through the oracle-checked runner. The whole run_workload call is timed —
+/// World construction happens inside it — so setup_sec stays 0; at these
+/// topologies setup is noise next to the event loop. A run that trips the
+/// oracle invalidates the measurement and aborts the bench loudly.
+RunSample run_traffic(const char* pattern, const scenarios::TrafficParams& p) {
+  const scenarios::Pattern* pat = scenarios::find_pattern(pattern);
+  if (pat == nullptr) {
+    std::cerr << "unknown traffic pattern: " << pattern << "\n";
+    std::exit(2);
+  }
+  const check::WorkloadSpec w = pat->make(p);
+  check::RunOptions opt;
+  opt.shards = unr::bench::shard_request();
+  unr::bench::WallTimer timer;
+  const check::RunResult res = check::run_workload(w, opt);
+  RunSample s;
+  s.wall_sec = timer.seconds();
+  if (!res.ok) {
+    std::cerr << "traffic pattern " << pattern << " failed its oracle check:\n";
+    for (const std::string& v : res.violations) std::cerr << "  " << v << "\n";
+    std::exit(2);
+  }
+  s.events = res.events;
+  s.virtual_ns = res.end_time;
+  return s;
+}
+
 // --- Driver -----------------------------------------------------------------
 
 struct Scenario {
@@ -289,16 +319,74 @@ RunSample fig7_16n() { return run_fig7_point(16, 8, 4, 128, 128, 64, 3); }
 RunSample fig7_1024n() { return run_fig7_point(1024, 64, 32, 256, 128, 64, 1); }
 RunSample faults_smoke() { return run_faults_sweep({0.02}, 150); }
 RunSample faults_full() { return run_faults_sweep({0.0, 0.01, 0.05}, 300); }
+// Scenario-pack traffic (ROADMAP item 3): distributed-training collectives
+// and Ultracomputer-style sync ops, oracle-checked while timed.
+RunSample ai_allreduce_smoke() {
+  scenarios::TrafficParams p;
+  p.seed = 42;
+  p.nodes = 8;
+  p.ranks_per_node = 2;
+  p.size = 1024;  // doubles per rank
+  p.rounds = 2;
+  return run_traffic("ai_ring_allreduce", p);
+}
+// 256 simulated nodes of chunked ring allreduce: 510 pipeline steps, ~130k
+// notified PUTs per round — the big-collective stress point.
+RunSample ai_allreduce_256n() {
+  scenarios::TrafficParams p;
+  p.seed = 42;
+  p.nodes = 256;
+  p.ranks_per_node = 1;
+  p.size = 2048;
+  p.rounds = 1;
+  return run_traffic("ai_ring_allreduce", p);
+}
+RunSample sync_faa() {
+  scenarios::TrafficParams p;
+  p.seed = 42;
+  p.nodes = 8;
+  p.ranks_per_node = 2;
+  p.count = 4;
+  p.depth = 2;
+  p.rounds = 4;
+  return run_traffic("sync_faa_tree", p);
+}
+// MoE all-to-all plus pipeline-parallel P2P at 32 ranks: the two
+// distributed-training shapes whose cost is dominated by many concurrent
+// notified transfers rather than one big collective.
+RunSample ai_moe_pipeline() {
+  scenarios::TrafficParams moe;
+  moe.seed = 42;
+  moe.nodes = 16;
+  moe.ranks_per_node = 2;
+  moe.size = 1024;
+  moe.rounds = 2;
+  RunSample s = run_traffic("ai_moe_alltoall", moe);
+  scenarios::TrafficParams pipe = moe;
+  pipe.size = 16 * KiB;
+  pipe.count = 16;
+  pipe.depth = 4;
+  const RunSample ps = run_traffic("ai_pipeline", pipe);
+  s.events += ps.events;
+  s.virtual_ns += ps.virtual_ns;
+  s.wall_sec += ps.wall_sec;
+  s.setup_sec += ps.setup_sec;
+  return s;
+}
 
-const std::vector<Scenario>& scenarios() {
+const std::vector<Scenario>& wall_scenarios() {
   static const std::vector<Scenario> all = {
       {"fig4_pingpong_smoke", true, &fig4_smoke},
       {"fig7_quick", true, &fig7_quick},
       {"faults_sweep_smoke", true, &faults_smoke},
+      {"ai_allreduce_smoke", true, &ai_allreduce_smoke},
+      {"sync_faa_tree", true, &sync_faa},
       {"fig4_pingpong", false, &fig4_full},
       {"fig7_scaling_16n", false, &fig7_16n},
       {"fig7_scaling_1024n", false, &fig7_1024n, 1},
       {"faults_sweep", false, &faults_full},
+      {"ai_allreduce_256n", false, &ai_allreduce_256n, 1},
+      {"ai_moe_pipeline", false, &ai_moe_pipeline},
   };
   return all;
 }
@@ -422,7 +510,7 @@ int main(int argc, char** argv) {
   // name used to run zero scenarios and exit 0, which let CI's perf gate
   // pass vacuously.
   for (const std::string& name : opt.only) {
-    const auto& all = scenarios();
+    const auto& all = wall_scenarios();
     const bool known = std::any_of(all.begin(), all.end(),
                                    [&](const Scenario& s) { return s.name == name; });
     if (!known) {
@@ -444,7 +532,7 @@ int main(int argc, char** argv) {
   t.header({"scenario", "events", "wall (s)", "setup (s)", "events/sec", "virt time",
             "peak RSS (MiB)"});
   const bool rss_resettable = unr::bench::reset_peak_rss();
-  for (const Scenario& sc : scenarios()) {
+  for (const Scenario& sc : wall_scenarios()) {
     if (!opt.selected(sc.name, sc.in_smoke)) continue;
     ScenarioResult r;
     r.name = sc.name;
@@ -482,7 +570,8 @@ int main(int argc, char** argv) {
   if (opt.shard_sweep) {
     struct SweepTarget { const char* name; RunSample (*fn)(); };
     const SweepTarget targets[] = {{"fig7_quick", &fig7_quick},
-                                   {"fig7_scaling_1024n", &fig7_1024n}};
+                                   {"fig7_scaling_1024n", &fig7_1024n},
+                                   {"ai_allreduce_256n", &ai_allreduce_256n}};
     const int saved_request = unr::bench::shard_request();
     for (const SweepTarget& tg : targets) {
       if (!opt.only.empty() && !opt.selected(tg.name, /*in_smoke=*/true)) continue;

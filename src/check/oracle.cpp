@@ -85,4 +85,131 @@ std::uint64_t Oracle::window_pattern(std::size_t round, int origin) const {
          1;
 }
 
+// --- AI / sync traffic models ---
+
+int Oracle::vrank_of(int rank, int root, int nranks) {
+  return (rank - root + nranks) % nranks;
+}
+
+int Oracle::rank_of(int vrank, int root, int nranks) {
+  return (vrank + root) % nranks;
+}
+
+int Oracle::tree_parent(int vrank, int arity) {
+  return vrank == 0 ? -1 : (vrank - 1) / arity;
+}
+
+int Oracle::tree_child_count(int vrank, int arity, int nranks) {
+  int n = 0;
+  for (int k = 1; k <= arity; ++k)
+    if (arity * vrank + k < nranks) ++n;
+  return n;
+}
+
+std::uint64_t Oracle::moe_bytes(std::size_t round, int src, int dst) const {
+  if (src == dst) return 0;
+  const RoundSpec& r = spec_.rounds[round];
+  const std::uint64_t base = r.size;
+  if (dst == r.root) return base * 4;  // the over-routed ("hot") expert
+  const std::uint64_t jitter =
+      mix64(spec_.seed ^ 0x6d6f65ull ^ (static_cast<std::uint64_t>(round) << 22) ^
+            (static_cast<std::uint64_t>(src) << 9) ^
+            static_cast<std::uint64_t>(dst)) %
+      (base / 2 + 1);
+  return base + jitter;
+}
+
+std::uint64_t Oracle::moe_pattern(std::size_t round, int src, int dst) const {
+  return mix64(spec_.seed ^ 0x6d6f6570ull ^
+               (static_cast<std::uint64_t>(round) << 22) ^
+               (static_cast<std::uint64_t>(src) << 9) ^
+               static_cast<std::uint64_t>(dst + 1)) |
+         1;
+}
+
+std::int64_t Oracle::faa_contrib(std::size_t round, int rank) const {
+  const RoundSpec& r = spec_.rounds[round];
+  return 1 + static_cast<std::int64_t>(
+                 mix64(spec_.seed ^ 0xfaaull ^
+                       (static_cast<std::uint64_t>(round) << 18) ^
+                       static_cast<std::uint64_t>(rank + 1)) %
+                 static_cast<std::uint64_t>(r.count));
+}
+
+std::int64_t Oracle::faa_subtree_total(std::size_t round, int rank) const {
+  const RoundSpec& r = spec_.rounds[round];
+  const int P = spec_.nranks();
+  const int v = vrank_of(rank, r.root, P);
+  std::int64_t sum = faa_contrib(round, rank);
+  for (int k = 1; k <= r.depth; ++k) {
+    const int cv = r.depth * v + k;
+    if (cv >= P) break;
+    sum += faa_subtree_total(round, rank_of(cv, r.root, P));
+  }
+  return sum;
+}
+
+std::int64_t Oracle::faa_arm(std::size_t round, int rank) const {
+  return faa_subtree_total(round, rank) - faa_contrib(round, rank);
+}
+
+std::int64_t Oracle::faa_total(std::size_t round) const {
+  std::int64_t sum = 0;
+  for (int rk = 0; rk < spec_.nranks(); ++rk) sum += faa_contrib(round, rk);
+  return sum;
+}
+
+int Oracle::steal_victim(std::size_t round, int thief, int j) const {
+  const int P = spec_.nranks();
+  const int v = static_cast<int>(
+      mix64(spec_.seed ^ 0x57ea1ull ^ (static_cast<std::uint64_t>(round) << 16) ^
+            (static_cast<std::uint64_t>(thief) << 7) ^
+            static_cast<std::uint64_t>(j)) %
+      static_cast<std::uint64_t>(P - 1));
+  return v >= thief ? v + 1 : v;  // never self
+}
+
+int Oracle::steal_item(std::size_t round, int thief, int j) const {
+  const RoundSpec& r = spec_.rounds[round];
+  return static_cast<int>(
+      mix64(spec_.seed ^ 0x17e6ull ^ (static_cast<std::uint64_t>(round) << 16) ^
+            (static_cast<std::uint64_t>(thief) << 7) ^
+            static_cast<std::uint64_t>(j)) %
+      static_cast<std::uint64_t>(r.count));
+}
+
+std::int64_t Oracle::steal_robberies(std::size_t round, int victim) const {
+  const RoundSpec& r = spec_.rounds[round];
+  std::int64_t n = 0;
+  for (int t = 0; t < spec_.nranks(); ++t) {
+    if (t == victim) continue;
+    for (int j = 0; j < r.count; ++j)
+      if (steal_victim(round, t, j) == victim) ++n;
+  }
+  return n;
+}
+
+std::uint64_t Oracle::item_pattern(std::size_t round, int victim, int item) const {
+  return mix64(spec_.seed ^ 0x6974656dull ^
+               (static_cast<std::uint64_t>(round) << 18) ^
+               (static_cast<std::uint64_t>(victim) << 8) ^
+               static_cast<std::uint64_t>(item + 1)) |
+         1;
+}
+
+std::uint64_t Oracle::pipe_pattern(std::size_t round, int mb) const {
+  return mix64(spec_.seed ^ 0x70697065ull ^
+               (static_cast<std::uint64_t>(round) << 18) ^
+               static_cast<std::uint64_t>(mb + 1)) |
+         1;
+}
+
+std::uint64_t Oracle::bt_pattern(std::size_t round, int rank, int phase) const {
+  return mix64(spec_.seed ^ 0x62747265ull ^
+               (static_cast<std::uint64_t>(round) << 18) ^
+               (static_cast<std::uint64_t>(rank + 1) << 2) ^
+               static_cast<std::uint64_t>(phase)) |
+         1;
+}
+
 }  // namespace unr::check

@@ -61,6 +61,51 @@ class Oracle {
   /// Pattern id of origin's put into window round `round`.
   std::uint64_t window_pattern(std::size_t round, int origin) const;
 
+  // --- AI-training / scalable-sync traffic (scenario-pack round kinds) ---
+  // Tree shape shared by kAllreduceTree / kFaaCombine / kBarrierTree: an
+  // arity-d heap layout over VIRTUAL ranks (ranks rotated so `root` sits at
+  // vrank 0). Pure functions of the spec, shared by oracle and runner so the
+  // expectation and the execution can never disagree about the topology.
+  static int vrank_of(int rank, int root, int nranks);
+  static int rank_of(int vrank, int root, int nranks);
+  static int tree_parent(int vrank, int arity);  ///< -1 for the root
+  static int tree_child_count(int vrank, int arity, int nranks);
+
+  /// MoE all-to-all: deterministic per-pair payload size. Pairs routed to
+  /// the hot expert (`round.root`) carry 4x the base `size`; everyone else
+  /// gets base plus a per-pair jitter in [0, size/2]. Self-pairs are 0.
+  std::uint64_t moe_bytes(std::size_t round, int src, int dst) const;
+  /// Pattern id of src's payload to dst in all-to-all round `round`.
+  std::uint64_t moe_pattern(std::size_t round, int src, int dst) const;
+
+  /// Combining fetch-and-add: rank's addend, in [1, round.count].
+  std::int64_t faa_contrib(std::size_t round, int rank) const;
+  /// Sum of `rank`'s own addend plus all of its tree descendants' — the
+  /// combined value the rank forwards up as that many notified 0-byte PUTs.
+  std::int64_t faa_subtree_total(std::size_t round, int rank) const;
+  /// num_event the rank arms its combining signal with: the sum of its
+  /// children's subtree totals (0 for leaves — no signal needed).
+  std::int64_t faa_arm(std::size_t round, int rank) const;
+  /// The grand total every rank can derive once the root's wait clears.
+  std::int64_t faa_total(std::size_t round) const;
+
+  /// Work stealing: the deterministic steal schedule. Thief `thief` performs
+  /// round.count steals; its j-th targets victim steal_victim(...) != thief,
+  /// item index steal_item(...) in [0, round.count).
+  int steal_victim(std::size_t round, int thief, int j) const;
+  int steal_item(std::size_t round, int thief, int j) const;
+  /// How many steals target `victim` — its robbery signal's num_event.
+  std::int64_t steal_robberies(std::size_t round, int victim) const;
+  /// Pattern id of item `item` in victim's work queue.
+  std::uint64_t item_pattern(std::size_t round, int victim, int item) const;
+
+  /// Pattern id of pipeline micro-batch `mb` (same bytes at every stage).
+  std::uint64_t pipe_pattern(std::size_t round, int mb) const;
+
+  /// Barrier-tree payload pattern: phase 0 = the gather (child -> parent)
+  /// payload of `rank`, phase 1 = the release (parent -> children) payload.
+  std::uint64_t bt_pattern(std::size_t round, int rank, int phase) const;
+
  private:
   const WorkloadSpec& spec_;
 };

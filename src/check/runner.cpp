@@ -1,5 +1,6 @@
 #include "check/runner.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <memory>
 #include <optional>
@@ -38,6 +39,11 @@ int blk_tag(std::size_t round, std::size_t op) {
 }
 int send_tag(std::size_t round, std::size_t op) {
   return (1 << 21) + static_cast<int>(round) * 256 + static_cast<int>(op);
+}
+// Third plane for the scenario-pack collective rounds (ring steps, tree
+// edges, steal events): k < 4096 per round, bounded by validate().
+int coll_tag(std::size_t round, std::size_t k) {
+  return (1 << 22) + static_cast<int>(round) * 4096 + static_cast<int>(k);
 }
 
 std::string op_desc(std::size_t i, const OpSpec& op) {
@@ -237,6 +243,637 @@ void run_xfer_round(runtime::Rank& r, Ctx& c, std::size_t ri,
   check_sig(sig_loc, "local");
 }
 
+// --- Scenario-pack rounds (distributed-AI + scalable-sync traffic) ---
+//
+// Shared discipline: every protocol below allocates its own staging arena
+// (registered for the round, deregistered after the closing barrier), arms
+// fresh signals with the oracle's exact expected counts, and only reads a
+// landed buffer after ITS OWN signal wait — so verification is ordered on
+// every channel level and the digests stay differential-safe. Source buffers
+// are snapshots never modified after issue, so delivery-time reads can never
+// race buffer reuse.
+
+/// sig_wait_for that converts a wedge into a violation (hang detection).
+void wait_sig(runtime::Rank& r, Ctx& c, std::size_t ri, unrlib::SigId sig,
+              const char* what) {
+  if (sig == unrlib::kNoSig) return;
+  const int self = r.id();
+  if (!c.unr.sig_wait_for(self, sig, c.opt.wait_timeout)) {
+    c.viol(ri, self, std::string(what) + " timeout, counter=" +
+                         std::to_string(c.unr.sig_counter(self, sig)));
+  }
+}
+
+/// MMAS accounting close-out: counter must sit exactly at 0, no overflow
+/// warnings; the counter is folded into the digest.
+void fold_sig(runtime::Rank& r, Ctx& c, std::size_t ri, unrlib::SigId sig,
+              const char* what, std::uint64_t& dig) {
+  if (sig == unrlib::kNoSig) return;
+  const int self = r.id();
+  const std::int64_t ctr = c.unr.sig_counter(self, sig);
+  if (ctr != 0) {
+    c.viol(ri, self, std::string(what) + "-signal counter " +
+                         std::to_string(ctr) + " after waits (expected 0)");
+  }
+  const std::uint64_t warn = c.unr.sig_at(r.node_id(), sig).warnings();
+  if (warn != 0) {
+    c.viol(ri, self, std::string(what) + "-signal raised " +
+                         std::to_string(warn) + " overflow warning(s)");
+  }
+  fnv_u64(dig, static_cast<std::uint64_t>(ctr));
+}
+
+/// Chunked ring allreduce (reduce-scatter + allgather) over notified PUTs.
+/// 2(P-1) steps; per-step receive slots and arrival signals (armed 1) keep
+/// the left neighbor free to run a step ahead — the ring's pipelining.
+void run_ar_ring_round(runtime::Rank& r, Ctx& c, std::size_t ri,
+                       const RoundSpec& round, std::uint64_t& dig) {
+  using unrlib::kNoSig;
+  const int self = r.id();
+  const int P = r.nranks();
+  const std::size_t n = round.size;  // doubles
+  const std::size_t chunk = (n + static_cast<std::size_t>(P) - 1) /
+                            static_cast<std::size_t>(P);
+  const auto cbeg = [&](int ci) {
+    return std::min(n, static_cast<std::size_t>(ci) * chunk);
+  };
+  const auto clen = [&](int ci) {
+    return std::min(n, (static_cast<std::size_t>(ci) + 1) * chunk) - cbeg(ci);
+  };
+  const int right = (self + 1) % P;
+  const int left = (self - 1 + P) % P;
+  const int steps = 2 * (P - 1);
+  const int own = (self + 1) % P;  // chunk this rank owns after reduce-scatter
+  // Chunk indices flowing through me at step s (allgather after step P-2).
+  const auto recv_chunk = [&](int s) {
+    return s < P - 1 ? (self - s - 1 + 2 * P) % P
+                     : (own - (s - (P - 1)) - 1 + 2 * P) % P;
+  };
+  const auto send_chunk = [&](int s) {
+    return s < P - 1 ? (self - s + 2 * P) % P
+                     : (own - (s - (P - 1)) + 2 * P) % P;
+  };
+
+  std::vector<double> acc(n);
+  for (std::size_t j = 0; j < n; ++j)
+    acc[j] = c.oracle.allreduce_contrib(ri, self, j);
+
+  std::vector<double> rstage(static_cast<std::size_t>(steps) * chunk, 0.0);
+  std::vector<double> sstage(static_cast<std::size_t>(steps) * chunk, 0.0);
+  const unrlib::MemHandle rmh =
+      c.unr.mem_reg(self, rstage.data(), rstage.size() * sizeof(double));
+  const unrlib::MemHandle smh =
+      c.unr.mem_reg(self, sstage.data(), sstage.size() * sizeof(double));
+
+  std::vector<unrlib::SigId> sig(static_cast<std::size_t>(steps));
+  for (int s = 0; s < steps; ++s)
+    sig[static_cast<std::size_t>(s)] = c.unr.sig_init(self, 1, c.spec.sig_n_bits);
+
+  // Blk exchange: my step-s receive slot (bound to sig[s]) goes to LEFT, who
+  // puts into it at step s; I collect RIGHT's slots symmetrically.
+  std::vector<unrlib::Blk> owned(static_cast<std::size_t>(steps)),
+      needed(static_cast<std::size_t>(steps));
+  std::vector<runtime::RequestPtr> pre;
+  for (int s = 0; s < steps; ++s) {
+    const auto si = static_cast<std::size_t>(s);
+    owned[si] = c.unr.blk_init(self, rmh, si * chunk * sizeof(double),
+                               clen(recv_chunk(s)) * sizeof(double), sig[si]);
+    pre.push_back(r.isend(left, coll_tag(ri, si), &owned[si], sizeof(unrlib::Blk)));
+    pre.push_back(r.irecv(right, coll_tag(ri, si), &needed[si], sizeof(unrlib::Blk)));
+  }
+  r.wait_all(pre);
+
+  for (int s = 0; s < steps; ++s) {
+    const auto si = static_cast<std::size_t>(s);
+    const int sc = send_chunk(s);
+    double* snap = sstage.data() + si * chunk;
+    std::memcpy(snap, acc.data() + cbeg(sc), clen(sc) * sizeof(double));
+    const unrlib::Blk lblk = c.unr.blk_init(
+        self, smh, si * chunk * sizeof(double), clen(sc) * sizeof(double));
+    c.unr.put(self, lblk, needed[si]);
+    wait_sig(r, c, ri, sig[si], "ar_ring step");
+    const int rc = recv_chunk(s);
+    const double* got = rstage.data() + si * chunk;
+    if (s < P - 1) {
+      for (std::size_t k = 0; k < clen(rc); ++k) acc[cbeg(rc) + k] += got[k];
+    } else {
+      std::memcpy(acc.data() + cbeg(rc), got, clen(rc) * sizeof(double));
+    }
+  }
+
+  for (std::size_t j = 0; j < n; ++j) {
+    const double want = c.oracle.allreduce_expected(ri, j);
+    if (acc[j] != want) {
+      std::ostringstream os;
+      os << "ar_ring[" << j << "] = " << acc[j] << ", oracle " << want;
+      c.viol(ri, self, os.str());
+    }
+  }
+  fnv(dig, acc.data(), n * sizeof(double));
+  for (int s = 0; s < steps; ++s)
+    fold_sig(r, c, ri, sig[static_cast<std::size_t>(s)], "ar_ring", dig);
+  r.barrier();
+  c.unr.mem_dereg(self, rmh);
+  c.unr.mem_dereg(self, smh);
+}
+
+/// Binary-tree allreduce: notified-PUT reduce up to the root, then the
+/// result broadcast back down the same tree.
+void run_ar_tree_round(runtime::Rank& r, Ctx& c, std::size_t ri,
+                       const RoundSpec& round, std::uint64_t& dig) {
+  using unrlib::kNoSig;
+  constexpr int kArity = 2;
+  const int self = r.id();
+  const int P = r.nranks();
+  const std::size_t n = round.size;  // doubles
+  const int v = Oracle::vrank_of(self, round.root, P);
+  const int pv = Oracle::tree_parent(v, kArity);
+  const int parent = pv < 0 ? -1 : Oracle::rank_of(pv, round.root, P);
+  std::vector<int> children;
+  for (int k = 1; k <= kArity; ++k) {
+    const int cv = kArity * v + k;
+    if (cv < P) children.push_back(Oracle::rank_of(cv, round.root, P));
+  }
+  const std::size_t nc = children.size();
+
+  // Arena layout (doubles): [gather slots nc*n][result n][up snapshot n].
+  std::vector<double> arena((nc + 2) * n, 0.0);
+  double* gather = arena.data();
+  double* res = arena.data() + nc * n;
+  double* up = arena.data() + (nc + 1) * n;
+  const unrlib::MemHandle mh =
+      c.unr.mem_reg(self, arena.data(), arena.size() * sizeof(double));
+  const unrlib::SigId sig_gather =
+      nc > 0 ? c.unr.sig_init(self, static_cast<std::int64_t>(nc),
+                              c.spec.sig_n_bits)
+             : kNoSig;
+  const unrlib::SigId sig_down =
+      parent >= 0 ? c.unr.sig_init(self, 1, c.spec.sig_n_bits) : kNoSig;
+
+  // Blk exchange: each child gets its dedicated gather slot at the parent
+  // and ships its result slot up for the broadcast-down.
+  std::vector<unrlib::Blk> gather_owned(nc), child_res(nc);
+  unrlib::Blk res_owned{}, parent_slot{};
+  std::vector<runtime::RequestPtr> pre;
+  for (std::size_t i = 0; i < nc; ++i) {
+    const auto cv = static_cast<std::size_t>(
+        Oracle::vrank_of(children[i], round.root, P));
+    gather_owned[i] = c.unr.blk_init(self, mh, i * n * sizeof(double),
+                                     n * sizeof(double), sig_gather);
+    pre.push_back(r.isend(children[i], coll_tag(ri, 2 * cv), &gather_owned[i],
+                          sizeof(unrlib::Blk)));
+    pre.push_back(r.irecv(children[i], coll_tag(ri, 2 * cv + 1), &child_res[i],
+                          sizeof(unrlib::Blk)));
+  }
+  if (parent >= 0) {
+    const auto sv = static_cast<std::size_t>(v);
+    res_owned = c.unr.blk_init(self, mh, nc * n * sizeof(double),
+                               n * sizeof(double), sig_down);
+    pre.push_back(r.isend(parent, coll_tag(ri, 2 * sv + 1), &res_owned,
+                          sizeof(unrlib::Blk)));
+    pre.push_back(r.irecv(parent, coll_tag(ri, 2 * sv), &parent_slot,
+                          sizeof(unrlib::Blk)));
+  }
+  r.wait_all(pre);
+
+  std::vector<double> acc(n);
+  for (std::size_t j = 0; j < n; ++j)
+    acc[j] = c.oracle.allreduce_contrib(ri, self, j);
+  if (nc > 0) {
+    wait_sig(r, c, ri, sig_gather, "ar_tree gather");
+    for (std::size_t i = 0; i < nc; ++i)
+      for (std::size_t j = 0; j < n; ++j) acc[j] += gather[i * n + j];
+  }
+  if (parent >= 0) {
+    std::memcpy(up, acc.data(), n * sizeof(double));
+    const unrlib::Blk up_blk = c.unr.blk_init(
+        self, mh, (nc + 1) * n * sizeof(double), n * sizeof(double));
+    c.unr.put(self, up_blk, parent_slot);
+    wait_sig(r, c, ri, sig_down, "ar_tree down");  // res filled by parent
+  } else {
+    std::memcpy(res, acc.data(), n * sizeof(double));
+  }
+  const unrlib::Blk res_src =
+      c.unr.blk_init(self, mh, nc * n * sizeof(double), n * sizeof(double));
+  for (std::size_t i = 0; i < nc; ++i) c.unr.put(self, res_src, child_res[i]);
+
+  for (std::size_t j = 0; j < n; ++j) {
+    const double want = c.oracle.allreduce_expected(ri, j);
+    if (res[j] != want) {
+      std::ostringstream os;
+      os << "ar_tree[" << j << "] = " << res[j] << ", oracle " << want;
+      c.viol(ri, self, os.str());
+    }
+  }
+  fnv(dig, res, n * sizeof(double));
+  fold_sig(r, c, ri, sig_gather, "ar_tree gather", dig);
+  fold_sig(r, c, ri, sig_down, "ar_tree down", dig);
+  r.barrier();
+  c.unr.mem_dereg(self, mh);
+}
+
+/// MoE-style all-to-all with skewed expert routing: every rank puts a
+/// deterministic, per-pair-sized payload to every other rank; pairs routed
+/// to the hot expert (round.root) carry 4x the base size. One arrival
+/// signal armed P-1; slots verified only after the full wait.
+void run_alltoall_round(runtime::Rank& r, Ctx& c, std::size_t ri,
+                        const RoundSpec& round, std::uint64_t& dig) {
+  using unrlib::kNoSig;
+  const int self = r.id();
+  const int P = r.nranks();
+  const auto sp = static_cast<std::size_t>(P);
+
+  std::vector<std::size_t> roff(sp, 0), soff(sp, 0);
+  std::size_t rtotal = 0, stotal = 0;
+  for (int o = 0; o < P; ++o) {
+    roff[static_cast<std::size_t>(o)] = rtotal;
+    rtotal += c.oracle.moe_bytes(ri, o, self);
+    soff[static_cast<std::size_t>(o)] = stotal;
+    stotal += c.oracle.moe_bytes(ri, self, o);
+  }
+  std::vector<std::byte> rarena(std::max<std::size_t>(rtotal, 1), std::byte{0});
+  std::vector<std::byte> sarena(std::max<std::size_t>(stotal, 1), std::byte{0});
+  const unrlib::MemHandle rmh = c.unr.mem_reg(self, rarena.data(), rarena.size());
+  const unrlib::MemHandle smh = c.unr.mem_reg(self, sarena.data(), sarena.size());
+  const unrlib::SigId sig_in = c.unr.sig_init(self, P - 1, c.spec.sig_n_bits);
+
+  std::vector<unrlib::Blk> owned(sp), needed(sp);
+  std::vector<runtime::RequestPtr> pre;
+  for (int o = 0; o < P; ++o) {
+    if (o == self) continue;
+    const auto so = static_cast<std::size_t>(o);
+    owned[so] = c.unr.blk_init(self, rmh, roff[so],
+                               c.oracle.moe_bytes(ri, o, self), sig_in);
+    pre.push_back(r.isend(o, coll_tag(ri, 0), &owned[so], sizeof(unrlib::Blk)));
+    pre.push_back(r.irecv(o, coll_tag(ri, 0), &needed[so], sizeof(unrlib::Blk)));
+  }
+  r.wait_all(pre);
+
+  for (int o = 0; o < P; ++o) {
+    if (o == self) continue;
+    const auto so = static_cast<std::size_t>(o);
+    const std::size_t len = c.oracle.moe_bytes(ri, self, o);
+    const std::span<std::byte> s(sarena.data() + soff[so], len);
+    Oracle::fill(s, c.oracle.moe_pattern(ri, self, o));
+    const unrlib::Blk lblk = c.unr.blk_init(self, smh, soff[so], len);
+    c.unr.put(self, lblk, needed[so]);
+  }
+  wait_sig(r, c, ri, sig_in, "alltoall arrivals");
+
+  std::size_t bad = 0;
+  for (int o = 0; o < P; ++o) {
+    if (o == self) continue;
+    const auto so = static_cast<std::size_t>(o);
+    const std::span<const std::byte> s(rarena.data() + roff[so],
+                                       c.oracle.moe_bytes(ri, o, self));
+    if (!Oracle::check(s, c.oracle.moe_pattern(ri, o, self), bad)) {
+      c.viol(ri, self, "alltoall slot from " + std::to_string(o) +
+                           " mismatch at byte " + std::to_string(bad));
+    }
+    fnv(dig, s.data(), s.size());
+  }
+  fold_sig(r, c, ri, sig_in, "alltoall", dig);
+  r.barrier();
+  c.unr.mem_dereg(self, rmh);
+  c.unr.mem_dereg(self, smh);
+}
+
+/// Combining fetch-and-add: an arity-d tree where each node waits for its
+/// children's combined counts, then forwards its whole subtree total as that
+/// many notified 0-byte PUTs — the Ultracomputer combining idiom expressed
+/// through MMAS addends. Arming num_event = the exact subtree sum makes the
+/// notification width itself the property under test.
+void run_faa_round(runtime::Rank& r, Ctx& c, std::size_t ri,
+                   const RoundSpec& round, std::uint64_t& dig) {
+  using unrlib::kNoSig;
+  const int self = r.id();
+  const int P = r.nranks();
+  const int arity = round.depth;
+  const int v = Oracle::vrank_of(self, round.root, P);
+  const int pv = Oracle::tree_parent(v, arity);
+  const int parent = pv < 0 ? -1 : Oracle::rank_of(pv, round.root, P);
+  std::vector<int> children;
+  for (int k = 1; k <= arity; ++k) {
+    const int cv = arity * v + k;
+    if (cv < P) children.push_back(Oracle::rank_of(cv, round.root, P));
+  }
+
+  std::byte slot{};
+  const unrlib::MemHandle mh = c.unr.mem_reg(self, &slot, 1);
+  const std::int64_t arm = c.oracle.faa_arm(ri, self);
+  const unrlib::SigId sig =
+      children.empty() ? kNoSig : c.unr.sig_init(self, arm, c.spec.sig_n_bits);
+  unrlib::Blk owned = c.unr.blk_init(self, mh, 0, 0, sig);
+  unrlib::Blk parent_blk{};
+  std::vector<runtime::RequestPtr> pre;
+  for (int child : children) {
+    const auto cv =
+        static_cast<std::size_t>(Oracle::vrank_of(child, round.root, P));
+    pre.push_back(r.isend(child, coll_tag(ri, cv), &owned, sizeof(unrlib::Blk)));
+  }
+  if (parent >= 0) {
+    pre.push_back(r.irecv(parent, coll_tag(ri, static_cast<std::size_t>(v)),
+                          &parent_blk, sizeof(unrlib::Blk)));
+  }
+  r.wait_all(pre);
+
+  if (!children.empty()) wait_sig(r, c, ri, sig, "faa combine");
+  const std::int64_t subtree = c.oracle.faa_subtree_total(ri, self);
+  if (parent >= 0) {
+    const unrlib::Blk src0 = c.unr.blk_init(self, mh, 0, 0);
+    for (std::int64_t i = 0; i < subtree; ++i) c.unr.put(self, src0, parent_blk);
+  }
+  // Once the subtree wait clears, the combined count is committed knowledge;
+  // fold the accounting every rank can derive.
+  fnv_u64(dig, static_cast<std::uint64_t>(subtree));
+  fnv_u64(dig, static_cast<std::uint64_t>(arm));
+  if (parent < 0) fnv_u64(dig, static_cast<std::uint64_t>(c.oracle.faa_total(ri)));
+  fold_sig(r, c, ri, sig, "faa", dig);
+  r.barrier();
+  c.unr.mem_dereg(self, mh);
+}
+
+/// Software barrier tree over signals: gather pattern payloads up an
+/// arity-d tree (each parent byte-verifies every child's contribution),
+/// then release payloads back down (each child verifies its parent's).
+void run_barrier_tree_round(runtime::Rank& r, Ctx& c, std::size_t ri,
+                            const RoundSpec& round, std::uint64_t& dig) {
+  using unrlib::kNoSig;
+  constexpr std::size_t kSlot = 8;
+  const int self = r.id();
+  const int P = r.nranks();
+  const int arity = round.depth;
+  const int v = Oracle::vrank_of(self, round.root, P);
+  const int pv = Oracle::tree_parent(v, arity);
+  const int parent = pv < 0 ? -1 : Oracle::rank_of(pv, round.root, P);
+  std::vector<int> children;
+  for (int k = 1; k <= arity; ++k) {
+    const int cv = arity * v + k;
+    if (cv < P) children.push_back(Oracle::rank_of(cv, round.root, P));
+  }
+  const std::size_t nc = children.size();
+
+  // Arena bytes: [gather slots nc*8][release slot 8][up src 8][down src 8].
+  std::vector<std::byte> arena((nc + 3) * kSlot, std::byte{0});
+  const unrlib::MemHandle mh = c.unr.mem_reg(self, arena.data(), arena.size());
+  const unrlib::SigId sig_gather =
+      nc > 0 ? c.unr.sig_init(self, static_cast<std::int64_t>(nc),
+                              c.spec.sig_n_bits)
+             : kNoSig;
+  const unrlib::SigId sig_release =
+      parent >= 0 ? c.unr.sig_init(self, 1, c.spec.sig_n_bits) : kNoSig;
+
+  std::vector<unrlib::Blk> gather_owned(nc), child_release(nc);
+  unrlib::Blk release_owned{}, parent_gather{};
+  std::vector<runtime::RequestPtr> pre;
+  for (std::size_t i = 0; i < nc; ++i) {
+    const auto cv = static_cast<std::size_t>(
+        Oracle::vrank_of(children[i], round.root, P));
+    gather_owned[i] = c.unr.blk_init(self, mh, i * kSlot, kSlot, sig_gather);
+    pre.push_back(r.isend(children[i], coll_tag(ri, 2 * cv), &gather_owned[i],
+                          sizeof(unrlib::Blk)));
+    pre.push_back(r.irecv(children[i], coll_tag(ri, 2 * cv + 1),
+                          &child_release[i], sizeof(unrlib::Blk)));
+  }
+  if (parent >= 0) {
+    const auto sv = static_cast<std::size_t>(v);
+    release_owned = c.unr.blk_init(self, mh, nc * kSlot, kSlot, sig_release);
+    pre.push_back(r.isend(parent, coll_tag(ri, 2 * sv + 1), &release_owned,
+                          sizeof(unrlib::Blk)));
+    pre.push_back(r.irecv(parent, coll_tag(ri, 2 * sv), &parent_gather,
+                          sizeof(unrlib::Blk)));
+  }
+  r.wait_all(pre);
+
+  std::byte* up_src = arena.data() + (nc + 1) * kSlot;
+  std::byte* down_src = arena.data() + (nc + 2) * kSlot;
+  Oracle::fill({up_src, kSlot}, c.oracle.bt_pattern(ri, self, 0));
+  std::size_t bad = 0;
+  if (nc > 0) {
+    wait_sig(r, c, ri, sig_gather, "barrier_tree gather");
+    for (std::size_t i = 0; i < nc; ++i) {
+      const std::span<const std::byte> s(arena.data() + i * kSlot, kSlot);
+      if (!Oracle::check(s, c.oracle.bt_pattern(ri, children[i], 0), bad)) {
+        c.viol(ri, self, "barrier_tree gather from " +
+                             std::to_string(children[i]) + " mismatch at byte " +
+                             std::to_string(bad));
+      }
+      fnv(dig, s.data(), s.size());
+    }
+  }
+  if (parent >= 0) {
+    const unrlib::Blk up_blk =
+        c.unr.blk_init(self, mh, (nc + 1) * kSlot, kSlot);
+    c.unr.put(self, up_blk, parent_gather);
+    wait_sig(r, c, ri, sig_release, "barrier_tree release");
+    const std::span<const std::byte> s(arena.data() + nc * kSlot, kSlot);
+    if (!Oracle::check(s, c.oracle.bt_pattern(ri, parent, 1), bad)) {
+      c.viol(ri, self, "barrier_tree release from " + std::to_string(parent) +
+                           " mismatch at byte " + std::to_string(bad));
+    }
+    fnv(dig, s.data(), s.size());
+  }
+  Oracle::fill({down_src, kSlot}, c.oracle.bt_pattern(ri, self, 1));
+  const unrlib::Blk down_blk =
+      c.unr.blk_init(self, mh, (nc + 2) * kSlot, kSlot);
+  for (std::size_t i = 0; i < nc; ++i)
+    c.unr.put(self, down_blk, child_release[i]);
+
+  fold_sig(r, c, ri, sig_gather, "barrier_tree gather", dig);
+  fold_sig(r, c, ri, sig_release, "barrier_tree release", dig);
+  r.barrier();
+  c.unr.mem_dereg(self, mh);
+}
+
+/// Work-queue steal traffic: every rank owns `count` items and performs
+/// `count` steals from the oracle's deterministic schedule — a notified GET
+/// of the victim's item (reader-side signal orders the landing), then a
+/// 0-byte notified PUT telling the victim it was robbed. The victim's
+/// robbery signal is armed with the schedule's exact count against it.
+void run_steal_round(runtime::Rank& r, Ctx& c, std::size_t ri,
+                     const RoundSpec& round, std::uint64_t& dig) {
+  using unrlib::kNoSig;
+  const int self = r.id();
+  const int P = r.nranks();
+  const int k = round.count;
+  const std::size_t B = round.size;
+  const auto sk = static_cast<std::size_t>(k);
+
+  // Arena: [items k*B][steal landings k*B][flag byte].
+  std::vector<std::byte> arena(2 * sk * B + 1, std::byte{0});
+  const unrlib::MemHandle mh = c.unr.mem_reg(self, arena.data(), arena.size());
+  const std::int64_t robberies = c.oracle.steal_robberies(ri, self);
+  const unrlib::SigId sig_rob =
+      robberies > 0 ? c.unr.sig_init(self, robberies, c.spec.sig_n_bits)
+                    : kNoSig;
+  const unrlib::SigId sig_get = c.unr.sig_init(self, k, c.spec.sig_n_bits);
+
+  for (int i = 0; i < k; ++i) {
+    const std::span<std::byte> s(arena.data() + static_cast<std::size_t>(i) * B, B);
+    Oracle::fill(s, c.oracle.item_pattern(ri, self, i));
+  }
+
+  // The schedule is global knowledge: as a victim, ship each thief the
+  // stolen item's Blk plus the robbery-flag Blk; as a thief, collect them.
+  struct BlkPair {
+    unrlib::Blk item, flag;
+  };
+  const unrlib::Blk flag_owned = c.unr.blk_init(self, mh, 2 * sk * B, 0, sig_rob);
+  std::vector<BlkPair> sent;
+  // Pending isends hold pointers into `sent`: reserve the exact count so
+  // push_back can never reallocate under them.
+  sent.reserve(static_cast<std::size_t>(std::max<std::int64_t>(robberies, 1)));
+  std::vector<BlkPair> loot(sk);
+  std::vector<runtime::RequestPtr> pre;
+  for (int t = 0; t < P; ++t) {
+    if (t == self) continue;
+    for (int j = 0; j < k; ++j) {
+      if (c.oracle.steal_victim(ri, t, j) != self) continue;
+      const int item = c.oracle.steal_item(ri, t, j);
+      sent.push_back({c.unr.blk_init(self, mh,
+                                     static_cast<std::size_t>(item) * B, B),
+                      flag_owned});
+      pre.push_back(r.isend(t, coll_tag(ri, static_cast<std::size_t>(t * k + j)),
+                            &sent.back(), sizeof(BlkPair)));
+    }
+  }
+  for (int j = 0; j < k; ++j) {
+    pre.push_back(r.irecv(c.oracle.steal_victim(ri, self, j),
+                          coll_tag(ri, static_cast<std::size_t>(self * k + j)),
+                          &loot[static_cast<std::size_t>(j)], sizeof(BlkPair)));
+  }
+  r.wait_all(pre);
+
+  unrlib::XferOptions xo;
+  xo.use_local_blk_sig = false;
+  xo.local_sig = sig_get;
+  for (int j = 0; j < k; ++j) {
+    const unrlib::Blk land = c.unr.blk_init(
+        self, mh, (sk + static_cast<std::size_t>(j)) * B, B);
+    c.unr.get(self, land, loot[static_cast<std::size_t>(j)].item, xo);
+  }
+  wait_sig(r, c, ri, sig_get, "steal GETs");
+
+  std::size_t bad = 0;
+  for (int j = 0; j < k; ++j) {
+    const int victim = c.oracle.steal_victim(ri, self, j);
+    const int item = c.oracle.steal_item(ri, self, j);
+    const std::span<const std::byte> s(
+        arena.data() + (sk + static_cast<std::size_t>(j)) * B, B);
+    if (!Oracle::check(s, c.oracle.item_pattern(ri, victim, item), bad)) {
+      c.viol(ri, self, "stolen item " + std::to_string(item) + " from " +
+                           std::to_string(victim) + " mismatch at byte " +
+                           std::to_string(bad));
+    }
+    fnv(dig, s.data(), s.size());
+  }
+  const unrlib::Blk src0 = c.unr.blk_init(self, mh, 2 * sk * B, 0);
+  for (int j = 0; j < k; ++j)
+    c.unr.put(self, src0, loot[static_cast<std::size_t>(j)].flag);
+  wait_sig(r, c, ri, sig_rob, "steal robberies");
+
+  // Wild-write detector: GETs are reads; the queue must come back intact.
+  for (int i = 0; i < k; ++i) {
+    const std::span<const std::byte> s(
+        arena.data() + static_cast<std::size_t>(i) * B, B);
+    if (!Oracle::check(s, c.oracle.item_pattern(ri, self, i), bad)) {
+      c.viol(ri, self, "work-queue item " + std::to_string(i) +
+                           " modified at byte " + std::to_string(bad));
+    }
+  }
+  fold_sig(r, c, ri, sig_get, "steal get", dig);
+  fold_sig(r, c, ri, sig_rob, "steal robbery", dig);
+  r.barrier();
+  c.unr.mem_dereg(self, mh);
+}
+
+/// Pipeline-parallel chain 0 -> 1 -> ... -> P-1: `count` micro-batches of
+/// `size` bytes relay through every stage; each stage verifies and forwards
+/// a micro-batch as soon as ITS arrival signal fires, and a sender may keep
+/// at most `depth` micro-batches in flight (the overlap window), gated on
+/// per-micro-batch local-completion signals.
+void run_pipeline_round(runtime::Rank& r, Ctx& c, std::size_t ri,
+                        const RoundSpec& round, std::uint64_t& dig) {
+  using unrlib::kNoSig;
+  const int self = r.id();
+  const int P = r.nranks();
+  const int M = round.count;
+  const int D = round.depth;
+  const std::size_t B = round.size;
+  const auto sm = static_cast<std::size_t>(M);
+  const bool has_prev = self > 0;
+  const bool has_next = self < P - 1;
+
+  // Arena: [recv slots M*B (if has_prev)][forward slots M*B (if has_next)].
+  const std::size_t recv_base = 0;
+  const std::size_t fwd_base = has_prev ? sm * B : 0;
+  std::vector<std::byte> arena(
+      std::max<std::size_t>((static_cast<std::size_t>(has_prev) +
+                             static_cast<std::size_t>(has_next)) * sm * B, 1),
+      std::byte{0});
+  const unrlib::MemHandle mh = c.unr.mem_reg(self, arena.data(), arena.size());
+
+  std::vector<unrlib::SigId> sig_in(sm, kNoSig), sig_loc(sm, kNoSig);
+  for (std::size_t m = 0; m < sm; ++m) {
+    if (has_prev) sig_in[m] = c.unr.sig_init(self, 1, c.spec.sig_n_bits);
+    if (has_next) sig_loc[m] = c.unr.sig_init(self, 1, c.spec.sig_n_bits);
+  }
+
+  std::vector<unrlib::Blk> owned(sm), needed(sm);
+  std::vector<runtime::RequestPtr> pre;
+  for (std::size_t m = 0; m < sm; ++m) {
+    if (has_prev) {
+      owned[m] = c.unr.blk_init(self, mh, recv_base + m * B, B, sig_in[m]);
+      pre.push_back(r.isend(self - 1, coll_tag(ri, m), &owned[m],
+                            sizeof(unrlib::Blk)));
+    }
+    if (has_next) {
+      pre.push_back(r.irecv(self + 1, coll_tag(ri, m), &needed[m],
+                            sizeof(unrlib::Blk)));
+    }
+  }
+  r.wait_all(pre);
+
+  std::size_t bad = 0;
+  for (int m = 0; m < M; ++m) {
+    const auto im = static_cast<std::size_t>(m);
+    if (has_prev) {
+      wait_sig(r, c, ri, sig_in[im], "pipeline arrival");
+      const std::span<const std::byte> s(arena.data() + recv_base + im * B, B);
+      if (!Oracle::check(s, c.oracle.pipe_pattern(ri, m), bad)) {
+        c.viol(ri, self, "pipeline micro-batch " + std::to_string(m) +
+                             " mismatch at byte " + std::to_string(bad));
+      }
+      fnv(dig, s.data(), s.size());
+    }
+    if (has_next) {
+      if (m >= D) wait_sig(r, c, ri, sig_loc[im - static_cast<std::size_t>(D)],
+                           "pipeline overlap window");
+      const std::span<std::byte> f(arena.data() + fwd_base + im * B, B);
+      if (has_prev) {
+        std::memcpy(f.data(), arena.data() + recv_base + im * B, B);
+      } else {
+        Oracle::fill(f, c.oracle.pipe_pattern(ri, m));
+      }
+      unrlib::XferOptions xo;
+      xo.use_local_blk_sig = false;
+      xo.local_sig = sig_loc[im];
+      const unrlib::Blk lblk = c.unr.blk_init(self, mh, fwd_base + im * B, B);
+      c.unr.put(self, lblk, needed[im], xo);
+    }
+  }
+  if (has_next) {
+    for (std::size_t m = 0; m < sm; ++m)
+      wait_sig(r, c, ri, sig_loc[m], "pipeline drain");
+  }
+  for (std::size_t m = 0; m < sm; ++m) {
+    fold_sig(r, c, ri, sig_in[m], "pipeline arrival", dig);
+    fold_sig(r, c, ri, sig_loc[m], "pipeline local", dig);
+  }
+  r.barrier();
+  c.unr.mem_dereg(self, mh);
+}
+
 void run_rank(runtime::Rank& r, Ctx& c) {
   const int self = r.id();
   const int P = r.nranks();
@@ -335,6 +972,27 @@ void run_rank(runtime::Rank& r, Ctx& c) {
         fnv(dig, got.data(), got.size());
         break;
       }
+      case RoundSpec::Kind::kAllreduceRing:
+        run_ar_ring_round(r, c, ri, round, dig);
+        break;
+      case RoundSpec::Kind::kAllreduceTree:
+        run_ar_tree_round(r, c, ri, round, dig);
+        break;
+      case RoundSpec::Kind::kAlltoall:
+        run_alltoall_round(r, c, ri, round, dig);
+        break;
+      case RoundSpec::Kind::kFaaCombine:
+        run_faa_round(r, c, ri, round, dig);
+        break;
+      case RoundSpec::Kind::kBarrierTree:
+        run_barrier_tree_round(r, c, ri, round, dig);
+        break;
+      case RoundSpec::Kind::kSteal:
+        run_steal_round(r, c, ri, round, dig);
+        break;
+      case RoundSpec::Kind::kPipeline:
+        run_pipeline_round(r, c, ri, round, dig);
+        break;
     }
   }
 
@@ -360,6 +1018,9 @@ std::string validate(const WorkloadSpec& spec) {
   if (spec.region_bytes == 0 || spec.region_bytes > 64 * MiB) return err("bad region size");
   if (spec.rounds.size() > 4096) return err("more than 4096 rounds");
   Oracle oracle(spec);
+  // Signal-width capacity: every armed num_event must fit the event field.
+  const std::int64_t cap = std::int64_t{1}
+                           << (spec.sig_n_bits < 62 ? spec.sig_n_bits : 61);
   for (std::size_t ri = 0; ri < spec.rounds.size(); ++ri) {
     const RoundSpec& round = spec.rounds[ri];
     const auto rerr = [&](const std::string& m) {
@@ -396,8 +1057,6 @@ std::string validate(const WorkloadSpec& spec) {
         // Signal capacity: the armed counts must fit the event field.
         for (int rank = 0; rank < P; ++rank) {
           const Oracle::Events ev = oracle.expected_events(ri, rank);
-          const std::int64_t cap = std::int64_t{1}
-                                   << (spec.sig_n_bits < 62 ? spec.sig_n_bits : 61);
           if (ev.arrivals >= cap || ev.locals >= cap) {
             return rerr("expected events overflow sig_n_bits");
           }
@@ -420,6 +1079,52 @@ std::string validate(const WorkloadSpec& spec) {
       case RoundSpec::Kind::kWindow:
         if (round.root < 1 || round.root >= P) return rerr("window shift out of [1, P)");
         if (round.size < 1 || round.size > 64 * KiB) return rerr("bad window slot size");
+        break;
+      case RoundSpec::Kind::kAllreduceRing:
+        if (round.size < 1 || round.size > 4096) return rerr("bad ar_ring count");
+        break;
+      case RoundSpec::Kind::kAllreduceTree:
+        if (round.root < 0 || round.root >= P) return rerr("ar_tree root out of range");
+        if (round.size < 1 || round.size > 4096) return rerr("bad ar_tree count");
+        if (cap <= 2) return rerr("sig_n_bits too narrow for ar_tree gather");
+        break;
+      case RoundSpec::Kind::kAlltoall:
+        if (round.root < 0 || round.root >= P) return rerr("alltoall hot rank out of range");
+        if (round.size < 1 || round.size > 4096) return rerr("bad alltoall base size");
+        if (P - 1 >= cap) return rerr("alltoall arrivals overflow sig_n_bits");
+        break;
+      case RoundSpec::Kind::kFaaCombine: {
+        if (round.root < 0 || round.root >= P) return rerr("faa root out of range");
+        if (round.depth < 2 || round.depth > 8) return rerr("faa arity out of [2, 8]");
+        if (round.count < 1 || round.count > 64) return rerr("faa addend cap out of [1, 64]");
+        if (oracle.faa_total(ri) > 4096) return rerr("faa grand total too large");
+        for (int rank = 0; rank < P; ++rank) {
+          if (oracle.faa_arm(ri, rank) >= cap) {
+            return rerr("faa combined count overflows sig_n_bits");
+          }
+        }
+        break;
+      }
+      case RoundSpec::Kind::kBarrierTree:
+        if (round.root < 0 || round.root >= P) return rerr("barrier_tree root out of range");
+        if (round.depth < 2 || round.depth > 8) return rerr("barrier_tree arity out of [2, 8]");
+        if (round.depth >= cap) return rerr("barrier_tree fan-in overflows sig_n_bits");
+        break;
+      case RoundSpec::Kind::kSteal:
+        if (round.size < 1 || round.size > 4096) return rerr("bad steal item size");
+        if (round.count < 1 || round.count > 16) return rerr("steal count out of [1, 16]");
+        if (P * round.count > 4096) return rerr("too many steal events");
+        if (round.count >= cap) return rerr("steal GET count overflows sig_n_bits");
+        for (int rank = 0; rank < P; ++rank) {
+          if (oracle.steal_robberies(ri, rank) >= cap) {
+            return rerr("steal robberies overflow sig_n_bits");
+          }
+        }
+        break;
+      case RoundSpec::Kind::kPipeline:
+        if (round.size < 1 || round.size > 64 * KiB) return rerr("bad pipeline micro-batch size");
+        if (round.count < 1 || round.count > 64) return rerr("pipeline micro-batches out of [1, 64]");
+        if (round.depth < 1 || round.depth > 32) return rerr("pipeline overlap depth out of [1, 32]");
         break;
     }
   }

@@ -80,6 +80,66 @@ struct Shrinker {
     return accept(std::move(cand));
   }
 
+  bool edit_round(std::size_t ri, const std::function<void(RoundSpec&)>& fn) {
+    WorkloadSpec cand = best;
+    fn(cand.rounds[ri]);
+    return accept(std::move(cand));
+  }
+
+  /// Scenario-pack rounds carry their own parameters; halving them keeps
+  /// the kind while melting payload sizes, micro-batch counts, steal counts
+  /// and tree arity toward the validate() floors.
+  bool simplify_rounds() {
+    bool progress = false;
+    for (std::size_t ri = 0; ri < best.rounds.size() && budget(); ++ri) {
+      const RoundSpec snap = best.rounds[ri];
+      switch (snap.kind) {
+        case RoundSpec::Kind::kAllreduceRing:
+        case RoundSpec::Kind::kAllreduceTree:
+        case RoundSpec::Kind::kAlltoall:
+          if (snap.size > 1) {
+            progress |= edit_round(ri, [](RoundSpec& r) { r.size /= 2; });
+          }
+          break;
+        case RoundSpec::Kind::kFaaCombine:
+          if (snap.count > 1) {
+            progress |= edit_round(ri, [](RoundSpec& r) { r.count /= 2; });
+          }
+          if (snap.depth > 2) {
+            progress |= edit_round(ri, [](RoundSpec& r) { r.depth = 2; });
+          }
+          break;
+        case RoundSpec::Kind::kBarrierTree:
+          if (snap.depth > 2) {
+            progress |= edit_round(ri, [](RoundSpec& r) { r.depth = 2; });
+          }
+          break;
+        case RoundSpec::Kind::kSteal:
+          if (snap.size > 1) {
+            progress |= edit_round(ri, [](RoundSpec& r) { r.size /= 2; });
+          }
+          if (snap.count > 1) {
+            progress |= edit_round(ri, [](RoundSpec& r) { r.count /= 2; });
+          }
+          break;
+        case RoundSpec::Kind::kPipeline:
+          if (snap.size > 1) {
+            progress |= edit_round(ri, [](RoundSpec& r) { r.size /= 2; });
+          }
+          if (snap.count > 1) {
+            progress |= edit_round(ri, [](RoundSpec& r) { r.count /= 2; });
+          }
+          if (snap.depth > 1) {
+            progress |= edit_round(ri, [](RoundSpec& r) { r.depth = 1; });
+          }
+          break;
+        default:
+          break;
+      }
+    }
+    return progress;
+  }
+
   bool simplify_ops() {
     bool progress = false;
     for (std::size_t ri = 0; ri < best.rounds.size() && budget(); ++ri) {
@@ -130,6 +190,7 @@ WorkloadSpec shrink(const WorkloadSpec& failing, const FailPred& still_fails,
     progress |= s.drop_ops();
     progress |= s.simplify_globals();
     progress |= s.simplify_ops();
+    progress |= s.simplify_rounds();
   }
   return s.best;
 }

@@ -78,14 +78,30 @@ WorkloadSpec generate(std::uint64_t seed, const GenConfig& gc) {
 
   for (int r = 0; r < n_rounds; ++r) {
     RoundSpec round;
-    switch (pick_weighted(rng, {50, 8, 8, 8, 8, 8, 10})) {
+    // The classic palette consumes the RNG stream exactly as it always has
+    // (same weights, same total) so the golden pins stay bit-identical; the
+    // AI/sync palette extends it with the scenario-pack kinds.
+    int kind_idx;
+    if (gc.mix == GenConfig::Mix::kAiSync) {
+      kind_idx = pick_weighted(rng, {36, 5, 5, 5, 5, 5, 6, 5, 5, 5, 5, 5, 4, 4});
+    } else {
+      kind_idx = pick_weighted(rng, {50, 8, 8, 8, 8, 8, 10});
+    }
+    switch (kind_idx) {
       case 0: round.kind = RoundSpec::Kind::kXfer; break;
       case 1: round.kind = RoundSpec::Kind::kBarrier; break;
       case 2: round.kind = RoundSpec::Kind::kRmaBarrier; break;
       case 3: round.kind = RoundSpec::Kind::kBcast; break;
       case 4: round.kind = RoundSpec::Kind::kAllgather; break;
       case 5: round.kind = RoundSpec::Kind::kAllreduce; break;
-      default: round.kind = RoundSpec::Kind::kWindow; break;
+      case 6: round.kind = RoundSpec::Kind::kWindow; break;
+      case 7: round.kind = RoundSpec::Kind::kAllreduceRing; break;
+      case 8: round.kind = RoundSpec::Kind::kAllreduceTree; break;
+      case 9: round.kind = RoundSpec::Kind::kAlltoall; break;
+      case 10: round.kind = RoundSpec::Kind::kFaaCombine; break;
+      case 11: round.kind = RoundSpec::Kind::kBarrierTree; break;
+      case 12: round.kind = RoundSpec::Kind::kSteal; break;
+      default: round.kind = RoundSpec::Kind::kPipeline; break;
     }
     switch (round.kind) {
       case RoundSpec::Kind::kXfer: {
@@ -143,6 +159,35 @@ WorkloadSpec generate(std::uint64_t seed, const GenConfig& gc) {
         round.root = 1 + static_cast<int>(rng.below(static_cast<std::uint64_t>(
                              std::max(1, P - 1))));
         round.size = pick_from<std::uint64_t>(rng, {8, 64, 512});
+        break;
+      case RoundSpec::Kind::kAllreduceRing:
+        round.size = pick_from<std::uint64_t>(rng, {3, 16, 64});
+        break;
+      case RoundSpec::Kind::kAllreduceTree:
+        round.root = static_cast<int>(rng.below(static_cast<std::uint64_t>(P)));
+        round.size = pick_from<std::uint64_t>(rng, {4, 16, 64});
+        break;
+      case RoundSpec::Kind::kAlltoall:
+        round.root = static_cast<int>(rng.below(static_cast<std::uint64_t>(P)));
+        round.size = pick_from<std::uint64_t>(rng, {1, 64, 1024});
+        break;
+      case RoundSpec::Kind::kFaaCombine:
+        round.root = static_cast<int>(rng.below(static_cast<std::uint64_t>(P)));
+        round.count = pick_from(rng, {1, 2, 4});
+        round.depth = pick_from(rng, {2, 3, 4});
+        break;
+      case RoundSpec::Kind::kBarrierTree:
+        round.root = static_cast<int>(rng.below(static_cast<std::uint64_t>(P)));
+        round.depth = pick_from(rng, {2, 3});
+        break;
+      case RoundSpec::Kind::kSteal:
+        round.size = pick_from<std::uint64_t>(rng, {8, 64, 256});
+        round.count = pick_from(rng, {1, 2, 4});
+        break;
+      case RoundSpec::Kind::kPipeline:
+        round.size = pick_from<std::uint64_t>(rng, {64, 1024, 4096});
+        round.count = pick_from(rng, {2, 4, 8});
+        round.depth = pick_from(rng, {1, 2, 4});
         break;
       case RoundSpec::Kind::kBarrier:
       case RoundSpec::Kind::kRmaBarrier:
@@ -218,6 +263,13 @@ const char* round_kind_name(RoundSpec::Kind k) {
     case RoundSpec::Kind::kAllgather: return "allgather";
     case RoundSpec::Kind::kAllreduce: return "allreduce";
     case RoundSpec::Kind::kWindow: return "window";
+    case RoundSpec::Kind::kAllreduceRing: return "ar_ring";
+    case RoundSpec::Kind::kAllreduceTree: return "ar_tree";
+    case RoundSpec::Kind::kAlltoall: return "alltoall";
+    case RoundSpec::Kind::kFaaCombine: return "faa_tree";
+    case RoundSpec::Kind::kBarrierTree: return "barrier_tree";
+    case RoundSpec::Kind::kSteal: return "steal";
+    case RoundSpec::Kind::kPipeline: return "pipeline";
   }
   return "?";
 }
@@ -256,6 +308,13 @@ RoundSpec::Kind round_kind_from(const std::string& s, bool& ok) {
   if (s == "allgather") return RoundSpec::Kind::kAllgather;
   if (s == "allreduce") return RoundSpec::Kind::kAllreduce;
   if (s == "window") return RoundSpec::Kind::kWindow;
+  if (s == "ar_ring") return RoundSpec::Kind::kAllreduceRing;
+  if (s == "ar_tree") return RoundSpec::Kind::kAllreduceTree;
+  if (s == "alltoall") return RoundSpec::Kind::kAlltoall;
+  if (s == "faa_tree") return RoundSpec::Kind::kFaaCombine;
+  if (s == "barrier_tree") return RoundSpec::Kind::kBarrierTree;
+  if (s == "steal") return RoundSpec::Kind::kSteal;
+  if (s == "pipeline") return RoundSpec::Kind::kPipeline;
   ok = false;
   return RoundSpec::Kind::kBarrier;
 }
@@ -285,7 +344,8 @@ std::string to_text(const WorkloadSpec& s) {
      << "\n";
   for (const RoundSpec& r : s.rounds) {
     os << "round " << round_kind_name(r.kind) << " root=" << r.root
-       << " size=" << r.size << " stray=" << r.stray_sig_rank << "\n";
+       << " size=" << r.size << " count=" << r.count << " depth=" << r.depth
+       << " stray=" << r.stray_sig_rank << "\n";
     for (const OpSpec& op : r.ops) {
       os << "  op " << op_kind_name(op.kind) << " a=" << op.a << " b=" << op.b
          << " size=" << op.size << " src=" << op.src_off << " dst=" << op.dst_off
@@ -391,6 +451,8 @@ bool from_text(const std::string& text, WorkloadSpec& out, std::string* error) {
         std::uint64_t uv = 0;
         if (key == "root" && parse_i64(val, iv)) r.root = static_cast<int>(iv);
         else if (key == "size" && parse_u64(val, uv)) r.size = uv;
+        else if (key == "count" && parse_i64(val, iv)) r.count = static_cast<int>(iv);
+        else if (key == "depth" && parse_i64(val, iv)) r.depth = static_cast<int>(iv);
         else if (key == "stray" && parse_i64(val, iv)) r.stray_sig_rank = static_cast<int>(iv);
         else return fail("unknown key '" + key + "' in: " + line);
       }

@@ -63,11 +63,24 @@ struct RoundSpec {
     kAllgather = 4,   ///< runtime allgather, `size` bytes per rank
     kAllreduce = 5,   ///< runtime allreduce_sum over `size` doubles
     kWindow = 6,      ///< MPI-RMA window epoch: fence, puts, fence, verify
+    // --- AI-training / scalable-synchronization traffic (scenario pack) ---
+    kAllreduceRing = 7,  ///< chunked ring allreduce over notified PUTs (`size` doubles)
+    kAllreduceTree = 8,  ///< binary-tree reduce+bcast over notified PUTs (`size` doubles)
+    kAlltoall = 9,       ///< MoE all-to-all; `size` base bytes, `root` = hot expert
+    kFaaCombine = 10,    ///< combining fetch-and-add tree; `count` max addend, `depth` arity
+    kBarrierTree = 11,   ///< software barrier tree over signals; `depth` arity
+    kSteal = 12,         ///< work-queue steal: GET items + notify victim; `size`/`count`
+    kPipeline = 13,      ///< pipeline-parallel chain; `size` µbatch, `count` µbatches, `depth` overlap
   };
   Kind kind = Kind::kXfer;
   std::vector<OpSpec> ops;  ///< kXfer only
-  int root = 0;             ///< kBcast: root; kWindow: target shift (1..P-1)
+  int root = 0;             ///< kBcast/tree kinds: root; kWindow: target shift;
+                            ///< kAlltoall: the hot (over-routed) expert rank
   std::uint64_t size = 0;   ///< collective payload (bytes / doubles / slot bytes)
+  int count = 0;  ///< kFaaCombine: max per-rank addend; kSteal: items & steals
+                  ///< per rank; kPipeline: micro-batches
+  int depth = 0;  ///< tree arity (kFaaCombine/kBarrierTree) or overlap window
+                  ///< (kPipeline: in-flight micro-batch cap per sender)
   /// Mutation hook: this rank applies one stray addend to its arrival signal
   /// after the waits — the oracle's counter==0 check must catch it.
   int stray_sig_rank = -1;
@@ -98,11 +111,17 @@ struct WorkloadSpec {
 
 /// Knobs for the seed -> WorkloadSpec expansion.
 struct GenConfig {
+  /// Which round-kind palette the generator draws from. kClassic is the
+  /// original mix and is BYTE-IDENTICAL per seed to the pre-scenario-pack
+  /// generator (the golden determinism pins depend on that); kAiSync adds
+  /// the distributed-AI and scalable-synchronization kinds to the palette.
+  enum class Mix { kClassic, kAiSync };
   Interface iface = Interface::kGlex;
   bool faults = false;
   int min_rounds = 3;
   int max_rounds = 8;
   int max_ops_per_round = 6;
+  Mix mix = Mix::kClassic;
 };
 
 /// Deterministically expand a seed into an explicit workload.

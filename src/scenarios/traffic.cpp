@@ -1,0 +1,142 @@
+#include "scenarios/traffic.hpp"
+
+#include <algorithm>
+
+namespace unr::scenarios {
+
+namespace {
+
+using check::RoundSpec;
+using check::WorkloadSpec;
+
+std::uint64_t clamp_u64(std::uint64_t v, std::uint64_t lo, std::uint64_t hi) {
+  return std::min(std::max(v, lo), hi);
+}
+
+int clamp_int(int v, int lo, int hi) { return std::min(std::max(v, lo), hi); }
+
+/// Topology + fabric knobs shared by every pattern. sig_n_bits = 16 keeps all
+/// armed counts (P-1 alltoall arrivals, combined FAA addends, robbery tallies)
+/// far below the event-field capacity at any topology the builders accept.
+WorkloadSpec base_spec(const TrafficParams& p) {
+  WorkloadSpec s;
+  s.seed = p.seed;
+  s.profile = p.profile;
+  s.iface = p.iface;
+  s.nodes = std::max(p.nodes, 1);
+  s.ranks_per_node = std::max(p.ranks_per_node, 1);
+  if (s.nodes * s.ranks_per_node < 2) s.nodes = 2;  // all patterns need a peer
+  s.sig_n_bits = 16;
+  s.faults = p.faults;
+  return s;
+}
+
+int round_count(const TrafficParams& p) { return clamp_int(p.rounds, 1, 64); }
+
+void repeat(WorkloadSpec& s, const RoundSpec& proto, int n) {
+  for (int i = 0; i < n; ++i) s.rounds.push_back(proto);
+}
+
+}  // namespace
+
+WorkloadSpec ai_ring_allreduce(const TrafficParams& p) {
+  WorkloadSpec s = base_spec(p);
+  RoundSpec r;
+  r.kind = RoundSpec::Kind::kAllreduceRing;
+  r.size = clamp_u64(p.size ? p.size : 1024, 1, 4096);  // doubles per rank
+  repeat(s, r, round_count(p));
+  return s;
+}
+
+WorkloadSpec ai_tree_allreduce(const TrafficParams& p) {
+  WorkloadSpec s = base_spec(p);
+  RoundSpec r;
+  r.kind = RoundSpec::Kind::kAllreduceTree;
+  r.root = 0;
+  r.size = clamp_u64(p.size ? p.size : 512, 1, 4096);  // doubles per rank
+  repeat(s, r, round_count(p));
+  return s;
+}
+
+WorkloadSpec ai_pipeline(const TrafficParams& p) {
+  WorkloadSpec s = base_spec(p);
+  RoundSpec r;
+  r.kind = RoundSpec::Kind::kPipeline;
+  r.size = clamp_u64(p.size ? p.size : 4096, 1, 64 * KiB);  // µbatch bytes
+  r.count = clamp_int(p.count ? p.count : 8, 1, 64);        // micro-batches
+  r.depth = clamp_int(p.depth ? p.depth : 2, 1, 32);        // overlap window
+  repeat(s, r, round_count(p));
+  return s;
+}
+
+WorkloadSpec ai_moe_alltoall(const TrafficParams& p) {
+  WorkloadSpec s = base_spec(p);
+  RoundSpec r;
+  r.kind = RoundSpec::Kind::kAlltoall;
+  r.size = clamp_u64(p.size ? p.size : 256, 1, 4096);  // base bytes per pair
+  // Skewed expert routing: one rank is the 4x-hot expert; derive it from the
+  // seed so different seeds stress different destinations.
+  r.root = static_cast<int>(p.seed % static_cast<std::uint64_t>(s.nranks()));
+  repeat(s, r, round_count(p));
+  return s;
+}
+
+WorkloadSpec sync_faa_tree(const TrafficParams& p) {
+  WorkloadSpec s = base_spec(p);
+  RoundSpec r;
+  r.kind = RoundSpec::Kind::kFaaCombine;
+  r.root = 0;
+  r.depth = clamp_int(p.depth ? p.depth : 2, 2, 8);  // tree arity
+  // Max per-rank addend; the grand total (<= P * count) must stay under the
+  // validate() combining budget of 4096.
+  const int total_cap = std::max(4096 / s.nranks(), 1);
+  r.count = clamp_int(p.count ? p.count : 4, 1, std::min(64, total_cap));
+  repeat(s, r, round_count(p));
+  return s;
+}
+
+WorkloadSpec sync_barrier_tree(const TrafficParams& p) {
+  WorkloadSpec s = base_spec(p);
+  RoundSpec r;
+  r.kind = RoundSpec::Kind::kBarrierTree;
+  r.root = 0;
+  r.depth = clamp_int(p.depth ? p.depth : 2, 2, 8);  // tree arity
+  repeat(s, r, round_count(p));
+  return s;
+}
+
+WorkloadSpec sync_work_steal(const TrafficParams& p) {
+  WorkloadSpec s = base_spec(p);
+  RoundSpec r;
+  r.kind = RoundSpec::Kind::kSteal;
+  r.size = clamp_u64(p.size ? p.size : 64, 1, 4096);  // bytes per work item
+  // Items (and steals) per rank; the steal tag plane budgets P * count <= 4096.
+  const int tag_cap = std::max(4096 / s.nranks(), 1);
+  r.count = clamp_int(p.count ? p.count : 4, 1, std::min(16, tag_cap));
+  repeat(s, r, round_count(p));
+  return s;
+}
+
+namespace {
+
+constexpr Pattern kPatterns[] = {
+    {"ai_ring_allreduce", &ai_ring_allreduce},
+    {"ai_tree_allreduce", &ai_tree_allreduce},
+    {"ai_pipeline", &ai_pipeline},
+    {"ai_moe_alltoall", &ai_moe_alltoall},
+    {"sync_faa_tree", &sync_faa_tree},
+    {"sync_barrier_tree", &sync_barrier_tree},
+    {"sync_work_steal", &sync_work_steal},
+};
+
+}  // namespace
+
+std::span<const Pattern> patterns() { return kPatterns; }
+
+const Pattern* find_pattern(std::string_view name) {
+  for (const Pattern& p : kPatterns)
+    if (name == p.name) return &p;
+  return nullptr;
+}
+
+}  // namespace unr::scenarios

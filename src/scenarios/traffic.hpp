@@ -1,0 +1,63 @@
+// Scenario pack: named distributed-AI and scalable-synchronization traffic
+// generators (ROADMAP item 3).
+//
+// Each builder expands a small parameter set into an explicit
+// check::WorkloadSpec made of the scenario-pack round kinds, so one
+// definition serves the whole stack: the fuzz oracle verifies it, the
+// differential runner replays it across channel levels and shard counts,
+// svc::RunSpec serves it over TCP (cacheable by digest), and
+// bench_wallclock measures it under the CI perf gate.
+//
+// Patterns:
+//   ai_ring_allreduce   chunked ring allreduce (reduce-scatter + allgather)
+//   ai_tree_allreduce   binary-tree reduce + broadcast-down
+//   ai_pipeline         pipeline-parallel micro-batch relay with overlap cap
+//   ai_moe_alltoall     MoE all-to-all with a 4x-hot expert rank
+//   sync_faa_tree       combining fetch-and-add tree (MMAS addends)
+//   sync_barrier_tree   software barrier tree over signals
+//   sync_work_steal     work-queue steal traffic (GET + robbery notify)
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "check/workload.hpp"
+
+namespace unr::scenarios {
+
+/// Common knobs; every field a builder ignores is simply unused. Zero
+/// `size` / `count` / `depth` mean "the pattern's default".
+struct TrafficParams {
+  std::uint64_t seed = 1;
+  int nodes = 4;
+  int ranks_per_node = 2;
+  std::string profile = "TH-XY";
+  Interface iface = Interface::kVerbs;
+  std::uint64_t size = 0;  ///< payload knob (doubles or bytes, per pattern)
+  int count = 0;           ///< micro-batches / items / addend cap
+  int depth = 0;           ///< tree arity or pipeline overlap window
+  int rounds = 2;          ///< how many rounds of the pattern to run
+  bool faults = false;
+};
+
+check::WorkloadSpec ai_ring_allreduce(const TrafficParams& p);
+check::WorkloadSpec ai_tree_allreduce(const TrafficParams& p);
+check::WorkloadSpec ai_pipeline(const TrafficParams& p);
+check::WorkloadSpec ai_moe_alltoall(const TrafficParams& p);
+check::WorkloadSpec sync_faa_tree(const TrafficParams& p);
+check::WorkloadSpec sync_barrier_tree(const TrafficParams& p);
+check::WorkloadSpec sync_work_steal(const TrafficParams& p);
+
+struct Pattern {
+  const char* name;
+  check::WorkloadSpec (*make)(const TrafficParams&);
+};
+
+/// All seven patterns, in registry order.
+std::span<const Pattern> patterns();
+/// nullptr when no pattern has that name.
+const Pattern* find_pattern(std::string_view name);
+
+}  // namespace unr::scenarios

@@ -6,6 +6,7 @@
 
 #include "check/runner.hpp"
 #include "runtime/world.hpp"
+#include "scenarios/traffic.hpp"
 #include "unr/unr.hpp"
 
 namespace unr::svc {
@@ -184,6 +185,52 @@ void scn_allreduce(const RunSpec& spec, RunOutcome& out) {
   out.ok = true;
 }
 
+/// Scenario-pack traffic patterns (src/scenarios): the spec's scenario name
+/// selects the builder, params map onto TrafficParams (size/count/depth/
+/// rounds/faults), and the expanded workload runs through the oracle-checked
+/// runner — so a served AI-traffic run is verified, not just timed. Channel,
+/// shards and telemetry route exactly like embedded-workload runs.
+void scn_traffic(const RunSpec& spec, RunOutcome& out) {
+  const scenarios::Pattern* pat = scenarios::find_pattern(spec.scenario);
+  if (pat == nullptr) {  // unreachable: dispatch matched the name
+    out.error = "unknown traffic pattern '" + spec.scenario + "'";
+    return;
+  }
+  scenarios::TrafficParams p;
+  p.seed = spec.seed;
+  p.nodes = spec.nodes;
+  p.ranks_per_node = spec.ranks_per_node;
+  if (!spec.profile.empty() && spec.profile != "-") p.profile = spec.profile;
+  p.size = spec.param("size", 0);
+  p.count = static_cast<int>(spec.param("count", 0));
+  p.depth = static_cast<int>(spec.param("depth", 0));
+  p.rounds = static_cast<int>(spec.param("rounds", 2));
+  p.faults = spec.param("faults", 0) != 0;
+  const check::WorkloadSpec w = pat->make(p);
+  const std::string invalid = check::validate(w);
+  if (!invalid.empty()) {
+    out.error = "invalid traffic workload: " + invalid;
+    return;
+  }
+  check::RunOptions opt;
+  if (!check::channel_from_token(spec.channel, opt.channel)) {
+    out.error = "unknown channel '" + spec.channel + "'";
+    return;
+  }
+  opt.shards = spec.shards;
+  if (spec.trace) {
+    opt.trace_out = &out.trace_json;
+    opt.trace_ring = spec.trace_ring;
+  }
+  if (spec.metrics) opt.metrics_out = &out.metrics_json;
+  const check::RunResult r = check::run_workload(w, opt);
+  out.ok = r.ok;
+  out.violations = r.violations;
+  out.result_digest = r.digest;
+  out.events = r.events;
+  out.virtual_ns = r.end_time;
+}
+
 struct Entry {
   const char* name;
   void (*fn)(const RunSpec&, RunOutcome&);
@@ -193,6 +240,13 @@ constexpr Entry kScenarios[] = {
     {"pingpong", &scn_pingpong},
     {"put_stream", &scn_put_stream},
     {"allreduce", &scn_allreduce},
+    {"ai_ring_allreduce", &scn_traffic},
+    {"ai_tree_allreduce", &scn_traffic},
+    {"ai_pipeline", &scn_traffic},
+    {"ai_moe_alltoall", &scn_traffic},
+    {"sync_faa_tree", &scn_traffic},
+    {"sync_barrier_tree", &scn_traffic},
+    {"sync_work_steal", &scn_traffic},
 };
 
 }  // namespace

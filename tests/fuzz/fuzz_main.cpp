@@ -13,9 +13,12 @@
 // repros keep replaying.
 //
 //   unr_fuzz --seeds=200 --ifaces=glex,verbs,utofu --faults=both
+//   unr_fuzz --seeds=200 --mix=aisync   # draw AI/sync round kinds too
 //   unr_fuzz --repro=fuzz-fail-17-verbs-on.repro
 //   unr_fuzz --mutate --seeds=5         # harness self-test (must catch bugs)
 //   unr_fuzz --print-spec=42 --ifaces=glex
+//   unr_fuzz --emit-corpus=DIR          # regenerate the committed scenario
+//                                       # corpus (tests/fuzz/corpus/)
 //
 // tools/fuzz_triage.py wraps the repro/shrink workflow.
 #include <chrono>
@@ -31,6 +34,7 @@
 #include "check/runner.hpp"
 #include "check/shrink.hpp"
 #include "check/workload.hpp"
+#include "scenarios/traffic.hpp"
 #include "svc/runspec.hpp"
 
 namespace {
@@ -49,8 +53,10 @@ struct CliArgs {
   bool do_shrink = true;
   std::string repro;
   std::string dump_dir = ".";
-  double time_budget = 0;  // wall seconds; 0 = unlimited
+  std::string emit_corpus;  // write one scenario-pack repro per pattern here
+  double time_budget = 0;   // wall seconds; 0 = unlimited
   std::int64_t print_spec = -1;
+  GenConfig::Mix mix = GenConfig::Mix::kClassic;
 };
 
 bool parse_iface_list(const std::string& v, std::vector<Interface>& out) {
@@ -112,6 +118,13 @@ bool parse_args(int argc, char** argv, CliArgs& a) {
     }
     else if (const char* v = val("--repro=")) a.repro = v;
     else if (const char* v = val("--dump-dir=")) a.dump_dir = v;
+    else if (const char* v = val("--emit-corpus=")) a.emit_corpus = v;
+    else if (const char* v = val("--mix=")) {
+      const std::string m = v;
+      if (m == "classic") a.mix = GenConfig::Mix::kClassic;
+      else if (m == "aisync") a.mix = GenConfig::Mix::kAiSync;
+      else { std::cerr << "bad --mix (classic|aisync)\n"; return false; }
+    }
     else if (const char* v = val("--time-budget=")) a.time_budget = std::strtod(v, nullptr);
     else if (const char* v = val("--print-spec=")) a.print_spec = std::strtoll(v, nullptr, 10);
     else if (arg == "--mutate") a.mutate = true;
@@ -126,11 +139,13 @@ void usage() {
   std::cerr <<
       "unr_fuzz [--seeds=N] [--seed0=S] [--ifaces=glex,verbs,...|all]\n"
       "         [--channels=native,level0,fallback,level4,auto]\n"
-      "         [--faults=off|on|both] [--time-budget=SECONDS]\n"
-      "         [--dump-dir=DIR] [--no-shrink]\n"
-      "         [--repro=FILE]     replay one workload file\n"
-      "         [--mutate]         self-test: injected bugs must be caught\n"
-      "         [--print-spec=S]   print the generated workload for seed S\n";
+      "         [--faults=off|on|both] [--mix=classic|aisync]\n"
+      "         [--time-budget=SECONDS] [--dump-dir=DIR] [--no-shrink]\n"
+      "         [--repro=FILE]      replay one workload file\n"
+      "         [--mutate]          self-test: injected bugs must be caught\n"
+      "         [--print-spec=S]    print the generated workload for seed S\n"
+      "         [--emit-corpus=DIR] write one scenario-pack repro per traffic\n"
+      "                             pattern (regenerates tests/fuzz/corpus/)\n";
 }
 
 std::span<const unrlib::ChannelKind> channel_set(const CliArgs& a) {
@@ -232,6 +247,7 @@ int mutate_sweep(const CliArgs& a) {
     for (const Mutation m : {Mutation::kCorruptPayload, Mutation::kStraySignal}) {
       GenConfig gc;
       gc.iface = a.ifaces.front();
+      gc.mix = a.mix;
       WorkloadSpec spec = generate(s, gc);
       if (!inject_mutation(spec, m, s)) continue;
       ++planted;
@@ -268,6 +284,39 @@ int mutate_sweep(const CliArgs& a) {
   return escapes == 0 ? 0 : 1;
 }
 
+/// Regenerate the committed scenario-pack corpus: one small-topology repro
+/// per traffic pattern in scenarios::patterns(), each verified differentially
+/// across the channel set BEFORE it is written — a corpus file that does not
+/// replay clean must never be committed. The corpus-replay slice of
+/// test_fuzz_smoke replays exactly these files.
+int emit_corpus(const CliArgs& a) {
+  int failures = 0;
+  for (const scenarios::Pattern& pat : scenarios::patterns()) {
+    scenarios::TrafficParams p;
+    p.seed = 4242;
+    p.nodes = 3;
+    p.ranks_per_node = 2;
+    p.rounds = 2;
+    const WorkloadSpec spec = pat.make(p);
+    if (const std::string verr = validate(spec); !verr.empty()) {
+      std::cerr << "CORPUS FAIL: " << pat.name << " invalid: " << verr << "\n";
+      ++failures;
+      continue;
+    }
+    const std::vector<std::string> v = run_case(spec, a);
+    if (!v.empty()) {
+      std::cerr << "CORPUS FAIL: " << pat.name << "\n";
+      for (const std::string& msg : v) std::cerr << "  " << msg << "\n";
+      ++failures;
+      continue;
+    }
+    write_repro(spec, a.emit_corpus + "/" + pat.name + ".repro");
+  }
+  std::cerr << "corpus: " << (failures == 0 ? "all patterns clean" : "FAILED")
+            << "\n";
+  return failures == 0 ? 0 : 1;
+}
+
 int sweep(const CliArgs& a) {
   const auto t0 = std::chrono::steady_clock::now();
   const auto out_of_budget = [&] {
@@ -290,6 +339,7 @@ int sweep(const CliArgs& a) {
         GenConfig gc;
         gc.iface = iface;
         gc.faults = faults;
+        gc.mix = a.mix;
         const WorkloadSpec spec = generate(s, gc);
         ++cases;
         const std::vector<std::string> v = run_case(spec, a);
@@ -325,9 +375,11 @@ int main(int argc, char** argv) {
     GenConfig gc;
     gc.iface = a.ifaces.front();
     gc.faults = a.faults == 1;
+    gc.mix = a.mix;
     std::cout << to_text(generate(static_cast<std::uint64_t>(a.print_spec), gc));
     return 0;
   }
+  if (!a.emit_corpus.empty()) return emit_corpus(a);
   if (!a.repro.empty()) return replay(a);
   if (a.mutate) return mutate_sweep(a);
   return sweep(a);

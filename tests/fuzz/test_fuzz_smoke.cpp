@@ -3,10 +3,18 @@
 // The nightly `fuzz` label runs hundreds of seeds; this file keeps a small,
 // fast cross-section in the always-on gate: generator determinism + text
 // round-trip, clean differential runs across channel levels and interface
-// personalities (faults on and off), and the mutation self-test — a planted
-// bug must be caught by the oracle and shrunk to a tiny repro.
+// personalities (faults on and off), the mutation self-test — a planted
+// bug must be caught by the oracle and shrunk to a tiny repro — and the
+// scenario-pack slice: oracle rules for the AI/sync round kinds, the aisync
+// generator mix, and a differential replay of the committed corpus
+// (tests/fuzz/corpus/, one repro per traffic pattern).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -14,6 +22,8 @@
 #include "check/runner.hpp"
 #include "check/shrink.hpp"
 #include "check/workload.hpp"
+#include "scenarios/traffic.hpp"
+#include "svc/runspec.hpp"
 
 namespace unr::check {
 namespace {
@@ -176,6 +186,248 @@ TEST(FuzzOracle, PatternIsPositionSensitive) {
   buf[17] ^= std::byte{1};
   EXPECT_FALSE(Oracle::check(buf, 99, bad));
   EXPECT_EQ(bad, 17u);
+}
+
+// --- Scenario-pack oracle rules (AI-training / scalable-sync round kinds) ---
+
+/// One round of each scenario-pack kind over a 6-rank machine, used to probe
+/// the oracle's traffic models directly.
+WorkloadSpec aisync_probe_spec() {
+  WorkloadSpec s;
+  s.seed = 77;
+  s.iface = Interface::kVerbs;
+  s.nodes = 3;
+  s.ranks_per_node = 2;
+  s.sig_n_bits = 16;
+  RoundSpec r;
+  r.kind = RoundSpec::Kind::kAlltoall;
+  r.root = 2;
+  r.size = 64;
+  s.rounds.push_back(r);  // round 0: MoE all-to-all, hot expert = rank 2
+  r = RoundSpec{};
+  r.kind = RoundSpec::Kind::kFaaCombine;
+  r.root = 1;
+  r.count = 4;
+  r.depth = 2;
+  s.rounds.push_back(r);  // round 1: combining FAA, arity-2 tree at rank 1
+  r = RoundSpec{};
+  r.kind = RoundSpec::Kind::kSteal;
+  r.size = 32;
+  r.count = 3;
+  s.rounds.push_back(r);  // round 2: work stealing, 3 items/steals per rank
+  return s;
+}
+
+TEST(FuzzOracle, TreeTopologyIsConsistent) {
+  const int P = 6;
+  for (int root = 0; root < P; ++root) {
+    for (int rank = 0; rank < P; ++rank) {
+      const int v = Oracle::vrank_of(rank, root, P);
+      EXPECT_EQ(Oracle::rank_of(v, root, P), rank);
+    }
+    EXPECT_EQ(Oracle::vrank_of(root, root, P), 0);
+  }
+  EXPECT_EQ(Oracle::tree_parent(0, 2), -1);  // the root has no parent
+  // In an arity-d heap every non-root vrank's parent index is below it, and
+  // child counts sum to P-1 (every rank except the root is someone's child).
+  for (const int arity : {2, 3, 4}) {
+    int children = 0;
+    for (int v = 1; v < P; ++v) {
+      EXPECT_LT(Oracle::tree_parent(v, arity), v);
+      EXPECT_GE(Oracle::tree_parent(v, arity), 0);
+    }
+    for (int v = 0; v < P; ++v)
+      children += Oracle::tree_child_count(v, arity, P);
+    EXPECT_EQ(children, P - 1) << "arity " << arity;
+  }
+}
+
+TEST(FuzzOracle, MoeRoutingSkewsTheHotExpert) {
+  const WorkloadSpec s = aisync_probe_spec();
+  const Oracle o(s);
+  const std::uint64_t base = s.rounds[0].size;
+  const int hot = s.rounds[0].root;
+  for (int src = 0; src < s.nranks(); ++src) {
+    EXPECT_EQ(o.moe_bytes(0, src, src), 0u);  // no self-traffic
+    for (int dst = 0; dst < s.nranks(); ++dst) {
+      if (src == dst) continue;
+      const std::uint64_t b = o.moe_bytes(0, src, dst);
+      if (dst == hot) {
+        EXPECT_EQ(b, base * 4) << src << "->" << dst;  // 4x over-routed
+      } else {
+        EXPECT_GE(b, base);
+        EXPECT_LE(b, base + base / 2);  // jitter stays in [0, size/2]
+      }
+      EXPECT_NE(o.moe_pattern(0, src, dst), 0u);
+    }
+  }
+}
+
+TEST(FuzzOracle, FaaCombiningAccountingBalances) {
+  const WorkloadSpec s = aisync_probe_spec();
+  const Oracle o(s);
+  const std::size_t ri = 1;
+  const int P = s.nranks();
+  std::int64_t sum = 0;
+  for (int rank = 0; rank < P; ++rank) {
+    const std::int64_t c = o.faa_contrib(ri, rank);
+    EXPECT_GE(c, 1);
+    EXPECT_LE(c, s.rounds[ri].count);
+    sum += c;
+    // arm = what the rank's children deliver; a leaf needs no signal.
+    EXPECT_EQ(o.faa_arm(ri, rank), o.faa_subtree_total(ri, rank) - c);
+    const int v = Oracle::vrank_of(rank, s.rounds[ri].root, P);
+    if (Oracle::tree_child_count(v, s.rounds[ri].depth, P) == 0) {
+      EXPECT_EQ(o.faa_arm(ri, rank), 0) << "leaf rank " << rank;
+    }
+  }
+  // The root's combined subtree is the whole machine's total.
+  EXPECT_EQ(o.faa_subtree_total(ri, s.rounds[ri].root), o.faa_total(ri));
+  EXPECT_EQ(o.faa_total(ri), sum);
+}
+
+TEST(FuzzOracle, StealScheduleNeverTargetsSelfAndBalances) {
+  const WorkloadSpec s = aisync_probe_spec();
+  const Oracle o(s);
+  const std::size_t ri = 2;
+  const int P = s.nranks();
+  const int k = s.rounds[ri].count;
+  std::int64_t robberies = 0;
+  for (int thief = 0; thief < P; ++thief) {
+    for (int j = 0; j < k; ++j) {
+      const int victim = o.steal_victim(ri, thief, j);
+      EXPECT_NE(victim, thief);
+      EXPECT_GE(victim, 0);
+      EXPECT_LT(victim, P);
+      const int item = o.steal_item(ri, thief, j);
+      EXPECT_GE(item, 0);
+      EXPECT_LT(item, k);
+      EXPECT_NE(o.item_pattern(ri, victim, item), 0u);
+    }
+    robberies += o.steal_robberies(ri, thief);
+  }
+  // Every steal robs exactly one victim: the per-victim tallies (each
+  // victim's signal arming) must add up to all P*k steals.
+  EXPECT_EQ(robberies, static_cast<std::int64_t>(P) * k);
+}
+
+TEST(FuzzOracle, ScenarioPatternsAreNonZero) {
+  const WorkloadSpec s = aisync_probe_spec();
+  const Oracle o(s);
+  for (int mb = 0; mb < 8; ++mb) EXPECT_NE(o.pipe_pattern(0, mb), 0u);
+  for (int rank = 0; rank < s.nranks(); ++rank) {
+    EXPECT_NE(o.bt_pattern(0, rank, 0), 0u);
+    EXPECT_NE(o.bt_pattern(0, rank, 1), 0u);
+    EXPECT_NE(o.bt_pattern(0, rank, 0), o.bt_pattern(0, rank, 1));
+  }
+}
+
+// --- The aisync generator mix ----------------------------------------------
+
+GenConfig aisync_cfg(Interface iface, bool faults = false) {
+  GenConfig gc = cfg(iface, faults);
+  gc.mix = GenConfig::Mix::kAiSync;
+  return gc;
+}
+
+TEST(FuzzAiSync, GeneratorDeterministicValidAndDrawsNewKinds) {
+  std::size_t scenario_rounds = 0;
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    const WorkloadSpec a = generate(seed, aisync_cfg(Interface::kVerbs));
+    const WorkloadSpec b = generate(seed, aisync_cfg(Interface::kVerbs));
+    EXPECT_EQ(to_text(a), to_text(b)) << "seed " << seed;
+    EXPECT_EQ(validate(a), "") << "seed " << seed;
+    for (const RoundSpec& r : a.rounds) {
+      if (r.kind >= RoundSpec::Kind::kAllreduceRing) ++scenario_rounds;
+    }
+  }
+  // The widened palette must actually reach the scenario-pack kinds.
+  EXPECT_GT(scenario_rounds, 20u);
+}
+
+TEST(FuzzAiSync, ClassicMixIsUntouchedByThePalette) {
+  // The golden determinism pins depend on kClassic consuming the exact RNG
+  // stream of the pre-scenario-pack generator: same seed, same text.
+  for (std::uint64_t seed : {2026ull, 2027ull, 3001ull}) {
+    const WorkloadSpec classic = generate(seed, cfg(Interface::kVerbs));
+    for (const RoundSpec& r : classic.rounds) {
+      EXPECT_LT(r.kind, RoundSpec::Kind::kAllreduceRing) << "seed " << seed;
+    }
+  }
+}
+
+TEST(FuzzAiSync, TextRoundTripCoversNewKinds) {
+  for (std::uint64_t seed : {4ull, 9ull, 31ull}) {
+    const WorkloadSpec a = generate(seed, aisync_cfg(Interface::kUtofu, true));
+    WorkloadSpec b;
+    std::string err;
+    ASSERT_TRUE(from_text(to_text(a), b, &err)) << err;
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(validate(b), "");
+  }
+}
+
+TEST(FuzzAiSync, DifferentialChannelsBitIdentical) {
+  for (std::uint64_t seed : {8ull, 14ull}) {
+    const WorkloadSpec spec = generate(seed, aisync_cfg(Interface::kVerbs));
+    const DiffResult d = run_differential(spec, differential_channels());
+    EXPECT_TRUE(d.ok) << "seed " << seed << ": "
+                      << (d.violations.empty() ? "" : d.violations.front());
+  }
+}
+
+// --- Committed corpus replay (tests/fuzz/corpus/) ---------------------------
+
+std::vector<std::filesystem::path> corpus_files() {
+  std::vector<std::filesystem::path> files;
+  for (const auto& e : std::filesystem::directory_iterator(UNR_FUZZ_CORPUS_DIR))
+    if (e.path().extension() == ".repro") files.push_back(e.path());
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+WorkloadSpec load_corpus(const std::filesystem::path& path) {
+  std::ifstream f(path);
+  std::stringstream buf;
+  buf << f.rdbuf();
+  svc::RunSpec rs;
+  std::string err;
+  EXPECT_TRUE(svc::from_text(buf.str(), rs, &err)) << path << ": " << err;
+  EXPECT_TRUE(rs.workload.has_value()) << path;
+  return rs.workload.value_or(WorkloadSpec{});
+}
+
+TEST(FuzzCorpus, OneReproPerTrafficPattern) {
+  const auto files = corpus_files();
+  ASSERT_EQ(files.size(), scenarios::patterns().size())
+      << "corpus out of sync with scenarios::patterns() — regenerate with "
+         "unr_fuzz --emit-corpus=tests/fuzz/corpus";
+  for (const scenarios::Pattern& pat : scenarios::patterns()) {
+    const bool present = std::any_of(
+        files.begin(), files.end(),
+        [&](const auto& f) { return f.stem() == pat.name; });
+    EXPECT_TRUE(present) << "no corpus file for " << pat.name;
+  }
+}
+
+TEST(FuzzCorpus, ReplaysCleanAcrossChannelsAndShards) {
+  for (const auto& path : corpus_files()) {
+    const WorkloadSpec spec = load_corpus(path);
+    ASSERT_EQ(validate(spec), "") << path;
+    const DiffResult d = run_differential(spec, differential_channels());
+    EXPECT_TRUE(d.ok) << path << ": "
+                      << (d.violations.empty() ? "" : d.violations.front());
+    std::optional<std::uint64_t> digest;
+    for (const int k : {1, 2, 4}) {
+      RunOptions opt;
+      opt.shards = k;
+      const RunResult r = run_workload(spec, opt);
+      ASSERT_TRUE(r.ok) << path << " shards=" << k << ": "
+                        << (r.violations.empty() ? "" : r.violations.front());
+      if (!digest) digest = r.digest;
+      else EXPECT_EQ(r.digest, *digest) << path << " shards=" << k;
+    }
+  }
 }
 
 }  // namespace

@@ -12,6 +12,7 @@
 #include "check/workload.hpp"
 #include "powerllel/solver.hpp"
 #include "runtime/world.hpp"
+#include "scenarios/traffic.hpp"
 #include "unr/unr.hpp"
 
 namespace unr {
@@ -227,6 +228,81 @@ TEST(Determinism, GoldenCorpusPerPersonality) {
     EXPECT_EQ(r.end_time, pin.end) << check::iface_token(pin.iface);
     EXPECT_EQ(r.digest, pin.digest)
         << check::iface_token(pin.iface) << " digest 0x" << std::hex << r.digest;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Scenario-pack traffic pins: every pattern in scenarios::patterns(), built
+// at a fixed small topology (the same parameters the committed fuzz corpus
+// uses) and run single-shard on the native channel. Like the golden corpus
+// above, these catch timing-model or notification-path drift in tier 1;
+// re-pin deliberately (the failure output has the new values) only in a PR
+// that intentionally changes the model.
+struct TrafficPin {
+  const char* pattern;
+  std::uint64_t events;
+  Time end;
+  std::uint64_t digest;
+};
+
+inline constexpr TrafficPin kTrafficPins[] = {
+    {"ai_ring_allreduce", 1248, 2055528, 8989574799990096433ull},
+    {"ai_tree_allreduce", 400, 2033784, 12067191026127495349ull},
+    {"ai_pipeline", 928, 2053785, 8873455053576745039ull},
+    {"ai_moe_alltoall", 719, 2026970, 2027165123038252694ull},
+    {"sync_faa_tree", 404, 2025404, 12045923744769436573ull},
+    {"sync_barrier_tree", 400, 2032334, 10622242693508522142ull},
+    {"sync_work_steal", 826, 2031137, 11674555619523324971ull},
+};
+
+scenarios::TrafficParams traffic_pin_params() {
+  scenarios::TrafficParams p;
+  p.seed = 4242;
+  p.nodes = 3;
+  p.ranks_per_node = 2;
+  p.rounds = 2;
+  return p;
+}
+
+TEST(Determinism, TrafficPatternsPinned) {
+  ASSERT_EQ(std::size(kTrafficPins), scenarios::patterns().size())
+      << "pin table out of sync with scenarios::patterns()";
+  for (const TrafficPin& pin : kTrafficPins) {
+    const scenarios::Pattern* pat = scenarios::find_pattern(pin.pattern);
+    ASSERT_NE(pat, nullptr) << pin.pattern;
+    const check::WorkloadSpec spec = pat->make(traffic_pin_params());
+    check::RunOptions opt;
+    opt.channel = unrlib::ChannelKind::kNative;
+    opt.shards = 1;  // pins are defined by the single-shard kernel
+    const check::RunResult r = check::run_workload(spec, opt);
+    ASSERT_TRUE(r.ok) << pin.pattern << ": "
+                      << (r.violations.empty() ? "" : r.violations.front());
+    EXPECT_EQ(r.events, pin.events) << pin.pattern;
+    EXPECT_EQ(r.end_time, pin.end) << pin.pattern;
+    EXPECT_EQ(r.digest, pin.digest)
+        << pin.pattern << " digest " << r.digest << "ull";
+  }
+}
+
+// Digest invariance across shard counts for every traffic pattern, at a
+// 4-node topology so K=4 is real sharding, not a clamp.
+TEST(Determinism, TrafficShardCountPreservesDigest) {
+  for (const scenarios::Pattern& pat : scenarios::patterns()) {
+    scenarios::TrafficParams p = traffic_pin_params();
+    p.nodes = 4;
+    const check::WorkloadSpec spec = pat.make(p);
+    ASSERT_EQ(check::validate(spec), "") << pat.name;
+    std::optional<std::uint64_t> digest;
+    for (const int k : {1, 2, 4}) {
+      check::RunOptions opt;
+      opt.channel = unrlib::ChannelKind::kNative;
+      opt.shards = k;
+      const check::RunResult r = check::run_workload(spec, opt);
+      ASSERT_TRUE(r.ok) << pat.name << " shards=" << k << ": "
+                        << (r.violations.empty() ? "" : r.violations.front());
+      if (!digest) digest = r.digest;
+      else EXPECT_EQ(r.digest, *digest) << pat.name << " shards=" << k;
+    }
   }
 }
 

@@ -13,10 +13,12 @@
 #include <thread>
 #include <vector>
 
+#include "scenarios/traffic.hpp"
 #include "svc/frame.hpp"
 #include "svc/json.hpp"
 #include "svc/run.hpp"
 #include "svc/runspec.hpp"
+#include "svc/scenarios.hpp"
 #include "svc/server.hpp"
 
 using namespace unr::svc;
@@ -356,6 +358,38 @@ TEST(RunRunspec, WorkloadAndScenarioPaths) {
 
   RunSpec none;
   EXPECT_FALSE(run_runspec(none).ok);
+}
+
+// Every scenario-pack traffic pattern is servable by name: oracle-clean,
+// deterministic (the cache contract), and channel-invariant — the fallback
+// channel must reproduce the native run's application-visible digest bit for
+// bit, because the served digest is the differential digest.
+TEST(RunRunspec, TrafficPatternsServableAndChannelInvariant) {
+  for (const unr::scenarios::Pattern& pat : unr::scenarios::patterns()) {
+    RunSpec s;
+    s.scenario = pat.name;
+    s.nodes = 3;
+    s.ranks_per_node = 2;
+    s.seed = 5;
+    s.params["rounds"] = 1;
+    const RunOutcome a = run_runspec(s);
+    ASSERT_TRUE(a.ok) << pat.name << ": "
+                      << (a.error.empty()
+                              ? (a.violations.empty() ? "" : a.violations[0])
+                              : a.error);
+    EXPECT_GT(a.events, 0u) << pat.name;
+    const RunOutcome b = run_runspec(s);
+    EXPECT_EQ(a.result_digest, b.result_digest) << pat.name;
+    EXPECT_EQ(render_body(s, a), render_body(s, b)) << pat.name;
+    RunSpec fb = s;
+    fb.channel = "fallback";
+    const RunOutcome c = run_runspec(fb);
+    ASSERT_TRUE(c.ok) << pat.name;
+    EXPECT_EQ(c.result_digest, a.result_digest) << pat.name;
+  }
+  // is_scenario and the name registry agree about the pack.
+  EXPECT_TRUE(is_scenario("ai_moe_alltoall"));
+  EXPECT_TRUE(is_scenario("sync_work_steal"));
 }
 
 }  // namespace

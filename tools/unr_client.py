@@ -119,6 +119,21 @@ def pingpong_spec(seed, size=4096, iters=50):
     )
 
 
+def ai_traffic_spec(seed, scenario="ai_ring_allreduce", size=256, rounds=1):
+    """A scenario-pack traffic spec (src/scenarios): the run is verified by
+    the fuzz oracle server-side, so ok=true means oracle-clean, not just
+    completed."""
+    return (
+        "unrspec v1\n"
+        f"scenario {scenario}\n"
+        "topo nodes=3 rpn=2\n"
+        f"run seed={seed}\n"
+        f"param rounds={rounds}\n"
+        f"param size={size}\n"
+        "end\n"
+    )
+
+
 def read_spec(path):
     if path == "-":
         return sys.stdin.read()
@@ -213,6 +228,30 @@ def cmd_smoke(args):
               file=sys.stderr)
         return 1
     print("ok: repeat submission was a cache hit, body byte-identical")
+
+    # Phase 2b: same contract for an AI-traffic scenario (oracle-checked
+    # server-side): first submission misses and runs clean, the repeat is a
+    # byte-identical cache hit.
+    spec = ai_traffic_spec(seed=4243)
+    s = Session(args.host, args.port)
+    try:
+        _, first, raw_first = s.submit(spec)
+        _, second, raw_second = s.submit(spec)
+    finally:
+        s.close()
+    if not first["body"].get("ok"):
+        print(f"FAIL: ai traffic run failed: {first['body']}", file=sys.stderr)
+        return 1
+    if first.get("cache") != "miss" or second.get("cache") != "hit":
+        print(f"FAIL: ai traffic cache dispositions "
+              f"{first.get('cache')}/{second.get('cache')}, want miss/hit",
+              file=sys.stderr)
+        return 1
+    if body_bytes(raw_first) != body_bytes(raw_second):
+        print("FAIL: ai traffic cache hit body differs from the original run",
+              file=sys.stderr)
+        return 1
+    print("ok: ai traffic spec ran oracle-clean, repeat hit byte-identical")
 
     # Phase 3: the server's own accounting agrees.
     s = Session(args.host, args.port)
